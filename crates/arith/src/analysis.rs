@@ -1,0 +1,219 @@
+//! Closed-form gate-count accounting for the arithmetic constructions.
+//!
+//! Every constructor in this crate has a twin here that predicts *exactly* how many
+//! gates the constructor will emit.  The unit tests of the constructors assert that the
+//! built circuits match these predictions, and the analytic cost models in `tcmm-core`
+//! build on them to produce gate-count tables for problem sizes far too large to
+//! materialise.
+
+/// The paper's `bits(m)`: the minimum number of bits needed to write the nonnegative
+/// integer `m` in binary, i.e. the least `l` with `m < 2^l`.  By convention
+/// `bits(0) = 0`.
+pub fn bits_of(m: u128) -> u32 {
+    128 - m.leading_zeros()
+}
+
+/// Gate count of the Lemma 3.1 circuit for the k-th most significant bit: `2^k + 1`.
+pub fn kth_bit_gate_count(k: u32) -> u64 {
+    (1u64 << k) + 1
+}
+
+/// Per-output-bit plan shared by [`repr_to_binary`](crate::repr_to_binary) and the gate
+/// counters: for output bit `j` (1-based from the least significant bit), either the bit
+/// is provably zero, or a Lemma 3.1 instance with parameters `(l_j, k_j)` is emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BitPlan {
+    /// The bit is always 0 (its residue bound is below `2^(j-1)`).
+    ConstantZero,
+    /// Emit Lemma 3.1 with width `l` and MSB index `k` over the residue terms.
+    Lemma31 {
+        /// Width parameter `l` of Lemma 3.1 (`s_j ∈ [0, 2^l)`).
+        l: u32,
+        /// Which most-significant bit to extract.
+        k: u32,
+    },
+}
+
+/// Computes the per-bit plan for converting a weighted sum of bits to binary.
+///
+/// `residue_bound(j)` must return `Σ_t (w_t mod 2^j)` (nonnegative residues) and
+/// `num_output_bits` the number of binary digits to produce.
+pub(crate) fn plan_bits<F>(num_output_bits: u32, mut residue_bound: F) -> Vec<BitPlan>
+where
+    F: FnMut(u32) -> u128,
+{
+    let mut plans = Vec::with_capacity(num_output_bits as usize);
+    for j in 1..=num_output_bits {
+        let bound = residue_bound(j);
+        if bound < (1u128 << (j - 1)) {
+            plans.push(BitPlan::ConstantZero);
+        } else {
+            let l = bits_of(bound);
+            let k = l - j + 1;
+            plans.push(BitPlan::Lemma31 { l, k });
+        }
+    }
+    plans
+}
+
+pub(crate) fn plan_gate_count(plans: &[BitPlan]) -> u64 {
+    let mut total = 0u64;
+    let mut any_constant = false;
+    for p in plans {
+        match p {
+            BitPlan::ConstantZero => any_constant = true,
+            BitPlan::Lemma31 { k, .. } => total += kth_bit_gate_count(*k),
+        }
+    }
+    // A single shared constant-zero gate is emitted lazily if any bit needs it.
+    if any_constant {
+        total += 1;
+    }
+    total
+}
+
+/// Residue bound `Σ_t (w_t mod 2^j)` for an explicit list of term weights.
+pub(crate) fn residue_bound_of_weights(weights: &[i64], j: u32) -> u128 {
+    let modulus = 1i128 << j;
+    weights
+        .iter()
+        .map(|&w| {
+            let r = (w as i128).rem_euclid(modulus);
+            r as u128
+        })
+        .sum()
+}
+
+/// Exact gate count of [`repr_to_binary`](crate::repr_to_binary) applied to a
+/// representation with the given term weights.
+pub fn repr_to_binary_gate_count(weights: &[i64]) -> u64 {
+    let max_value: u128 = weights
+        .iter()
+        .map(|&w| if w > 0 { w as u128 } else { 0 })
+        .sum();
+    let nbits = bits_of(max_value);
+    let plans = plan_bits(nbits, |j| residue_bound_of_weights(weights, j));
+    plan_gate_count(&plans)
+}
+
+/// Exact gate count of a ±1-weighted sum of `n` nonnegative `b`-bit binary numbers,
+/// *per sign part*: the caller passes the number of summands feeding one part of the
+/// signed split (all with weight +1 after the split).
+///
+/// This is the parametric form of [`repr_to_binary_gate_count`] used by the analytic
+/// cost models: for `n` binary summands of `b` bits each with unit weights, the residue
+/// bound for output bit `j` is `n·(2^min(j,b) − 1)`.
+pub fn weighted_sum_gate_count(n: u128, b: u32) -> u64 {
+    if n == 0 || b == 0 {
+        return 0;
+    }
+    let max_value = n * ((1u128 << b) - 1);
+    let nbits = bits_of(max_value);
+    let plans = plan_bits(nbits, |j| {
+        let eff = j.min(b);
+        n * ((1u128 << eff) - 1)
+    });
+    plan_gate_count(&plans)
+}
+
+/// Gate count of the two-factor Lemma 3.3 product of an `mx`-bit and an `my`-bit
+/// unsigned number: `mx · my` AND gates in depth 1.
+pub fn product_gate_count(mx: u32, my: u32) -> u64 {
+    mx as u64 * my as u64
+}
+
+/// Gate count of the three-factor Lemma 3.3 product of `m`-bit unsigned numbers:
+/// `mx · my · mz` gates in depth 1.
+pub fn product3_gate_count(mx: u32, my: u32, mz: u32) -> u64 {
+    mx as u64 * my as u64 * mz as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_of_matches_definition() {
+        assert_eq!(bits_of(0), 0);
+        assert_eq!(bits_of(1), 1);
+        assert_eq!(bits_of(2), 2);
+        assert_eq!(bits_of(3), 2);
+        assert_eq!(bits_of(4), 3);
+        assert_eq!(bits_of(255), 8);
+        assert_eq!(bits_of(256), 9);
+        // m < 2^bits(m) and m >= 2^(bits(m)-1) for m >= 1.
+        for m in 1u128..200 {
+            let l = bits_of(m);
+            assert!(m < (1 << l));
+            assert!(m >= (1 << (l - 1)));
+        }
+    }
+
+    #[test]
+    fn kth_bit_count_is_2k_plus_1() {
+        assert_eq!(kth_bit_gate_count(1), 3);
+        assert_eq!(kth_bit_gate_count(4), 17);
+        assert_eq!(kth_bit_gate_count(10), 1025);
+    }
+
+    #[test]
+    fn parametric_and_explicit_counts_agree_for_unit_weight_sums() {
+        // n summands of b bits with weight +1 each: the explicit weight list is
+        // n copies of {1, 2, 4, ..., 2^(b-1)}.
+        for n in 1u32..8 {
+            for b in 1u32..7 {
+                let mut weights = Vec::new();
+                for _ in 0..n {
+                    for p in 0..b {
+                        weights.push(1i64 << p);
+                    }
+                }
+                assert_eq!(
+                    repr_to_binary_gate_count(&weights),
+                    weighted_sum_gate_count(n as u128, b),
+                    "n={n} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_sum_count_scales_linearly_in_n_and_b() {
+        // The paper's bound is O(w·b·n); for w = 1 the count should grow roughly like
+        // b·n.  Check the ratio against 8·b·n as a generous constant.
+        for &(n, b) in &[(4u128, 8u32), (16, 8), (64, 8), (16, 16), (16, 32)] {
+            let gates = weighted_sum_gate_count(n, b);
+            assert!(gates as u128 <= 8 * n * b as u128 + 8 * n + 64,
+                "gates {gates} too large for n={n} b={b}");
+            assert!(gates as u128 >= (b as u128) * n / 2,
+                "gates {gates} suspiciously small for n={n} b={b}");
+        }
+    }
+
+    #[test]
+    fn residue_bound_handles_negative_weights() {
+        // -3 mod 8 = 5.
+        assert_eq!(residue_bound_of_weights(&[-3], 3), 5);
+        assert_eq!(residue_bound_of_weights(&[-3, 3], 3), 8);
+        assert_eq!(residue_bound_of_weights(&[8], 3), 0);
+    }
+
+    #[test]
+    fn plan_marks_constant_bits() {
+        // Single term of weight 4: bits 1 and 2 (j=1,2) are constant zero, bit 3 is real.
+        let weights = [4i64];
+        let plans = plan_bits(3, |j| residue_bound_of_weights(&weights, j));
+        assert_eq!(plans[0], BitPlan::ConstantZero);
+        assert_eq!(plans[1], BitPlan::ConstantZero);
+        assert!(matches!(plans[2], BitPlan::Lemma31 { .. }));
+        // One shared constant-zero gate plus the Lemma 3.1 instance.
+        assert_eq!(plan_gate_count(&plans), 1 + kth_bit_gate_count(1));
+    }
+
+    #[test]
+    fn product_counts() {
+        assert_eq!(product_gate_count(5, 7), 35);
+        assert_eq!(product3_gate_count(3, 4, 5), 60);
+        assert_eq!(product_gate_count(0, 7), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Final comparison gates: `value ≥ τ` in a single threshold gate.
+
+use crate::number::{Repr, SignedInt};
+use crate::{ArithError, Result};
+use tc_circuit::{CircuitBuilder, Wire};
+
+/// Adds a single threshold gate that fires iff the value of `repr` is at least `tau`.
+///
+/// This is the paper's "final output gate" (Theorem 4.4): the representation's terms
+/// become the gate's fan-in with their weights, and `τ` becomes the gate's threshold.
+/// Costs exactly one gate and one layer of depth.
+pub fn threshold_of_repr(builder: &mut CircuitBuilder, repr: &Repr, tau: i64) -> Result<Wire> {
+    if repr.is_empty() {
+        // An empty representation has value 0: the comparison is a constant.
+        return Ok(builder.add_gate([(Wire::One, 0)], tau)?);
+    }
+    if repr.max_value() > i64::MAX as i128 || repr.min_value() < i64::MIN as i128 {
+        return Err(ArithError::BoundTooWide { required_bits: 64 });
+    }
+    Ok(builder.add_gate_merged(repr.terms().iter().copied(), tau)?)
+}
+
+/// Adds a single threshold gate that fires iff the signed number `x = x⁺ − x⁻` is at
+/// least `tau`.
+pub fn threshold_of_signed(
+    builder: &mut CircuitBuilder,
+    x: &SignedInt,
+    tau: i64,
+) -> Result<Wire> {
+    threshold_of_repr(builder, &x.to_repr(), tau)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{product_signed_repr, InputAllocator};
+
+    #[test]
+    fn signed_comparison_is_exact() {
+        let mut alloc = InputAllocator::new();
+        let x = alloc.alloc_signed(5);
+        for tau in [-20i64, -1, 0, 1, 17] {
+            let mut b = CircuitBuilder::new(alloc.num_inputs());
+            let out = threshold_of_signed(&mut b, &x, tau).unwrap();
+            b.mark_output(out);
+            let c = b.build();
+            assert_eq!(c.depth(), 1);
+            assert_eq!(c.num_gates(), 1);
+            let mut bits = vec![false; c.num_inputs()];
+            for v in -31i64..=31 {
+                x.assign(v, &mut bits).unwrap();
+                let ev = c.evaluate(&bits).unwrap();
+                assert_eq!(ev.outputs()[0], v >= tau, "v={v} tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_of_a_product_representation() {
+        // "Is x*y >= 10?" as a depth-2 circuit: one layer of product gates plus the
+        // comparison gate.
+        let mut alloc = InputAllocator::new();
+        let x = alloc.alloc_signed(4);
+        let y = alloc.alloc_signed(4);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let p = product_signed_repr(&mut b, &x, &y).unwrap();
+        let out = threshold_of_repr(&mut b, &p, 10).unwrap();
+        b.mark_output(out);
+        let c = b.build();
+        assert_eq!(c.depth(), 2);
+        let mut bits = vec![false; c.num_inputs()];
+        for xv in [-15i64, -3, 0, 2, 5, 15] {
+            for yv in [-15i64, -2, 0, 2, 3, 15] {
+                x.assign(xv, &mut bits).unwrap();
+                y.assign(yv, &mut bits).unwrap();
+                let ev = c.evaluate(&bits).unwrap();
+                assert_eq!(ev.outputs()[0], xv * yv >= 10, "x={xv} y={yv}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_representation_compares_as_zero() {
+        let mut b = CircuitBuilder::new(0);
+        let ge_zero = threshold_of_repr(&mut b, &Repr::zero(), 0).unwrap();
+        let ge_one = threshold_of_repr(&mut b, &Repr::zero(), 1).unwrap();
+        b.mark_outputs([ge_zero, ge_one]);
+        let c = b.build();
+        let ev = c.evaluate(&[]).unwrap();
+        assert_eq!(ev.outputs(), &[true, false]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for the arithmetic constructions.
+
+use std::fmt;
+use tc_circuit::CircuitError;
+
+/// Errors produced by the arithmetic circuit constructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArithError {
+    /// An underlying circuit-construction error.
+    Circuit(CircuitError),
+    /// A value did not fit in the declared bit-width.
+    ValueOutOfRange {
+        /// The value the caller tried to encode.
+        value: i128,
+        /// The declared bit-width.
+        bits: usize,
+    },
+    /// A construction would need a sum bound of more than 62 bits, which would overflow
+    /// the `i64` gate weights.  The paper assumes `O(log N)`-bit entries, so this bound
+    /// is never reached by the matmul constructions.
+    BoundTooWide {
+        /// The number of bits the bound would require.
+        required_bits: u32,
+    },
+    /// A number was expected to be built from primary-input wires (so that a host value
+    /// can be assigned to it), but it contains gate wires.
+    NotAnInputNumber,
+    /// An empty list of summands / factors was supplied where at least one is required.
+    EmptyOperands,
+    /// `k = 0` or `k > l` was passed to the k-th most-significant-bit construction.
+    InvalidBitIndex {
+        /// The requested bit.
+        k: u32,
+        /// The total width.
+        l: u32,
+    },
+}
+
+impl fmt::Display for ArithError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArithError::Circuit(e) => write!(f, "circuit error: {e}"),
+            ArithError::ValueOutOfRange { value, bits } => {
+                write!(f, "value {value} does not fit in {bits} bits")
+            }
+            ArithError::BoundTooWide { required_bits } => write!(
+                f,
+                "sum bound requires {required_bits} bits, exceeding the 62-bit weight budget"
+            ),
+            ArithError::NotAnInputNumber => {
+                write!(f, "number is not made of primary-input wires; cannot assign a host value")
+            }
+            ArithError::EmptyOperands => write!(f, "at least one operand is required"),
+            ArithError::InvalidBitIndex { k, l } => {
+                write!(f, "bit index k={k} invalid for width l={l} (need 1 <= k <= l)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArithError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArithError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for ArithError {
+    fn from(e: CircuitError) -> Self {
+        ArithError::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ArithError::ValueOutOfRange { value: 300, bits: 8 };
+        assert!(e.to_string().contains("300"));
+        let c = ArithError::from(CircuitError::EmptyFanIn);
+        assert!(std::error::Error::source(&c).is_some());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

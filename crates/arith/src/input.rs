@@ -1,0 +1,99 @@
+//! Allocation of primary-input wires for circuit-level numbers.
+
+use crate::number::{SignedInt, UInt};
+use tc_circuit::Wire;
+
+/// Hands out consecutive primary-input wire indices and packages them as numbers.
+///
+/// Circuit generators use the allocator in a first pass to lay out all their inputs,
+/// then create a [`CircuitBuilder`](tc_circuit::CircuitBuilder) with
+/// [`InputAllocator::num_inputs`] inputs.  Because every allocated number remembers its
+/// exact wire indices, host values can later be written into an input-bit vector with
+/// [`UInt::assign`] / [`SignedInt::assign`] in any order.
+#[derive(Debug, Clone, Default)]
+pub struct InputAllocator {
+    next: usize,
+}
+
+impl InputAllocator {
+    /// A fresh allocator starting at input 0.
+    pub fn new() -> Self {
+        InputAllocator { next: 0 }
+    }
+
+    /// Total number of input wires allocated so far.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.next
+    }
+
+    /// Allocates a single input bit.
+    pub fn alloc_bit(&mut self) -> Wire {
+        let w = Wire::input(self.next);
+        self.next += 1;
+        w
+    }
+
+    /// Allocates an unsigned number of the given bit-width (bits are consecutive,
+    /// least significant first).
+    pub fn alloc_uint(&mut self, bits: usize) -> UInt {
+        let wires = (0..bits).map(|_| self.alloc_bit()).collect();
+        UInt::from_wires(wires)
+    }
+
+    /// Allocates a signed number in the paper's `x = x⁺ − x⁻` encoding: `bits` wires for
+    /// the positive part followed by `bits` wires for the negative part.
+    pub fn alloc_signed(&mut self, bits: usize) -> SignedInt {
+        let pos = self.alloc_uint(bits);
+        let neg = self.alloc_uint(bits);
+        SignedInt::new(pos, neg)
+    }
+
+    /// Allocates a vector of signed numbers.
+    pub fn alloc_signed_vec(&mut self, count: usize, bits: usize) -> Vec<SignedInt> {
+        (0..count).map(|_| self.alloc_signed(bits)).collect()
+    }
+
+    /// Allocates a vector of unsigned numbers.
+    pub fn alloc_uint_vec(&mut self, count: usize, bits: usize) -> Vec<UInt> {
+        (0..count).map(|_| self.alloc_uint(bits)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_is_consecutive_and_disjoint() {
+        let mut alloc = InputAllocator::new();
+        let bit = alloc.alloc_bit();
+        let x = alloc.alloc_uint(3);
+        let y = alloc.alloc_signed(2);
+        assert_eq!(bit, Wire::input(0));
+        assert_eq!(x.bits(), &[Wire::input(1), Wire::input(2), Wire::input(3)]);
+        assert_eq!(y.pos().bits(), &[Wire::input(4), Wire::input(5)]);
+        assert_eq!(y.neg().bits(), &[Wire::input(6), Wire::input(7)]);
+        assert_eq!(alloc.num_inputs(), 8);
+    }
+
+    #[test]
+    fn vector_allocation_counts() {
+        let mut alloc = InputAllocator::new();
+        let v = alloc.alloc_signed_vec(3, 4);
+        assert_eq!(v.len(), 3);
+        assert_eq!(alloc.num_inputs(), 3 * 2 * 4);
+        let u = alloc.alloc_uint_vec(2, 5);
+        assert_eq!(u.len(), 2);
+        assert_eq!(alloc.num_inputs(), 24 + 10);
+    }
+
+    #[test]
+    fn zero_width_numbers_are_allowed() {
+        let mut alloc = InputAllocator::new();
+        let x = alloc.alloc_uint(0);
+        assert_eq!(x.width(), 0);
+        assert_eq!(alloc.num_inputs(), 0);
+        assert_eq!(x.max_value(), 0);
+    }
+}

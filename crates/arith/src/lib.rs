@@ -1,0 +1,77 @@
+//! # tc-arith — TC0 arithmetic building blocks (Section 3 of the paper)
+//!
+//! This crate implements the constant-depth threshold-circuit arithmetic primitives
+//! from *Parekh, Phillips, James, Aimone — "Constant-Depth and Subcubic-Size Threshold
+//! Circuits for Matrix Multiplication" (SPAA 2018)*, Section 3:
+//!
+//! * **Lemma 3.1** ([`kth_most_significant_bit`]) — the k-th most significant bit of a
+//!   nonnegative integer-weighted sum of bits, in depth 2 with `2^k + 1` gates.
+//! * **Lemma 3.2** ([`weighted_sum_to_binary`], [`weighted_sum_signed`]) — all bits of
+//!   an integer-weighted sum of `n` nonnegative `b`-bit numbers with `O(w·b·n)` gates in
+//!   depth 2 (and its signed extension via the paper's `x = x⁺ − x⁻` convention).
+//! * **Lemma 3.3** ([`product_repr`], [`product3_repr`] and signed variants) — a depth-1
+//!   *representation* (integer-weighted sum of binary wires) of the product of two or
+//!   three numbers, with `m²` / `m³` gates.
+//!
+//! The central generalisation (used by the paper's Lemma 4.6 without comment) is that
+//! Lemma 3.2 works verbatim when the summands are themselves *representations* rather
+//! than binary numbers: a weighted sum of representations is again an integer-weighted
+//! sum of bits, and reducing every weight modulo `2^j` preserves the `j` least
+//! significant bits of the sum.  [`repr_to_binary`] implements exactly this.
+//!
+//! ## Number encodings
+//!
+//! * [`UInt`] — a nonnegative integer as a little-endian vector of wires (its bits).
+//! * [`SignedInt`] — an integer `x = x⁺ − x⁻` as a pair of [`UInt`]s (the paper's
+//!   signed-number convention; Section 3, "Negative numbers").
+//! * [`Repr`] — an integer as an arbitrary integer-weighted sum of wires (the paper's
+//!   "representation"), used for products before they are re-binarised.
+//!
+//! ```
+//! use tc_circuit::CircuitBuilder;
+//! use tc_arith::{InputAllocator, weighted_sum_signed};
+//!
+//! // Compute 3·x − 2·y for two signed 4-bit inputs, entirely inside a circuit.
+//! let mut alloc = InputAllocator::new();
+//! let x = alloc.alloc_signed(4);
+//! let y = alloc.alloc_signed(4);
+//! let mut b = CircuitBuilder::new(alloc.num_inputs());
+//! let s = weighted_sum_signed(&mut b, &[(&x, 3), (&y, -2)]).unwrap();
+//! s.mark_as_outputs(&mut b);
+//! let circuit = b.build();
+//!
+//! let mut bits = vec![false; circuit.num_inputs()];
+//! x.assign(5, &mut bits).unwrap();
+//! y.assign(-3, &mut bits).unwrap();
+//! let ev = circuit.evaluate(&bits).unwrap();
+//! assert_eq!(s.value(&bits, &ev), 3 * 5 - 2 * (-3));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod analysis;
+mod compare;
+mod error;
+mod input;
+mod kth_bit;
+mod number;
+mod product;
+mod to_binary;
+mod weighted_sum;
+
+pub use analysis::{
+    bits_of, kth_bit_gate_count, product3_gate_count, product_gate_count,
+    repr_to_binary_gate_count, weighted_sum_gate_count,
+};
+pub use compare::{threshold_of_repr, threshold_of_signed};
+pub use error::ArithError;
+pub use input::InputAllocator;
+pub use kth_bit::kth_most_significant_bit;
+pub use number::{Repr, SignedInt, UInt};
+pub use product::{product3_repr, product3_signed_repr, product_repr, product_signed_repr};
+pub use to_binary::{repr_to_binary, repr_to_signed};
+pub use weighted_sum::{weighted_sum_signed, weighted_sum_to_binary};
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ArithError>;

@@ -1,0 +1,268 @@
+//! Lemma 3.3: depth-1 product representations.
+
+use crate::number::{Repr, SignedInt, UInt};
+use crate::{ArithError, Result};
+use tc_circuit::CircuitBuilder;
+#[cfg(test)]
+use tc_circuit::Wire;
+
+fn check_weight_width(total_bits: usize) -> Result<()> {
+    if total_bits > 62 {
+        Err(ArithError::BoundTooWide {
+            required_bits: total_bits as u32,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Lemma 3.3 specialised to two factors: a depth-1 representation of `x·y` using
+/// `m_x·m_y` gates.
+///
+/// For each pair of bit positions `(i, j)` a single threshold gate computes
+/// `x_i ∧ y_j` (predicate `x_i + y_j ≥ 2`); the returned representation attaches weight
+/// `2^{i+j}` to that gate's output wire.  The result is *not* a positional binary
+/// encoding — several terms may carry the same power of two — but it is exactly the
+/// paper's notion of a representation and can be consumed by further threshold gates or
+/// re-binarised with [`repr_to_binary`](crate::repr_to_binary).
+pub fn product_repr(builder: &mut CircuitBuilder, x: &UInt, y: &UInt) -> Result<Repr> {
+    check_weight_width(x.width() + y.width())?;
+    let mut terms = Vec::with_capacity(x.width() * y.width());
+    for (i, &xb) in x.bits().iter().enumerate() {
+        for (j, &yb) in y.bits().iter().enumerate() {
+            let and = builder.add_gate_merged([(xb, 1), (yb, 1)], 2)?;
+            terms.push((and, 1i64 << (i + j)));
+        }
+    }
+    Ok(Repr::from_terms(terms))
+}
+
+/// Lemma 3.3: a depth-1 representation of the product of three nonnegative numbers
+/// using `m_x·m_y·m_z` gates.
+///
+/// For each triple of bit positions a single gate computes `x_i ∧ y_j ∧ z_k`
+/// (predicate `x_i + y_j + z_k ≥ 3`) and the representation attaches weight
+/// `2^{i+j+k}`.
+pub fn product3_repr(
+    builder: &mut CircuitBuilder,
+    x: &UInt,
+    y: &UInt,
+    z: &UInt,
+) -> Result<Repr> {
+    check_weight_width(x.width() + y.width() + z.width())?;
+    let mut terms = Vec::with_capacity(x.width() * y.width() * z.width());
+    for (i, &xb) in x.bits().iter().enumerate() {
+        for (j, &yb) in y.bits().iter().enumerate() {
+            for (k, &zb) in z.bits().iter().enumerate() {
+                let and = builder.add_gate_merged([(xb, 1), (yb, 1), (zb, 1)], 3)?;
+                terms.push((and, 1i64 << (i + j + k)));
+            }
+        }
+    }
+    Ok(Repr::from_terms(terms))
+}
+
+/// Signed two-factor product: expands `(x⁺ − x⁻)(y⁺ − y⁻)` into four unsigned products
+/// whose representations are combined with signs `+,−,−,+`.
+///
+/// Costs `4·m_x·m_y` gates in depth 1 (the paper's "constant-factor overhead" for
+/// handling negative numbers).
+pub fn product_signed_repr(
+    builder: &mut CircuitBuilder,
+    x: &SignedInt,
+    y: &SignedInt,
+) -> Result<Repr> {
+    let pp = product_repr(builder, x.pos(), y.pos())?;
+    let pn = product_repr(builder, x.pos(), y.neg())?;
+    let np = product_repr(builder, x.neg(), y.pos())?;
+    let nn = product_repr(builder, x.neg(), y.neg())?;
+    let mut out = pp;
+    out.add(&pn.scale(-1)?);
+    out.add(&np.scale(-1)?);
+    out.add(&nn);
+    Ok(out)
+}
+
+/// Signed three-factor product: expands `(x⁺−x⁻)(y⁺−y⁻)(z⁺−z⁻)` into eight unsigned
+/// products (the expression displayed in the paper's "Negative numbers" paragraph),
+/// costing `8·m³` gates in depth 1.
+pub fn product3_signed_repr(
+    builder: &mut CircuitBuilder,
+    x: &SignedInt,
+    y: &SignedInt,
+    z: &SignedInt,
+) -> Result<Repr> {
+    let mut out = Repr::zero();
+    let xs = [(x.pos(), 1i64), (x.neg(), -1)];
+    let ys = [(y.pos(), 1i64), (y.neg(), -1)];
+    let zs = [(z.pos(), 1i64), (z.neg(), -1)];
+    for &(xu, sx) in &xs {
+        for &(yu, sy) in &ys {
+            for &(zu, sz) in &zs {
+                let r = product3_repr(builder, xu, yu, zu)?;
+                out.add(&r.scale(sx * sy * sz)?);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A wire that is 1 iff the unsigned product `x·y` is *used* nowhere — helper macro
+/// removed; kept private module-level tests below exercise the public API instead.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{product3_gate_count, product_gate_count, repr_to_signed, InputAllocator};
+
+    #[test]
+    fn two_factor_product_is_exact_and_depth_1() {
+        let mut alloc = InputAllocator::new();
+        let x = alloc.alloc_uint(4);
+        let y = alloc.alloc_uint(3);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let before = b.num_gates();
+        let p = product_repr(&mut b, &x, &y).unwrap();
+        assert_eq!(
+            (b.num_gates() - before) as u64,
+            product_gate_count(4, 3)
+        );
+        let c = {
+            b.mark_output(Wire::One);
+            b.build()
+        };
+        assert_eq!(c.depth(), 1);
+        let mut bits = vec![false; c.num_inputs()];
+        for xv in 0..16u64 {
+            for yv in 0..8u64 {
+                x.assign(xv, &mut bits).unwrap();
+                y.assign(yv, &mut bits).unwrap();
+                let ev = c.evaluate(&bits).unwrap();
+                assert_eq!(p.value(&bits, &ev), (xv * yv) as i128);
+            }
+        }
+    }
+
+    #[test]
+    fn three_factor_product_is_exact() {
+        let mut alloc = InputAllocator::new();
+        let x = alloc.alloc_uint(3);
+        let y = alloc.alloc_uint(3);
+        let z = alloc.alloc_uint(2);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let before = b.num_gates();
+        let p = product3_repr(&mut b, &x, &y, &z).unwrap();
+        assert_eq!(
+            (b.num_gates() - before) as u64,
+            product3_gate_count(3, 3, 2)
+        );
+        b.mark_output(Wire::One);
+        let c = b.build();
+        assert_eq!(c.depth(), 1);
+        let mut bits = vec![false; c.num_inputs()];
+        for xv in 0..8u64 {
+            for yv in 0..8u64 {
+                for zv in 0..4u64 {
+                    x.assign(xv, &mut bits).unwrap();
+                    y.assign(yv, &mut bits).unwrap();
+                    z.assign(zv, &mut bits).unwrap();
+                    let ev = c.evaluate(&bits).unwrap();
+                    assert_eq!(p.value(&bits, &ev), (xv * yv * zv) as i128);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signed_two_factor_product() {
+        let mut alloc = InputAllocator::new();
+        let x = alloc.alloc_signed(4);
+        let y = alloc.alloc_signed(4);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let p = product_signed_repr(&mut b, &x, &y).unwrap();
+        b.mark_output(Wire::One);
+        let c = b.build();
+        assert_eq!(c.depth(), 1);
+        let mut bits = vec![false; c.num_inputs()];
+        for xv in [-15i64, -7, -1, 0, 3, 15] {
+            for yv in [-15i64, -2, 0, 1, 8, 15] {
+                x.assign(xv, &mut bits).unwrap();
+                y.assign(yv, &mut bits).unwrap();
+                let ev = c.evaluate(&bits).unwrap();
+                assert_eq!(p.value(&bits, &ev), (xv * yv) as i128, "x={xv} y={yv}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_three_factor_product() {
+        let mut alloc = InputAllocator::new();
+        let x = alloc.alloc_signed(3);
+        let y = alloc.alloc_signed(3);
+        let z = alloc.alloc_signed(3);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let p = product3_signed_repr(&mut b, &x, &y, &z).unwrap();
+        b.mark_output(Wire::One);
+        let c = b.build();
+        assert_eq!(c.depth(), 1);
+        let mut bits = vec![false; c.num_inputs()];
+        for xv in [-7i64, -3, 0, 2, 7] {
+            for yv in [-7i64, 0, 5, 7] {
+                for zv in [-7i64, -1, 0, 6] {
+                    x.assign(xv, &mut bits).unwrap();
+                    y.assign(yv, &mut bits).unwrap();
+                    z.assign(zv, &mut bits).unwrap();
+                    let ev = c.evaluate(&bits).unwrap();
+                    assert_eq!(p.value(&bits, &ev), (xv * yv * zv) as i128);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn product_then_binarisation_composes() {
+        // Compute x*y as a representation, then turn it into a signed binary number:
+        // total depth 1 + 2 = 3.
+        let mut alloc = InputAllocator::new();
+        let x = alloc.alloc_signed(4);
+        let y = alloc.alloc_signed(4);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let p = product_signed_repr(&mut b, &x, &y).unwrap();
+        let n = repr_to_signed(&mut b, &p).unwrap();
+        n.mark_as_outputs(&mut b);
+        let c = b.build();
+        assert_eq!(c.depth(), 3);
+        let mut bits = vec![false; c.num_inputs()];
+        for (xv, yv) in [(-12i64, 13i64), (7, -7), (15, 15), (-15, -15), (0, 9)] {
+            x.assign(xv, &mut bits).unwrap();
+            y.assign(yv, &mut bits).unwrap();
+            let ev = c.evaluate(&bits).unwrap();
+            assert_eq!(n.value(&bits, &ev), xv * yv);
+        }
+    }
+
+    #[test]
+    fn oversized_widths_are_rejected() {
+        let mut alloc = InputAllocator::new();
+        let x = alloc.alloc_uint(30);
+        let y = alloc.alloc_uint(30);
+        let z = alloc.alloc_uint(30);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        assert!(matches!(
+            product3_repr(&mut b, &x, &y, &z),
+            Err(ArithError::BoundTooWide { .. })
+        ));
+        // Two factors of 30 bits are fine (60 <= 62).
+        assert!(product_repr(&mut b, &x, &y).is_ok());
+    }
+
+    #[test]
+    fn zero_width_factor_gives_zero_product() {
+        let mut alloc = InputAllocator::new();
+        let x = alloc.alloc_uint(0);
+        let y = alloc.alloc_uint(4);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let p = product_repr(&mut b, &x, &y).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(b.num_gates(), 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Converting a *representation* (weighted sum of bits) into binary digits in depth 2.
+//!
+//! This is the workhorse of the whole construction: it is Lemma 3.2 of the paper,
+//! generalised — exactly as the paper's Lemma 4.6 requires — to summands that are
+//! themselves representations rather than binary numbers.
+
+use crate::analysis::{plan_bits, residue_bound_of_weights, BitPlan};
+use crate::number::{Repr, SignedInt, UInt};
+use crate::{kth_most_significant_bit, ArithError, Result};
+use tc_circuit::{CircuitBuilder, Wire};
+
+/// Computes the binary digits of a **nonnegative** value given as a representation
+/// `s = Σ_t w_t·x_t` (an integer-weighted sum of wires), in depth 2.
+///
+/// The construction follows the proof of Lemma 3.2:
+///
+/// * the `j`-th least significant bit of `s` only depends on `s mod 2^j`, which equals
+///   `s_j mod 2^j` where `s_j` is obtained by reducing every weight modulo `2^j`
+///   (in the paper's formulation, "ignoring all but the least significant `j` bits" of
+///   each summand);
+/// * `s_j` is a nonnegative weighted sum of bits bounded by the sum of the residues, so
+///   its `j`-th bit — which equals the `j`-th bit of `s` — is extracted with one
+///   Lemma 3.1 instance of width `l_j = bits(bound_j)` and index `k_j = l_j − j + 1`.
+///
+/// Every output bit is produced by an independent depth-2 block, so the whole conversion
+/// adds depth 2 regardless of the value's width.  For `n` binary summands of `b` bits
+/// with weights of magnitude at most `w` this emits `O(w·b·n)` gates (Lemma 3.2's bound);
+/// the exact count is given by
+/// [`repr_to_binary_gate_count`](crate::repr_to_binary_gate_count).
+///
+/// # Correctness requirement
+///
+/// The *value* of the representation must be nonnegative for every reachable input
+/// (weights may still be negative).  The constructions in this crate guarantee this by
+/// splitting signed quantities into `x⁺`/`x⁻` parts before conversion.
+pub fn repr_to_binary(builder: &mut CircuitBuilder, repr: &Repr) -> Result<UInt> {
+    let max_value = repr.max_value();
+    if max_value <= 0 {
+        // The value is identically zero (no positive weights and nonnegative by
+        // contract): a zero-width number.
+        return Ok(UInt::from_wires(Vec::new()));
+    }
+    let out_bits = crate::analysis::bits_of(max_value as u128);
+    if out_bits > 62 {
+        return Err(ArithError::BoundTooWide {
+            required_bits: out_bits,
+        });
+    }
+
+    let weights: Vec<i64> = repr.terms().iter().map(|&(_, w)| w).collect();
+    let plans = plan_bits(out_bits, |j| residue_bound_of_weights(&weights, j));
+
+    let mut const_zero: Option<Wire> = None;
+    let mut bits = Vec::with_capacity(out_bits as usize);
+    for (idx, plan) in plans.iter().enumerate() {
+        let j = idx as u32 + 1;
+        match *plan {
+            BitPlan::ConstantZero => {
+                let zero = *const_zero.get_or_insert_with(|| {
+                    // A gate that never fires: 0·1 >= 1 is false.
+                    builder
+                        .add_gate([(Wire::One, 0)], 1)
+                        .expect("constant gate construction cannot fail")
+                });
+                bits.push(zero);
+            }
+            BitPlan::Lemma31 { l, k } => {
+                let modulus = 1i128 << j;
+                let terms: Vec<(Wire, i64)> = repr
+                    .terms()
+                    .iter()
+                    .filter_map(|&(wire, w)| {
+                        let r = (w as i128).rem_euclid(modulus);
+                        if r == 0 {
+                            None
+                        } else {
+                            Some((wire, r as i64))
+                        }
+                    })
+                    .collect();
+                let bit = kth_most_significant_bit(builder, &terms, l, k)?;
+                bits.push(bit);
+            }
+        }
+    }
+    Ok(UInt::from_wires(bits))
+}
+
+/// Converts a signed representation into a [`SignedInt`] by splitting its terms by
+/// weight sign and binarising the two nonnegative halves independently (each with
+/// [`repr_to_binary`]), in depth 2.
+///
+/// This mirrors the paper's treatment of negative numbers: `s = s⁺ − s⁻` where `s⁺`
+/// collects the positively-weighted terms and `s⁻` the (negated) negatively-weighted
+/// terms.
+pub fn repr_to_signed(builder: &mut CircuitBuilder, repr: &Repr) -> Result<SignedInt> {
+    let mut pos_terms = Vec::new();
+    let mut neg_terms = Vec::new();
+    for &(wire, w) in repr.terms() {
+        if w > 0 {
+            pos_terms.push((wire, w));
+        } else if w < 0 {
+            neg_terms.push((wire, -w));
+        }
+    }
+    let pos = repr_to_binary(builder, &Repr::from_terms(pos_terms))?;
+    let neg = repr_to_binary(builder, &Repr::from_terms(neg_terms))?;
+    Ok(SignedInt::new(pos, neg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{repr_to_binary_gate_count, InputAllocator};
+
+    #[test]
+    fn binarises_sum_of_two_numbers_exhaustively() {
+        let mut alloc = InputAllocator::new();
+        let x = alloc.alloc_uint(4);
+        let y = alloc.alloc_uint(4);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let repr = x.to_repr().plus(&y.to_repr());
+        let before = b.num_gates();
+        let sum = repr_to_binary(&mut b, &repr).unwrap();
+        let emitted = b.num_gates() - before;
+        let weights: Vec<i64> = repr.terms().iter().map(|&(_, w)| w).collect();
+        assert_eq!(emitted as u64, repr_to_binary_gate_count(&weights));
+        sum.mark_as_outputs(&mut b);
+        let c = b.build();
+        assert_eq!(c.depth(), 2, "conversion must be depth 2");
+        assert_eq!(sum.width(), 5);
+
+        let mut bits = vec![false; c.num_inputs()];
+        for xv in 0..16u64 {
+            for yv in 0..16u64 {
+                x.assign(xv, &mut bits).unwrap();
+                y.assign(yv, &mut bits).unwrap();
+                let ev = c.evaluate(&bits).unwrap();
+                assert_eq!(sum.value(&bits, &ev), xv + yv, "x={xv} y={yv}");
+            }
+        }
+    }
+
+    #[test]
+    fn binarises_weighted_sum_with_large_weights() {
+        let mut alloc = InputAllocator::new();
+        let x = alloc.alloc_uint(3);
+        let y = alloc.alloc_uint(3);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        // 5x + 11y, max = 5*7 + 11*7 = 112 < 128.
+        let repr = x.to_repr().scale(5).unwrap().plus(&y.to_repr().scale(11).unwrap());
+        let sum = repr_to_binary(&mut b, &repr).unwrap();
+        sum.mark_as_outputs(&mut b);
+        let c = b.build();
+        let mut bits = vec![false; c.num_inputs()];
+        for xv in 0..8u64 {
+            for yv in 0..8u64 {
+                x.assign(xv, &mut bits).unwrap();
+                y.assign(yv, &mut bits).unwrap();
+                let ev = c.evaluate(&bits).unwrap();
+                assert_eq!(sum.value(&bits, &ev), 5 * xv + 11 * yv);
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_sign_weights_are_correct_when_value_is_nonnegative() {
+        // s = 3x - 2y with x 3-bit and y constrained so that s >= 0 in the tested range.
+        let mut alloc = InputAllocator::new();
+        let x = alloc.alloc_uint(3);
+        let y = alloc.alloc_uint(2);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let repr = x.to_repr().scale(3).unwrap().plus(&y.to_repr().scale(-2).unwrap());
+        let sum = repr_to_binary(&mut b, &repr).unwrap();
+        sum.mark_as_outputs(&mut b);
+        let c = b.build();
+        let mut bits = vec![false; c.num_inputs()];
+        for xv in 0..8i64 {
+            for yv in 0..4i64 {
+                if 3 * xv - 2 * yv < 0 {
+                    continue;
+                }
+                x.assign(xv as u64, &mut bits).unwrap();
+                y.assign(yv as u64, &mut bits).unwrap();
+                let ev = c.evaluate(&bits).unwrap();
+                assert_eq!(sum.value(&bits, &ev) as i64, 3 * xv - 2 * yv);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_valued_representation_yields_zero_width() {
+        let mut b = CircuitBuilder::new(0);
+        let out = repr_to_binary(&mut b, &Repr::zero()).unwrap();
+        assert_eq!(out.width(), 0);
+        assert_eq!(b.num_gates(), 0);
+    }
+
+    #[test]
+    fn sparse_weights_produce_constant_zero_bits() {
+        // A single summand with weight 8: bits 1..3 are constant zero, bit 4 mirrors x.
+        let mut alloc = InputAllocator::new();
+        let x = alloc.alloc_bit();
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let out = repr_to_binary(&mut b, &Repr::from_terms(vec![(x, 8)])).unwrap();
+        out.mark_as_outputs(&mut b);
+        let c = b.build();
+        assert_eq!(out.width(), 4);
+        let ev = c.evaluate(&[true]).unwrap();
+        assert_eq!(out.value(&[true], &ev), 8);
+        let ev = c.evaluate(&[false]).unwrap();
+        assert_eq!(out.value(&[false], &ev), 0);
+    }
+
+    #[test]
+    fn signed_conversion_roundtrip() {
+        let mut alloc = InputAllocator::new();
+        let x = alloc.alloc_signed(4);
+        let y = alloc.alloc_signed(4);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        // r = x - 2y as a signed representation.
+        let repr = x.to_repr().plus(&y.to_repr().scale(-2).unwrap());
+        let out = repr_to_signed(&mut b, &repr).unwrap();
+        out.mark_as_outputs(&mut b);
+        let c = b.build();
+        assert_eq!(c.depth(), 2);
+        let mut bits = vec![false; c.num_inputs()];
+        for xv in [-15i64, -3, 0, 7, 15] {
+            for yv in [-15i64, -1, 0, 2, 15] {
+                x.assign(xv, &mut bits).unwrap();
+                y.assign(yv, &mut bits).unwrap();
+                let ev = c.evaluate(&bits).unwrap();
+                assert_eq!(out.value(&bits, &ev), xv - 2 * yv, "x={xv} y={yv}");
+            }
+        }
+    }
+
+    #[test]
+    fn too_wide_bound_is_rejected() {
+        let mut alloc = InputAllocator::new();
+        let x = alloc.alloc_bit();
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let huge = Repr::from_terms(vec![(x, i64::MAX / 2), (Wire::One, i64::MAX / 2)]);
+        assert!(matches!(
+            repr_to_binary(&mut b, &huge),
+            Err(ArithError::BoundTooWide { .. })
+        ));
+    }
+}

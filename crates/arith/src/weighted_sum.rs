@@ -1,0 +1,184 @@
+//! Lemma 3.2: integer-weighted sums of numbers, unsigned and signed.
+
+use crate::number::{Repr, SignedInt, UInt};
+use crate::to_binary::repr_to_binary;
+use crate::{ArithError, Result};
+use tc_circuit::CircuitBuilder;
+
+/// Lemma 3.2: computes the binary digits of `s = Σ_i w_i·z_i` for nonnegative binary
+/// numbers `z_i`, in depth 2 with `O(w·b·n)` gates.
+///
+/// The caller must guarantee that the sum is nonnegative for every reachable input (the
+/// paper's assumption `s ≥ 0`); with mixed-sign weights this is the caller's
+/// responsibility, with nonnegative weights it holds automatically.
+pub fn weighted_sum_to_binary(
+    builder: &mut CircuitBuilder,
+    summands: &[(&UInt, i64)],
+) -> Result<UInt> {
+    if summands.is_empty() {
+        return Err(ArithError::EmptyOperands);
+    }
+    let mut repr = Repr::zero();
+    for &(z, w) in summands {
+        repr.add(&z.to_repr().scale(w)?);
+    }
+    repr_to_binary(builder, &repr)
+}
+
+/// The signed workhorse: computes `s = Σ_i w_i·x_i` for signed numbers
+/// `x_i = x_i⁺ − x_i⁻`, returning the result in the same `s = s⁺ − s⁻` encoding, in
+/// depth 2.
+///
+/// Following the paper's "Negative numbers" paragraph, the positive part collects
+/// `Σ_{w_i>0} w_i·x_i⁺ + Σ_{w_i<0} (−w_i)·x_i⁻` and the negative part the complementary
+/// terms; both are nonnegative weighted sums and are binarised independently (and in
+/// parallel, so the depth is still 2).
+pub fn weighted_sum_signed(
+    builder: &mut CircuitBuilder,
+    summands: &[(&SignedInt, i64)],
+) -> Result<SignedInt> {
+    if summands.is_empty() {
+        return Err(ArithError::EmptyOperands);
+    }
+    let mut pos = Repr::zero();
+    let mut neg = Repr::zero();
+    for &(x, w) in summands {
+        if w == 0 {
+            continue;
+        }
+        if w > 0 {
+            pos.add(&x.pos().to_repr().scale(w)?);
+            neg.add(&x.neg().to_repr().scale(w)?);
+        } else {
+            pos.add(&x.neg().to_repr().scale(-w)?);
+            neg.add(&x.pos().to_repr().scale(-w)?);
+        }
+    }
+    let pos_bits = repr_to_binary(builder, &pos)?;
+    let neg_bits = repr_to_binary(builder, &neg)?;
+    Ok(SignedInt::new(pos_bits, neg_bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{weighted_sum_gate_count, InputAllocator};
+
+    #[test]
+    fn unsigned_sum_of_three_numbers() {
+        let mut alloc = InputAllocator::new();
+        let xs = alloc.alloc_uint_vec(3, 4);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let summands: Vec<(&UInt, i64)> = xs.iter().map(|x| (x, 1i64)).collect();
+        let s = weighted_sum_to_binary(&mut b, &summands).unwrap();
+        s.mark_as_outputs(&mut b);
+        let c = b.build();
+        assert_eq!(c.depth(), 2);
+        let mut bits = vec![false; c.num_inputs()];
+        for (a, bb, cc) in [(0u64, 0, 0), (15, 15, 15), (7, 8, 9), (1, 2, 4), (13, 0, 5)] {
+            xs[0].assign(a, &mut bits).unwrap();
+            xs[1].assign(bb, &mut bits).unwrap();
+            xs[2].assign(cc, &mut bits).unwrap();
+            let ev = c.evaluate(&bits).unwrap();
+            assert_eq!(s.value(&bits, &ev), a + bb + cc);
+        }
+    }
+
+    #[test]
+    fn gate_count_matches_parametric_formula_for_unit_weights() {
+        for n in [2usize, 4, 7] {
+            for width in [3usize, 6] {
+                let mut alloc = InputAllocator::new();
+                let xs = alloc.alloc_uint_vec(n, width);
+                let mut b = CircuitBuilder::new(alloc.num_inputs());
+                let summands: Vec<(&UInt, i64)> = xs.iter().map(|x| (x, 1i64)).collect();
+                let before = b.num_gates();
+                let _ = weighted_sum_to_binary(&mut b, &summands).unwrap();
+                assert_eq!(
+                    (b.num_gates() - before) as u64,
+                    weighted_sum_gate_count(n as u128, width as u32),
+                    "n={n} width={width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn signed_sum_matches_host_arithmetic() {
+        let mut alloc = InputAllocator::new();
+        let xs = alloc.alloc_signed_vec(3, 5);
+        let weights = [3i64, -2, 1];
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let summands: Vec<(&SignedInt, i64)> =
+            xs.iter().zip(weights).map(|(x, w)| (x, w)).collect();
+        let s = weighted_sum_signed(&mut b, &summands).unwrap();
+        s.mark_as_outputs(&mut b);
+        let c = b.build();
+        assert_eq!(c.depth(), 2);
+        let mut bits = vec![false; c.num_inputs()];
+        let cases = [
+            [0i64, 0, 0],
+            [31, -31, 31],
+            [-31, 31, -31],
+            [5, 7, -9],
+            [-17, -1, 23],
+        ];
+        for vals in cases {
+            for (x, v) in xs.iter().zip(vals) {
+                x.assign(v, &mut bits).unwrap();
+            }
+            let expected: i64 = vals.iter().zip(weights).map(|(v, w)| v * w).sum();
+            let ev = c.evaluate(&bits).unwrap();
+            assert_eq!(s.value(&bits, &ev), expected, "vals={vals:?}");
+        }
+    }
+
+    #[test]
+    fn zero_weights_are_skipped() {
+        let mut alloc = InputAllocator::new();
+        let xs = alloc.alloc_signed_vec(2, 3);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let s = weighted_sum_signed(&mut b, &[(&xs[0], 0), (&xs[1], 2)]).unwrap();
+        s.mark_as_outputs(&mut b);
+        let c = b.build();
+        let mut bits = vec![false; c.num_inputs()];
+        xs[0].assign(7, &mut bits).unwrap();
+        xs[1].assign(-3, &mut bits).unwrap();
+        let ev = c.evaluate(&bits).unwrap();
+        assert_eq!(s.value(&bits, &ev), -6);
+    }
+
+    #[test]
+    fn empty_summand_lists_are_rejected() {
+        let mut b = CircuitBuilder::new(0);
+        assert!(matches!(
+            weighted_sum_to_binary(&mut b, &[]),
+            Err(ArithError::EmptyOperands)
+        ));
+        assert!(matches!(
+            weighted_sum_signed(&mut b, &[]),
+            Err(ArithError::EmptyOperands)
+        ));
+    }
+
+    /// Chaining two depth-2 sums yields depth 4 — the depth accounting composes.
+    #[test]
+    fn chained_sums_compose_depth() {
+        let mut alloc = InputAllocator::new();
+        let xs = alloc.alloc_signed_vec(4, 3);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let s1 = weighted_sum_signed(&mut b, &[(&xs[0], 1), (&xs[1], 1)]).unwrap();
+        let s2 = weighted_sum_signed(&mut b, &[(&xs[2], 1), (&xs[3], 1)]).unwrap();
+        let total = weighted_sum_signed(&mut b, &[(&s1, 1), (&s2, -1)]).unwrap();
+        total.mark_as_outputs(&mut b);
+        let c = b.build();
+        assert_eq!(c.depth(), 4);
+        let mut bits = vec![false; c.num_inputs()];
+        let vals = [5i64, -2, 7, 7];
+        for (x, v) in xs.iter().zip(vals) {
+            x.assign(v, &mut bits).unwrap();
+        }
+        let ev = c.evaluate(&bits).unwrap();
+        assert_eq!(total.value(&bits, &ev), (5 - 2) - (7 + 7));
+    }
+}

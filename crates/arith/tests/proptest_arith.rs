@@ -1,0 +1,121 @@
+//! Property-based tests for the TC0 arithmetic constructions: the circuits must agree
+//! with host-side integer arithmetic on arbitrary inputs.
+
+use proptest::prelude::*;
+use tc_arith::{
+    product3_signed_repr, product_signed_repr, repr_to_signed, threshold_of_repr,
+    weighted_sum_signed, InputAllocator, Repr, SignedInt,
+};
+use tc_circuit::CircuitBuilder;
+
+const BITS: usize = 8;
+
+fn signed_range() -> std::ops::RangeInclusive<i64> {
+    -(1i64 << BITS) + 1..=(1i64 << BITS) - 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 3.2 (signed): a weighted sum circuit computes Σ w_i·x_i exactly.
+    #[test]
+    fn weighted_sum_matches_host(
+        values in prop::collection::vec(signed_range(), 1..6),
+        weights in prop::collection::vec(-9i64..10, 1..6),
+    ) {
+        let n = values.len().min(weights.len());
+        let values = &values[..n];
+        let weights = &weights[..n];
+
+        let mut alloc = InputAllocator::new();
+        let xs = alloc.alloc_signed_vec(n, BITS);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let summands: Vec<(&SignedInt, i64)> =
+            xs.iter().zip(weights.iter().copied()).collect();
+        let s = weighted_sum_signed(&mut b, &summands).unwrap();
+        s.mark_as_outputs(&mut b);
+        let c = b.build();
+        prop_assert!(c.depth() <= 2);
+
+        let mut bits = vec![false; c.num_inputs()];
+        for (x, &v) in xs.iter().zip(values) {
+            x.assign(v, &mut bits).unwrap();
+        }
+        let ev = c.evaluate(&bits).unwrap();
+        let expected: i64 = values.iter().zip(weights).map(|(v, w)| v * w).sum();
+        prop_assert_eq!(s.value(&bits, &ev), expected);
+    }
+
+    /// Lemma 3.3 (signed, two factors) followed by binarisation equals the host product.
+    #[test]
+    fn product_matches_host(x in signed_range(), y in signed_range()) {
+        let mut alloc = InputAllocator::new();
+        let xa = alloc.alloc_signed(BITS);
+        let ya = alloc.alloc_signed(BITS);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let p = product_signed_repr(&mut b, &xa, &ya).unwrap();
+        let n = repr_to_signed(&mut b, &p).unwrap();
+        n.mark_as_outputs(&mut b);
+        let c = b.build();
+        prop_assert_eq!(c.depth(), 3);
+
+        let mut bits = vec![false; c.num_inputs()];
+        xa.assign(x, &mut bits).unwrap();
+        ya.assign(y, &mut bits).unwrap();
+        let ev = c.evaluate(&bits).unwrap();
+        prop_assert_eq!(n.value(&bits, &ev), x * y);
+    }
+
+    /// Lemma 3.3 (three factors) + final comparison: the depth-2 "is x·y·z >= τ" circuit
+    /// answers correctly.
+    #[test]
+    fn triple_product_threshold(x in -63i64..64, y in -63i64..64, z in -63i64..64,
+                                tau in -1000i64..1000) {
+        let mut alloc = InputAllocator::new();
+        let xa = alloc.alloc_signed(6);
+        let ya = alloc.alloc_signed(6);
+        let za = alloc.alloc_signed(6);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let p = product3_signed_repr(&mut b, &xa, &ya, &za).unwrap();
+        let out = threshold_of_repr(&mut b, &p, tau).unwrap();
+        b.mark_output(out);
+        let c = b.build();
+        prop_assert_eq!(c.depth(), 2);
+
+        let mut bits = vec![false; c.num_inputs()];
+        xa.assign(x, &mut bits).unwrap();
+        ya.assign(y, &mut bits).unwrap();
+        za.assign(z, &mut bits).unwrap();
+        let ev = c.evaluate(&bits).unwrap();
+        prop_assert_eq!(ev.outputs()[0], x * y * z >= tau);
+    }
+
+    /// Linear combinations of representations remain exact through scaling and addition
+    /// followed by re-binarisation (this is the pattern used at every level of the
+    /// recursion trees).
+    #[test]
+    fn repr_linear_algebra_roundtrip(
+        values in prop::collection::vec(signed_range(), 2..5),
+        coeffs in prop::collection::vec(-3i64..4, 2..5),
+    ) {
+        let n = values.len().min(coeffs.len());
+        let mut alloc = InputAllocator::new();
+        let xs = alloc.alloc_signed_vec(n, BITS);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let mut combined = Repr::zero();
+        for (x, &cf) in xs.iter().zip(&coeffs[..n]) {
+            combined.add(&x.to_repr().scale(cf).unwrap());
+        }
+        let out = repr_to_signed(&mut b, &combined).unwrap();
+        out.mark_as_outputs(&mut b);
+        let c = b.build();
+
+        let mut bits = vec![false; c.num_inputs()];
+        for (x, &v) in xs.iter().zip(&values[..n]) {
+            x.assign(v, &mut bits).unwrap();
+        }
+        let ev = c.evaluate(&bits).unwrap();
+        let expected: i64 = values[..n].iter().zip(&coeffs[..n]).map(|(v, cf)| v * cf).sum();
+        prop_assert_eq!(out.value(&bits, &ev), expected);
+    }
+}

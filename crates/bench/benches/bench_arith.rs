@@ -1,0 +1,100 @@
+//! Criterion benches for the Section 3 arithmetic blocks (Lemmas 3.1–3.3): circuit
+//! construction and end-to-end evaluation cost as the operand parameters grow.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tc_arith::{
+    kth_most_significant_bit, product3_signed_repr, weighted_sum_to_binary, InputAllocator,
+};
+use tc_circuit::{CircuitBuilder, Wire};
+
+/// Lemma 3.1: construction cost of the k-th most-significant-bit circuit.
+fn bench_lemma_3_1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma_3_1_kth_bit");
+    for k in [4u32, 8, 12] {
+        let l = 16u32;
+        group.bench_with_input(BenchmarkId::new("build", k), &k, |bench, &k| {
+            bench.iter(|| {
+                let mut b = CircuitBuilder::new(16);
+                let terms: Vec<(Wire, i64)> =
+                    (0..16).map(|i| (Wire::input(i), 1i64 << (i % 8))).collect();
+                let out = kth_most_significant_bit(&mut b, &terms, l, k).unwrap();
+                b.mark_output(out);
+                b.build()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Lemma 3.2: construction + evaluation of a weighted sum of n 8-bit numbers.
+fn bench_lemma_3_2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma_3_2_weighted_sum");
+    for n in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("build", n), &n, |bench, &n| {
+            bench.iter(|| {
+                let mut alloc = InputAllocator::new();
+                let operands = alloc.alloc_uint_vec(n, 8);
+                let mut b = CircuitBuilder::new(alloc.num_inputs());
+                let summands: Vec<_> = operands
+                    .iter()
+                    .enumerate()
+                    .map(|(i, z)| (z, 1 + (i % 7) as i64))
+                    .collect();
+                let sum = weighted_sum_to_binary(&mut b, &summands).unwrap();
+                sum.mark_as_outputs(&mut b);
+                b.build()
+            });
+        });
+        // Evaluation on a pre-built circuit.
+        let mut alloc = InputAllocator::new();
+        let operands = alloc.alloc_uint_vec(n, 8);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let summands: Vec<_> = operands
+            .iter()
+            .enumerate()
+            .map(|(i, z)| (z, 1 + (i % 7) as i64))
+            .collect();
+        let sum = weighted_sum_to_binary(&mut b, &summands).unwrap();
+        sum.mark_as_outputs(&mut b);
+        let circuit = b.build();
+        let mut bits = vec![false; circuit.num_inputs()];
+        for (i, z) in operands.iter().enumerate() {
+            z.assign((i as u64 * 37) % 256, &mut bits).unwrap();
+        }
+        group.bench_with_input(BenchmarkId::new("evaluate", n), &n, |bench, _| {
+            bench.iter(|| circuit.evaluate(&bits).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Lemma 3.3: the three-factor signed product representation.
+fn bench_lemma_3_3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma_3_3_product3");
+    for m in [4usize, 8, 12] {
+        group.bench_with_input(BenchmarkId::new("build", m), &m, |bench, &m| {
+            bench.iter(|| {
+                let mut alloc = InputAllocator::new();
+                let x = alloc.alloc_signed(m);
+                let y = alloc.alloc_signed(m);
+                let z = alloc.alloc_signed(m);
+                let mut b = CircuitBuilder::new(alloc.num_inputs());
+                let repr = product3_signed_repr(&mut b, &x, &y, &z).unwrap();
+                (b.build(), repr.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench_lemma_3_1, bench_lemma_3_2, bench_lemma_3_3
+}
+criterion_main!(benches);

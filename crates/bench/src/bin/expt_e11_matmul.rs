@@ -1,0 +1,155 @@
+//! E11 — Theorems 4.8 and 4.9: threshold circuits for the full matrix product `C = AB`.
+//!
+//! Theorem 4.9: for any positive integer `d` there is a depth-`(4d + 1)` threshold
+//! circuit computing the product of two `N × N` integer matrices with `O(log N)`-bit
+//! entries using `Õ(d·N^{ω + cγ^d})` gates.  Theorem 4.8 is the `O(log log N)`-depth,
+//! `Õ(N^ω)`-gate variant.
+//!
+//! This experiment:
+//!
+//! * materialises Theorem 4.9 circuits across `N` and `d`, checks the product against
+//!   the naive host-side product on random matrices, and verifies the `4d + 1` depth
+//!   bound (the depth is `4t + 1` where `t ≤ d` is the number of selected levels);
+//! * does the same for the Theorem 4.8 schedule;
+//! * compares materialised gate counts with the naive definition-based matmul circuit;
+//! * uses the analytic model (both tree phases plus the product layer) to locate the
+//!   crossover `N` beyond which the subcubic circuit uses fewer gates than the naive
+//!   circuit, for each `d`.
+//!
+//! Run with `cargo run --release -p tcmm-bench --bin expt_e11_matmul`.
+
+use fast_matmul::{BilinearAlgorithm, SparsityProfile};
+use tcmm_bench::{banner, f, workload_matrix, Table};
+use tcmm_core::{
+    analysis::{naive_matmul_gate_count, theorem_4_5_exponent, tree_phase_cost},
+    matmul::MatmulCircuit,
+    naive::NaiveMatmulCircuit,
+    tree::TreeKind,
+    CircuitConfig, LevelSchedule,
+};
+
+/// Analytic proxy for the total gate count of the Theorem 4.9 circuit: both leaf
+/// phases (T_A and T_B), the bottom-up T_AB phase, plus one product gate group per
+/// scalar product (Lemma 3.3: O(b²) gates per product with b-bit leaf scalars).
+fn analytic_matmul_gates(
+    alg: &BilinearAlgorithm,
+    n: usize,
+    entry_bits: u32,
+    schedule: &LevelSchedule,
+) -> u128 {
+    let a_phase = tree_phase_cost(alg, TreeKind::OverA, n, entry_bits, schedule).total_gates;
+    let b_phase = tree_phase_cost(alg, TreeKind::OverB, n, entry_bits, schedule).total_gates;
+    let c_phase = tree_phase_cost(alg, TreeKind::OverCTransposed, n, entry_bits, schedule).total_gates;
+    let leaves = (alg.r() as u128).pow(schedule.total_levels());
+    let leaf_bits = entry_bits as u128 + (schedule.total_levels() as u128) * 2 + 1;
+    let product_gates = leaves * leaf_bits * leaf_bits;
+    a_phase + b_phase + c_phase + product_gates
+}
+
+fn main() {
+    println!("E11: Theorems 4.8/4.9 — threshold circuits for the matrix product C = AB");
+    let strassen = BilinearAlgorithm::strassen();
+    let profile = SparsityProfile::of(&strassen);
+
+    banner("materialised Theorem 4.9 circuits (Strassen)");
+    // Materialised instances are kept small (N ≤ 4 at 3-bit entries, N = 8 at binary
+    // entries): the constant-depth circuits trade depth for fan-in, so even N = 8 with
+    // 3-bit entries means hundreds of millions of wire connections — the growth the
+    // analytic table below quantifies.
+    let mut t = Table::new([
+        "N",
+        "entry bits",
+        "d",
+        "selected levels",
+        "gates",
+        "naive-circuit gates",
+        "depth",
+        "4d + 1",
+        "within bound",
+        "product correct",
+    ]);
+    for &(n, bits, d) in &[(2usize, 3usize, 1u32), (4, 3, 1), (4, 3, 2), (4, 3, 3), (8, 1, 2)] {
+        let config = CircuitConfig::new(strassen.clone(), bits);
+        let mm = MatmulCircuit::theorem_4_9(&config, n, d).unwrap();
+        let naive = NaiveMatmulCircuit::new(&config, n).unwrap();
+        let magnitude = (1i64 << bits) - 1;
+        let a = workload_matrix(n, magnitude, 3 * n as u64 + d as u64);
+        let b = workload_matrix(n, magnitude, 5 * n as u64 + d as u64);
+        let c = mm.evaluate(&a, &b).unwrap();
+        let ok = c == a.multiply_naive(&b).unwrap();
+        let stats = mm.stats();
+        t.row([
+            n.to_string(),
+            bits.to_string(),
+            d.to_string(),
+            format!("{:?}", mm.schedule().levels()),
+            stats.size.to_string(),
+            naive.circuit().num_gates().to_string(),
+            stats.depth.to_string(),
+            (4 * d + 1).to_string(),
+            (stats.depth <= 4 * d + 1).to_string(),
+            ok.to_string(),
+        ]);
+    }
+    t.print();
+
+    banner("materialised Theorem 4.8 (log log N depth) circuits");
+    let config = CircuitConfig::new(strassen.clone(), 3);
+    let mut t = Table::new(["N", "selected levels", "gates", "depth", "product correct"]);
+    for n in [2usize, 4] {
+        let mm = MatmulCircuit::theorem_4_8(&config, n).unwrap();
+        let a = workload_matrix(n, 3, 7 * n as u64);
+        let b = workload_matrix(n, 3, 9 * n as u64);
+        let ok = mm.evaluate(&a, &b).unwrap() == a.multiply_naive(&b).unwrap();
+        t.row([
+            n.to_string(),
+            format!("{:?}", mm.schedule().levels()),
+            mm.circuit().num_gates().to_string(),
+            mm.circuit().depth().to_string(),
+            ok.to_string(),
+        ]);
+    }
+    t.print();
+
+    banner("analytic gate counts: Theorem 4.9 versus the naive circuit (8-bit entries)");
+    let entry_bits = 8u32;
+    let mut t = Table::new([
+        "N",
+        "naive circuit",
+        "d=2",
+        "d=3",
+        "d=4",
+        "d=5",
+        "best / naive",
+    ]);
+    for exp in [4u32, 6, 8, 10, 12, 14] {
+        let n = 1usize << exp;
+        let naive = naive_matmul_gate_count(n as u64, entry_bits);
+        let mut cells = vec![n.to_string(), naive.to_string()];
+        let mut best = u128::MAX;
+        for d in 2..=5u32 {
+            let schedule = LevelSchedule::for_theorem_4_5(&profile, exp, d).unwrap();
+            let gates = analytic_matmul_gates(&strassen, n, entry_bits, &schedule);
+            best = best.min(gates);
+            cells.push(gates.to_string());
+        }
+        cells.push(f(best as f64 / naive as f64));
+        t.row(cells);
+    }
+    t.print();
+    println!(
+        "the crossover — the first N where the subcubic circuit beats the naive circuit —\n\
+         is where the last column drops below 1."
+    );
+
+    banner("exponent summary (what the analytic model is converging to)");
+    let mut t = Table::new(["d", "depth 4d+1", "gate exponent omega + c*gamma^d"]);
+    for d in 1..=8u32 {
+        t.row([
+            d.to_string(),
+            (4 * d + 1).to_string(),
+            f(theorem_4_5_exponent(&profile, d)),
+        ]);
+    }
+    t.print();
+}

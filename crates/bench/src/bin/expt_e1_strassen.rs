@@ -1,0 +1,125 @@
+//! E1 — Figure 1 and the Section 2.1 recurrence.
+//!
+//! Reproduces the quantitative content of Figure 1 (Strassen's ⟨2,2,2;7⟩ recipe) and of
+//! Section 2.1: the recipe is verified against the matrix-multiplication tensor, the
+//! recurrence `T(N) = 7·T(N/2) + 18·(N/2)²` is evaluated, the number of scalar
+//! multiplications `7^{log₂ N} = N^{log₂ 7}` is confirmed by actually running the
+//! recursive algorithm with an operation counter, and the recursive product is checked
+//! against the naive product on random integer matrices.
+//!
+//! Run with `cargo run --release -p tcmm-bench --bin expt_e1_strassen`.
+
+use fast_matmul::{
+    opcount, recursive::multiply_recursive_counting, BilinearAlgorithm, SparsityProfile,
+};
+use tcmm_bench::{banner, f, workload_matrix, Table};
+
+fn main() {
+    println!("E1: Strassen's algorithm (Figure 1) and the Section 2.1 operation counts");
+
+    banner("recipe verification");
+    let mut verified = Table::new(["recipe", "T", "r", "omega", "verified"]);
+    for alg in [
+        BilinearAlgorithm::strassen(),
+        BilinearAlgorithm::winograd(),
+        BilinearAlgorithm::naive(2),
+        BilinearAlgorithm::strassen().tensor_power(2).unwrap(),
+    ] {
+        verified.row([
+            alg.name().to_string(),
+            alg.t().to_string(),
+            alg.r().to_string(),
+            f(alg.omega()),
+            alg.verify().is_ok().to_string(),
+        ]);
+    }
+    verified.print();
+
+    banner("sparsity constants used throughout the paper (Definition 2.1)");
+    let strassen = BilinearAlgorithm::strassen();
+    let profile = SparsityProfile::of(&strassen);
+    let mut constants = Table::new(["quantity", "value", "paper"]);
+    constants.row(["s_A".to_string(), profile.s_a.to_string(), "12".to_string()]);
+    constants.row(["s_B".to_string(), profile.s_b.to_string(), "12".to_string()]);
+    constants.row(["s_C".to_string(), profile.s_c.to_string(), "12".to_string()]);
+    constants.row(["alpha = r/s_A".to_string(), f(profile.alpha()), "7/12 ≈ 0.5833".to_string()]);
+    constants.row(["beta  = s_A/T^2".to_string(), f(profile.beta()), "3".to_string()]);
+    constants.row(["gamma = log_beta(1/alpha)".to_string(), f(profile.gamma()), "≈ 0.491".to_string()]);
+    constants.row([
+        "c = log_T(alpha*beta)/(1-gamma)".to_string(),
+        f(profile.c_constant()),
+        "≈ 1.585".to_string(),
+    ]);
+    constants.print();
+
+    banner("T(N) = 7·T(N/2) + 18·(N/2)^2 versus the naive algorithm");
+    let mut ops = Table::new([
+        "N",
+        "levels",
+        "strassen mults",
+        "strassen adds",
+        "strassen total",
+        "naive total",
+        "ratio",
+    ]);
+    for levels in 1..=16u32 {
+        let n = 1u128 << levels;
+        let fast = opcount::recursive_op_count(&strassen, levels);
+        let naive = opcount::naive_op_count(n);
+        ops.row([
+            n.to_string(),
+            levels.to_string(),
+            fast.multiplications.to_string(),
+            fast.additions.to_string(),
+            fast.total().to_string(),
+            naive.total().to_string(),
+            f(fast.total() as f64 / naive.total() as f64),
+        ]);
+    }
+    ops.print();
+    match opcount::crossover_size(&strassen, 40) {
+        Some(n) => println!("first N (power of two) with strassen total ops < naive: N = {n}"),
+        None => println!("no crossover within the explored range"),
+    }
+
+    banner("measured operation counts and correctness of the recursive implementation");
+    let mut measured = Table::new([
+        "N",
+        "measured mults",
+        "N^(log2 7)",
+        "measured adds",
+        "matches naive product",
+    ]);
+    for levels in 1..=7u32 {
+        let n = 1usize << levels;
+        let a = workload_matrix(n, 4, 11 + levels as u64);
+        let b = workload_matrix(n, 4, 97 + levels as u64);
+        let (c, count) = multiply_recursive_counting(&strassen, &a, &b, 1).unwrap();
+        let reference = a.multiply_naive(&b).unwrap();
+        measured.row([
+            n.to_string(),
+            count.multiplications.to_string(),
+            7u64.pow(levels).to_string(),
+            count.additions.to_string(),
+            (c == reference).to_string(),
+        ]);
+    }
+    measured.print();
+
+    banner("one application of the 2x2 recipe (Figure 1 worked symbolically)");
+    // Apply the recipe once to a 2x2 product and print the M_i structure sizes.
+    let mut fig1 = Table::new(["product", "#A blocks (a_i)", "#B blocks (b_i)", "#C uses (c_i)"]);
+    for i in 0..strassen.r() {
+        fig1.row([
+            format!("M{}", i + 1),
+            profile.a[i].to_string(),
+            profile.b[i].to_string(),
+            profile.c[i].to_string(),
+        ]);
+    }
+    fig1.print();
+    println!(
+        "column sums: s_A = {}, s_B = {}, s_C = {} (Definition 2.1)",
+        profile.s_a, profile.s_b, profile.s_c
+    );
+}

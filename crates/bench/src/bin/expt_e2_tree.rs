@@ -1,0 +1,106 @@
+//! E2 — Figure 2 (the recursion tree `T_A`) and Equation (3).
+//!
+//! The paper's Figure 2 shows the `r`-ary tree `T_A` whose level-`h` nodes are
+//! `N/T^h × N/T^h` matrices, each a weighted sum of blocks of `A`; the key identity
+//! (Equation 3) is that for a node `v` at level `h_{i-1}`, the total number of blocks
+//! appearing over all its level-`h_i` descendants is exactly `s_A^{δ}` with
+//! `δ = h_i − h_{i-1}`.
+//!
+//! This experiment enumerates the tree explicitly (via the path-coefficient expansion
+//! used by the circuit generators) and verifies the identity for Strassen, Strassen²
+//! and Strassen–Winograd, for the `T_A`, `T_B` and (transposed) `T_C` coefficient
+//! tables, and it prints the per-level node counts and block-sum totals of Figure 2.
+//!
+//! Run with `cargo run --release -p tcmm-bench --bin expt_e2_tree`.
+
+use fast_matmul::{BilinearAlgorithm, SparsityProfile};
+use tcmm_bench::{banner, Table};
+use tcmm_core::tree::{coefficient_table, path_block_coefficients, TreeKind};
+
+/// Sum over all depth-`delta` paths of the number of distinct blocks in the expansion.
+fn total_blocks(alg: &BilinearAlgorithm, kind: TreeKind, delta: u32) -> u128 {
+    let table = coefficient_table(alg, kind);
+    path_block_coefficients(&table, alg.t(), delta)
+        .iter()
+        .map(|path| path.len() as u128)
+        .sum()
+}
+
+fn expected(s: usize, delta: u32) -> u128 {
+    (s as u128).pow(delta)
+}
+
+fn main() {
+    println!("E2: the recursion tree T_A of Figure 2 and Equation (3)");
+
+    for alg in [
+        BilinearAlgorithm::strassen(),
+        BilinearAlgorithm::winograd(),
+        BilinearAlgorithm::strassen().tensor_power(2).unwrap(),
+    ] {
+        let profile = SparsityProfile::of(&alg);
+        banner(&format!(
+            "{} (T = {}, r = {}, s_A = {}, s_B = {}, s_C = {})",
+            alg.name(),
+            alg.t(),
+            alg.r(),
+            profile.s_a,
+            profile.s_b,
+            profile.s_c
+        ));
+
+        let max_delta = if alg.r() > 40 { 3 } else { 6 };
+        let mut t = Table::new([
+            "delta",
+            "paths (r^delta)",
+            "sum size(u) over T_A",
+            "s_A^delta",
+            "T_B sum",
+            "s_B^delta",
+            "T_C sum",
+            "s_C^delta",
+            "all match",
+        ]);
+        for delta in 1..=max_delta {
+            let a_sum = total_blocks(&alg, TreeKind::OverA, delta);
+            let b_sum = total_blocks(&alg, TreeKind::OverB, delta);
+            let c_sum = total_blocks(&alg, TreeKind::OverCTransposed, delta);
+            let ea = expected(profile.s_a, delta);
+            let eb = expected(profile.s_b, delta);
+            let ec = expected(profile.s_c, delta);
+            t.row([
+                delta.to_string(),
+                (alg.r() as u128).pow(delta).to_string(),
+                a_sum.to_string(),
+                ea.to_string(),
+                b_sum.to_string(),
+                eb.to_string(),
+                c_sum.to_string(),
+                ec.to_string(),
+                (a_sum == ea && b_sum == eb && c_sum == ec).to_string(),
+            ]);
+        }
+        t.print();
+    }
+
+    banner("Figure 2 worked example: the level-2 node (A12 - A22)12 - (A12 - A22)22");
+    // Following the edge M7 (A12 - A22) then the edge M1 pattern of the figure: the
+    // second-level node is a weighted sum of 4 blocks of A, matching the figure text.
+    let strassen = BilinearAlgorithm::strassen();
+    let table = coefficient_table(&strassen, TreeKind::OverA);
+    let paths = path_block_coefficients(&table, strassen.t(), 2);
+    // Paths are ordered lexicographically with the first step most significant:
+    // path index = i1 * r + i2 for edges M_{i1+1}, M_{i2+1}.  The figure's node is the
+    // M7 child of the M7 child of the root (the A-pattern of M7 is X12 − X22).
+    let idx = 6 * strassen.r() + 6; // M7 then M7
+    let expansion = &paths[idx];
+    println!("path M7 -> M7 expands into {} blocks of A:", expansion.len());
+    let mut t = Table::new(["block row", "block col", "coefficient"]);
+    for &(bi, bj, w) in expansion {
+        t.row([bi.to_string(), bj.to_string(), w.to_string()]);
+    }
+    t.print();
+    println!(
+        "(the paper's Figure 2 text: \"(A12 − A22)12 − (A12 − A22)22 ... is a weighted sum of 4 blocks\")"
+    );
+}

@@ -1,0 +1,111 @@
+//! E3 — Lemma 3.1: the k-th most significant bit of a weighted sum of bits.
+//!
+//! The lemma states that for an integer-weighted sum `s = Σ wᵢxᵢ ∈ [0, 2^l)` of bits,
+//! the k-th most significant bit of `s` is computable by a depth-2 threshold circuit
+//! with `2^k + 1` gates.  This experiment builds those circuits, verifies them
+//! exhaustively against direct arithmetic for every input assignment, and confirms the
+//! gate count and depth formulas for a sweep of `k` and `l`.
+//!
+//! Run with `cargo run --release -p tcmm-bench --bin expt_e3_lemma31`.
+
+use tc_arith::{kth_bit_gate_count, kth_most_significant_bit};
+use tc_circuit::{CircuitBuilder, Wire};
+use tcmm_bench::{banner, Table};
+
+/// Builds the Lemma 3.1 circuit for the weighted sum described by `weights` and checks
+/// it exhaustively.  Returns (gates, depth, all_correct).
+fn check(weights: &[i64], l: u32, k: u32) -> (usize, u32, bool) {
+    let n = weights.len();
+    let mut builder = CircuitBuilder::new(n);
+    let terms: Vec<(Wire, i64)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| (Wire::input(i), w))
+        .collect();
+    let out = kth_most_significant_bit(&mut builder, &terms, l, k).unwrap();
+    builder.mark_output(out);
+    let circuit = builder.build();
+
+    let mut all_correct = true;
+    for assignment in 0u64..(1u64 << n) {
+        let bits: Vec<bool> = (0..n).map(|i| (assignment >> i) & 1 == 1).collect();
+        let s: i64 = bits
+            .iter()
+            .zip(weights)
+            .map(|(&b, &w)| if b { w } else { 0 })
+            .sum();
+        let expected = if (0..(1i64 << l)).contains(&s) {
+            // k-th most significant bit of an l-bit number = bit (l - k) counting from 0.
+            (s >> (l - k)) & 1 == 1
+        } else {
+            // The lemma's circuit outputs 0 whenever s is outside [0, 2^l).
+            false
+        };
+        let got = circuit.evaluate(&bits).unwrap().outputs()[0];
+        if got != expected {
+            all_correct = false;
+        }
+    }
+    (circuit.num_gates(), circuit.depth(), all_correct)
+}
+
+fn main() {
+    println!("E3: Lemma 3.1 — k-th most significant bit in depth 2 with 2^k + 1 gates");
+
+    banner("unit-weight sums (s = x_1 + ... + x_n)");
+    let mut t = Table::new(["n", "l", "k", "gates", "2^k + 1", "depth", "exhaustive check"]);
+    for n in [3usize, 5, 7, 10] {
+        let weights = vec![1i64; n];
+        let l = (n as f64).log2().ceil() as u32 + 1;
+        for k in 1..=l {
+            let (gates, depth, ok) = check(&weights, l, k);
+            t.row([
+                n.to_string(),
+                l.to_string(),
+                k.to_string(),
+                gates.to_string(),
+                (2u64.pow(k) + 1).to_string(),
+                depth.to_string(),
+                ok.to_string(),
+            ]);
+        }
+    }
+    t.print();
+
+    banner("general integer weights");
+    let mut t = Table::new(["weights", "l", "k", "gates", "2^k + 1", "depth", "exhaustive check"]);
+    let weight_sets: &[&[i64]] = &[
+        &[1, 2, 4, 8],
+        &[3, 5, 7],
+        &[1, 1, 2, 3, 5, 8],
+        &[6, -1, 4, -2, 9], // mixed signs: the circuit must still report bits of s when s >= 0
+    ];
+    for weights in weight_sets {
+        let max_sum: i64 = weights.iter().filter(|&&w| w > 0).sum();
+        let l = 64 - (max_sum.max(1) as u64).leading_zeros();
+        for k in [1, 2, l] {
+            let (gates, depth, ok) = check(weights, l, k);
+            t.row([
+                format!("{weights:?}"),
+                l.to_string(),
+                k.to_string(),
+                gates.to_string(),
+                (2u64.pow(k) + 1).to_string(),
+                depth.to_string(),
+                ok.to_string(),
+            ]);
+        }
+    }
+    t.print();
+
+    banner("gate-count model (tc-arith::kth_bit_gate_count)");
+    let mut t = Table::new(["k", "model", "2^k + 1"]);
+    for k in 1..=12u32 {
+        t.row([
+            k.to_string(),
+            kth_bit_gate_count(k).to_string(),
+            (2u64.pow(k) + 1).to_string(),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,133 @@
+//! E4 — Lemma 3.2: all bits of an integer-weighted sum of b-bit numbers.
+//!
+//! The lemma states that `s = Σ wᵢzᵢ` (n nonnegative b-bit summands, |wᵢ| ≤ w, s ≥ 0)
+//! can be computed — all of its bits — by a depth-2 threshold circuit with `O(w·b·n)`
+//! gates.  This experiment builds the circuits for sweeps of `n`, `b` and `w`, checks
+//! them against direct arithmetic on random inputs, reports measured gate counts, and
+//! fits the scaling in each parameter while the others are held fixed (the fitted
+//! log-log slopes should be ≈ 1, i.e. linear in n, in b and in w).
+//!
+//! Run with `cargo run --release -p tcmm-bench --bin expt_e4_lemma32`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tc_arith::{weighted_sum_signed, weighted_sum_to_binary, InputAllocator};
+use tc_circuit::CircuitBuilder;
+use tcmm_core::analysis::log_log_slope;
+use tcmm_bench::{banner, f, Table};
+
+/// Builds the Lemma 3.2 circuit for `count` unsigned `bits`-bit summands with weights
+/// drawn from `[1, max_weight]`, evaluates it on `trials` random assignments, and
+/// returns (gates, depth, all_correct).
+fn check_unsigned(
+    count: usize,
+    bits: usize,
+    max_weight: i64,
+    trials: usize,
+    seed: u64,
+) -> (usize, u32, bool) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<i64> = (0..count).map(|_| rng.gen_range(1..=max_weight)).collect();
+
+    let mut alloc = InputAllocator::new();
+    let operands = alloc.alloc_uint_vec(count, bits);
+    let mut builder = CircuitBuilder::new(alloc.num_inputs());
+    let summands: Vec<_> = operands.iter().zip(&weights).map(|(z, &w)| (z, w)).collect();
+    let sum = weighted_sum_to_binary(&mut builder, &summands).unwrap();
+    sum.mark_as_outputs(&mut builder);
+    let circuit = builder.build();
+
+    let mut ok = true;
+    for _ in 0..trials {
+        let values: Vec<u64> = (0..count).map(|_| rng.gen_range(0..(1u64 << bits))).collect();
+        let mut input_bits = vec![false; circuit.num_inputs()];
+        for (z, &v) in operands.iter().zip(&values) {
+            z.assign(v, &mut input_bits).unwrap();
+        }
+        let ev = circuit.evaluate(&input_bits).unwrap();
+        let expected: i128 = values
+            .iter()
+            .zip(&weights)
+            .map(|(&v, &w)| v as i128 * w as i128)
+            .sum();
+        if sum.value(&input_bits, &ev) as i128 != expected {
+            ok = false;
+        }
+    }
+    (circuit.num_gates(), circuit.depth(), ok)
+}
+
+fn main() {
+    println!("E4: Lemma 3.2 — weighted sums of b-bit numbers in depth 2 with O(w·b·n) gates");
+
+    banner("sweep over n (number of summands), b = 4, weights in [1, 8]");
+    let mut points = Vec::new();
+    let mut t = Table::new(["n", "gates", "depth", "correct (64 random trials)"]);
+    for n in [2usize, 4, 8, 16, 32, 64, 128] {
+        let (gates, depth, ok) = check_unsigned(n, 4, 8, 64, 1000 + n as u64);
+        points.push((n as f64, gates as f64));
+        t.row([n.to_string(), gates.to_string(), depth.to_string(), ok.to_string()]);
+    }
+    t.print();
+    println!("fitted log-log slope in n: {} (Lemma 3.2 predicts ≈ 1)", f(log_log_slope(&points)));
+
+    banner("sweep over b (bits per summand), n = 16, weights in [1, 8]");
+    let mut points = Vec::new();
+    let mut t = Table::new(["b", "gates", "depth", "correct (64 random trials)"]);
+    for b in [1usize, 2, 4, 8, 12, 16] {
+        let (gates, depth, ok) = check_unsigned(16, b, 8, 64, 2000 + b as u64);
+        points.push((b as f64, gates as f64));
+        t.row([b.to_string(), gates.to_string(), depth.to_string(), ok.to_string()]);
+    }
+    t.print();
+    println!("fitted log-log slope in b: {} (Lemma 3.2 predicts ≈ 1)", f(log_log_slope(&points)));
+
+    banner("sweep over w (maximum weight), n = 16, b = 4");
+    let mut points = Vec::new();
+    let mut t = Table::new(["w", "gates", "depth", "correct (64 random trials)"]);
+    for w in [1i64, 2, 4, 8, 16, 32, 64] {
+        let (gates, depth, ok) = check_unsigned(16, 4, w, 64, 3000 + w as u64);
+        points.push((w as f64, gates as f64));
+        t.row([w.to_string(), gates.to_string(), depth.to_string(), ok.to_string()]);
+    }
+    t.print();
+    println!("fitted log-log slope in w: {} (Lemma 3.2 predicts ≈ 1)", f(log_log_slope(&points)));
+
+    banner("signed extension (x = x⁺ − x⁻, Section 3 'Negative numbers')");
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut t = Table::new(["n", "b", "gates", "depth", "correct (64 random trials)"]);
+    for &(n, b) in &[(4usize, 3usize), (8, 4), (16, 5), (32, 6)] {
+        let weights: Vec<i64> = (0..n).map(|_| rng.gen_range(-8..=8i64).max(-8)).collect();
+        let mut alloc = InputAllocator::new();
+        let operands = alloc.alloc_signed_vec(n, b);
+        let mut builder = CircuitBuilder::new(alloc.num_inputs());
+        let summands: Vec<_> = operands.iter().zip(&weights).map(|(z, &w)| (z, w)).collect();
+        let sum = weighted_sum_signed(&mut builder, &summands).unwrap();
+        sum.mark_as_outputs(&mut builder);
+        let circuit = builder.build();
+
+        let mut ok = true;
+        for _ in 0..64 {
+            let values: Vec<i64> = (0..n)
+                .map(|_| rng.gen_range(-(1i64 << b) + 1..(1i64 << b)))
+                .collect();
+            let mut input_bits = vec![false; circuit.num_inputs()];
+            for (z, &v) in operands.iter().zip(&values) {
+                z.assign(v, &mut input_bits).unwrap();
+            }
+            let ev = circuit.evaluate(&input_bits).unwrap();
+            let expected: i64 = values.iter().zip(&weights).map(|(&v, &w)| v * w).sum();
+            if sum.value(&input_bits, &ev) != expected {
+                ok = false;
+            }
+        }
+        t.row([
+            n.to_string(),
+            b.to_string(),
+            circuit.num_gates().to_string(),
+            circuit.depth().to_string(),
+            ok.to_string(),
+        ]);
+    }
+    t.print();
+}

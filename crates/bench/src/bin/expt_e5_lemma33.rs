@@ -1,0 +1,188 @@
+//! E5 — Lemma 3.3: depth-1 representations of products.
+//!
+//! The lemma: a *representation* (integer-weighted sum of binary wires) of the product
+//! of three m-bit nonnegative integers is computable by a depth-1 threshold circuit
+//! with `m³` gates (the two-factor version needs `m²` gates).  The signed extension
+//! costs a constant factor (8× for three factors, 4× for two).
+//!
+//! This experiment builds the product circuits for a sweep of m, confirms the exact
+//! gate counts and depth 1, and exhaustively (small m) or randomly (larger m) verifies
+//! the represented value against direct arithmetic, for both the unsigned and the
+//! signed constructions.
+//!
+//! Run with `cargo run --release -p tcmm-bench --bin expt_e5_lemma33`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tc_arith::{
+    product3_repr, product3_signed_repr, product_repr, product_signed_repr, InputAllocator,
+};
+use tc_circuit::CircuitBuilder;
+use tcmm_bench::{banner, Table};
+
+fn main() {
+    println!("E5: Lemma 3.3 — depth-1 product representations (m² and m³ gates)");
+
+    banner("two-factor unsigned products (m² gates, depth 1)");
+    let mut t = Table::new(["m", "gates", "m^2", "depth", "check"]);
+    for m in [1usize, 2, 3, 4, 6, 8] {
+        let mut alloc = InputAllocator::new();
+        let x = alloc.alloc_uint(m);
+        let y = alloc.alloc_uint(m);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let repr = product_repr(&mut b, &x, &y).unwrap();
+        let circuit = b.build();
+
+        let mut ok = true;
+        let exhaustive = m <= 4;
+        let mut rng = StdRng::seed_from_u64(m as u64);
+        let cases: Vec<(u64, u64)> = if exhaustive {
+            (0..(1u64 << m))
+                .flat_map(|a| (0..(1u64 << m)).map(move |c| (a, c)))
+                .collect()
+        } else {
+            (0..256).map(|_| (rng.gen_range(0..(1u64 << m)), rng.gen_range(0..(1u64 << m)))).collect()
+        };
+        for (vx, vy) in cases {
+            let mut bits = vec![false; circuit.num_inputs()];
+            x.assign(vx, &mut bits).unwrap();
+            y.assign(vy, &mut bits).unwrap();
+            let ev = circuit.evaluate(&bits).unwrap();
+            if repr.value(&bits, &ev) != (vx * vy) as i128 {
+                ok = false;
+            }
+        }
+        t.row([
+            m.to_string(),
+            circuit.num_gates().to_string(),
+            (m * m).to_string(),
+            circuit.depth().to_string(),
+            if exhaustive { format!("exhaustive: {ok}") } else { format!("256 random: {ok}") },
+        ]);
+    }
+    t.print();
+
+    banner("three-factor unsigned products (m³ gates, depth 1)");
+    let mut t = Table::new(["m", "gates", "m^3", "depth", "check"]);
+    for m in [1usize, 2, 3, 4, 6, 8] {
+        let mut alloc = InputAllocator::new();
+        let x = alloc.alloc_uint(m);
+        let y = alloc.alloc_uint(m);
+        let z = alloc.alloc_uint(m);
+        let mut b = CircuitBuilder::new(alloc.num_inputs());
+        let repr = product3_repr(&mut b, &x, &y, &z).unwrap();
+        let circuit = b.build();
+
+        let mut ok = true;
+        let exhaustive = m <= 3;
+        let mut rng = StdRng::seed_from_u64(100 + m as u64);
+        let cases: Vec<(u64, u64, u64)> = if exhaustive {
+            (0..(1u64 << m))
+                .flat_map(|a| {
+                    (0..(1u64 << m))
+                        .flat_map(move |c| (0..(1u64 << m)).map(move |d| (a, c, d)))
+                })
+                .collect()
+        } else {
+            (0..256)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..(1u64 << m)),
+                        rng.gen_range(0..(1u64 << m)),
+                        rng.gen_range(0..(1u64 << m)),
+                    )
+                })
+                .collect()
+        };
+        for (vx, vy, vz) in cases {
+            let mut bits = vec![false; circuit.num_inputs()];
+            x.assign(vx, &mut bits).unwrap();
+            y.assign(vy, &mut bits).unwrap();
+            z.assign(vz, &mut bits).unwrap();
+            let ev = circuit.evaluate(&bits).unwrap();
+            if repr.value(&bits, &ev) != (vx as i128) * (vy as i128) * (vz as i128) {
+                ok = false;
+            }
+        }
+        t.row([
+            m.to_string(),
+            circuit.num_gates().to_string(),
+            (m * m * m).to_string(),
+            circuit.depth().to_string(),
+            if exhaustive { format!("exhaustive: {ok}") } else { format!("256 random: {ok}") },
+        ]);
+    }
+    t.print();
+
+    banner("signed products (x = x⁺ − x⁻; 4·m² and 8·m³ gates)");
+    let mut t = Table::new(["factors", "m", "gates", "bound", "depth", "check (256 random)"]);
+    let mut rng = StdRng::seed_from_u64(424242);
+    for m in [2usize, 3, 4, 6] {
+        // Two factors.
+        {
+            let mut alloc = InputAllocator::new();
+            let x = alloc.alloc_signed(m);
+            let y = alloc.alloc_signed(m);
+            let mut b = CircuitBuilder::new(alloc.num_inputs());
+            let repr = product_signed_repr(&mut b, &x, &y).unwrap();
+            let circuit = b.build();
+            let mut ok = true;
+            for _ in 0..256 {
+                let vx = rng.gen_range(-(1i64 << m) + 1..(1i64 << m));
+                let vy = rng.gen_range(-(1i64 << m) + 1..(1i64 << m));
+                let mut bits = vec![false; circuit.num_inputs()];
+                x.assign(vx, &mut bits).unwrap();
+                y.assign(vy, &mut bits).unwrap();
+                let ev = circuit.evaluate(&bits).unwrap();
+                if repr.value(&bits, &ev) != (vx * vy) as i128 {
+                    ok = false;
+                }
+            }
+            t.row([
+                "2".to_string(),
+                m.to_string(),
+                circuit.num_gates().to_string(),
+                (4 * m * m).to_string(),
+                circuit.depth().to_string(),
+                ok.to_string(),
+            ]);
+        }
+        // Three factors.
+        {
+            let mut alloc = InputAllocator::new();
+            let x = alloc.alloc_signed(m);
+            let y = alloc.alloc_signed(m);
+            let z = alloc.alloc_signed(m);
+            let mut b = CircuitBuilder::new(alloc.num_inputs());
+            let repr = product3_signed_repr(&mut b, &x, &y, &z).unwrap();
+            let circuit = b.build();
+            let mut ok = true;
+            for _ in 0..256 {
+                let vx = rng.gen_range(-(1i64 << m) + 1..(1i64 << m));
+                let vy = rng.gen_range(-(1i64 << m) + 1..(1i64 << m));
+                let vz = rng.gen_range(-(1i64 << m) + 1..(1i64 << m));
+                let mut bits = vec![false; circuit.num_inputs()];
+                x.assign(vx, &mut bits).unwrap();
+                y.assign(vy, &mut bits).unwrap();
+                z.assign(vz, &mut bits).unwrap();
+                let ev = circuit.evaluate(&bits).unwrap();
+                if repr.value(&bits, &ev) != (vx as i128) * (vy as i128) * (vz as i128) {
+                    ok = false;
+                }
+            }
+            t.row([
+                "3".to_string(),
+                m.to_string(),
+                circuit.num_gates().to_string(),
+                (8 * m * m * m).to_string(),
+                circuit.depth().to_string(),
+                ok.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "note: the measured signed gate counts may be below the 4m²/8m³ bounds because the\n\
+         builder deduplicates structurally identical AND gates across the sign combinations."
+    );
+}

@@ -1,0 +1,94 @@
+//! E6 — the naive depth-2 triangle-threshold circuit of the introduction.
+//!
+//! The paper's Section 1 describes a depth-2 threshold circuit with `C(N,3) + 1` gates
+//! that answers "does the graph have at least τ triangles?": one gate per vertex triple
+//! firing when all three edges are present, plus one output gate comparing the count to
+//! τ.  This experiment builds that circuit for Erdős–Rényi graphs of increasing size,
+//! confirms the gate-count formula and depth, and checks the circuit's answer against
+//! exact host-side triangle counting for a sweep of thresholds τ.
+//!
+//! Run with `cargo run --release -p tcmm-bench --bin expt_e6_naive_triangle`.
+
+use tc_graph::triangles;
+use tcmm_bench::{banner, workload_graph, Table};
+use tcmm_core::naive::{naive_triangle_gate_count, NaiveTriangleCircuit};
+
+fn main() {
+    println!("E6: the naive depth-2 triangle circuit (C(N,3) + 1 gates)");
+
+    banner("gate count and depth versus N");
+    let mut t = Table::new(["N", "gates", "C(N,3)+1", "depth", "edges", "max fan-in"]);
+    for n in [4usize, 8, 12, 16, 24, 32, 48, 64] {
+        let circuit = NaiveTriangleCircuit::new(n, 1).unwrap();
+        let stats = circuit.stats();
+        t.row([
+            n.to_string(),
+            stats.size.to_string(),
+            naive_triangle_gate_count(n as u64).to_string(),
+            stats.depth.to_string(),
+            stats.edges.to_string(),
+            stats.max_fan_in.to_string(),
+        ]);
+    }
+    t.print();
+
+    banner("correctness against exact triangle counting (Erdős–Rényi graphs)");
+    let mut t = Table::new([
+        "N",
+        "p",
+        "triangles",
+        "tau sweep",
+        "circuit answers match exact",
+    ]);
+    for &(n, p) in &[(8usize, 0.5f64), (16, 0.3), (16, 0.6), (32, 0.2), (32, 0.4), (48, 0.15)] {
+        let g = workload_graph(n, p, (n as u64) * 31 + (p * 100.0) as u64);
+        let exact = triangles::count_node_iterator(&g);
+        let adjacency = g.adjacency_matrix();
+        // Sweep τ around the exact count, including the boundary cases.
+        let taus: Vec<i64> = vec![
+            0,
+            1,
+            exact as i64 / 2,
+            exact.saturating_sub(1) as i64,
+            exact as i64,
+            exact as i64 + 1,
+            2 * exact as i64 + 3,
+        ];
+        let mut all_match = true;
+        for &tau in &taus {
+            let circuit = NaiveTriangleCircuit::new(n, tau).unwrap();
+            let answer = circuit.evaluate(&adjacency).unwrap();
+            if answer != (exact as i64 >= tau) {
+                all_match = false;
+            }
+        }
+        t.row([
+            n.to_string(),
+            format!("{p:.2}"),
+            exact.to_string(),
+            format!("{:?}", taus),
+            all_match.to_string(),
+        ]);
+    }
+    t.print();
+
+    banner("structural fixtures (complete graph, cycle, star)");
+    let mut t = Table::new(["graph", "N", "triangles (exact)", "triangles (trace/6)", "match"]);
+    for (name, g) in [
+        ("complete K_8", tc_graph::generators::complete(8)),
+        ("complete K_12", tc_graph::generators::complete(12)),
+        ("cycle C_16", tc_graph::generators::cycle(16)),
+        ("star S_16", tc_graph::generators::star(16)),
+    ] {
+        let exact = triangles::count_node_iterator(&g);
+        let via_trace = triangles::count_via_trace(&g);
+        t.row([
+            name.to_string(),
+            g.num_vertices().to_string(),
+            exact.to_string(),
+            via_trace.to_string(),
+            (exact == via_trace).to_string(),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,123 @@
+//! E8 — Lemma 4.2 / Lemma 4.3 and the schedule ablation of Section 4.2.
+//!
+//! The heart of the paper is *which* levels of the recursion tree to materialise.
+//! Section 4.2 observes that the most natural choices fail:
+//!
+//! * materialising only the leaves costs `Õ(N^{1 + log₂7}) ≈ N^3.81` gates;
+//! * the uniform schedule (every `log_T N / d`-th level) only reaches `ω + 1/d`;
+//! * the geometric schedule `h_i = ⌈(1 − γ^i)·ρ⌉` of Lemma 4.3 balances the per-level
+//!   cost `α^{h_{i−1}}·β^{h_i}·N²` so every selected level costs about `(αβ)^ρ·N²`,
+//!   which is what yields the `ω + c·γ^d` exponent.
+//!
+//! This experiment uses the exact analytic cost model to compare the three schedules at
+//! sizes far beyond materialisation, and it prints the per-level cost breakdown showing
+//! the geometric schedule's balance property.
+//!
+//! Run with `cargo run --release -p tcmm-bench --bin expt_e8_schedule_ablation`.
+
+use fast_matmul::{BilinearAlgorithm, SparsityProfile};
+use tcmm_bench::{banner, f, Table};
+use tcmm_core::{
+    analysis::{log_log_slope, tree_phase_cost},
+    tree::TreeKind,
+    LevelSchedule,
+};
+
+fn main() {
+    println!("E8: level-schedule ablation (leaves-only vs uniform vs geometric)");
+    let strassen = BilinearAlgorithm::strassen();
+    let profile = SparsityProfile::of(&strassen);
+    let entry_bits = 8u32;
+
+    banner("analytic T_A-phase gate counts for the three schedules (Strassen, 8-bit entries)");
+    let d = 3u32;
+    let mut t = Table::new([
+        "N",
+        "leaves only",
+        "uniform (d=3)",
+        "geometric (d=3)",
+        "geometric / uniform",
+    ]);
+    let mut leaves_points = Vec::new();
+    let mut uniform_points = Vec::new();
+    let mut geometric_points = Vec::new();
+    for exp in [4u32, 6, 8, 10, 12, 14] {
+        let n = 1usize << exp;
+        let levels = exp;
+        let leaves = LevelSchedule::single_level(levels).unwrap();
+        let uniform = LevelSchedule::uniform(levels, d.min(levels)).unwrap();
+        let geometric = LevelSchedule::for_theorem_4_5(&profile, levels, d).unwrap();
+        let c_leaves = tree_phase_cost(&strassen, TreeKind::OverA, n, entry_bits, &leaves);
+        let c_uniform = tree_phase_cost(&strassen, TreeKind::OverA, n, entry_bits, &uniform);
+        let c_geometric = tree_phase_cost(&strassen, TreeKind::OverA, n, entry_bits, &geometric);
+        leaves_points.push((n as f64, c_leaves.total_gates as f64));
+        uniform_points.push((n as f64, c_uniform.total_gates as f64));
+        geometric_points.push((n as f64, c_geometric.total_gates as f64));
+        t.row([
+            n.to_string(),
+            c_leaves.total_gates.to_string(),
+            c_uniform.total_gates.to_string(),
+            c_geometric.total_gates.to_string(),
+            f(c_geometric.total_gates as f64 / c_uniform.total_gates as f64),
+        ]);
+    }
+    t.print();
+
+    banner("fitted log-log exponents over the same range");
+    let mut t = Table::new(["schedule", "fitted exponent", "paper's asymptotic claim"]);
+    t.row([
+        "leaves only".to_string(),
+        f(log_log_slope(&leaves_points)),
+        "1 + log2 7 ≈ 3.807 (Section 4.2)".to_string(),
+    ]);
+    t.row([
+        "uniform, d = 3".to_string(),
+        f(log_log_slope(&uniform_points)),
+        format!("omega + 1/d ≈ {:.3} (Theorem 4.1)", profile.omega() + 1.0 / d as f64),
+    ]);
+    t.row([
+        "geometric, d = 3".to_string(),
+        f(log_log_slope(&geometric_points)),
+        format!(
+            "omega + c*gamma^d ≈ {:.3} (Theorem 4.5/4.9)",
+            profile.omega() + profile.c_constant() * profile.gamma().powi(d as i32)
+        ),
+    ]);
+    t.print();
+
+    banner("per-level balance of the geometric schedule (Lemma 4.3), N = 2^12, d = 4");
+    let levels = 12u32;
+    let n = 1usize << levels;
+    let geometric = LevelSchedule::for_theorem_4_5(&profile, levels, 4).unwrap();
+    let cost = tree_phase_cost(&strassen, TreeKind::OverA, n, entry_bits, &geometric);
+    let mut t = Table::new(["selected level h_i", "nodes r^{h_i}", "gates for this level", "share of total"]);
+    for lc in &cost.per_level {
+        t.row([
+            lc.level.to_string(),
+            lc.nodes.to_string(),
+            lc.gates.to_string(),
+            f(lc.gates as f64 / cost.total_gates as f64),
+        ]);
+    }
+    t.print();
+    println!("selected levels: {:?} (h_i = ceil((1 - gamma^i) * rho))", geometric.levels());
+    println!("total gates for the T_A phase: {}", cost.total_gates);
+
+    banner("per-level cost of the uniform schedule for contrast (same N, d = 4)");
+    let uniform = LevelSchedule::uniform(levels, 4).unwrap();
+    let cost_u = tree_phase_cost(&strassen, TreeKind::OverA, n, entry_bits, &uniform);
+    let mut t = Table::new(["selected level h_i", "nodes r^{h_i}", "gates for this level", "share of total"]);
+    for lc in &cost_u.per_level {
+        t.row([
+            lc.level.to_string(),
+            lc.nodes.to_string(),
+            lc.gates.to_string(),
+            f(lc.gates as f64 / cost_u.total_gates as f64),
+        ]);
+    }
+    t.print();
+    println!(
+        "the uniform schedule's last level dominates its cost, while the geometric schedule\n\
+         spreads the cost roughly evenly across levels — exactly the balance Lemma 4.3 engineers."
+    );
+}

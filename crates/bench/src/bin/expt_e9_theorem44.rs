@@ -1,0 +1,121 @@
+//! E9 — Theorem 4.4: `trace(A³) ≥ τ` in depth `O(log log N)` with `Õ(N^ω)` gates.
+//!
+//! Theorem 4.4 chooses `ρ = log_T N` and `t = ⌊log_{1/γ} log_T N⌋ + 1` selected levels,
+//! giving an `O(log log N)`-depth circuit whose gate count grows like `N^ω` up to
+//! polylogarithmic factors.  This experiment:
+//!
+//! * materialises the circuit for graph sizes that fit in memory, checks its answer
+//!   against exact triangle counting for a sweep of τ, and reports measured depth,
+//!   gate count and the schedule that was selected;
+//! * compares the measured number of selected levels with the `⌊log_{1/γ} log_T N⌋ + 1`
+//!   formula;
+//! * uses the analytic model to confirm that the gate-count growth exponent approaches
+//!   `ω ≈ 2.807` (rather than 3) for N up to 2^16.
+//!
+//! Run with `cargo run --release -p tcmm-bench --bin expt_e9_theorem44`.
+
+use fast_matmul::{BilinearAlgorithm, SparsityProfile};
+use tc_graph::triangles;
+use tcmm_bench::{banner, f, workload_graph, Table};
+use tcmm_core::{
+    analysis::{log_log_slope, theorem_4_4_gate_bound, tree_phase_cost},
+    naive::naive_triangle_gate_count,
+    trace::TraceCircuit,
+    tree::TreeKind,
+    CircuitConfig, LevelSchedule,
+};
+
+fn main() {
+    println!("E9: Theorem 4.4 — trace(A^3) >= tau in O(log log N) depth and ~N^omega gates");
+    let strassen = BilinearAlgorithm::strassen();
+    let profile = SparsityProfile::of(&strassen);
+    let config = CircuitConfig::binary(strassen.clone());
+
+    banner("materialised Theorem 4.4 trace circuits on Erdős–Rényi graphs");
+    let mut t = Table::new([
+        "N",
+        "p",
+        "triangles",
+        "selected levels",
+        "t (formula)",
+        "gates",
+        "naive C(N,3)+1",
+        "depth",
+        "answers match exact",
+    ]);
+    for &(n, p) in &[(4usize, 0.7f64), (8, 0.5), (16, 0.3), (16, 0.6)] {
+        let g = workload_graph(n, p, 17 * n as u64);
+        let exact = triangles::trace_of_cube(&g); // = 6 * number of triangles
+        let adjacency = g.adjacency_matrix();
+        let triangles_exact = (exact / 6) as i64;
+
+        // The paper's formula for the number of selected levels.
+        let log_t_n = (n as f64).log2();
+        let t_formula = (log_t_n.ln() / (1.0 / profile.gamma()).ln()).floor() as i64 + 1;
+
+        let mut all_match = true;
+        let mut stats = None;
+        let mut schedule = Vec::new();
+        for tau_triangles in [0i64, 1, triangles_exact / 2, triangles_exact, triangles_exact + 1] {
+            let tau = 6 * tau_triangles; // the circuit compares trace(A^3) with tau
+            let circuit = TraceCircuit::theorem_4_4(&config, n, tau).unwrap();
+            let answer = circuit.evaluate(&adjacency).unwrap();
+            if answer != (exact >= tau as i128) {
+                all_match = false;
+            }
+            schedule = circuit.schedule().levels().to_vec();
+            stats = Some(circuit.stats());
+        }
+        let stats = stats.unwrap();
+        t.row([
+            n.to_string(),
+            format!("{p:.2}"),
+            triangles_exact.to_string(),
+            format!("{:?}", schedule),
+            t_formula.to_string(),
+            stats.size.to_string(),
+            naive_triangle_gate_count(n as u64).to_string(),
+            stats.depth.to_string(),
+            all_match.to_string(),
+        ]);
+    }
+    t.print();
+
+    banner("analytic scaling of the Theorem 4.4 schedule (T_A phase, binary entries)");
+    let mut points = Vec::new();
+    let mut t = Table::new(["N", "selected levels t", "analytic gates", "N^omega", "N^3", "gate bound model"]);
+    for exp in [4u32, 6, 8, 10, 12, 14, 16] {
+        let n = 1usize << exp;
+        let schedule = LevelSchedule::for_theorem_4_4(&profile, exp).unwrap();
+        let cost = tree_phase_cost(&strassen, TreeKind::OverA, n, 1, &schedule);
+        points.push((n as f64, cost.total_gates as f64));
+        t.row([
+            n.to_string(),
+            schedule.num_selected().to_string(),
+            cost.total_gates.to_string(),
+            f((n as f64).powf(profile.omega())),
+            f((n as f64).powi(3)),
+            f(theorem_4_4_gate_bound(&profile, n as f64, 1.0)),
+        ]);
+    }
+    t.print();
+    println!(
+        "fitted log-log exponent of the analytic gate count: {}  (omega = {}, naive = 3)",
+        f(log_log_slope(&points)),
+        f(profile.omega())
+    );
+
+    banner("depth grows like O(log log N)");
+    let mut t = Table::new(["N", "selected levels t", "trace-circuit depth 2t + 2", "log2 log2 N"]);
+    for exp in [4u32, 8, 16, 32, 62] {
+        let schedule = LevelSchedule::for_theorem_4_4(&profile, exp).unwrap();
+        let t_sel = schedule.num_selected() as u32;
+        t.row([
+            format!("2^{exp}"),
+            t_sel.to_string(),
+            (2 * t_sel + 2).to_string(),
+            f((exp as f64).log2()),
+        ]);
+    }
+    t.print();
+}

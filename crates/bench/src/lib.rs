@@ -1,0 +1,161 @@
+//! # tcmm-bench — experiment harness and Criterion benchmarks
+//!
+//! This crate hosts two things:
+//!
+//! * the **Criterion benches** under `benches/` (construction and evaluation speed of
+//!   the arithmetic blocks, the circuit generators, the host-side fast multiplication
+//!   and the graph substrate);
+//! * the **experiment binaries** under `src/bin/` — one `expt_e*` binary per entry of
+//!   the per-experiment index in `DESIGN.md` §4.  Each binary regenerates the table or
+//!   series recorded in `EXPERIMENTS.md` for the corresponding figure, lemma or theorem
+//!   of the paper.
+//!
+//! The library part of the crate only provides small presentation helpers shared by the
+//! experiment binaries: an aligned plain-text [`Table`] writer and a couple of workload
+//! constructors reused across experiments.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use fast_matmul::Matrix;
+use tc_graph::{generators, Graph};
+
+/// A minimal aligned plain-text table writer used by every `expt_e*` binary.
+///
+/// Columns are right-aligned except the first, which is left-aligned.  The output
+/// format is deliberately stable so EXPERIMENTS.md can quote it verbatim.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; the number of cells must match the number of headers.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "table row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows currently in the table.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table to a `String` with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c == 0 {
+                    line.push_str(&format!("{:<width$}", cell, width = widths[c]));
+                } else {
+                    line.push_str(&format!("  {:>width$}", cell, width = widths[c]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Prints a section banner used to separate the parts of an experiment's output.
+pub fn banner(title: &str) {
+    println!();
+    println!("== {} ==", title);
+}
+
+/// Formats a floating-point number with a fixed, compact precision.
+pub fn f(x: f64) -> String {
+    if x.abs() >= 1e6 {
+        format!("{:.3e}", x)
+    } else {
+        format!("{:.4}", x)
+    }
+}
+
+/// A deterministic random square matrix with entries in `[-magnitude, magnitude]`,
+/// shared by the experiments that need "random integer matrices".
+pub fn workload_matrix(n: usize, magnitude: i64, seed: u64) -> Matrix {
+    fast_matmul::random_matrix(n, magnitude, seed)
+}
+
+/// A deterministic Erdős–Rényi graph used by the triangle-counting experiments.
+pub fn workload_graph(n: usize, p: f64, seed: u64) -> Graph {
+    generators::erdos_renyi(n, p, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(["name", "count"]);
+        t.row(["short", "1"]);
+        t.row(["a-much-longer-name", "123456"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Every rendered line has the same width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].contains("123456"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn float_formatter_switches_to_scientific() {
+        assert_eq!(f(1.5), "1.5000");
+        assert!(f(2.0e7).contains('e'));
+    }
+
+    #[test]
+    fn workload_helpers_are_deterministic() {
+        assert_eq!(workload_matrix(8, 3, 7), workload_matrix(8, 3, 7));
+        let g1 = workload_graph(16, 0.3, 5);
+        let g2 = workload_graph(16, 0.3, 5);
+        assert_eq!(g1.num_edges(), g2.num_edges());
+    }
+}

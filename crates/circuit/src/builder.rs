@@ -1,0 +1,316 @@
+//! Checked, incremental construction of threshold circuits.
+
+use crate::{Circuit, CircuitError, Result, ThresholdGate, Wire};
+use std::collections::HashMap;
+
+/// Whether the builder should merge structurally identical gates.
+///
+/// Two gates are structurally identical when they have the same (wire, weight) fan-in
+/// list (order-insensitive; the builder canonicalises by sorting) and the same
+/// threshold.  Deduplication never changes the function computed by the circuit, only
+/// its size, and is disabled by default so that gate counts match the paper's
+/// constructions exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DedupPolicy {
+    /// Keep every gate that is added (paper-faithful gate counts).
+    #[default]
+    KeepDuplicates,
+    /// Return the existing wire when an identical gate has already been added.
+    MergeStructural,
+}
+
+/// Incremental builder for [`Circuit`]s.
+///
+/// The builder enforces the topological-order invariant: a gate can only reference
+/// primary inputs, the constant-one wire, and gates added before it.
+///
+/// ```
+/// use tc_circuit::{CircuitBuilder, Wire};
+/// let mut b = CircuitBuilder::new(2);
+/// let or = b.add_gate([(Wire::input(0), 1), (Wire::input(1), 1)], 1).unwrap();
+/// b.mark_output(or);
+/// let circuit = b.build();
+/// assert_eq!(circuit.num_gates(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitBuilder {
+    num_inputs: usize,
+    gates: Vec<ThresholdGate>,
+    depths: Vec<u32>,
+    outputs: Vec<Wire>,
+    dedup: DedupPolicy,
+    seen: HashMap<(Vec<(Wire, i64)>, i64), u32>,
+}
+
+impl CircuitBuilder {
+    /// Creates a builder for a circuit over `num_inputs` primary inputs.
+    pub fn new(num_inputs: usize) -> Self {
+        CircuitBuilder {
+            num_inputs,
+            gates: Vec::new(),
+            depths: Vec::new(),
+            outputs: Vec::new(),
+            dedup: DedupPolicy::KeepDuplicates,
+            seen: HashMap::new(),
+        }
+    }
+
+    /// Creates a builder with an explicit deduplication policy.
+    pub fn with_dedup(num_inputs: usize, dedup: DedupPolicy) -> Self {
+        CircuitBuilder {
+            dedup,
+            ..CircuitBuilder::new(num_inputs)
+        }
+    }
+
+    /// Number of primary inputs.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of gates added so far.
+    #[inline]
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Depth of the (partial) circuit built so far.
+    #[inline]
+    pub fn current_depth(&self) -> u32 {
+        self.depths.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Depth of an arbitrary wire: 0 for inputs and the constant-one wire, the gate's
+    /// depth for gate wires.
+    pub fn wire_depth(&self, wire: Wire) -> u32 {
+        match wire {
+            Wire::Input(_) | Wire::One => 0,
+            Wire::Gate(i) => self.depths.get(i as usize).copied().unwrap_or(0),
+        }
+    }
+
+    /// Adds a threshold gate with the given fan-in and threshold and returns its output
+    /// wire.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::EmptyFanIn`] if `inputs` is empty;
+    /// * [`CircuitError::DanglingWire`] if any referenced wire does not exist yet;
+    /// * [`CircuitError::DuplicateFanIn`] if the same wire appears twice (callers should
+    ///   combine weights instead).
+    pub fn add_gate<I>(&mut self, inputs: I, threshold: i64) -> Result<Wire>
+    where
+        I: IntoIterator<Item = (Wire, i64)>,
+    {
+        let mut fan_in: Vec<(Wire, i64)> = inputs.into_iter().collect();
+        if fan_in.is_empty() {
+            return Err(CircuitError::EmptyFanIn);
+        }
+        // Canonical order, also used for duplicate detection and structural dedup.
+        fan_in.sort_unstable_by_key(|&(w, _)| w);
+        for pair in fan_in.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(CircuitError::DuplicateFanIn { wire: pair[0].0 });
+            }
+        }
+        let mut depth = 0u32;
+        for &(wire, _) in &fan_in {
+            match wire {
+                Wire::Input(i) => {
+                    if i as usize >= self.num_inputs {
+                        return Err(self.dangling(wire));
+                    }
+                }
+                Wire::Gate(i) => {
+                    if i as usize >= self.gates.len() {
+                        return Err(self.dangling(wire));
+                    }
+                    depth = depth.max(self.depths[i as usize]);
+                }
+                Wire::One => {}
+            }
+        }
+
+        if self.dedup == DedupPolicy::MergeStructural {
+            let key = (fan_in.clone(), threshold);
+            if let Some(&idx) = self.seen.get(&key) {
+                return Ok(Wire::Gate(idx));
+            }
+            let idx = self.push_gate(fan_in, threshold, depth + 1);
+            self.seen.insert(key, idx);
+            Ok(Wire::Gate(idx))
+        } else {
+            let idx = self.push_gate(fan_in, threshold, depth + 1);
+            Ok(Wire::Gate(idx))
+        }
+    }
+
+    /// Adds a gate that combines weighted *wire sums*: convenience wrapper that accepts
+    /// weights accumulated in a map-like slice and merges duplicate wires by summing
+    /// their weights (dropping zero weights).
+    ///
+    /// This is the entry point used by the arithmetic constructions, where the same wire
+    /// naturally appears several times in a linear combination.
+    pub fn add_gate_merged<I>(&mut self, inputs: I, threshold: i64) -> Result<Wire>
+    where
+        I: IntoIterator<Item = (Wire, i64)>,
+    {
+        let mut acc: HashMap<Wire, i64> = HashMap::new();
+        for (w, c) in inputs {
+            *acc.entry(w).or_insert(0) += c;
+        }
+        let merged: Vec<(Wire, i64)> = acc.into_iter().filter(|&(_, c)| c != 0).collect();
+        if merged.is_empty() {
+            // The linear form is identically zero; the gate fires iff 0 >= threshold,
+            // which is a constant.  Represent it with the constant-one wire so the
+            // result is still a valid gate.
+            return self.add_gate([(Wire::One, 0)], threshold);
+        }
+        self.add_gate(merged, threshold)
+    }
+
+    /// Marks a wire as a circuit output.  Outputs may be marked multiple times and in
+    /// any order; they are reported in marking order.
+    pub fn mark_output(&mut self, wire: Wire) {
+        self.outputs.push(wire);
+    }
+
+    /// Marks several output wires at once.
+    pub fn mark_outputs<I: IntoIterator<Item = Wire>>(&mut self, wires: I) {
+        self.outputs.extend(wires);
+    }
+
+    /// Finishes construction and returns the immutable circuit.
+    pub fn build(self) -> Circuit {
+        Circuit::from_parts(self.num_inputs, self.gates, self.outputs, self.depths)
+    }
+
+    fn push_gate(&mut self, fan_in: Vec<(Wire, i64)>, threshold: i64, depth: u32) -> u32 {
+        let idx = self.gates.len() as u32;
+        self.gates.push(ThresholdGate::new(fan_in, threshold));
+        self.depths.push(depth);
+        idx
+    }
+
+    fn dangling(&self, wire: Wire) -> CircuitError {
+        CircuitError::DanglingWire {
+            wire,
+            num_inputs: self.num_inputs,
+            num_gates: self.gates.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_fan_in() {
+        let mut b = CircuitBuilder::new(1);
+        assert_eq!(b.add_gate([], 0).unwrap_err(), CircuitError::EmptyFanIn);
+    }
+
+    #[test]
+    fn rejects_unknown_input_wire() {
+        let mut b = CircuitBuilder::new(2);
+        let err = b.add_gate([(Wire::input(2), 1)], 1).unwrap_err();
+        assert!(matches!(err, CircuitError::DanglingWire { .. }));
+    }
+
+    #[test]
+    fn rejects_forward_gate_reference() {
+        let mut b = CircuitBuilder::new(1);
+        let err = b.add_gate([(Wire::gate(0), 1)], 1).unwrap_err();
+        assert!(matches!(err, CircuitError::DanglingWire { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_wire_in_fan_in() {
+        let mut b = CircuitBuilder::new(1);
+        let err = b
+            .add_gate([(Wire::input(0), 1), (Wire::input(0), 2)], 1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CircuitError::DuplicateFanIn {
+                wire: Wire::input(0)
+            }
+        );
+    }
+
+    #[test]
+    fn merged_gate_combines_weights() {
+        let mut b = CircuitBuilder::new(1);
+        let w = b
+            .add_gate_merged([(Wire::input(0), 1), (Wire::input(0), 2)], 3)
+            .unwrap();
+        let c = {
+            let mut b = b;
+            b.mark_output(w);
+            b.build()
+        };
+        // merged weight 3 with threshold 3: fires iff x = 1.
+        assert_eq!(c.evaluate(&[true]).unwrap().outputs(), &[true]);
+        assert_eq!(c.evaluate(&[false]).unwrap().outputs(), &[false]);
+        assert_eq!(c.gates()[0].fan_in(), 1);
+    }
+
+    #[test]
+    fn merged_gate_with_all_zero_weights_becomes_constant() {
+        let mut b = CircuitBuilder::new(1);
+        let w = b
+            .add_gate_merged([(Wire::input(0), 1), (Wire::input(0), -1)], 0)
+            .unwrap();
+        b.mark_output(w);
+        let c = b.build();
+        // 0 >= 0 is always true.
+        assert_eq!(c.evaluate(&[false]).unwrap().outputs(), &[true]);
+        assert_eq!(c.evaluate(&[true]).unwrap().outputs(), &[true]);
+    }
+
+    #[test]
+    fn depth_tracking_follows_longest_path() {
+        let mut b = CircuitBuilder::new(1);
+        let x = Wire::input(0);
+        let g1 = b.add_gate([(x, 1)], 1).unwrap();
+        let g2 = b.add_gate([(g1, 1)], 1).unwrap();
+        let g3 = b.add_gate([(x, 1), (g2, 1)], 1).unwrap();
+        assert_eq!(b.wire_depth(x), 0);
+        assert_eq!(b.wire_depth(g1), 1);
+        assert_eq!(b.wire_depth(g2), 2);
+        assert_eq!(b.wire_depth(g3), 3);
+        assert_eq!(b.current_depth(), 3);
+    }
+
+    #[test]
+    fn dedup_merges_identical_gates_only_when_enabled() {
+        let make = |policy| {
+            let mut b = CircuitBuilder::with_dedup(2, policy);
+            let g1 = b
+                .add_gate([(Wire::input(0), 1), (Wire::input(1), 1)], 2)
+                .unwrap();
+            // Same gate, fan-in given in the opposite order.
+            let g2 = b
+                .add_gate([(Wire::input(1), 1), (Wire::input(0), 1)], 2)
+                .unwrap();
+            (g1, g2, b.num_gates())
+        };
+        let (g1, g2, n) = make(DedupPolicy::MergeStructural);
+        assert_eq!(g1, g2);
+        assert_eq!(n, 1);
+        let (g1, g2, n) = make(DedupPolicy::KeepDuplicates);
+        assert_ne!(g1, g2);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn constant_one_wire_is_always_available() {
+        let mut b = CircuitBuilder::new(0);
+        let g = b.add_gate([(Wire::One, 1)], 1).unwrap();
+        b.mark_output(g);
+        let c = b.build();
+        assert_eq!(c.evaluate(&[]).unwrap().outputs(), &[true]);
+    }
+}

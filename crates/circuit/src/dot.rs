@@ -1,0 +1,88 @@
+//! Graphviz (DOT) export for small circuits.
+
+use crate::{Circuit, Wire};
+use std::fmt::Write as _;
+
+impl Circuit {
+    /// Renders the circuit in Graphviz DOT format.
+    ///
+    /// Intended for visualising the *small* circuits produced by the arithmetic lemmas
+    /// (a few hundred gates); the matmul circuits are far too large to draw usefully.
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{name}\" {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+        for i in 0..self.num_inputs {
+            let _ = writeln!(out, "  x{i} [shape=box, label=\"x{i}\"];");
+        }
+        let uses_one = self
+            .gates
+            .iter()
+            .flat_map(|g| g.inputs())
+            .any(|(w, _)| w.is_const())
+            || self.outputs.iter().any(|w| w.is_const());
+        if uses_one {
+            let _ = writeln!(out, "  one [shape=box, label=\"1\"];");
+        }
+        for (idx, gate) in self.gates.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  g{idx} [label=\"g{idx}\\n>= {}\"];",
+                gate.threshold()
+            );
+            for &(wire, weight) in gate.inputs() {
+                let src = wire_node(wire);
+                let _ = writeln!(out, "  {src} -> g{idx} [label=\"{weight}\"];");
+            }
+        }
+        for (k, &w) in self.outputs.iter().enumerate() {
+            let src = wire_node(w);
+            let _ = writeln!(out, "  out{k} [shape=doublecircle, label=\"out{k}\"];");
+            let _ = writeln!(out, "  {src} -> out{k};");
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+fn wire_node(wire: Wire) -> String {
+    match wire {
+        Wire::Input(i) => format!("x{i}"),
+        Wire::Gate(i) => format!("g{i}"),
+        Wire::One => "one".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CircuitBuilder, Wire};
+
+    #[test]
+    fn dot_output_mentions_every_gate_and_output() {
+        let mut b = CircuitBuilder::new(2);
+        let g0 = b
+            .add_gate([(Wire::input(0), 1), (Wire::input(1), 1)], 2)
+            .unwrap();
+        let g1 = b.add_gate([(g0, -1), (Wire::One, 1)], 1).unwrap();
+        b.mark_output(g1);
+        let dot = b.build().to_dot("test");
+        assert!(dot.contains("digraph \"test\""));
+        assert!(dot.contains("x0"));
+        assert!(dot.contains("x1"));
+        assert!(dot.contains("g0"));
+        assert!(dot.contains("g1"));
+        assert!(dot.contains("one"));
+        assert!(dot.contains("out0"));
+        assert!(dot.contains(">= 2"));
+    }
+
+    #[test]
+    fn dot_omits_constant_node_when_unused() {
+        let mut b = CircuitBuilder::new(1);
+        let g = b.add_gate([(Wire::input(0), 1)], 1).unwrap();
+        b.mark_output(g);
+        let dot = b.build().to_dot("no_const");
+        assert!(!dot.contains("one [shape=box"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Sequential and layer-parallel circuit evaluation.
+
+use crate::{Circuit, CircuitError, Result, Wire};
+use rayon::prelude::*;
+
+/// Options controlling parallel evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Layers with fewer gates than this are evaluated sequentially to avoid paying
+    /// rayon's scheduling overhead on tiny layers.
+    pub parallel_threshold: usize,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            parallel_threshold: 1024,
+        }
+    }
+}
+
+/// The result of evaluating a circuit on a concrete input assignment.
+///
+/// Holds the value of every gate (useful for energy accounting — a gate "fires" exactly
+/// when its value is `1`) as well as the values on the designated output wires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evaluation {
+    gate_values: Vec<bool>,
+    outputs: Vec<bool>,
+}
+
+impl Evaluation {
+    /// The values of the designated outputs, in marking order.
+    #[inline]
+    pub fn outputs(&self) -> &[bool] {
+        &self.outputs
+    }
+
+    /// The value of output `i`.
+    pub fn output(&self, i: usize) -> Result<bool> {
+        self.outputs
+            .get(i)
+            .copied()
+            .ok_or(CircuitError::OutputIndexOutOfRange {
+                index: i,
+                len: self.outputs.len(),
+            })
+    }
+
+    /// The value computed by every gate, indexed by gate number.
+    #[inline]
+    pub fn gate_values(&self) -> &[bool] {
+        &self.gate_values
+    }
+
+    /// Number of gates that fired (output value 1).
+    ///
+    /// This is the *energy* of the evaluation under the model of Uchizawa, Douglas and
+    /// Maass (cited in the paper's open problems): one unit of energy per firing gate.
+    pub fn firing_count(&self) -> usize {
+        self.gate_values.iter().filter(|&&v| v).count()
+    }
+}
+
+#[inline]
+fn wire_value(wire: Wire, inputs: &[bool], gate_values: &[bool]) -> bool {
+    match wire {
+        Wire::Input(i) => inputs[i as usize],
+        Wire::Gate(i) => gate_values[i as usize],
+        Wire::One => true,
+    }
+}
+
+pub(crate) fn evaluate_sequential(circuit: &Circuit, inputs: &[bool]) -> Result<Evaluation> {
+    let mut gate_values = vec![false; circuit.num_gates()];
+    for (idx, gate) in circuit.gates().iter().enumerate() {
+        let fired = gate
+            .fire_with(|w| wire_value(w, inputs, &gate_values))
+            .ok_or(CircuitError::ArithmeticOverflow { gate: idx })?;
+        gate_values[idx] = fired;
+    }
+    let outputs = circuit
+        .outputs()
+        .iter()
+        .map(|&w| wire_value(w, inputs, &gate_values))
+        .collect();
+    Ok(Evaluation {
+        gate_values,
+        outputs,
+    })
+}
+
+pub(crate) fn evaluate_parallel(
+    circuit: &Circuit,
+    inputs: &[bool],
+    opts: EvalOptions,
+) -> Result<Evaluation> {
+    let mut gate_values = vec![false; circuit.num_gates()];
+    for layer in circuit.layers() {
+        // Gates within one depth layer never reference each other, so they can be
+        // evaluated from an immutable snapshot of the previous layers' values.
+        let snapshot = &gate_values;
+        let results: Vec<(usize, Option<bool>)> = if layer.len() >= opts.parallel_threshold {
+            layer
+                .par_iter()
+                .map(|&idx| {
+                    let fired = circuit.gates()[idx]
+                        .fire_with(|w| wire_value(w, inputs, snapshot));
+                    (idx, fired)
+                })
+                .collect()
+        } else {
+            layer
+                .iter()
+                .map(|&idx| {
+                    let fired = circuit.gates()[idx]
+                        .fire_with(|w| wire_value(w, inputs, snapshot));
+                    (idx, fired)
+                })
+                .collect()
+        };
+        for (idx, fired) in results {
+            gate_values[idx] = fired.ok_or(CircuitError::ArithmeticOverflow { gate: idx })?;
+        }
+    }
+    let outputs = circuit
+        .outputs()
+        .iter()
+        .map(|&w| wire_value(w, inputs, &gate_values))
+        .collect();
+    Ok(Evaluation {
+        gate_values,
+        outputs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitBuilder;
+
+    /// Builds a chain of alternating AND/OR gates with one extra "wide" layer to
+    /// exercise both code paths of the parallel evaluator.
+    fn build_mixed_circuit(width: usize) -> Circuit {
+        let mut b = CircuitBuilder::new(width);
+        let mut layer1 = Vec::new();
+        for i in 0..width {
+            let g = b
+                .add_gate(
+                    [
+                        (Wire::input(i), 1),
+                        (Wire::input((i + 1) % width), 1),
+                    ],
+                    1,
+                )
+                .unwrap();
+            layer1.push(g);
+        }
+        // A single output gate: majority over the first layer.
+        let maj = b
+            .add_gate(
+                layer1.iter().map(|&w| (w, 1)).collect::<Vec<_>>(),
+                (width as i64 + 1) / 2,
+            )
+            .unwrap();
+        b.mark_output(maj);
+        b.build()
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_on_random_inputs() {
+        let width = 40;
+        let c = build_mixed_circuit(width);
+        // Deterministic pseudo-random inputs (xorshift) — no rand dependency needed.
+        let mut state: u64 = 0x2545F4914F6CDD1D;
+        for _ in 0..50 {
+            let mut inputs = Vec::with_capacity(width);
+            for _ in 0..width {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                inputs.push(state & 1 == 1);
+            }
+            let seq = c.evaluate(&inputs).unwrap();
+            let par = c
+                .evaluate_parallel(&inputs, EvalOptions {
+                    parallel_threshold: 1,
+                })
+                .unwrap();
+            assert_eq!(seq, par);
+        }
+    }
+
+    #[test]
+    fn firing_count_counts_ones() {
+        let mut b = CircuitBuilder::new(1);
+        let x = Wire::input(0);
+        let fires = b.add_gate([(x, 1)], 1).unwrap(); // = x
+        let never = b.add_gate([(x, 1)], 2).unwrap(); // constant 0
+        let always = b.add_gate([(x, 1)], 0).unwrap(); // constant 1
+        b.mark_outputs([fires, never, always]);
+        let c = b.build();
+        let ev = c.evaluate(&[true]).unwrap();
+        assert_eq!(ev.firing_count(), 2);
+        let ev = c.evaluate(&[false]).unwrap();
+        assert_eq!(ev.firing_count(), 1);
+    }
+
+    #[test]
+    fn output_accessor_bounds_check() {
+        let mut b = CircuitBuilder::new(1);
+        let g = b.add_gate([(Wire::input(0), 1)], 1).unwrap();
+        b.mark_output(g);
+        let c = b.build();
+        let ev = c.evaluate(&[true]).unwrap();
+        assert_eq!(ev.output(0).unwrap(), true);
+        assert!(matches!(
+            ev.output(1),
+            Err(CircuitError::OutputIndexOutOfRange { index: 1, len: 1 })
+        ));
+    }
+
+    #[test]
+    fn outputs_may_reference_inputs_directly() {
+        let mut b = CircuitBuilder::new(2);
+        b.mark_output(Wire::input(1));
+        b.mark_output(Wire::One);
+        let c = b.build();
+        let ev = c.evaluate(&[false, true]).unwrap();
+        assert_eq!(ev.outputs(), &[true, true]);
+    }
+}

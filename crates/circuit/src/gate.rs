@@ -1,0 +1,181 @@
+//! The linear threshold gate.
+
+use crate::Wire;
+use serde::{Deserialize, Serialize};
+
+/// A linear threshold gate.
+///
+/// The gate computes the Boolean function
+/// `fire(y) = [ Σ_i w_i · y_i ≥ t ]`
+/// over the bits carried by its input wires, where the integer weights `w_i` and the
+/// integer threshold `t` are fixed at construction time (they are *parameters of the
+/// circuit*, not data).
+///
+/// This is exactly the McCulloch–Pitts neuron model used by the paper; rational weights
+/// can always be scaled to integers, so integer weights lose no generality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ThresholdGate {
+    /// Fan-in: `(wire, weight)` pairs.  Wires are unique within a gate.
+    pub(crate) inputs: Vec<(Wire, i64)>,
+    /// The firing threshold `t`.
+    pub(crate) threshold: i64,
+}
+
+impl ThresholdGate {
+    /// Creates a gate from its fan-in list and threshold.
+    ///
+    /// This does not check wire validity against a circuit; use
+    /// [`CircuitBuilder::add_gate`](crate::CircuitBuilder::add_gate) for checked
+    /// construction.
+    pub fn new(inputs: Vec<(Wire, i64)>, threshold: i64) -> Self {
+        ThresholdGate { inputs, threshold }
+    }
+
+    /// The gate's fan-in list as `(wire, weight)` pairs.
+    #[inline]
+    pub fn inputs(&self) -> &[(Wire, i64)] {
+        &self.inputs
+    }
+
+    /// The gate's threshold `t`.
+    #[inline]
+    pub fn threshold(&self) -> i64 {
+        self.threshold
+    }
+
+    /// Number of inputs (the gate's fan-in).
+    #[inline]
+    pub fn fan_in(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// The largest absolute weight used by this gate.
+    #[inline]
+    pub fn max_abs_weight(&self) -> i64 {
+        self.inputs
+            .iter()
+            .map(|(_, w)| w.unsigned_abs())
+            .max()
+            .unwrap_or(0)
+            .min(i64::MAX as u64) as i64
+    }
+
+    /// Evaluates the gate given a resolver from wires to bit values.
+    ///
+    /// Returns `None` on (extremely unlikely) accumulator overflow.
+    #[inline]
+    pub fn fire_with<F>(&self, mut value_of: F) -> Option<bool>
+    where
+        F: FnMut(Wire) -> bool,
+    {
+        let mut sum: i128 = 0;
+        for &(wire, weight) in &self.inputs {
+            if value_of(wire) {
+                sum = sum.checked_add(weight as i128)?;
+            }
+        }
+        Some(sum >= self.threshold as i128)
+    }
+
+    /// The sum of all positive weights (the maximum achievable weighted sum).
+    pub fn max_sum(&self) -> i128 {
+        self.inputs
+            .iter()
+            .map(|&(_, w)| if w > 0 { w as i128 } else { 0 })
+            .sum()
+    }
+
+    /// The sum of all negative weights (the minimum achievable weighted sum).
+    pub fn min_sum(&self) -> i128 {
+        self.inputs
+            .iter()
+            .map(|&(_, w)| if w < 0 { w as i128 } else { 0 })
+            .sum()
+    }
+
+    /// Returns `true` if the gate's output is constant (it either always fires or never
+    /// fires, regardless of its inputs).
+    pub fn is_constant(&self) -> bool {
+        self.min_sum() >= self.threshold as i128 || self.max_sum() < self.threshold as i128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn and2() -> ThresholdGate {
+        ThresholdGate::new(vec![(Wire::input(0), 1), (Wire::input(1), 1)], 2)
+    }
+
+    #[test]
+    fn and_gate_truth_table() {
+        let g = and2();
+        let cases = [
+            ([false, false], false),
+            ([false, true], false),
+            ([true, false], false),
+            ([true, true], true),
+        ];
+        for (bits, expected) in cases {
+            let out = g
+                .fire_with(|w| bits[w.as_input().unwrap()])
+                .expect("no overflow");
+            assert_eq!(out, expected, "inputs {bits:?}");
+        }
+    }
+
+    #[test]
+    fn or_and_majority_gates() {
+        let or = ThresholdGate::new(vec![(Wire::input(0), 1), (Wire::input(1), 1)], 1);
+        assert!(or.fire_with(|w| w == Wire::input(0)).unwrap());
+        assert!(!or.fire_with(|_| false).unwrap());
+
+        let maj3 = ThresholdGate::new(
+            vec![
+                (Wire::input(0), 1),
+                (Wire::input(1), 1),
+                (Wire::input(2), 1),
+            ],
+            2,
+        );
+        assert!(maj3
+            .fire_with(|w| w.as_input().unwrap() < 2)
+            .unwrap());
+        assert!(!maj3
+            .fire_with(|w| w.as_input().unwrap() < 1)
+            .unwrap());
+    }
+
+    #[test]
+    fn negative_weights_model_not() {
+        // NOT(x) = [ -x >= 0 ]
+        let not = ThresholdGate::new(vec![(Wire::input(0), -1)], 0);
+        assert!(not.fire_with(|_| false).unwrap());
+        assert!(!not.fire_with(|_| true).unwrap());
+    }
+
+    #[test]
+    fn accessors_and_bounds() {
+        let g = ThresholdGate::new(vec![(Wire::input(0), 3), (Wire::input(1), -5)], 2);
+        assert_eq!(g.fan_in(), 2);
+        assert_eq!(g.threshold(), 2);
+        assert_eq!(g.max_abs_weight(), 5);
+        assert_eq!(g.max_sum(), 3);
+        assert_eq!(g.min_sum(), -5);
+        assert!(!g.is_constant());
+    }
+
+    #[test]
+    fn constant_gate_detection() {
+        // Threshold lower than any achievable sum: always fires.
+        let g = ThresholdGate::new(vec![(Wire::input(0), 1)], -1);
+        assert!(g.is_constant());
+        // Threshold above max sum: never fires.
+        let g = ThresholdGate::new(vec![(Wire::input(0), 1)], 2);
+        assert!(g.is_constant());
+        // Reachable threshold: not constant.
+        let g = ThresholdGate::new(vec![(Wire::input(0), 1)], 1);
+        assert!(!g.is_constant());
+    }
+}

@@ -1,0 +1,168 @@
+//! Complexity statistics: size, depth, edges, fan-in, per-layer breakdown.
+
+use crate::Circuit;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-layer statistics of a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerStats {
+    /// 1-based layer (depth) index.
+    pub depth: u32,
+    /// Number of gates in this layer.
+    pub gates: usize,
+    /// Total fan-in (edges) entering this layer.
+    pub edges: usize,
+    /// Maximum fan-in of a gate in this layer.
+    pub max_fan_in: usize,
+}
+
+/// The complexity measures used throughout the paper.
+///
+/// * `size` — total number of gates;
+/// * `depth` — length of the longest input→output path, counted in gates;
+/// * `edges` — total number of connections between gates (sum of fan-ins);
+/// * `max_fan_in` — maximum number of inputs to any gate;
+/// * `max_abs_weight` — largest |weight| used anywhere (a proxy for required synaptic
+///   precision on neuromorphic hardware).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CircuitStats {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of gates.
+    pub size: usize,
+    /// Circuit depth in gate layers.
+    pub depth: u32,
+    /// Total number of edges (wire connections into gates).
+    pub edges: usize,
+    /// Maximum gate fan-in.
+    pub max_fan_in: usize,
+    /// Maximum absolute weight on any connection.
+    pub max_abs_weight: i64,
+    /// Number of designated outputs.
+    pub outputs: usize,
+    /// Statistics per depth layer, from layer 1 (reads inputs) to layer `depth`.
+    pub layers: Vec<LayerStats>,
+}
+
+impl CircuitStats {
+    /// Computes the statistics of a circuit.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut layers: Vec<LayerStats> = (1..=circuit.depth())
+            .map(|d| LayerStats {
+                depth: d,
+                gates: 0,
+                edges: 0,
+                max_fan_in: 0,
+            })
+            .collect();
+        let mut max_abs_weight = 0i64;
+        for (idx, gate) in circuit.gates().iter().enumerate() {
+            let d = circuit.gate_depth(idx) as usize - 1;
+            let layer = &mut layers[d];
+            layer.gates += 1;
+            layer.edges += gate.fan_in();
+            layer.max_fan_in = layer.max_fan_in.max(gate.fan_in());
+            max_abs_weight = max_abs_weight.max(gate.max_abs_weight());
+        }
+        CircuitStats {
+            inputs: circuit.num_inputs(),
+            size: circuit.num_gates(),
+            depth: circuit.depth(),
+            edges: circuit.num_edges(),
+            max_fan_in: circuit.max_fan_in(),
+            max_abs_weight,
+            outputs: circuit.outputs().len(),
+            layers,
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "inputs={} gates={} depth={} edges={} max_fan_in={} max_|w|={} outputs={}",
+            self.inputs,
+            self.size,
+            self.depth,
+            self.edges,
+            self.max_fan_in,
+            self.max_abs_weight,
+            self.outputs
+        )?;
+        for l in &self.layers {
+            writeln!(
+                f,
+                "  layer {:>3}: gates={:<10} edges={:<12} max_fan_in={}",
+                l.depth, l.gates, l.edges, l.max_fan_in
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CircuitBuilder, Wire};
+
+    fn two_layer_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new(4);
+        let g0 = b
+            .add_gate([(Wire::input(0), 2), (Wire::input(1), -3)], 1)
+            .unwrap();
+        let g1 = b
+            .add_gate([(Wire::input(2), 1), (Wire::input(3), 1)], 2)
+            .unwrap();
+        let g2 = b.add_gate([(g0, 1), (g1, 1), (Wire::input(0), 5)], 3).unwrap();
+        b.mark_output(g2);
+        b.build()
+    }
+
+    #[test]
+    fn aggregate_statistics() {
+        let s = two_layer_circuit().stats();
+        assert_eq!(s.inputs, 4);
+        assert_eq!(s.size, 3);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.edges, 2 + 2 + 3);
+        assert_eq!(s.max_fan_in, 3);
+        assert_eq!(s.max_abs_weight, 5);
+        assert_eq!(s.outputs, 1);
+    }
+
+    #[test]
+    fn per_layer_breakdown() {
+        let s = two_layer_circuit().stats();
+        assert_eq!(s.layers.len(), 2);
+        assert_eq!(s.layers[0].gates, 2);
+        assert_eq!(s.layers[0].edges, 4);
+        assert_eq!(s.layers[0].max_fan_in, 2);
+        assert_eq!(s.layers[1].gates, 1);
+        assert_eq!(s.layers[1].edges, 3);
+        assert_eq!(s.layers[1].max_fan_in, 3);
+        // Layer gate counts must sum to the total size.
+        assert_eq!(s.layers.iter().map(|l| l.gates).sum::<usize>(), s.size);
+        assert_eq!(s.layers.iter().map(|l| l.edges).sum::<usize>(), s.edges);
+    }
+
+    #[test]
+    fn display_contains_layer_lines() {
+        let s = two_layer_circuit().stats();
+        let text = s.to_string();
+        assert!(text.contains("gates=3"));
+        assert!(text.contains("layer   1"));
+        assert!(text.contains("layer   2"));
+    }
+
+    #[test]
+    fn empty_circuit_statistics() {
+        let s = CircuitBuilder::new(3).build().stats();
+        assert_eq!(s.size, 0);
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.edges, 0);
+        assert_eq!(s.max_fan_in, 0);
+        assert!(s.layers.is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Structural validation of circuits.
+
+use crate::{Circuit, CircuitError, Wire};
+
+/// The result of validating a circuit's structural invariants.
+///
+/// Circuits produced by [`CircuitBuilder`](crate::CircuitBuilder) always validate
+/// cleanly; the report is primarily useful for circuits deserialised from external
+/// sources or transformed by other crates (e.g. the neuromorphic mapper).
+#[derive(Debug, Clone, Default)]
+pub struct ValidationReport {
+    /// Every violation found, in gate order.
+    pub errors: Vec<CircuitError>,
+    /// Indices of gates whose output is provably constant (these are not errors, but a
+    /// construction producing many of them is usually wasting gates).
+    pub constant_gates: Vec<usize>,
+    /// Indices of gates that are not reachable from any designated output.
+    pub dead_gates: Vec<usize>,
+}
+
+impl ValidationReport {
+    /// Runs all checks on `circuit`.
+    pub fn check(circuit: &Circuit) -> Self {
+        let mut report = ValidationReport::default();
+        let num_inputs = circuit.num_inputs();
+        let num_gates = circuit.num_gates();
+
+        for (idx, gate) in circuit.gates().iter().enumerate() {
+            if gate.fan_in() == 0 {
+                report.errors.push(CircuitError::EmptyFanIn);
+            }
+            for &(wire, _) in gate.inputs() {
+                let ok = match wire {
+                    Wire::Input(i) => (i as usize) < num_inputs,
+                    Wire::Gate(g) => (g as usize) < idx,
+                    Wire::One => true,
+                };
+                if !ok {
+                    report.errors.push(CircuitError::DanglingWire {
+                        wire,
+                        num_inputs,
+                        num_gates: idx,
+                    });
+                }
+            }
+            if gate.is_constant() {
+                report.constant_gates.push(idx);
+            }
+        }
+
+        for &out in circuit.outputs() {
+            let ok = match out {
+                Wire::Input(i) => (i as usize) < num_inputs,
+                Wire::Gate(g) => (g as usize) < num_gates,
+                Wire::One => true,
+            };
+            if !ok {
+                report.errors.push(CircuitError::DanglingWire {
+                    wire: out,
+                    num_inputs,
+                    num_gates,
+                });
+            }
+        }
+
+        report.dead_gates = dead_gates(circuit);
+        report
+    }
+
+    /// `true` when no structural violations were found (constant or dead gates do not
+    /// make a circuit invalid).
+    pub fn is_valid(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+/// Gates not reachable (backwards) from any designated output.
+fn dead_gates(circuit: &Circuit) -> Vec<usize> {
+    let n = circuit.num_gates();
+    let mut live = vec![false; n];
+    let mut stack: Vec<usize> = circuit
+        .outputs()
+        .iter()
+        .filter_map(|w| w.as_gate())
+        .filter(|&g| g < n)
+        .collect();
+    while let Some(g) = stack.pop() {
+        if live[g] {
+            continue;
+        }
+        live[g] = true;
+        for &(wire, _) in circuit.gates()[g].inputs() {
+            if let Some(p) = wire.as_gate() {
+                if p < n && !live[p] {
+                    stack.push(p);
+                }
+            }
+        }
+    }
+    (0..n).filter(|&g| !live[g]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CircuitBuilder, Wire};
+
+    #[test]
+    fn builder_output_is_valid() {
+        let mut b = CircuitBuilder::new(2);
+        let g = b
+            .add_gate([(Wire::input(0), 1), (Wire::input(1), 1)], 1)
+            .unwrap();
+        b.mark_output(g);
+        let report = b.build().validate();
+        assert!(report.is_valid());
+        assert!(report.dead_gates.is_empty());
+        assert!(report.constant_gates.is_empty());
+    }
+
+    #[test]
+    fn detects_dead_gates() {
+        let mut b = CircuitBuilder::new(2);
+        let used = b.add_gate([(Wire::input(0), 1)], 1).unwrap();
+        let _unused = b.add_gate([(Wire::input(1), 1)], 1).unwrap();
+        b.mark_output(used);
+        let report = b.build().validate();
+        assert!(report.is_valid());
+        assert_eq!(report.dead_gates, vec![1]);
+    }
+
+    #[test]
+    fn detects_constant_gates() {
+        let mut b = CircuitBuilder::new(1);
+        let g = b.add_gate([(Wire::input(0), 1)], 5).unwrap(); // never fires
+        b.mark_output(g);
+        let report = b.build().validate();
+        assert!(report.is_valid());
+        assert_eq!(report.constant_gates, vec![0]);
+    }
+
+    #[test]
+    fn transitive_liveness_through_intermediate_gates() {
+        let mut b = CircuitBuilder::new(1);
+        let g0 = b.add_gate([(Wire::input(0), 1)], 1).unwrap();
+        let g1 = b.add_gate([(g0, 1)], 1).unwrap();
+        let g2 = b.add_gate([(g1, 1)], 1).unwrap();
+        b.mark_output(g2);
+        let report = b.build().validate();
+        assert!(report.dead_gates.is_empty());
+    }
+
+    #[test]
+    fn output_referencing_input_is_valid() {
+        let mut b = CircuitBuilder::new(1);
+        b.mark_output(Wire::input(0));
+        assert!(b.build().validate().is_valid());
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the threshold-circuit substrate.
+
+use proptest::prelude::*;
+use tc_circuit::{CircuitBuilder, DedupPolicy, EvalOptions, Wire};
+
+/// Strategy producing a random layered circuit description together with the number of
+/// primary inputs.  Gates reference only earlier wires by construction.
+fn random_circuit_spec() -> impl Strategy<Value = (usize, Vec<(Vec<(usize, i64)>, i64)>)> {
+    // (num_inputs, gates); each gate = (fan-in as (wire_ordinal, weight)), threshold.
+    // wire_ordinal w is interpreted as: w < num_inputs => input w, else gate (w - num_inputs)
+    // modulo the number of gates available so far (ensuring topological order).
+    (2usize..6, prop::collection::vec(
+        (
+            prop::collection::vec((0usize..64, -8i64..9), 1..6),
+            -6i64..7,
+        ),
+        1..40,
+    ))
+}
+
+fn build(
+    num_inputs: usize,
+    spec: &[(Vec<(usize, i64)>, i64)],
+    dedup: DedupPolicy,
+) -> tc_circuit::Circuit {
+    let mut b = CircuitBuilder::with_dedup(num_inputs, dedup);
+    for (gate_idx, (fan_in, threshold)) in spec.iter().enumerate() {
+        let mut resolved = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        for &(ordinal, weight) in fan_in {
+            let pool = num_inputs + gate_idx.min(b.num_gates());
+            let o = ordinal % pool.max(1);
+            let wire = if o < num_inputs {
+                Wire::input(o)
+            } else {
+                Wire::gate(o - num_inputs)
+            };
+            if used.insert(wire) {
+                resolved.push((wire, weight));
+            }
+        }
+        if resolved.is_empty() {
+            resolved.push((Wire::input(0), 1));
+        }
+        let w = b.add_gate(resolved, *threshold).unwrap();
+        b.mark_output(w);
+    }
+    b.build()
+}
+
+proptest! {
+    /// The parallel evaluator must agree with the sequential one on every circuit and
+    /// every input.
+    #[test]
+    fn parallel_eval_equals_sequential((num_inputs, spec) in random_circuit_spec(),
+                                       seed in any::<u64>()) {
+        let circuit = build(num_inputs, &spec, DedupPolicy::KeepDuplicates);
+        let mut state = seed | 1;
+        let inputs: Vec<bool> = (0..num_inputs).map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state & 1 == 1
+        }).collect();
+        let seq = circuit.evaluate(&inputs).unwrap();
+        let par = circuit
+            .evaluate_parallel(&inputs, EvalOptions { parallel_threshold: 1 })
+            .unwrap();
+        prop_assert_eq!(seq.outputs(), par.outputs());
+        prop_assert_eq!(seq.gate_values(), par.gate_values());
+    }
+
+    /// Structural deduplication never changes the function computed on the designated
+    /// outputs (it can only reduce the gate count).
+    #[test]
+    fn dedup_preserves_semantics((num_inputs, spec) in random_circuit_spec(),
+                                 seed in any::<u64>()) {
+        let plain = build(num_inputs, &spec, DedupPolicy::KeepDuplicates);
+        let deduped = build(num_inputs, &spec, DedupPolicy::MergeStructural);
+        prop_assert!(deduped.num_gates() <= plain.num_gates());
+        let mut state = seed | 1;
+        for _ in 0..8 {
+            let inputs: Vec<bool> = (0..num_inputs).map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state & 1 == 1
+            }).collect();
+            // Output k of the plain circuit is gate k; in the deduped circuit output k
+            // may alias an earlier gate but must carry the same value.
+            let a = plain.evaluate(&inputs).unwrap();
+            let d = deduped.evaluate(&inputs).unwrap();
+            prop_assert_eq!(a.outputs(), d.outputs());
+        }
+    }
+
+    /// Every circuit built through the builder passes validation, and its per-layer gate
+    /// counts sum to its size.
+    #[test]
+    fn builder_circuits_validate((num_inputs, spec) in random_circuit_spec()) {
+        let circuit = build(num_inputs, &spec, DedupPolicy::KeepDuplicates);
+        let report = circuit.validate();
+        prop_assert!(report.is_valid());
+        let stats = circuit.stats();
+        prop_assert_eq!(stats.layers.iter().map(|l| l.gates).sum::<usize>(), stats.size);
+        prop_assert_eq!(stats.layers.iter().map(|l| l.edges).sum::<usize>(), stats.edges);
+        prop_assert!(stats.depth as usize <= stats.size);
+    }
+
+    /// Gate depths are consistent: a gate's depth is strictly greater than the depth of
+    /// every gate it reads.
+    #[test]
+    fn depths_are_monotone_along_edges((num_inputs, spec) in random_circuit_spec()) {
+        let circuit = build(num_inputs, &spec, DedupPolicy::KeepDuplicates);
+        for (idx, gate) in circuit.gates().iter().enumerate() {
+            for (wire, _) in gate.inputs() {
+                if let Some(parent) = wire.as_gate() {
+                    prop_assert!(circuit.gate_depth(parent) < circuit.gate_depth(idx));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! The im2col lowering: patches and kernels as matrices.
+
+use crate::{ConvLayerSpec, Tensor3};
+use fast_matmul::Matrix;
+
+/// Builds the `P × Q` patch matrix: row `p` lists the `q·q·ℓ` image values covered by
+/// patch `p` (patches enumerated row-major over their top-left corners, elements
+/// enumerated `(di, dj, channel)` with the channel fastest — the same order used by
+/// [`kernel_matrix`]).
+pub fn im2col(spec: &ConvLayerSpec, image: &Tensor3) -> Matrix {
+    assert_eq!(image.height(), spec.image_size, "image height mismatch");
+    assert_eq!(image.width(), spec.image_size, "image width mismatch");
+    assert_eq!(image.channels(), spec.channels, "channel count mismatch");
+    let side = spec.patches_per_side();
+    Matrix::from_fn(spec.num_patches(), spec.patch_len(), |p, q| {
+        let pi = p / side;
+        let pj = p % side;
+        let per_row = spec.kernel_size * spec.channels;
+        let di = q / per_row;
+        let dj = (q % per_row) / spec.channels;
+        let c = q % spec.channels;
+        image.get(pi * spec.stride + di, pj * spec.stride + dj, c)
+    })
+}
+
+/// Builds the `Q × K` kernel matrix: column `k` lists kernel `k`'s elements in the same
+/// `(di, dj, channel)` order as [`im2col`].
+pub fn kernel_matrix(spec: &ConvLayerSpec, kernels: &[Tensor3]) -> Matrix {
+    assert_eq!(kernels.len(), spec.num_kernels, "kernel count mismatch");
+    Matrix::from_fn(spec.patch_len(), spec.num_kernels, |q, k| {
+        let per_row = spec.kernel_size * spec.channels;
+        let di = q / per_row;
+        let dj = (q % per_row) / spec.channels;
+        let c = q % spec.channels;
+        kernels[k].get(di, dj, c)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv_direct;
+
+    fn spec() -> ConvLayerSpec {
+        ConvLayerSpec {
+            image_size: 5,
+            channels: 3,
+            kernel_size: 2,
+            num_kernels: 3,
+            stride: 1,
+        }
+    }
+
+    #[test]
+    fn shapes_match_the_paper_description() {
+        let s = spec();
+        let image = Tensor3::random(5, 5, 3, 4, 1);
+        let kernels: Vec<Tensor3> = (0..3).map(|k| Tensor3::random(2, 2, 3, 4, k + 10)).collect();
+        let p = im2col(&s, &image);
+        let km = kernel_matrix(&s, &kernels);
+        assert_eq!((p.rows(), p.cols()), (16, 12));
+        assert_eq!((km.rows(), km.cols()), (12, 3));
+    }
+
+    #[test]
+    fn im2col_times_kernels_equals_direct_convolution() {
+        let s = spec();
+        let image = Tensor3::random(5, 5, 3, 4, 2);
+        let kernels: Vec<Tensor3> = (0..3).map(|k| Tensor3::random(2, 2, 3, 4, k + 20)).collect();
+        let lhs = im2col(&s, &image);
+        let rhs = kernel_matrix(&s, &kernels);
+        let product = lhs.multiply_naive(&rhs).unwrap();
+        assert_eq!(product, conv_direct(&s, &image, &kernels));
+    }
+
+    #[test]
+    fn strided_patches_skip_positions() {
+        let s = ConvLayerSpec {
+            image_size: 6,
+            channels: 1,
+            kernel_size: 2,
+            num_kernels: 1,
+            stride: 2,
+        };
+        let image = Tensor3::from_fn(6, 6, 1, |i, j, _| (i * 6 + j) as i64);
+        let p = im2col(&s, &image);
+        assert_eq!(p.rows(), 9);
+        // Patch (1,1) starts at image position (2,2): values 14,15,20,21.
+        let row = 1 * 3 + 1;
+        assert_eq!(p.get(row, 0), 14);
+        assert_eq!(p.get(row, 3), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "image height mismatch")]
+    fn wrong_image_shape_panics() {
+        let s = spec();
+        let image = Tensor3::zeros(4, 5, 3);
+        let _ = im2col(&s, &image);
+    }
+}

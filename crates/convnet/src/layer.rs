@@ -1,0 +1,141 @@
+//! Convolutional layer geometry and the two convolution paths (direct vs matmul).
+
+use crate::{im2col, kernel_matrix, MatmulBackend, Tensor3};
+use fast_matmul::Matrix;
+
+/// The geometry of a convolutional layer, following the description in Section 5: an
+/// `n × n` image with `ℓ` channels, `K` kernels of spatial size `q × q`, applied with a
+/// stride.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvLayerSpec {
+    /// Image height/width `n`.
+    pub image_size: usize,
+    /// Number of input channels `ℓ`.
+    pub channels: usize,
+    /// Kernel spatial size `q`.
+    pub kernel_size: usize,
+    /// Number of kernels `K`.
+    pub num_kernels: usize,
+    /// Stride between patches.
+    pub stride: usize,
+}
+
+impl ConvLayerSpec {
+    /// Number of patch positions along one image dimension.
+    pub fn patches_per_side(&self) -> usize {
+        if self.image_size < self.kernel_size {
+            0
+        } else {
+            (self.image_size - self.kernel_size) / self.stride + 1
+        }
+    }
+
+    /// `P`: total number of patches (rows of the first matrix).
+    pub fn num_patches(&self) -> usize {
+        let side = self.patches_per_side();
+        side * side
+    }
+
+    /// `Q = q·q·ℓ`: elements per kernel (columns of the first matrix).
+    pub fn patch_len(&self) -> usize {
+        self.kernel_size * self.kernel_size * self.channels
+    }
+
+    /// The shape `(P, Q, K)` of the induced matrix multiplication.
+    pub fn matmul_shape(&self) -> (usize, usize, usize) {
+        (self.num_patches(), self.patch_len(), self.num_kernels)
+    }
+}
+
+/// Direct (sliding-window) convolution: for every patch and kernel, the dot product of
+/// the patch with the kernel.  Returns the `P × K` score matrix (patches row-major by
+/// patch position, kernels as columns).
+pub fn conv_direct(spec: &ConvLayerSpec, image: &Tensor3, kernels: &[Tensor3]) -> Matrix {
+    assert_eq!(kernels.len(), spec.num_kernels, "kernel count mismatch");
+    let side = spec.patches_per_side();
+    let mut out = Matrix::zeros(spec.num_patches(), spec.num_kernels);
+    for pi in 0..side {
+        for pj in 0..side {
+            let patch_index = pi * side + pj;
+            for (k_idx, kernel) in kernels.iter().enumerate() {
+                let mut acc: i64 = 0;
+                for di in 0..spec.kernel_size {
+                    for dj in 0..spec.kernel_size {
+                        for c in 0..spec.channels {
+                            acc += image.get(pi * spec.stride + di, pj * spec.stride + dj, c)
+                                * kernel.get(di, dj, c);
+                        }
+                    }
+                }
+                out.set(patch_index, k_idx, acc);
+            }
+        }
+    }
+    out
+}
+
+/// Convolution through the im2col matrix multiplication: builds the `P × Q` patch
+/// matrix and `Q × K` kernel matrix and multiplies them with the chosen backend.
+///
+/// The result equals [`conv_direct`] exactly for every backend (the backends compute
+/// exact integer products).
+pub fn conv_via_matmul(
+    spec: &ConvLayerSpec,
+    image: &Tensor3,
+    kernels: &[Tensor3],
+    backend: &MatmulBackend,
+) -> Result<Matrix, Box<dyn std::error::Error>> {
+    let patches = im2col(spec, image);
+    let kmat = kernel_matrix(spec, kernels);
+    backend.multiply(&patches, &kmat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ConvLayerSpec {
+        ConvLayerSpec {
+            image_size: 6,
+            channels: 2,
+            kernel_size: 3,
+            num_kernels: 4,
+            stride: 1,
+        }
+    }
+
+    #[test]
+    fn geometry() {
+        let s = spec();
+        assert_eq!(s.patches_per_side(), 4);
+        assert_eq!(s.num_patches(), 16);
+        assert_eq!(s.patch_len(), 18);
+        assert_eq!(s.matmul_shape(), (16, 18, 4));
+        let strided = ConvLayerSpec { stride: 3, ..s };
+        assert_eq!(strided.patches_per_side(), 2);
+        let too_small = ConvLayerSpec {
+            image_size: 2,
+            ..s
+        };
+        assert_eq!(too_small.num_patches(), 0);
+    }
+
+    #[test]
+    fn direct_convolution_known_value() {
+        // 1-channel 3x3 image, single 2x2 kernel of ones: each output is the sum of a
+        // 2x2 window.
+        let s = ConvLayerSpec {
+            image_size: 3,
+            channels: 1,
+            kernel_size: 2,
+            num_kernels: 1,
+            stride: 1,
+        };
+        let image = Tensor3::from_fn(3, 3, 1, |i, j, _| (i * 3 + j) as i64);
+        let kernel = Tensor3::from_fn(2, 2, 1, |_, _, _| 1);
+        let out = conv_direct(&s, &image, &[kernel]);
+        assert_eq!(out.rows(), 4);
+        assert_eq!(out.get(0, 0), 0 + 1 + 3 + 4);
+        assert_eq!(out.get(3, 0), 4 + 5 + 7 + 8);
+    }
+}

@@ -1,0 +1,109 @@
+//! A minimal integer 3-D tensor (height × width × channels).
+
+/// A dense integer tensor of shape `height × width × channels`, stored row-major with
+/// the channel index fastest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tensor3 {
+    height: usize,
+    width: usize,
+    channels: usize,
+    data: Vec<i64>,
+}
+
+impl Tensor3 {
+    /// A zero tensor of the given shape.
+    pub fn zeros(height: usize, width: usize, channels: usize) -> Self {
+        Tensor3 {
+            height,
+            width,
+            channels,
+            data: vec![0; height * width * channels],
+        }
+    }
+
+    /// Builds a tensor from a generator over `(row, col, channel)`.
+    pub fn from_fn<F: FnMut(usize, usize, usize) -> i64>(
+        height: usize,
+        width: usize,
+        channels: usize,
+        mut f: F,
+    ) -> Self {
+        let mut t = Tensor3::zeros(height, width, channels);
+        for i in 0..height {
+            for j in 0..width {
+                for c in 0..channels {
+                    let v = f(i, j, c);
+                    t.set(i, j, c, v);
+                }
+            }
+        }
+        t
+    }
+
+    /// A deterministic pseudo-random tensor with entries in `[-magnitude, magnitude]`.
+    pub fn random(height: usize, width: usize, channels: usize, magnitude: i64, seed: u64) -> Self {
+        let mut state = seed | 1;
+        Tensor3::from_fn(height, width, channels, |_, _, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % (2 * magnitude as u64 + 1)) as i64 - magnitude
+        })
+    }
+
+    /// Height (rows).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Width (columns).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Reads the entry at `(row, col, channel)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, c: usize) -> i64 {
+        self.data[(i * self.width + j) * self.channels + c]
+    }
+
+    /// Writes the entry at `(row, col, channel)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, c: usize, v: i64) {
+        self.data[(i * self.width + j) * self.channels + c] = v;
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> i64 {
+        self.data.iter().map(|v| v.abs()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut t = Tensor3::zeros(2, 3, 4);
+        t.set(1, 2, 3, -9);
+        t.set(0, 0, 0, 5);
+        assert_eq!(t.get(1, 2, 3), -9);
+        assert_eq!(t.get(0, 0, 0), 5);
+        assert_eq!(t.get(1, 0, 2), 0);
+        assert_eq!(t.max_abs(), 9);
+    }
+
+    #[test]
+    fn random_tensors_are_reproducible_and_bounded() {
+        let a = Tensor3::random(4, 4, 3, 5, 77);
+        let b = Tensor3::random(4, 4, 3, 5, 77);
+        assert_eq!(a, b);
+        assert!(a.max_abs() <= 5);
+    }
+}

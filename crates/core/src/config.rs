@@ -1,0 +1,61 @@
+//! Shared configuration for the circuit generators.
+
+use fast_matmul::{BilinearAlgorithm, SparsityProfile};
+
+/// Configuration shared by all circuit generators: the fast matrix-multiplication
+/// recipe driving the recursion trees and the bit-width of the input matrix entries.
+///
+/// The paper assumes entries of `O(log N)` bits; the generators accept any width up to
+/// the point where intermediate weights would overflow 62 bits (an error is returned in
+/// that case).
+#[derive(Debug, Clone)]
+pub struct CircuitConfig {
+    algorithm: BilinearAlgorithm,
+    entry_bits: usize,
+}
+
+impl CircuitConfig {
+    /// Creates a configuration for signed matrix entries of the given bit-width
+    /// (each of the `x⁺`/`x⁻` parts gets `entry_bits` bits, following the paper).
+    pub fn new(algorithm: BilinearAlgorithm, entry_bits: usize) -> Self {
+        CircuitConfig {
+            algorithm,
+            entry_bits,
+        }
+    }
+
+    /// Configuration for 0/1 matrices (adjacency matrices): single-bit entries.
+    pub fn binary(algorithm: BilinearAlgorithm) -> Self {
+        CircuitConfig::new(algorithm, 1)
+    }
+
+    /// The fast matrix-multiplication recipe.
+    pub fn algorithm(&self) -> &BilinearAlgorithm {
+        &self.algorithm
+    }
+
+    /// Bit-width of each input entry (per sign part).
+    pub fn entry_bits(&self) -> usize {
+        self.entry_bits
+    }
+
+    /// The sparsity profile (Definition 2.1 constants) of the configured recipe.
+    pub fn sparsity(&self) -> SparsityProfile {
+        SparsityProfile::of(&self.algorithm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let c = CircuitConfig::new(BilinearAlgorithm::strassen(), 6);
+        assert_eq!(c.entry_bits(), 6);
+        assert_eq!(c.algorithm().r(), 7);
+        assert_eq!(c.sparsity().s_a, 12);
+        let b = CircuitConfig::binary(BilinearAlgorithm::strassen());
+        assert_eq!(b.entry_bits(), 1);
+    }
+}

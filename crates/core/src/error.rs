@@ -1,0 +1,110 @@
+//! Error type for the circuit generators.
+
+use std::fmt;
+
+/// Errors produced while generating or evaluating the paper's circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An error from the underlying circuit substrate.
+    Circuit(tc_circuit::CircuitError),
+    /// An error from the arithmetic constructions.
+    Arith(tc_arith::ArithError),
+    /// An error from the matrix / bilinear-algorithm substrate.
+    Matmul(fast_matmul::MatmulError),
+    /// The matrix dimension is not a power of the algorithm's base dimension `T`.
+    ///
+    /// The circuit generators do not pad automatically (the paper assumes `N = T^l`);
+    /// pad the input with [`fast_matmul::Matrix::padded`] first if needed.
+    DimensionNotPowerOfBase {
+        /// The requested dimension.
+        n: usize,
+        /// The algorithm's base dimension.
+        base: usize,
+    },
+    /// A level schedule is invalid (empty, not strictly increasing, or not ending at
+    /// `log_T N`).
+    InvalidSchedule {
+        /// Description of the problem.
+        reason: &'static str,
+    },
+    /// The supplied bilinear algorithm cannot drive the construction (e.g. `γ ∉ (0,1)`
+    /// for a geometric schedule).
+    UnsuitableAlgorithm {
+        /// Description of the problem.
+        reason: &'static str,
+    },
+    /// A matrix supplied for evaluation does not match the circuit's input layout.
+    InputMismatch {
+        /// Description of the mismatch.
+        reason: &'static str,
+    },
+    /// The trace circuit requires a symmetric matrix with zero diagonal (an adjacency
+    /// matrix in the triangle-counting application).
+    NotSymmetricZeroDiagonal,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Circuit(e) => write!(f, "circuit error: {e}"),
+            CoreError::Arith(e) => write!(f, "arithmetic construction error: {e}"),
+            CoreError::Matmul(e) => write!(f, "matrix error: {e}"),
+            CoreError::DimensionNotPowerOfBase { n, base } => {
+                write!(f, "matrix dimension {n} is not a power of the algorithm base {base}")
+            }
+            CoreError::InvalidSchedule { reason } => write!(f, "invalid level schedule: {reason}"),
+            CoreError::UnsuitableAlgorithm { reason } => {
+                write!(f, "unsuitable bilinear algorithm: {reason}")
+            }
+            CoreError::InputMismatch { reason } => write!(f, "input mismatch: {reason}"),
+            CoreError::NotSymmetricZeroDiagonal => {
+                write!(f, "trace circuit requires a symmetric matrix with zero diagonal")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Circuit(e) => Some(e),
+            CoreError::Arith(e) => Some(e),
+            CoreError::Matmul(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tc_circuit::CircuitError> for CoreError {
+    fn from(e: tc_circuit::CircuitError) -> Self {
+        CoreError::Circuit(e)
+    }
+}
+
+impl From<tc_arith::ArithError> for CoreError {
+    fn from(e: tc_arith::ArithError) -> Self {
+        CoreError::Arith(e)
+    }
+}
+
+impl From<fast_matmul::MatmulError> for CoreError {
+    fn from(e: fast_matmul::MatmulError) -> Self {
+        CoreError::Matmul(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: CoreError = tc_circuit::CircuitError::EmptyFanIn.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CoreError = tc_arith::ArithError::EmptyOperands.into();
+        assert!(e.to_string().contains("arithmetic"));
+        let e = CoreError::DimensionNotPowerOfBase { n: 12, base: 2 };
+        assert!(e.to_string().contains("12"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

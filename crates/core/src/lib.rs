@@ -1,0 +1,60 @@
+//! # tcmm-core — constant-depth, subcubic-size threshold circuits for matrix
+//! multiplication
+//!
+//! This crate implements the main constructions of *Parekh, Phillips, James, Aimone —
+//! "Constant-Depth and Subcubic-Size Threshold Circuits for Matrix Multiplication"
+//! (SPAA 2018)*:
+//!
+//! * the **naive baseline circuits** of the introduction ([`naive`]): the depth-2
+//!   triangle-threshold circuit with `C(N,3) + 1` gates and the depth-3
+//!   definition-based matrix-multiplication circuit;
+//! * the **recursion trees** `T_A`, `T_B`, `T_AB` of Section 4 ([`tree`]) driven by any
+//!   [`BilinearAlgorithm`](fast_matmul::BilinearAlgorithm);
+//! * the **level-selection schedules** of Lemma 4.3 and Theorems 4.1/4.4/4.5
+//!   ([`schedule::LevelSchedule`]);
+//! * the **trace circuits** ([`trace`]): `trace(A³) ≥ τ` in depth `2t + 2` using
+//!   `Õ(N^{ω + cγ^d})` gates (Theorem 4.5) or `O(log log N)` depth and `Õ(N^ω)` gates
+//!   (Theorem 4.4);
+//! * the **matrix-product circuits** ([`matmul`]): `C = AB` in depth `4t + 1`
+//!   (Theorems 4.8 / 4.9), plus the uniform-schedule variant the paper equates with
+//!   Theorem 4.1;
+//! * **analytic gate-count models** ([`analysis`]) that predict the size of the tree
+//!   phases exactly for problem sizes far too large to materialise.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fast_matmul::{BilinearAlgorithm, Matrix};
+//! use tcmm_core::{CircuitConfig, matmul::MatmulCircuit};
+//!
+//! // Multiply two 4x4 matrices with 3-bit entries through an actual threshold circuit
+//! // derived from Strassen's algorithm with one selected level (d = 1).
+//! let config = CircuitConfig::new(BilinearAlgorithm::strassen(), 3);
+//! let mm = MatmulCircuit::theorem_4_9(&config, 4, 1).unwrap();
+//! let a = Matrix::from_fn(4, 4, |i, j| ((i + 2 * j) % 5) as i64 - 2);
+//! let b = Matrix::from_fn(4, 4, |i, j| ((3 * i + j) % 7) as i64 - 3);
+//! let c = mm.evaluate(&a, &b).unwrap();
+//! assert_eq!(c, a.multiply_naive(&b).unwrap());
+//! assert!(mm.circuit().depth() <= 4 * 1 + 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+mod config;
+mod error;
+mod matrix_input;
+pub mod matmul;
+pub mod naive;
+pub mod schedule;
+pub mod trace;
+pub mod tree;
+
+pub use config::CircuitConfig;
+pub use error::CoreError;
+pub use matrix_input::MatrixInput;
+pub use schedule::LevelSchedule;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

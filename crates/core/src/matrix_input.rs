@@ -1,0 +1,122 @@
+//! Input layout for matrices fed into the circuits.
+
+use crate::{CoreError, Result};
+use fast_matmul::Matrix;
+use tc_arith::{InputAllocator, SignedInt};
+
+/// The primary-input layout of one `N×N` matrix of signed, `b`-bit entries.
+///
+/// Entries are allocated row-major; each entry uses the paper's `x = x⁺ − x⁻` encoding,
+/// so the matrix occupies `2·b·N²` input wires.  The layout knows how to write a host
+/// [`Matrix`] into an input-bit vector and how to read one back from an evaluation.
+#[derive(Debug, Clone)]
+pub struct MatrixInput {
+    n: usize,
+    bits: usize,
+    entries: Vec<SignedInt>,
+}
+
+impl MatrixInput {
+    /// Allocates input wires for an `n × n` matrix with `bits`-bit entries.
+    pub fn allocate(alloc: &mut InputAllocator, n: usize, bits: usize) -> Self {
+        MatrixInput {
+            n,
+            bits,
+            entries: alloc.alloc_signed_vec(n * n, bits),
+        }
+    }
+
+    /// Matrix dimension `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bit-width of each entry (per sign part).
+    #[inline]
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// The circuit-level entry at `(i, j)`.
+    #[inline]
+    pub fn entry(&self, i: usize, j: usize) -> &SignedInt {
+        &self.entries[i * self.n + j]
+    }
+
+    /// All entries, row-major.
+    #[inline]
+    pub fn entries(&self) -> &[SignedInt] {
+        &self.entries
+    }
+
+    /// Writes the host matrix `m` into the input-bit vector `into`.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::InputMismatch`] if the matrix has the wrong shape or an
+    /// entry does not fit in the declared bit-width.
+    pub fn assign(&self, m: &Matrix, into: &mut [bool]) -> Result<()> {
+        if m.rows() != self.n || m.cols() != self.n {
+            return Err(CoreError::InputMismatch {
+                reason: "matrix dimensions do not match the circuit's input layout",
+            });
+        }
+        let limit = if self.bits >= 63 {
+            i64::MAX
+        } else {
+            (1i64 << self.bits) - 1
+        };
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let v = m.get(i, j);
+                if v.abs() > limit {
+                    return Err(CoreError::InputMismatch {
+                        reason: "matrix entry does not fit in the declared bit-width",
+                    });
+                }
+                self.entry(i, j).assign(v, into)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the matrix held by this layout back from circuit inputs and an evaluation
+    /// (only meaningful when the layout's wires are primary inputs, which is always the
+    /// case for layouts produced by [`MatrixInput::allocate`]).
+    pub fn read_back(&self, inputs: &[bool], ev: &tc_circuit::Evaluation) -> Matrix {
+        Matrix::from_fn(self.n, self.n, |i, j| self.entry(i, j).value(inputs, ev))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_circuit::CircuitBuilder;
+
+    #[test]
+    fn assign_and_read_back_roundtrip() {
+        let mut alloc = InputAllocator::new();
+        let layout = MatrixInput::allocate(&mut alloc, 3, 4);
+        assert_eq!(alloc.num_inputs(), 2 * 4 * 9);
+        let circuit = CircuitBuilder::new(alloc.num_inputs()).build();
+        let m = Matrix::from_fn(3, 3, |i, j| (i as i64 - j as i64) * 3);
+        let mut bits = vec![false; circuit.num_inputs()];
+        layout.assign(&m, &mut bits).unwrap();
+        let ev = circuit.evaluate(&bits).unwrap();
+        assert_eq!(layout.read_back(&bits, &ev), m);
+    }
+
+    #[test]
+    fn shape_and_range_checks() {
+        let mut alloc = InputAllocator::new();
+        let layout = MatrixInput::allocate(&mut alloc, 2, 3);
+        let circuit = CircuitBuilder::new(alloc.num_inputs()).build();
+        let mut bits = vec![false; circuit.num_inputs()];
+        let wrong_shape = Matrix::zeros(3, 3);
+        assert!(layout.assign(&wrong_shape, &mut bits).is_err());
+        let too_big = Matrix::from_fn(2, 2, |_, _| 8);
+        assert!(layout.assign(&too_big, &mut bits).is_err());
+        let ok = Matrix::from_fn(2, 2, |_, _| -7);
+        assert!(layout.assign(&ok, &mut bits).is_ok());
+    }
+}

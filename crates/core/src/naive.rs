@@ -1,0 +1,354 @@
+//! The naive baseline circuits from the paper's introduction.
+//!
+//! * [`NaiveTriangleCircuit`] — the depth-2 circuit with `C(N,3) + 1` gates deciding
+//!   whether a graph has at least `τ` triangles (one gate per vertex triple plus one
+//!   output gate).  This is the baseline the subcubic constructions are measured
+//!   against.
+//! * [`NaiveTraceCircuit`] — the same idea for weighted symmetric matrices: one depth-1
+//!   product block per vertex triple (Lemma 3.3) and one output gate.
+//! * [`NaiveMatmulCircuit`] — the definition-based matrix-product circuit: `N³` scalar
+//!   products (Lemma 3.3) followed by one depth-2 summation per entry of `C`
+//!   (`Θ(N³)` gates, depth 3).
+
+use crate::matrix_input::MatrixInput;
+use crate::trace::check_symmetric_zero_diagonal;
+use crate::{CircuitConfig, CoreError, Result};
+use fast_matmul::Matrix;
+use tc_arith::{
+    product3_signed_repr, product_signed_repr, repr_to_signed, threshold_of_repr,
+    InputAllocator, Repr, SignedInt,
+};
+use tc_circuit::{Circuit, CircuitBuilder, CircuitStats, Wire};
+
+/// The depth-2, `C(N,3) + 1`-gate triangle-threshold circuit from Section 1.
+///
+/// Inputs are the `N(N−1)/2` edge indicator bits `x_ij` (`i < j`).  The first layer has
+/// a gate `g_ijk` per vertex triple firing iff all three edges are present; the output
+/// gate fires iff at least `τ` triple gates fire.
+#[derive(Debug)]
+pub struct NaiveTriangleCircuit {
+    circuit: Circuit,
+    n: usize,
+    tau: i64,
+}
+
+impl NaiveTriangleCircuit {
+    /// Builds the circuit for `n`-vertex graphs and triangle threshold `tau`.
+    pub fn new(n: usize, tau: i64) -> Result<Self> {
+        let num_edges = n * (n - 1) / 2;
+        let mut builder = CircuitBuilder::new(num_edges);
+        let edge = |i: usize, j: usize| {
+            debug_assert!(i < j);
+            // Index of pair (i, j) in lexicographic order over i < j.
+            Wire::input(i * n - i * (i + 1) / 2 + (j - i - 1))
+        };
+        let mut triple_gates = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for k in (j + 1)..n {
+                    let g = builder.add_gate(
+                        [(edge(i, j), 1), (edge(i, k), 1), (edge(j, k), 1)],
+                        3,
+                    )?;
+                    triple_gates.push(g);
+                }
+            }
+        }
+        let out = if triple_gates.is_empty() {
+            // Graphs with fewer than 3 vertices have no triangles; the answer is the
+            // constant [0 >= tau].
+            builder.add_gate([(Wire::One, 0)], tau)?
+        } else {
+            builder.add_gate(triple_gates.into_iter().map(|g| (g, 1)), tau)?
+        };
+        builder.mark_output(out);
+        Ok(NaiveTriangleCircuit {
+            circuit: builder.build(),
+            n,
+            tau,
+        })
+    }
+
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The triangle threshold `τ`.
+    pub fn tau(&self) -> i64 {
+        self.tau
+    }
+
+    /// Complexity statistics.
+    pub fn stats(&self) -> CircuitStats {
+        self.circuit.stats()
+    }
+
+    /// Evaluates the circuit on a graph given by its adjacency matrix.
+    pub fn evaluate(&self, adjacency: &Matrix) -> Result<bool> {
+        check_symmetric_zero_diagonal(adjacency)?;
+        if adjacency.rows() != self.n {
+            return Err(CoreError::InputMismatch {
+                reason: "adjacency matrix size does not match the circuit",
+            });
+        }
+        let mut bits = Vec::with_capacity(self.n * (self.n - 1) / 2);
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                let v = adjacency.get(i, j);
+                if v != 0 && v != 1 {
+                    return Err(CoreError::InputMismatch {
+                        reason: "the triangle circuit needs a 0/1 adjacency matrix",
+                    });
+                }
+                bits.push(v == 1);
+            }
+        }
+        let ev = self.circuit.evaluate(&bits)?;
+        Ok(ev.outputs()[0])
+    }
+}
+
+/// The naive depth-2 trace-threshold circuit for weighted symmetric matrices: one
+/// Lemma 3.3 product block per vertex triple and one output gate comparing
+/// `6·Σ_{i<j<k} A_ij·A_jk·A_ik` with `τ`.
+#[derive(Debug)]
+pub struct NaiveTraceCircuit {
+    circuit: Circuit,
+    input: MatrixInput,
+    tau: i64,
+}
+
+impl NaiveTraceCircuit {
+    /// Builds the circuit for `n×n` symmetric zero-diagonal matrices with the entry
+    /// width taken from `config`.
+    pub fn new(config: &CircuitConfig, n: usize, tau: i64) -> Result<Self> {
+        let mut alloc = InputAllocator::new();
+        let input = MatrixInput::allocate(&mut alloc, n, config.entry_bits());
+        let mut builder = CircuitBuilder::new(alloc.num_inputs());
+        let mut total = Repr::zero();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for k in (j + 1)..n {
+                    let prod = product3_signed_repr(
+                        &mut builder,
+                        input.entry(i, j),
+                        input.entry(j, k),
+                        input.entry(i, k),
+                    )?;
+                    total.add(&prod.scale(6)?);
+                }
+            }
+        }
+        let out = threshold_of_repr(&mut builder, &total, tau)?;
+        builder.mark_output(out);
+        Ok(NaiveTraceCircuit {
+            circuit: builder.build(),
+            input,
+            tau,
+        })
+    }
+
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// The threshold `τ`.
+    pub fn tau(&self) -> i64 {
+        self.tau
+    }
+
+    /// Complexity statistics.
+    pub fn stats(&self) -> CircuitStats {
+        self.circuit.stats()
+    }
+
+    /// Evaluates the circuit: `trace(A³) ≥ τ`?
+    pub fn evaluate(&self, a: &Matrix) -> Result<bool> {
+        check_symmetric_zero_diagonal(a)?;
+        let mut bits = vec![false; self.circuit.num_inputs()];
+        self.input.assign(a, &mut bits)?;
+        let ev = self.circuit.evaluate(&bits)?;
+        Ok(ev.outputs()[0])
+    }
+}
+
+/// The naive (definition-based) matrix-product circuit: products `A_ik·B_kj` in depth 1,
+/// then a depth-2 summation per entry of `C`.  Depth 3, `Θ(N³·b²)` gates.
+#[derive(Debug)]
+pub struct NaiveMatmulCircuit {
+    circuit: Circuit,
+    a: MatrixInput,
+    b: MatrixInput,
+    output: Vec<SignedInt>,
+    n: usize,
+}
+
+impl NaiveMatmulCircuit {
+    /// Builds the circuit for `n×n` matrices with the entry width taken from `config`.
+    pub fn new(config: &CircuitConfig, n: usize) -> Result<Self> {
+        let mut alloc = InputAllocator::new();
+        let a = MatrixInput::allocate(&mut alloc, n, config.entry_bits());
+        let b = MatrixInput::allocate(&mut alloc, n, config.entry_bits());
+        let mut builder = CircuitBuilder::new(alloc.num_inputs());
+        let mut output = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut entry = Repr::zero();
+                for k in 0..n {
+                    let prod = product_signed_repr(&mut builder, a.entry(i, k), b.entry(k, j))?;
+                    entry.add(&prod);
+                }
+                let value = repr_to_signed(&mut builder, &entry)?;
+                value.mark_as_outputs(&mut builder);
+                output.push(value);
+            }
+        }
+        Ok(NaiveMatmulCircuit {
+            circuit: builder.build(),
+            a,
+            b,
+            output,
+            n,
+        })
+    }
+
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Complexity statistics.
+    pub fn stats(&self) -> CircuitStats {
+        self.circuit.stats()
+    }
+
+    /// Evaluates the circuit on two host matrices and decodes `C = A·B`.
+    pub fn evaluate(&self, a: &Matrix, b: &Matrix) -> Result<Matrix> {
+        let mut bits = vec![false; self.circuit.num_inputs()];
+        self.a.assign(a, &mut bits)?;
+        self.b.assign(b, &mut bits)?;
+        let ev = self.circuit.evaluate(&bits)?;
+        Ok(Matrix::from_fn(self.n, self.n, |i, j| {
+            self.output[i * self.n + j].value(&bits, &ev)
+        }))
+    }
+}
+
+/// The number of gates of the naive triangle circuit: `C(N,3) + 1`.
+pub fn naive_triangle_gate_count(n: u64) -> u64 {
+    if n < 3 {
+        return 1;
+    }
+    n * (n - 1) * (n - 2) / 6 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::trace_of_cube;
+    use fast_matmul::{random_binary_matrix, random_matrix, BilinearAlgorithm};
+
+    fn adjacency(n: usize, density: f64, seed: u64) -> Matrix {
+        let raw = random_binary_matrix(n, density, seed);
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = raw.get(i, j);
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        m
+    }
+
+    fn triangle_count(a: &Matrix) -> i128 {
+        trace_of_cube(a) / 6
+    }
+
+    #[test]
+    fn gate_count_is_n_choose_3_plus_1() {
+        for n in [3usize, 4, 8, 16] {
+            let c = NaiveTriangleCircuit::new(n, 1).unwrap();
+            assert_eq!(
+                c.circuit().num_gates() as u64,
+                naive_triangle_gate_count(n as u64),
+                "n={n}"
+            );
+            assert_eq!(c.circuit().depth(), 2);
+        }
+        assert_eq!(naive_triangle_gate_count(16), 560 + 1);
+    }
+
+    #[test]
+    fn triangle_threshold_answers_match_exact_counts() {
+        for n in [4usize, 8] {
+            for seed in 0..4u64 {
+                let a = adjacency(n, 0.5, seed + 1);
+                let triangles = triangle_count(&a);
+                for tau in [0i64, 1, triangles as i64, triangles as i64 + 1, 10] {
+                    let c = NaiveTriangleCircuit::new(n, tau).unwrap();
+                    assert_eq!(
+                        c.evaluate(&a).unwrap(),
+                        triangles >= tau as i128,
+                        "n={n} seed={seed} tau={tau} triangles={triangles}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_graphs_have_no_triangles() {
+        let c = NaiveTriangleCircuit::new(2, 1).unwrap();
+        assert!(!c.evaluate(&Matrix::zeros(2, 2)).unwrap());
+        let c = NaiveTriangleCircuit::new(2, 0).unwrap();
+        assert!(c.evaluate(&Matrix::zeros(2, 2)).unwrap());
+    }
+
+    #[test]
+    fn non_binary_matrices_are_rejected_by_the_triangle_circuit() {
+        let c = NaiveTriangleCircuit::new(4, 1).unwrap();
+        let mut weighted = Matrix::zeros(4, 4);
+        weighted.set(0, 1, 2);
+        weighted.set(1, 0, 2);
+        assert!(c.evaluate(&weighted).is_err());
+    }
+
+    #[test]
+    fn naive_trace_circuit_handles_weighted_graphs() {
+        let config = CircuitConfig::new(BilinearAlgorithm::strassen(), 3);
+        let mut a = Matrix::zeros(6, 6);
+        let mut state = 123u64;
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let v = (state >> 33) as i64 % 8 - 4;
+                a.set(i, j, v);
+                a.set(j, i, v);
+            }
+        }
+        let t = trace_of_cube(&a);
+        for delta in [-5i128, 0, 5] {
+            let tau = (t + delta) as i64;
+            let c = NaiveTraceCircuit::new(&config, 6, tau).unwrap();
+            assert_eq!(c.circuit().depth(), 2);
+            assert_eq!(c.evaluate(&a).unwrap(), t >= tau as i128, "tau={tau}");
+        }
+    }
+
+    #[test]
+    fn naive_matmul_circuit_is_exact() {
+        let config = CircuitConfig::new(BilinearAlgorithm::strassen(), 3);
+        for n in [2usize, 3, 4] {
+            let mm = NaiveMatmulCircuit::new(&config, n).unwrap();
+            assert_eq!(mm.circuit().depth(), 3);
+            for seed in 0..3u64 {
+                let a = random_matrix(n, 7, seed + 50);
+                let b = random_matrix(n, 7, seed + 60);
+                assert_eq!(mm.evaluate(&a, &b).unwrap(), a.multiply_naive(&b).unwrap());
+            }
+        }
+    }
+}

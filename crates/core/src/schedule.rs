@@ -1,0 +1,293 @@
+//! Level-selection schedules (Section 4.2–4.3 of the paper).
+//!
+//! A schedule chooses which levels `0 = h_0 < h_1 < … < h_t = log_T N` of the recursion
+//! trees the circuit actually materialises.  Each selected level costs two layers of
+//! depth; the geometric schedule `h_i = ⌈(1 − γ^i)ρ⌉` of Lemma 4.3 balances the gate
+//! count across levels and yields the paper's main theorems, while the uniform schedule
+//! `h_i = ⌈i·l/d⌉` reproduces the weaker Theorem 4.1 bound.
+
+use crate::{CoreError, Result};
+use fast_matmul::SparsityProfile;
+
+/// A strictly increasing selection of recursion-tree levels ending at `l = log_T N`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelSchedule {
+    levels: Vec<u32>,
+    total_levels: u32,
+}
+
+impl LevelSchedule {
+    /// Builds a schedule from an explicit list of levels.
+    ///
+    /// The list must be non-empty, strictly increasing, start above 0, and end exactly
+    /// at `total_levels` (= `log_T N`).
+    pub fn explicit(levels: Vec<u32>, total_levels: u32) -> Result<Self> {
+        if levels.is_empty() {
+            return Err(CoreError::InvalidSchedule {
+                reason: "schedule must select at least one level",
+            });
+        }
+        if levels[0] == 0 {
+            return Err(CoreError::InvalidSchedule {
+                reason: "level 0 is the input and cannot be selected",
+            });
+        }
+        if !levels.windows(2).all(|w| w[0] < w[1]) {
+            return Err(CoreError::InvalidSchedule {
+                reason: "levels must be strictly increasing",
+            });
+        }
+        if *levels.last().unwrap() != total_levels {
+            return Err(CoreError::InvalidSchedule {
+                reason: "the last selected level must be log_T N (the leaves)",
+            });
+        }
+        Ok(LevelSchedule {
+            levels,
+            total_levels,
+        })
+    }
+
+    /// The single-level schedule: compute the leaves directly from the input.
+    ///
+    /// This is the "most natural approach" discussed in Section 4.2, which leads to the
+    /// `Õ(N^{1+ω})` gate count the paper improves upon; it is kept as an ablation
+    /// baseline.
+    pub fn single_level(total_levels: u32) -> Result<Self> {
+        LevelSchedule::explicit(vec![total_levels], total_levels)
+    }
+
+    /// The uniform schedule `h_i = ⌈i·l/t⌉` with `t` selected levels.
+    ///
+    /// The paper notes (after Lemma 4.3) that this natural strategy yields a weaker
+    /// bound, "comparable to Theorem 4.1"; it is the schedule used to reproduce that
+    /// theorem's gate counts.
+    pub fn uniform(total_levels: u32, t: u32) -> Result<Self> {
+        if t == 0 {
+            return Err(CoreError::InvalidSchedule {
+                reason: "uniform schedule needs at least one level",
+            });
+        }
+        let t = t.min(total_levels.max(1));
+        let mut levels: Vec<u32> = (1..=t)
+            .map(|i| ((i as u64 * total_levels as u64).div_ceil(t as u64)) as u32)
+            .collect();
+        levels.dedup();
+        levels.retain(|&h| h > 0);
+        LevelSchedule::explicit(levels, total_levels)
+    }
+
+    /// The geometric schedule `h_i = ⌈(1 − γ^i)·ρ⌉` of Lemma 4.3, generated until the
+    /// leaf level is reached (the last level is clamped to `l`).
+    pub fn geometric(total_levels: u32, rho: f64, gamma: f64) -> Result<Self> {
+        if !(0.0..1.0).contains(&gamma) || gamma <= 0.0 {
+            return Err(CoreError::UnsuitableAlgorithm {
+                reason: "geometric schedules need gamma strictly between 0 and 1",
+            });
+        }
+        if rho <= 0.0 {
+            return Err(CoreError::InvalidSchedule {
+                reason: "rho must be positive",
+            });
+        }
+        let mut levels = Vec::new();
+        let mut gamma_pow = 1.0f64;
+        // A generous iteration cap: the theorems use t = O(log log N) or t <= d, and
+        // gamma^i decays geometrically, so 64 * total_levels is far beyond any need.
+        for _ in 0..(64 * total_levels.max(1) as usize) {
+            gamma_pow *= gamma;
+            let h = ((1.0 - gamma_pow) * rho).ceil() as i64;
+            let h = h.clamp(0, total_levels as i64) as u32;
+            if h == 0 {
+                continue;
+            }
+            if levels.last() != Some(&h) {
+                levels.push(h);
+            }
+            if h >= total_levels {
+                break;
+            }
+        }
+        if levels.last() != Some(&total_levels) {
+            levels.push(total_levels);
+        }
+        LevelSchedule::explicit(levels, total_levels)
+    }
+
+    /// The schedule of **Theorem 4.4** (`O(log log N)` depth, `Õ(N^ω)` gates):
+    /// `ρ = log_T N`, giving `t = ⌊log_{1/γ}(log_T N)⌋ + 1` selected levels.
+    pub fn for_theorem_4_4(profile: &SparsityProfile, total_levels: u32) -> Result<Self> {
+        if !profile.is_fast() {
+            return Err(CoreError::UnsuitableAlgorithm {
+                reason: "Theorem 4.4 needs gamma in (0,1): use a recipe with T^2 < r < s_A",
+            });
+        }
+        LevelSchedule::geometric(total_levels, total_levels as f64, profile.gamma())
+    }
+
+    /// The schedule of **Theorem 4.5 / 4.9** (constant depth): `ρ = log_T N + ε·log_{αβ} N`
+    /// with `ε = γ^d·log_T(αβ)/(1 − γ)`, which guarantees at most `d` selected levels.
+    pub fn for_theorem_4_5(
+        profile: &SparsityProfile,
+        total_levels: u32,
+        d: u32,
+    ) -> Result<Self> {
+        if !profile.is_fast() {
+            return Err(CoreError::UnsuitableAlgorithm {
+                reason: "Theorem 4.5 needs gamma in (0,1): use a recipe with T^2 < r < s_A",
+            });
+        }
+        if d == 0 {
+            return Err(CoreError::InvalidSchedule {
+                reason: "Theorem 4.5 needs d >= 1",
+            });
+        }
+        let gamma = profile.gamma();
+        // rho = l + eps * log_{alpha*beta}(N) simplifies to l * (1 + gamma^d / (1 - gamma)).
+        let rho = total_levels as f64 * (1.0 + gamma.powi(d as i32) / (1.0 - gamma));
+        let schedule = LevelSchedule::geometric(total_levels, rho, gamma)?;
+        debug_assert!(
+            schedule.num_selected() as u32 <= d.max(schedule.num_selected() as u32),
+            "geometric schedule exceeded its level budget"
+        );
+        Ok(schedule)
+    }
+
+    /// The selected levels `h_1 < … < h_t`.
+    #[inline]
+    pub fn levels(&self) -> &[u32] {
+        &self.levels
+    }
+
+    /// `t`, the number of selected levels.
+    #[inline]
+    pub fn num_selected(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The leaf level `l = log_T N`.
+    #[inline]
+    pub fn total_levels(&self) -> u32 {
+        self.total_levels
+    }
+
+    /// Iterates over the transitions `(h_{i−1}, h_i)`, starting from `h_0 = 0`.
+    pub fn transitions(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        std::iter::once(0u32)
+            .chain(self.levels.iter().copied())
+            .zip(self.levels.iter().copied())
+    }
+
+    /// Depth contributed by one tree phase: two layers per selected level.
+    pub fn tree_depth(&self) -> u32 {
+        2 * self.num_selected() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fast_matmul::BilinearAlgorithm;
+
+    fn strassen_profile() -> SparsityProfile {
+        SparsityProfile::of(&BilinearAlgorithm::strassen())
+    }
+
+    #[test]
+    fn explicit_validation() {
+        assert!(LevelSchedule::explicit(vec![], 4).is_err());
+        assert!(LevelSchedule::explicit(vec![0, 4], 4).is_err());
+        assert!(LevelSchedule::explicit(vec![2, 2, 4], 4).is_err());
+        assert!(LevelSchedule::explicit(vec![2, 3], 4).is_err());
+        let s = LevelSchedule::explicit(vec![2, 4], 4).unwrap();
+        assert_eq!(s.num_selected(), 2);
+        assert_eq!(s.tree_depth(), 4);
+        let transitions: Vec<_> = s.transitions().collect();
+        assert_eq!(transitions, vec![(0, 2), (2, 4)]);
+    }
+
+    #[test]
+    fn uniform_schedules() {
+        let s = LevelSchedule::uniform(6, 3).unwrap();
+        assert_eq!(s.levels(), &[2, 4, 6]);
+        let s = LevelSchedule::uniform(5, 2).unwrap();
+        assert_eq!(s.levels(), &[3, 5]);
+        // More levels than the tree has collapses to one per level.
+        let s = LevelSchedule::uniform(3, 10).unwrap();
+        assert_eq!(s.levels(), &[1, 2, 3]);
+        assert!(LevelSchedule::uniform(4, 0).is_err());
+    }
+
+    #[test]
+    fn single_level_schedule() {
+        let s = LevelSchedule::single_level(5).unwrap();
+        assert_eq!(s.levels(), &[5]);
+        assert_eq!(s.transitions().collect::<Vec<_>>(), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn theorem_4_4_schedule_has_loglog_levels() {
+        let p = strassen_profile();
+        for l in [4u32, 8, 16, 20] {
+            let s = LevelSchedule::for_theorem_4_4(&p, l).unwrap();
+            assert_eq!(*s.levels().last().unwrap(), l);
+            // t = floor(log_{1/gamma} l) + 1 per the theorem; allow one extra level for
+            // ceiling effects.
+            let bound = ((l as f64).ln() / (1.0 / p.gamma()).ln()).floor() as usize + 2;
+            assert!(
+                s.num_selected() <= bound,
+                "l={l}: t={} exceeds {bound}",
+                s.num_selected()
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_4_5_schedule_respects_the_depth_budget() {
+        let p = strassen_profile();
+        for l in [4u32, 8, 12, 16, 24] {
+            for d in 1..=6u32 {
+                let s = LevelSchedule::for_theorem_4_5(&p, l, d).unwrap();
+                assert_eq!(*s.levels().last().unwrap(), l);
+                assert!(
+                    s.num_selected() as u32 <= d,
+                    "l={l} d={d}: selected {} levels",
+                    s.num_selected()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn geometric_gaps_shrink_towards_the_leaves() {
+        // h_i = ceil((1 - gamma^i) * rho): the increments (gamma^{i-1} - gamma^i) * rho
+        // shrink geometrically, so the selected levels take one big jump from the root
+        // and then cluster ever more tightly towards the leaves.  The gaps
+        // h_i - h_{i-1} are therefore non-increasing (up to +1 from the ceilings).
+        let p = strassen_profile();
+        let s = LevelSchedule::for_theorem_4_4(&p, 20).unwrap();
+        let gaps: Vec<i64> = s
+            .transitions()
+            .map(|(a, b)| b as i64 - a as i64)
+            .collect();
+        for w in gaps.windows(2) {
+            assert!(w[0] + 1 >= w[1], "gaps {gaps:?} should be roughly non-increasing");
+        }
+        // The first jump is the largest and the last is the smallest.
+        assert!(gaps.first().unwrap() >= gaps.last().unwrap());
+    }
+
+    #[test]
+    fn naive_recipe_is_rejected_for_geometric_schedules() {
+        let p = SparsityProfile::of(&BilinearAlgorithm::naive(2));
+        assert!(LevelSchedule::for_theorem_4_4(&p, 4).is_err());
+        assert!(LevelSchedule::for_theorem_4_5(&p, 4, 2).is_err());
+    }
+
+    #[test]
+    fn invalid_geometric_parameters() {
+        assert!(LevelSchedule::geometric(4, 0.0, 0.5).is_err());
+        assert!(LevelSchedule::geometric(4, 4.0, 0.0).is_err());
+        assert!(LevelSchedule::geometric(4, 4.0, 1.0).is_err());
+    }
+}

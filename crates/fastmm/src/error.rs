@@ -1,0 +1,108 @@
+//! Error type for matrix and fast-multiplication operations.
+
+use std::fmt;
+
+/// Errors produced by matrix operations and bilinear-algorithm manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatmulError {
+    /// Matrix dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Dimensions of the left operand (rows, cols).
+        left: (usize, usize),
+        /// Dimensions of the right operand (rows, cols).
+        right: (usize, usize),
+        /// The operation being attempted.
+        op: &'static str,
+    },
+    /// An arithmetic result did not fit in `i64`.
+    Overflow {
+        /// The operation that overflowed.
+        op: &'static str,
+    },
+    /// The matrix size is not a power of the algorithm's base dimension `T`.
+    NotAPowerOfBase {
+        /// The matrix dimension.
+        n: usize,
+        /// The algorithm's base dimension.
+        base: usize,
+    },
+    /// A bilinear algorithm recipe does not compute matrix multiplication.
+    ///
+    /// The triple identifies the first coefficient of the trilinear form found to be
+    /// wrong: the entry of `C`, the entry of `A`, and the entry of `B` (all row-major).
+    InvalidAlgorithm {
+        /// Row-major index of the `C` entry.
+        c_index: usize,
+        /// Row-major index of the `A` entry.
+        a_index: usize,
+        /// Row-major index of the `B` entry.
+        b_index: usize,
+        /// The coefficient the recipe produces.
+        got: i64,
+        /// The coefficient required by the matrix-multiplication tensor (0 or 1).
+        expected: i64,
+    },
+    /// A recipe was given with inconsistent dimensions (e.g. a `U` row of the wrong
+    /// length).
+    MalformedAlgorithm {
+        /// Description of the inconsistency.
+        reason: &'static str,
+    },
+    /// The requested matrix is too large to materialise.
+    TooLarge {
+        /// Requested number of entries.
+        entries: u128,
+    },
+}
+
+impl fmt::Display for MatmulError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatmulError::DimensionMismatch { left, right, op } => write!(
+                f,
+                "dimension mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MatmulError::Overflow { op } => write!(f, "i64 overflow during {op}"),
+            MatmulError::NotAPowerOfBase { n, base } => {
+                write!(f, "matrix dimension {n} is not a power of the algorithm base {base}")
+            }
+            MatmulError::InvalidAlgorithm {
+                c_index,
+                a_index,
+                b_index,
+                got,
+                expected,
+            } => write!(
+                f,
+                "recipe is not a matrix multiplication: coefficient of A[{a_index}]*B[{b_index}] in C[{c_index}] is {got}, expected {expected}"
+            ),
+            MatmulError::MalformedAlgorithm { reason } => {
+                write!(f, "malformed bilinear algorithm: {reason}")
+            }
+            MatmulError::TooLarge { entries } => {
+                write!(f, "matrix with {entries} entries is too large to materialise")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatmulError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = MatmulError::DimensionMismatch {
+            left: (2, 3),
+            right: (4, 5),
+            op: "multiply",
+        };
+        assert!(e.to_string().contains("2x3"));
+        assert!(e.to_string().contains("4x5"));
+        let e = MatmulError::NotAPowerOfBase { n: 12, base: 2 };
+        assert!(e.to_string().contains("12"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Analytic operation-count models for recursive fast matrix multiplication.
+//!
+//! These reproduce the Section 2.1 claims of the paper: Strassen's recurrence
+//! `T(N) = 7·T(N/2) + 18·(N/2)²` and its generalisation to any bilinear recipe, giving
+//! the `O(N^ω)` scalar-multiplication and addition counts the circuit constructions are
+//! compared against.
+
+use crate::{BilinearAlgorithm, SparsityProfile};
+
+/// Closed-form operation counts of a recursive run down to scalars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecursiveOpCount {
+    /// Scalar multiplications: `r^l` for `N = T^l`.
+    pub multiplications: u128,
+    /// Scalar additions/subtractions.
+    pub additions: u128,
+}
+
+impl RecursiveOpCount {
+    /// Total scalar operations.
+    pub fn total(&self) -> u128 {
+        self.multiplications + self.additions
+    }
+}
+
+/// Number of block additions performed per recursion step by a recipe: forming the `r`
+/// left operands needs `Σ (a_i − 1)` block additions, the right operands `Σ (b_i − 1)`,
+/// and assembling `C` needs `Σ_j (c'_j − 1)`.
+///
+/// For Strassen this is `(12−7) + (12−7) + (12−4) = 18`, matching the `18·(N/2)²` term
+/// of the paper's recurrence.
+pub fn block_additions_per_step(alg: &BilinearAlgorithm) -> u128 {
+    let p = SparsityProfile::of(alg);
+    let cp = SparsityProfile::c_prime(alg);
+    let from_a: usize = p.a.iter().map(|&x| x.saturating_sub(1)).sum();
+    let from_b: usize = p.b.iter().map(|&x| x.saturating_sub(1)).sum();
+    let from_c: usize = cp.iter().map(|&x| x.saturating_sub(1)).sum();
+    (from_a + from_b + from_c) as u128
+}
+
+/// Exact scalar-operation counts of the recursive algorithm applied to `N = T^l`
+/// matrices, recursing down to `1×1` blocks.
+///
+/// Multiplications: `r^l`.  Additions satisfy
+/// `A(T^l) = r·A(T^{l−1}) + (adds per step)·(T^{l−1})²`, `A(1) = 0`.
+pub fn recursive_op_count(alg: &BilinearAlgorithm, levels: u32) -> RecursiveOpCount {
+    let r = alg.r() as u128;
+    let t = alg.t() as u128;
+    let adds_per_step = block_additions_per_step(alg);
+    let mut additions: u128 = 0;
+    // Work top-down: at depth `d` (0-based) there are r^d subproblems of size T^(l-d),
+    // each performing adds_per_step block additions on blocks of size T^(l-d-1).
+    for depth in 0..levels {
+        let block = t.pow(levels - depth - 1);
+        additions += r.pow(depth) * adds_per_step * block * block;
+    }
+    RecursiveOpCount {
+        multiplications: r.pow(levels),
+        additions,
+    }
+}
+
+/// Operation count of the naive algorithm on `N×N` matrices: `N³` multiplications and
+/// `N²(N−1)` additions.
+pub fn naive_op_count(n: u128) -> RecursiveOpCount {
+    RecursiveOpCount {
+        multiplications: n * n * n,
+        additions: n * n * n.saturating_sub(1),
+    }
+}
+
+/// The crossover size: the smallest `N = T^l` (up to `max_levels`) at which the
+/// recursive algorithm performs fewer total scalar operations than the naive algorithm,
+/// if any.
+pub fn crossover_size(alg: &BilinearAlgorithm, max_levels: u32) -> Option<u128> {
+    let t = alg.t() as u128;
+    for l in 1..=max_levels {
+        let n = t.pow(l);
+        if recursive_op_count(alg, l).total() < naive_op_count(n).total() {
+            return Some(n);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::random_matrix;
+    use crate::recursive::multiply_recursive_counting;
+
+    #[test]
+    fn strassen_has_18_block_additions_per_step() {
+        assert_eq!(block_additions_per_step(&BilinearAlgorithm::strassen()), 18);
+    }
+
+    #[test]
+    fn winograd_flat_addition_count() {
+        // The famous "15 additions" of Strassen–Winograd relies on reusing intermediate
+        // sums (S2 = S1 − A11, U2 = M1 + M6, ...).  The flat bilinear form — which is
+        // what both the recursive multiplier and the circuit constructions consume —
+        // performs 7 + 7 + 10 = 24 block additions per step.
+        assert_eq!(block_additions_per_step(&BilinearAlgorithm::winograd()), 24);
+    }
+
+    #[test]
+    fn analytic_counts_match_the_instrumented_run() {
+        let alg = BilinearAlgorithm::strassen();
+        for l in 1..=5u32 {
+            let n = 2usize.pow(l);
+            let a = random_matrix(n, 5, 1);
+            let b = random_matrix(n, 5, 2);
+            let (_, measured) = multiply_recursive_counting(&alg, &a, &b, 1).unwrap();
+            let predicted = recursive_op_count(&alg, l);
+            assert_eq!(measured.multiplications as u128, predicted.multiplications);
+            assert_eq!(measured.additions as u128, predicted.additions);
+        }
+    }
+
+    #[test]
+    fn multiplication_count_is_n_to_log2_7() {
+        let alg = BilinearAlgorithm::strassen();
+        for l in 1..=10u32 {
+            assert_eq!(recursive_op_count(&alg, l).multiplications, 7u128.pow(l));
+        }
+    }
+
+    #[test]
+    fn strassen_beats_naive_asymptotically() {
+        let alg = BilinearAlgorithm::strassen();
+        let crossover = crossover_size(&alg, 20).expect("crossover must exist");
+        // The crossover for total operation count with full recursion is known to be
+        // modest (N <= 1024 comfortably).
+        assert!(crossover <= 1024, "crossover {crossover}");
+        // Beyond the crossover the gap keeps growing.
+        let r16 = recursive_op_count(&alg, 16).total() as f64;
+        let n16 = naive_op_count(2u128.pow(16)).total() as f64;
+        assert!(r16 < n16 * 0.5);
+    }
+
+    #[test]
+    fn naive_recipe_never_beats_naive() {
+        let alg = BilinearAlgorithm::naive(2);
+        assert_eq!(crossover_size(&alg, 12), None);
+    }
+}

@@ -1,0 +1,111 @@
+//! Wedges, clustering coefficients, and τ selection (Section 5 of the paper).
+
+use crate::triangles;
+use crate::Graph;
+
+/// The number of wedges (paths of length 2): `Σ_v C(deg(v), 2)`.
+///
+/// Section 5 notes that the wedge count `D` is computable in `O(N)` time (given the
+/// degrees) and is the usual yardstick for picking the triangle threshold `τ`.
+pub fn wedge_count(g: &Graph) -> u64 {
+    (0..g.num_vertices())
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum()
+}
+
+/// The global clustering coefficient (transitivity): `3·Δ / wedges` — the fraction of
+/// wedges that close into triangles.  Defined as 0 for wedge-free graphs.
+pub fn global_clustering_coefficient(g: &Graph) -> f64 {
+    let wedges = wedge_count(g);
+    if wedges == 0 {
+        return 0.0;
+    }
+    3.0 * triangles::count_node_iterator(g) as f64 / wedges as f64
+}
+
+/// Local clustering coefficients: for each vertex, the fraction of its neighbour pairs
+/// that are adjacent (0 for degree < 2).
+pub fn local_clustering_coefficients(g: &Graph) -> Vec<f64> {
+    let per = triangles::per_vertex_triangles(g);
+    (0..g.num_vertices())
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            if d < 2 {
+                0.0
+            } else {
+                2.0 * per[v] as f64 / (d * (d - 1)) as f64
+            }
+        })
+        .collect()
+}
+
+/// Picks the trace threshold `τ` corresponding to a target global clustering
+/// coefficient: the circuit question "`trace(A³) ≥ τ`?" then answers "is the global
+/// clustering coefficient at least `target`?" (Section 5's recipe of scaling the wedge
+/// count).
+///
+/// `trace(A³) = 6·Δ` and the clustering coefficient is `3Δ/D`, so the threshold is
+/// `τ = 2·target·D`, rounded up.
+pub fn tau_for_clustering_target(g: &Graph, target: f64) -> i64 {
+    let wedges = wedge_count(g) as f64;
+    (2.0 * target * wedges).ceil() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn complete_graph_has_coefficient_one() {
+        let g = generators::complete(6);
+        assert_eq!(wedge_count(&g), 6 * 10); // each vertex: C(5,2) = 10 wedges
+        assert!((global_clustering_coefficient(&g) - 1.0).abs() < 1e-12);
+        for c in local_clustering_coefficients(&g) {
+            assert!((c - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn triangle_free_graphs_have_coefficient_zero() {
+        assert_eq!(global_clustering_coefficient(&generators::star(8)), 0.0);
+        assert_eq!(global_clustering_coefficient(&generators::cycle(8)), 0.0);
+        assert_eq!(global_clustering_coefficient(&Graph::empty(4)), 0.0);
+    }
+
+    #[test]
+    fn paw_graph_values() {
+        // Triangle {0,1,2} plus pendant edge (2,3).
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        assert_eq!(wedge_count(&g), 1 + 1 + 3); // degrees 2,2,3,1
+        assert!((global_clustering_coefficient(&g) - 3.0 / 5.0).abs() < 1e-12);
+        let local = local_clustering_coefficients(&g);
+        assert!((local[0] - 1.0).abs() < 1e-12);
+        assert!((local[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local[3], 0.0);
+    }
+
+    #[test]
+    fn tau_selection_is_consistent_with_the_trace_identity() {
+        let g = generators::bter_like(
+            generators::BterParams {
+                n: 32,
+                community_size: 8,
+                p_within: 0.7,
+                p_between: 0.05,
+            },
+            5,
+        );
+        let cc = global_clustering_coefficient(&g);
+        let trace = triangles::trace_of_cube(&g);
+        // With the target set exactly at the measured coefficient, trace >= tau holds;
+        // with a slightly larger target it fails.
+        let tau_ok = tau_for_clustering_target(&g, cc - 1e-9);
+        let tau_too_high = tau_for_clustering_target(&g, cc + 0.05);
+        assert!(trace >= tau_ok as i128);
+        assert!(trace < tau_too_high as i128);
+    }
+}

@@ -1,0 +1,172 @@
+//! A simple undirected graph.
+
+use fast_matmul::Matrix;
+
+/// A simple undirected graph (no self-loops, no parallel edges) on vertices
+/// `0..num_vertices`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    /// Sorted adjacency lists.
+    adjacency: Vec<Vec<usize>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            n,
+            adjacency: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Creates a graph from an edge list; duplicate edges and self-loops are ignored.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Graph::empty(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Creates a graph from a symmetric 0/1 adjacency matrix (entries `!= 0` count as
+    /// edges, the diagonal is ignored).
+    pub fn from_adjacency(m: &Matrix) -> Self {
+        let n = m.rows();
+        let mut g = Graph::empty(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if m.get(i, j) != 0 {
+                    g.add_edge(i, j);
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Adds the undirected edge `{u, v}` if it is not a self-loop and not already
+    /// present.  Returns `true` when the edge was inserted.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        if u == v || u >= self.n || v >= self.n || self.has_edge(u, v) {
+            return false;
+        }
+        let pos_u = self.adjacency[u].binary_search(&v).unwrap_err();
+        self.adjacency[u].insert(pos_u, v);
+        let pos_v = self.adjacency[v].binary_search(&u).unwrap_err();
+        self.adjacency[v].insert(pos_v, u);
+        self.num_edges += 1;
+        true
+    }
+
+    /// `true` if the edge `{u, v}` is present.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.n && self.adjacency[u].binary_search(&v).is_ok()
+    }
+
+    /// The (sorted) neighbours of `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adjacency[v]
+    }
+
+    /// The degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// The graph's symmetric 0/1 adjacency matrix.
+    pub fn adjacency_matrix(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.n, self.n);
+        for u in 0..self.n {
+            for &v in &self.adjacency[u] {
+                m.set(u, v, 1);
+            }
+        }
+        m
+    }
+
+    /// The adjacency matrix zero-padded to `size × size` (isolated extra vertices),
+    /// used to reach a power-of-`T` dimension for the circuit constructions.  Padding
+    /// with isolated vertices changes neither the triangle count nor the wedge count.
+    pub fn padded_adjacency_matrix(&self, size: usize) -> Matrix {
+        self.adjacency_matrix().padded(size, size)
+    }
+
+    /// Iterates over all edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.adjacency[u]
+                .iter()
+                .copied()
+                .filter(move |&v| v > u)
+                .map(move |v| (u, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_insertion_and_queries() {
+        let mut g = Graph::empty(5);
+        assert!(g.add_edge(0, 1));
+        assert!(g.add_edge(1, 2));
+        assert!(!g.add_edge(0, 1), "duplicate edges are ignored");
+        assert!(!g.add_edge(3, 3), "self-loops are ignored");
+        assert!(!g.add_edge(0, 9), "out-of-range vertices are ignored");
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn adjacency_matrix_roundtrip() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]);
+        let m = g.adjacency_matrix();
+        assert_eq!(m.get(0, 1), 1);
+        assert_eq!(m.get(1, 0), 1);
+        assert_eq!(m.get(1, 3), 0);
+        assert_eq!(m.trace(), 0);
+        let g2 = Graph::from_adjacency(&m);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn padding_preserves_edges_and_isolates_new_vertices() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let p = g.padded_adjacency_matrix(8);
+        assert_eq!(p.rows(), 8);
+        assert_eq!(p.get(0, 1), 1);
+        assert_eq!(p.get(5, 6), 0);
+        let gp = Graph::from_adjacency(&p);
+        assert_eq!(gp.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn edge_iterator_lists_each_edge_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 1), (3, 0)]);
+        let edges: Vec<(usize, usize)> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.contains(&(0, 1)));
+        assert!(edges.contains(&(1, 2)));
+        assert!(edges.contains(&(0, 3)));
+        assert!(edges.iter().all(|&(u, v)| u < v));
+    }
+}

@@ -1,0 +1,30 @@
+//! # neuro-sim — a neuromorphic-device simulator for threshold circuits
+//!
+//! The paper targets neuromorphic computing devices (TrueNorth, SpiNNaker, Loihi) that
+//! implement threshold gates in hardware.  No such hardware is assumed here; instead
+//! this crate simulates the device-level concerns the paper discusses so that the
+//! generated circuits can be *executed*, *mapped*, and *costed*:
+//!
+//! * [`DeviceSpec`] — an abstract device with cores, a per-core neuron budget, an
+//!   optional fan-in limit, per-spike energy and per-layer latency (presets modelled
+//!   after the systems cited in the paper are provided);
+//! * [`mapping`] — greedy placement of a circuit's gates onto cores, reporting core
+//!   usage, fan-in violations, and inter-core traffic;
+//! * [`energy`] — the firing-based energy model of Uchizawa, Douglas and Maass that the
+//!   paper's open-problems section asks about (one unit of energy per firing gate), plus
+//!   a latency model (depth × per-layer time);
+//! * [`partition`] — the Section 5 workaround for bounded fan-in: splitting a matrix
+//!   multiplication into independent row-block pieces of at most `ω√x` rows so that
+//!   every piece fits a fan-in budget of `x`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod device;
+pub mod energy;
+pub mod mapping;
+pub mod partition;
+
+pub use device::DeviceSpec;
+pub use energy::{EnergyReport, LatencyReport};
+pub use mapping::MappingReport;

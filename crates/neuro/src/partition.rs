@@ -1,0 +1,112 @@
+//! Fan-in-limited partitioning (Section 5 of the paper).
+//!
+//! The circuits use gates with fan-in as large as `O(N^ω)`.  Section 5 argues this is
+//! not a practical obstacle for the convolutional-network workload: if the architecture
+//! only supports fan-in `x`, the matrix multiplication can be broken into independent
+//! pieces, each with at most `ω√x` rows of the first matrix, run in parallel at the same
+//! depth.  This module implements that planning arithmetic.
+
+/// A plan for splitting a `P × Q · Q × K` multiplication into independent row-block
+/// pieces that each respect a fan-in budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowPartitionPlan {
+    /// Rows of the first matrix per piece.
+    pub rows_per_piece: usize,
+    /// Number of pieces (the last piece may be smaller).
+    pub num_pieces: usize,
+    /// The fan-in budget the plan was computed for.
+    pub max_fan_in: usize,
+}
+
+/// Computes the paper's row partition: each piece gets at most `⌊x^(1/ω)⌋` rows (and at
+/// least one), so that a circuit built per piece has fan-in roughly bounded by `x`.
+pub fn plan_row_partition(total_rows: usize, max_fan_in: usize, omega: f64) -> RowPartitionPlan {
+    assert!(omega >= 2.0, "omega below 2 is information-theoretically impossible");
+    let rows_per_piece = (max_fan_in as f64).powf(1.0 / omega).floor() as usize;
+    let rows_per_piece = rows_per_piece.clamp(1, total_rows.max(1));
+    RowPartitionPlan {
+        rows_per_piece,
+        num_pieces: total_rows.div_ceil(rows_per_piece),
+        max_fan_in,
+    }
+}
+
+impl RowPartitionPlan {
+    /// The row ranges (start, end) of each piece.
+    pub fn pieces(&self, total_rows: usize) -> Vec<(usize, usize)> {
+        (0..self.num_pieces)
+            .map(|i| {
+                let start = i * self.rows_per_piece;
+                let end = ((i + 1) * self.rows_per_piece).min(total_rows);
+                (start, end)
+            })
+            .filter(|(s, e)| e > s)
+            .collect()
+    }
+
+    /// The predicted fan-in of a piece: `rows_per_piece^ω`, the quantity the paper
+    /// bounds by the budget.
+    pub fn predicted_piece_fan_in(&self, omega: f64) -> f64 {
+        (self.rows_per_piece as f64).powf(omega)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STRASSEN_OMEGA: f64 = 2.807354922057604; // log2(7)
+
+    #[test]
+    fn plan_respects_the_budget() {
+        for &budget in &[256usize, 1024, 4096, 65536] {
+            let plan = plan_row_partition(10_000, budget, STRASSEN_OMEGA);
+            assert!(plan.rows_per_piece >= 1);
+            assert!(
+                plan.predicted_piece_fan_in(STRASSEN_OMEGA) <= budget as f64 + 1e-6,
+                "budget {budget}: predicted fan-in {} too large",
+                plan.predicted_piece_fan_in(STRASSEN_OMEGA)
+            );
+            // One more row per piece would blow the budget (or the piece already covers
+            // all rows).
+            let bigger = (plan.rows_per_piece + 1) as f64;
+            assert!(
+                bigger.powf(STRASSEN_OMEGA) > budget as f64 || plan.num_pieces == 1,
+                "budget {budget}: pieces could have been larger"
+            );
+        }
+    }
+
+    #[test]
+    fn pieces_cover_all_rows_without_overlap() {
+        let plan = plan_row_partition(1000, 4096, STRASSEN_OMEGA);
+        let pieces = plan.pieces(1000);
+        assert_eq!(pieces.first().unwrap().0, 0);
+        assert_eq!(pieces.last().unwrap().1, 1000);
+        for w in pieces.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "pieces must tile the row range");
+        }
+        let covered: usize = pieces.iter().map(|(s, e)| e - s).sum();
+        assert_eq!(covered, 1000);
+    }
+
+    #[test]
+    fn tiny_budgets_still_make_progress() {
+        let plan = plan_row_partition(100, 2, 3.0);
+        assert_eq!(plan.rows_per_piece, 1);
+        assert_eq!(plan.num_pieces, 100);
+    }
+
+    #[test]
+    fn large_budget_keeps_everything_in_one_piece() {
+        let plan = plan_row_partition(8, 1_000_000, STRASSEN_OMEGA);
+        assert_eq!(plan.num_pieces, 1);
+        assert_eq!(plan.pieces(8), vec![(0, 8)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "omega below 2")]
+    fn rejects_impossible_omega() {
+        plan_row_partition(10, 100, 1.5);
+    }
+}

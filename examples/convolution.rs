@@ -1,0 +1,101 @@
+//! Convolutional-layer matrix multiplication (the paper's deep-learning motivation).
+//!
+//! Lowers a small convolutional layer to the `P×Q · Q×K` matrix product via im2col and
+//! runs it through three backends — naive, recursive Strassen, and an actual threshold
+//! circuit — then shows the Section 5 fan-in partitioning plan for a realistic layer on
+//! fan-in-limited hardware.
+//!
+//! Run with `cargo run --release --example convolution`.
+
+use tcmm::convnet::{conv_direct, conv_via_matmul, ConvLayerSpec, MatmulBackend, Tensor3};
+use tcmm::neuro::partition;
+use tcmm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A moderate layer for the host-side backends.
+    let spec = ConvLayerSpec {
+        image_size: 6,
+        channels: 2,
+        kernel_size: 3,
+        num_kernels: 4,
+        stride: 1,
+    };
+    let (p, q, k) = spec.matmul_shape();
+    println!("conv layer -> matmul: P = {p} patches, Q = {q} kernel elements, K = {k} kernels");
+
+    let image = Tensor3::random(spec.image_size, spec.image_size, spec.channels, 3, 7);
+    let kernels: Vec<Tensor3> = (0..spec.num_kernels)
+        .map(|i| Tensor3::random(spec.kernel_size, spec.kernel_size, spec.channels, 2, 100 + i as u64))
+        .collect();
+
+    let reference = conv_direct(&spec, &image, &kernels);
+
+    let backends = [
+        ("naive", MatmulBackend::Naive),
+        (
+            "strassen (host)",
+            MatmulBackend::Fast {
+                algorithm: BilinearAlgorithm::strassen(),
+                cutoff: 2,
+            },
+        ),
+    ];
+    for (name, backend) in backends {
+        let out = conv_via_matmul(&spec, &image, &kernels, &backend)?;
+        assert_eq!(out, reference, "{name} disagrees with the direct convolution");
+        println!("  backend {name:<40} ... matches direct convolution");
+    }
+
+    // A tiny layer for the threshold-circuit backend: its im2col matrices pad to a
+    // 4x4 product, which keeps the Theorem 4.9 circuit cheap to materialise (the
+    // constant-depth construction buys depth with fan-in, so circuit size grows very
+    // quickly with the padded dimension).
+    let tiny = ConvLayerSpec {
+        image_size: 3,
+        channels: 1,
+        kernel_size: 2,
+        num_kernels: 2,
+        stride: 1,
+    };
+    let tiny_image = Tensor3::random(tiny.image_size, tiny.image_size, tiny.channels, 3, 8);
+    let tiny_kernels: Vec<Tensor3> = (0..tiny.num_kernels)
+        .map(|i| Tensor3::random(tiny.kernel_size, tiny.kernel_size, tiny.channels, 2, 200 + i as u64))
+        .collect();
+    let tiny_reference = conv_direct(&tiny, &tiny_image, &tiny_kernels);
+    let circuit_backend = MatmulBackend::ThresholdCircuit {
+        algorithm: BilinearAlgorithm::strassen(),
+        depth_parameter: 2,
+    };
+    let out = conv_via_matmul(&tiny, &tiny_image, &tiny_kernels, &circuit_backend)?;
+    assert_eq!(
+        out, tiny_reference,
+        "the circuit backend disagrees with the direct convolution"
+    );
+    println!(
+        "  backend {:<40} ... matches direct convolution (3x3x1 layer)",
+        "threshold circuit (Theorem 4.9, d = 2)"
+    );
+
+    // Section 5: a realistic layer (32x32 image, 3 channels, 5x5 kernels, 64 kernels)
+    // on fan-in-limited hardware.
+    let big = ConvLayerSpec {
+        image_size: 32,
+        channels: 3,
+        kernel_size: 5,
+        num_kernels: 64,
+        stride: 1,
+    };
+    let (bp, bq, bk) = big.matmul_shape();
+    let omega = SparsityProfile::of(&BilinearAlgorithm::strassen()).omega();
+    println!("\nrealistic layer -> P = {bp}, Q = {bq}, K = {bk}");
+    for budget in [256usize, 4096, 65536] {
+        let plan = partition::plan_row_partition(bp, budget, omega);
+        println!(
+            "  fan-in budget {budget:>6}: {} pieces of at most {} rows (predicted piece fan-in {:.0})",
+            plan.num_pieces,
+            plan.rows_per_piece,
+            plan.predicted_piece_fan_in(omega)
+        );
+    }
+    Ok(())
+}

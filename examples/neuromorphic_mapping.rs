@@ -1,0 +1,65 @@
+//! Mapping the paper's circuits onto neuromorphic-device models.
+//!
+//! Builds the naive and subcubic trace circuits for a graph, places them on
+//! TrueNorth-like / Loihi-like / SpiNNaker-like device models, and reports core usage,
+//! fan-in violations, firing-based energy (the paper's Section 6 open problem) and
+//! latency.
+//!
+//! Run with `cargo run --release --example neuromorphic_mapping`.
+
+use tcmm::graph::{generators, triangles};
+use tcmm::neuro::{energy, mapping, DeviceSpec};
+use tcmm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 16usize;
+    let graph = generators::erdos_renyi(n, 0.3, 11);
+    let adjacency = graph.padded_adjacency_matrix(n);
+    let tau = triangles::trace_of_cube(&graph) as i64;
+
+    let config = CircuitConfig::binary(BilinearAlgorithm::strassen());
+    let subcubic = TraceCircuit::theorem_4_5(&config, n, 3, tau)?;
+    let naive = NaiveTriangleCircuit::new(n, tau / 6)?;
+
+    let devices = [
+        DeviceSpec::truenorth_like(),
+        DeviceSpec::loihi_like(),
+        DeviceSpec::spinnaker_like(),
+    ];
+
+    let mut naive_bits = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            naive_bits.push(adjacency.get(i, j) == 1);
+        }
+    }
+    let mut trace_bits = vec![false; subcubic.circuit().num_inputs()];
+    subcubic.input().assign(&adjacency, &mut trace_bits)?;
+
+    for (name, circuit, inputs) in [
+        ("naive triangle circuit", naive.circuit(), &naive_bits),
+        ("Theorem 4.5 trace circuit", subcubic.circuit(), &trace_bits),
+    ] {
+        let stats = circuit.stats();
+        println!("\n=== {name} (N = {n}) ===");
+        println!(
+            "gates = {}, depth = {}, edges = {}, max fan-in = {}",
+            stats.size, stats.depth, stats.edges, stats.max_fan_in
+        );
+        for device in &devices {
+            let map = mapping::map_circuit(circuit, device);
+            let e = energy::energy_over_inputs(circuit, device, &[inputs.clone()])?;
+            let l = energy::latency(circuit, device);
+            println!(
+                "  {:<16} cores = {:>6} fits = {:<5} fan-in violations = {:<6} energy = {:>9.0} latency = {:>6.2} ms",
+                device.name,
+                map.cores_used,
+                map.fits,
+                map.fan_in_violations,
+                e.mean_energy,
+                l.latency_ns / 1e6
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! Cross-crate integration tests: the convolution-as-matmul pipeline through every
+//! backend, including the actual Theorem 4.9 threshold circuit.
+
+use tcmm::convnet::{conv_direct, conv_via_matmul, im2col, kernel_matrix, ConvLayerSpec, MatmulBackend, Tensor3};
+use tcmm::fastmm::BilinearAlgorithm;
+
+fn small_layer() -> (ConvLayerSpec, Tensor3, Vec<Tensor3>) {
+    let spec = ConvLayerSpec {
+        image_size: 5,
+        channels: 2,
+        kernel_size: 3,
+        num_kernels: 3,
+        stride: 1,
+    };
+    let image = Tensor3::random(spec.image_size, spec.image_size, spec.channels, 3, 11);
+    let kernels = (0..spec.num_kernels)
+        .map(|k| Tensor3::random(spec.kernel_size, spec.kernel_size, spec.channels, 2, 20 + k as u64))
+        .collect();
+    (spec, image, kernels)
+}
+
+#[test]
+fn im2col_shapes_match_the_layer_description() {
+    let (spec, image, kernels) = small_layer();
+    let patches = im2col(&spec, &image);
+    let kmat = kernel_matrix(&spec, &kernels);
+    let (p, q, k) = spec.matmul_shape();
+    assert_eq!((patches.rows(), patches.cols()), (p, q));
+    assert_eq!((kmat.rows(), kmat.cols()), (q, k));
+}
+
+#[test]
+fn naive_backend_matches_direct_convolution() {
+    let (spec, image, kernels) = small_layer();
+    let direct = conv_direct(&spec, &image, &kernels);
+    let via = conv_via_matmul(&spec, &image, &kernels, &MatmulBackend::Naive).unwrap();
+    assert_eq!(direct, via);
+}
+
+#[test]
+fn fast_backend_matches_direct_convolution() {
+    let (spec, image, kernels) = small_layer();
+    let direct = conv_direct(&spec, &image, &kernels);
+    let backend = MatmulBackend::Fast {
+        algorithm: BilinearAlgorithm::strassen(),
+        cutoff: 2,
+    };
+    let via = conv_via_matmul(&spec, &image, &kernels, &backend).unwrap();
+    assert_eq!(direct, via);
+}
+
+#[test]
+fn threshold_circuit_backend_matches_direct_convolution() {
+    // Keep the layer small: the circuit backend pads the im2col matrices to the next
+    // power of two, builds a Theorem 4.9 circuit and evaluates it, so the padded
+    // product must stay at N = 4 to keep the test cheap on a single-core host.
+    let spec = ConvLayerSpec {
+        image_size: 3,
+        channels: 1,
+        kernel_size: 2,
+        num_kernels: 2,
+        stride: 1,
+    };
+    let image = Tensor3::random(spec.image_size, spec.image_size, spec.channels, 2, 31);
+    let kernels: Vec<Tensor3> = (0..spec.num_kernels)
+        .map(|k| Tensor3::random(spec.kernel_size, spec.kernel_size, spec.channels, 1, 40 + k as u64))
+        .collect();
+    let direct = conv_direct(&spec, &image, &kernels);
+    let backend = MatmulBackend::ThresholdCircuit {
+        algorithm: BilinearAlgorithm::strassen(),
+        depth_parameter: 2,
+    };
+    let via = conv_via_matmul(&spec, &image, &kernels, &backend).unwrap();
+    assert_eq!(direct, via);
+}
+
+#[test]
+fn strided_convolution_is_consistent_across_backends() {
+    let spec = ConvLayerSpec {
+        image_size: 8,
+        channels: 1,
+        kernel_size: 3,
+        num_kernels: 2,
+        stride: 2,
+    };
+    let image = Tensor3::random(spec.image_size, spec.image_size, spec.channels, 3, 51);
+    let kernels: Vec<Tensor3> = (0..spec.num_kernels)
+        .map(|k| Tensor3::random(spec.kernel_size, spec.kernel_size, spec.channels, 2, 60 + k as u64))
+        .collect();
+    let direct = conv_direct(&spec, &image, &kernels);
+    for backend in [
+        MatmulBackend::Naive,
+        MatmulBackend::Fast { algorithm: BilinearAlgorithm::strassen(), cutoff: 2 },
+    ] {
+        let via = conv_via_matmul(&spec, &image, &kernels, &backend).unwrap();
+        assert_eq!(direct, via);
+    }
+}
+
+#[test]
+fn all_zero_image_produces_all_zero_activations() {
+    let (spec, _, kernels) = small_layer();
+    let image = Tensor3::zeros(spec.image_size, spec.image_size, spec.channels);
+    let direct = conv_direct(&spec, &image, &kernels);
+    assert!(direct.data().iter().all(|&v| v == 0));
+    let via = conv_via_matmul(&spec, &image, &kernels, &MatmulBackend::Naive).unwrap();
+    assert_eq!(direct, via);
+}

@@ -1,0 +1,178 @@
+//! Cross-crate integration tests: the trace / triangle-threshold circuits against the
+//! graph substrate's exact counting algorithms.
+
+use tcmm::core::{
+    naive::{NaiveTraceCircuit, NaiveTriangleCircuit},
+    trace::{trace_of_cube, TraceCircuit},
+    CircuitConfig,
+};
+use tcmm::fastmm::BilinearAlgorithm;
+use tcmm::graph::{clustering, generators, triangles, Graph};
+
+fn binary_config() -> CircuitConfig {
+    CircuitConfig::binary(BilinearAlgorithm::strassen())
+}
+
+/// Checks every circuit flavour against the exact trace on a single graph/τ pair.
+fn check_all_circuits(g: &Graph, n_pad: usize, tau: i64) {
+    let adjacency = g.padded_adjacency_matrix(n_pad);
+    let exact = trace_of_cube(&adjacency);
+    let expected = exact >= tau as i128;
+
+    let t45 = TraceCircuit::theorem_4_5(&binary_config(), n_pad, 2, tau).unwrap();
+    assert_eq!(t45.evaluate(&adjacency).unwrap(), expected, "theorem 4.5, tau={tau}");
+
+    let t44 = TraceCircuit::theorem_4_4(&binary_config(), n_pad, tau).unwrap();
+    assert_eq!(t44.evaluate(&adjacency).unwrap(), expected, "theorem 4.4, tau={tau}");
+
+    let naive_trace = NaiveTraceCircuit::new(&binary_config(), n_pad, tau).unwrap();
+    assert_eq!(naive_trace.evaluate(&adjacency).unwrap(), expected, "naive trace, tau={tau}");
+
+    // The naive triangle circuit thresholds on the triangle count; trace = 6 * triangles.
+    if tau >= 0 && tau % 6 == 0 {
+        let naive_tri = NaiveTriangleCircuit::new(n_pad, tau / 6).unwrap();
+        assert_eq!(naive_tri.evaluate(&adjacency).unwrap(), expected, "naive triangle, tau={tau}");
+    }
+}
+
+#[test]
+fn circuits_agree_with_exact_counting_on_erdos_renyi_graphs() {
+    for &(n, p, seed) in &[(8usize, 0.4f64, 1u64), (8, 0.7, 2), (16, 0.3, 3)] {
+        let g = generators::erdos_renyi(n, p, seed);
+        let exact = triangles::trace_of_cube(&g);
+        for tau in [0i64, 6, exact as i64, exact as i64 + 6] {
+            check_all_circuits(&g, n, tau.max(0) - (tau.max(0) % 6));
+        }
+    }
+}
+
+#[test]
+fn circuits_agree_on_structured_graphs() {
+    // Complete graph: C(n,3) triangles; cycle and star: none.
+    let cases: Vec<(Graph, usize)> = vec![
+        (generators::complete(8), 8),
+        (generators::cycle(8), 8),
+        (generators::star(8), 8),
+        (generators::complete(6), 8), // needs padding to a power of two
+    ];
+    for (g, n_pad) in cases {
+        let tri = triangles::count_node_iterator(&g) as i64;
+        for tau_triangles in [0i64, 1, tri, tri + 1] {
+            check_all_circuits(&g, n_pad, 6 * tau_triangles);
+        }
+    }
+}
+
+#[test]
+fn trace_identity_matches_graph_substrate() {
+    for seed in 0..5u64 {
+        let g = generators::erdos_renyi(12, 0.35, seed);
+        let adjacency = g.padded_adjacency_matrix(16);
+        assert_eq!(
+            trace_of_cube(&adjacency),
+            triangles::trace_of_cube(&g),
+            "padding must not change the trace"
+        );
+        assert_eq!(
+            triangles::trace_of_cube(&g),
+            6 * triangles::count_node_iterator(&g) as i128
+        );
+    }
+}
+
+#[test]
+fn clustering_threshold_question_via_circuit() {
+    let params = generators::BterParams {
+        n: 16,
+        community_size: 4,
+        p_within: 0.9,
+        p_between: 0.05,
+    };
+    let g = generators::bter_like(params, 7);
+    let cc = clustering::global_clustering_coefficient(&g);
+    let adjacency = g.adjacency_matrix();
+
+    // The reduction: "clustering >= target" == "trace(A^3) >= 2*target*wedges".
+    let exact_trace = triangles::trace_of_cube(&g);
+    assert!(exact_trace > 0, "the BTER fixture should contain triangles");
+    for target in [cc * 0.5, cc, cc * 1.5 + 0.01] {
+        let tau = clustering::tau_for_clustering_target(&g, target);
+        let expected = exact_trace >= tau as i128;
+        let circuit = TraceCircuit::theorem_4_5(&binary_config(), 16, 2, tau).unwrap();
+        assert_eq!(
+            circuit.evaluate(&adjacency).unwrap(),
+            expected,
+            "target={target} cc={cc} tau={tau}"
+        );
+    }
+    // And the two sides of the reduction agree qualitatively: a target safely below the
+    // measured clustering coefficient must be answered "yes".
+    let low_target = cc * 0.5;
+    let tau_low = clustering::tau_for_clustering_target(&g, low_target);
+    assert!(exact_trace >= tau_low as i128);
+}
+
+#[test]
+fn theorem_4_5_depth_bound_holds_on_real_graphs() {
+    for d in 1..=4u32 {
+        let circuit = TraceCircuit::theorem_4_5(&binary_config(), 16, d, 6).unwrap();
+        assert!(
+            circuit.circuit().depth() <= 2 * d + 5,
+            "depth {} exceeds 2d+5 for d={d}",
+            circuit.circuit().depth()
+        );
+    }
+}
+
+#[test]
+fn subcubic_growth_rate_is_below_cubic_for_d_greater_than_3() {
+    // The paper's headline claim: for d > 3 the gate count grows like N^{3-ε}.  The
+    // predicted exponent must be below 3, and the analytic model's measured growth
+    // over a wide range of N (which averages out the polylog Õ factor and the
+    // occasional jump when the schedule gains a level) must also fit below cubic.
+    use tcmm::core::analysis::{log_log_slope, theorem_4_5_exponent, tree_phase_cost};
+    use tcmm::core::{tree::TreeKind, LevelSchedule};
+    use tcmm::fastmm::SparsityProfile;
+
+    let strassen = BilinearAlgorithm::strassen();
+    let profile = SparsityProfile::of(&strassen);
+    for d in 4..=6u32 {
+        assert!(theorem_4_5_exponent(&profile, d) < 3.0, "exponent for d={d}");
+    }
+    let d = 5u32;
+    let mut points = Vec::new();
+    for exp in [10u32, 12, 14, 16, 18, 20] {
+        let n = 1u64 << exp;
+        let schedule = LevelSchedule::for_theorem_4_5(&profile, exp, d).unwrap();
+        let gates = tree_phase_cost(&strassen, TreeKind::OverA, n as usize, 1, &schedule).total_gates;
+        points.push((n as f64, gates as f64));
+    }
+    let slope = log_log_slope(&points);
+    assert!(
+        slope < 3.0 && slope > profile.omega() - 0.1,
+        "fitted exponent {slope} should be subcubic and at least omega"
+    );
+}
+
+#[test]
+fn negative_tau_always_answers_true_and_huge_tau_false() {
+    let g = generators::erdos_renyi(8, 0.5, 11);
+    let adjacency = g.adjacency_matrix();
+    let yes = TraceCircuit::theorem_4_5(&binary_config(), 8, 2, 0).unwrap();
+    assert!(yes.evaluate(&adjacency).unwrap());
+    let no = TraceCircuit::theorem_4_5(&binary_config(), 8, 2, i64::from(u16::MAX)).unwrap();
+    assert!(!no.evaluate(&adjacency).unwrap());
+}
+
+#[test]
+fn asymmetric_or_nonzero_diagonal_inputs_are_rejected() {
+    let config = binary_config();
+    let circuit = TraceCircuit::theorem_4_5(&config, 8, 2, 6).unwrap();
+    let mut asym = tcmm::fastmm::Matrix::zeros(8, 8);
+    asym.set(0, 1, 1); // missing the symmetric entry
+    assert!(circuit.evaluate(&asym).is_err());
+
+    let mut diag = tcmm::fastmm::Matrix::zeros(8, 8);
+    diag.set(3, 3, 1);
+    assert!(circuit.evaluate(&diag).is_err());
+}

@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: the analytic gate-count models against materialised
+//! circuits and against the paper's closed-form claims.
+
+use tcmm::arith::{kth_bit_gate_count, product3_gate_count, product_gate_count};
+use tcmm::core::{
+    analysis::{
+        lemma_4_3_gate_bound, log_log_slope, naive_matmul_gate_count, theorem_4_1_exponent,
+        theorem_4_4_gate_bound, theorem_4_5_exponent, theorem_4_5_gate_bound, tree_phase_cost,
+    },
+    naive::{naive_triangle_gate_count, NaiveMatmulCircuit, NaiveTriangleCircuit},
+    tree::TreeKind,
+    CircuitConfig, LevelSchedule,
+};
+use tcmm::fastmm::{BilinearAlgorithm, SparsityProfile};
+
+#[test]
+fn naive_triangle_circuit_matches_its_closed_form_count() {
+    for n in [3u64, 4, 8, 16, 32] {
+        let circuit = NaiveTriangleCircuit::new(n as usize, 1).unwrap();
+        assert_eq!(
+            circuit.circuit().num_gates() as u64,
+            naive_triangle_gate_count(n),
+            "N={n}"
+        );
+        // C(N,3) + 1.
+        let choose3 = n * (n - 1) * (n - 2) / 6;
+        assert_eq!(naive_triangle_gate_count(n), choose3 + 1);
+    }
+}
+
+#[test]
+fn naive_matmul_circuit_is_within_a_constant_of_the_model() {
+    // The analytic model counts the dominant terms; the materialised circuit adds
+    // constant-factor overhead (sign handling, output binarisation) but must stay within
+    // a small constant factor and must never be smaller than the N³ product-gate term.
+    let config = CircuitConfig::new(BilinearAlgorithm::strassen(), 2);
+    for n in [2usize, 4] {
+        let circuit = NaiveMatmulCircuit::new(&config, n).unwrap();
+        let model = naive_matmul_gate_count(n as u64, 2);
+        let measured = circuit.circuit().num_gates() as u128;
+        assert!(measured >= (n * n * n) as u128, "N={n}");
+        assert!(
+            measured <= model.saturating_mul(16),
+            "N={n}: measured {measured} far above model {model}"
+        );
+        assert!(
+            model <= measured.saturating_mul(16),
+            "N={n}: model {model} far above measured {measured}"
+        );
+    }
+}
+
+#[test]
+fn arith_gate_count_models_match_their_formulas() {
+    for k in 1..=10u32 {
+        assert_eq!(kth_bit_gate_count(k), 2u64.pow(k) + 1);
+    }
+    for m in 1..=8u32 {
+        assert_eq!(product_gate_count(m, m), (m * m) as u64);
+        assert_eq!(product3_gate_count(m, m, m), (m * m * m) as u64);
+    }
+}
+
+#[test]
+fn tree_phase_cost_total_equals_sum_of_levels() {
+    let strassen = BilinearAlgorithm::strassen();
+    let profile = SparsityProfile::of(&strassen);
+    let schedule = LevelSchedule::for_theorem_4_5(&profile, 10, 3).unwrap();
+    for kind in [TreeKind::OverA, TreeKind::OverB, TreeKind::OverCTransposed] {
+        let cost = tree_phase_cost(&strassen, kind, 1 << 10, 4, &schedule);
+        let sum: u128 = cost.per_level.iter().map(|l| l.gates).sum();
+        assert_eq!(sum, cost.total_gates);
+        assert_eq!(cost.per_level.len(), schedule.num_selected());
+        // Node counts are r^{h_i}.
+        for lc in &cost.per_level {
+            assert_eq!(lc.nodes, (strassen.r() as u128).pow(lc.level));
+        }
+    }
+}
+
+#[test]
+fn exponent_models_are_monotone_in_d_and_bracketed() {
+    let profile = SparsityProfile::of(&BilinearAlgorithm::strassen());
+    let omega = profile.omega();
+    let mut previous_45 = f64::INFINITY;
+    let mut previous_41 = f64::INFINITY;
+    for d in 1..=12u32 {
+        let e45 = theorem_4_5_exponent(&profile, d);
+        let e41 = theorem_4_1_exponent(&profile, d);
+        assert!(e45 < previous_45, "theorem 4.5 exponent must decrease with d");
+        assert!(e41 < previous_41, "theorem 4.1 exponent must decrease with d");
+        assert!(e45 > omega, "exponent stays above omega");
+        assert!(e41 > omega);
+        previous_45 = e45;
+        previous_41 = e41;
+    }
+    // In the limit both approach omega.
+    assert!((theorem_4_5_exponent(&profile, 60) - omega).abs() < 1e-6);
+}
+
+#[test]
+fn theorem_4_5_beats_theorem_4_1_for_equal_depth_budget() {
+    // The refined schedule is the paper's contribution over the warm-up Theorem 4.1:
+    // for every d >= 2 the exponent omega + c*gamma^d is below omega + 1/d.
+    let profile = SparsityProfile::of(&BilinearAlgorithm::strassen());
+    for d in 2..=10u32 {
+        assert!(
+            theorem_4_5_exponent(&profile, d) < theorem_4_1_exponent(&profile, d),
+            "d={d}"
+        );
+    }
+}
+
+#[test]
+fn gate_bound_functions_are_consistent_with_each_other() {
+    let profile = SparsityProfile::of(&BilinearAlgorithm::strassen());
+    let n = 1024.0f64;
+    let b = 8.0f64;
+    // Theorem 4.4 sets rho = log_T N; Theorem 4.5 uses rho = log_T N + eps*log_alphabeta N,
+    // so for any fixed d its bound cannot be below the Theorem 4.4 bound at the same N.
+    let bound_44 = theorem_4_4_gate_bound(&profile, n, b);
+    for d in 1..=6u32 {
+        let bound_45 = theorem_4_5_gate_bound(&profile, n, b, d);
+        assert!(bound_45 >= bound_44 * 0.999, "d={d}");
+    }
+    // Lemma 4.3 with rho = log_T N and one level is the "leaves only" count ~ N^{omega}.
+    let rho = n.log2();
+    let one_level = lemma_4_3_gate_bound(&profile, n, b, rho, 1.0);
+    assert!(one_level.is_finite() && one_level > 0.0);
+}
+
+#[test]
+fn analytic_trace_phase_growth_matches_omega_for_theorem_4_4_schedule() {
+    let strassen = BilinearAlgorithm::strassen();
+    let profile = SparsityProfile::of(&strassen);
+    let mut points = Vec::new();
+    for exp in [8u32, 10, 12, 14, 16, 18, 20] {
+        let schedule = LevelSchedule::for_theorem_4_4(&profile, exp).unwrap();
+        let cost = tree_phase_cost(&strassen, TreeKind::OverA, 1usize << exp, 1, &schedule);
+        points.push(((1u64 << exp) as f64, cost.total_gates as f64));
+    }
+    let slope = log_log_slope(&points);
+    assert!(
+        slope < 3.0 && slope > profile.omega() - 0.1,
+        "fitted exponent {slope} should sit between omega and 3"
+    );
+}
+
+#[test]
+fn log_log_slope_recovers_known_exponents() {
+    let quadratic: Vec<(f64, f64)> = (1..=6).map(|i| {
+        let x = (1u64 << i) as f64;
+        (x, 5.0 * x * x)
+    })
+    .collect();
+    assert!((log_log_slope(&quadratic) - 2.0).abs() < 1e-9);
+    let cubic: Vec<(f64, f64)> = (1..=6).map(|i| {
+        let x = (1u64 << i) as f64;
+        (x, 0.25 * x * x * x)
+    })
+    .collect();
+    assert!((log_log_slope(&cubic) - 3.0).abs() < 1e-9);
+}

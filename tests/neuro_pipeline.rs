@@ -1,0 +1,152 @@
+//! Cross-crate integration tests: mapping, energy and fan-in partitioning of the
+//! generated circuits on the neuromorphic-device simulator.
+
+use tcmm::core::{matmul::MatmulCircuit, naive::NaiveTriangleCircuit, trace::TraceCircuit, CircuitConfig};
+use tcmm::fastmm::{random_matrix, BilinearAlgorithm};
+use tcmm::graph::generators;
+use tcmm::neuro::{energy, mapping, partition, DeviceSpec};
+
+fn trace_circuit() -> TraceCircuit {
+    let config = CircuitConfig::binary(BilinearAlgorithm::strassen());
+    TraceCircuit::theorem_4_5(&config, 8, 2, 6).unwrap()
+}
+
+#[test]
+fn generated_circuits_fit_an_unconstrained_device() {
+    let circuit = trace_circuit();
+    let report = mapping::map_circuit(circuit.circuit(), &DeviceSpec::unconstrained());
+    assert!(report.fits);
+    assert_eq!(report.fan_in_violations, 0);
+    assert!(report.cores_used >= 1);
+}
+
+#[test]
+fn mapping_conserves_edges_between_intra_and_inter_core() {
+    let circuit = trace_circuit();
+    for device in [
+        DeviceSpec::truenorth_like(),
+        DeviceSpec::loihi_like(),
+        DeviceSpec::spinnaker_like(),
+    ] {
+        let report = mapping::map_circuit(circuit.circuit(), &device);
+        assert_eq!(
+            report.intra_core_edges + report.inter_core_edges,
+            circuit.circuit().num_edges(),
+            "device {}",
+            device.name
+        );
+        assert!(report.max_fan_in <= circuit.circuit().max_fan_in());
+    }
+}
+
+#[test]
+fn energy_counts_firing_gates_per_evaluation() {
+    let config = CircuitConfig::binary(BilinearAlgorithm::strassen());
+    let circuit = TraceCircuit::theorem_4_5(&config, 8, 1, 6).unwrap();
+    let device = DeviceSpec::truenorth_like();
+
+    let graphs: Vec<_> = (0..4u64).map(|s| generators::erdos_renyi(8, 0.4, s)).collect();
+    let inputs: Vec<Vec<bool>> = graphs
+        .iter()
+        .map(|g| {
+            let mut bits = vec![false; circuit.circuit().num_inputs()];
+            circuit.input().assign(&g.adjacency_matrix(), &mut bits).unwrap();
+            bits
+        })
+        .collect();
+    let report = energy::energy_over_inputs(circuit.circuit(), &device, &inputs).unwrap();
+    assert_eq!(report.evaluations, graphs.len());
+    assert!(report.total_firings > 0, "a nonempty graph must fire some gates");
+    assert!(report.mean_firings <= circuit.circuit().num_gates() as f64);
+    assert!(report.mean_firing_fraction > 0.0 && report.mean_firing_fraction <= 1.0);
+    assert!(report.max_firings as f64 >= report.mean_firings);
+}
+
+#[test]
+fn empty_graph_fires_almost_nothing_in_the_naive_triangle_circuit() {
+    // The naive triangle circuit on an empty graph: no triple gate fires; only the
+    // output gate may fire when tau <= 0.
+    let circuit = NaiveTriangleCircuit::new(8, 1).unwrap();
+    let device = DeviceSpec::truenorth_like();
+    let empty_edges = vec![false; 8 * 7 / 2];
+    let report = energy::energy_over_inputs(circuit.circuit(), &device, &[empty_edges]).unwrap();
+    assert_eq!(report.total_firings, 0);
+}
+
+#[test]
+fn latency_is_depth_times_layer_time() {
+    let circuit = trace_circuit();
+    let device = DeviceSpec::loihi_like();
+    let lat = energy::latency(circuit.circuit(), &device);
+    assert_eq!(lat.depth, circuit.circuit().depth());
+    let expected = lat.depth as f64 * device.layer_time_ns;
+    assert!((lat.latency_ns - expected).abs() < 1e-9);
+}
+
+#[test]
+fn matmul_circuit_energy_scales_with_input_magnitude() {
+    // Larger-magnitude operands set more input bits and should not fire fewer gates.
+    let config = CircuitConfig::new(BilinearAlgorithm::strassen(), 3);
+    let mm = MatmulCircuit::theorem_4_9(&config, 4, 1).unwrap();
+    let device = DeviceSpec::unconstrained();
+
+    let make_input = |magnitude: i64, seed: u64| {
+        let a = random_matrix(4, magnitude, seed);
+        let b = random_matrix(4, magnitude, seed + 1);
+        let mut bits = vec![false; mm.circuit().num_inputs()];
+        mm.input_a().assign(&a, &mut bits).unwrap();
+        mm.input_b().assign(&b, &mut bits).unwrap();
+        bits
+    };
+    let zero = {
+        let bits = vec![false; mm.circuit().num_inputs()];
+        energy::energy_over_inputs(mm.circuit(), &device, &[bits]).unwrap()
+    };
+    let big = energy::energy_over_inputs(
+        mm.circuit(),
+        &device,
+        &[make_input(7, 91), make_input(7, 93)],
+    )
+    .unwrap();
+    assert!(big.mean_firings >= zero.mean_firings);
+}
+
+#[test]
+fn row_partition_respects_fan_in_budget() {
+    let omega = BilinearAlgorithm::strassen().omega();
+    for fan_in in [64usize, 256, 1024, 4096] {
+        for total_rows in [10usize, 100, 1000, 10_000] {
+            let plan = partition::plan_row_partition(total_rows, fan_in, omega);
+            assert!(plan.rows_per_piece >= 1);
+            assert!(plan.num_pieces * plan.rows_per_piece >= total_rows);
+            assert!(
+                plan.predicted_piece_fan_in(omega) <= fan_in as f64 + 1e-9,
+                "fan_in={fan_in} rows={total_rows}"
+            );
+            // The pieces cover every row exactly once.
+            let pieces = plan.pieces(total_rows);
+            let covered: usize = pieces.iter().map(|(start, end)| end - start).sum();
+            assert_eq!(covered, total_rows);
+            assert_eq!(pieces.first().map(|p| p.0), Some(0));
+        }
+    }
+}
+
+#[test]
+fn device_presets_are_sane() {
+    for device in [
+        DeviceSpec::truenorth_like(),
+        DeviceSpec::loihi_like(),
+        DeviceSpec::spinnaker_like(),
+        DeviceSpec::unconstrained(),
+    ] {
+        assert!(device.cores >= 1);
+        assert!(device.neurons_per_core >= 1);
+        assert!(device.total_neurons() >= device.neurons_per_core);
+        assert!(device.energy_per_spike >= 0.0);
+        assert!(device.layer_time_ns > 0.0);
+        if let Some(f) = device.max_fan_in {
+            assert!(f >= 2);
+        }
+    }
+}
