@@ -183,10 +183,14 @@ mod tests {
         // b·n.  Check the ratio against 8·b·n as a generous constant.
         for &(n, b) in &[(4u128, 8u32), (16, 8), (64, 8), (16, 16), (16, 32)] {
             let gates = weighted_sum_gate_count(n, b);
-            assert!(gates as u128 <= 8 * n * b as u128 + 8 * n + 64,
-                "gates {gates} too large for n={n} b={b}");
-            assert!(gates as u128 >= (b as u128) * n / 2,
-                "gates {gates} suspiciously small for n={n} b={b}");
+            assert!(
+                gates as u128 <= 8 * n * b as u128 + 8 * n + 64,
+                "gates {gates} too large for n={n} b={b}"
+            );
+            assert!(
+                gates as u128 >= (b as u128) * n / 2,
+                "gates {gates} suspiciously small for n={n} b={b}"
+            );
         }
     }
 

@@ -22,11 +22,7 @@ pub fn threshold_of_repr(builder: &mut CircuitBuilder, repr: &Repr, tau: i64) ->
 
 /// Adds a single threshold gate that fires iff the signed number `x = x⁺ − x⁻` is at
 /// least `tau`.
-pub fn threshold_of_signed(
-    builder: &mut CircuitBuilder,
-    x: &SignedInt,
-    tau: i64,
-) -> Result<Wire> {
+pub fn threshold_of_signed(builder: &mut CircuitBuilder, x: &SignedInt, tau: i64) -> Result<Wire> {
     threshold_of_repr(builder, &x.to_repr(), tau)
 }
 

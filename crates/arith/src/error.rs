@@ -48,11 +48,17 @@ impl fmt::Display for ArithError {
                 "sum bound requires {required_bits} bits, exceeding the 62-bit weight budget"
             ),
             ArithError::NotAnInputNumber => {
-                write!(f, "number is not made of primary-input wires; cannot assign a host value")
+                write!(
+                    f,
+                    "number is not made of primary-input wires; cannot assign a host value"
+                )
             }
             ArithError::EmptyOperands => write!(f, "at least one operand is required"),
             ArithError::InvalidBitIndex { k, l } => {
-                write!(f, "bit index k={k} invalid for width l={l} (need 1 <= k <= l)")
+                write!(
+                    f,
+                    "bit index k={k} invalid for width l={l} (need 1 <= k <= l)"
+                )
             }
         }
     }
@@ -79,7 +85,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = ArithError::ValueOutOfRange { value: 300, bits: 8 };
+        let e = ArithError::ValueOutOfRange {
+            value: 300,
+            bits: 8,
+        };
         assert!(e.to_string().contains("300"));
         let c = ArithError::from(CircuitError::EmptyFanIn);
         assert!(std::error::Error::source(&c).is_some());

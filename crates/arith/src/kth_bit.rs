@@ -124,12 +124,14 @@ mod tests {
             let c = b.build();
             for assignment in 0..16u32 {
                 let bits: Vec<bool> = (0..4).map(|i| assignment >> i & 1 == 1).collect();
-                let s: i64 = (0..4)
-                    .map(|i| if bits[i] { weights[i] } else { 0 })
-                    .sum();
+                let s: i64 = (0..4).map(|i| if bits[i] { weights[i] } else { 0 }).sum();
                 let expected = (s >> (l - k)) & 1 == 1;
                 let ev = c.evaluate(&bits).unwrap();
-                assert_eq!(ev.outputs()[0], expected, "assignment={assignment:04b} k={k}");
+                assert_eq!(
+                    ev.outputs()[0],
+                    expected,
+                    "assignment={assignment:04b} k={k}"
+                );
             }
         }
     }

@@ -298,8 +298,7 @@ impl Repr {
         for &(w, c) in &self.terms {
             *map.entry(w).or_insert(0) += c;
         }
-        let mut terms: Vec<(Wire, i64)> =
-            map.into_iter().filter(|&(_, c)| c != 0).collect();
+        let mut terms: Vec<(Wire, i64)> = map.into_iter().filter(|&(_, c)| c != 0).collect();
         terms.sort_unstable_by_key(|&(w, _)| w);
         Repr { terms }
     }

@@ -43,12 +43,7 @@ pub fn product_repr(builder: &mut CircuitBuilder, x: &UInt, y: &UInt) -> Result<
 /// For each triple of bit positions a single gate computes `x_i ∧ y_j ∧ z_k`
 /// (predicate `x_i + y_j + z_k ≥ 3`) and the representation attaches weight
 /// `2^{i+j+k}`.
-pub fn product3_repr(
-    builder: &mut CircuitBuilder,
-    x: &UInt,
-    y: &UInt,
-    z: &UInt,
-) -> Result<Repr> {
+pub fn product3_repr(builder: &mut CircuitBuilder, x: &UInt, y: &UInt, z: &UInt) -> Result<Repr> {
     check_weight_width(x.width() + y.width() + z.width())?;
     let mut terms = Vec::with_capacity(x.width() * y.width() * z.width());
     for (i, &xb) in x.bits().iter().enumerate() {
@@ -122,10 +117,7 @@ mod tests {
         let mut b = CircuitBuilder::new(alloc.num_inputs());
         let before = b.num_gates();
         let p = product_repr(&mut b, &x, &y).unwrap();
-        assert_eq!(
-            (b.num_gates() - before) as u64,
-            product_gate_count(4, 3)
-        );
+        assert_eq!((b.num_gates() - before) as u64, product_gate_count(4, 3));
         let c = {
             b.mark_output(Wire::One);
             b.build()

@@ -148,7 +148,11 @@ mod tests {
         let y = alloc.alloc_uint(3);
         let mut b = CircuitBuilder::new(alloc.num_inputs());
         // 5x + 11y, max = 5*7 + 11*7 = 112 < 128.
-        let repr = x.to_repr().scale(5).unwrap().plus(&y.to_repr().scale(11).unwrap());
+        let repr = x
+            .to_repr()
+            .scale(5)
+            .unwrap()
+            .plus(&y.to_repr().scale(11).unwrap());
         let sum = repr_to_binary(&mut b, &repr).unwrap();
         sum.mark_as_outputs(&mut b);
         let c = b.build();
@@ -170,7 +174,11 @@ mod tests {
         let x = alloc.alloc_uint(3);
         let y = alloc.alloc_uint(2);
         let mut b = CircuitBuilder::new(alloc.num_inputs());
-        let repr = x.to_repr().scale(3).unwrap().plus(&y.to_repr().scale(-2).unwrap());
+        let repr = x
+            .to_repr()
+            .scale(3)
+            .unwrap()
+            .plus(&y.to_repr().scale(-2).unwrap());
         let sum = repr_to_binary(&mut b, &repr).unwrap();
         sum.mark_as_outputs(&mut b);
         let c = b.build();

@@ -109,8 +109,7 @@ mod tests {
         let xs = alloc.alloc_signed_vec(3, 5);
         let weights = [3i64, -2, 1];
         let mut b = CircuitBuilder::new(alloc.num_inputs());
-        let summands: Vec<(&SignedInt, i64)> =
-            xs.iter().zip(weights).map(|(x, w)| (x, w)).collect();
+        let summands: Vec<(&SignedInt, i64)> = xs.iter().zip(weights).collect();
         let s = weighted_sum_signed(&mut b, &summands).unwrap();
         s.mark_as_outputs(&mut b);
         let c = b.build();

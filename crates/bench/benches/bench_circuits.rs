@@ -13,21 +13,25 @@ use tcmm_core::{matmul::MatmulCircuit, CircuitConfig};
 fn bench_builder(c: &mut Criterion) {
     let mut group = c.benchmark_group("circuit_builder");
     for gates in [1_000usize, 10_000, 50_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(gates), &gates, |bench, &gates| {
-            bench.iter(|| {
-                let mut b = CircuitBuilder::new(8);
-                let mut prev = Wire::input(0);
-                for i in 0..gates {
-                    // Offset the second operand so it never aliases `prev` (which is
-                    // input 0 on the first iteration and a gate wire afterwards).
-                    prev = b
-                        .add_gate([(prev, 1), (Wire::input(1 + (i % 7)), 1)], 1)
-                        .unwrap();
-                }
-                b.mark_output(prev);
-                b.build()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(gates),
+            &gates,
+            |bench, &gates| {
+                bench.iter(|| {
+                    let mut b = CircuitBuilder::new(8);
+                    let mut prev = Wire::input(0);
+                    for i in 0..gates {
+                        // Offset the second operand so it never aliases `prev` (which is
+                        // input 0 on the first iteration and a gate wire afterwards).
+                        prev = b
+                            .add_gate([(prev, 1), (Wire::input(1 + (i % 7)), 1)], 1)
+                            .unwrap();
+                    }
+                    b.mark_output(prev);
+                    b.build()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -63,16 +67,24 @@ fn bench_evaluation(c: &mut Criterion) {
         bench.iter(|| mm.evaluate_parallel(&a, &b).unwrap());
     });
 
-    // Raw Circuit::evaluate vs evaluate_parallel on the underlying circuit.
+    // Raw Circuit::evaluate (compiles per call) vs the pre-compiled engine.
     let circuit = mm.circuit();
     let mut bits = vec![false; circuit.num_inputs()];
     mm.input_a().assign(&a, &mut bits).unwrap();
     mm.input_b().assign(&b, &mut bits).unwrap();
-    group.bench_function("raw_sequential", |bench| {
+    group.bench_function("raw_compile_per_call", |bench| {
         bench.iter(|| circuit.evaluate(&bits).unwrap());
     });
-    group.bench_function("raw_parallel", |bench| {
-        bench.iter(|| circuit.evaluate_parallel(&bits, EvalOptions::default()).unwrap());
+    let compiled = mm.compiled();
+    group.bench_function("compiled_sequential", |bench| {
+        bench.iter(|| compiled.evaluate(&bits).unwrap());
+    });
+    group.bench_function("compiled_parallel", |bench| {
+        bench.iter(|| {
+            compiled
+                .evaluate_parallel(&bits, EvalOptions::default())
+                .unwrap()
+        });
     });
     group.finish();
 }
@@ -83,6 +95,7 @@ fn bench_analysis_passes(c: &mut Criterion) {
     let config = CircuitConfig::new(BilinearAlgorithm::strassen(), 3);
     let mm = MatmulCircuit::theorem_4_9(&config, 4, 2).unwrap();
     let circuit = mm.circuit();
+    group.bench_function("compile", |bench| bench.iter(|| circuit.compile().unwrap()));
     group.bench_function("stats", |bench| bench.iter(|| circuit.stats()));
     group.bench_function("validate", |bench| bench.iter(|| circuit.validate()));
     group.bench_function("layers", |bench| bench.iter(|| circuit.layers()));

@@ -32,9 +32,13 @@ fn bench_triangle_counting(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("node_iterator", n), &n, |bench, _| {
             bench.iter(|| triangles::count_node_iterator(&g));
         });
-        group.bench_with_input(BenchmarkId::new("node_iterator_parallel", n), &n, |bench, _| {
-            bench.iter(|| triangles::count_node_iterator_parallel(&g));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("node_iterator_parallel", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| triangles::count_node_iterator_parallel(&g));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("via_trace", n), &n, |bench, _| {
             bench.iter(|| triangles::count_via_trace(&g));
         });
@@ -45,7 +49,9 @@ fn bench_triangle_counting(c: &mut Criterion) {
 fn bench_clustering(c: &mut Criterion) {
     let mut group = c.benchmark_group("clustering_coefficients");
     let g = generators::erdos_renyi(512, 0.05, 13);
-    group.bench_function("wedge_count", |bench| bench.iter(|| clustering::wedge_count(&g)));
+    group.bench_function("wedge_count", |bench| {
+        bench.iter(|| clustering::wedge_count(&g))
+    });
     group.bench_function("global_clustering", |bench| {
         bench.iter(|| clustering::global_clustering_coefficient(&g))
     });

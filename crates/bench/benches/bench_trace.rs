@@ -7,11 +7,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fast_matmul::BilinearAlgorithm;
 use tc_graph::generators;
-use tcmm_core::{
-    naive::NaiveTriangleCircuit,
-    trace::TraceCircuit,
-    CircuitConfig,
-};
+use tcmm_core::{naive::NaiveTriangleCircuit, trace::TraceCircuit, CircuitConfig};
 
 fn bench_trace_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace_circuit_build");

@@ -115,7 +115,12 @@ fn main() {
     t.print();
 
     banner("analytic gate-count exponent per d (T_A phase, N = 2^6 .. 2^14)");
-    let mut t = Table::new(["d", "fitted exponent", "omega + c*gamma^d", "naive exponent"]);
+    let mut t = Table::new([
+        "d",
+        "fitted exponent",
+        "omega + c*gamma^d",
+        "naive exponent",
+    ]);
     for d in 1..=6u32 {
         let mut points = Vec::new();
         for exp in [6u32, 8, 10, 12, 14] {

@@ -39,7 +39,8 @@ fn analytic_matmul_gates(
 ) -> u128 {
     let a_phase = tree_phase_cost(alg, TreeKind::OverA, n, entry_bits, schedule).total_gates;
     let b_phase = tree_phase_cost(alg, TreeKind::OverB, n, entry_bits, schedule).total_gates;
-    let c_phase = tree_phase_cost(alg, TreeKind::OverCTransposed, n, entry_bits, schedule).total_gates;
+    let c_phase =
+        tree_phase_cost(alg, TreeKind::OverCTransposed, n, entry_bits, schedule).total_gates;
     let leaves = (alg.r() as u128).pow(schedule.total_levels());
     let leaf_bits = entry_bits as u128 + (schedule.total_levels() as u128) * 2 + 1;
     let product_gates = leaves * leaf_bits * leaf_bits;
@@ -68,7 +69,13 @@ fn main() {
         "within bound",
         "product correct",
     ]);
-    for &(n, bits, d) in &[(2usize, 3usize, 1u32), (4, 3, 1), (4, 3, 2), (4, 3, 3), (8, 1, 2)] {
+    for &(n, bits, d) in &[
+        (2usize, 3usize, 1u32),
+        (4, 3, 1),
+        (4, 3, 2),
+        (4, 3, 3),
+        (8, 1, 2),
+    ] {
         let config = CircuitConfig::new(strassen.clone(), bits);
         let mm = MatmulCircuit::theorem_4_9(&config, n, d).unwrap();
         let naive = NaiveMatmulCircuit::new(&config, n).unwrap();

@@ -39,11 +39,41 @@ fn main() {
         "matmul (PxQ)·(QxK)",
     ]);
     let geometries = [
-        ConvLayerSpec { image_size: 8, channels: 1, kernel_size: 3, num_kernels: 4, stride: 1 },
-        ConvLayerSpec { image_size: 16, channels: 3, kernel_size: 3, num_kernels: 8, stride: 1 },
-        ConvLayerSpec { image_size: 28, channels: 1, kernel_size: 5, num_kernels: 6, stride: 1 },
-        ConvLayerSpec { image_size: 32, channels: 3, kernel_size: 5, num_kernels: 16, stride: 2 },
-        ConvLayerSpec { image_size: 64, channels: 3, kernel_size: 7, num_kernels: 32, stride: 4 },
+        ConvLayerSpec {
+            image_size: 8,
+            channels: 1,
+            kernel_size: 3,
+            num_kernels: 4,
+            stride: 1,
+        },
+        ConvLayerSpec {
+            image_size: 16,
+            channels: 3,
+            kernel_size: 3,
+            num_kernels: 8,
+            stride: 1,
+        },
+        ConvLayerSpec {
+            image_size: 28,
+            channels: 1,
+            kernel_size: 5,
+            num_kernels: 6,
+            stride: 1,
+        },
+        ConvLayerSpec {
+            image_size: 32,
+            channels: 3,
+            kernel_size: 5,
+            num_kernels: 16,
+            stride: 2,
+        },
+        ConvLayerSpec {
+            image_size: 64,
+            channels: 3,
+            kernel_size: 7,
+            num_kernels: 32,
+            stride: 4,
+        },
     ];
     for spec in &geometries {
         let (p, q, k) = spec.matmul_shape();
@@ -72,10 +102,22 @@ fn main() {
         num_kernels: 3,
         stride: 1,
     };
-    let host_image = Tensor3::random(host_spec.image_size, host_spec.image_size, host_spec.channels, 3, 77);
+    let host_image = Tensor3::random(
+        host_spec.image_size,
+        host_spec.image_size,
+        host_spec.channels,
+        3,
+        77,
+    );
     let host_kernels: Vec<Tensor3> = (0..host_spec.num_kernels)
         .map(|k| {
-            Tensor3::random(host_spec.kernel_size, host_spec.kernel_size, host_spec.channels, 2, 100 + k as u64)
+            Tensor3::random(
+                host_spec.kernel_size,
+                host_spec.kernel_size,
+                host_spec.channels,
+                2,
+                100 + k as u64,
+            )
         })
         .collect();
     let circuit_spec = ConvLayerSpec {
@@ -85,21 +127,40 @@ fn main() {
         num_kernels: 2,
         stride: 1,
     };
-    let circuit_image =
-        Tensor3::random(circuit_spec.image_size, circuit_spec.image_size, circuit_spec.channels, 3, 78);
+    let circuit_image = Tensor3::random(
+        circuit_spec.image_size,
+        circuit_spec.image_size,
+        circuit_spec.channels,
+        3,
+        78,
+    );
     let circuit_kernels: Vec<Tensor3> = (0..circuit_spec.num_kernels)
         .map(|k| {
-            Tensor3::random(circuit_spec.kernel_size, circuit_spec.kernel_size, circuit_spec.channels, 2, 200 + k as u64)
+            Tensor3::random(
+                circuit_spec.kernel_size,
+                circuit_spec.kernel_size,
+                circuit_spec.channels,
+                2,
+                200 + k as u64,
+            )
         })
         .collect();
 
-    let mut t = Table::new(["backend", "layer", "output shape", "matches direct convolution"]);
+    let mut t = Table::new([
+        "backend",
+        "layer",
+        "output shape",
+        "matches direct convolution",
+    ]);
     let host_reference = conv_direct(&host_spec, &host_image, &host_kernels);
     for (name, backend) in [
         ("naive", MatmulBackend::Naive),
         (
             "fast (Strassen, cutoff 2)",
-            MatmulBackend::Fast { algorithm: BilinearAlgorithm::strassen(), cutoff: 2 },
+            MatmulBackend::Fast {
+                algorithm: BilinearAlgorithm::strassen(),
+                cutoff: 2,
+            },
         ),
     ] {
         let out = conv_via_matmul(&host_spec, &host_image, &host_kernels, &backend).unwrap();
@@ -115,7 +176,13 @@ fn main() {
         algorithm: BilinearAlgorithm::strassen(),
         depth_parameter: 2,
     };
-    let out = conv_via_matmul(&circuit_spec, &circuit_image, &circuit_kernels, &circuit_backend).unwrap();
+    let out = conv_via_matmul(
+        &circuit_spec,
+        &circuit_image,
+        &circuit_kernels,
+        &circuit_backend,
+    )
+    .unwrap();
     t.row([
         "threshold circuit (Theorem 4.9, d = 2)".to_string(),
         "3x3x1, 2x2 kernels".to_string(),
@@ -135,8 +202,14 @@ fn main() {
         "pieces",
         "predicted per-piece fan-in",
     ]);
-    for device in [DeviceSpec::truenorth_like(), DeviceSpec::loihi_like(), DeviceSpec::spinnaker_like()] {
-        let Some(fan_in) = device.max_fan_in else { continue };
+    for device in [
+        DeviceSpec::truenorth_like(),
+        DeviceSpec::loihi_like(),
+        DeviceSpec::spinnaker_like(),
+    ] {
+        let Some(fan_in) = device.max_fan_in else {
+            continue;
+        };
         for spec in &geometries {
             let (p, _, _) = spec.matmul_shape();
             let plan = partition::plan_row_partition(p, fan_in, omega);

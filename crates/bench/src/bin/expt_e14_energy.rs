@@ -17,7 +17,7 @@
 
 use fast_matmul::BilinearAlgorithm;
 use neuro_sim::{energy, mapping, DeviceSpec};
-use tc_circuit::Circuit;
+use tc_circuit::CompiledCircuit;
 use tc_graph::triangles;
 use tcmm_bench::{banner, f, workload_graph, workload_matrix, Table};
 use tcmm_core::{
@@ -27,9 +27,15 @@ use tcmm_core::{
     CircuitConfig,
 };
 
-/// Energy (mean firings per evaluation) of `circuit` over the given input batches.
-fn mean_energy(circuit: &Circuit, device: &DeviceSpec, inputs: &[Vec<bool>]) -> (f64, f64) {
-    let report = energy::energy_over_inputs(circuit, device, inputs).unwrap();
+/// Energy (mean firings per evaluation) of an already-compiled circuit over
+/// the given input batches: the whole set rides through the bit-sliced batch
+/// evaluator, 64 assignments per pass.
+fn mean_energy(
+    compiled: &CompiledCircuit,
+    device: &DeviceSpec,
+    inputs: &[Vec<bool>],
+) -> (f64, f64) {
+    let report = energy::energy_over_inputs_compiled(compiled, device, inputs).unwrap();
     (report.mean_firings, report.mean_firing_fraction)
 }
 
@@ -77,8 +83,8 @@ fn main() {
         })
         .collect();
 
-    let (naive_energy, naive_frac) = mean_energy(naive.circuit(), &device, &naive_inputs);
-    let (sub_energy, sub_frac) = mean_energy(subcubic.circuit(), &device, &subcubic_inputs);
+    let (naive_energy, naive_frac) = mean_energy(naive.compiled(), &device, &naive_inputs);
+    let (sub_energy, sub_frac) = mean_energy(subcubic.compiled(), &device, &subcubic_inputs);
     let mut t = Table::new([
         "circuit",
         "gates",
@@ -109,7 +115,12 @@ fn main() {
     let naive_mm = NaiveMatmulCircuit::new(&mm_config, nm).unwrap();
     let fast_mm = MatmulCircuit::theorem_4_9(&mm_config, nm, 2).unwrap();
     let pairs: Vec<_> = (0..8u64)
-        .map(|s| (workload_matrix(nm, 3, 200 + s), workload_matrix(nm, 3, 300 + s)))
+        .map(|s| {
+            (
+                workload_matrix(nm, 3, 200 + s),
+                workload_matrix(nm, 3, 300 + s),
+            )
+        })
         .collect();
     let fast_inputs: Vec<Vec<bool>> = pairs
         .iter()
@@ -120,7 +131,7 @@ fn main() {
             bits
         })
         .collect();
-    let (fast_energy, fast_frac) = mean_energy(fast_mm.circuit(), &device, &fast_inputs);
+    let (fast_energy, fast_frac) = mean_energy(fast_mm.compiled(), &device, &fast_inputs);
     // The naive matmul circuit shares the same MatrixInput layout.
     let naive_inputs: Vec<Vec<bool>> = pairs
         .iter()
@@ -132,7 +143,7 @@ fn main() {
             bits
         })
         .collect();
-    let (naive_mm_energy, naive_mm_frac) = mean_energy(naive_mm.circuit(), &device, &naive_inputs);
+    let (naive_mm_energy, naive_mm_frac) = mean_energy(naive_mm.compiled(), &device, &naive_inputs);
     let mut t = Table::new([
         "circuit",
         "gates",

@@ -42,9 +42,21 @@ fn main() {
     constants.row(["s_A".to_string(), profile.s_a.to_string(), "12".to_string()]);
     constants.row(["s_B".to_string(), profile.s_b.to_string(), "12".to_string()]);
     constants.row(["s_C".to_string(), profile.s_c.to_string(), "12".to_string()]);
-    constants.row(["alpha = r/s_A".to_string(), f(profile.alpha()), "7/12 ≈ 0.5833".to_string()]);
-    constants.row(["beta  = s_A/T^2".to_string(), f(profile.beta()), "3".to_string()]);
-    constants.row(["gamma = log_beta(1/alpha)".to_string(), f(profile.gamma()), "≈ 0.491".to_string()]);
+    constants.row([
+        "alpha = r/s_A".to_string(),
+        f(profile.alpha()),
+        "7/12 ≈ 0.5833".to_string(),
+    ]);
+    constants.row([
+        "beta  = s_A/T^2".to_string(),
+        f(profile.beta()),
+        "3".to_string(),
+    ]);
+    constants.row([
+        "gamma = log_beta(1/alpha)".to_string(),
+        f(profile.gamma()),
+        "≈ 0.491".to_string(),
+    ]);
     constants.row([
         "c = log_T(alpha*beta)/(1-gamma)".to_string(),
         f(profile.c_constant()),
@@ -108,7 +120,12 @@ fn main() {
 
     banner("one application of the 2x2 recipe (Figure 1 worked symbolically)");
     // Apply the recipe once to a 2x2 product and print the M_i structure sizes.
-    let mut fig1 = Table::new(["product", "#A blocks (a_i)", "#B blocks (b_i)", "#C uses (c_i)"]);
+    let mut fig1 = Table::new([
+        "product",
+        "#A blocks (a_i)",
+        "#B blocks (b_i)",
+        "#C uses (c_i)",
+    ]);
     for i in 0..strassen.r() {
         fig1.row([
             format!("M{}", i + 1),

@@ -94,7 +94,10 @@ fn main() {
     // M7 child of the M7 child of the root (the A-pattern of M7 is X12 − X22).
     let idx = 6 * strassen.r() + 6; // M7 then M7
     let expansion = &paths[idx];
-    println!("path M7 -> M7 expands into {} blocks of A:", expansion.len());
+    println!(
+        "path M7 -> M7 expands into {} blocks of A:",
+        expansion.len()
+    );
     let mut t = Table::new(["block row", "block col", "coefficient"]);
     for &(bi, bj, w) in expansion {
         t.row([bi.to_string(), bj.to_string(), w.to_string()]);

@@ -25,6 +25,7 @@ fn check(weights: &[i64], l: u32, k: u32) -> (usize, u32, bool) {
     let out = kth_most_significant_bit(&mut builder, &terms, l, k).unwrap();
     builder.mark_output(out);
     let circuit = builder.build();
+    let compiled = circuit.compile().unwrap();
 
     let mut all_correct = true;
     for assignment in 0u64..(1u64 << n) {
@@ -41,7 +42,7 @@ fn check(weights: &[i64], l: u32, k: u32) -> (usize, u32, bool) {
             // The lemma's circuit outputs 0 whenever s is outside [0, 2^l).
             false
         };
-        let got = circuit.evaluate(&bits).unwrap().outputs()[0];
+        let got = compiled.evaluate(&bits).unwrap().outputs()[0];
         if got != expected {
             all_correct = false;
         }
@@ -53,7 +54,15 @@ fn main() {
     println!("E3: Lemma 3.1 — k-th most significant bit in depth 2 with 2^k + 1 gates");
 
     banner("unit-weight sums (s = x_1 + ... + x_n)");
-    let mut t = Table::new(["n", "l", "k", "gates", "2^k + 1", "depth", "exhaustive check"]);
+    let mut t = Table::new([
+        "n",
+        "l",
+        "k",
+        "gates",
+        "2^k + 1",
+        "depth",
+        "exhaustive check",
+    ]);
     for n in [3usize, 5, 7, 10] {
         let weights = vec![1i64; n];
         let l = (n as f64).log2().ceil() as u32 + 1;
@@ -73,7 +82,15 @@ fn main() {
     t.print();
 
     banner("general integer weights");
-    let mut t = Table::new(["weights", "l", "k", "gates", "2^k + 1", "depth", "exhaustive check"]);
+    let mut t = Table::new([
+        "weights",
+        "l",
+        "k",
+        "gates",
+        "2^k + 1",
+        "depth",
+        "exhaustive check",
+    ]);
     let weight_sets: &[&[i64]] = &[
         &[1, 2, 4, 8],
         &[3, 5, 7],

@@ -13,8 +13,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tc_arith::{weighted_sum_signed, weighted_sum_to_binary, InputAllocator};
 use tc_circuit::CircuitBuilder;
-use tcmm_core::analysis::log_log_slope;
 use tcmm_bench::{banner, f, Table};
+use tcmm_core::analysis::log_log_slope;
 
 /// Builds the Lemma 3.2 circuit for `count` unsigned `bits`-bit summands with weights
 /// drawn from `[1, max_weight]`, evaluates it on `trials` random assignments, and
@@ -32,19 +32,26 @@ fn check_unsigned(
     let mut alloc = InputAllocator::new();
     let operands = alloc.alloc_uint_vec(count, bits);
     let mut builder = CircuitBuilder::new(alloc.num_inputs());
-    let summands: Vec<_> = operands.iter().zip(&weights).map(|(z, &w)| (z, w)).collect();
+    let summands: Vec<_> = operands
+        .iter()
+        .zip(&weights)
+        .map(|(z, &w)| (z, w))
+        .collect();
     let sum = weighted_sum_to_binary(&mut builder, &summands).unwrap();
     sum.mark_as_outputs(&mut builder);
     let circuit = builder.build();
+    let compiled = circuit.compile().unwrap();
 
     let mut ok = true;
     for _ in 0..trials {
-        let values: Vec<u64> = (0..count).map(|_| rng.gen_range(0..(1u64 << bits))).collect();
+        let values: Vec<u64> = (0..count)
+            .map(|_| rng.gen_range(0..(1u64 << bits)))
+            .collect();
         let mut input_bits = vec![false; circuit.num_inputs()];
         for (z, &v) in operands.iter().zip(&values) {
             z.assign(v, &mut input_bits).unwrap();
         }
-        let ev = circuit.evaluate(&input_bits).unwrap();
+        let ev = compiled.evaluate(&input_bits).unwrap();
         let expected: i128 = values
             .iter()
             .zip(&weights)
@@ -66,10 +73,18 @@ fn main() {
     for n in [2usize, 4, 8, 16, 32, 64, 128] {
         let (gates, depth, ok) = check_unsigned(n, 4, 8, 64, 1000 + n as u64);
         points.push((n as f64, gates as f64));
-        t.row([n.to_string(), gates.to_string(), depth.to_string(), ok.to_string()]);
+        t.row([
+            n.to_string(),
+            gates.to_string(),
+            depth.to_string(),
+            ok.to_string(),
+        ]);
     }
     t.print();
-    println!("fitted log-log slope in n: {} (Lemma 3.2 predicts ≈ 1)", f(log_log_slope(&points)));
+    println!(
+        "fitted log-log slope in n: {} (Lemma 3.2 predicts ≈ 1)",
+        f(log_log_slope(&points))
+    );
 
     banner("sweep over b (bits per summand), n = 16, weights in [1, 8]");
     let mut points = Vec::new();
@@ -77,10 +92,18 @@ fn main() {
     for b in [1usize, 2, 4, 8, 12, 16] {
         let (gates, depth, ok) = check_unsigned(16, b, 8, 64, 2000 + b as u64);
         points.push((b as f64, gates as f64));
-        t.row([b.to_string(), gates.to_string(), depth.to_string(), ok.to_string()]);
+        t.row([
+            b.to_string(),
+            gates.to_string(),
+            depth.to_string(),
+            ok.to_string(),
+        ]);
     }
     t.print();
-    println!("fitted log-log slope in b: {} (Lemma 3.2 predicts ≈ 1)", f(log_log_slope(&points)));
+    println!(
+        "fitted log-log slope in b: {} (Lemma 3.2 predicts ≈ 1)",
+        f(log_log_slope(&points))
+    );
 
     banner("sweep over w (maximum weight), n = 16, b = 4");
     let mut points = Vec::new();
@@ -88,10 +111,18 @@ fn main() {
     for w in [1i64, 2, 4, 8, 16, 32, 64] {
         let (gates, depth, ok) = check_unsigned(16, 4, w, 64, 3000 + w as u64);
         points.push((w as f64, gates as f64));
-        t.row([w.to_string(), gates.to_string(), depth.to_string(), ok.to_string()]);
+        t.row([
+            w.to_string(),
+            gates.to_string(),
+            depth.to_string(),
+            ok.to_string(),
+        ]);
     }
     t.print();
-    println!("fitted log-log slope in w: {} (Lemma 3.2 predicts ≈ 1)", f(log_log_slope(&points)));
+    println!(
+        "fitted log-log slope in w: {} (Lemma 3.2 predicts ≈ 1)",
+        f(log_log_slope(&points))
+    );
 
     banner("signed extension (x = x⁺ − x⁻, Section 3 'Negative numbers')");
     let mut rng = StdRng::seed_from_u64(99);
@@ -101,10 +132,15 @@ fn main() {
         let mut alloc = InputAllocator::new();
         let operands = alloc.alloc_signed_vec(n, b);
         let mut builder = CircuitBuilder::new(alloc.num_inputs());
-        let summands: Vec<_> = operands.iter().zip(&weights).map(|(z, &w)| (z, w)).collect();
+        let summands: Vec<_> = operands
+            .iter()
+            .zip(&weights)
+            .map(|(z, &w)| (z, w))
+            .collect();
         let sum = weighted_sum_signed(&mut builder, &summands).unwrap();
         sum.mark_as_outputs(&mut builder);
         let circuit = builder.build();
+        let compiled = circuit.compile().unwrap();
 
         let mut ok = true;
         for _ in 0..64 {
@@ -115,7 +151,7 @@ fn main() {
             for (z, &v) in operands.iter().zip(&values) {
                 z.assign(v, &mut input_bits).unwrap();
             }
-            let ev = circuit.evaluate(&input_bits).unwrap();
+            let ev = compiled.evaluate(&input_bits).unwrap();
             let expected: i64 = values.iter().zip(&weights).map(|(&v, &w)| v * w).sum();
             if sum.value(&input_bits, &ev) != expected {
                 ok = false;

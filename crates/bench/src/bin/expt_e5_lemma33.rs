@@ -32,6 +32,7 @@ fn main() {
         let mut b = CircuitBuilder::new(alloc.num_inputs());
         let repr = product_repr(&mut b, &x, &y).unwrap();
         let circuit = b.build();
+        let compiled = circuit.compile().unwrap();
 
         let mut ok = true;
         let exhaustive = m <= 4;
@@ -41,13 +42,15 @@ fn main() {
                 .flat_map(|a| (0..(1u64 << m)).map(move |c| (a, c)))
                 .collect()
         } else {
-            (0..256).map(|_| (rng.gen_range(0..(1u64 << m)), rng.gen_range(0..(1u64 << m)))).collect()
+            (0..256)
+                .map(|_| (rng.gen_range(0..(1u64 << m)), rng.gen_range(0..(1u64 << m))))
+                .collect()
         };
         for (vx, vy) in cases {
             let mut bits = vec![false; circuit.num_inputs()];
             x.assign(vx, &mut bits).unwrap();
             y.assign(vy, &mut bits).unwrap();
-            let ev = circuit.evaluate(&bits).unwrap();
+            let ev = compiled.evaluate(&bits).unwrap();
             if repr.value(&bits, &ev) != (vx * vy) as i128 {
                 ok = false;
             }
@@ -57,7 +60,11 @@ fn main() {
             circuit.num_gates().to_string(),
             (m * m).to_string(),
             circuit.depth().to_string(),
-            if exhaustive { format!("exhaustive: {ok}") } else { format!("256 random: {ok}") },
+            if exhaustive {
+                format!("exhaustive: {ok}")
+            } else {
+                format!("256 random: {ok}")
+            },
         ]);
     }
     t.print();
@@ -72,6 +79,7 @@ fn main() {
         let mut b = CircuitBuilder::new(alloc.num_inputs());
         let repr = product3_repr(&mut b, &x, &y, &z).unwrap();
         let circuit = b.build();
+        let compiled = circuit.compile().unwrap();
 
         let mut ok = true;
         let exhaustive = m <= 3;
@@ -79,8 +87,7 @@ fn main() {
         let cases: Vec<(u64, u64, u64)> = if exhaustive {
             (0..(1u64 << m))
                 .flat_map(|a| {
-                    (0..(1u64 << m))
-                        .flat_map(move |c| (0..(1u64 << m)).map(move |d| (a, c, d)))
+                    (0..(1u64 << m)).flat_map(move |c| (0..(1u64 << m)).map(move |d| (a, c, d)))
                 })
                 .collect()
         } else {
@@ -99,7 +106,7 @@ fn main() {
             x.assign(vx, &mut bits).unwrap();
             y.assign(vy, &mut bits).unwrap();
             z.assign(vz, &mut bits).unwrap();
-            let ev = circuit.evaluate(&bits).unwrap();
+            let ev = compiled.evaluate(&bits).unwrap();
             if repr.value(&bits, &ev) != (vx as i128) * (vy as i128) * (vz as i128) {
                 ok = false;
             }
@@ -109,13 +116,24 @@ fn main() {
             circuit.num_gates().to_string(),
             (m * m * m).to_string(),
             circuit.depth().to_string(),
-            if exhaustive { format!("exhaustive: {ok}") } else { format!("256 random: {ok}") },
+            if exhaustive {
+                format!("exhaustive: {ok}")
+            } else {
+                format!("256 random: {ok}")
+            },
         ]);
     }
     t.print();
 
     banner("signed products (x = x⁺ − x⁻; 4·m² and 8·m³ gates)");
-    let mut t = Table::new(["factors", "m", "gates", "bound", "depth", "check (256 random)"]);
+    let mut t = Table::new([
+        "factors",
+        "m",
+        "gates",
+        "bound",
+        "depth",
+        "check (256 random)",
+    ]);
     let mut rng = StdRng::seed_from_u64(424242);
     for m in [2usize, 3, 4, 6] {
         // Two factors.
@@ -126,6 +144,7 @@ fn main() {
             let mut b = CircuitBuilder::new(alloc.num_inputs());
             let repr = product_signed_repr(&mut b, &x, &y).unwrap();
             let circuit = b.build();
+            let compiled = circuit.compile().unwrap();
             let mut ok = true;
             for _ in 0..256 {
                 let vx = rng.gen_range(-(1i64 << m) + 1..(1i64 << m));
@@ -133,7 +152,7 @@ fn main() {
                 let mut bits = vec![false; circuit.num_inputs()];
                 x.assign(vx, &mut bits).unwrap();
                 y.assign(vy, &mut bits).unwrap();
-                let ev = circuit.evaluate(&bits).unwrap();
+                let ev = compiled.evaluate(&bits).unwrap();
                 if repr.value(&bits, &ev) != (vx * vy) as i128 {
                     ok = false;
                 }
@@ -156,6 +175,7 @@ fn main() {
             let mut b = CircuitBuilder::new(alloc.num_inputs());
             let repr = product3_signed_repr(&mut b, &x, &y, &z).unwrap();
             let circuit = b.build();
+            let compiled = circuit.compile().unwrap();
             let mut ok = true;
             for _ in 0..256 {
                 let vx = rng.gen_range(-(1i64 << m) + 1..(1i64 << m));
@@ -165,7 +185,7 @@ fn main() {
                 x.assign(vx, &mut bits).unwrap();
                 y.assign(vy, &mut bits).unwrap();
                 z.assign(vz, &mut bits).unwrap();
-                let ev = circuit.evaluate(&bits).unwrap();
+                let ev = compiled.evaluate(&bits).unwrap();
                 if repr.value(&bits, &ev) != (vx as i128) * (vy as i128) * (vz as i128) {
                     ok = false;
                 }

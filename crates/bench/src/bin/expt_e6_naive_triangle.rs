@@ -40,7 +40,14 @@ fn main() {
         "tau sweep",
         "circuit answers match exact",
     ]);
-    for &(n, p) in &[(8usize, 0.5f64), (16, 0.3), (16, 0.6), (32, 0.2), (32, 0.4), (48, 0.15)] {
+    for &(n, p) in &[
+        (8usize, 0.5f64),
+        (16, 0.3),
+        (16, 0.6),
+        (32, 0.2),
+        (32, 0.4),
+        (48, 0.15),
+    ] {
         let g = workload_graph(n, p, (n as u64) * 31 + (p * 100.0) as u64);
         let exact = triangles::count_node_iterator(&g);
         let adjacency = g.adjacency_matrix();
@@ -73,7 +80,13 @@ fn main() {
     t.print();
 
     banner("structural fixtures (complete graph, cycle, star)");
-    let mut t = Table::new(["graph", "N", "triangles (exact)", "triangles (trace/6)", "match"]);
+    let mut t = Table::new([
+        "graph",
+        "N",
+        "triangles (exact)",
+        "triangles (trace/6)",
+        "match",
+    ]);
     for (name, g) in [
         ("complete K_8", tc_graph::generators::complete(8)),
         ("complete K_12", tc_graph::generators::complete(12)),

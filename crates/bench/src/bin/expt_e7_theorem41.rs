@@ -28,7 +28,13 @@ fn main() {
     let profile = SparsityProfile::of(&strassen);
 
     banner("exponents: Theorem 4.1 (omega + 1/d) versus Theorem 4.5/4.9 (omega + c*gamma^d)");
-    let mut t = Table::new(["d", "omega + 1/d", "omega + c*gamma^d", "subcubic (4.1)", "subcubic (4.5)"]);
+    let mut t = Table::new([
+        "d",
+        "omega + 1/d",
+        "omega + c*gamma^d",
+        "subcubic (4.1)",
+        "subcubic (4.5)",
+    ]);
     for d in 1..=8u32 {
         let e41 = theorem_4_1_exponent(&profile, d);
         let e45 = theorem_4_5_exponent(&profile, d);
@@ -46,7 +52,15 @@ fn main() {
     // Larger instances are covered by the analytic model below: a single N = 8 circuit
     // already costs minutes of build time and gigabytes of fan-in lists on a small
     // host, which is the paper's point — constant depth is bought with fan-in.
-    let mut t = Table::new(["N", "entry bits", "d", "selected levels", "gates", "depth", "correct"]);
+    let mut t = Table::new([
+        "N",
+        "entry bits",
+        "d",
+        "selected levels",
+        "gates",
+        "depth",
+        "correct",
+    ]);
     for &(n, bits, d) in &[(4usize, 3usize, 1u32), (4, 3, 2), (8, 1, 2)] {
         let config = CircuitConfig::new(strassen.clone(), bits);
         let mm = MatmulCircuit::theorem_4_1(&config, n, d).unwrap();
@@ -69,7 +83,15 @@ fn main() {
 
     banner("analytic leaf-phase gate counts under the uniform schedule (T_A phase only)");
     println!("for each d the log-log slope over N = 2^6..2^12 should approach omega + 1/d\n");
-    let mut t = Table::new(["d", "N=64", "N=256", "N=1024", "N=4096", "fitted exponent", "omega + 1/d"]);
+    let mut t = Table::new([
+        "d",
+        "N=64",
+        "N=256",
+        "N=1024",
+        "N=4096",
+        "fitted exponent",
+        "omega + 1/d",
+    ]);
     for d in 1..=5u32 {
         let mut points = Vec::new();
         let mut cells = vec![d.to_string()];

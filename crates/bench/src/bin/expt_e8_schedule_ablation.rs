@@ -73,7 +73,10 @@ fn main() {
     t.row([
         "uniform, d = 3".to_string(),
         f(log_log_slope(&uniform_points)),
-        format!("omega + 1/d ≈ {:.3} (Theorem 4.1)", profile.omega() + 1.0 / d as f64),
+        format!(
+            "omega + 1/d ≈ {:.3} (Theorem 4.1)",
+            profile.omega() + 1.0 / d as f64
+        ),
     ]);
     t.row([
         "geometric, d = 3".to_string(),
@@ -90,7 +93,12 @@ fn main() {
     let n = 1usize << levels;
     let geometric = LevelSchedule::for_theorem_4_5(&profile, levels, 4).unwrap();
     let cost = tree_phase_cost(&strassen, TreeKind::OverA, n, entry_bits, &geometric);
-    let mut t = Table::new(["selected level h_i", "nodes r^{h_i}", "gates for this level", "share of total"]);
+    let mut t = Table::new([
+        "selected level h_i",
+        "nodes r^{h_i}",
+        "gates for this level",
+        "share of total",
+    ]);
     for lc in &cost.per_level {
         t.row([
             lc.level.to_string(),
@@ -100,13 +108,21 @@ fn main() {
         ]);
     }
     t.print();
-    println!("selected levels: {:?} (h_i = ceil((1 - gamma^i) * rho))", geometric.levels());
+    println!(
+        "selected levels: {:?} (h_i = ceil((1 - gamma^i) * rho))",
+        geometric.levels()
+    );
     println!("total gates for the T_A phase: {}", cost.total_gates);
 
     banner("per-level cost of the uniform schedule for contrast (same N, d = 4)");
     let uniform = LevelSchedule::uniform(levels, 4).unwrap();
     let cost_u = tree_phase_cost(&strassen, TreeKind::OverA, n, entry_bits, &uniform);
-    let mut t = Table::new(["selected level h_i", "nodes r^{h_i}", "gates for this level", "share of total"]);
+    let mut t = Table::new([
+        "selected level h_i",
+        "nodes r^{h_i}",
+        "gates for this level",
+        "share of total",
+    ]);
     for lc in &cost_u.per_level {
         t.row([
             lc.level.to_string(),

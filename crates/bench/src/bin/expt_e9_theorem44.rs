@@ -56,7 +56,13 @@ fn main() {
         let mut all_match = true;
         let mut stats = None;
         let mut schedule = Vec::new();
-        for tau_triangles in [0i64, 1, triangles_exact / 2, triangles_exact, triangles_exact + 1] {
+        for tau_triangles in [
+            0i64,
+            1,
+            triangles_exact / 2,
+            triangles_exact,
+            triangles_exact + 1,
+        ] {
             let tau = 6 * tau_triangles; // the circuit compares trace(A^3) with tau
             let circuit = TraceCircuit::theorem_4_4(&config, n, tau).unwrap();
             let answer = circuit.evaluate(&adjacency).unwrap();
@@ -83,7 +89,14 @@ fn main() {
 
     banner("analytic scaling of the Theorem 4.4 schedule (T_A phase, binary entries)");
     let mut points = Vec::new();
-    let mut t = Table::new(["N", "selected levels t", "analytic gates", "N^omega", "N^3", "gate bound model"]);
+    let mut t = Table::new([
+        "N",
+        "selected levels t",
+        "analytic gates",
+        "N^omega",
+        "N^3",
+        "gate bound model",
+    ]);
     for exp in [4u32, 6, 8, 10, 12, 14, 16] {
         let n = 1usize << exp;
         let schedule = LevelSchedule::for_theorem_4_4(&profile, exp).unwrap();
@@ -106,7 +119,12 @@ fn main() {
     );
 
     banner("depth grows like O(log log N)");
-    let mut t = Table::new(["N", "selected levels t", "trace-circuit depth 2t + 2", "log2 log2 N"]);
+    let mut t = Table::new([
+        "N",
+        "selected levels t",
+        "trace-circuit depth 2t + 2",
+        "log2 log2 N",
+    ]);
     for exp in [4u32, 8, 16, 32, 62] {
         let schedule = LevelSchedule::for_theorem_4_4(&profile, exp).unwrap();
         let t_sel = schedule.num_selected() as u32;

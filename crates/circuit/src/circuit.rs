@@ -1,6 +1,7 @@
 //! The immutable, topologically-ordered threshold circuit.
 
-use crate::eval::{evaluate_parallel, evaluate_sequential, EvalOptions, Evaluation};
+use crate::compiled::CompiledCircuit;
+use crate::eval::{EvalOptions, Evaluation};
 use crate::stats::CircuitStats;
 use crate::validate::ValidationReport;
 use crate::{CircuitError, Result, ThresholdGate, Wire};
@@ -100,20 +101,34 @@ impl Circuit {
         ValidationReport::check(self)
     }
 
+    /// Lowers the circuit into its compiled CSR form (see [`CompiledCircuit`]).
+    ///
+    /// Compilation costs one pass over the edges; callers evaluating the same
+    /// circuit more than once should compile once and keep the result.
+    pub fn compile(&self) -> Result<CompiledCircuit> {
+        CompiledCircuit::new(self)
+    }
+
     /// Evaluates the circuit sequentially on the given input bits.
     ///
     /// `inputs[i]` is the value of [`Wire::Input(i)`](Wire).  Returns the values of
     /// every gate plus the designated outputs.
+    ///
+    /// This compiles on the fly; for repeated evaluation use
+    /// [`Circuit::compile`] and [`CompiledCircuit::evaluate`].
     pub fn evaluate(&self, inputs: &[bool]) -> Result<Evaluation> {
         self.check_inputs(inputs)?;
-        evaluate_sequential(self, inputs)
+        self.compile()?.evaluate(inputs)
     }
 
-    /// Evaluates the circuit with gates inside each depth layer processed in parallel
-    /// (rayon).  Produces exactly the same result as [`Circuit::evaluate`].
+    /// Evaluates the circuit with gates inside each depth layer processed in
+    /// parallel.  Produces exactly the same result as [`Circuit::evaluate`].
+    ///
+    /// This compiles on the fly; for repeated evaluation use
+    /// [`Circuit::compile`] and [`CompiledCircuit::evaluate_parallel`].
     pub fn evaluate_parallel(&self, inputs: &[bool], opts: EvalOptions) -> Result<Evaluation> {
         self.check_inputs(inputs)?;
-        evaluate_parallel(self, inputs, opts)
+        self.compile()?.evaluate_parallel(inputs, opts)
     }
 
     /// Groups gate indices by depth: element `d` holds the indices of all gates with

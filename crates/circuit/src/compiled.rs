@@ -1,0 +1,906 @@
+//! The compiled execution engine: CSR-lowered circuits with scalar,
+//! layer-parallel, and bit-sliced 64-lane batch evaluators.
+//!
+//! [`Circuit`] is builder-friendly: every gate owns a `Vec<(Wire, i64)>`, so
+//! evaluating it chases pointers and re-resolves wires through an enum on
+//! every edge. [`CompiledCircuit`] lowers that form once into flat
+//! compressed-sparse-row (CSR) arrays:
+//!
+//! * one contiguous *slot* space — slot `0` is the constant-one wire, slots
+//!   `1..=I` the primary inputs, slots `I+1..` the gates — so every evaluator
+//!   reads values from a single flat array with `u32` indices;
+//! * per-gate fan-in offsets into contiguous `wires` / `weights` arrays;
+//! * a precomputed layer schedule (gate ids grouped by depth) driving the
+//!   parallel evaluator;
+//! * per-gate *bit-edges* — each weight decomposed into its set bits — which
+//!   let [`CompiledCircuit::evaluate_batch64`] process 64 independent input
+//!   assignments per pass using `u64` lanes and carry-save plane arithmetic.
+//!
+//! The three evaluators produce bit-identical [`Evaluation`]s (and firing
+//! counts) for the same inputs; the differential proptest suite in
+//! `tests/proptest_compiled.rs` asserts this gate-for-gate.
+//!
+//! ## Compile once, evaluate many
+//!
+//! ```
+//! use tc_circuit::{Batch64, CircuitBuilder, Wire};
+//!
+//! let mut b = CircuitBuilder::new(2);
+//! let g = b.add_gate([(Wire::input(0), 1), (Wire::input(1), 1)], 2).unwrap();
+//! b.mark_output(g);
+//! let compiled = b.build().compile().unwrap();
+//!
+//! // 4 assignments ride in one 64-lane batch.
+//! let rows = [[false, false], [false, true], [true, false], [true, true]];
+//! let batch = Batch64::pack(2, &rows).unwrap();
+//! let ev = compiled.evaluate_batch64(&batch).unwrap();
+//! assert_eq!((0..4).map(|l| ev.output(l, 0).unwrap() as u32).sum::<u32>(), 1);
+//! ```
+
+use crate::eval::{EvalOptions, Evaluation};
+use crate::stats::CircuitStats;
+use crate::{Circuit, CircuitError, Result, Wire};
+
+/// Bit-sliced batch width: one `u64` lane per input assignment.
+pub const BATCH_LANES: usize = 64;
+
+/// Sentinel in `batch_planes` marking a gate that needs the wide (per-lane
+/// `i128`) fallback instead of the carry-save plane kernel.
+const WIDE_GATE: u8 = u8::MAX;
+
+/// A [`Circuit`] lowered to flat CSR arrays with a precomputed layer
+/// schedule, hosting the scalar, layer-parallel and bit-sliced batch
+/// evaluators behind one API.
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    num_inputs: usize,
+    /// Gate fan-in offsets: edges of gate `g` are `offsets[g]..offsets[g+1]`.
+    offsets: Vec<u32>,
+    /// Slot-encoded fan-in wires, contiguous across gates.
+    wires: Vec<u32>,
+    /// Fan-in weights, parallel to `wires`.
+    weights: Vec<i64>,
+    /// Per-gate firing thresholds.
+    thresholds: Vec<i64>,
+    /// Per-gate depth (1-based), in gate order.
+    depths: Vec<u32>,
+    /// Gate ids grouped by depth layer; `layer_ranges[d]` indexes into it.
+    schedule: Vec<u32>,
+    /// Half-open ranges of `schedule`, one per depth layer.
+    layer_ranges: Vec<(u32, u32)>,
+    /// Slot-encoded designated outputs.
+    outputs: Vec<u32>,
+    /// Per-gate flag: the weighted sum provably fits an `i64` accumulator.
+    narrow: Vec<bool>,
+    /// Bit-edge offsets for the batch kernel (CSR over decomposed weights).
+    bit_offsets: Vec<u32>,
+    /// Slot of each bit-edge.
+    bit_slots: Vec<u32>,
+    /// Packed bit-edge descriptor: low 6 bits = shift, bit 7 = negative sign.
+    bit_shifts: Vec<u8>,
+    /// Planes needed by the batch kernel per gate, or [`WIDE_GATE`].
+    batch_planes: Vec<u8>,
+}
+
+#[inline]
+fn slot_of(wire: Wire, num_inputs: usize) -> usize {
+    match wire {
+        Wire::One => 0,
+        Wire::Input(i) => 1 + i as usize,
+        Wire::Gate(g) => 1 + num_inputs + g as usize,
+    }
+}
+
+impl CompiledCircuit {
+    /// Lowers a circuit into its compiled form.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::DanglingWire`] if the circuit violates the
+    ///   topological invariant (possible for hand-assembled or deserialised
+    ///   circuits; builder output always lowers cleanly);
+    /// * [`CircuitError::CircuitTooLarge`] if inputs + gates exceed the
+    ///   `u32` slot space.
+    pub fn new(circuit: &Circuit) -> Result<Self> {
+        let num_inputs = circuit.num_inputs();
+        let num_gates = circuit.num_gates();
+        let slots = 1usize + num_inputs + num_gates;
+        if slots > u32::MAX as usize {
+            return Err(CircuitError::CircuitTooLarge {
+                inputs: num_inputs,
+                gates: num_gates,
+            });
+        }
+
+        let num_edges = circuit.num_edges();
+        let mut offsets = Vec::with_capacity(num_gates + 1);
+        let mut wires = Vec::with_capacity(num_edges);
+        let mut weights = Vec::with_capacity(num_edges);
+        let mut thresholds = Vec::with_capacity(num_gates);
+        let mut narrow = Vec::with_capacity(num_gates);
+        let mut bit_offsets = Vec::with_capacity(num_gates + 1);
+        let mut bit_slots = Vec::new();
+        let mut bit_shifts = Vec::new();
+        let mut batch_planes = Vec::with_capacity(num_gates);
+
+        offsets.push(0u32);
+        bit_offsets.push(0u32);
+        for (idx, gate) in circuit.gates().iter().enumerate() {
+            let mut pos_sum: i128 = 0;
+            let mut neg_sum: i128 = 0;
+            for &(wire, weight) in gate.inputs() {
+                let valid = match wire {
+                    Wire::Input(i) => (i as usize) < num_inputs,
+                    Wire::Gate(g) => (g as usize) < idx,
+                    Wire::One => true,
+                };
+                if !valid {
+                    return Err(CircuitError::DanglingWire {
+                        wire,
+                        num_inputs,
+                        num_gates: idx,
+                    });
+                }
+                let slot = slot_of(wire, num_inputs) as u32;
+                wires.push(slot);
+                weights.push(weight);
+                if weight >= 0 {
+                    pos_sum += weight as i128;
+                } else {
+                    neg_sum += -(weight as i128);
+                }
+                // Decompose |weight| into bit-edges for the batch kernel.
+                let magnitude = weight.unsigned_abs();
+                let sign_bit = if weight < 0 { 0x80u8 } else { 0 };
+                let mut bits = magnitude;
+                while bits != 0 {
+                    let k = bits.trailing_zeros() as u8;
+                    bit_slots.push(slot);
+                    bit_shifts.push(k | sign_bit);
+                    bits &= bits - 1;
+                }
+            }
+            let t = gate.threshold();
+            thresholds.push(t);
+            narrow.push(pos_sum <= i64::MAX as i128 && neg_sum <= i64::MAX as i128);
+            // Planes so that POS, NEG and POS - NEG - t all fit a signed
+            // `planes`-bit two's-complement integer.
+            let reach = pos_sum + neg_sum + (t.unsigned_abs() as i128);
+            let needed = 128 - (reach + 1).leading_zeros() + 2;
+            batch_planes.push(if (needed as usize) < BATCH_LANES {
+                needed as u8
+            } else {
+                WIDE_GATE
+            });
+            offsets.push(wires.len() as u32);
+            bit_offsets.push(bit_slots.len() as u32);
+        }
+
+        let mut outputs = Vec::with_capacity(circuit.outputs().len());
+        for &wire in circuit.outputs() {
+            let valid = match wire {
+                Wire::Input(i) => (i as usize) < num_inputs,
+                Wire::Gate(g) => (g as usize) < num_gates,
+                Wire::One => true,
+            };
+            if !valid {
+                return Err(CircuitError::DanglingWire {
+                    wire,
+                    num_inputs,
+                    num_gates,
+                });
+            }
+            outputs.push(slot_of(wire, num_inputs) as u32);
+        }
+
+        // Layer schedule: gate ids grouped by depth, ascending inside each
+        // layer (counting sort over depths).
+        let depths: Vec<u32> = (0..num_gates).map(|g| circuit.gate_depth(g)).collect();
+        let depth = depths.iter().copied().max().unwrap_or(0) as usize;
+        let mut layer_sizes = vec![0u32; depth];
+        for &d in &depths {
+            layer_sizes[(d - 1) as usize] += 1;
+        }
+        let mut layer_ranges = Vec::with_capacity(depth);
+        let mut start = 0u32;
+        for &sz in &layer_sizes {
+            layer_ranges.push((start, start + sz));
+            start += sz;
+        }
+        let mut cursor: Vec<u32> = layer_ranges.iter().map(|&(lo, _)| lo).collect();
+        let mut schedule = vec![0u32; num_gates];
+        for (g, &d) in depths.iter().enumerate() {
+            let c = &mut cursor[(d - 1) as usize];
+            schedule[*c as usize] = g as u32;
+            *c += 1;
+        }
+
+        Ok(CompiledCircuit {
+            num_inputs,
+            offsets,
+            wires,
+            weights,
+            thresholds,
+            depths,
+            schedule,
+            layer_ranges,
+            outputs,
+            narrow,
+            bit_offsets,
+            bit_slots,
+            bit_shifts,
+            batch_planes,
+        })
+    }
+
+    /// Number of primary inputs.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of gates.
+    #[inline]
+    pub fn num_gates(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    /// Total number of edges (sum of all fan-ins).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.wires.len()
+    }
+
+    /// The maximum fan-in over all gates.
+    pub fn max_fan_in(&self) -> usize {
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Circuit depth in gate layers.
+    #[inline]
+    pub fn depth(&self) -> u32 {
+        self.layer_ranges.len() as u32
+    }
+
+    /// The depth of gate `gate_index` (1-based from the inputs).
+    #[inline]
+    pub fn gate_depth(&self, gate_index: usize) -> u32 {
+        self.depths[gate_index]
+    }
+
+    /// Per-gate fan-in `(slot-encoded wires, weights)` of gate `g`.
+    #[inline]
+    pub fn fan_in(&self, g: usize) -> (&[u32], &[i64]) {
+        let lo = self.offsets[g] as usize;
+        let hi = self.offsets[g + 1] as usize;
+        (&self.wires[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Per-gate threshold.
+    #[inline]
+    pub fn threshold(&self, g: usize) -> i64 {
+        self.thresholds[g]
+    }
+
+    /// Number of designated outputs.
+    #[inline]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Slot index of designated output `i` (slot 0 is the constant-one wire,
+    /// slots `1..=num_inputs` the primary inputs, then the gates in order).
+    #[inline]
+    pub fn output_slot(&self, i: usize) -> usize {
+        self.outputs[i] as usize
+    }
+
+    /// Gate ids of depth layer `d` (0-based layer index).
+    pub fn layer(&self, d: usize) -> &[u32] {
+        let (lo, hi) = self.layer_ranges[d];
+        &self.schedule[lo as usize..hi as usize]
+    }
+
+    /// The largest absolute weight used anywhere in the circuit.
+    pub fn max_abs_weight(&self) -> u64 {
+        self.weights
+            .iter()
+            .map(|w| w.unsigned_abs())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Complexity statistics, computed from the CSR arrays.
+    pub fn stats(&self) -> CircuitStats {
+        CircuitStats::from_compiled(self)
+    }
+
+    fn check_inputs(&self, inputs: &[bool]) -> Result<()> {
+        if inputs.len() != self.num_inputs {
+            return Err(CircuitError::InputLengthMismatch {
+                expected: self.num_inputs,
+                actual: inputs.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Evaluates one gate from the flat value array (scalar fast/wide path).
+    #[inline]
+    fn fire_scalar(&self, g: usize, vals: &[bool]) -> bool {
+        debug_assert_eq!(vals.len(), self.len_slots());
+        // SAFETY: compilation guarantees every fan-in slot of gate `g` is
+        // below `len_slots()`, and `vals` spans exactly that many slots.
+        unsafe { self.fire_scalar_raw(g, vals.as_ptr()) }
+    }
+
+    /// Raw-pointer core of [`CompiledCircuit::fire_scalar`], shared with the
+    /// parallel evaluator (whose workers must not materialize a `&[bool]`
+    /// over memory that sibling threads are concurrently writing).
+    ///
+    /// # Safety
+    ///
+    /// `vals` must point to at least [`CompiledCircuit::len_slots`] initialised
+    /// `bool`s, and no other thread may concurrently write any slot that gate
+    /// `g` reads (its fan-in slots, which compilation bounds to earlier
+    /// layers).
+    #[inline]
+    unsafe fn fire_scalar_raw(&self, g: usize, vals: *const bool) -> bool {
+        let lo = self.offsets[g] as usize;
+        let hi = self.offsets[g + 1] as usize;
+        if self.narrow[g] {
+            let mut acc: i64 = 0;
+            for e in lo..hi {
+                // Branchless: mask the weight by the input bit.
+                acc += self.weights[e] & -(unsafe { *vals.add(self.wires[e] as usize) } as i64);
+            }
+            acc >= self.thresholds[g]
+        } else {
+            let mut acc: i128 = 0;
+            for e in lo..hi {
+                if unsafe { *vals.add(self.wires[e] as usize) } {
+                    acc += self.weights[e] as i128;
+                }
+            }
+            acc >= self.thresholds[g] as i128
+        }
+    }
+
+    fn finish(&self, vals: Vec<bool>) -> Evaluation {
+        let gate_values = vals[1 + self.num_inputs..].to_vec();
+        let outputs = self.outputs.iter().map(|&s| vals[s as usize]).collect();
+        Evaluation::from_parts(gate_values, outputs)
+    }
+
+    /// Evaluates the circuit sequentially on one input assignment.
+    ///
+    /// Produces exactly the same [`Evaluation`] as [`Circuit::evaluate`].
+    pub fn evaluate(&self, inputs: &[bool]) -> Result<Evaluation> {
+        self.check_inputs(inputs)?;
+        let mut vals = vec![false; 1 + self.num_inputs + self.num_gates()];
+        vals[0] = true;
+        vals[1..=self.num_inputs].copy_from_slice(inputs);
+        for g in 0..self.num_gates() {
+            vals[1 + self.num_inputs + g] = self.fire_scalar(g, &vals);
+        }
+        Ok(self.finish(vals))
+    }
+
+    /// Evaluates the circuit layer by layer, splitting large layers across
+    /// OS threads (`std::thread::scope`). Produces exactly the same result
+    /// as [`CompiledCircuit::evaluate`].
+    pub fn evaluate_parallel(&self, inputs: &[bool], opts: EvalOptions) -> Result<Evaluation> {
+        self.check_inputs(inputs)?;
+        let mut vals = vec![false; 1 + self.num_inputs + self.num_gates()];
+        vals[0] = true;
+        vals[1..=self.num_inputs].copy_from_slice(inputs);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        for d in 0..self.layer_ranges.len() {
+            let layer = self.layer(d);
+            if threads < 2 || layer.len() < opts.parallel_threshold.max(2) {
+                for &g in layer {
+                    vals[1 + self.num_inputs + g as usize] = self.fire_scalar(g as usize, &vals);
+                }
+            } else {
+                // Gates within one depth layer never reference each other, so
+                // each thread reads only slots settled in earlier layers and
+                // writes a slot no other thread touches. All access goes
+                // through raw pointers — materializing a `&[bool]` over the
+                // buffer while siblings write disjoint slots would still be
+                // undefined behaviour.
+                let cell = SharedVals(vals.as_mut_ptr());
+                let chunk = layer.len().div_ceil(threads);
+                std::thread::scope(|scope| {
+                    for part in layer.chunks(chunk) {
+                        let cell = &cell;
+                        scope.spawn(move || {
+                            for &g in part {
+                                // SAFETY: gate `g` reads only earlier-layer
+                                // slots (no concurrent writers) and writes its
+                                // own slot, unique within this layer.
+                                unsafe {
+                                    let fired = self.fire_scalar_raw(g as usize, cell.0);
+                                    *cell.0.add(1 + self.num_inputs + g as usize) = fired;
+                                }
+                            }
+                        });
+                    }
+                });
+            }
+        }
+        Ok(self.finish(vals))
+    }
+
+    #[inline]
+    fn len_slots(&self) -> usize {
+        1 + self.num_inputs + self.num_gates()
+    }
+
+    /// Evaluates up to 64 independent input assignments in one pass.
+    ///
+    /// Gate values are carried as `u64` lane masks (bit `l` = assignment `l`)
+    /// and each gate's weighted sums are accumulated for all lanes at once
+    /// with carry-save plane arithmetic over the gate's *bit-edges*
+    /// (weights decomposed into set bits). Lane `l` of the result is
+    /// bit-identical to `evaluate(&rows[l])` — values and firing counts.
+    pub fn evaluate_batch64(&self, batch: &Batch64) -> Result<BatchEvaluation> {
+        if batch.num_inputs != self.num_inputs {
+            return Err(CircuitError::InputLengthMismatch {
+                expected: self.num_inputs,
+                actual: batch.num_inputs,
+            });
+        }
+        let lanes = batch.lanes as usize;
+        let lane_mask = if lanes == BATCH_LANES {
+            !0u64
+        } else {
+            (1u64 << lanes) - 1
+        };
+        let mut vals = vec![0u64; self.len_slots()];
+        vals[0] = !0u64;
+        vals[1..=self.num_inputs].copy_from_slice(&batch.masks);
+
+        // Per-gate carry-save accumulators for positive and negative weight
+        // magnitudes, plus a bit-sliced firing counter across all gates.
+        let mut pos = [0u64; BATCH_LANES];
+        let mut neg = [0u64; BATCH_LANES];
+        let mut firing = [0u64; 40];
+        let mut gate_masks = Vec::with_capacity(self.num_gates());
+
+        for g in 0..self.num_gates() {
+            let planes = self.batch_planes[g];
+            let fired = if planes == WIDE_GATE {
+                self.fire_wide_lanes(g, &vals, lanes)
+            } else {
+                let p = planes as usize;
+                pos[..p].fill(0);
+                neg[..p].fill(0);
+                let lo = self.bit_offsets[g] as usize;
+                let hi = self.bit_offsets[g + 1] as usize;
+                for e in lo..hi {
+                    let mask = vals[self.bit_slots[e] as usize];
+                    if mask == 0 {
+                        continue;
+                    }
+                    let desc = self.bit_shifts[e];
+                    let planes_arr = if desc & 0x80 != 0 { &mut neg } else { &mut pos };
+                    // Ripple-add `mask` into the counter starting at plane
+                    // `shift`; amortised O(1) planes touched per edge.
+                    let mut carry = mask;
+                    let mut i = (desc & 0x3F) as usize;
+                    while carry != 0 {
+                        let a = planes_arr[i];
+                        planes_arr[i] = a ^ carry;
+                        carry &= a;
+                        i += 1;
+                    }
+                }
+                // S = POS - NEG - t per lane, bit-sliced; fired = sign(S) == 0.
+                let t = self.thresholds[g];
+                let mut carry = !0u64; // first +1 of the two two's-complement negations
+                let mut carry2 = !0u64; // second +1
+                let mut sign = 0u64;
+                for i in 0..p {
+                    let a = pos[i];
+                    let b = !neg[i];
+                    let s1 = a ^ b ^ carry;
+                    carry = (a & b) | (carry & (a | b));
+                    // Subtract the matching plane of the constant threshold.
+                    let tb = if (t >> i.min(63)) & 1 == 1 {
+                        0u64
+                    } else {
+                        !0u64
+                    };
+                    sign = s1 ^ tb ^ carry2;
+                    carry2 = (s1 & tb) | (carry2 & (s1 | tb));
+                }
+                !sign
+            };
+            vals[1 + self.num_inputs + g] = fired;
+            // Lanes beyond the batch width carry whatever the kernel computed
+            // for them; mask them off so the exposed masks are consistent.
+            gate_masks.push(fired & lane_mask);
+            // Count firings per lane (bit-sliced counter, valid lanes only).
+            let mut carry = fired & lane_mask;
+            let mut i = 0;
+            while carry != 0 {
+                let a = firing[i];
+                firing[i] = a ^ carry;
+                carry &= a;
+                i += 1;
+            }
+        }
+
+        let mut firing_counts = [0u32; BATCH_LANES];
+        for (k, &plane) in firing.iter().enumerate() {
+            let mut m = plane;
+            while m != 0 {
+                let l = m.trailing_zeros() as usize;
+                firing_counts[l] += 1 << k;
+                m &= m - 1;
+            }
+        }
+
+        let output_masks = self
+            .outputs
+            .iter()
+            .map(|&s| vals[s as usize] & lane_mask)
+            .collect();
+        Ok(BatchEvaluation {
+            lanes: batch.lanes,
+            gate_masks,
+            output_masks,
+            firing_counts,
+        })
+    }
+
+    /// Wide-gate fallback for the batch kernel: evaluates each lane with an
+    /// `i128` accumulator. Only reached when a gate's weight reach exceeds
+    /// the plane budget (~2^61), which no paper construction does.
+    #[cold]
+    fn fire_wide_lanes(&self, g: usize, vals: &[u64], lanes: usize) -> u64 {
+        let lo = self.offsets[g] as usize;
+        let hi = self.offsets[g + 1] as usize;
+        let t = self.thresholds[g] as i128;
+        let mut fired = 0u64;
+        for l in 0..lanes {
+            let mut acc: i128 = 0;
+            for e in lo..hi {
+                if (vals[self.wires[e] as usize] >> l) & 1 == 1 {
+                    acc += self.weights[e] as i128;
+                }
+            }
+            fired |= ((acc >= t) as u64) << l;
+        }
+        fired
+    }
+}
+
+/// Raw-pointer cell sharing the flat value array across a layer's threads.
+struct SharedVals(*mut bool);
+// SAFETY: threads write pairwise-disjoint slots of the array (each gate id
+// appears exactly once in a layer schedule) and only read slots written
+// before the scope began.
+unsafe impl Send for SharedVals {}
+unsafe impl Sync for SharedVals {}
+
+/// Up to 64 input assignments packed column-wise: one `u64` lane mask per
+/// primary input, bit `l` carrying assignment `l`'s value.
+#[derive(Debug, Clone)]
+pub struct Batch64 {
+    num_inputs: usize,
+    lanes: u32,
+    masks: Vec<u64>,
+}
+
+impl Batch64 {
+    /// Packs up to [`BATCH_LANES`] assignments (each of `num_inputs` bits).
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::BatchTooWide`] for more than 64 assignments;
+    /// * [`CircuitError::InputLengthMismatch`] if any row has the wrong
+    ///   length (also reported for an empty batch).
+    pub fn pack<R: AsRef<[bool]>>(num_inputs: usize, rows: &[R]) -> Result<Self> {
+        if rows.len() > BATCH_LANES {
+            return Err(CircuitError::BatchTooWide { rows: rows.len() });
+        }
+        if rows.is_empty() {
+            return Err(CircuitError::InputLengthMismatch {
+                expected: num_inputs,
+                actual: 0,
+            });
+        }
+        let mut masks = vec![0u64; num_inputs];
+        for (lane, row) in rows.iter().enumerate() {
+            let row = row.as_ref();
+            if row.len() != num_inputs {
+                return Err(CircuitError::InputLengthMismatch {
+                    expected: num_inputs,
+                    actual: row.len(),
+                });
+            }
+            for (i, &bit) in row.iter().enumerate() {
+                masks[i] |= (bit as u64) << lane;
+            }
+        }
+        Ok(Batch64 {
+            num_inputs,
+            lanes: rows.len() as u32,
+            masks,
+        })
+    }
+
+    /// Number of packed assignments (1..=64).
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes as usize
+    }
+
+    /// Number of primary inputs per assignment.
+    #[inline]
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+}
+
+/// The result of a 64-lane batch evaluation: per-gate and per-output lane
+/// masks plus per-lane firing counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchEvaluation {
+    lanes: u32,
+    gate_masks: Vec<u64>,
+    output_masks: Vec<u64>,
+    firing_counts: [u32; BATCH_LANES],
+}
+
+impl BatchEvaluation {
+    /// Number of valid lanes (the batch's assignment count).
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes as usize
+    }
+
+    fn check_lane(&self, lane: usize) -> Result<()> {
+        if lane >= self.lanes as usize {
+            return Err(CircuitError::LaneOutOfRange {
+                lane,
+                lanes: self.lanes as usize,
+            });
+        }
+        Ok(())
+    }
+
+    /// The value of output `i` for assignment `lane`.
+    pub fn output(&self, lane: usize, i: usize) -> Result<bool> {
+        self.check_lane(lane)?;
+        let mask = self
+            .output_masks
+            .get(i)
+            .ok_or(CircuitError::OutputIndexOutOfRange {
+                index: i,
+                len: self.output_masks.len(),
+            })?;
+        Ok((mask >> lane) & 1 == 1)
+    }
+
+    /// All designated output values for assignment `lane`.
+    pub fn outputs(&self, lane: usize) -> Result<Vec<bool>> {
+        self.check_lane(lane)?;
+        Ok(self
+            .output_masks
+            .iter()
+            .map(|m| (m >> lane) & 1 == 1)
+            .collect())
+    }
+
+    /// Every gate's value for assignment `lane`, in gate order.
+    pub fn gate_values(&self, lane: usize) -> Result<Vec<bool>> {
+        self.check_lane(lane)?;
+        Ok(self
+            .gate_masks
+            .iter()
+            .map(|m| (m >> lane) & 1 == 1)
+            .collect())
+    }
+
+    /// Number of gates that fired for assignment `lane` (the evaluation's
+    /// *energy* in the Uchizawa–Douglas–Maass model).
+    pub fn firing_count(&self, lane: usize) -> Result<u32> {
+        self.check_lane(lane)?;
+        Ok(self.firing_counts[lane])
+    }
+
+    /// Per-gate lane masks (bit `l` of entry `g` = gate `g`'s value for
+    /// assignment `l`).  Bits of lanes beyond [`BatchEvaluation::lanes`] are
+    /// always zero.
+    #[inline]
+    pub fn gate_masks(&self) -> &[u64] {
+        &self.gate_masks
+    }
+
+    /// Per-output lane masks.  Bits of lanes beyond
+    /// [`BatchEvaluation::lanes`] are always zero.
+    #[inline]
+    pub fn output_masks(&self) -> &[u64] {
+        &self.output_masks
+    }
+
+    /// Expands one lane into a full [`Evaluation`], identical to what the
+    /// scalar evaluator returns for that assignment.
+    pub fn evaluation(&self, lane: usize) -> Result<Evaluation> {
+        Ok(Evaluation::from_parts(
+            self.gate_values(lane)?,
+            self.outputs(lane)?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitBuilder;
+
+    fn mixed_circuit() -> Circuit {
+        let mut b = CircuitBuilder::new(3);
+        let x = Wire::input(0);
+        let y = Wire::input(1);
+        let z = Wire::input(2);
+        let carry = b.add_gate([(x, 1), (y, 1), (z, 1)], 2).unwrap();
+        let sum = b
+            .add_gate([(x, 1), (y, 1), (z, 1), (carry, -2)], 1)
+            .unwrap();
+        let not = b.add_gate([(sum, -3)], 0).unwrap();
+        let constish = b.add_gate([(Wire::One, 5), (not, -5)], 5).unwrap();
+        b.mark_output(sum);
+        b.mark_output(carry);
+        b.mark_output(constish);
+        b.mark_output(Wire::One);
+        b.mark_output(Wire::input(2));
+        b.build()
+    }
+
+    #[test]
+    fn compiled_matches_legacy_layout() {
+        let c = mixed_circuit();
+        let cc = c.compile().unwrap();
+        assert_eq!(cc.num_inputs(), 3);
+        assert_eq!(cc.num_gates(), 4);
+        assert_eq!(cc.num_edges(), c.num_edges());
+        assert_eq!(cc.depth(), c.depth());
+        assert_eq!(cc.max_fan_in(), c.max_fan_in());
+        assert_eq!(cc.num_outputs(), 5);
+    }
+
+    #[test]
+    fn scalar_parallel_and_batch_agree_exhaustively() {
+        let c = mixed_circuit();
+        let cc = c.compile().unwrap();
+        let rows: Vec<[bool; 3]> = (0..8u32)
+            .map(|bits| [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0])
+            .collect();
+        let batch = Batch64::pack(3, &rows).unwrap();
+        let bev = cc.evaluate_batch64(&batch).unwrap();
+        for (lane, row) in rows.iter().enumerate() {
+            let scalar = cc.evaluate(row).unwrap();
+            let par = cc
+                .evaluate_parallel(
+                    row,
+                    EvalOptions {
+                        parallel_threshold: 1,
+                    },
+                )
+                .unwrap();
+            assert_eq!(scalar, par, "lane {lane}");
+            assert_eq!(scalar, bev.evaluation(lane).unwrap(), "lane {lane}");
+            assert_eq!(
+                scalar.firing_count(),
+                bev.firing_count(lane).unwrap() as usize,
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_weights_take_the_wide_path() {
+        let mut b = CircuitBuilder::new(2);
+        let g = b
+            .add_gate([(Wire::input(0), i64::MAX), (Wire::input(1), i64::MAX)], 1)
+            .unwrap();
+        let h = b.add_gate([(Wire::input(0), i64::MIN), (g, 1)], 0).unwrap();
+        b.mark_outputs([g, h]);
+        let c = b.build();
+        let cc = c.compile().unwrap();
+        let rows = [[false, false], [false, true], [true, false], [true, true]];
+        let batch = Batch64::pack(2, &rows).unwrap();
+        let bev = cc.evaluate_batch64(&batch).unwrap();
+        for (lane, row) in rows.iter().enumerate() {
+            let scalar = cc.evaluate(row).unwrap();
+            assert_eq!(scalar, bev.evaluation(lane).unwrap(), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn batch_rejects_bad_shapes() {
+        let c = mixed_circuit();
+        let cc = c.compile().unwrap();
+        let too_many: Vec<[bool; 3]> = (0..65).map(|_| [false; 3]).collect();
+        assert!(matches!(
+            Batch64::pack(3, &too_many),
+            Err(CircuitError::BatchTooWide { rows: 65 })
+        ));
+        let wrong_width = Batch64::pack(2, &[[false, true]]).unwrap();
+        assert!(matches!(
+            cc.evaluate_batch64(&wrong_width),
+            Err(CircuitError::InputLengthMismatch {
+                expected: 3,
+                actual: 2
+            })
+        ));
+        let empty: &[[bool; 3]] = &[];
+        assert!(Batch64::pack(3, empty).is_err());
+    }
+
+    #[test]
+    fn lane_accessors_are_bounds_checked() {
+        let c = mixed_circuit();
+        let cc = c.compile().unwrap();
+        let batch = Batch64::pack(3, &[[true, false, true]]).unwrap();
+        let bev = cc.evaluate_batch64(&batch).unwrap();
+        assert!(bev.output(0, 0).is_ok());
+        assert!(matches!(
+            bev.output(1, 0),
+            Err(CircuitError::LaneOutOfRange { lane: 1, lanes: 1 })
+        ));
+        assert!(matches!(
+            bev.output(0, 99),
+            Err(CircuitError::OutputIndexOutOfRange { index: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_wire_fails_compilation() {
+        // Assemble an invalid circuit directly through serde-style surgery:
+        // builder forbids this, so synthesise via Circuit::from_parts.
+        let mut b = CircuitBuilder::new(1);
+        let g = b.add_gate([(Wire::input(0), 1)], 1).unwrap();
+        b.mark_output(g);
+        let mut c = b.build();
+        // Point the output at a gate that does not exist.
+        c = Circuit::from_parts(
+            c.num_inputs(),
+            c.gates().to_vec(),
+            vec![Wire::gate(7)],
+            (0..c.num_gates()).map(|g| c.gate_depth(g)).collect(),
+        );
+        assert!(matches!(
+            c.compile(),
+            Err(CircuitError::DanglingWire { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_thresholds_and_constant_one_lanes() {
+        let mut b = CircuitBuilder::new(1);
+        let always = b.add_gate([(Wire::input(0), 1)], i64::MIN + 1).unwrap();
+        let negate = b.add_gate([(Wire::One, -4), (always, 2)], -2).unwrap();
+        b.mark_outputs([always, negate]);
+        let cc = b.build().compile().unwrap();
+        let rows = [[false], [true]];
+        let batch = Batch64::pack(1, &rows).unwrap();
+        let bev = cc.evaluate_batch64(&batch).unwrap();
+        for (lane, row) in rows.iter().enumerate() {
+            assert_eq!(
+                cc.evaluate(row).unwrap(),
+                bev.evaluation(lane).unwrap(),
+                "lane {lane}"
+            );
+        }
+    }
+}

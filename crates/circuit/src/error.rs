@@ -48,6 +48,25 @@ pub enum CircuitError {
         /// Index of the gate whose sum overflowed.
         gate: usize,
     },
+    /// The circuit does not fit the compiled engine's `u32` slot space.
+    CircuitTooLarge {
+        /// Number of primary inputs.
+        inputs: usize,
+        /// Number of gates.
+        gates: usize,
+    },
+    /// More than 64 assignments were packed into one bit-sliced batch.
+    BatchTooWide {
+        /// Number of assignments offered.
+        rows: usize,
+    },
+    /// A batch-evaluation accessor was given a lane beyond the batch width.
+    LaneOutOfRange {
+        /// The requested lane.
+        lane: usize,
+        /// Number of valid lanes in the batch.
+        lanes: usize,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -74,6 +93,16 @@ impl fmt::Display for CircuitError {
             }
             CircuitError::ArithmeticOverflow { gate } => {
                 write!(f, "weighted sum overflowed i128 while evaluating gate {gate}")
+            }
+            CircuitError::CircuitTooLarge { inputs, gates } => write!(
+                f,
+                "circuit with {inputs} inputs and {gates} gates exceeds the u32 slot space of the compiled engine"
+            ),
+            CircuitError::BatchTooWide { rows } => {
+                write!(f, "a bit-sliced batch holds at most 64 assignments, got {rows}")
+            }
+            CircuitError::LaneOutOfRange { lane, lanes } => {
+                write!(f, "lane {lane} out of range (batch has {lanes} lanes)")
             }
         }
     }

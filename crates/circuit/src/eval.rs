@@ -1,13 +1,20 @@
-//! Sequential and layer-parallel circuit evaluation.
+//! Evaluation results and options.
+//!
+//! The evaluators themselves live in [`crate::compiled`]: every evaluation —
+//! scalar, layer-parallel, or 64-lane batch — runs off the CSR form produced
+//! by [`Circuit::compile`](crate::Circuit::compile). The convenience methods
+//! [`Circuit::evaluate`](crate::Circuit::evaluate) and
+//! [`Circuit::evaluate_parallel`](crate::Circuit::evaluate_parallel) compile
+//! on the fly; callers that evaluate the same circuit repeatedly should
+//! compile once and reuse the [`CompiledCircuit`](crate::CompiledCircuit).
 
-use crate::{Circuit, CircuitError, Result, Wire};
-use rayon::prelude::*;
+use crate::{CircuitError, Result};
 
 /// Options controlling parallel evaluation.
 #[derive(Debug, Clone, Copy)]
 pub struct EvalOptions {
-    /// Layers with fewer gates than this are evaluated sequentially to avoid paying
-    /// rayon's scheduling overhead on tiny layers.
+    /// Layers with fewer gates than this are evaluated sequentially to avoid
+    /// paying thread-spawn overhead on tiny layers.
     pub parallel_threshold: usize,
 }
 
@@ -30,6 +37,13 @@ pub struct Evaluation {
 }
 
 impl Evaluation {
+    pub(crate) fn from_parts(gate_values: Vec<bool>, outputs: Vec<bool>) -> Self {
+        Evaluation {
+            gate_values,
+            outputs,
+        }
+    }
+
     /// The values of the designated outputs, in marking order.
     #[inline]
     pub fn outputs(&self) -> &[bool] {
@@ -62,82 +76,10 @@ impl Evaluation {
     }
 }
 
-#[inline]
-fn wire_value(wire: Wire, inputs: &[bool], gate_values: &[bool]) -> bool {
-    match wire {
-        Wire::Input(i) => inputs[i as usize],
-        Wire::Gate(i) => gate_values[i as usize],
-        Wire::One => true,
-    }
-}
-
-pub(crate) fn evaluate_sequential(circuit: &Circuit, inputs: &[bool]) -> Result<Evaluation> {
-    let mut gate_values = vec![false; circuit.num_gates()];
-    for (idx, gate) in circuit.gates().iter().enumerate() {
-        let fired = gate
-            .fire_with(|w| wire_value(w, inputs, &gate_values))
-            .ok_or(CircuitError::ArithmeticOverflow { gate: idx })?;
-        gate_values[idx] = fired;
-    }
-    let outputs = circuit
-        .outputs()
-        .iter()
-        .map(|&w| wire_value(w, inputs, &gate_values))
-        .collect();
-    Ok(Evaluation {
-        gate_values,
-        outputs,
-    })
-}
-
-pub(crate) fn evaluate_parallel(
-    circuit: &Circuit,
-    inputs: &[bool],
-    opts: EvalOptions,
-) -> Result<Evaluation> {
-    let mut gate_values = vec![false; circuit.num_gates()];
-    for layer in circuit.layers() {
-        // Gates within one depth layer never reference each other, so they can be
-        // evaluated from an immutable snapshot of the previous layers' values.
-        let snapshot = &gate_values;
-        let results: Vec<(usize, Option<bool>)> = if layer.len() >= opts.parallel_threshold {
-            layer
-                .par_iter()
-                .map(|&idx| {
-                    let fired = circuit.gates()[idx]
-                        .fire_with(|w| wire_value(w, inputs, snapshot));
-                    (idx, fired)
-                })
-                .collect()
-        } else {
-            layer
-                .iter()
-                .map(|&idx| {
-                    let fired = circuit.gates()[idx]
-                        .fire_with(|w| wire_value(w, inputs, snapshot));
-                    (idx, fired)
-                })
-                .collect()
-        };
-        for (idx, fired) in results {
-            gate_values[idx] = fired.ok_or(CircuitError::ArithmeticOverflow { gate: idx })?;
-        }
-    }
-    let outputs = circuit
-        .outputs()
-        .iter()
-        .map(|&w| wire_value(w, inputs, &gate_values))
-        .collect();
-    Ok(Evaluation {
-        gate_values,
-        outputs,
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::CircuitBuilder;
+    use crate::{Circuit, CircuitBuilder, Wire};
 
     /// Builds a chain of alternating AND/OR gates with one extra "wide" layer to
     /// exercise both code paths of the parallel evaluator.
@@ -146,13 +88,7 @@ mod tests {
         let mut layer1 = Vec::new();
         for i in 0..width {
             let g = b
-                .add_gate(
-                    [
-                        (Wire::input(i), 1),
-                        (Wire::input((i + 1) % width), 1),
-                    ],
-                    1,
-                )
+                .add_gate([(Wire::input(i), 1), (Wire::input((i + 1) % width), 1)], 1)
                 .unwrap();
             layer1.push(g);
         }
@@ -183,9 +119,12 @@ mod tests {
             }
             let seq = c.evaluate(&inputs).unwrap();
             let par = c
-                .evaluate_parallel(&inputs, EvalOptions {
-                    parallel_threshold: 1,
-                })
+                .evaluate_parallel(
+                    &inputs,
+                    EvalOptions {
+                        parallel_threshold: 1,
+                    },
+                )
                 .unwrap();
             assert_eq!(seq, par);
         }
@@ -213,7 +152,7 @@ mod tests {
         b.mark_output(g);
         let c = b.build();
         let ev = c.evaluate(&[true]).unwrap();
-        assert_eq!(ev.output(0).unwrap(), true);
+        assert!(ev.output(0).unwrap());
         assert!(matches!(
             ev.output(1),
             Err(CircuitError::OutputIndexOutOfRange { index: 1, len: 1 })

@@ -50,14 +50,16 @@ impl ThresholdGate {
     }
 
     /// The largest absolute weight used by this gate.
+    ///
+    /// Returned as `u64` so the weight `i64::MIN` (absolute value `2^63`) is
+    /// reported exactly instead of being clamped.
     #[inline]
-    pub fn max_abs_weight(&self) -> i64 {
+    pub fn max_abs_weight(&self) -> u64 {
         self.inputs
             .iter()
             .map(|(_, w)| w.unsigned_abs())
             .max()
             .unwrap_or(0)
-            .min(i64::MAX as u64) as i64
     }
 
     /// Evaluates the gate given a resolver from wires to bit values.
@@ -139,12 +141,8 @@ mod tests {
             ],
             2,
         );
-        assert!(maj3
-            .fire_with(|w| w.as_input().unwrap() < 2)
-            .unwrap());
-        assert!(!maj3
-            .fire_with(|w| w.as_input().unwrap() < 1)
-            .unwrap());
+        assert!(maj3.fire_with(|w| w.as_input().unwrap() < 2).unwrap());
+        assert!(!maj3.fire_with(|w| w.as_input().unwrap() < 1).unwrap());
     }
 
     #[test]
@@ -164,6 +162,14 @@ mod tests {
         assert_eq!(g.max_sum(), 3);
         assert_eq!(g.min_sum(), -5);
         assert!(!g.is_constant());
+    }
+
+    #[test]
+    fn max_abs_weight_reports_i64_min_exactly() {
+        let g = ThresholdGate::new(vec![(Wire::input(0), i64::MIN)], 0);
+        assert_eq!(g.max_abs_weight(), 1u64 << 63);
+        let g = ThresholdGate::new(vec![(Wire::input(0), i64::MIN), (Wire::input(1), 7)], 0);
+        assert_eq!(g.max_abs_weight(), 1u64 << 63);
     }
 
     #[test]

@@ -31,10 +31,17 @@
 //!
 //! ## Evaluation
 //!
-//! [`Circuit::evaluate`] evaluates the circuit sequentially; [`Circuit::evaluate_parallel`]
-//! evaluates it layer-by-layer with gates inside a layer processed by rayon.  Both
-//! produce identical results for all inputs (evaluation of a threshold circuit is
-//! deterministic).
+//! Evaluation runs on the compiled execution engine: [`Circuit::compile`]
+//! lowers the builder-friendly gate list into flat CSR arrays once, and the
+//! resulting [`CompiledCircuit`] hosts three evaluators behind one API —
+//! sequential ([`CompiledCircuit::evaluate`]), layer-parallel
+//! ([`CompiledCircuit::evaluate_parallel`], OS threads over each depth
+//! layer), and the bit-sliced [`CompiledCircuit::evaluate_batch64`], which
+//! processes up to 64 independent input assignments per pass using `u64`
+//! lanes.  All three produce identical results (evaluation of a threshold
+//! circuit is deterministic); [`Circuit::evaluate`] and
+//! [`Circuit::evaluate_parallel`] remain as convenience wrappers that
+//! compile on the fly.
 //!
 //! ```
 //! use tc_circuit::{CircuitBuilder, Wire};
@@ -58,6 +65,7 @@
 
 mod builder;
 mod circuit;
+mod compiled;
 mod dot;
 mod error;
 mod eval;
@@ -68,6 +76,7 @@ mod wire;
 
 pub use builder::{CircuitBuilder, DedupPolicy};
 pub use circuit::Circuit;
+pub use compiled::{Batch64, BatchEvaluation, CompiledCircuit, BATCH_LANES};
 pub use error::CircuitError;
 pub use eval::{EvalOptions, Evaluation};
 pub use gate::ThresholdGate;

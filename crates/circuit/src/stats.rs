@@ -1,5 +1,10 @@
 //! Complexity statistics: size, depth, edges, fan-in, per-layer breakdown.
+//!
+//! Statistics are computed from the compiled CSR form (one pass over flat
+//! arrays); [`CircuitStats::from_circuit`] compiles on the fly and falls back
+//! to walking the gate list only for circuits that cannot be lowered.
 
+use crate::compiled::CompiledCircuit;
 use crate::Circuit;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -37,8 +42,9 @@ pub struct CircuitStats {
     pub edges: usize,
     /// Maximum gate fan-in.
     pub max_fan_in: usize,
-    /// Maximum absolute weight on any connection.
-    pub max_abs_weight: i64,
+    /// Maximum absolute weight on any connection (`u64` so `i64::MIN` is
+    /// reported exactly).
+    pub max_abs_weight: u64,
     /// Number of designated outputs.
     pub outputs: usize,
     /// Statistics per depth layer, from layer 1 (reads inputs) to layer `depth`.
@@ -47,7 +53,50 @@ pub struct CircuitStats {
 
 impl CircuitStats {
     /// Computes the statistics of a circuit.
+    ///
+    /// Compiles the circuit and reads the CSR arrays; circuits that cannot
+    /// be lowered (dangling wires, slot overflow) are measured by walking the
+    /// gate list directly.
     pub fn from_circuit(circuit: &Circuit) -> Self {
+        match circuit.compile() {
+            Ok(compiled) => Self::from_compiled(&compiled),
+            Err(_) => Self::from_gate_list(circuit),
+        }
+    }
+
+    /// Computes the statistics from an already-compiled circuit.
+    pub fn from_compiled(compiled: &CompiledCircuit) -> Self {
+        let depth = compiled.depth();
+        let mut layers: Vec<LayerStats> = (1..=depth)
+            .map(|d| LayerStats {
+                depth: d,
+                gates: 0,
+                edges: 0,
+                max_fan_in: 0,
+            })
+            .collect();
+        for (layer, d) in layers.iter_mut().zip(0..depth as usize) {
+            for &g in compiled.layer(d) {
+                let fan_in = compiled.fan_in(g as usize).0.len();
+                layer.gates += 1;
+                layer.edges += fan_in;
+                layer.max_fan_in = layer.max_fan_in.max(fan_in);
+            }
+        }
+        CircuitStats {
+            inputs: compiled.num_inputs(),
+            size: compiled.num_gates(),
+            depth,
+            edges: compiled.num_edges(),
+            max_fan_in: compiled.max_fan_in(),
+            max_abs_weight: compiled.max_abs_weight(),
+            outputs: compiled.num_outputs(),
+            layers,
+        }
+    }
+
+    /// Fallback for circuits the compiled engine rejects.
+    fn from_gate_list(circuit: &Circuit) -> Self {
         let mut layers: Vec<LayerStats> = (1..=circuit.depth())
             .map(|d| LayerStats {
                 depth: d,
@@ -56,7 +105,7 @@ impl CircuitStats {
                 max_fan_in: 0,
             })
             .collect();
-        let mut max_abs_weight = 0i64;
+        let mut max_abs_weight = 0u64;
         for (idx, gate) in circuit.gates().iter().enumerate() {
             let d = circuit.gate_depth(idx) as usize - 1;
             let layer = &mut layers[d];
@@ -115,7 +164,9 @@ mod tests {
         let g1 = b
             .add_gate([(Wire::input(2), 1), (Wire::input(3), 1)], 2)
             .unwrap();
-        let g2 = b.add_gate([(g0, 1), (g1, 1), (Wire::input(0), 5)], 3).unwrap();
+        let g2 = b
+            .add_gate([(g0, 1), (g1, 1), (Wire::input(0), 5)], 3)
+            .unwrap();
         b.mark_output(g2);
         b.build()
     }

@@ -20,6 +20,11 @@ pub struct ValidationReport {
 
 impl ValidationReport {
     /// Runs all checks on `circuit`.
+    ///
+    /// Structural errors (dangling wires, empty fan-ins) are detected on the
+    /// raw gate list — they must be reportable precisely for circuits the
+    /// compiled engine rejects.  The constant-gate and dead-gate analyses run
+    /// off the compiled CSR form whenever the circuit lowers cleanly.
     pub fn check(circuit: &Circuit) -> Self {
         let mut report = ValidationReport::default();
         let num_inputs = circuit.num_inputs();
@@ -43,9 +48,6 @@ impl ValidationReport {
                     });
                 }
             }
-            if gate.is_constant() {
-                report.constant_gates.push(idx);
-            }
         }
 
         for &out in circuit.outputs() {
@@ -63,7 +65,22 @@ impl ValidationReport {
             }
         }
 
-        report.dead_gates = dead_gates(circuit);
+        match circuit.compile() {
+            Ok(compiled) => {
+                report.constant_gates = constant_gates_csr(&compiled);
+                report.dead_gates = dead_gates_csr(&compiled);
+            }
+            Err(_) => {
+                // Invalid circuits keep the (slower) gate-list analyses so the
+                // report stays complete.
+                for (idx, gate) in circuit.gates().iter().enumerate() {
+                    if gate.is_constant() {
+                        report.constant_gates.push(idx);
+                    }
+                }
+                report.dead_gates = dead_gates(circuit);
+            }
+        }
         report
     }
 
@@ -72,6 +89,47 @@ impl ValidationReport {
     pub fn is_valid(&self) -> bool {
         self.errors.is_empty()
     }
+}
+
+/// Gates whose output is provably constant, computed from the CSR weights:
+/// a gate is constant when even the most favourable input assignment cannot
+/// cross (or avoid crossing) the threshold.
+fn constant_gates_csr(compiled: &crate::CompiledCircuit) -> Vec<usize> {
+    (0..compiled.num_gates())
+        .filter(|&g| {
+            let (_, weights) = compiled.fan_in(g);
+            let max_sum: i128 = weights.iter().filter(|&&w| w > 0).map(|&w| w as i128).sum();
+            let min_sum: i128 = weights.iter().filter(|&&w| w < 0).map(|&w| w as i128).sum();
+            let t = compiled.threshold(g) as i128;
+            min_sum >= t || max_sum < t
+        })
+        .collect()
+}
+
+/// Gates not reachable (backwards) from any designated output, traversing the
+/// compiled CSR adjacency.
+fn dead_gates_csr(compiled: &crate::CompiledCircuit) -> Vec<usize> {
+    let n = compiled.num_gates();
+    let gate_base = 1 + compiled.num_inputs();
+    let mut live = vec![false; n];
+    let mut stack: Vec<usize> = (0..compiled.num_outputs())
+        .filter_map(|i| compiled.output_slot(i).checked_sub(gate_base))
+        .collect();
+    while let Some(g) = stack.pop() {
+        if live[g] {
+            continue;
+        }
+        live[g] = true;
+        let (wires, _) = compiled.fan_in(g);
+        for &slot in wires {
+            if let Some(p) = (slot as usize).checked_sub(gate_base) {
+                if !live[p] {
+                    stack.push(p);
+                }
+            }
+        }
+    }
+    (0..n).filter(|&g| !live[g]).collect()
 }
 
 /// Gates not reachable (backwards) from any designated output.

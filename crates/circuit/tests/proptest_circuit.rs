@@ -3,19 +3,26 @@
 use proptest::prelude::*;
 use tc_circuit::{CircuitBuilder, DedupPolicy, EvalOptions, Wire};
 
+/// A generated circuit description: `(num_inputs, gates)` with each gate
+/// given as `(fan-in (wire ordinal, weight) pairs, threshold)`.
+type CircuitSpec = (usize, Vec<(Vec<(usize, i64)>, i64)>);
+
 /// Strategy producing a random layered circuit description together with the number of
 /// primary inputs.  Gates reference only earlier wires by construction.
-fn random_circuit_spec() -> impl Strategy<Value = (usize, Vec<(Vec<(usize, i64)>, i64)>)> {
+fn random_circuit_spec() -> impl Strategy<Value = CircuitSpec> {
     // (num_inputs, gates); each gate = (fan-in as (wire_ordinal, weight)), threshold.
     // wire_ordinal w is interpreted as: w < num_inputs => input w, else gate (w - num_inputs)
     // modulo the number of gates available so far (ensuring topological order).
-    (2usize..6, prop::collection::vec(
-        (
-            prop::collection::vec((0usize..64, -8i64..9), 1..6),
-            -6i64..7,
+    (
+        2usize..6,
+        prop::collection::vec(
+            (
+                prop::collection::vec((0usize..64, -8i64..9), 1..6),
+                -6i64..7,
+            ),
+            1..40,
         ),
-        1..40,
-    ))
+    )
 }
 
 fn build(

@@ -1,0 +1,151 @@
+//! Differential property tests for the compiled CSR engine: the scalar,
+//! layer-parallel, and bit-sliced `evaluate_batch64` evaluators must agree
+//! gate-for-gate — values, outputs, and firing counts — on randomly
+//! generated layered circuits, including negative weights and `Wire::One`.
+
+use proptest::prelude::*;
+use tc_circuit::{Batch64, CircuitBuilder, EvalOptions, Wire, BATCH_LANES};
+
+/// A generated circuit description: `(num_inputs, gates)` with each gate
+/// given as `(fan-in (wire ordinal, weight) pairs, threshold)`.
+type CircuitSpec = (usize, Vec<(Vec<(usize, i64)>, i64)>);
+
+/// Strategy producing a random layered circuit spec: `(num_inputs, gates)`
+/// where each gate is `(fan-in as (wire_ordinal, weight), threshold)`.  A
+/// wire ordinal `o` resolves to: the constant-one wire when `o == 0`, input
+/// `o - 1` when `o <= num_inputs`, otherwise an earlier gate (modulo the
+/// gates available so far, preserving topological order).
+fn circuit_spec() -> impl Strategy<Value = CircuitSpec> {
+    (
+        1usize..7,
+        prop::collection::vec(
+            (
+                prop::collection::vec((0usize..96, -10i64..11), 1..7),
+                -8i64..9,
+            ),
+            1..48,
+        ),
+    )
+}
+
+fn build_circuit(num_inputs: usize, spec: &[(Vec<(usize, i64)>, i64)]) -> tc_circuit::Circuit {
+    let mut b = CircuitBuilder::new(num_inputs);
+    for (gate_idx, (fan_in, threshold)) in spec.iter().enumerate() {
+        let mut resolved = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        for &(ordinal, weight) in fan_in {
+            let pool = 1 + num_inputs + gate_idx;
+            let o = ordinal % pool;
+            let wire = if o == 0 {
+                Wire::One
+            } else if o <= num_inputs {
+                Wire::input(o - 1)
+            } else {
+                Wire::gate(o - 1 - num_inputs)
+            };
+            if used.insert(wire) {
+                resolved.push((wire, weight));
+            }
+        }
+        if resolved.is_empty() {
+            resolved.push((Wire::One, 1));
+        }
+        let w = b.add_gate(resolved, *threshold).unwrap();
+        b.mark_output(w);
+    }
+    // Also exercise non-gate outputs.
+    b.mark_output(Wire::One);
+    if num_inputs > 0 {
+        b.mark_output(Wire::input(num_inputs - 1));
+    }
+    b.build()
+}
+
+fn random_rows(num_inputs: usize, rows: usize, mut state: u64) -> Vec<Vec<bool>> {
+    state |= 1;
+    (0..rows)
+        .map(|_| {
+            (0..num_inputs)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state & 1 == 1
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// All three evaluators agree on gate values, outputs, and firing counts
+    /// for every lane of a full-width batch.
+    #[test]
+    fn scalar_parallel_batch64_agree((num_inputs, spec) in circuit_spec(),
+                                     seed in any::<u64>(),
+                                     width in 1usize..65) {
+        let circuit = build_circuit(num_inputs, &spec);
+        let compiled = circuit.compile().unwrap();
+        let rows = random_rows(num_inputs, width, seed);
+        let batch = Batch64::pack(num_inputs, &rows).unwrap();
+        prop_assert_eq!(batch.lanes(), width.min(BATCH_LANES));
+        let bev = compiled.evaluate_batch64(&batch).unwrap();
+
+        for (lane, row) in rows.iter().enumerate() {
+            let scalar = compiled.evaluate(row).unwrap();
+            let parallel = compiled
+                .evaluate_parallel(row, EvalOptions { parallel_threshold: 1 })
+                .unwrap();
+            prop_assert_eq!(&scalar, &parallel, "parallel disagrees on lane {}", lane);
+            prop_assert_eq!(
+                scalar.gate_values(),
+                bev.gate_values(lane).unwrap().as_slice(),
+                "batch gate values disagree on lane {}", lane
+            );
+            prop_assert_eq!(
+                scalar.outputs(),
+                bev.outputs(lane).unwrap().as_slice(),
+                "batch outputs disagree on lane {}", lane
+            );
+            prop_assert_eq!(
+                scalar.firing_count(),
+                bev.firing_count(lane).unwrap() as usize,
+                "batch firing count disagrees on lane {}", lane
+            );
+        }
+    }
+
+    /// The compiled scalar evaluator is bit-identical to the legacy
+    /// `Circuit::evaluate` entry point (which itself now lowers to CSR).
+    #[test]
+    fn compiled_matches_circuit_evaluate((num_inputs, spec) in circuit_spec(),
+                                         seed in any::<u64>()) {
+        let circuit = build_circuit(num_inputs, &spec);
+        let compiled = circuit.compile().unwrap();
+        for row in random_rows(num_inputs, 8, seed) {
+            let a = circuit.evaluate(&row).unwrap();
+            let b = compiled.evaluate(&row).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Compiled statistics match the circuit-derived aggregate measures.
+    #[test]
+    fn compiled_stats_are_consistent((num_inputs, spec) in circuit_spec()) {
+        let circuit = build_circuit(num_inputs, &spec);
+        let compiled = circuit.compile().unwrap();
+        let stats = compiled.stats();
+        prop_assert_eq!(stats.size, circuit.num_gates());
+        prop_assert_eq!(stats.depth, circuit.depth());
+        prop_assert_eq!(stats.edges, circuit.num_edges());
+        prop_assert_eq!(stats.max_fan_in, circuit.max_fan_in());
+        prop_assert_eq!(stats.layers.iter().map(|l| l.gates).sum::<usize>(), stats.size);
+        prop_assert_eq!(stats.layers.iter().map(|l| l.edges).sum::<usize>(), stats.edges);
+        let layer_sum: usize = (0..compiled.depth() as usize)
+            .map(|d| compiled.layer(d).len())
+            .sum();
+        prop_assert_eq!(layer_sum, compiled.num_gates());
+    }
+}

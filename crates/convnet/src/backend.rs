@@ -28,11 +28,7 @@ pub enum MatmulBackend {
 
 impl MatmulBackend {
     /// Multiplies two (possibly rectangular) integer matrices with this backend.
-    pub fn multiply(
-        &self,
-        a: &Matrix,
-        b: &Matrix,
-    ) -> Result<Matrix, Box<dyn std::error::Error>> {
+    pub fn multiply(&self, a: &Matrix, b: &Matrix) -> Result<Matrix, Box<dyn std::error::Error>> {
         match self {
             MatmulBackend::Naive => Ok(a.multiply_naive(b)?),
             MatmulBackend::Fast { algorithm, cutoff } => {

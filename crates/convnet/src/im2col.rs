@@ -55,7 +55,9 @@ mod tests {
     fn shapes_match_the_paper_description() {
         let s = spec();
         let image = Tensor3::random(5, 5, 3, 4, 1);
-        let kernels: Vec<Tensor3> = (0..3).map(|k| Tensor3::random(2, 2, 3, 4, k + 10)).collect();
+        let kernels: Vec<Tensor3> = (0..3)
+            .map(|k| Tensor3::random(2, 2, 3, 4, k + 10))
+            .collect();
         let p = im2col(&s, &image);
         let km = kernel_matrix(&s, &kernels);
         assert_eq!((p.rows(), p.cols()), (16, 12));
@@ -66,7 +68,9 @@ mod tests {
     fn im2col_times_kernels_equals_direct_convolution() {
         let s = spec();
         let image = Tensor3::random(5, 5, 3, 4, 2);
-        let kernels: Vec<Tensor3> = (0..3).map(|k| Tensor3::random(2, 2, 3, 4, k + 20)).collect();
+        let kernels: Vec<Tensor3> = (0..3)
+            .map(|k| Tensor3::random(2, 2, 3, 4, k + 20))
+            .collect();
         let lhs = im2col(&s, &image);
         let rhs = kernel_matrix(&s, &kernels);
         let product = lhs.multiply_naive(&rhs).unwrap();
@@ -86,7 +90,7 @@ mod tests {
         let p = im2col(&s, &image);
         assert_eq!(p.rows(), 9);
         // Patch (1,1) starts at image position (2,2): values 14,15,20,21.
-        let row = 1 * 3 + 1;
+        let row = 3 + 1;
         assert_eq!(p.get(row, 0), 14);
         assert_eq!(p.get(row, 3), 21);
     }

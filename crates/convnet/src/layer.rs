@@ -113,10 +113,7 @@ mod tests {
         assert_eq!(s.matmul_shape(), (16, 18, 4));
         let strided = ConvLayerSpec { stride: 3, ..s };
         assert_eq!(strided.patches_per_side(), 2);
-        let too_small = ConvLayerSpec {
-            image_size: 2,
-            ..s
-        };
+        let too_small = ConvLayerSpec { image_size: 2, ..s };
         assert_eq!(too_small.num_patches(), 0);
     }
 
@@ -135,7 +132,7 @@ mod tests {
         let kernel = Tensor3::from_fn(2, 2, 1, |_, _, _| 1);
         let out = conv_direct(&s, &image, &[kernel]);
         assert_eq!(out.rows(), 4);
-        assert_eq!(out.get(0, 0), 0 + 1 + 3 + 4);
+        assert_eq!(out.get(0, 0), 1 + 3 + 4);
         assert_eq!(out.get(3, 0), 4 + 5 + 7 + 8);
     }
 }

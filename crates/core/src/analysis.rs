@@ -162,12 +162,7 @@ pub fn theorem_4_4_gate_bound(profile: &SparsityProfile, n: f64, entry_bits: f64
 }
 
 /// The Theorem 4.5 gate bound (up to constants): `d · N^{ω + cγ^d} · (b + log₂N)`.
-pub fn theorem_4_5_gate_bound(
-    profile: &SparsityProfile,
-    n: f64,
-    entry_bits: f64,
-    d: u32,
-) -> f64 {
+pub fn theorem_4_5_gate_bound(profile: &SparsityProfile, n: f64, entry_bits: f64, d: u32) -> f64 {
     let l = n.ln() / (profile.t as f64).ln();
     let rho = l * (1.0 + profile.gamma().powi(d as i32) / (1.0 - profile.gamma()));
     lemma_4_3_gate_bound(profile, n, entry_bits, rho, d as f64)
@@ -267,7 +262,10 @@ mod tests {
         assert!(b44_big > b44_small);
         let b45_d2 = theorem_4_5_gate_bound(&p, 4096.0, 8.0, 2);
         let b45_d5 = theorem_4_5_gate_bound(&p, 4096.0, 8.0, 5);
-        assert!(b45_d5 < b45_d2 * 5.0, "deeper circuits must not cost more (up to the d factor)");
+        assert!(
+            b45_d5 < b45_d2 * 5.0,
+            "deeper circuits must not cost more (up to the d factor)"
+        );
     }
 
     #[test]
@@ -284,8 +282,14 @@ mod tests {
             points.push((n as f64, cost.total_gates as f64));
         }
         let slope = log_log_slope(&points);
-        assert!(slope < 3.0, "tree-phase exponent {slope} should be subcubic");
-        assert!(slope > p.omega() - 0.2, "tree-phase exponent {slope} suspiciously low");
+        assert!(
+            slope < 3.0,
+            "tree-phase exponent {slope} should be subcubic"
+        );
+        assert!(
+            slope > p.omega() - 0.2,
+            "tree-phase exponent {slope} suspiciously low"
+        );
     }
 
     #[test]
@@ -321,7 +325,9 @@ mod tests {
     fn log_log_slope_recovers_known_exponents() {
         let quadratic: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, (i * i) as f64)).collect();
         assert!((log_log_slope(&quadratic) - 2.0).abs() < 1e-9);
-        let cubic: Vec<(f64, f64)> = (2..12).map(|i| (i as f64, (i * i * i) as f64 * 5.0)).collect();
+        let cubic: Vec<(f64, f64)> = (2..12)
+            .map(|i| (i as f64, (i * i * i) as f64 * 5.0))
+            .collect();
         assert!((log_log_slope(&cubic) - 3.0).abs() < 1e-9);
         assert!(log_log_slope(&[(1.0, 1.0)]).is_nan());
     }

@@ -50,7 +50,10 @@ impl fmt::Display for CoreError {
             CoreError::Arith(e) => write!(f, "arithmetic construction error: {e}"),
             CoreError::Matmul(e) => write!(f, "matrix error: {e}"),
             CoreError::DimensionNotPowerOfBase { n, base } => {
-                write!(f, "matrix dimension {n} is not a power of the algorithm base {base}")
+                write!(
+                    f,
+                    "matrix dimension {n} is not a power of the algorithm base {base}"
+                )
             }
             CoreError::InvalidSchedule { reason } => write!(f, "invalid level schedule: {reason}"),
             CoreError::UnsuitableAlgorithm { reason } => {
@@ -58,7 +61,10 @@ impl fmt::Display for CoreError {
             }
             CoreError::InputMismatch { reason } => write!(f, "input mismatch: {reason}"),
             CoreError::NotSymmetricZeroDiagonal => {
-                write!(f, "trace circuit requires a symmetric matrix with zero diagonal")
+                write!(
+                    f,
+                    "trace circuit requires a symmetric matrix with zero diagonal"
+                )
             }
         }
     }

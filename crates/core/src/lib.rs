@@ -44,8 +44,8 @@
 pub mod analysis;
 mod config;
 mod error;
-mod matrix_input;
 pub mod matmul;
+mod matrix_input;
 pub mod naive;
 pub mod schedule;
 pub mod trace;

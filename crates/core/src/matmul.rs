@@ -13,13 +13,20 @@ use crate::tree::{coefficient_table, combine_product_tree, compute_tree_leaves, 
 use crate::{CircuitConfig, CoreError, Result};
 use fast_matmul::Matrix;
 use tc_arith::{product_signed_repr, InputAllocator, Repr, SignedInt};
-use tc_circuit::{Circuit, CircuitBuilder, CircuitStats, EvalOptions};
+use tc_circuit::{
+    Batch64, Circuit, CircuitBuilder, CircuitStats, CompiledCircuit, EvalOptions, BATCH_LANES,
+};
 
 /// A constant-depth threshold circuit computing the product of two `N×N` integer
 /// matrices with bounded-width entries.
+///
+/// The circuit is lowered to its compiled CSR form once at construction;
+/// every evaluation entry point (scalar, parallel, batched) runs off that
+/// form, so multiplying many matrix pairs never rebuilds per-gate state.
 #[derive(Debug)]
 pub struct MatmulCircuit {
     circuit: Circuit,
+    compiled: CompiledCircuit,
     a: MatrixInput,
     b: MatrixInput,
     output: Vec<SignedInt>,
@@ -50,10 +57,8 @@ impl MatmulCircuit {
 
         let u_table = coefficient_table(alg, TreeKind::OverA);
         let v_table = coefficient_table(alg, TreeKind::OverB);
-        let leaves_a =
-            compute_tree_leaves(&mut builder, a.entries(), n, &u_table, t, &schedule)?;
-        let leaves_b =
-            compute_tree_leaves(&mut builder, b.entries(), n, &v_table, t, &schedule)?;
+        let leaves_a = compute_tree_leaves(&mut builder, a.entries(), n, &u_table, t, &schedule)?;
+        let leaves_b = compute_tree_leaves(&mut builder, b.entries(), n, &v_table, t, &schedule)?;
 
         // Scalar products of corresponding leaves (Lemma 3.3, depth 1), kept as
         // representations and consumed directly by the first bottom-up level.
@@ -71,8 +76,11 @@ impl MatmulCircuit {
             entry.mark_as_outputs(&mut builder);
         }
 
+        let circuit = builder.build();
+        let compiled = circuit.compile()?;
         Ok(MatmulCircuit {
-            circuit: builder.build(),
+            circuit,
+            compiled,
             a,
             b,
             output,
@@ -109,6 +117,11 @@ impl MatmulCircuit {
         &self.circuit
     }
 
+    /// The compiled CSR form shared by every evaluation entry point.
+    pub fn compiled(&self) -> &CompiledCircuit {
+        &self.compiled
+    }
+
     /// The input layout for `A`.
     pub fn input_a(&self) -> &MatrixInput {
         &self.a
@@ -134,27 +147,48 @@ impl MatmulCircuit {
         &self.schedule
     }
 
-    /// Complexity statistics of the circuit.
+    /// Complexity statistics, read from the stored compiled form.
     pub fn stats(&self) -> CircuitStats {
-        self.circuit.stats()
+        self.compiled.stats()
     }
 
     /// Encodes the operands, evaluates the circuit and decodes the product matrix.
     pub fn evaluate(&self, a: &Matrix, b: &Matrix) -> Result<Matrix> {
         let bits = self.encode(a, b)?;
-        let ev = self.circuit.evaluate(&bits)?;
+        let ev = self.compiled.evaluate(&bits)?;
         Ok(self.decode(&bits, &ev))
     }
 
     /// Like [`MatmulCircuit::evaluate`] but uses the layer-parallel evaluator.
     pub fn evaluate_parallel(&self, a: &Matrix, b: &Matrix) -> Result<Matrix> {
         let bits = self.encode(a, b)?;
-        let ev = self.circuit.evaluate_parallel(&bits, EvalOptions::default())?;
+        let ev = self
+            .compiled
+            .evaluate_parallel(&bits, EvalOptions::default())?;
         Ok(self.decode(&bits, &ev))
     }
 
+    /// Multiplies many matrix pairs in one pass, 64 pairs per bit-sliced
+    /// batch evaluation.
+    pub fn evaluate_many(&self, pairs: &[(Matrix, Matrix)]) -> Result<Vec<Matrix>> {
+        let mut products = Vec::with_capacity(pairs.len());
+        for chunk in pairs.chunks(BATCH_LANES) {
+            let mut rows = Vec::with_capacity(chunk.len());
+            for (a, b) in chunk {
+                rows.push(self.encode(a, b)?);
+            }
+            let batch = Batch64::pack(self.compiled.num_inputs(), &rows)?;
+            let bev = self.compiled.evaluate_batch64(&batch)?;
+            for (lane, bits) in rows.iter().enumerate() {
+                let ev = bev.evaluation(lane)?;
+                products.push(self.decode(bits, &ev));
+            }
+        }
+        Ok(products)
+    }
+
     fn encode(&self, a: &Matrix, b: &Matrix) -> Result<Vec<bool>> {
-        let mut bits = vec![false; self.circuit.num_inputs()];
+        let mut bits = vec![false; self.compiled.num_inputs()];
         self.a.assign(a, &mut bits)?;
         self.b.assign(b, &mut bits)?;
         Ok(bits)
@@ -182,7 +216,11 @@ mod tests {
                     let a = random_matrix(n, 7, seed * 2 + 1);
                     let b = random_matrix(n, 7, seed * 2 + 2);
                     let expected = a.multiply_naive(&b).unwrap();
-                    assert_eq!(mm.evaluate(&a, &b).unwrap(), expected, "n={n} d={d} seed={seed}");
+                    assert_eq!(
+                        mm.evaluate(&a, &b).unwrap(),
+                        expected,
+                        "n={n} d={d} seed={seed}"
+                    );
                 }
             }
         }
@@ -226,6 +264,25 @@ mod tests {
         let a = random_matrix(4, 3, 21);
         let b = random_matrix(4, 3, 22);
         assert_eq!(mm.evaluate(&a, &b).unwrap(), a.multiply_naive(&b).unwrap());
+    }
+
+    #[test]
+    fn batched_evaluation_agrees_with_scalar() {
+        let config = CircuitConfig::new(BilinearAlgorithm::strassen(), 2);
+        let mm = MatmulCircuit::theorem_4_9(&config, 4, 2).unwrap();
+        let pairs: Vec<(Matrix, Matrix)> = (0..67)
+            .map(|s| {
+                (
+                    random_matrix(4, 3, 2 * s + 1),
+                    random_matrix(4, 3, 2 * s + 2),
+                )
+            })
+            .collect();
+        let products = mm.evaluate_many(&pairs).unwrap();
+        assert_eq!(products.len(), pairs.len());
+        for ((a, b), c) in pairs.iter().zip(&products) {
+            assert_eq!(c, &a.multiply_naive(b).unwrap());
+        }
     }
 
     #[test]

@@ -15,10 +15,12 @@ use crate::trace::check_symmetric_zero_diagonal;
 use crate::{CircuitConfig, CoreError, Result};
 use fast_matmul::Matrix;
 use tc_arith::{
-    product3_signed_repr, product_signed_repr, repr_to_signed, threshold_of_repr,
-    InputAllocator, Repr, SignedInt,
+    product3_signed_repr, product_signed_repr, repr_to_signed, threshold_of_repr, InputAllocator,
+    Repr, SignedInt,
 };
-use tc_circuit::{Circuit, CircuitBuilder, CircuitStats, Wire};
+use tc_circuit::{
+    Batch64, Circuit, CircuitBuilder, CircuitStats, CompiledCircuit, Wire, BATCH_LANES,
+};
 
 /// The depth-2, `C(N,3) + 1`-gate triangle-threshold circuit from Section 1.
 ///
@@ -28,6 +30,7 @@ use tc_circuit::{Circuit, CircuitBuilder, CircuitStats, Wire};
 #[derive(Debug)]
 pub struct NaiveTriangleCircuit {
     circuit: Circuit,
+    compiled: CompiledCircuit,
     n: usize,
     tau: i64,
 }
@@ -46,10 +49,8 @@ impl NaiveTriangleCircuit {
         for i in 0..n {
             for j in (i + 1)..n {
                 for k in (j + 1)..n {
-                    let g = builder.add_gate(
-                        [(edge(i, j), 1), (edge(i, k), 1), (edge(j, k), 1)],
-                        3,
-                    )?;
+                    let g =
+                        builder.add_gate([(edge(i, j), 1), (edge(i, k), 1), (edge(j, k), 1)], 3)?;
                     triple_gates.push(g);
                 }
             }
@@ -62,8 +63,11 @@ impl NaiveTriangleCircuit {
             builder.add_gate(triple_gates.into_iter().map(|g| (g, 1)), tau)?
         };
         builder.mark_output(out);
+        let circuit = builder.build();
+        let compiled = circuit.compile()?;
         Ok(NaiveTriangleCircuit {
-            circuit: builder.build(),
+            circuit,
+            compiled,
             n,
             tau,
         })
@@ -79,13 +83,42 @@ impl NaiveTriangleCircuit {
         self.tau
     }
 
-    /// Complexity statistics.
+    /// Complexity statistics, read from the stored compiled form.
     pub fn stats(&self) -> CircuitStats {
-        self.circuit.stats()
+        self.compiled.stats()
     }
 
     /// Evaluates the circuit on a graph given by its adjacency matrix.
     pub fn evaluate(&self, adjacency: &Matrix) -> Result<bool> {
+        let bits = self.encode(adjacency)?;
+        let ev = self.compiled.evaluate(&bits)?;
+        Ok(ev.outputs()[0])
+    }
+
+    /// Answers the triangle-threshold query for many graphs in one pass,
+    /// 64 adjacency matrices per bit-sliced batch evaluation.
+    pub fn evaluate_many(&self, adjacencies: &[Matrix]) -> Result<Vec<bool>> {
+        let mut answers = Vec::with_capacity(adjacencies.len());
+        for chunk in adjacencies.chunks(BATCH_LANES) {
+            let mut rows = Vec::with_capacity(chunk.len());
+            for a in chunk {
+                rows.push(self.encode(a)?);
+            }
+            let batch = Batch64::pack(self.compiled.num_inputs(), &rows)?;
+            let bev = self.compiled.evaluate_batch64(&batch)?;
+            for lane in 0..chunk.len() {
+                answers.push(bev.output(lane, 0)?);
+            }
+        }
+        Ok(answers)
+    }
+
+    /// The compiled CSR form shared by every evaluation entry point.
+    pub fn compiled(&self) -> &CompiledCircuit {
+        &self.compiled
+    }
+
+    fn encode(&self, adjacency: &Matrix) -> Result<Vec<bool>> {
         check_symmetric_zero_diagonal(adjacency)?;
         if adjacency.rows() != self.n {
             return Err(CoreError::InputMismatch {
@@ -104,8 +137,7 @@ impl NaiveTriangleCircuit {
                 bits.push(v == 1);
             }
         }
-        let ev = self.circuit.evaluate(&bits)?;
-        Ok(ev.outputs()[0])
+        Ok(bits)
     }
 }
 
@@ -115,6 +147,7 @@ impl NaiveTriangleCircuit {
 #[derive(Debug)]
 pub struct NaiveTraceCircuit {
     circuit: Circuit,
+    compiled: CompiledCircuit,
     input: MatrixInput,
     tau: i64,
 }
@@ -142,8 +175,11 @@ impl NaiveTraceCircuit {
         }
         let out = threshold_of_repr(&mut builder, &total, tau)?;
         builder.mark_output(out);
+        let circuit = builder.build();
+        let compiled = circuit.compile()?;
         Ok(NaiveTraceCircuit {
-            circuit: builder.build(),
+            circuit,
+            compiled,
             input,
             tau,
         })
@@ -159,18 +195,45 @@ impl NaiveTraceCircuit {
         self.tau
     }
 
-    /// Complexity statistics.
+    /// Complexity statistics, read from the stored compiled form.
     pub fn stats(&self) -> CircuitStats {
-        self.circuit.stats()
+        self.compiled.stats()
+    }
+
+    /// The compiled CSR form shared by every evaluation entry point.
+    pub fn compiled(&self) -> &CompiledCircuit {
+        &self.compiled
     }
 
     /// Evaluates the circuit: `trace(A³) ≥ τ`?
     pub fn evaluate(&self, a: &Matrix) -> Result<bool> {
-        check_symmetric_zero_diagonal(a)?;
-        let mut bits = vec![false; self.circuit.num_inputs()];
-        self.input.assign(a, &mut bits)?;
-        let ev = self.circuit.evaluate(&bits)?;
+        let bits = self.encode(a)?;
+        let ev = self.compiled.evaluate(&bits)?;
         Ok(ev.outputs()[0])
+    }
+
+    /// Answers the trace-threshold query for many matrices in one pass.
+    pub fn evaluate_many(&self, matrices: &[Matrix]) -> Result<Vec<bool>> {
+        let mut answers = Vec::with_capacity(matrices.len());
+        for chunk in matrices.chunks(BATCH_LANES) {
+            let mut rows = Vec::with_capacity(chunk.len());
+            for a in chunk {
+                rows.push(self.encode(a)?);
+            }
+            let batch = Batch64::pack(self.compiled.num_inputs(), &rows)?;
+            let bev = self.compiled.evaluate_batch64(&batch)?;
+            for lane in 0..chunk.len() {
+                answers.push(bev.output(lane, 0)?);
+            }
+        }
+        Ok(answers)
+    }
+
+    fn encode(&self, a: &Matrix) -> Result<Vec<bool>> {
+        check_symmetric_zero_diagonal(a)?;
+        let mut bits = vec![false; self.compiled.num_inputs()];
+        self.input.assign(a, &mut bits)?;
+        Ok(bits)
     }
 }
 
@@ -179,6 +242,7 @@ impl NaiveTraceCircuit {
 #[derive(Debug)]
 pub struct NaiveMatmulCircuit {
     circuit: Circuit,
+    compiled: CompiledCircuit,
     a: MatrixInput,
     b: MatrixInput,
     output: Vec<SignedInt>,
@@ -205,8 +269,11 @@ impl NaiveMatmulCircuit {
                 output.push(value);
             }
         }
+        let circuit = builder.build();
+        let compiled = circuit.compile()?;
         Ok(NaiveMatmulCircuit {
-            circuit: builder.build(),
+            circuit,
+            compiled,
             a,
             b,
             output,
@@ -219,17 +286,22 @@ impl NaiveMatmulCircuit {
         &self.circuit
     }
 
-    /// Complexity statistics.
+    /// Complexity statistics, read from the stored compiled form.
     pub fn stats(&self) -> CircuitStats {
-        self.circuit.stats()
+        self.compiled.stats()
+    }
+
+    /// The compiled CSR form shared by every evaluation entry point.
+    pub fn compiled(&self) -> &CompiledCircuit {
+        &self.compiled
     }
 
     /// Evaluates the circuit on two host matrices and decodes `C = A·B`.
     pub fn evaluate(&self, a: &Matrix, b: &Matrix) -> Result<Matrix> {
-        let mut bits = vec![false; self.circuit.num_inputs()];
+        let mut bits = vec![false; self.compiled.num_inputs()];
         self.a.assign(a, &mut bits)?;
         self.b.assign(b, &mut bits)?;
-        let ev = self.circuit.evaluate(&bits)?;
+        let ev = self.compiled.evaluate(&bits)?;
         Ok(Matrix::from_fn(self.n, self.n, |i, j| {
             self.output[i * self.n + j].value(&bits, &ev)
         }))

@@ -127,11 +127,7 @@ impl LevelSchedule {
 
     /// The schedule of **Theorem 4.5 / 4.9** (constant depth): `ρ = log_T N + ε·log_{αβ} N`
     /// with `ε = γ^d·log_T(αβ)/(1 − γ)`, which guarantees at most `d` selected levels.
-    pub fn for_theorem_4_5(
-        profile: &SparsityProfile,
-        total_levels: u32,
-        d: u32,
-    ) -> Result<Self> {
+    pub fn for_theorem_4_5(profile: &SparsityProfile, total_levels: u32, d: u32) -> Result<Self> {
         if !profile.is_fast() {
             return Err(CoreError::UnsuitableAlgorithm {
                 reason: "Theorem 4.5 needs gamma in (0,1): use a recipe with T^2 < r < s_A",
@@ -266,12 +262,12 @@ mod tests {
         // h_i - h_{i-1} are therefore non-increasing (up to +1 from the ceilings).
         let p = strassen_profile();
         let s = LevelSchedule::for_theorem_4_4(&p, 20).unwrap();
-        let gaps: Vec<i64> = s
-            .transitions()
-            .map(|(a, b)| b as i64 - a as i64)
-            .collect();
+        let gaps: Vec<i64> = s.transitions().map(|(a, b)| b as i64 - a as i64).collect();
         for w in gaps.windows(2) {
-            assert!(w[0] + 1 >= w[1], "gaps {gaps:?} should be roughly non-increasing");
+            assert!(
+                w[0] + 1 >= w[1],
+                "gaps {gaps:?} should be roughly non-increasing"
+            );
         }
         // The first jump is the largest and the last is the smallest.
         assert!(gaps.first().unwrap() >= gaps.last().unwrap());

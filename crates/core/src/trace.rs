@@ -23,13 +23,18 @@ use crate::tree::{coefficient_table, compute_tree_leaves, zero_signed, TreeKind}
 use crate::{CircuitConfig, CoreError, Result};
 use fast_matmul::Matrix;
 use tc_arith::{product3_signed_repr, threshold_of_repr, InputAllocator, Repr, SignedInt};
-use tc_circuit::{Circuit, CircuitBuilder, CircuitStats};
+use tc_circuit::{Batch64, Circuit, CircuitBuilder, CircuitStats, CompiledCircuit, BATCH_LANES};
 
 /// A constant-depth threshold circuit deciding `trace(A³) ≥ τ` for symmetric
 /// zero-diagonal integer matrices `A`.
+///
+/// The circuit is lowered to its compiled CSR form once at construction;
+/// every evaluation entry point (scalar, parallel, batched) runs off that
+/// form, so issuing many queries never rebuilds per-gate state.
 #[derive(Debug)]
 pub struct TraceCircuit {
     circuit: Circuit,
+    compiled: CompiledCircuit,
     input: MatrixInput,
     tau: i64,
     schedule: LevelSchedule,
@@ -94,8 +99,11 @@ impl TraceCircuit {
         let out = threshold_of_repr(&mut builder, &total, tau)?;
         builder.mark_output(out);
 
+        let circuit = builder.build();
+        let compiled = circuit.compile()?;
         Ok(TraceCircuit {
-            circuit: builder.build(),
+            circuit,
+            compiled,
             input,
             tau,
             schedule,
@@ -122,6 +130,11 @@ impl TraceCircuit {
         &self.circuit
     }
 
+    /// The compiled CSR form shared by every evaluation entry point.
+    pub fn compiled(&self) -> &CompiledCircuit {
+        &self.compiled
+    }
+
     /// The input layout for the matrix `A`.
     pub fn input(&self) -> &MatrixInput {
         &self.input
@@ -137,9 +150,9 @@ impl TraceCircuit {
         &self.schedule
     }
 
-    /// Complexity statistics of the circuit.
+    /// Complexity statistics, read from the stored compiled form.
     pub fn stats(&self) -> CircuitStats {
-        self.circuit.stats()
+        self.compiled.stats()
     }
 
     /// Encodes `a`, evaluates the circuit, and returns whether it asserts
@@ -149,22 +162,47 @@ impl TraceCircuit {
     /// Returns [`CoreError::NotSymmetricZeroDiagonal`] unless `a` is symmetric with a
     /// zero diagonal (the precondition of equation (4)).
     pub fn evaluate(&self, a: &Matrix) -> Result<bool> {
-        check_symmetric_zero_diagonal(a)?;
-        let mut bits = vec![false; self.circuit.num_inputs()];
-        self.input.assign(a, &mut bits)?;
-        let ev = self.circuit.evaluate(&bits)?;
+        let bits = self.encode(a)?;
+        let ev = self.compiled.evaluate(&bits)?;
         Ok(ev.outputs()[0])
     }
 
     /// Like [`TraceCircuit::evaluate`] but uses the layer-parallel evaluator.
     pub fn evaluate_parallel(&self, a: &Matrix) -> Result<bool> {
-        check_symmetric_zero_diagonal(a)?;
-        let mut bits = vec![false; self.circuit.num_inputs()];
-        self.input.assign(a, &mut bits)?;
+        let bits = self.encode(a)?;
         let ev = self
-            .circuit
+            .compiled
             .evaluate_parallel(&bits, tc_circuit::EvalOptions::default())?;
         Ok(ev.outputs()[0])
+    }
+
+    /// Answers the trace-threshold query for many matrices in one pass.
+    ///
+    /// Matrices ride through the bit-sliced batch evaluator 64 at a time, so
+    /// asking 10k queries costs ~160 passes over the compiled circuit instead
+    /// of 10k scalar evaluations.
+    pub fn evaluate_many(&self, matrices: &[Matrix]) -> Result<Vec<bool>> {
+        let mut answers = Vec::with_capacity(matrices.len());
+        for chunk in matrices.chunks(BATCH_LANES) {
+            let mut rows = Vec::with_capacity(chunk.len());
+            for a in chunk {
+                rows.push(self.encode(a)?);
+            }
+            let batch =
+                Batch64::pack(self.compiled.num_inputs(), &rows).map_err(crate::CoreError::from)?;
+            let bev = self.compiled.evaluate_batch64(&batch)?;
+            for lane in 0..chunk.len() {
+                answers.push(bev.output(lane, 0)?);
+            }
+        }
+        Ok(answers)
+    }
+
+    fn encode(&self, a: &Matrix) -> Result<Vec<bool>> {
+        check_symmetric_zero_diagonal(a)?;
+        let mut bits = vec![false; self.compiled.num_inputs()];
+        self.input.assign(a, &mut bits)?;
+        Ok(bits)
     }
 }
 
@@ -300,6 +338,22 @@ mod tests {
             let circuit = TraceCircuit::theorem_4_5(&config, 8, 2, tau).unwrap();
             assert_eq!(circuit.evaluate(&a).unwrap(), true_trace >= tau as i128);
         }
+    }
+
+    #[test]
+    fn batched_evaluation_agrees_with_scalar() {
+        let config = CircuitConfig::binary(BilinearAlgorithm::strassen());
+        let a0 = adjacency(8, 0.5, 77);
+        let tau = trace_of_cube(&a0) as i64;
+        let circuit = TraceCircuit::theorem_4_5(&config, 8, 2, tau).unwrap();
+        let matrices: Vec<Matrix> = (0..70).map(|s| adjacency(8, 0.45, s + 1)).collect();
+        let batched = circuit.evaluate_many(&matrices).unwrap();
+        assert_eq!(batched.len(), matrices.len());
+        for (m, &got) in matrices.iter().zip(&batched) {
+            assert_eq!(got, circuit.evaluate(m).unwrap());
+        }
+        // Both answers must occur, otherwise the test is vacuous.
+        assert!(batched.iter().any(|&b| b) && batched.iter().any(|&b| !b));
     }
 
     #[test]

@@ -210,7 +210,10 @@ pub fn compute_tree_leaves(
         .into_iter()
         .map(|node| {
             debug_assert_eq!(node.dim, 1);
-            node.entries.into_iter().next().expect("leaf node has one entry")
+            node.entries
+                .into_iter()
+                .next()
+                .expect("leaf node has one entry")
         })
         .collect())
 }
@@ -256,8 +259,7 @@ pub fn combine_product_tree(
         let mut next_level: Vec<Vec<Repr>> = Vec::with_capacity(num_parents);
         for pv in 0..num_parents {
             let child_base = pv * r.pow(delta);
-            let mut parent_entries: Vec<Option<SignedInt>> =
-                vec![None; parent_dim * parent_dim];
+            let mut parent_entries: Vec<Option<SignedInt>> = vec![None; parent_dim * parent_dim];
             for (block_index, contributions) in block_coeffs.iter().enumerate() {
                 let block_row = block_index / bps;
                 let block_col = block_index % bps;
@@ -277,7 +279,10 @@ pub fn combine_product_tree(
             }
             let entries: Vec<Repr> = parent_entries
                 .into_iter()
-                .map(|e| e.expect("every parent entry is covered by exactly one block").to_repr())
+                .map(|e| {
+                    e.expect("every parent entry is covered by exactly one block")
+                        .to_repr()
+                })
                 .collect();
             next_level.push(entries);
         }
@@ -381,8 +386,10 @@ mod tests {
         // that block columns are in the right half (A12/A22 blocks of A) and rows split.
         let sum_of_coeffs: i64 = coeffs.iter().map(|&(_, _, w)| w).sum();
         assert_eq!(sum_of_coeffs, 0, "two +1 and two -1 coefficients");
-        assert!(coeffs.iter().all(|&(_, bc, _)| bc >= 2),
-            "all blocks come from the right half (A12 or A22): {coeffs:?}");
+        assert!(
+            coeffs.iter().all(|&(_, bc, _)| bc >= 2),
+            "all blocks come from the right half (A12 or A22): {coeffs:?}"
+        );
     }
 
     #[test]

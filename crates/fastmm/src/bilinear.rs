@@ -79,22 +79,22 @@ impl BilinearAlgorithm {
     /// Strassen's `⟨2,2,2;7⟩` algorithm (Figure 1 of the paper).
     pub fn strassen() -> Self {
         let u = vec![
-            vec![1, 0, 0, 0],   // M1: A11
-            vec![0, 0, 1, 1],   // M2: A21 + A22
-            vec![1, 0, 0, 1],   // M3: A11 + A22
-            vec![0, 0, 0, 1],   // M4: A22
-            vec![1, 1, 0, 0],   // M5: A11 + A12
-            vec![-1, 0, 1, 0],  // M6: A21 - A11
-            vec![0, 1, 0, -1],  // M7: A12 - A22
+            vec![1, 0, 0, 0],  // M1: A11
+            vec![0, 0, 1, 1],  // M2: A21 + A22
+            vec![1, 0, 0, 1],  // M3: A11 + A22
+            vec![0, 0, 0, 1],  // M4: A22
+            vec![1, 1, 0, 0],  // M5: A11 + A12
+            vec![-1, 0, 1, 0], // M6: A21 - A11
+            vec![0, 1, 0, -1], // M7: A12 - A22
         ];
         let v = vec![
-            vec![0, 1, 0, -1],  // M1: B12 - B22
-            vec![1, 0, 0, 0],   // M2: B11
-            vec![1, 0, 0, 1],   // M3: B11 + B22
-            vec![-1, 0, 1, 0],  // M4: B21 - B11
-            vec![0, 0, 0, 1],   // M5: B22
-            vec![1, 1, 0, 0],   // M6: B11 + B12
-            vec![0, 0, 1, 1],   // M7: B21 + B22
+            vec![0, 1, 0, -1], // M1: B12 - B22
+            vec![1, 0, 0, 0],  // M2: B11
+            vec![1, 0, 0, 1],  // M3: B11 + B22
+            vec![-1, 0, 1, 0], // M4: B21 - B11
+            vec![0, 0, 0, 1],  // M5: B22
+            vec![1, 1, 0, 0],  // M6: B11 + B12
+            vec![0, 0, 1, 1],  // M7: B21 + B22
         ];
         let w = vec![
             vec![0, 0, 1, 1, -1, 0, 1], // C11 = M3 + M4 - M5 + M7
@@ -111,28 +111,28 @@ impl BilinearAlgorithm {
     /// circuit constants derived from it.
     pub fn winograd() -> Self {
         let u = vec![
-            vec![1, 0, 0, 0],     // M1: A11
-            vec![0, 1, 0, 0],     // M2: A12
-            vec![1, 1, -1, -1],   // M3: S4 = A11 + A12 - A21 - A22
-            vec![0, 0, 0, 1],     // M4: A22
-            vec![0, 0, 1, 1],     // M5: S1 = A21 + A22
-            vec![-1, 0, 1, 1],    // M6: S2 = A21 + A22 - A11
-            vec![1, 0, -1, 0],    // M7: S3 = A11 - A21
+            vec![1, 0, 0, 0],   // M1: A11
+            vec![0, 1, 0, 0],   // M2: A12
+            vec![1, 1, -1, -1], // M3: S4 = A11 + A12 - A21 - A22
+            vec![0, 0, 0, 1],   // M4: A22
+            vec![0, 0, 1, 1],   // M5: S1 = A21 + A22
+            vec![-1, 0, 1, 1],  // M6: S2 = A21 + A22 - A11
+            vec![1, 0, -1, 0],  // M7: S3 = A11 - A21
         ];
         let v = vec![
-            vec![1, 0, 0, 0],     // M1: B11
-            vec![0, 0, 1, 0],     // M2: B21
-            vec![0, 0, 0, 1],     // M3: B22
-            vec![1, -1, -1, 1],   // M4: T4 = B11 - B12 - B21 + B22
-            vec![-1, 1, 0, 0],    // M5: T1 = B12 - B11
-            vec![1, -1, 0, 1],    // M6: T2 = B11 - B12 + B22
-            vec![0, -1, 0, 1],    // M7: T3 = B22 - B12
+            vec![1, 0, 0, 0],   // M1: B11
+            vec![0, 0, 1, 0],   // M2: B21
+            vec![0, 0, 0, 1],   // M3: B22
+            vec![1, -1, -1, 1], // M4: T4 = B11 - B12 - B21 + B22
+            vec![-1, 1, 0, 0],  // M5: T1 = B12 - B11
+            vec![1, -1, 0, 1],  // M6: T2 = B11 - B12 + B22
+            vec![0, -1, 0, 1],  // M7: T3 = B22 - B12
         ];
         let w = vec![
-            vec![1, 1, 0, 0, 0, 0, 0],   // C11 = M1 + M2
-            vec![1, 0, 1, 0, 1, 1, 0],   // C12 = M1 + M3 + M5 + M6
-            vec![1, 0, 0, -1, 0, 1, 1],  // C21 = M1 - M4 + M6 + M7
-            vec![1, 0, 0, 0, 1, 1, 1],   // C22 = M1 + M5 + M6 + M7
+            vec![1, 1, 0, 0, 0, 0, 0],  // C11 = M1 + M2
+            vec![1, 0, 1, 0, 1, 1, 0],  // C12 = M1 + M3 + M5 + M6
+            vec![1, 0, 0, -1, 0, 1, 1], // C21 = M1 - M4 + M6 + M7
+            vec![1, 0, 0, 0, 1, 1, 1],  // C22 = M1 + M5 + M6 + M7
         ];
         BilinearAlgorithm::new("winograd", 2, u, v, w).expect("hard-coded recipe is well-formed")
     }
@@ -343,11 +343,10 @@ impl BilinearAlgorithm {
         let mut c = Matrix::zeros(t, t);
         for pq in 0..t * t {
             let mut acc: i64 = 0;
-            for i in 0..self.r {
+            for (&w, &p) in self.w[pq].iter().zip(&products).take(self.r) {
                 acc = acc
                     .checked_add(
-                        self.w[pq][i]
-                            .checked_mul(products[i])
+                        w.checked_mul(p)
                             .ok_or(MatmulError::Overflow { op: "apply_once" })?,
                     )
                     .ok_or(MatmulError::Overflow { op: "apply_once" })?;
@@ -382,10 +381,14 @@ impl BilinearAlgorithm {
                                 let target = idx(or, oc, ir, ic);
                                 u[i][target] = self.u[i1][or * self.t + oc]
                                     .checked_mul(other.u[i2][ir * other.t + ic])
-                                    .ok_or(MatmulError::Overflow { op: "tensor_product" })?;
+                                    .ok_or(MatmulError::Overflow {
+                                        op: "tensor_product",
+                                    })?;
                                 v[i][target] = self.v[i1][or * self.t + oc]
                                     .checked_mul(other.v[i2][ir * other.t + ic])
-                                    .ok_or(MatmulError::Overflow { op: "tensor_product" })?;
+                                    .ok_or(MatmulError::Overflow {
+                                        op: "tensor_product",
+                                    })?;
                             }
                         }
                     }
@@ -402,20 +405,16 @@ impl BilinearAlgorithm {
                                 let i = i1 * other.r + i2;
                                 w[target][i] = self.w[or * self.t + oc][i1]
                                     .checked_mul(other.w[ir * other.t + ic][i2])
-                                    .ok_or(MatmulError::Overflow { op: "tensor_product" })?;
+                                    .ok_or(MatmulError::Overflow {
+                                        op: "tensor_product",
+                                    })?;
                             }
                         }
                     }
                 }
             }
         }
-        BilinearAlgorithm::new(
-            format!("{}x{}", self.name, other.name),
-            t_new,
-            u,
-            v,
-            w,
-        )
+        BilinearAlgorithm::new(format!("{}x{}", self.name, other.name), t_new, u, v, w)
     }
 
     /// The `k`-th tensor power of the recipe (`k ≥ 1`).

@@ -110,7 +110,10 @@ impl Matrix {
         self.check_same_shape(other, "add")?;
         let mut data = Vec::with_capacity(self.data.len());
         for (a, b) in self.data.iter().zip(&other.data) {
-            data.push(a.checked_add(*b).ok_or(MatmulError::Overflow { op: "add" })?);
+            data.push(
+                a.checked_add(*b)
+                    .ok_or(MatmulError::Overflow { op: "add" })?,
+            );
         }
         Ok(Matrix {
             rows: self.rows,
@@ -124,7 +127,10 @@ impl Matrix {
         self.check_same_shape(other, "sub")?;
         let mut data = Vec::with_capacity(self.data.len());
         for (a, b) in self.data.iter().zip(&other.data) {
-            data.push(a.checked_sub(*b).ok_or(MatmulError::Overflow { op: "sub" })?);
+            data.push(
+                a.checked_sub(*b)
+                    .ok_or(MatmulError::Overflow { op: "sub" })?,
+            );
         }
         Ok(Matrix {
             rows: self.rows,
@@ -171,8 +177,8 @@ impl Matrix {
                 for k in 0..self.cols {
                     acc += self.get(i, k) as i128 * other.get(k, j) as i128;
                 }
-                out[(i, j)] = i64::try_from(acc)
-                    .map_err(|_| MatmulError::Overflow { op: "multiply" })?;
+                out[(i, j)] =
+                    i64::try_from(acc).map_err(|_| MatmulError::Overflow { op: "multiply" })?;
             }
         }
         Ok(out)
@@ -437,7 +443,9 @@ mod tests {
         assert!(a.add(&a).is_err());
         assert!(a.scale(2).is_err());
         let b = Matrix::from_vec(1, 1, vec![i64::MAX / 2]).unwrap();
-        assert!(b.multiply_naive(&Matrix::from_vec(1, 1, vec![4]).unwrap()).is_err());
+        assert!(b
+            .multiply_naive(&Matrix::from_vec(1, 1, vec![4]).unwrap())
+            .is_err());
     }
 
     #[test]

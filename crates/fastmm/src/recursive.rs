@@ -73,7 +73,11 @@ pub fn multiply_recursive(
         (a, b)
     };
     let full = recurse(alg, a, b, cutoff.max(1))?;
-    Ok(if padded != n { full.cropped(n, n) } else { full })
+    Ok(if padded != n {
+        full.cropped(n, n)
+    } else {
+        full
+    })
 }
 
 /// Parallel version of [`multiply_recursive`]: the `r` recursive sub-products of the
@@ -96,7 +100,11 @@ pub fn multiply_recursive_parallel(
         (a, b)
     };
     let full = recurse_parallel(alg, a, b, cutoff.max(1), parallel_levels)?;
-    Ok(if padded != n { full.cropped(n, n) } else { full })
+    Ok(if padded != n {
+        full.cropped(n, n)
+    } else {
+        full
+    })
 }
 
 /// Instrumented sequential run that also reports the number of scalar operations, for
@@ -248,7 +256,11 @@ mod tests {
             let a = random_matrix(n, 20, n as u64 + 1);
             let b = random_matrix(n, 20, n as u64 + 100);
             let expected = a.multiply_naive(&b).unwrap();
-            assert_eq!(multiply_recursive(&alg, &a, &b, 1).unwrap(), expected, "n={n}");
+            assert_eq!(
+                multiply_recursive(&alg, &a, &b, 1).unwrap(),
+                expected,
+                "n={n}"
+            );
             assert_eq!(
                 multiply_recursive(&alg, &a, &b, 4).unwrap(),
                 expected,
@@ -275,7 +287,11 @@ mod tests {
             let a = random_matrix(n, 9, n as u64);
             let b = random_matrix(n, 9, n as u64 * 31);
             let expected = a.multiply_naive(&b).unwrap();
-            assert_eq!(multiply_recursive(&alg, &a, &b, 1).unwrap(), expected, "n={n}");
+            assert_eq!(
+                multiply_recursive(&alg, &a, &b, 1).unwrap(),
+                expected,
+                "n={n}"
+            );
         }
     }
 

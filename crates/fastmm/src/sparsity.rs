@@ -54,11 +54,7 @@ impl SparsityProfile {
             .map(|i| alg.v_row(i).iter().filter(|&&x| x != 0).count())
             .collect();
         let c: Vec<usize> = (0..r)
-            .map(|i| {
-                (0..t * t)
-                    .filter(|&pq| alg.w_row(pq)[i] != 0)
-                    .count()
-            })
+            .map(|i| (0..t * t).filter(|&pq| alg.w_row(pq)[i] != 0).count())
             .collect();
         let s_a = a.iter().sum();
         let s_b = b.iter().sum();
@@ -152,7 +148,11 @@ mod tests {
         // Paper: "for Strassen's algorithm it is about 0.491".
         assert!((p.gamma() - 0.491).abs() < 0.001, "gamma = {}", p.gamma());
         // Paper: "the constant multiplier of gamma^d is about 1.581"/"c ≈ 1.585".
-        assert!((p.c_constant() - 1.585).abs() < 0.01, "c = {}", p.c_constant());
+        assert!(
+            (p.c_constant() - 1.585).abs() < 0.01,
+            "c = {}",
+            p.c_constant()
+        );
         assert!(p.is_fast());
         assert!(p.is_subcubic());
         assert!((p.omega() - 7f64.log2()).abs() < 1e-12);

@@ -2,11 +2,11 @@
 //! every recursion depth, every matrix shape the crate accepts must agree with the
 //! naive product, and the algebraic identities of the Matrix type must hold.
 
-use proptest::prelude::*;
 use fast_matmul::{
     recursive::{multiply_recursive, multiply_recursive_counting, multiply_recursive_parallel},
     BilinearAlgorithm, Matrix, SparsityProfile,
 };
+use proptest::prelude::*;
 
 /// Strategy: a square matrix of dimension `n` with entries in [-mag, mag].
 fn matrix_strategy(n: usize, mag: i64) -> impl Strategy<Value = Matrix> {

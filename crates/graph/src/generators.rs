@@ -142,6 +142,9 @@ mod tests {
             cc_bter > cc_er,
             "community structure must raise the clustering coefficient ({cc_bter} vs {cc_er})"
         );
-        assert!(cc_bter > 0.3, "within-community density 0.8 gives strong clustering");
+        assert!(
+            cc_bter > 0.3,
+            "within-community density 0.8 gives strong clustering"
+        );
     }
 }

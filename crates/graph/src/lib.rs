@@ -13,7 +13,10 @@
 //!   (complete graph, cycle, star) used as test fixtures;
 //! * exact triangle counting ([`triangles`]): a node-iterator reference algorithm, the
 //!   `trace(A³)/6` identity, a rayon-parallel variant, plus wedge counts and clustering
-//!   coefficients ([`clustering`]).
+//!   coefficients ([`clustering`]);
+//! * a compiled, batched triangle-threshold oracle ([`oracle::TriangleOracle`]) that
+//!   builds the paper's trace circuit once and answers "≥ τ triangles?" for whole graph
+//!   collections through the bit-sliced 64-lane batch evaluator.
 //!
 //! ```
 //! use tc_graph::{generators, triangles, clustering};
@@ -31,6 +34,8 @@
 pub mod clustering;
 pub mod generators;
 mod graph;
+pub mod oracle;
 pub mod triangles;
 
 pub use graph::Graph;
+pub use oracle::TriangleOracle;

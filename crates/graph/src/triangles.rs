@@ -66,12 +66,12 @@ pub fn trace_of_cube(g: &Graph) -> i128 {
 /// Counts triangles containing each vertex (needed for local clustering coefficients).
 pub fn per_vertex_triangles(g: &Graph) -> Vec<u64> {
     let mut counts = vec![0u64; g.num_vertices()];
-    for v in 0..g.num_vertices() {
+    for (v, count) in counts.iter_mut().enumerate() {
         let nbrs = g.neighbors(v);
         for (idx, &a) in nbrs.iter().enumerate() {
             for &b in &nbrs[idx + 1..] {
                 if g.has_edge(a, b) {
-                    counts[v] += 1;
+                    *count += 1;
                 }
             }
         }

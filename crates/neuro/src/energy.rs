@@ -6,7 +6,7 @@
 //! quantity on concrete evaluations.
 
 use crate::DeviceSpec;
-use tc_circuit::{Circuit, CircuitError, Evaluation};
+use tc_circuit::{Batch64, Circuit, CircuitError, CompiledCircuit, Evaluation, BATCH_LANES};
 
 /// Energy accounting for one or more evaluations of a circuit.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,16 +36,54 @@ pub struct LatencyReport {
 }
 
 /// Measures firing-based energy over a set of input assignments.
+///
+/// Compiles the circuit once and measures through
+/// [`energy_over_inputs_compiled`]; callers that already hold a
+/// [`CompiledCircuit`] (or measure repeatedly) should use that entry point
+/// directly.
 pub fn energy_over_inputs(
     circuit: &Circuit,
     device: &DeviceSpec,
     inputs: &[Vec<bool>],
 ) -> Result<EnergyReport, CircuitError> {
-    let evaluations: Vec<Evaluation> = inputs
-        .iter()
-        .map(|bits| circuit.evaluate(bits))
-        .collect::<Result<_, _>>()?;
-    Ok(energy_of_evaluations(circuit, device, &evaluations))
+    energy_over_inputs_compiled(&circuit.compile()?, device, inputs)
+}
+
+/// Measures firing-based energy over a set of input assignments on an
+/// already-compiled circuit.
+///
+/// Assignments ride through the bit-sliced batch evaluator 64 at a time, so
+/// the firing counts for a whole input set cost a handful of passes over the
+/// CSR arrays rather than one full evaluation per assignment.
+pub fn energy_over_inputs_compiled(
+    compiled: &CompiledCircuit,
+    device: &DeviceSpec,
+    inputs: &[Vec<bool>],
+) -> Result<EnergyReport, CircuitError> {
+    let mut counts: Vec<u64> = Vec::with_capacity(inputs.len());
+    for chunk in inputs.chunks(BATCH_LANES) {
+        let batch = Batch64::pack(compiled.num_inputs(), chunk)?;
+        let bev = compiled.evaluate_batch64(&batch)?;
+        for lane in 0..chunk.len() {
+            counts.push(bev.firing_count(lane)? as u64);
+        }
+    }
+    Ok(report_from_counts(compiled.num_gates(), device, &counts))
+}
+
+fn report_from_counts(num_gates: usize, device: &DeviceSpec, counts: &[u64]) -> EnergyReport {
+    let total: u64 = counts.iter().sum();
+    let n = counts.len().max(1);
+    let mean = total as f64 / n as f64;
+    let gates = num_gates.max(1) as f64;
+    EnergyReport {
+        evaluations: counts.len(),
+        total_firings: total,
+        mean_firings: mean,
+        max_firings: counts.iter().copied().max().unwrap_or(0),
+        mean_firing_fraction: mean / gates,
+        mean_energy: mean * device.energy_per_spike,
+    }
 }
 
 /// Builds an energy report from already-computed evaluations.
@@ -58,18 +96,7 @@ pub fn energy_of_evaluations(
         .iter()
         .map(|ev| ev.firing_count() as u64)
         .collect();
-    let total: u64 = counts.iter().sum();
-    let n = evaluations.len().max(1);
-    let mean = total as f64 / n as f64;
-    let gates = circuit.num_gates().max(1) as f64;
-    EnergyReport {
-        evaluations: evaluations.len(),
-        total_firings: total,
-        mean_firings: mean,
-        max_firings: counts.iter().copied().max().unwrap_or(0),
-        mean_firing_fraction: mean / gates,
-        mean_energy: mean * device.energy_per_spike,
-    }
+    report_from_counts(circuit.num_gates(), device, &counts)
 }
 
 /// The latency of one layer-synchronous evaluation on a device.
@@ -109,11 +136,27 @@ mod tests {
         ];
         let report = energy_over_inputs(&c, &device, &inputs).unwrap();
         assert_eq!(report.evaluations, 3);
-        assert_eq!(report.total_firings, 0 + 1 + 3);
+        assert_eq!(report.total_firings, 1 + 3);
         assert_eq!(report.max_firings, 3);
         assert!((report.mean_firings - 4.0 / 3.0).abs() < 1e-12);
         assert!((report.mean_firing_fraction - 4.0 / 9.0).abs() < 1e-12);
         assert!((report.mean_energy - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compiled_entry_point_matches_per_evaluation_accounting() {
+        let c = or_and_circuit();
+        let device = DeviceSpec::unconstrained();
+        // 70 assignments force two 64-lane batches.
+        let inputs: Vec<Vec<bool>> = (0..70u32).map(|i| vec![i % 2 == 0, i % 3 == 0]).collect();
+        let compiled = c.compile().unwrap();
+        let batched = energy_over_inputs_compiled(&compiled, &device, &inputs).unwrap();
+        let evaluations: Vec<Evaluation> = inputs
+            .iter()
+            .map(|bits| c.evaluate(bits).unwrap())
+            .collect();
+        let reference = energy_of_evaluations(&c, &device, &evaluations);
+        assert_eq!(batched, reference);
     }
 
     #[test]
@@ -148,8 +191,7 @@ mod tests {
         let mut bits = vec![false; c.num_inputs()];
         x.assign(7, &mut bits).unwrap();
         y.assign(-3, &mut bits).unwrap();
-        let report =
-            energy_over_inputs(&c, &DeviceSpec::unconstrained(), &[bits.clone()]).unwrap();
+        let report = energy_over_inputs(&c, &DeviceSpec::unconstrained(), &[bits.clone()]).unwrap();
         assert!(report.total_firings > 0);
         assert!(report.mean_firing_fraction <= 1.0);
     }

@@ -21,7 +21,10 @@ pub struct RowPartitionPlan {
 /// Computes the paper's row partition: each piece gets at most `⌊x^(1/ω)⌋` rows (and at
 /// least one), so that a circuit built per piece has fan-in roughly bounded by `x`.
 pub fn plan_row_partition(total_rows: usize, max_fan_in: usize, omega: f64) -> RowPartitionPlan {
-    assert!(omega >= 2.0, "omega below 2 is information-theoretically impossible");
+    assert!(
+        omega >= 2.0,
+        "omega below 2 is information-theoretically impossible"
+    );
     let rows_per_piece = (max_fan_in as f64).powf(1.0 / omega).floor() as usize;
     let rows_per_piece = rows_per_piece.clamp(1, total_rows.max(1));
     RowPartitionPlan {

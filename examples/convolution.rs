@@ -25,7 +25,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let image = Tensor3::random(spec.image_size, spec.image_size, spec.channels, 3, 7);
     let kernels: Vec<Tensor3> = (0..spec.num_kernels)
-        .map(|i| Tensor3::random(spec.kernel_size, spec.kernel_size, spec.channels, 2, 100 + i as u64))
+        .map(|i| {
+            Tensor3::random(
+                spec.kernel_size,
+                spec.kernel_size,
+                spec.channels,
+                2,
+                100 + i as u64,
+            )
+        })
         .collect();
 
     let reference = conv_direct(&spec, &image, &kernels);
@@ -42,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     for (name, backend) in backends {
         let out = conv_via_matmul(&spec, &image, &kernels, &backend)?;
-        assert_eq!(out, reference, "{name} disagrees with the direct convolution");
+        assert_eq!(
+            out, reference,
+            "{name} disagrees with the direct convolution"
+        );
         println!("  backend {name:<40} ... matches direct convolution");
     }
 
@@ -59,7 +70,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let tiny_image = Tensor3::random(tiny.image_size, tiny.image_size, tiny.channels, 3, 8);
     let tiny_kernels: Vec<Tensor3> = (0..tiny.num_kernels)
-        .map(|i| Tensor3::random(tiny.kernel_size, tiny.kernel_size, tiny.channels, 2, 200 + i as u64))
+        .map(|i| {
+            Tensor3::random(
+                tiny.kernel_size,
+                tiny.kernel_size,
+                tiny.channels,
+                2,
+                200 + i as u64,
+            )
+        })
         .collect();
     let tiny_reference = conv_direct(&tiny, &tiny_image, &tiny_kernels);
     let circuit_backend = MatmulBackend::ThresholdCircuit {

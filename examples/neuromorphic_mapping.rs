@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         for device in &devices {
             let map = mapping::map_circuit(circuit, device);
-            let e = energy::energy_over_inputs(circuit, device, &[inputs.clone()])?;
+            let e = energy::energy_over_inputs(circuit, device, std::slice::from_ref(inputs))?;
             let l = energy::latency(circuit, device);
             println!(
                 "  {:<16} cores = {:>6} fits = {:<5} fan-in violations = {:<6} energy = {:>9.0} latency = {:>6.2} ms",

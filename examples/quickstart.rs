@@ -12,9 +12,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = SparsityProfile::of(&strassen);
     println!("Strassen ⟨2,2,2;7⟩:");
     println!("  omega      = {:.4}", profile.omega());
-    println!("  s_A,s_B,s_C = {}, {}, {}", profile.s_a, profile.s_b, profile.s_c);
-    println!("  alpha = {:.4}, beta = {:.4}", profile.alpha(), profile.beta());
-    println!("  gamma = {:.4}, c = {:.4}", profile.gamma(), profile.c_constant());
+    println!(
+        "  s_A,s_B,s_C = {}, {}, {}",
+        profile.s_a, profile.s_b, profile.s_c
+    );
+    println!(
+        "  alpha = {:.4}, beta = {:.4}",
+        profile.alpha(),
+        profile.beta()
+    );
+    println!(
+        "  gamma = {:.4}, c = {:.4}",
+        profile.gamma(),
+        profile.c_constant()
+    );
     for d in 1..=6 {
         println!(
             "  d = {d}: gate exponent omega + c*gamma^d = {:.4}  (Theorem 4.1 baseline: {:.4})",
@@ -36,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = mm.stats();
     println!("\nTheorem 4.9 matmul circuit for N = {n}, d = 2:");
     println!("  depth = {} (bound 4d+1 = 9)", stats.depth);
-    println!("  gates = {}, edges = {}, max fan-in = {}", stats.size, stats.edges, stats.max_fan_in);
+    println!(
+        "  gates = {}, edges = {}, max fan-in = {}",
+        stats.size, stats.edges, stats.max_fan_in
+    );
 
     let naive = NaiveMatmulCircuit::new(&config, n)?;
     println!(
@@ -47,9 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 3. The trace / triangle-threshold circuit ----------------------------------
     let graph_config = CircuitConfig::binary(strassen);
-    let adjacency = Matrix::from_fn(n, n, |i, j| {
-        if i != j && (i + j) % 3 != 0 { 1 } else { 0 }
-    });
+    let adjacency = Matrix::from_fn(n, n, |i, j| if i != j && (i + j) % 3 != 0 { 1 } else { 0 });
     // Symmetrise.
     let adjacency = {
         let mut m = Matrix::zeros(n, n);
@@ -66,8 +78,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tau = trace as i64; // "has the graph at least trace/6 triangles?"
     let tc = TraceCircuit::theorem_4_5(&graph_config, n, 2, tau)?;
     println!("\nTheorem 4.5 trace circuit for N = {n}, d = 2, tau = {tau}:");
-    println!("  depth = {}, gates = {}", tc.circuit().depth(), tc.circuit().num_gates());
-    println!("  trace(A^3) = {trace}, circuit answer for trace >= tau: {}", tc.evaluate(&adjacency)?);
+    println!(
+        "  depth = {}, gates = {}",
+        tc.circuit().depth(),
+        tc.circuit().num_gates()
+    );
+    println!(
+        "  trace(A^3) = {trace}, circuit answer for trace >= tau: {}",
+        tc.evaluate(&adjacency)?
+    );
 
     let baseline = NaiveTriangleCircuit::new(n, tau / 6)?;
     println!(
@@ -75,6 +94,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         baseline.circuit().depth(),
         baseline.circuit().num_gates(),
         tcmm::core::naive::naive_triangle_gate_count(n as u64)
+    );
+
+    // --- 4. Compile once, evaluate many: batched serving ----------------------------
+    // Every circuit above is already lowered to its compiled CSR form; batched entry
+    // points push up to 64 independent queries through one bit-sliced pass.
+    let pairs: Vec<_> = (0..64)
+        .map(|s| {
+            (
+                Matrix::from_fn(n, n, |i, j| ((i + j + s) % 7) as i64 - 3),
+                Matrix::from_fn(n, n, |i, j| ((2 * i + j + s) % 7) as i64 - 3),
+            )
+        })
+        .collect();
+    let products = mm.evaluate_many(&pairs)?;
+    for ((a, b), c) in pairs.iter().zip(&products) {
+        assert_eq!(c, &a.multiply_naive(b)?);
+    }
+    println!(
+        "\nBatched serving: {} matrix products through one 64-lane bit-sliced pass over {} gates.",
+        products.len(),
+        mm.circuit().num_gates()
     );
     Ok(())
 }

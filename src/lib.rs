@@ -19,13 +19,13 @@
 
 #![warn(missing_docs)]
 
+pub use fast_matmul as fastmm;
+pub use neuro_sim as neuro;
 pub use tc_arith as arith;
 pub use tc_circuit as circuit;
 pub use tc_convnet as convnet;
 pub use tc_graph as graph;
 pub use tcmm_core as core;
-pub use fast_matmul as fastmm;
-pub use neuro_sim as neuro;
 
 /// A convenient prelude pulling in the types used by almost every program built on this
 /// workspace.

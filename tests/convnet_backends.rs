@@ -1,7 +1,9 @@
 //! Cross-crate integration tests: the convolution-as-matmul pipeline through every
 //! backend, including the actual Theorem 4.9 threshold circuit.
 
-use tcmm::convnet::{conv_direct, conv_via_matmul, im2col, kernel_matrix, ConvLayerSpec, MatmulBackend, Tensor3};
+use tcmm::convnet::{
+    conv_direct, conv_via_matmul, im2col, kernel_matrix, ConvLayerSpec, MatmulBackend, Tensor3,
+};
 use tcmm::fastmm::BilinearAlgorithm;
 
 fn small_layer() -> (ConvLayerSpec, Tensor3, Vec<Tensor3>) {
@@ -14,7 +16,15 @@ fn small_layer() -> (ConvLayerSpec, Tensor3, Vec<Tensor3>) {
     };
     let image = Tensor3::random(spec.image_size, spec.image_size, spec.channels, 3, 11);
     let kernels = (0..spec.num_kernels)
-        .map(|k| Tensor3::random(spec.kernel_size, spec.kernel_size, spec.channels, 2, 20 + k as u64))
+        .map(|k| {
+            Tensor3::random(
+                spec.kernel_size,
+                spec.kernel_size,
+                spec.channels,
+                2,
+                20 + k as u64,
+            )
+        })
         .collect();
     (spec, image, kernels)
 }
@@ -63,7 +73,15 @@ fn threshold_circuit_backend_matches_direct_convolution() {
     };
     let image = Tensor3::random(spec.image_size, spec.image_size, spec.channels, 2, 31);
     let kernels: Vec<Tensor3> = (0..spec.num_kernels)
-        .map(|k| Tensor3::random(spec.kernel_size, spec.kernel_size, spec.channels, 1, 40 + k as u64))
+        .map(|k| {
+            Tensor3::random(
+                spec.kernel_size,
+                spec.kernel_size,
+                spec.channels,
+                1,
+                40 + k as u64,
+            )
+        })
         .collect();
     let direct = conv_direct(&spec, &image, &kernels);
     let backend = MatmulBackend::ThresholdCircuit {
@@ -85,12 +103,23 @@ fn strided_convolution_is_consistent_across_backends() {
     };
     let image = Tensor3::random(spec.image_size, spec.image_size, spec.channels, 3, 51);
     let kernels: Vec<Tensor3> = (0..spec.num_kernels)
-        .map(|k| Tensor3::random(spec.kernel_size, spec.kernel_size, spec.channels, 2, 60 + k as u64))
+        .map(|k| {
+            Tensor3::random(
+                spec.kernel_size,
+                spec.kernel_size,
+                spec.channels,
+                2,
+                60 + k as u64,
+            )
+        })
         .collect();
     let direct = conv_direct(&spec, &image, &kernels);
     for backend in [
         MatmulBackend::Naive,
-        MatmulBackend::Fast { algorithm: BilinearAlgorithm::strassen(), cutoff: 2 },
+        MatmulBackend::Fast {
+            algorithm: BilinearAlgorithm::strassen(),
+            cutoff: 2,
+        },
     ] {
         let via = conv_via_matmul(&spec, &image, &kernels, &backend).unwrap();
         assert_eq!(direct, via);

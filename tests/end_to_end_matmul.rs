@@ -21,7 +21,11 @@ fn theorem_4_9_matches_naive_for_strassen_across_sizes_and_depths() {
             for seed in 0..2u64 {
                 let a = random_matrix(n, 7, 1000 + seed);
                 let b = random_matrix(n, 7, 2000 + seed);
-                assert_eq!(mm.evaluate(&a, &b).unwrap(), reference(&a, &b), "n={n} d={d}");
+                assert_eq!(
+                    mm.evaluate(&a, &b).unwrap(),
+                    reference(&a, &b),
+                    "n={n} d={d}"
+                );
             }
         }
     }

@@ -20,18 +20,34 @@ fn check_all_circuits(g: &Graph, n_pad: usize, tau: i64) {
     let expected = exact >= tau as i128;
 
     let t45 = TraceCircuit::theorem_4_5(&binary_config(), n_pad, 2, tau).unwrap();
-    assert_eq!(t45.evaluate(&adjacency).unwrap(), expected, "theorem 4.5, tau={tau}");
+    assert_eq!(
+        t45.evaluate(&adjacency).unwrap(),
+        expected,
+        "theorem 4.5, tau={tau}"
+    );
 
     let t44 = TraceCircuit::theorem_4_4(&binary_config(), n_pad, tau).unwrap();
-    assert_eq!(t44.evaluate(&adjacency).unwrap(), expected, "theorem 4.4, tau={tau}");
+    assert_eq!(
+        t44.evaluate(&adjacency).unwrap(),
+        expected,
+        "theorem 4.4, tau={tau}"
+    );
 
     let naive_trace = NaiveTraceCircuit::new(&binary_config(), n_pad, tau).unwrap();
-    assert_eq!(naive_trace.evaluate(&adjacency).unwrap(), expected, "naive trace, tau={tau}");
+    assert_eq!(
+        naive_trace.evaluate(&adjacency).unwrap(),
+        expected,
+        "naive trace, tau={tau}"
+    );
 
     // The naive triangle circuit thresholds on the triangle count; trace = 6 * triangles.
     if tau >= 0 && tau % 6 == 0 {
         let naive_tri = NaiveTriangleCircuit::new(n_pad, tau / 6).unwrap();
-        assert_eq!(naive_tri.evaluate(&adjacency).unwrap(), expected, "naive triangle, tau={tau}");
+        assert_eq!(
+            naive_tri.evaluate(&adjacency).unwrap(),
+            expected,
+            "naive triangle, tau={tau}"
+        );
     }
 }
 
@@ -137,14 +153,18 @@ fn subcubic_growth_rate_is_below_cubic_for_d_greater_than_3() {
     let strassen = BilinearAlgorithm::strassen();
     let profile = SparsityProfile::of(&strassen);
     for d in 4..=6u32 {
-        assert!(theorem_4_5_exponent(&profile, d) < 3.0, "exponent for d={d}");
+        assert!(
+            theorem_4_5_exponent(&profile, d) < 3.0,
+            "exponent for d={d}"
+        );
     }
     let d = 5u32;
     let mut points = Vec::new();
     for exp in [10u32, 12, 14, 16, 18, 20] {
         let n = 1u64 << exp;
         let schedule = LevelSchedule::for_theorem_4_5(&profile, exp, d).unwrap();
-        let gates = tree_phase_cost(&strassen, TreeKind::OverA, n as usize, 1, &schedule).total_gates;
+        let gates =
+            tree_phase_cost(&strassen, TreeKind::OverA, n as usize, 1, &schedule).total_gates;
         points.push((n as f64, gates as f64));
     }
     let slope = log_log_slope(&points);

@@ -87,8 +87,14 @@ fn exponent_models_are_monotone_in_d_and_bracketed() {
     for d in 1..=12u32 {
         let e45 = theorem_4_5_exponent(&profile, d);
         let e41 = theorem_4_1_exponent(&profile, d);
-        assert!(e45 < previous_45, "theorem 4.5 exponent must decrease with d");
-        assert!(e41 < previous_41, "theorem 4.1 exponent must decrease with d");
+        assert!(
+            e45 < previous_45,
+            "theorem 4.5 exponent must decrease with d"
+        );
+        assert!(
+            e41 < previous_41,
+            "theorem 4.1 exponent must decrease with d"
+        );
         assert!(e45 > omega, "exponent stays above omega");
         assert!(e41 > omega);
         previous_45 = e45;
@@ -148,16 +154,18 @@ fn analytic_trace_phase_growth_matches_omega_for_theorem_4_4_schedule() {
 
 #[test]
 fn log_log_slope_recovers_known_exponents() {
-    let quadratic: Vec<(f64, f64)> = (1..=6).map(|i| {
-        let x = (1u64 << i) as f64;
-        (x, 5.0 * x * x)
-    })
-    .collect();
+    let quadratic: Vec<(f64, f64)> = (1..=6)
+        .map(|i| {
+            let x = (1u64 << i) as f64;
+            (x, 5.0 * x * x)
+        })
+        .collect();
     assert!((log_log_slope(&quadratic) - 2.0).abs() < 1e-9);
-    let cubic: Vec<(f64, f64)> = (1..=6).map(|i| {
-        let x = (1u64 << i) as f64;
-        (x, 0.25 * x * x * x)
-    })
-    .collect();
+    let cubic: Vec<(f64, f64)> = (1..=6)
+        .map(|i| {
+            let x = (1u64 << i) as f64;
+            (x, 0.25 * x * x * x)
+        })
+        .collect();
     assert!((log_log_slope(&cubic) - 3.0).abs() < 1e-9);
 }

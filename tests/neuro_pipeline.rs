@@ -1,7 +1,9 @@
 //! Cross-crate integration tests: mapping, energy and fan-in partitioning of the
 //! generated circuits on the neuromorphic-device simulator.
 
-use tcmm::core::{matmul::MatmulCircuit, naive::NaiveTriangleCircuit, trace::TraceCircuit, CircuitConfig};
+use tcmm::core::{
+    matmul::MatmulCircuit, naive::NaiveTriangleCircuit, trace::TraceCircuit, CircuitConfig,
+};
 use tcmm::fastmm::{random_matrix, BilinearAlgorithm};
 use tcmm::graph::generators;
 use tcmm::neuro::{energy, mapping, partition, DeviceSpec};
@@ -45,18 +47,26 @@ fn energy_counts_firing_gates_per_evaluation() {
     let circuit = TraceCircuit::theorem_4_5(&config, 8, 1, 6).unwrap();
     let device = DeviceSpec::truenorth_like();
 
-    let graphs: Vec<_> = (0..4u64).map(|s| generators::erdos_renyi(8, 0.4, s)).collect();
+    let graphs: Vec<_> = (0..4u64)
+        .map(|s| generators::erdos_renyi(8, 0.4, s))
+        .collect();
     let inputs: Vec<Vec<bool>> = graphs
         .iter()
         .map(|g| {
             let mut bits = vec![false; circuit.circuit().num_inputs()];
-            circuit.input().assign(&g.adjacency_matrix(), &mut bits).unwrap();
+            circuit
+                .input()
+                .assign(&g.adjacency_matrix(), &mut bits)
+                .unwrap();
             bits
         })
         .collect();
     let report = energy::energy_over_inputs(circuit.circuit(), &device, &inputs).unwrap();
     assert_eq!(report.evaluations, graphs.len());
-    assert!(report.total_firings > 0, "a nonempty graph must fire some gates");
+    assert!(
+        report.total_firings > 0,
+        "a nonempty graph must fire some gates"
+    );
     assert!(report.mean_firings <= circuit.circuit().num_gates() as f64);
     assert!(report.mean_firing_fraction > 0.0 && report.mean_firing_fraction <= 1.0);
     assert!(report.max_firings as f64 >= report.mean_firings);

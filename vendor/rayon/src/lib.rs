@@ -1,0 +1,81 @@
+//! Offline stand-in for `rayon`.
+//!
+//! `par_iter()` / `into_par_iter()` return ordinary sequential iterators, so
+//! every adaptor chain (`map`, `sum`, `collect`, …) type-checks and produces
+//! the same values as the real rayon, just without work-stealing threads.
+//! The performance-critical parallel path of this workspace does not go
+//! through this stub: `tc_circuit::CompiledCircuit::evaluate_parallel` uses
+//! `std::thread::scope` directly.
+
+/// Sequential re-implementations of rayon's parallel iterator entry points.
+pub mod iter {
+    /// Stand-in for `rayon::iter::IntoParallelIterator`; yields a sequential
+    /// iterator with the same items.
+    pub trait IntoParallelIterator {
+        /// The iterator produced by [`IntoParallelIterator::into_par_iter`].
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item;
+        /// Converts `self` into a (sequential) "parallel" iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        type Item = T;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<T> IntoParallelIterator for std::ops::Range<T>
+    where
+        std::ops::Range<T>: Iterator<Item = T>,
+    {
+        type Iter = std::ops::Range<T>;
+        type Item = T;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    /// Stand-in for `rayon::iter::IntoParallelRefIterator` (`par_iter()`).
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator produced by [`IntoParallelRefIterator::par_iter`].
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type (a reference).
+        type Item: 'data;
+        /// Borrows `self` as a (sequential) "parallel" iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        type Item = &'data T;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.as_slice().iter()
+        }
+    }
+}
+
+/// The usual rayon prelude: the traits that add `par_iter` / `into_par_iter`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Runs both closures (sequentially in this stub) and returns their results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! No data format backend (serde_json, bincode, …) is used anywhere in this
+//! workspace — the serde traits only appear as derive markers and trait
+//! bounds — so `Serialize` and `Deserialize` are defined as empty marker
+//! traits. The derive macros from the sibling `serde_derive` stub emit empty
+//! impls for them.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

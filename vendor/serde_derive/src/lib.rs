@@ -1,0 +1,59 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace's `serde` stub defines `Serialize` and `Deserialize` as marker
+//! traits with no required items, so the derives only need to emit empty impls
+//! for the annotated type. Generic types are not supported (none of the types
+//! deriving serde traits in this workspace are generic).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the struct or enum from the item's token stream.
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                return match tokens.next() {
+                    Some(TokenTree::Ident(name)) => {
+                        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                            if p.as_char() == '<' {
+                                return Err(format!(
+                                    "serde_derive stub: generic type `{name}` is not supported"
+                                ));
+                            }
+                        }
+                        Ok(name.to_string())
+                    }
+                    _ => Err("serde_derive stub: missing type name".to_string()),
+                };
+            }
+        }
+    }
+    Err("serde_derive stub: expected a struct or enum".to_string())
+}
+
+fn emit(input: TokenStream, render: impl Fn(&str) -> String) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => render(&name).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl serde::Serialize for {name} {{}}")
+    })
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+    })
+}
