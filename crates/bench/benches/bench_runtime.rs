@@ -1,0 +1,183 @@
+//! Criterion bench for the serving runtime: lane-width comparison and
+//! scheduler throughput on a Theorem 4.5 trace circuit with ~881k gates.
+//!
+//! Three question groups:
+//!
+//! * `lane_width/*` — the fixed 64-lane path versus the 128/256/512-lane
+//!   wide kernels at batch sizes 256 and 1024 (single worker, isolating the
+//!   kernels);
+//! * `scheduler/*` — a 2048-request batch through the auto-tuned runtime
+//!   with 1 worker versus all cores;
+//! * `runtime_report` — times every backend directly, prints the measured
+//!   wide-vs-sliced64 speedup on a 256-request batch (the acceptance
+//!   criterion: the auto-tuned wide backend must beat the fixed 64-lane
+//!   path on ≥256-request batches), and writes `BENCH_runtime.json` with
+//!   gate-evals/sec per backend.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fast_matmul::BilinearAlgorithm;
+use tc_graph::generators;
+use tc_runtime::Runtime;
+use tcmm_core::{trace::TraceCircuit, CircuitConfig};
+
+/// The serving workload: a Theorem 4.5 trace circuit (~881k gates for the
+/// binary Strassen recipe at N = 16, d = 2) plus encoded random queries.
+fn workload(requests: usize) -> (TraceCircuit, Vec<Vec<bool>>) {
+    let config = CircuitConfig::binary(BilinearAlgorithm::strassen());
+    let circuit = TraceCircuit::theorem_4_5(&config, 16, 2, 500).unwrap();
+    assert!(circuit.circuit().num_gates() >= 100_000);
+    let rows: Vec<Vec<bool>> = (0..requests as u64)
+        .map(|seed| {
+            let g = generators::erdos_renyi(16, 0.3, 1 + seed);
+            let mut bits = vec![false; circuit.circuit().num_inputs()];
+            circuit
+                .input()
+                .assign(&g.adjacency_matrix(), &mut bits)
+                .unwrap();
+            bits
+        })
+        .collect();
+    (circuit, rows)
+}
+
+fn bench_lane_widths(c: &mut Criterion) {
+    let (circuit, rows) = workload(1024);
+    let compiled = circuit.compiled();
+    let gates = circuit.circuit().num_gates() as u64;
+
+    for batch in [256usize, 1024] {
+        let mut group = c.benchmark_group(format!("lane_width_batch{batch}"));
+        group.throughput(Throughput::Elements(gates * batch as u64));
+        for backend in ["sliced64", "wide128", "wide256", "wide512"] {
+            let runtime = Runtime::builder().fixed_backend(backend).workers(1).build();
+            group.bench_function(backend, |bench| {
+                bench.iter(|| runtime.serve_batch(compiled, &rows[..batch]).unwrap());
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let (circuit, rows) = workload(2048);
+    let compiled = circuit.compiled();
+    let gates = circuit.circuit().num_gates() as u64;
+
+    let mut group = c.benchmark_group("scheduler_batch2048");
+    group.throughput(Throughput::Elements(gates * rows.len() as u64));
+    for workers in [1usize, 0] {
+        let runtime = Runtime::builder()
+            .fixed_backend("wide256")
+            .workers(workers)
+            .build();
+        let label = if workers == 0 {
+            "workers_all_cores".to_string()
+        } else {
+            format!("workers_{workers}")
+        };
+        group.bench_function(label.as_str(), |bench| {
+            bench.iter(|| runtime.serve_batch(compiled, &rows).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// Directly times every backend, prints the wide-vs-sliced64 speedup, and
+/// emits `BENCH_runtime.json`.
+fn runtime_report(_c: &mut Criterion) {
+    let (circuit, rows) = workload(1024);
+    let compiled = circuit.compiled();
+    let gates = circuit.circuit().num_gates();
+
+    let time = |f: &mut dyn FnMut()| {
+        f(); // warm up
+        let reps = 3;
+        let t = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        t.elapsed().as_secs_f64() / reps as f64
+    };
+
+    struct Report {
+        measured: Vec<(String, usize, f64)>,
+        json_backends: String,
+    }
+    let mut report = Report {
+        measured: Vec::new(),
+        json_backends: String::new(),
+    };
+    let measure = |report: &mut Report, name: &str, batch: usize| -> f64 {
+        let runtime = Runtime::builder().fixed_backend(name).workers(1).build();
+        let secs = time(&mut || {
+            std::hint::black_box(runtime.serve_batch(compiled, &rows[..batch]).unwrap());
+        });
+        let geps = batch as f64 * gates as f64 / secs;
+        report.measured.push((name.to_string(), batch, geps));
+        if !report.json_backends.is_empty() {
+            report.json_backends.push(',');
+        }
+        report.json_backends.push_str(&format!(
+            "\n    {{\"backend\": \"{name}\", \"batch\": {batch}, \
+             \"gate_evals_per_sec\": {geps:.0}, \"seconds\": {secs:.6}}}"
+        ));
+        geps
+    };
+    for batch in [256usize, 1024] {
+        for backend in ["scalar", "sliced64", "wide128", "wide256", "wide512"] {
+            // Scalar at 1024 requests on an 881k-gate circuit is too slow to
+            // time honestly inside a smoke bench; sample it at 256 only.
+            if backend == "scalar" && batch > 256 {
+                continue;
+            }
+            measure(&mut report, backend, batch);
+        }
+    }
+
+    // The auto-tuned choice for a 256-request batch, and its measured margin
+    // over the fixed 64-lane path. Measure the tuned backend on demand if it
+    // is not already in the table (e.g. the probe picked layer_parallel).
+    let auto = Runtime::new();
+    let tuned = auto.backend_for(compiled, 256).unwrap();
+    let lookup = |report: &Report, name: &str, batch: usize| {
+        report
+            .measured
+            .iter()
+            .find(|(b, n, _)| b == name && *n == batch)
+            .map(|(_, _, g)| *g)
+    };
+    let tuned_geps = match lookup(&report, tuned, 256) {
+        Some(geps) => geps,
+        None => measure(&mut report, tuned, 256),
+    };
+    let sliced_geps =
+        lookup(&report, "sliced64", 256).expect("sliced64 at batch 256 is always measured");
+    let speedup = tuned_geps / sliced_geps;
+    println!(
+        "\nruntime_report: trace circuit with {gates} gates\n\
+         auto-tuned backend for a 256-request batch: {tuned}\n\
+         tuned     : {tuned_geps:>14.0} gate-evals/sec\n\
+         sliced64  : {sliced_geps:>14.0} gate-evals/sec\n\
+         speedup   : {speedup:.2}x (acceptance: wide > 1.0x on >=256-request batches)\n"
+    );
+
+    let json = format!(
+        "{{\n  \"circuit_gates\": {gates},\n  \"auto_tuned_backend_batch256\": \"{tuned}\",\n  \
+         \"tuned_vs_sliced64_speedup_batch256\": {speedup:.3},\n  \"backends\": [{}\n  ]\n}}\n",
+        report.json_backends
+    );
+    std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
+    println!("wrote BENCH_runtime.json");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_lane_widths, bench_scheduler, runtime_report
+}
+criterion_main!(benches);

@@ -119,8 +119,8 @@ fn main() {
 
     banner("high-traffic serving: one compiled oracle answering 10k triangle queries");
     // The compile-once / evaluate-many path: a single TriangleOracle compiles
-    // the Theorem 4.5 circuit once; 10k graphs then ride through the
-    // bit-sliced batch evaluator 64 at a time.
+    // the Theorem 4.5 circuit once; 10k graphs then route through its serving
+    // runtime (auto-tuned bit-sliced lane groups, worker-sharded).
     let oracle = TriangleOracle::new(&config, 16, 2, 8).unwrap();
     let queries: Vec<Graph> = (0..10_000u64)
         .map(|s| generators::erdos_renyi(16, 0.3, 10_000 + s))
@@ -146,7 +146,7 @@ fn main() {
     let yes = answers.iter().filter(|&&b| b).count();
     println!(
         "oracle: {} gates, compiled once; {} queries answered ({} yes / {} no)\n\
-         batched (64 lanes/pass): {:.2}s total   per-call scalar: {:.2}s (extrapolated from {})\n\
+         batched (runtime lane groups): {:.2}s total   per-call scalar: {:.2}s (extrapolated from {})\n\
          batched speedup: {:.1}x   answer mismatches vs exact counting (512 sampled): {}",
         oracle.circuit().circuit().num_gates(),
         queries.len(),

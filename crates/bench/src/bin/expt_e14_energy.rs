@@ -28,19 +28,22 @@ use tcmm_core::{
 };
 
 /// Energy (mean firings per evaluation) of an already-compiled circuit over
-/// the given input batches: the whole set rides through the bit-sliced batch
-/// evaluator, 64 assignments per pass.
+/// the given input batches: the whole sweep routes through one shared
+/// serving runtime (auto-tuned wide lane groups, worker-sharded).
 fn mean_energy(
+    runtime: &tc_runtime::Runtime,
     compiled: &CompiledCircuit,
     device: &DeviceSpec,
     inputs: &[Vec<bool>],
 ) -> (f64, f64) {
-    let report = energy::energy_over_inputs_compiled(compiled, device, inputs).unwrap();
+    let report = energy::energy_over_inputs_runtime(runtime, compiled, device, inputs).unwrap();
     (report.mean_firings, report.mean_firing_fraction)
 }
 
 fn main() {
     println!("E14: energy (firing-gate) and latency of the circuits on device models");
+    // One shared serving runtime carries every energy sweep in this experiment.
+    let runtime = tc_runtime::Runtime::new();
     let device = DeviceSpec::truenorth_like();
     let strassen = BilinearAlgorithm::strassen();
 
@@ -83,8 +86,10 @@ fn main() {
         })
         .collect();
 
-    let (naive_energy, naive_frac) = mean_energy(naive.compiled(), &device, &naive_inputs);
-    let (sub_energy, sub_frac) = mean_energy(subcubic.compiled(), &device, &subcubic_inputs);
+    let (naive_energy, naive_frac) =
+        mean_energy(&runtime, naive.compiled(), &device, &naive_inputs);
+    let (sub_energy, sub_frac) =
+        mean_energy(&runtime, subcubic.compiled(), &device, &subcubic_inputs);
     let mut t = Table::new([
         "circuit",
         "gates",
@@ -131,7 +136,7 @@ fn main() {
             bits
         })
         .collect();
-    let (fast_energy, fast_frac) = mean_energy(fast_mm.compiled(), &device, &fast_inputs);
+    let (fast_energy, fast_frac) = mean_energy(&runtime, fast_mm.compiled(), &device, &fast_inputs);
     // The naive matmul circuit shares the same MatrixInput layout.
     let naive_inputs: Vec<Vec<bool>> = pairs
         .iter()
@@ -143,7 +148,8 @@ fn main() {
             bits
         })
         .collect();
-    let (naive_mm_energy, naive_mm_frac) = mean_energy(naive_mm.compiled(), &device, &naive_inputs);
+    let (naive_mm_energy, naive_mm_frac) =
+        mean_energy(&runtime, naive_mm.compiled(), &device, &naive_inputs);
     let mut t = Table::new([
         "circuit",
         "gates",

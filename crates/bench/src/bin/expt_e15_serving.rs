@@ -1,0 +1,183 @@
+//! E15 — mixed-workload serving through one shared `tc_runtime::Runtime`.
+//!
+//! The ROADMAP's north star is a runtime that serves heavy traffic across
+//! every workload the paper motivates. This experiment drives a mixed
+//! 10k-request load — social-network triangle queries (Section 5), matrix
+//! products (Theorem 4.9), and convnet inference (Section 5's im2col
+//! convolution) — through **one** serving runtime: one backend registry, one
+//! auto-tuner cache, one telemetry ledger, with each workload's requests
+//! packed into bit-sliced lane groups and sharded across worker threads.
+//!
+//! The triangle queries additionally arrive as an *unbounded stream*
+//! (`serve_stream`), demonstrating the bounded-queue ingestion path next to
+//! plain batch submission.
+//!
+//! Run with `cargo run --release -p tcmm-bench --bin expt_e15_serving`.
+
+use std::time::Instant;
+
+use fast_matmul::BilinearAlgorithm;
+use tc_convnet::{conv_direct, conv_via_matmul_many_with, ConvLayerSpec, MatmulBackend, Tensor3};
+use tc_graph::{generators, triangles, Graph, TriangleOracle};
+use tc_runtime::Runtime;
+use tcmm_bench::{banner, f, workload_matrix, Table};
+use tcmm_core::{matmul::MatmulCircuit, CircuitConfig};
+
+fn main() {
+    println!("E15: mixed 10k-request serving through one shared runtime");
+    let runtime = Runtime::new();
+    let strassen = BilinearAlgorithm::strassen();
+
+    // ---- workload 1: triangle-threshold queries (streamed) ----------------
+    banner("workload 1: 6000 streamed triangle queries (TriangleOracle, N = 16, d = 2)");
+    let config = CircuitConfig::binary(strassen.clone());
+    let t0 = Instant::now();
+    let oracle = TriangleOracle::new(&config, 16, 2, 8).unwrap();
+    println!(
+        "oracle compiled once: {} gates in {:.2}s",
+        oracle.circuit().circuit().num_gates(),
+        t0.elapsed().as_secs_f64()
+    );
+    let queries: Vec<Graph> = (0..6_000u64)
+        .map(|s| generators::erdos_renyi(16, 0.3, 10_000 + s))
+        .collect();
+    // Stream the encoded queries through the shared runtime: rows are packed
+    // into lane groups as they arrive, bounded-queue backpressure and all.
+    let padded: Vec<Vec<bool>> = queries
+        .iter()
+        .map(|g| {
+            let a = g.padded_adjacency_matrix(16);
+            let mut bits = vec![false; oracle.circuit().circuit().num_inputs()];
+            oracle.circuit().input().assign(&a, &mut bits).unwrap();
+            bits
+        })
+        .collect();
+    let t0 = Instant::now();
+    let responses = runtime
+        .serve_stream(oracle.circuit().compiled(), padded)
+        .unwrap();
+    let triangle_s = t0.elapsed().as_secs_f64();
+    let triangle_answers: Vec<bool> = responses.iter().map(|r| r.outputs[0]).collect();
+    let yes = triangle_answers.iter().filter(|&&b| b).count();
+    let mut mismatches = 0usize;
+    for (g, &got) in queries.iter().zip(&triangle_answers).take(256) {
+        if got != (triangles::count_node_iterator(g) >= oracle.tau_triangles()) {
+            mismatches += 1;
+        }
+    }
+    println!(
+        "6000 queries streamed in {:.2}s ({} yes / {} no), backend {:?}, \
+         mismatches vs exact counting (256 sampled): {mismatches}",
+        triangle_s,
+        yes,
+        6_000 - yes,
+        runtime
+            .backend_for(oracle.circuit().compiled(), 4096)
+            .unwrap(),
+    );
+
+    // ---- workload 2: batched matrix products ------------------------------
+    banner("workload 2: 3000 matrix products (Theorem 4.9, N = 4, 3-bit entries)");
+    let mm_config = CircuitConfig::new(strassen.clone(), 3);
+    let mm = MatmulCircuit::theorem_4_9(&mm_config, 4, 2).unwrap();
+    let pairs: Vec<_> = (0..3_000u64)
+        .map(|s| {
+            (
+                workload_matrix(4, 3, 2 * s + 1),
+                workload_matrix(4, 3, 2 * s + 2),
+            )
+        })
+        .collect();
+    let t0 = Instant::now();
+    let products = mm.evaluate_many_with(&runtime, &pairs).unwrap();
+    let matmul_s = t0.elapsed().as_secs_f64();
+    let mut mismatches = 0usize;
+    for ((a, b), c) in pairs.iter().zip(&products).take(256) {
+        if c != &a.multiply_naive(b).unwrap() {
+            mismatches += 1;
+        }
+    }
+    println!(
+        "3000 products in {:.2}s through a {}-gate circuit, backend {:?}, \
+         mismatches vs host arithmetic (256 sampled): {mismatches}",
+        matmul_s,
+        mm.circuit().num_gates(),
+        runtime.backend_for(mm.compiled(), 3_000).unwrap(),
+    );
+
+    // ---- workload 3: convnet inference ------------------------------------
+    banner("workload 3: 1000 images through an im2col convolution circuit");
+    let spec = ConvLayerSpec {
+        image_size: 4,
+        channels: 1,
+        kernel_size: 2,
+        num_kernels: 2,
+        stride: 2,
+    };
+    let kernels: Vec<Tensor3> = (0..spec.num_kernels as u64)
+        .map(|k| {
+            Tensor3::random(
+                spec.kernel_size,
+                spec.kernel_size,
+                spec.channels,
+                2,
+                900 + k,
+            )
+        })
+        .collect();
+    let images: Vec<Tensor3> = (0..1_000u64)
+        .map(|i| Tensor3::random(spec.image_size, spec.image_size, spec.channels, 2, i))
+        .collect();
+    let backend = MatmulBackend::ThresholdCircuit {
+        algorithm: strassen,
+        depth_parameter: 1,
+    };
+    let t0 = Instant::now();
+    let scores = conv_via_matmul_many_with(&runtime, &spec, &images, &kernels, &backend).unwrap();
+    let conv_s = t0.elapsed().as_secs_f64();
+    let mut mismatches = 0usize;
+    for (image, got) in images.iter().zip(&scores).take(256) {
+        if got != &conv_direct(&spec, image, &kernels) {
+            mismatches += 1;
+        }
+    }
+    println!(
+        "1000 images ({}x{} patches x {} kernels) in {:.2}s, \
+         mismatches vs direct convolution (256 sampled): {mismatches}",
+        spec.num_patches(),
+        spec.patch_len(),
+        spec.num_kernels,
+        conv_s,
+    );
+
+    // ---- the shared ledger -------------------------------------------------
+    banner("shared runtime telemetry across all three workloads");
+    let summary = runtime.telemetry();
+    let mut t = Table::new(["backend", "groups", "requests", "busy (s)"]);
+    for (name, tally) in &summary.per_backend {
+        t.row([
+            name.to_string(),
+            tally.groups.to_string(),
+            tally.requests.to_string(),
+            f(tally.busy_ns as f64 / 1e9),
+        ]);
+    }
+    t.print();
+    println!(
+        "total: {} requests in {} lane groups ({} padded tail lanes)\n\
+         gate-evals: {:.3e}  ({:.3e}/sec of backend busy time)\n\
+         firing energy: {} spikes total, {:.1} mean per request",
+        summary.requests,
+        summary.groups,
+        summary.padded_lanes,
+        summary.gate_evals as f64,
+        summary.gate_evals_per_sec(),
+        summary.firings,
+        summary.mean_firings(),
+    );
+    assert_eq!(
+        summary.requests, 10_000,
+        "the mixed workload is 10k requests"
+    );
+    println!("\nall 10k requests served by one runtime: one registry, one tuner, one ledger.");
+}

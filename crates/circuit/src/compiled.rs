@@ -46,22 +46,22 @@ pub const BATCH_LANES: usize = 64;
 
 /// Sentinel in `batch_planes` marking a gate that needs the wide (per-lane
 /// `i128`) fallback instead of the carry-save plane kernel.
-const WIDE_GATE: u8 = u8::MAX;
+pub(crate) const WIDE_GATE: u8 = u8::MAX;
 
 /// A [`Circuit`] lowered to flat CSR arrays with a precomputed layer
 /// schedule, hosting the scalar, layer-parallel and bit-sliced batch
 /// evaluators behind one API.
 #[derive(Debug, Clone)]
 pub struct CompiledCircuit {
-    num_inputs: usize,
+    pub(crate) num_inputs: usize,
     /// Gate fan-in offsets: edges of gate `g` are `offsets[g]..offsets[g+1]`.
-    offsets: Vec<u32>,
+    pub(crate) offsets: Vec<u32>,
     /// Slot-encoded fan-in wires, contiguous across gates.
-    wires: Vec<u32>,
+    pub(crate) wires: Vec<u32>,
     /// Fan-in weights, parallel to `wires`.
-    weights: Vec<i64>,
+    pub(crate) weights: Vec<i64>,
     /// Per-gate firing thresholds.
-    thresholds: Vec<i64>,
+    pub(crate) thresholds: Vec<i64>,
     /// Per-gate depth (1-based), in gate order.
     depths: Vec<u32>,
     /// Gate ids grouped by depth layer; `layer_ranges[d]` indexes into it.
@@ -69,17 +69,17 @@ pub struct CompiledCircuit {
     /// Half-open ranges of `schedule`, one per depth layer.
     layer_ranges: Vec<(u32, u32)>,
     /// Slot-encoded designated outputs.
-    outputs: Vec<u32>,
+    pub(crate) outputs: Vec<u32>,
     /// Per-gate flag: the weighted sum provably fits an `i64` accumulator.
     narrow: Vec<bool>,
     /// Bit-edge offsets for the batch kernel (CSR over decomposed weights).
-    bit_offsets: Vec<u32>,
+    pub(crate) bit_offsets: Vec<u32>,
     /// Slot of each bit-edge.
-    bit_slots: Vec<u32>,
+    pub(crate) bit_slots: Vec<u32>,
     /// Packed bit-edge descriptor: low 6 bits = shift, bit 7 = negative sign.
-    bit_shifts: Vec<u8>,
+    pub(crate) bit_shifts: Vec<u8>,
     /// Planes needed by the batch kernel per gate, or [`WIDE_GATE`].
-    batch_planes: Vec<u8>,
+    pub(crate) batch_planes: Vec<u8>,
 }
 
 #[inline]
@@ -249,6 +249,13 @@ impl CompiledCircuit {
     #[inline]
     pub fn num_edges(&self) -> usize {
         self.wires.len()
+    }
+
+    /// Total number of *bit-edges* — weights decomposed into set bits — the
+    /// unit of work of the bit-sliced batch kernels.
+    #[inline]
+    pub fn num_bit_edges(&self) -> usize {
+        self.bit_slots.len()
     }
 
     /// The maximum fan-in over all gates.
@@ -438,7 +445,7 @@ impl CompiledCircuit {
     }
 
     #[inline]
-    fn len_slots(&self) -> usize {
+    pub(crate) fn len_slots(&self) -> usize {
         1 + self.num_inputs + self.num_gates()
     }
 
@@ -555,6 +562,37 @@ impl CompiledCircuit {
         Ok(BatchEvaluation {
             lanes: batch.lanes,
             gate_masks,
+            output_masks,
+            firing_counts,
+        })
+    }
+
+    /// Evaluates any number of independent input assignments, riding the
+    /// bit-sliced 64-lane kernel in full lane groups with a single ragged-tail
+    /// path for the final partial group.
+    ///
+    /// Callers no longer hand-chunk batches of exactly 64: any batch size
+    /// (including empty) is accepted, and the returned [`ManyEvaluation`]
+    /// addresses results by request index. Request `i`'s outputs and firing
+    /// count are bit-identical to `evaluate(&rows[i])`. Each group's
+    /// per-gate state is dropped as soon as its outputs are extracted, so
+    /// peak memory stays at one group regardless of batch size (callers that
+    /// need full per-gate evaluations use the batch kernels directly).
+    pub fn evaluate_many<R: AsRef<[bool]>>(&self, rows: &[R]) -> Result<ManyEvaluation> {
+        let num_outputs = self.outputs.len();
+        let mut output_masks = Vec::with_capacity(rows.len().div_ceil(BATCH_LANES) * num_outputs);
+        let mut firing_counts = Vec::with_capacity(rows.len());
+        for chunk in rows.chunks(BATCH_LANES) {
+            let batch = Batch64::pack(self.num_inputs, chunk)?;
+            let bev = self.evaluate_batch64(&batch)?;
+            output_masks.extend_from_slice(bev.output_masks());
+            for lane in 0..chunk.len() {
+                firing_counts.push(bev.firing_count(lane)?);
+            }
+        }
+        Ok(ManyEvaluation {
+            requests: rows.len(),
+            num_outputs,
             output_masks,
             firing_counts,
         })
@@ -739,6 +777,79 @@ impl BatchEvaluation {
             self.gate_values(lane)?,
             self.outputs(lane)?,
         ))
+    }
+}
+
+/// The result of [`CompiledCircuit::evaluate_many`]: any number of requests
+/// evaluated through full 64-lane groups plus one ragged tail, addressed by
+/// request index.
+///
+/// Holds only the designated-output lane masks and per-request firing
+/// counts — the serving payload — never the per-gate state, so memory is
+/// proportional to requests × outputs rather than requests × gates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManyEvaluation {
+    requests: usize,
+    num_outputs: usize,
+    /// Group-major output lane masks: group `g`'s masks occupy
+    /// `output_masks[g*num_outputs..(g+1)*num_outputs]`.
+    output_masks: Vec<u64>,
+    firing_counts: Vec<u32>,
+}
+
+impl ManyEvaluation {
+    /// Number of requests evaluated.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.requests
+    }
+
+    /// `true` when the batch held no requests at all.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.requests == 0
+    }
+
+    fn check_request(&self, request: usize) -> Result<()> {
+        if request >= self.requests {
+            return Err(CircuitError::LaneOutOfRange {
+                lane: request,
+                lanes: self.requests,
+            });
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn mask_bit(&self, request: usize, i: usize) -> bool {
+        let mask = self.output_masks[(request / BATCH_LANES) * self.num_outputs + i];
+        (mask >> (request % BATCH_LANES)) & 1 == 1
+    }
+
+    /// The value of output `i` for request `request`.
+    pub fn output(&self, request: usize, i: usize) -> Result<bool> {
+        self.check_request(request)?;
+        if i >= self.num_outputs {
+            return Err(CircuitError::OutputIndexOutOfRange {
+                index: i,
+                len: self.num_outputs,
+            });
+        }
+        Ok(self.mask_bit(request, i))
+    }
+
+    /// All designated output values for request `request`.
+    pub fn outputs(&self, request: usize) -> Result<Vec<bool>> {
+        self.check_request(request)?;
+        Ok((0..self.num_outputs)
+            .map(|i| self.mask_bit(request, i))
+            .collect())
+    }
+
+    /// Number of gates that fired for request `request`.
+    pub fn firing_count(&self, request: usize) -> Result<u32> {
+        self.check_request(request)?;
+        Ok(self.firing_counts[request])
     }
 }
 

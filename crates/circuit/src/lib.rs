@@ -72,16 +72,18 @@ mod eval;
 mod gate;
 mod stats;
 mod validate;
+mod wide;
 mod wire;
 
 pub use builder::{CircuitBuilder, DedupPolicy};
 pub use circuit::Circuit;
-pub use compiled::{Batch64, BatchEvaluation, CompiledCircuit, BATCH_LANES};
+pub use compiled::{Batch64, BatchEvaluation, CompiledCircuit, ManyEvaluation, BATCH_LANES};
 pub use error::CircuitError;
 pub use eval::{EvalOptions, Evaluation};
 pub use gate::ThresholdGate;
 pub use stats::{CircuitStats, LayerStats};
 pub use validate::ValidationReport;
+pub use wide::{Batch128, Batch256, Batch512, BatchWide, WideEvaluation};
 pub use wire::Wire;
 
 /// Result alias used throughout the crate.

@@ -1,10 +1,14 @@
 //! Differential property tests for the compiled CSR engine: the scalar,
-//! layer-parallel, and bit-sliced `evaluate_batch64` evaluators must agree
-//! gate-for-gate — values, outputs, and firing counts — on randomly
-//! generated layered circuits, including negative weights and `Wire::One`.
+//! layer-parallel, bit-sliced `evaluate_batch64`, and width-generic
+//! 128/256/512-lane evaluators must agree gate-for-gate — values, outputs,
+//! and firing counts — on randomly generated layered circuits, including
+//! negative weights, `Wire::One`, ragged-tail lane counts, and empty
+//! batches.
 
 use proptest::prelude::*;
-use tc_circuit::{Batch64, CircuitBuilder, EvalOptions, Wire, BATCH_LANES};
+use tc_circuit::{
+    Batch64, BatchWide, CircuitBuilder, CompiledCircuit, EvalOptions, Wire, BATCH_LANES,
+};
 
 /// A generated circuit description: `(num_inputs, gates)` with each gate
 /// given as `(fan-in (wire ordinal, weight) pairs, threshold)`.
@@ -77,6 +81,48 @@ fn random_rows(num_inputs: usize, rows: usize, mut state: u64) -> Vec<Vec<bool>>
         .collect()
 }
 
+/// Asserts the width-`W` wide evaluator is bit-identical to the scalar
+/// evaluator — gate values, outputs, and firing counts — on `rows`, which
+/// may be empty or any ragged lane count up to `64·W`.
+fn assert_wide_agrees<const W: usize>(
+    compiled: &CompiledCircuit,
+    rows: &[Vec<bool>],
+) -> Result<(), String> {
+    let batch = BatchWide::<W>::pack(compiled.num_inputs(), rows).unwrap();
+    prop_assert_eq!(batch.lanes(), rows.len());
+    let wev = compiled.evaluate_batch_wide(&batch).unwrap();
+    prop_assert_eq!(wev.lanes(), rows.len());
+    prop_assert!(
+        wev.output(rows.len(), 0).is_err(),
+        "dead lanes must be unreachable"
+    );
+    for (lane, row) in rows.iter().enumerate() {
+        let scalar = compiled.evaluate(row).unwrap();
+        prop_assert_eq!(
+            scalar.gate_values(),
+            wev.gate_values(lane).unwrap().as_slice(),
+            "wide{} gate values disagree on lane {}",
+            64 * W,
+            lane
+        );
+        prop_assert_eq!(
+            scalar.outputs(),
+            wev.outputs(lane).unwrap().as_slice(),
+            "wide{} outputs disagree on lane {}",
+            64 * W,
+            lane
+        );
+        prop_assert_eq!(
+            scalar.firing_count(),
+            wev.firing_count(lane).unwrap() as usize,
+            "wide{} firing count disagrees on lane {}",
+            64 * W,
+            lane
+        );
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -113,6 +159,52 @@ proptest! {
                 scalar.firing_count(),
                 bev.firing_count(lane).unwrap() as usize,
                 "batch firing count disagrees on lane {}", lane
+            );
+        }
+    }
+
+    /// The wide 128/256/512-lane backends agree gate-for-gate with scalar,
+    /// including ragged-tail lane counts and the empty batch (`width == 0`).
+    #[test]
+    fn wide_lanes_agree_with_scalar((num_inputs, spec) in circuit_spec(),
+                                    seed in any::<u64>(),
+                                    width in 0usize..513) {
+        let circuit = build_circuit(num_inputs, &spec);
+        let compiled = circuit.compile().unwrap();
+        let rows = random_rows(num_inputs, width, seed);
+        if width <= 128 {
+            assert_wide_agrees::<2>(&compiled, &rows)?;
+        }
+        if width <= 256 {
+            assert_wide_agrees::<4>(&compiled, &rows)?;
+        }
+        assert_wide_agrees::<8>(&compiled, &rows)?;
+    }
+
+    /// The padded-tail `evaluate_many` path matches per-request scalar
+    /// evaluation for any batch size, including empty.
+    #[test]
+    fn evaluate_many_handles_any_batch_size((num_inputs, spec) in circuit_spec(),
+                                            seed in any::<u64>(),
+                                            requests in 0usize..200) {
+        let circuit = build_circuit(num_inputs, &spec);
+        let compiled = circuit.compile().unwrap();
+        let rows = random_rows(num_inputs, requests, seed);
+        let many = compiled.evaluate_many(&rows).unwrap();
+        prop_assert_eq!(many.len(), requests);
+        prop_assert_eq!(many.is_empty(), requests == 0);
+        prop_assert!(many.outputs(requests).is_err(), "out-of-range request must error");
+        for (i, row) in rows.iter().enumerate() {
+            let scalar = compiled.evaluate(row).unwrap();
+            prop_assert_eq!(
+                scalar.outputs(),
+                many.outputs(i).unwrap().as_slice(),
+                "outputs disagree on request {}", i
+            );
+            prop_assert_eq!(
+                scalar.firing_count(),
+                many.firing_count(i).unwrap() as usize,
+                "request {}", i
             );
         }
     }

@@ -1,6 +1,7 @@
 //! Pluggable matrix-multiplication backends for the convolution workload.
 
 use fast_matmul::{recursive, BilinearAlgorithm, Matrix};
+use tc_runtime::Runtime;
 use tcmm_core::{matmul::MatmulCircuit, CircuitConfig};
 
 /// How the im2col matrix multiplication is carried out.
@@ -51,6 +52,78 @@ impl MatmulBackend {
                 let circuit = MatmulCircuit::theorem_4_9(&config, n, *depth_parameter)?;
                 let full = circuit.evaluate(&pa, &pb)?;
                 Ok(full.cropped(a.rows(), b.cols()))
+            }
+        }
+    }
+
+    /// Multiplies many matrix pairs with this backend.
+    ///
+    /// The host-side backends loop over [`MatmulBackend::multiply`]; the
+    /// threshold-circuit backend instead generates **one** circuit covering
+    /// the largest pair and routes every product through its serving runtime
+    /// (bit-sliced lane groups, worker sharding) — the compile-once /
+    /// evaluate-many shape batched convnet inference needs.
+    pub fn multiply_many(
+        &self,
+        pairs: &[(Matrix, Matrix)],
+    ) -> Result<Vec<Matrix>, Box<dyn std::error::Error>> {
+        self.multiply_many_inner(pairs, None)
+    }
+
+    /// Like [`MatmulBackend::multiply_many`] but circuit evaluation runs on
+    /// a caller-provided (typically shared) [`Runtime`]. The host-side
+    /// backends ignore the runtime.
+    pub fn multiply_many_with(
+        &self,
+        runtime: &Runtime,
+        pairs: &[(Matrix, Matrix)],
+    ) -> Result<Vec<Matrix>, Box<dyn std::error::Error>> {
+        self.multiply_many_inner(pairs, Some(runtime))
+    }
+
+    fn multiply_many_inner(
+        &self,
+        pairs: &[(Matrix, Matrix)],
+        runtime: Option<&Runtime>,
+    ) -> Result<Vec<Matrix>, Box<dyn std::error::Error>> {
+        match self {
+            MatmulBackend::Naive | MatmulBackend::Fast { .. } => {
+                pairs.iter().map(|(a, b)| self.multiply(a, b)).collect()
+            }
+            MatmulBackend::ThresholdCircuit {
+                algorithm,
+                depth_parameter,
+            } => {
+                if pairs.is_empty() {
+                    return Ok(Vec::new());
+                }
+                let raw = pairs
+                    .iter()
+                    .map(|(a, b)| a.rows().max(a.cols()).max(b.cols()).max(b.rows()))
+                    .max()
+                    .expect("pairs is non-empty");
+                let n = recursive::next_power_of(algorithm.t(), raw.max(algorithm.t()));
+                let padded: Vec<(Matrix, Matrix)> = pairs
+                    .iter()
+                    .map(|(a, b)| (a.padded(n, n), b.padded(n, n)))
+                    .collect();
+                let bits = padded
+                    .iter()
+                    .map(|(a, b)| a.entry_bits().max(b.entry_bits()))
+                    .max()
+                    .expect("pairs is non-empty")
+                    .max(1) as usize;
+                let config = CircuitConfig::new(algorithm.clone(), bits);
+                let circuit = MatmulCircuit::theorem_4_9(&config, n, *depth_parameter)?;
+                let products = match runtime {
+                    Some(rt) => circuit.evaluate_many_with(rt, &padded)?,
+                    None => circuit.evaluate_many(&padded)?,
+                };
+                Ok(pairs
+                    .iter()
+                    .zip(products)
+                    .map(|((a, b), full)| full.cropped(a.rows(), b.cols()))
+                    .collect())
             }
         }
     }

@@ -2,6 +2,7 @@
 
 use crate::{im2col, kernel_matrix, MatmulBackend, Tensor3};
 use fast_matmul::Matrix;
+use tc_runtime::Runtime;
 
 /// The geometry of a convolutional layer, following the description in Section 5: an
 /// `n × n` image with `ℓ` channels, `K` kernels of spatial size `q × q`, applied with a
@@ -90,6 +91,46 @@ pub fn conv_via_matmul(
     backend.multiply(&patches, &kmat)
 }
 
+/// Batched convnet inference: convolves every image with the same kernels,
+/// returning one `P × K` score matrix per image.
+///
+/// With the threshold-circuit backend this is the serving path: one circuit
+/// is generated for the layer geometry and every image's im2col product
+/// rides the runtime's bit-sliced lane groups
+/// ([`MatmulBackend::multiply_many`]).
+pub fn conv_via_matmul_many(
+    spec: &ConvLayerSpec,
+    images: &[Tensor3],
+    kernels: &[Tensor3],
+    backend: &MatmulBackend,
+) -> Result<Vec<Matrix>, Box<dyn std::error::Error>> {
+    backend.multiply_many(&conv_pairs(spec, images, kernels))
+}
+
+/// Like [`conv_via_matmul_many`] but circuit evaluation runs on a
+/// caller-provided (typically shared) [`Runtime`].
+pub fn conv_via_matmul_many_with(
+    runtime: &Runtime,
+    spec: &ConvLayerSpec,
+    images: &[Tensor3],
+    kernels: &[Tensor3],
+    backend: &MatmulBackend,
+) -> Result<Vec<Matrix>, Box<dyn std::error::Error>> {
+    backend.multiply_many_with(runtime, &conv_pairs(spec, images, kernels))
+}
+
+fn conv_pairs(
+    spec: &ConvLayerSpec,
+    images: &[Tensor3],
+    kernels: &[Tensor3],
+) -> Vec<(Matrix, Matrix)> {
+    let kmat = kernel_matrix(spec, kernels);
+    images
+        .iter()
+        .map(|image| (im2col(spec, image), kmat.clone()))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,5 +175,49 @@ mod tests {
         assert_eq!(out.rows(), 4);
         assert_eq!(out.get(0, 0), 1 + 3 + 4);
         assert_eq!(out.get(3, 0), 4 + 5 + 7 + 8);
+    }
+
+    #[test]
+    fn batched_inference_matches_direct_convolution() {
+        let s = ConvLayerSpec {
+            image_size: 4,
+            channels: 1,
+            kernel_size: 2,
+            num_kernels: 2,
+            stride: 2,
+        };
+        let kernels: Vec<Tensor3> = (0..s.num_kernels as u64)
+            .map(|k| Tensor3::random(s.kernel_size, s.kernel_size, s.channels, 2, 100 + k))
+            .collect();
+        let images: Vec<Tensor3> = (0..70u64)
+            .map(|i| Tensor3::random(s.image_size, s.image_size, s.channels, 2, i))
+            .collect();
+        let backend = MatmulBackend::ThresholdCircuit {
+            algorithm: fast_matmul::BilinearAlgorithm::strassen(),
+            depth_parameter: 1,
+        };
+        let shared = Runtime::builder().fixed_backend("sliced64").build();
+        let batched = conv_via_matmul_many(&s, &images, &kernels, &backend).unwrap();
+        let on_shared =
+            conv_via_matmul_many_with(&shared, &s, &images, &kernels, &backend).unwrap();
+        assert_eq!(batched, on_shared);
+        assert_eq!(shared.telemetry().requests, 70);
+        for (image, got) in images.iter().zip(&batched) {
+            assert_eq!(got, &conv_direct(&s, image, &kernels));
+        }
+    }
+
+    #[test]
+    fn empty_image_batches_are_served_trivially() {
+        let s = spec();
+        let kernels: Vec<Tensor3> = (0..s.num_kernels as u64)
+            .map(|k| Tensor3::random(s.kernel_size, s.kernel_size, s.channels, 1, k))
+            .collect();
+        let backend = MatmulBackend::ThresholdCircuit {
+            algorithm: fast_matmul::BilinearAlgorithm::strassen(),
+            depth_parameter: 1,
+        };
+        let out = conv_via_matmul_many(&s, &[], &kernels, &backend).unwrap();
+        assert!(out.is_empty());
     }
 }

@@ -13,7 +13,10 @@
 //! * [`conv_direct`] — a direct (sliding-window) reference convolution;
 //! * [`conv_via_matmul`] — convolution through any matrix-multiplication backend
 //!   ([`MatmulBackend`]): the naive product, a recursive fast algorithm, or an actual
-//!   threshold circuit from `tcmm-core`.
+//!   threshold circuit from `tcmm-core`;
+//! * [`conv_via_matmul_many`] — batched inference: one circuit per layer geometry,
+//!   every image's product served through the `tc_runtime` lane-group scheduler
+//!   (share a runtime across workloads with [`conv_via_matmul_many_with`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -25,5 +28,7 @@ mod tensor;
 
 pub use backend::MatmulBackend;
 pub use im2col::{im2col, kernel_matrix};
-pub use layer::{conv_direct, conv_via_matmul, ConvLayerSpec};
+pub use layer::{
+    conv_direct, conv_via_matmul, conv_via_matmul_many, conv_via_matmul_many_with, ConvLayerSpec,
+};
 pub use tensor::Tensor3;

@@ -11,6 +11,8 @@ pub enum CoreError {
     Arith(tc_arith::ArithError),
     /// An error from the matrix / bilinear-algorithm substrate.
     Matmul(fast_matmul::MatmulError),
+    /// An error from the serving runtime.
+    Runtime(tc_runtime::RuntimeError),
     /// The matrix dimension is not a power of the algorithm's base dimension `T`.
     ///
     /// The circuit generators do not pad automatically (the paper assumes `N = T^l`);
@@ -49,6 +51,7 @@ impl fmt::Display for CoreError {
             CoreError::Circuit(e) => write!(f, "circuit error: {e}"),
             CoreError::Arith(e) => write!(f, "arithmetic construction error: {e}"),
             CoreError::Matmul(e) => write!(f, "matrix error: {e}"),
+            CoreError::Runtime(e) => write!(f, "serving runtime error: {e}"),
             CoreError::DimensionNotPowerOfBase { n, base } => {
                 write!(
                     f,
@@ -76,6 +79,7 @@ impl std::error::Error for CoreError {
             CoreError::Circuit(e) => Some(e),
             CoreError::Arith(e) => Some(e),
             CoreError::Matmul(e) => Some(e),
+            CoreError::Runtime(e) => Some(e),
             _ => None,
         }
     }
@@ -96,6 +100,17 @@ impl From<tc_arith::ArithError> for CoreError {
 impl From<fast_matmul::MatmulError> for CoreError {
     fn from(e: fast_matmul::MatmulError) -> Self {
         CoreError::Matmul(e)
+    }
+}
+
+impl From<tc_runtime::RuntimeError> for CoreError {
+    fn from(e: tc_runtime::RuntimeError) -> Self {
+        // Flatten wrapped circuit errors so callers keep matching on
+        // `CoreError::Circuit` regardless of which serving path raised them.
+        match e {
+            tc_runtime::RuntimeError::Circuit(inner) => CoreError::Circuit(inner),
+            other => CoreError::Runtime(other),
+        }
     }
 }
 

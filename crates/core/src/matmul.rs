@@ -13,9 +13,8 @@ use crate::tree::{coefficient_table, combine_product_tree, compute_tree_leaves, 
 use crate::{CircuitConfig, CoreError, Result};
 use fast_matmul::Matrix;
 use tc_arith::{product_signed_repr, InputAllocator, Repr, SignedInt};
-use tc_circuit::{
-    Batch64, Circuit, CircuitBuilder, CircuitStats, CompiledCircuit, EvalOptions, BATCH_LANES,
-};
+use tc_circuit::{Circuit, CircuitBuilder, CircuitStats, CompiledCircuit, EvalOptions};
+use tc_runtime::{Detail, Runtime};
 
 /// A constant-depth threshold circuit computing the product of two `N×N` integer
 /// matrices with bounded-width entries.
@@ -23,6 +22,8 @@ use tc_circuit::{
 /// The circuit is lowered to its compiled CSR form once at construction;
 /// every evaluation entry point (scalar, parallel, batched) runs off that
 /// form, so multiplying many matrix pairs never rebuilds per-gate state.
+/// Batched products route through an embedded [`Runtime`];
+/// [`MatmulCircuit::evaluate_many_with`] accepts a shared one.
 #[derive(Debug)]
 pub struct MatmulCircuit {
     circuit: Circuit,
@@ -32,6 +33,7 @@ pub struct MatmulCircuit {
     output: Vec<SignedInt>,
     n: usize,
     schedule: LevelSchedule,
+    runtime: Runtime,
 }
 
 impl MatmulCircuit {
@@ -86,6 +88,7 @@ impl MatmulCircuit {
             output,
             n,
             schedule,
+            runtime: Runtime::new(),
         })
     }
 
@@ -168,23 +171,50 @@ impl MatmulCircuit {
         Ok(self.decode(&bits, &ev))
     }
 
-    /// Multiplies many matrix pairs in one pass, 64 pairs per bit-sliced
-    /// batch evaluation.
+    /// Multiplies many matrix pairs through the embedded serving runtime:
+    /// pairs ride bit-sliced lane groups (64–512 lanes per pass, auto-tuned)
+    /// sharded across worker threads.
     pub fn evaluate_many(&self, pairs: &[(Matrix, Matrix)]) -> Result<Vec<Matrix>> {
+        self.evaluate_many_with(&self.runtime, pairs)
+    }
+
+    /// Like [`MatmulCircuit::evaluate_many`] but on a caller-provided
+    /// (typically shared) [`Runtime`].
+    pub fn evaluate_many_with(
+        &self,
+        runtime: &Runtime,
+        pairs: &[(Matrix, Matrix)],
+    ) -> Result<Vec<Matrix>> {
+        // Decoding the product reads interior wires, so responses must carry
+        // the full per-gate evaluation (Detail::Full). Those are num_gates
+        // bools each — serve in bounded windows and decode/drop each window
+        // so peak memory never grows with the total pair count. The window
+        // shrinks with circuit size (~128 MB of evaluations at most) but
+        // always holds at least one full 64-lane group.
+        let window_len = ((128usize << 20) / self.compiled.num_gates().max(1)).clamp(64, 2048);
         let mut products = Vec::with_capacity(pairs.len());
-        for chunk in pairs.chunks(BATCH_LANES) {
-            let mut rows = Vec::with_capacity(chunk.len());
-            for (a, b) in chunk {
+        for window in pairs.chunks(window_len) {
+            let mut rows = Vec::with_capacity(window.len());
+            for (a, b) in window {
                 rows.push(self.encode(a, b)?);
             }
-            let batch = Batch64::pack(self.compiled.num_inputs(), &rows)?;
-            let bev = self.compiled.evaluate_batch64(&batch)?;
-            for (lane, bits) in rows.iter().enumerate() {
-                let ev = bev.evaluation(lane)?;
-                products.push(self.decode(bits, &ev));
+            let responses = runtime
+                .serve_batch_detailed(&self.compiled, &rows, Detail::Full)
+                .map_err(crate::CoreError::from)?;
+            for (bits, response) in rows.iter().zip(&responses) {
+                let ev = response
+                    .evaluation
+                    .as_ref()
+                    .expect("Detail::Full responses carry the evaluation");
+                products.push(self.decode(bits, ev));
             }
         }
         Ok(products)
+    }
+
+    /// The embedded serving runtime (telemetry, backend registry).
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
     }
 
     fn encode(&self, a: &Matrix, b: &Matrix) -> Result<Vec<bool>> {

@@ -18,9 +18,7 @@ use tc_arith::{
     product3_signed_repr, product_signed_repr, repr_to_signed, threshold_of_repr, InputAllocator,
     Repr, SignedInt,
 };
-use tc_circuit::{
-    Batch64, Circuit, CircuitBuilder, CircuitStats, CompiledCircuit, Wire, BATCH_LANES,
-};
+use tc_circuit::{Circuit, CircuitBuilder, CircuitStats, CompiledCircuit, Wire};
 
 /// The depth-2, `C(N,3) + 1`-gate triangle-threshold circuit from Section 1.
 ///
@@ -95,22 +93,17 @@ impl NaiveTriangleCircuit {
         Ok(ev.outputs()[0])
     }
 
-    /// Answers the triangle-threshold query for many graphs in one pass,
-    /// 64 adjacency matrices per bit-sliced batch evaluation.
+    /// Answers the triangle-threshold query for many graphs through the
+    /// compiled engine's padded-tail batch path ([`CompiledCircuit::evaluate_many`]).
     pub fn evaluate_many(&self, adjacencies: &[Matrix]) -> Result<Vec<bool>> {
-        let mut answers = Vec::with_capacity(adjacencies.len());
-        for chunk in adjacencies.chunks(BATCH_LANES) {
-            let mut rows = Vec::with_capacity(chunk.len());
-            for a in chunk {
-                rows.push(self.encode(a)?);
-            }
-            let batch = Batch64::pack(self.compiled.num_inputs(), &rows)?;
-            let bev = self.compiled.evaluate_batch64(&batch)?;
-            for lane in 0..chunk.len() {
-                answers.push(bev.output(lane, 0)?);
-            }
+        let mut rows = Vec::with_capacity(adjacencies.len());
+        for a in adjacencies {
+            rows.push(self.encode(a)?);
         }
-        Ok(answers)
+        let many = self.compiled.evaluate_many(&rows)?;
+        (0..rows.len())
+            .map(|i| many.output(i, 0).map_err(CoreError::from))
+            .collect()
     }
 
     /// The compiled CSR form shared by every evaluation entry point.
@@ -212,21 +205,17 @@ impl NaiveTraceCircuit {
         Ok(ev.outputs()[0])
     }
 
-    /// Answers the trace-threshold query for many matrices in one pass.
+    /// Answers the trace-threshold query for many matrices through the
+    /// compiled engine's padded-tail batch path ([`CompiledCircuit::evaluate_many`]).
     pub fn evaluate_many(&self, matrices: &[Matrix]) -> Result<Vec<bool>> {
-        let mut answers = Vec::with_capacity(matrices.len());
-        for chunk in matrices.chunks(BATCH_LANES) {
-            let mut rows = Vec::with_capacity(chunk.len());
-            for a in chunk {
-                rows.push(self.encode(a)?);
-            }
-            let batch = Batch64::pack(self.compiled.num_inputs(), &rows)?;
-            let bev = self.compiled.evaluate_batch64(&batch)?;
-            for lane in 0..chunk.len() {
-                answers.push(bev.output(lane, 0)?);
-            }
+        let mut rows = Vec::with_capacity(matrices.len());
+        for a in matrices {
+            rows.push(self.encode(a)?);
         }
-        Ok(answers)
+        let many = self.compiled.evaluate_many(&rows)?;
+        (0..rows.len())
+            .map(|i| many.output(i, 0).map_err(CoreError::from))
+            .collect()
     }
 
     fn encode(&self, a: &Matrix) -> Result<Vec<bool>> {

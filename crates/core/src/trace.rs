@@ -23,14 +23,18 @@ use crate::tree::{coefficient_table, compute_tree_leaves, zero_signed, TreeKind}
 use crate::{CircuitConfig, CoreError, Result};
 use fast_matmul::Matrix;
 use tc_arith::{product3_signed_repr, threshold_of_repr, InputAllocator, Repr, SignedInt};
-use tc_circuit::{Batch64, Circuit, CircuitBuilder, CircuitStats, CompiledCircuit, BATCH_LANES};
+use tc_circuit::{Circuit, CircuitBuilder, CircuitStats, CompiledCircuit};
+use tc_runtime::Runtime;
 
 /// A constant-depth threshold circuit deciding `trace(A³) ≥ τ` for symmetric
 /// zero-diagonal integer matrices `A`.
 ///
 /// The circuit is lowered to its compiled CSR form once at construction;
 /// every evaluation entry point (scalar, parallel, batched) runs off that
-/// form, so issuing many queries never rebuilds per-gate state.
+/// form, so issuing many queries never rebuilds per-gate state. Batched
+/// queries route through an embedded [`Runtime`] (auto-tuned backend choice,
+/// worker-sharded lane groups); [`TraceCircuit::evaluate_many_with`] accepts
+/// a shared runtime instead, so one runtime can serve many circuits.
 #[derive(Debug)]
 pub struct TraceCircuit {
     circuit: Circuit,
@@ -38,6 +42,7 @@ pub struct TraceCircuit {
     input: MatrixInput,
     tau: i64,
     schedule: LevelSchedule,
+    runtime: Runtime,
 }
 
 impl TraceCircuit {
@@ -107,6 +112,7 @@ impl TraceCircuit {
             input,
             tau,
             schedule,
+            runtime: Runtime::new(),
         })
     }
 
@@ -176,26 +182,34 @@ impl TraceCircuit {
         Ok(ev.outputs()[0])
     }
 
-    /// Answers the trace-threshold query for many matrices in one pass.
+    /// Answers the trace-threshold query for many matrices through the
+    /// embedded serving runtime.
     ///
-    /// Matrices ride through the bit-sliced batch evaluator 64 at a time, so
-    /// asking 10k queries costs ~160 passes over the compiled circuit instead
-    /// of 10k scalar evaluations.
+    /// The runtime packs queries into full bit-sliced lane groups (64–512
+    /// lanes per pass, auto-tuned per batch size), shards groups across
+    /// worker threads, and rides ragged tails through the same path — so
+    /// asking 10k queries costs a few dozen wide passes over the compiled
+    /// circuit instead of 10k scalar evaluations.
     pub fn evaluate_many(&self, matrices: &[Matrix]) -> Result<Vec<bool>> {
-        let mut answers = Vec::with_capacity(matrices.len());
-        for chunk in matrices.chunks(BATCH_LANES) {
-            let mut rows = Vec::with_capacity(chunk.len());
-            for a in chunk {
-                rows.push(self.encode(a)?);
-            }
-            let batch =
-                Batch64::pack(self.compiled.num_inputs(), &rows).map_err(crate::CoreError::from)?;
-            let bev = self.compiled.evaluate_batch64(&batch)?;
-            for lane in 0..chunk.len() {
-                answers.push(bev.output(lane, 0)?);
-            }
+        self.evaluate_many_with(&self.runtime, matrices)
+    }
+
+    /// Like [`TraceCircuit::evaluate_many`] but on a caller-provided
+    /// (typically shared) [`Runtime`].
+    pub fn evaluate_many_with(&self, runtime: &Runtime, matrices: &[Matrix]) -> Result<Vec<bool>> {
+        let mut rows = Vec::with_capacity(matrices.len());
+        for a in matrices {
+            rows.push(self.encode(a)?);
         }
-        Ok(answers)
+        let responses = runtime
+            .serve_batch(&self.compiled, &rows)
+            .map_err(crate::CoreError::from)?;
+        Ok(responses.into_iter().map(|r| r.outputs[0]).collect())
+    }
+
+    /// The embedded serving runtime (telemetry, backend registry).
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
     }
 
     fn encode(&self, a: &Matrix) -> Result<Vec<bool>> {

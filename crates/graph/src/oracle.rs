@@ -5,10 +5,12 @@
 //! form "does this graph have at least τ triangles?".  Serving such queries
 //! at volume means the circuit must be built **once** and then evaluated
 //! many times; [`TriangleOracle`] wraps a [`TraceCircuit`] (already lowered
-//! to its compiled CSR form) and answers queries for entire graph
-//! collections through the bit-sliced 64-lane batch evaluator.
+//! to its compiled CSR form) and routes whole graph collections through the
+//! `tc_runtime` serving runtime — auto-tuned bit-sliced lane groups sharded
+//! across worker threads.
 
 use crate::Graph;
+use tc_runtime::Runtime;
 use tcmm_core::trace::TraceCircuit;
 use tcmm_core::{CircuitConfig, CoreError};
 
@@ -79,15 +81,30 @@ impl TriangleOracle {
             .evaluate(&g.padded_adjacency_matrix(self.padded_n))
     }
 
-    /// Answers the query for a whole collection of graphs, 64 per pass of
-    /// the bit-sliced batch evaluator.
+    /// Answers the query for a whole collection of graphs through the trace
+    /// circuit's embedded serving runtime.
     pub fn query_many(&self, graphs: &[Graph]) -> Result<Vec<bool>, CoreError> {
+        self.query_many_with(self.circuit.runtime(), graphs)
+    }
+
+    /// Like [`TriangleOracle::query_many`] but on a caller-provided
+    /// (typically shared) [`Runtime`].
+    pub fn query_many_with(
+        &self,
+        runtime: &Runtime,
+        graphs: &[Graph],
+    ) -> Result<Vec<bool>, CoreError> {
         let mut padded = Vec::with_capacity(graphs.len());
         for g in graphs {
             self.check(g)?;
             padded.push(g.padded_adjacency_matrix(self.padded_n));
         }
-        self.circuit.evaluate_many(&padded)
+        self.circuit.evaluate_many_with(runtime, &padded)
+    }
+
+    /// The serving runtime batched queries run on (telemetry, registry).
+    pub fn runtime(&self) -> &Runtime {
+        self.circuit.runtime()
     }
 
     fn check(&self, g: &Graph) -> Result<(), CoreError> {
@@ -120,6 +137,22 @@ mod tests {
             assert_eq!(got, oracle.query(g).unwrap());
         }
         assert!(answers.iter().any(|&b| b) && answers.iter().any(|&b| !b));
+    }
+
+    #[test]
+    fn shared_runtime_serves_the_oracle_and_reports_telemetry() {
+        let config = CircuitConfig::binary(BilinearAlgorithm::strassen());
+        let oracle = TriangleOracle::new(&config, 8, 2, 3).unwrap();
+        let shared = Runtime::builder().fixed_backend("wide128").build();
+        let graphs: Vec<Graph> = (0..150)
+            .map(|seed| generators::erdos_renyi(6, 0.5, seed))
+            .collect();
+        let answers = oracle.query_many_with(&shared, &graphs).unwrap();
+        assert_eq!(answers, oracle.query_many(&graphs).unwrap());
+        let summary = shared.telemetry();
+        assert_eq!(summary.requests, 150);
+        assert_eq!(summary.per_backend["wide128"].groups, 2); // 128 + 22-lane tail
+        assert!(summary.firings > 0);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! quantity on concrete evaluations.
 
 use crate::DeviceSpec;
-use tc_circuit::{Batch64, Circuit, CircuitError, CompiledCircuit, Evaluation, BATCH_LANES};
+use tc_circuit::{Circuit, CircuitError, CompiledCircuit, Evaluation};
+use tc_runtime::{Runtime, RuntimeError};
 
 /// Energy accounting for one or more evaluations of a circuit.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,22 +53,37 @@ pub fn energy_over_inputs(
 /// Measures firing-based energy over a set of input assignments on an
 /// already-compiled circuit.
 ///
-/// Assignments ride through the bit-sliced batch evaluator 64 at a time, so
-/// the firing counts for a whole input set cost a handful of passes over the
-/// CSR arrays rather than one full evaluation per assignment.
+/// Assignments ride the compiled engine's padded-tail batch path
+/// ([`CompiledCircuit::evaluate_many`]), so the firing counts for a whole
+/// input set cost a handful of bit-sliced passes over the CSR arrays rather
+/// than one full evaluation per assignment.
 pub fn energy_over_inputs_compiled(
     compiled: &CompiledCircuit,
     device: &DeviceSpec,
     inputs: &[Vec<bool>],
 ) -> Result<EnergyReport, CircuitError> {
-    let mut counts: Vec<u64> = Vec::with_capacity(inputs.len());
-    for chunk in inputs.chunks(BATCH_LANES) {
-        let batch = Batch64::pack(compiled.num_inputs(), chunk)?;
-        let bev = compiled.evaluate_batch64(&batch)?;
-        for lane in 0..chunk.len() {
-            counts.push(bev.firing_count(lane)? as u64);
-        }
-    }
+    let many = compiled.evaluate_many(inputs)?;
+    let counts = (0..inputs.len())
+        .map(|i| many.firing_count(i).map(u64::from))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(report_from_counts(compiled.num_gates(), device, &counts))
+}
+
+/// Measures firing-based energy through a serving [`Runtime`]: sweeps route
+/// through auto-tuned wide lane groups sharded across workers, and every
+/// request's firing count comes back in the runtime's [`tc_runtime::Response`]
+/// telemetry — the energy-sweep path used by the experiment binaries.
+pub fn energy_over_inputs_runtime(
+    runtime: &Runtime,
+    compiled: &CompiledCircuit,
+    device: &DeviceSpec,
+    inputs: &[Vec<bool>],
+) -> Result<EnergyReport, RuntimeError> {
+    let responses = runtime.serve_batch(compiled, inputs)?;
+    let counts: Vec<u64> = responses
+        .iter()
+        .map(|r| u64::from(r.firing_count))
+        .collect();
     Ok(report_from_counts(compiled.num_gates(), device, &counts))
 }
 
@@ -157,6 +173,21 @@ mod tests {
             .collect();
         let reference = energy_of_evaluations(&c, &device, &evaluations);
         assert_eq!(batched, reference);
+    }
+
+    #[test]
+    fn runtime_energy_sweep_matches_the_compiled_path() {
+        let c = or_and_circuit();
+        let device = DeviceSpec::unconstrained();
+        let inputs: Vec<Vec<bool>> = (0..300u32).map(|i| vec![i % 2 == 1, i % 5 == 0]).collect();
+        let compiled = c.compile().unwrap();
+        let runtime = Runtime::builder().fixed_backend("wide256").build();
+        let through_runtime =
+            energy_over_inputs_runtime(&runtime, &compiled, &device, &inputs).unwrap();
+        let reference = energy_over_inputs_compiled(&compiled, &device, &inputs).unwrap();
+        assert_eq!(through_runtime, reference);
+        // The runtime's own firing telemetry agrees with the report.
+        assert_eq!(runtime.telemetry().firings, reference.total_firings);
     }
 
     #[test]

@@ -1,0 +1,412 @@
+//! The pluggable execution interface and the standard backend set.
+
+use crate::{Result, RuntimeError};
+use tc_circuit::{Batch64, BatchWide, CompiledCircuit, EvalOptions, Evaluation};
+
+/// How much of each evaluation a [`Response`] must carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Detail {
+    /// Designated outputs and the firing count only (the cheap serving path).
+    #[default]
+    Outputs,
+    /// Additionally the full per-gate [`Evaluation`] (needed by callers that
+    /// decode numbers out of interior wires, e.g. matrix-product circuits).
+    Full,
+}
+
+/// The per-request result returned by the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The circuit's designated output values for this request.
+    pub outputs: Vec<bool>,
+    /// Number of gates that fired (the Uchizawa–Douglas–Maass energy).
+    pub firing_count: u32,
+    /// The full evaluation, present only under [`Detail::Full`].
+    pub evaluation: Option<Evaluation>,
+}
+
+impl Response {
+    fn from_evaluation(ev: Evaluation, detail: Detail) -> Self {
+        Response {
+            outputs: ev.outputs().to_vec(),
+            firing_count: ev.firing_count() as u32,
+            evaluation: match detail {
+                Detail::Outputs => None,
+                Detail::Full => Some(ev),
+            },
+        }
+    }
+}
+
+/// Static capabilities of a backend.
+#[derive(Debug, Clone, Copy)]
+pub struct BackendCaps {
+    /// Stable, unique display name (also the registry lookup key).
+    pub name: &'static str,
+    /// Preferred number of requests per [`EvalBackend::eval_group`] call —
+    /// the lane-group width the scheduler packs towards.
+    pub lane_group: usize,
+    /// Whether the backend parallelises internally across OS threads (the
+    /// scheduler then runs it single-worker to avoid oversubscription).
+    pub internally_parallel: bool,
+    /// Whether a pass has a fixed lane width regardless of fill (the
+    /// bit-sliced kernels): partial groups then genuinely waste
+    /// `lane_group - rows` lanes, which telemetry reports as padding. For
+    /// per-request backends `lane_group` is only a scheduling hint and no
+    /// padding is counted.
+    pub bit_sliced: bool,
+}
+
+/// A pluggable evaluation engine the runtime can schedule work onto.
+///
+/// A backend evaluates one *lane group* — up to [`BackendCaps::lane_group`]
+/// independent requests — against a compiled circuit. Implementations must
+/// be bit-identical to [`CompiledCircuit::evaluate`] per request; the
+/// differential proptests in `tc-circuit` enforce this for the standard set.
+///
+/// # Contract
+///
+/// Under [`Detail::Full`] every returned [`Response`] **must** populate
+/// `evaluation` with the request's full [`Evaluation`] — callers that
+/// decode numbers out of interior wires (e.g. matrix-product circuits)
+/// rely on it and treat a missing evaluation as a backend bug.
+pub trait EvalBackend: Send + Sync {
+    /// The backend's capabilities.
+    fn caps(&self) -> BackendCaps;
+
+    /// A relative prior for serving `batch` requests against `circuit`, in
+    /// arbitrary work units. Only used to rank backends when calibration is
+    /// disabled (see [`crate::TunerPolicy::ModelOnly`]); the auto-tuner's
+    /// measured probe overrides it otherwise.
+    fn cost_model(&self, circuit: &CompiledCircuit, batch: usize) -> f64;
+
+    /// Evaluates one lane group (`rows.len() <= caps().lane_group`).
+    fn eval_group(
+        &self,
+        circuit: &CompiledCircuit,
+        rows: &[&[bool]],
+        detail: Detail,
+    ) -> Result<Vec<Response>>;
+}
+
+/// Sequential scalar evaluation, one request at a time.
+///
+/// Wins on tiny circuits and tiny batches where any packing overhead
+/// dominates, and serves as the reference the bit-sliced backends are
+/// differentially tested against.
+#[derive(Debug, Default)]
+pub struct ScalarBackend;
+
+impl EvalBackend for ScalarBackend {
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            name: "scalar",
+            // Group a handful of sequential evaluations so scheduler
+            // bookkeeping amortises without starving multi-worker sharding.
+            lane_group: 8,
+            internally_parallel: false,
+            bit_sliced: false,
+        }
+    }
+
+    fn cost_model(&self, circuit: &CompiledCircuit, batch: usize) -> f64 {
+        batch as f64 * circuit.num_edges() as f64
+    }
+
+    fn eval_group(
+        &self,
+        circuit: &CompiledCircuit,
+        rows: &[&[bool]],
+        detail: Detail,
+    ) -> Result<Vec<Response>> {
+        rows.iter()
+            .map(|row| Ok(Response::from_evaluation(circuit.evaluate(row)?, detail)))
+            .collect()
+    }
+}
+
+/// Layer-parallel evaluation: one request at a time, each depth layer split
+/// across OS threads. Wins on very large circuits at batch sizes too small
+/// to fill even one bit-sliced lane group.
+#[derive(Debug, Default)]
+pub struct LayerParallelBackend;
+
+impl EvalBackend for LayerParallelBackend {
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            name: "layer_parallel",
+            lane_group: 1,
+            internally_parallel: true,
+            bit_sliced: false,
+        }
+    }
+
+    fn cost_model(&self, circuit: &CompiledCircuit, batch: usize) -> f64 {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1) as f64;
+        // Per-layer fork/join overhead makes this a big-circuit backend.
+        batch as f64 * (circuit.num_edges() as f64 / threads + circuit.depth() as f64 * 2_000.0)
+    }
+
+    fn eval_group(
+        &self,
+        circuit: &CompiledCircuit,
+        rows: &[&[bool]],
+        detail: Detail,
+    ) -> Result<Vec<Response>> {
+        rows.iter()
+            .map(|row| {
+                let ev = circuit.evaluate_parallel(row, EvalOptions::default())?;
+                Ok(Response::from_evaluation(ev, detail))
+            })
+            .collect()
+    }
+}
+
+/// The fixed 64-lane bit-sliced kernel (`evaluate_batch64`).
+#[derive(Debug, Default)]
+pub struct Sliced64Backend;
+
+impl EvalBackend for Sliced64Backend {
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            name: "sliced64",
+            lane_group: 64,
+            internally_parallel: false,
+            bit_sliced: true,
+        }
+    }
+
+    fn cost_model(&self, circuit: &CompiledCircuit, batch: usize) -> f64 {
+        batch.div_ceil(64) as f64 * circuit.num_bit_edges() as f64 * 4.0
+    }
+
+    fn eval_group(
+        &self,
+        circuit: &CompiledCircuit,
+        rows: &[&[bool]],
+        detail: Detail,
+    ) -> Result<Vec<Response>> {
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        let batch = Batch64::pack(circuit.num_inputs(), rows)?;
+        let bev = circuit.evaluate_batch64(&batch)?;
+        (0..rows.len())
+            .map(|lane| {
+                Ok(Response {
+                    outputs: bev.outputs(lane)?,
+                    firing_count: bev.firing_count(lane)?,
+                    evaluation: match detail {
+                        Detail::Outputs => None,
+                        Detail::Full => Some(bev.evaluation(lane)?),
+                    },
+                })
+            })
+            .collect()
+    }
+}
+
+/// The width-generic bit-sliced kernel: `[u64; W]` planes carrying `64·W`
+/// lanes, so one CSR traversal feeds `W` word-columns (cache-blocked over
+/// the compiled layer schedule's gate order).
+#[derive(Debug, Default)]
+pub struct WideBackend<const W: usize>;
+
+impl<const W: usize> EvalBackend for WideBackend<W> {
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            name: match W {
+                2 => "wide128",
+                4 => "wide256",
+                8 => "wide512",
+                _ => "wide",
+            },
+            lane_group: 64 * W,
+            internally_parallel: false,
+            bit_sliced: true,
+        }
+    }
+
+    fn cost_model(&self, circuit: &CompiledCircuit, batch: usize) -> f64 {
+        // Each pass does W words of plane work per bit-edge but reads the
+        // CSR metadata once — slightly cheaper per lane than W separate
+        // 64-lane passes.
+        let passes = batch.div_ceil(64 * W) as f64;
+        passes * circuit.num_bit_edges() as f64 * (3.2 * W as f64 + 0.8)
+    }
+
+    fn eval_group(
+        &self,
+        circuit: &CompiledCircuit,
+        rows: &[&[bool]],
+        detail: Detail,
+    ) -> Result<Vec<Response>> {
+        let batch = BatchWide::<W>::pack(circuit.num_inputs(), rows)?;
+        let wev = circuit.evaluate_batch_wide(&batch)?;
+        (0..rows.len())
+            .map(|lane| {
+                Ok(Response {
+                    outputs: wev.outputs(lane)?,
+                    firing_count: wev.firing_count(lane)?,
+                    evaluation: match detail {
+                        Detail::Outputs => None,
+                        Detail::Full => Some(wev.evaluation(lane)?),
+                    },
+                })
+            })
+            .collect()
+    }
+}
+
+/// An ordered collection of registered backends.
+pub struct BackendRegistry {
+    backends: Vec<Box<dyn EvalBackend>>,
+}
+
+impl std::fmt::Debug for BackendRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackendRegistry")
+            .field("backends", &self.names())
+            .finish()
+    }
+}
+
+impl BackendRegistry {
+    /// An empty registry.
+    pub fn empty() -> Self {
+        BackendRegistry {
+            backends: Vec::new(),
+        }
+    }
+
+    /// The standard set: scalar, layer-parallel, 64-lane, and the
+    /// 128/256/512-lane wide backends.
+    pub fn standard() -> Self {
+        let mut reg = BackendRegistry::empty();
+        reg.register(Box::new(ScalarBackend));
+        reg.register(Box::new(LayerParallelBackend));
+        reg.register(Box::new(Sliced64Backend));
+        reg.register(Box::new(WideBackend::<2>));
+        reg.register(Box::new(WideBackend::<4>));
+        reg.register(Box::new(WideBackend::<8>));
+        reg
+    }
+
+    /// Registers a backend. Later registrations win name lookups, so a
+    /// custom backend may shadow a standard one.
+    pub fn register(&mut self, backend: Box<dyn EvalBackend>) {
+        self.backends.push(backend);
+    }
+
+    /// The registered backends, in registration order.
+    pub fn backends(&self) -> &[Box<dyn EvalBackend>] {
+        &self.backends
+    }
+
+    /// Registered backend names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.backends.iter().map(|b| b.caps().name).collect()
+    }
+
+    /// Index of the backend named `name` (latest registration wins).
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.backends
+            .iter()
+            .rposition(|b| b.caps().name == name)
+            .ok_or_else(|| RuntimeError::UnknownBackend {
+                name: name.to_string(),
+            })
+    }
+}
+
+impl Default for BackendRegistry {
+    fn default() -> Self {
+        BackendRegistry::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_circuit::{CircuitBuilder, Wire};
+
+    fn majority() -> CompiledCircuit {
+        let mut b = CircuitBuilder::new(3);
+        let g = b
+            .add_gate(
+                [
+                    (Wire::input(0), 1),
+                    (Wire::input(1), 1),
+                    (Wire::input(2), 1),
+                ],
+                2,
+            )
+            .unwrap();
+        b.mark_output(g);
+        b.build().compile().unwrap()
+    }
+
+    #[test]
+    fn standard_registry_has_all_lane_widths() {
+        let reg = BackendRegistry::standard();
+        assert_eq!(
+            reg.names(),
+            vec![
+                "scalar",
+                "layer_parallel",
+                "sliced64",
+                "wide128",
+                "wide256",
+                "wide512"
+            ]
+        );
+        let widths: Vec<usize> = reg.backends().iter().map(|b| b.caps().lane_group).collect();
+        assert_eq!(widths, vec![8, 1, 64, 128, 256, 512]);
+        assert!(reg.index_of("wide256").is_ok());
+        assert!(matches!(
+            reg.index_of("gpu"),
+            Err(RuntimeError::UnknownBackend { .. })
+        ));
+    }
+
+    #[test]
+    fn every_standard_backend_agrees_with_scalar() {
+        let cc = majority();
+        let rows: Vec<Vec<bool>> = (0..8u32)
+            .map(|v| vec![v & 1 != 0, v & 2 != 0, v & 4 != 0])
+            .collect();
+        let refs: Vec<&[bool]> = rows.iter().map(|r| r.as_slice()).collect();
+        let expected: Vec<Response> = ScalarBackend.eval_group(&cc, &refs, Detail::Full).unwrap();
+        for backend in BackendRegistry::standard().backends() {
+            let lanes = backend.caps().lane_group.min(refs.len());
+            let got = backend
+                .eval_group(&cc, &refs[..lanes], Detail::Full)
+                .unwrap();
+            assert_eq!(
+                got.as_slice(),
+                &expected[..lanes],
+                "backend {}",
+                backend.caps().name
+            );
+        }
+    }
+
+    #[test]
+    fn detail_outputs_omits_the_evaluation() {
+        let cc = majority();
+        let rows = [[true, true, false]];
+        let refs: Vec<&[bool]> = rows.iter().map(|r| r.as_slice()).collect();
+        let light = Sliced64Backend
+            .eval_group(&cc, &refs, Detail::Outputs)
+            .unwrap();
+        assert!(light[0].evaluation.is_none());
+        assert_eq!(light[0].outputs, vec![true]);
+        assert_eq!(light[0].firing_count, 1);
+        let full = Sliced64Backend
+            .eval_group(&cc, &refs, Detail::Full)
+            .unwrap();
+        assert_eq!(full[0].evaluation.as_ref().unwrap().outputs(), &[true]);
+    }
+}

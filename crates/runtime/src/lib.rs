@@ -1,0 +1,131 @@
+//! # tc-runtime — a pluggable multi-backend serving runtime
+//!
+//! The compiled CSR engine in `tc-circuit` hosts several evaluators —
+//! sequential scalar, layer-parallel, the 64-lane bit-sliced kernel, and the
+//! width-generic `[u64; W]` kernels for 128/256/512 lanes. Each wins on a
+//! different (circuit size, batch size) region, and callers should not have
+//! to hand-chunk batches of exactly one lane-group width or guess which
+//! kernel to use. This crate turns those evaluators into a serving
+//! subsystem:
+//!
+//! * [`EvalBackend`] — the pluggable execution interface: capabilities (lane
+//!   group width, internal parallelism), a relative cost model, and a
+//!   group-evaluation entry point. [`BackendRegistry::standard`] registers
+//!   the scalar, layer-parallel, 64-lane, and 128/256/512-lane backends;
+//!   custom backends can be registered alongside them.
+//! * [`Runtime`] — the facade: submit arbitrary-size request batches
+//!   ([`Runtime::serve_batch`]) or an unbounded request iterator
+//!   ([`Runtime::serve_stream`]) against any compiled circuit. The runtime
+//!   packs requests into full lane groups, shards groups across worker
+//!   threads through a bounded work queue, rides the single ragged tail
+//!   through the same path, and returns per-request [`Response`]s (outputs
+//!   plus firing-count energy telemetry, optionally the full evaluation).
+//! * [`AutoTuner`] — picks the backend per (circuit, batch size) from a
+//!   one-shot calibration probe, cached so repeated traffic against the same
+//!   circuit never re-measures.
+//! * [`Telemetry`] — lock-light counters: requests, groups, padded lanes,
+//!   gate-evaluations, firings (Uchizawa–Douglas–Maass energy), busy time,
+//!   and per-backend tallies.
+//!
+//! One [`Runtime`] instance is circuit-agnostic and thread-safe, so a single
+//! runtime can serve a mixed workload — triangle oracles, matrix products,
+//! convnet inference — against many circuits at once (see the
+//! `expt_e15_serving` binary in `tcmm-bench`).
+//!
+//! ```
+//! use tc_circuit::{CircuitBuilder, Wire};
+//! use tc_runtime::Runtime;
+//!
+//! let mut b = CircuitBuilder::new(2);
+//! let g = b.add_gate([(Wire::input(0), 1), (Wire::input(1), 1)], 2).unwrap();
+//! b.mark_output(g);
+//! let compiled = b.build().compile().unwrap();
+//!
+//! let runtime = Runtime::new();
+//! let rows: Vec<Vec<bool>> = (0..200).map(|i| vec![i % 2 == 0, i % 3 == 0]).collect();
+//! let responses = runtime.serve_batch(&compiled, &rows).unwrap();
+//! assert_eq!(responses.len(), 200);
+//! assert_eq!(responses[0].outputs, vec![true]); // 0 % 2 == 0 && 0 % 3 == 0
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod backend;
+mod runtime;
+mod scheduler;
+mod telemetry;
+mod tuner;
+
+pub use backend::{
+    BackendCaps, BackendRegistry, Detail, EvalBackend, LayerParallelBackend, Response,
+    ScalarBackend, Sliced64Backend, WideBackend,
+};
+pub use runtime::{Runtime, RuntimeBuilder, RuntimeOptions};
+pub use telemetry::{BackendTally, Telemetry, TelemetrySummary};
+pub use tuner::{AutoTuner, TunerPolicy};
+
+use std::fmt;
+
+/// Errors produced while serving requests through the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The underlying circuit engine rejected a request (shape mismatch,
+    /// lane bounds, …).
+    Circuit(tc_circuit::CircuitError),
+    /// The registry holds no backend able to serve the request.
+    NoBackend,
+    /// A named backend was requested but is not registered.
+    UnknownBackend {
+        /// The requested backend name.
+        name: String,
+    },
+    /// A backend violated the [`EvalBackend`] contract by returning the
+    /// wrong number of responses for a lane group.
+    BackendContract {
+        /// The offending backend's name.
+        backend: &'static str,
+        /// Requests in the group.
+        expected: usize,
+        /// Responses the backend returned.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Circuit(e) => write!(f, "circuit engine error: {e}"),
+            RuntimeError::NoBackend => write!(f, "no registered backend can serve the request"),
+            RuntimeError::UnknownBackend { name } => {
+                write!(f, "no backend named {name:?} is registered")
+            }
+            RuntimeError::BackendContract {
+                backend,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "backend {backend:?} returned {actual} responses for a group of {expected} requests"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Circuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<tc_circuit::CircuitError> for RuntimeError {
+    fn from(e: tc_circuit::CircuitError) -> Self {
+        RuntimeError::Circuit(e)
+    }
+}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -1,0 +1,541 @@
+//! The serving facade: batch and stream submission against any compiled
+//! circuit, with auto-tuned backend choice and scheduler sharding.
+
+use crate::backend::{BackendRegistry, Detail, EvalBackend, Response};
+use crate::scheduler;
+use crate::telemetry::{Telemetry, TelemetrySummary};
+use crate::tuner::{rank_by_model, AutoTuner, TunerPolicy};
+use crate::Result;
+use std::time::Instant;
+use tc_circuit::CompiledCircuit;
+
+/// Tunables of a [`Runtime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeOptions {
+    /// Worker threads sharding lane groups (0 = one per available core).
+    pub workers: usize,
+    /// Maximum lane groups in flight in the bounded work queue.
+    pub queue_capacity: usize,
+    /// Assumed batch size when tuning for an unbounded stream.
+    pub stream_batch_hint: usize,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            workers: 0,
+            queue_capacity: 0,
+            stream_batch_hint: 4096,
+        }
+    }
+}
+
+impl RuntimeOptions {
+    fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    fn effective_queue_capacity(&self, workers: usize) -> usize {
+        if self.queue_capacity > 0 {
+            self.queue_capacity
+        } else {
+            2 * workers
+        }
+    }
+}
+
+/// Builder for a configured [`Runtime`].
+#[derive(Debug)]
+pub struct RuntimeBuilder {
+    registry: BackendRegistry,
+    opts: RuntimeOptions,
+    policy: TunerPolicy,
+}
+
+impl RuntimeBuilder {
+    /// Worker thread count for group sharding (0 = one per core).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.opts.workers = workers;
+        self
+    }
+
+    /// Bounded queue capacity in lane groups (0 = twice the workers).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.opts.queue_capacity = capacity;
+        self
+    }
+
+    /// Assumed batch size when tuning for unbounded streams.
+    pub fn stream_batch_hint(mut self, hint: usize) -> Self {
+        self.opts.stream_batch_hint = hint.max(1);
+        self
+    }
+
+    /// Replaces the whole backend registry.
+    pub fn registry(mut self, registry: BackendRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Registers an additional backend (may shadow a standard one by name).
+    pub fn register(mut self, backend: Box<dyn EvalBackend>) -> Self {
+        self.registry.register(backend);
+        self
+    }
+
+    /// Sets the backend-selection policy.
+    pub fn policy(mut self, policy: TunerPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Shorthand for [`TunerPolicy::Fixed`].
+    pub fn fixed_backend(self, name: &str) -> Self {
+        self.policy(TunerPolicy::Fixed(name.to_string()))
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> Runtime {
+        Runtime {
+            registry: self.registry,
+            tuner: AutoTuner::new(),
+            policy: self.policy,
+            opts: self.opts,
+            telemetry: Telemetry::default(),
+        }
+    }
+}
+
+/// A circuit-agnostic serving runtime.
+///
+/// One instance owns a backend registry, an auto-tuner cache, and telemetry;
+/// it holds no circuit state, so the same runtime serves any number of
+/// compiled circuits concurrently (`&self` everywhere, all state
+/// interior-mutable and thread-safe).
+#[derive(Debug)]
+pub struct Runtime {
+    registry: BackendRegistry,
+    tuner: AutoTuner,
+    policy: TunerPolicy,
+    opts: RuntimeOptions,
+    telemetry: Telemetry,
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Runtime::builder().build()
+    }
+}
+
+impl Runtime {
+    /// A runtime with the standard backend registry, measuring tuner policy,
+    /// and one worker per core.
+    pub fn new() -> Self {
+        Runtime::default()
+    }
+
+    /// Starts configuring a runtime.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder {
+            registry: BackendRegistry::standard(),
+            opts: RuntimeOptions::default(),
+            policy: TunerPolicy::default(),
+        }
+    }
+
+    /// The registered backends.
+    pub fn registry(&self) -> &BackendRegistry {
+        &self.registry
+    }
+
+    /// The name of the backend the runtime would use for `batch` requests
+    /// against `circuit` (running calibration if that bucket is unseen).
+    pub fn backend_for(&self, circuit: &CompiledCircuit, batch: usize) -> Result<&'static str> {
+        let idx = self.pick_backend(circuit, batch)?;
+        Ok(self.registry.backends()[idx].caps().name)
+    }
+
+    /// A snapshot of everything served so far.
+    pub fn telemetry(&self) -> TelemetrySummary {
+        self.telemetry.snapshot()
+    }
+
+    /// Serves a batch of requests, returning one [`Response`] per request in
+    /// submission order. Any batch size is accepted — requests are packed
+    /// into full lane groups with a single ragged tail.
+    pub fn serve_batch<R: AsRef<[bool]> + Sync>(
+        &self,
+        circuit: &CompiledCircuit,
+        rows: &[R],
+    ) -> Result<Vec<Response>> {
+        self.serve_batch_detailed(circuit, rows, Detail::Outputs)
+    }
+
+    /// Like [`Runtime::serve_batch`] with an explicit [`Detail`] level.
+    pub fn serve_batch_detailed<R: AsRef<[bool]> + Sync>(
+        &self,
+        circuit: &CompiledCircuit,
+        rows: &[R],
+        detail: Detail,
+    ) -> Result<Vec<Response>> {
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        let backend = &self.registry.backends()[self.pick_backend(circuit, rows.len())?];
+        let lane_group = backend.caps().lane_group.max(1);
+        let groups = rows
+            .chunks(lane_group)
+            .enumerate()
+            .map(|(i, chunk)| (i * lane_group, chunk));
+        let done = self.pump_groups(
+            circuit,
+            backend.as_ref(),
+            rows.len(),
+            groups,
+            detail,
+            |chunk| chunk.iter().map(|r| r.as_ref()).collect(),
+        )?;
+        assemble(rows.len(), done)
+    }
+
+    /// Serves an unbounded request stream: rows are packed into full lane
+    /// groups as they arrive and flow through the bounded queue, so the
+    /// *input* side is never buffered beyond `queue_capacity` groups (plus
+    /// the ones workers hold). The returned responses are fully
+    /// materialised, in submission order — memory still grows with the
+    /// response count (outputs and firing count per request, plus the full
+    /// evaluation under [`Detail::Full`]), so size long-running streams
+    /// accordingly.
+    pub fn serve_stream<I>(&self, circuit: &CompiledCircuit, requests: I) -> Result<Vec<Response>>
+    where
+        I: IntoIterator<Item = Vec<bool>>,
+    {
+        self.serve_stream_detailed(circuit, requests, Detail::Outputs)
+    }
+
+    /// Like [`Runtime::serve_stream`] with an explicit [`Detail`] level.
+    pub fn serve_stream_detailed<I>(
+        &self,
+        circuit: &CompiledCircuit,
+        requests: I,
+        detail: Detail,
+    ) -> Result<Vec<Response>>
+    where
+        I: IntoIterator<Item = Vec<bool>>,
+    {
+        let backend =
+            &self.registry.backends()[self.pick_backend(circuit, self.opts.stream_batch_hint)?];
+        let lane_group = backend.caps().lane_group.max(1);
+        let mut iter = requests.into_iter();
+        let mut next_start = 0usize;
+        let groups = std::iter::from_fn(move || {
+            let chunk: Vec<Vec<bool>> = iter.by_ref().take(lane_group).collect();
+            if chunk.is_empty() {
+                None
+            } else {
+                let start = next_start;
+                next_start += chunk.len();
+                Some((start, chunk))
+            }
+        });
+        let done = self.pump_groups(
+            circuit,
+            backend.as_ref(),
+            usize::MAX,
+            groups,
+            detail,
+            |chunk| chunk.iter().map(|r| r.as_slice()).collect(),
+        )?;
+        let total = done
+            .iter()
+            .map(|(start, responses)| start + responses.len())
+            .max()
+            .unwrap_or(0);
+        assemble(total, done)
+    }
+
+    fn pick_backend(&self, circuit: &CompiledCircuit, batch: usize) -> Result<usize> {
+        match &self.policy {
+            TunerPolicy::Fixed(name) => self.registry.index_of(name),
+            TunerPolicy::ModelOnly => rank_by_model(&self.registry, circuit, batch),
+            TunerPolicy::Measure => self.tuner.pick(&self.registry, circuit, batch),
+        }
+    }
+
+    /// Shared scheduling core: shards `groups` across workers, evaluates
+    /// each on `backend`, and records telemetry per group.
+    fn pump_groups<C, G>(
+        &self,
+        circuit: &CompiledCircuit,
+        backend: &dyn EvalBackend,
+        total_requests: usize,
+        groups: impl Iterator<Item = (usize, C)>,
+        detail: Detail,
+        as_refs: G,
+    ) -> Result<Vec<(usize, Vec<Response>)>>
+    where
+        C: Send,
+        G: Fn(&C) -> Vec<&[bool]> + Sync,
+    {
+        let caps = backend.caps();
+        let workers = if caps.internally_parallel {
+            // The backend forks per depth layer itself; scheduler workers
+            // on top would oversubscribe cores.
+            1
+        } else {
+            let group_bound = total_requests.div_ceil(caps.lane_group.max(1));
+            self.opts.effective_workers().min(group_bound).max(1)
+        };
+        let queue_capacity = self.opts.effective_queue_capacity(workers);
+        scheduler::pump(groups, workers, queue_capacity, |(start, chunk)| {
+            let refs = as_refs(&chunk);
+            let t0 = Instant::now();
+            let responses = backend.eval_group(circuit, &refs, detail)?;
+            let busy_ns = t0.elapsed().as_nanos() as u64;
+            // A wrong response count would corrupt request→response order
+            // during assembly; reject it as a backend contract violation.
+            if responses.len() != refs.len() {
+                return Err(crate::RuntimeError::BackendContract {
+                    backend: caps.name,
+                    expected: refs.len(),
+                    actual: responses.len(),
+                });
+            }
+            // Padding only exists for fixed-lane-width (bit-sliced) passes;
+            // for per-request backends lane_group is just a scheduling hint.
+            let group_width = if caps.bit_sliced {
+                caps.lane_group
+            } else {
+                refs.len()
+            };
+            self.telemetry.record_group(
+                caps.name,
+                refs.len() as u64,
+                group_width as u64,
+                (circuit.num_gates() * refs.len()) as u64,
+                responses.iter().map(|r| r.firing_count as u64).sum(),
+                busy_ns,
+            );
+            Ok((start, responses))
+        })
+    }
+}
+
+/// Places out-of-order evaluated groups back into submission order.
+fn assemble(total: usize, done: Vec<(usize, Vec<Response>)>) -> Result<Vec<Response>> {
+    let mut out: Vec<Option<Response>> = (0..total).map(|_| None).collect();
+    for (start, responses) in done {
+        for (offset, response) in responses.into_iter().enumerate() {
+            out[start + offset] = Some(response);
+        }
+    }
+    Ok(out
+        .into_iter()
+        .map(|r| r.expect("scheduler returned a response for every request"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_circuit::{CircuitBuilder, CircuitError, Wire};
+
+    /// 3-input full adder compiled once.
+    fn adder() -> CompiledCircuit {
+        let mut b = CircuitBuilder::new(3);
+        let x = Wire::input(0);
+        let y = Wire::input(1);
+        let z = Wire::input(2);
+        let carry = b.add_gate([(x, 1), (y, 1), (z, 1)], 2).unwrap();
+        let sum = b
+            .add_gate([(x, 1), (y, 1), (z, 1), (carry, -2)], 1)
+            .unwrap();
+        b.mark_output(sum);
+        b.mark_output(carry);
+        b.build().compile().unwrap()
+    }
+
+    fn rows(n: usize) -> Vec<Vec<bool>> {
+        (0..n)
+            .map(|i| vec![i % 2 == 0, i % 3 == 0, i % 5 == 0])
+            .collect()
+    }
+
+    fn check_against_scalar(cc: &CompiledCircuit, rows: &[Vec<bool>], responses: &[Response]) {
+        assert_eq!(responses.len(), rows.len());
+        for (i, (row, response)) in rows.iter().zip(responses).enumerate() {
+            let ev = cc.evaluate(row).unwrap();
+            assert_eq!(response.outputs, ev.outputs(), "request {i}");
+            assert_eq!(
+                response.firing_count as usize,
+                ev.firing_count(),
+                "request {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_batch_matches_scalar_for_every_fixed_backend() {
+        let cc = adder();
+        let requests = rows(731); // ragged for every lane width
+        for name in BackendRegistry::standard().names() {
+            let runtime = Runtime::builder().fixed_backend(name).workers(3).build();
+            let responses = runtime.serve_batch(&cc, &requests).unwrap();
+            check_against_scalar(&cc, &requests, &responses);
+            let summary = runtime.telemetry();
+            assert_eq!(summary.requests, 731, "backend {name}");
+            assert_eq!(summary.per_backend.len(), 1);
+            assert!(summary.per_backend.contains_key(name));
+        }
+    }
+
+    #[test]
+    fn serve_stream_packs_lane_groups_incrementally() {
+        let cc = adder();
+        let requests = rows(1000);
+        let runtime = Runtime::builder()
+            .fixed_backend("wide128")
+            .workers(4)
+            .queue_capacity(2)
+            .build();
+        let responses = runtime.serve_stream(&cc, requests.iter().cloned()).unwrap();
+        check_against_scalar(&cc, &requests, &responses);
+        let summary = runtime.telemetry();
+        assert_eq!(summary.groups, 1000usize.div_ceil(128) as u64);
+        // 1000 = 7 full 128-lane groups + a 104-lane tail.
+        assert_eq!(summary.padded_lanes, (128 - 1000 % 128) as u64);
+    }
+
+    #[test]
+    fn empty_submissions_are_served_trivially() {
+        let cc = adder();
+        let runtime = Runtime::new();
+        let no_rows: Vec<Vec<bool>> = Vec::new();
+        assert!(runtime.serve_batch(&cc, &no_rows).unwrap().is_empty());
+        assert!(runtime.serve_stream(&cc, no_rows).unwrap().is_empty());
+        assert_eq!(runtime.telemetry().requests, 0);
+    }
+
+    #[test]
+    fn auto_tuning_calibrates_once_and_serves_correctly() {
+        let cc = adder();
+        let runtime = Runtime::new();
+        let requests = rows(300);
+        let responses = runtime.serve_batch(&cc, &requests).unwrap();
+        check_against_scalar(&cc, &requests, &responses);
+        let name = runtime.backend_for(&cc, 300).unwrap();
+        assert!(runtime.registry().index_of(name).is_ok());
+        // Same bucket again: no new calibration, same choice.
+        let responses = runtime.serve_batch(&cc, &requests).unwrap();
+        check_against_scalar(&cc, &requests, &responses);
+    }
+
+    #[test]
+    fn model_only_policy_is_deterministic() {
+        let cc = adder();
+        let runtime = Runtime::builder().policy(TunerPolicy::ModelOnly).build();
+        assert_eq!(runtime.backend_for(&cc, 1).unwrap(), "scalar");
+        assert_eq!(runtime.backend_for(&cc, 100_000).unwrap(), "wide512");
+    }
+
+    #[test]
+    fn detail_full_carries_the_evaluation() {
+        let cc = adder();
+        let runtime = Runtime::builder().fixed_backend("wide256").build();
+        let requests = rows(70);
+        let responses = runtime
+            .serve_batch_detailed(&cc, &requests, Detail::Full)
+            .unwrap();
+        for (row, response) in requests.iter().zip(&responses) {
+            assert_eq!(
+                response.evaluation.as_ref().unwrap(),
+                &cc.evaluate(row).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_requests_surface_the_circuit_error() {
+        let cc = adder();
+        let runtime = Runtime::builder()
+            .fixed_backend("sliced64")
+            .workers(2)
+            .build();
+        let mut requests = rows(100);
+        requests[77] = vec![true]; // wrong width
+        let err = runtime.serve_batch(&cc, &requests).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::RuntimeError::Circuit(CircuitError::InputLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn short_changing_backends_are_rejected_not_misassembled() {
+        /// A buggy custom backend returning one response too few per group.
+        struct ShortChanger;
+        impl crate::EvalBackend for ShortChanger {
+            fn caps(&self) -> crate::BackendCaps {
+                crate::BackendCaps {
+                    name: "short_changer",
+                    lane_group: 16,
+                    internally_parallel: false,
+                    bit_sliced: false,
+                }
+            }
+            fn cost_model(&self, _: &CompiledCircuit, _: usize) -> f64 {
+                0.0
+            }
+            fn eval_group(
+                &self,
+                circuit: &CompiledCircuit,
+                rows: &[&[bool]],
+                detail: Detail,
+            ) -> crate::Result<Vec<crate::Response>> {
+                let mut responses = crate::ScalarBackend.eval_group(circuit, rows, detail)?;
+                responses.pop();
+                Ok(responses)
+            }
+        }
+        let cc = adder();
+        let runtime = Runtime::builder()
+            .register(Box::new(ShortChanger))
+            .fixed_backend("short_changer")
+            .build();
+        assert!(matches!(
+            runtime.serve_batch(&cc, &rows(40)),
+            Err(crate::RuntimeError::BackendContract {
+                backend: "short_changer",
+                expected: 16,
+                actual: 15,
+            })
+        ));
+    }
+
+    #[test]
+    fn per_request_backends_report_no_phantom_padding() {
+        let cc = adder();
+        let runtime = Runtime::builder().fixed_backend("scalar").build();
+        runtime.serve_batch(&cc, &rows(3)).unwrap();
+        assert_eq!(runtime.telemetry().padded_lanes, 0);
+        let sliced = Runtime::builder().fixed_backend("sliced64").build();
+        sliced.serve_batch(&cc, &rows(3)).unwrap();
+        assert_eq!(sliced.telemetry().padded_lanes, 61);
+    }
+
+    #[test]
+    fn unknown_fixed_backend_is_reported() {
+        let cc = adder();
+        let runtime = Runtime::builder().fixed_backend("tpu").build();
+        assert!(matches!(
+            runtime.serve_batch(&cc, &rows(4)),
+            Err(crate::RuntimeError::UnknownBackend { .. })
+        ));
+    }
+}

@@ -1,0 +1,212 @@
+//! The streaming batch scheduler: a bounded work queue of lane groups
+//! drained by scoped worker threads.
+//!
+//! The scheduler is deliberately backend-agnostic: it moves opaque *groups*
+//! (a starting request index plus that group's rows) from a producer — a
+//! slice chunker for [`crate::Runtime::serve_batch`], an incremental packer
+//! for [`crate::Runtime::serve_stream`] — to workers that evaluate them.
+//! The queue is bounded, so an unbounded request stream is packed lazily and
+//! never materialised: when workers fall behind, the producer blocks instead
+//! of buffering the world.
+
+use crate::{Response, Result, RuntimeError};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A classic Mutex + two-Condvar bounded MPMC queue.
+struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Blocks until there is room; returns `false` if the queue was closed
+    /// (a worker hit an error) and the item was not enqueued.
+    fn push(&self, item: T) -> bool {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if s.closed {
+                return false;
+            }
+            if s.items.len() < self.capacity {
+                s.items.push_back(item);
+                self.not_empty.notify_one();
+                return true;
+            }
+            s = self.not_full.wait(s).unwrap();
+        }
+    }
+
+    /// Blocks until an item arrives; `None` once the queue is closed and
+    /// drained.
+    fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.not_empty.wait(s).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Pumps `groups` through `eval` on `workers` scoped threads with at most
+/// `queue_capacity` groups in flight, returning the evaluated groups in
+/// arbitrary order (each tagged with its starting request index by `eval`).
+///
+/// With one worker the pump degenerates to a sequential loop — no threads,
+/// no queue. On the first error the queue closes, in-flight groups finish,
+/// and the error is returned.
+pub(crate) fn pump<G, F>(
+    groups: impl Iterator<Item = G>,
+    workers: usize,
+    queue_capacity: usize,
+    eval: F,
+) -> Result<Vec<(usize, Vec<Response>)>>
+where
+    G: Send,
+    F: Fn(G) -> Result<(usize, Vec<Response>)> + Sync,
+{
+    if workers <= 1 {
+        let mut out = Vec::new();
+        for group in groups {
+            out.push(eval(group)?);
+        }
+        return Ok(out);
+    }
+
+    let queue = BoundedQueue::new(queue_capacity.max(1));
+    let results: Mutex<Vec<(usize, Vec<Response>)>> = Mutex::new(Vec::new());
+    let first_error: Mutex<Option<RuntimeError>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                while let Some(group) = queue.pop() {
+                    match eval(group) {
+                        Ok(done) => results.lock().unwrap().push(done),
+                        Err(e) => {
+                            first_error.lock().unwrap().get_or_insert(e);
+                            queue.close();
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+        // The producer runs on the calling thread: pack, push, block on
+        // backpressure. A closed queue means a worker failed — stop packing.
+        for group in groups {
+            if !queue.push(group) {
+                break;
+            }
+        }
+        queue.close();
+    });
+
+    if let Some(e) = first_error.into_inner().unwrap() {
+        return Err(e);
+    }
+    Ok(results.into_inner().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_circuit::CircuitError;
+
+    fn response(tag: bool) -> Response {
+        Response {
+            outputs: vec![tag],
+            firing_count: tag as u32,
+            evaluation: None,
+        }
+    }
+
+    #[test]
+    fn pump_returns_every_group_exactly_once() {
+        for workers in [1usize, 4] {
+            let groups = (0..37usize).map(|i| (i * 10, i % 2 == 0));
+            let mut got = pump(groups, workers, 4, |(start, tag)| {
+                Ok((start, vec![response(tag)]))
+            })
+            .unwrap();
+            got.sort_unstable_by_key(|(start, _)| *start);
+            assert_eq!(got.len(), 37);
+            for (i, (start, responses)) in got.iter().enumerate() {
+                assert_eq!(*start, i * 10);
+                assert_eq!(responses[0].outputs, vec![i % 2 == 0]);
+            }
+        }
+    }
+
+    #[test]
+    fn pump_surfaces_worker_errors_and_stops() {
+        let err = RuntimeError::Circuit(CircuitError::EmptyFanIn);
+        for workers in [1usize, 3] {
+            let groups = (0..1000usize).map(|i| (i, ()));
+            let result = pump(groups, workers, 2, |(start, _)| {
+                if start == 5 {
+                    Err(RuntimeError::Circuit(CircuitError::EmptyFanIn))
+                } else {
+                    Ok((start, vec![]))
+                }
+            });
+            assert_eq!(result.unwrap_err(), err);
+        }
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        // Capacity 1 with a slow consumer: the producer must block rather
+        // than buffer, so in-flight items never exceed capacity + workers.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let in_flight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let produced = std::cell::Cell::new(0usize);
+        let groups = (0..50usize).map(|i| {
+            produced.set(produced.get() + 1);
+            let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            (i, ())
+        });
+        pump(groups, 2, 1, |(start, _)| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+            Ok((start, vec![]))
+        })
+        .unwrap();
+        assert_eq!(produced.get(), 50);
+        // queue capacity (1) + workers (2) + the one the producer holds.
+        assert!(peak.load(Ordering::SeqCst) <= 4, "peak {:?}", peak);
+    }
+}

@@ -1,0 +1,164 @@
+//! Serving telemetry: request, lane, gate-eval, and firing-energy counters.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Lock-light counters accumulated across everything a [`crate::Runtime`]
+/// serves. Group-grained updates go through atomics; only the per-backend
+/// tally map takes a lock (once per group, not per request).
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    requests: AtomicU64,
+    groups: AtomicU64,
+    padded_lanes: AtomicU64,
+    gate_evals: AtomicU64,
+    firings: AtomicU64,
+    busy_ns: AtomicU64,
+    per_backend: Mutex<BTreeMap<&'static str, BackendTally>>,
+}
+
+/// Per-backend slice of the telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendTally {
+    /// Lane groups evaluated by this backend.
+    pub groups: u64,
+    /// Requests those groups carried.
+    pub requests: u64,
+    /// Wall-clock nanoseconds spent inside the backend.
+    pub busy_ns: u64,
+}
+
+impl Telemetry {
+    /// Records one evaluated lane group.
+    pub(crate) fn record_group(
+        &self,
+        backend: &'static str,
+        requests: u64,
+        lane_group: u64,
+        gate_evals: u64,
+        firings: u64,
+        busy_ns: u64,
+    ) {
+        self.requests.fetch_add(requests, Ordering::Relaxed);
+        self.groups.fetch_add(1, Ordering::Relaxed);
+        self.padded_lanes
+            .fetch_add(lane_group.saturating_sub(requests), Ordering::Relaxed);
+        self.gate_evals.fetch_add(gate_evals, Ordering::Relaxed);
+        self.firings.fetch_add(firings, Ordering::Relaxed);
+        self.busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
+        let mut map = self.per_backend.lock().unwrap();
+        let tally = map.entry(backend).or_default();
+        tally.groups += 1;
+        tally.requests += requests;
+        tally.busy_ns += busy_ns;
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> TelemetrySummary {
+        TelemetrySummary {
+            requests: self.requests.load(Ordering::Relaxed),
+            groups: self.groups.load(Ordering::Relaxed),
+            padded_lanes: self.padded_lanes.load(Ordering::Relaxed),
+            gate_evals: self.gate_evals.load(Ordering::Relaxed),
+            firings: self.firings.load(Ordering::Relaxed),
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+            per_backend: self.per_backend.lock().unwrap().clone(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Telemetry`]'s counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetrySummary {
+    /// Requests served.
+    pub requests: u64,
+    /// Lane groups evaluated.
+    pub groups: u64,
+    /// Unused lanes across partial (ragged-tail) groups.
+    pub padded_lanes: u64,
+    /// Total gate evaluations (gates × requests).
+    pub gate_evals: u64,
+    /// Total gate firings (the Uchizawa–Douglas–Maass energy, in spikes).
+    pub firings: u64,
+    /// Wall-clock nanoseconds spent inside backends (summed across workers).
+    pub busy_ns: u64,
+    /// Per-backend tallies, keyed by backend name.
+    pub per_backend: BTreeMap<&'static str, BackendTally>,
+}
+
+impl TelemetrySummary {
+    /// Aggregate gate-evaluation throughput over backend busy time
+    /// (gate-evals per second); zero when nothing was served.
+    pub fn gate_evals_per_sec(&self) -> f64 {
+        if self.busy_ns == 0 {
+            0.0
+        } else {
+            self.gate_evals as f64 / (self.busy_ns as f64 / 1e9)
+        }
+    }
+
+    /// Mean firings per served request; zero when nothing was served.
+    pub fn mean_firings(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.firings as f64 / self.requests as f64
+        }
+    }
+}
+
+impl fmt::Display for TelemetrySummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests: {}  groups: {}  padded lanes: {}",
+            self.requests, self.groups, self.padded_lanes
+        )?;
+        writeln!(
+            f,
+            "gate-evals: {}  ({:.3e}/sec busy)  firings: {}  (mean {:.1}/request)",
+            self.gate_evals,
+            self.gate_evals_per_sec(),
+            self.firings,
+            self.mean_firings()
+        )?;
+        for (name, tally) in &self.per_backend {
+            writeln!(
+                f,
+                "  {name:>14}: {} groups, {} requests, {:.3}s busy",
+                tally.groups,
+                tally.requests,
+                tally.busy_ns as f64 / 1e9
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let t = Telemetry::default();
+        t.record_group("sliced64", 64, 64, 64 * 100, 640, 1_000);
+        t.record_group("sliced64", 10, 64, 10 * 100, 50, 500);
+        t.record_group("wide256", 256, 256, 256 * 100, 2_560, 2_000);
+        let s = t.snapshot();
+        assert_eq!(s.requests, 330);
+        assert_eq!(s.groups, 3);
+        assert_eq!(s.padded_lanes, 54);
+        assert_eq!(s.gate_evals, (64 + 10 + 256) * 100);
+        assert_eq!(s.firings, 3_250);
+        assert_eq!(s.per_backend["sliced64"].groups, 2);
+        assert_eq!(s.per_backend["sliced64"].requests, 74);
+        assert_eq!(s.per_backend["wide256"].busy_ns, 2_000);
+        assert!(s.gate_evals_per_sec() > 0.0);
+        let display = s.to_string();
+        assert!(display.contains("sliced64"));
+        assert!(display.contains("padded lanes: 54"));
+    }
+}

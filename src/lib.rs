@@ -12,7 +12,9 @@
 //! * [`graph`] — graphs, generators, triangle counting and clustering coefficients;
 //! * [`neuro`] — the neuromorphic-device simulator (mapping, energy, latency, fan-in
 //!   partitioning);
-//! * [`convnet`] — convolution-as-matmul workloads (im2col).
+//! * [`convnet`] — convolution-as-matmul workloads (im2col);
+//! * [`runtime`] — the pluggable multi-backend serving runtime (wide bit-sliced
+//!   lanes, streaming batch scheduler, auto-tuned backend choice).
 //!
 //! See `examples/` for runnable end-to-end scenarios and `EXPERIMENTS.md` for the
 //! reproduction of every quantitative claim in the paper.
@@ -25,6 +27,7 @@ pub use tc_arith as arith;
 pub use tc_circuit as circuit;
 pub use tc_convnet as convnet;
 pub use tc_graph as graph;
+pub use tc_runtime as runtime;
 pub use tcmm_core as core;
 
 /// A convenient prelude pulling in the types used by almost every program built on this
@@ -34,6 +37,7 @@ pub mod prelude {
     pub use tc_arith::InputAllocator;
     pub use tc_circuit::{Circuit, CircuitBuilder, CircuitStats, Wire};
     pub use tc_graph::Graph;
+    pub use tc_runtime::Runtime;
     pub use tcmm_core::{
         matmul::MatmulCircuit, naive::NaiveTriangleCircuit, trace::TraceCircuit, CircuitConfig,
         LevelSchedule,
