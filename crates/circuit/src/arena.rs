@@ -1,0 +1,212 @@
+//! Reusable plane scratch for the batch kernels: allocation-free
+//! steady-state serving.
+//!
+//! Every batch pass needs a slot array (`[u64; W]` lane words per slot) and
+//! a bit-sliced firing counter. Allocating those per call costs megabytes of
+//! page-zeroing on paper-scale circuits (~7 MB of slots for an 881k-gate
+//! trace circuit, per group). A [`PlaneArena`] owns that storage across
+//! calls: input rows are packed straight into it, the kernel runs in place,
+//! and the returned [`ArenaEvaluation`] is a borrowed view — after the first
+//! call per (circuit, width), [`CompiledCircuit::evaluate_rows_arena`]
+//! performs **zero** heap allocations (pinned by the allocation-counting
+//! test in `tc-runtime`).
+
+use crate::compiled::{CompiledCircuit, FIRING_PLANES};
+use crate::eval::Evaluation;
+use crate::kernel::{firing_counts_into, word_mask};
+use crate::{CircuitError, Result};
+
+/// Reusable scratch storage for the width-generic batch kernel.
+///
+/// One arena serves any circuit and any lane width (`W ∈ {1, 2, 4, 8}`); it
+/// grows to the largest (slots × width) it has seen and never shrinks.
+/// Runtime workers own one arena each, so steady-state serving never touches
+/// the allocator.
+#[derive(Debug, Default)]
+pub struct PlaneArena {
+    /// Slot planes followed by firing planes, `(slots + FIRING_PLANES) * W`
+    /// words when in use.
+    words: Vec<u64>,
+    /// Per-lane firing counts of the most recent evaluation.
+    counts: Vec<u32>,
+}
+
+impl PlaneArena {
+    /// A fresh arena holding no storage (grows on first use).
+    pub fn new() -> Self {
+        PlaneArena::default()
+    }
+
+    /// Bytes currently retained by the arena.
+    pub fn capacity_bytes(&self) -> usize {
+        self.words.capacity() * std::mem::size_of::<u64>()
+            + self.counts.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+/// Reinterprets a word slice as `[u64; W]` planes.
+///
+/// Sound because `[u64; W]` has `u64` alignment, size `8·W`, and no padding;
+/// the length is checked to be an exact multiple of `W`.
+fn as_planes_mut<const W: usize>(words: &mut [u64]) -> &mut [[u64; W]] {
+    debug_assert_eq!(words.len() % W, 0);
+    // SAFETY: see above — same allocation, same lifetime, exact fit.
+    unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut [u64; W], words.len() / W) }
+}
+
+impl CompiledCircuit {
+    /// Packs `rows` into `arena` and evaluates them in one pass of the
+    /// width-generic kernel — the zero-allocation serving entry point.
+    ///
+    /// Accepts up to `64·W` rows (any ragged count, including zero). Lane
+    /// `l` of the returned view is bit-identical to `evaluate(&rows[l])` —
+    /// outputs and firing counts. After the arena has grown to this
+    /// circuit's size, repeated calls perform no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::BatchTooWide`] for more than `64·W` rows;
+    /// * [`CircuitError::InputLengthMismatch`] if any row has the wrong
+    ///   length.
+    pub fn evaluate_rows_arena<'a, const W: usize>(
+        &'a self,
+        rows: &[&[bool]],
+        arena: &'a mut PlaneArena,
+    ) -> Result<ArenaEvaluation<'a>> {
+        let lanes = rows.len();
+        if lanes > 64 * W {
+            return Err(CircuitError::BatchTooWide { rows: lanes });
+        }
+        let slots = self.len_slots();
+        let needed = (slots + FIRING_PLANES) * W;
+        if arena.words.len() < needed {
+            arena.words.resize(needed, 0);
+        }
+        let (val_words, firing_words) = arena.words[..needed].split_at_mut(slots * W);
+        let vals = as_planes_mut::<W>(val_words);
+        let firing = as_planes_mut::<W>(firing_words);
+
+        // Only the constant-one + input region and the firing planes need
+        // zeroing; every gate slot is overwritten by the kernel.
+        vals[..1 + self.num_inputs].fill([0u64; W]);
+        vals[0] = [!0u64; W];
+        for (lane, row) in rows.iter().enumerate() {
+            if row.len() != self.num_inputs {
+                return Err(CircuitError::InputLengthMismatch {
+                    expected: self.num_inputs,
+                    actual: row.len(),
+                });
+            }
+            let (word, bit) = (lane / 64, lane % 64);
+            for (i, &value) in row.iter().enumerate() {
+                vals[1 + i][word] |= (value as u64) << bit;
+            }
+        }
+        firing.fill([0u64; W]);
+
+        if lanes > 0 {
+            self.run_planes::<W>(vals, firing, lanes);
+        }
+        arena.counts.clear();
+        firing_counts_into::<W>(firing, lanes, &mut arena.counts);
+
+        Ok(ArenaEvaluation {
+            circuit: self,
+            vals: val_words,
+            words: W,
+            lanes,
+            counts: &arena.counts,
+        })
+    }
+}
+
+/// A borrowed view over an arena evaluation: designated outputs, firing
+/// counts, and (for callers that decode interior wires) full per-gate
+/// values, all bounds-checked against the batch's lane count.
+#[derive(Debug)]
+pub struct ArenaEvaluation<'a> {
+    circuit: &'a CompiledCircuit,
+    /// Slot-major lane words: slot `s` occupies `vals[s*words..(s+1)*words]`.
+    vals: &'a [u64],
+    words: usize,
+    lanes: usize,
+    counts: &'a [u32],
+}
+
+impl ArenaEvaluation<'_> {
+    /// Number of valid lanes (the batch's row count).
+    #[inline]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    fn check_lane(&self, lane: usize) -> Result<()> {
+        if lane >= self.lanes {
+            return Err(CircuitError::LaneOutOfRange {
+                lane,
+                lanes: self.lanes,
+            });
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn slot_bit(&self, slot: usize, lane: usize) -> bool {
+        (self.vals[slot * self.words + lane / 64] >> (lane % 64)) & 1 == 1
+    }
+
+    /// The value of output `i` for assignment `lane`.
+    pub fn output(&self, lane: usize, i: usize) -> Result<bool> {
+        self.check_lane(lane)?;
+        let slot = *self
+            .circuit
+            .outputs
+            .get(i)
+            .ok_or(CircuitError::OutputIndexOutOfRange {
+                index: i,
+                len: self.circuit.outputs.len(),
+            })?;
+        Ok(self.slot_bit(slot as usize, lane))
+    }
+
+    /// All designated output values for assignment `lane`.
+    pub fn outputs(&self, lane: usize) -> Result<Vec<bool>> {
+        self.check_lane(lane)?;
+        Ok(self
+            .circuit
+            .outputs
+            .iter()
+            .map(|&s| self.slot_bit(s as usize, lane))
+            .collect())
+    }
+
+    /// Lane word `word` of designated output `i`, masked to valid lanes.
+    #[inline]
+    pub fn output_lane_mask(&self, i: usize, word: usize) -> u64 {
+        let slot = self.circuit.outputs[i] as usize;
+        self.vals[slot * self.words + word] & word_mask(self.lanes, word)
+    }
+
+    /// Number of gates that fired for assignment `lane` (the evaluation's
+    /// *energy* in the Uchizawa–Douglas–Maass model).
+    pub fn firing_count(&self, lane: usize) -> Result<u32> {
+        self.check_lane(lane)?;
+        Ok(self.counts[lane])
+    }
+
+    /// Per-lane firing counts, one entry per valid lane.
+    #[inline]
+    pub fn firing_counts(&self) -> &[u32] {
+        self.counts
+    }
+
+    /// Expands one lane into a full [`Evaluation`] (original gate order),
+    /// identical to what the scalar evaluator returns for that assignment.
+    pub fn evaluation(&self, lane: usize) -> Result<Evaluation> {
+        self.check_lane(lane)?;
+        let gate_values = (0..self.circuit.num_gates())
+            .map(|g| self.slot_bit(self.circuit.slot_of_gate(g), lane))
+            .collect();
+        Ok(Evaluation::from_parts(gate_values, self.outputs(lane)?))
+    }
+}

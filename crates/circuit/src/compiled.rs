@@ -1,5 +1,5 @@
 //! The compiled execution engine: CSR-lowered circuits with scalar,
-//! layer-parallel, and bit-sliced 64-lane batch evaluators.
+//! layer-parallel, and bit-sliced batch evaluators.
 //!
 //! [`Circuit`] is builder-friendly: every gate owns a `Vec<(Wire, i64)>`, so
 //! evaluating it chases pointers and re-resolves wires through an enum on
@@ -10,15 +10,22 @@
 //!   `1..=I` the primary inputs, slots `I+1..` the gates — so every evaluator
 //!   reads values from a single flat array with `u32` indices;
 //! * per-gate fan-in offsets into contiguous `wires` / `weights` arrays;
-//! * a precomputed layer schedule (gate ids grouped by depth) driving the
-//!   parallel evaluator;
-//! * per-gate *bit-edges* — each weight decomposed into its set bits — which
-//!   let [`CompiledCircuit::evaluate_batch64`] process 64 independent input
-//!   assignments per pass using `u64` lanes and carry-save plane arithmetic.
+//! * an internal gate numbering sorted by `(depth, gate class)` so each depth
+//!   layer occupies a contiguous slot range and the batch kernel runs
+//!   straight-line loops per [`GateClass`] segment (public accessors keep
+//!   speaking original gate ids; the permutation is invisible outside);
+//! * per-gate *bit-edges* — each weight decomposed into its set bits — for
+//!   [`GateClass::Pow2`] and [`GateClass::General`] gates only;
+//!   [`GateClass::Unit`] gates (all weights ±1, the majority-style gates that
+//!   dominate the paper's constructions) are evaluated straight off the raw
+//!   CSR edges with their positive edges ordered first.
 //!
-//! The three evaluators produce bit-identical [`Evaluation`]s (and firing
-//! counts) for the same inputs; the differential proptest suite in
-//! `tests/proptest_compiled.rs` asserts this gate-for-gate.
+//! All evaluators — scalar, layer-parallel, and the width-generic bit-sliced
+//! kernel behind [`CompiledCircuit::evaluate_batch64`] /
+//! [`CompiledCircuit::evaluate_batch_wide`] (see `kernel.rs`) — produce
+//! bit-identical [`Evaluation`]s (and firing counts) for the same inputs;
+//! the differential proptest suites in `tests/proptest_compiled.rs` and
+//! `tests/proptest_classes.rs` assert this gate-for-gate.
 //!
 //! ## Compile once, evaluate many
 //!
@@ -44,35 +51,107 @@ use crate::{Circuit, CircuitError, Result, Wire};
 /// Bit-sliced batch width: one `u64` lane per input assignment.
 pub const BATCH_LANES: usize = 64;
 
+/// Planes of the bit-sliced firing counter (supports circuits of up to
+/// `2^FIRING_PLANES` gates).
+pub(crate) const FIRING_PLANES: usize = 40;
+
 /// Sentinel in `batch_planes` marking a gate that needs the wide (per-lane
 /// `i128`) fallback instead of the carry-save plane kernel.
 pub(crate) const WIDE_GATE: u8 = u8::MAX;
 
+/// Kernel dispatch class of a compiled gate.
+///
+/// Classification is decided once at compile time from the gate's weights
+/// (and its plane budget) and drives which straight-line loop of the batch
+/// kernel evaluates the gate:
+///
+/// * [`GateClass::Unit`] — every weight is `+1` or `-1` (the majority-style
+///   gates that dominate the paper's Lemma 3.1 dot-product blocks and MAJ
+///   reductions). Evaluated by popcount-style carry-save addition over the
+///   raw CSR lane words: no bit-edge expansion, no per-edge shift decode.
+/// * [`GateClass::Pow2`] — every weight magnitude has a single set bit, so
+///   each edge is exactly one shift-indexed plane addition.
+/// * [`GateClass::General`] — everything else: weights decompose into
+///   multiple bit-edges (or the gate's weight reach exceeds the plane budget
+///   and it takes the per-lane `i128` fallback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateClass {
+    /// All weights ±1: raw-lane carry-save addition, no bit-edges.
+    Unit,
+    /// All weight magnitudes are powers of two: one bit-edge per edge.
+    Pow2,
+    /// Arbitrary weights: full bit-edge decomposition (or wide fallback).
+    General,
+}
+
+impl GateClass {
+    /// Classifies a gate from its weights and plane budget. `planes` is the
+    /// gate's `batch_planes` entry ([`WIDE_GATE`] demotes to `General`).
+    pub(crate) fn classify<I: Iterator<Item = i64> + Clone>(weights: I, planes: u8) -> Self {
+        if planes == WIDE_GATE {
+            return GateClass::General;
+        }
+        if weights.clone().all(|w| w == 1 || w == -1) {
+            GateClass::Unit
+        } else if weights
+            .clone()
+            .all(|w| w != 0 && w.unsigned_abs().is_power_of_two())
+        {
+            GateClass::Pow2
+        } else {
+            GateClass::General
+        }
+    }
+
+    /// Index into per-class arrays (`[Unit, Pow2, General]`).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            GateClass::Unit => 0,
+            GateClass::Pow2 => 1,
+            GateClass::General => 2,
+        }
+    }
+}
+
 /// A [`Circuit`] lowered to flat CSR arrays with a precomputed layer
 /// schedule, hosting the scalar, layer-parallel and bit-sliced batch
 /// evaluators behind one API.
+///
+/// Internally gates are renumbered so that each depth layer is a contiguous
+/// slot range and, inside a layer, gates of the same [`GateClass`] are
+/// adjacent. Every public accessor and every returned [`Evaluation`] speaks
+/// *original* gate ids; `perm`/`inv` translate at the boundary.
 #[derive(Debug, Clone)]
 pub struct CompiledCircuit {
     pub(crate) num_inputs: usize,
-    /// Gate fan-in offsets: edges of gate `g` are `offsets[g]..offsets[g+1]`.
+    /// Gate fan-in offsets (internal order): edges of internal gate `g` are
+    /// `offsets[g]..offsets[g+1]`.
     pub(crate) offsets: Vec<u32>,
-    /// Slot-encoded fan-in wires, contiguous across gates.
+    /// Slot-encoded fan-in wires, contiguous across gates. Within each gate
+    /// the non-negative-weight edges come first (see `pos_counts`).
     pub(crate) wires: Vec<u32>,
     /// Fan-in weights, parallel to `wires`.
     pub(crate) weights: Vec<i64>,
-    /// Per-gate firing thresholds.
+    /// Per-gate count of leading non-negative-weight edges (internal order);
+    /// the `Unit` kernel splits its pos/neg accumulation at this point.
+    pub(crate) pos_counts: Vec<u32>,
+    /// Per-gate firing thresholds (internal order).
     pub(crate) thresholds: Vec<i64>,
-    /// Per-gate depth (1-based), in gate order.
+    /// Per-gate depth (1-based), in ORIGINAL gate order.
     depths: Vec<u32>,
-    /// Gate ids grouped by depth layer; `layer_ranges[d]` indexes into it.
+    /// ORIGINAL gate ids grouped by depth layer; `layer_ranges[d]` indexes
+    /// into it (the public [`CompiledCircuit::layer`] view).
     schedule: Vec<u32>,
-    /// Half-open ranges of `schedule`, one per depth layer.
+    /// Half-open ranges, one per depth layer. Because the internal numbering
+    /// is depth-major, `layer_ranges[d]` is *also* the internal gate-id range
+    /// of layer `d`.
     layer_ranges: Vec<(u32, u32)>,
     /// Slot-encoded designated outputs.
     pub(crate) outputs: Vec<u32>,
-    /// Per-gate flag: the weighted sum provably fits an `i64` accumulator.
+    /// Per-gate flag (internal order): the weighted sum provably fits `i64`.
     narrow: Vec<bool>,
-    /// Bit-edge offsets for the batch kernel (CSR over decomposed weights).
+    /// Bit-edge offsets (internal order; `Unit` gates span zero bit-edges).
     pub(crate) bit_offsets: Vec<u32>,
     /// Slot of each bit-edge.
     pub(crate) bit_slots: Vec<u32>,
@@ -80,14 +159,28 @@ pub struct CompiledCircuit {
     pub(crate) bit_shifts: Vec<u8>,
     /// Planes needed by the batch kernel per gate, or [`WIDE_GATE`].
     pub(crate) batch_planes: Vec<u8>,
+    /// Per-gate class (internal order).
+    pub(crate) classes: Vec<GateClass>,
+    /// Maximal runs of equal class in internal order: `(class, lo, hi)`.
+    pub(crate) segments: Vec<(GateClass, u32, u32)>,
+    /// Gates per class (`[Unit, Pow2, General]`).
+    class_counts: [usize; 3],
+    /// Plane-addition operations one batch pass performs per class:
+    /// raw edges for `Unit`, bit-edges for `Pow2`/`General`.
+    class_plane_ops: [u64; 3],
+    /// ORIGINAL gate id → internal gate id. Shared (`Arc`) so evaluations
+    /// that must translate slots back to original ids borrow it for free.
+    pub(crate) perm: std::sync::Arc<[u32]>,
+    /// Internal gate id → ORIGINAL gate id.
+    pub(crate) inv: Vec<u32>,
 }
 
 #[inline]
-fn slot_of(wire: Wire, num_inputs: usize) -> usize {
+fn slot_of(wire: Wire, num_inputs: usize, perm: &[u32]) -> usize {
     match wire {
         Wire::One => 0,
         Wire::Input(i) => 1 + i as usize,
-        Wire::Gate(g) => 1 + num_inputs + g as usize,
+        Wire::Gate(g) => 1 + num_inputs + perm[g as usize] as usize,
     }
 }
 
@@ -112,22 +205,17 @@ impl CompiledCircuit {
             });
         }
 
-        let num_edges = circuit.num_edges();
-        let mut offsets = Vec::with_capacity(num_gates + 1);
-        let mut wires = Vec::with_capacity(num_edges);
-        let mut weights = Vec::with_capacity(num_edges);
-        let mut thresholds = Vec::with_capacity(num_gates);
-        let mut narrow = Vec::with_capacity(num_gates);
-        let mut bit_offsets = Vec::with_capacity(num_gates + 1);
-        let mut bit_slots = Vec::new();
-        let mut bit_shifts = Vec::new();
-        let mut batch_planes = Vec::with_capacity(num_gates);
-
-        offsets.push(0u32);
-        bit_offsets.push(0u32);
+        // ── Pass 1 (original order): validate fan-in wires, recompute
+        // depths from the fan-ins (authoritative even for hand-assembled
+        // circuits), and classify every gate.
+        let mut depths = vec![0u32; num_gates];
+        let mut per_gate_planes = Vec::with_capacity(num_gates);
+        let mut per_gate_narrow = Vec::with_capacity(num_gates);
+        let mut per_gate_class = Vec::with_capacity(num_gates);
         for (idx, gate) in circuit.gates().iter().enumerate() {
             let mut pos_sum: i128 = 0;
             let mut neg_sum: i128 = 0;
+            let mut depth_in = 0u32;
             for &(wire, weight) in gate.inputs() {
                 let valid = match wire {
                     Wire::Input(i) => (i as usize) < num_inputs,
@@ -141,61 +229,36 @@ impl CompiledCircuit {
                         num_gates: idx,
                     });
                 }
-                let slot = slot_of(wire, num_inputs) as u32;
-                wires.push(slot);
-                weights.push(weight);
+                if let Wire::Gate(g) = wire {
+                    depth_in = depth_in.max(depths[g as usize]);
+                }
                 if weight >= 0 {
                     pos_sum += weight as i128;
                 } else {
                     neg_sum += -(weight as i128);
                 }
-                // Decompose |weight| into bit-edges for the batch kernel.
-                let magnitude = weight.unsigned_abs();
-                let sign_bit = if weight < 0 { 0x80u8 } else { 0 };
-                let mut bits = magnitude;
-                while bits != 0 {
-                    let k = bits.trailing_zeros() as u8;
-                    bit_slots.push(slot);
-                    bit_shifts.push(k | sign_bit);
-                    bits &= bits - 1;
-                }
             }
+            depths[idx] = depth_in + 1;
             let t = gate.threshold();
-            thresholds.push(t);
-            narrow.push(pos_sum <= i64::MAX as i128 && neg_sum <= i64::MAX as i128);
+            per_gate_narrow.push(pos_sum <= i64::MAX as i128 && neg_sum <= i64::MAX as i128);
             // Planes so that POS, NEG and POS - NEG - t all fit a signed
             // `planes`-bit two's-complement integer.
             let reach = pos_sum + neg_sum + (t.unsigned_abs() as i128);
             let needed = 128 - (reach + 1).leading_zeros() + 2;
-            batch_planes.push(if (needed as usize) < BATCH_LANES {
+            let planes = if (needed as usize) < BATCH_LANES {
                 needed as u8
             } else {
                 WIDE_GATE
-            });
-            offsets.push(wires.len() as u32);
-            bit_offsets.push(bit_slots.len() as u32);
-        }
-
-        let mut outputs = Vec::with_capacity(circuit.outputs().len());
-        for &wire in circuit.outputs() {
-            let valid = match wire {
-                Wire::Input(i) => (i as usize) < num_inputs,
-                Wire::Gate(g) => (g as usize) < num_gates,
-                Wire::One => true,
             };
-            if !valid {
-                return Err(CircuitError::DanglingWire {
-                    wire,
-                    num_inputs,
-                    num_gates,
-                });
-            }
-            outputs.push(slot_of(wire, num_inputs) as u32);
+            per_gate_planes.push(planes);
+            per_gate_class.push(GateClass::classify(
+                gate.inputs().iter().map(|&(_, w)| w),
+                planes,
+            ));
         }
 
-        // Layer schedule: gate ids grouped by depth, ascending inside each
-        // layer (counting sort over depths).
-        let depths: Vec<u32> = (0..num_gates).map(|g| circuit.gate_depth(g)).collect();
+        // ── Layer schedule: ORIGINAL gate ids grouped by depth, ascending
+        // inside each layer (counting sort over depths).
         let depth = depths.iter().copied().max().unwrap_or(0) as usize;
         let mut layer_sizes = vec![0u32; depth];
         for &d in &depths {
@@ -215,11 +278,118 @@ impl CompiledCircuit {
             *c += 1;
         }
 
+        // ── Internal numbering: depth-major (so every layer is a contiguous
+        // internal range — `layer_ranges` doubles as the internal ranges),
+        // class-sorted inside each layer so the batch kernel's class
+        // segments are maximal straight-line runs. Topological soundness
+        // holds because a fan-in gate always has strictly smaller depth.
+        let mut inv = schedule.clone();
+        for &(lo, hi) in &layer_ranges {
+            inv[lo as usize..hi as usize].sort_by_key(|&g| (per_gate_class[g as usize].index(), g));
+        }
+        let mut perm = vec![0u32; num_gates];
+        for (internal, &orig) in inv.iter().enumerate() {
+            perm[orig as usize] = internal as u32;
+        }
+
+        // ── Pass 2 (internal order): build the CSR arrays. Edges are
+        // reordered non-negative-weight first (the sum is order-invariant;
+        // the `Unit` kernel needs the split point), and bit-edges are only
+        // emitted for `Pow2`/`General` gates — `Unit` gates are evaluated
+        // straight off the raw edges.
+        let num_edges = circuit.num_edges();
+        let mut offsets = Vec::with_capacity(num_gates + 1);
+        let mut wires = Vec::with_capacity(num_edges);
+        let mut weights = Vec::with_capacity(num_edges);
+        let mut pos_counts = Vec::with_capacity(num_gates);
+        let mut thresholds = Vec::with_capacity(num_gates);
+        let mut narrow = Vec::with_capacity(num_gates);
+        let mut bit_offsets = Vec::with_capacity(num_gates + 1);
+        let mut bit_slots = Vec::new();
+        let mut bit_shifts = Vec::new();
+        let mut batch_planes = Vec::with_capacity(num_gates);
+        let mut classes = Vec::with_capacity(num_gates);
+        let mut class_counts = [0usize; 3];
+        let mut class_plane_ops = [0u64; 3];
+
+        offsets.push(0u32);
+        bit_offsets.push(0u32);
+        for &orig in &inv {
+            let gate = &circuit.gates()[orig as usize];
+            let class = per_gate_class[orig as usize];
+            let mut emit = |sign: bool| {
+                let mut count = 0u32;
+                for &(wire, weight) in gate.inputs() {
+                    if (weight < 0) != sign {
+                        continue;
+                    }
+                    count += 1;
+                    let slot = slot_of(wire, num_inputs, &perm) as u32;
+                    wires.push(slot);
+                    weights.push(weight);
+                    if class == GateClass::Unit {
+                        continue;
+                    }
+                    // Decompose |weight| into bit-edges for the batch kernel.
+                    let sign_bit = if weight < 0 { 0x80u8 } else { 0 };
+                    let mut bits = weight.unsigned_abs();
+                    while bits != 0 {
+                        let k = bits.trailing_zeros() as u8;
+                        bit_slots.push(slot);
+                        bit_shifts.push(k | sign_bit);
+                        bits &= bits - 1;
+                    }
+                }
+                count
+            };
+            let pos = emit(false);
+            emit(true);
+            pos_counts.push(pos);
+            thresholds.push(gate.threshold());
+            narrow.push(per_gate_narrow[orig as usize]);
+            batch_planes.push(per_gate_planes[orig as usize]);
+            classes.push(class);
+            class_counts[class.index()] += 1;
+            class_plane_ops[class.index()] += match class {
+                GateClass::Unit => gate.fan_in() as u64,
+                _ => (bit_slots.len() as u32 - *bit_offsets.last().unwrap()) as u64,
+            };
+            offsets.push(wires.len() as u32);
+            bit_offsets.push(bit_slots.len() as u32);
+        }
+
+        // Maximal same-class runs in internal order.
+        let mut segments: Vec<(GateClass, u32, u32)> = Vec::new();
+        for (i, &class) in classes.iter().enumerate() {
+            match segments.last_mut() {
+                Some((c, _, hi)) if *c == class => *hi = (i + 1) as u32,
+                _ => segments.push((class, i as u32, (i + 1) as u32)),
+            }
+        }
+
+        let mut outputs = Vec::with_capacity(circuit.outputs().len());
+        for &wire in circuit.outputs() {
+            let valid = match wire {
+                Wire::Input(i) => (i as usize) < num_inputs,
+                Wire::Gate(g) => (g as usize) < num_gates,
+                Wire::One => true,
+            };
+            if !valid {
+                return Err(CircuitError::DanglingWire {
+                    wire,
+                    num_inputs,
+                    num_gates,
+                });
+            }
+            outputs.push(slot_of(wire, num_inputs, &perm) as u32);
+        }
+
         Ok(CompiledCircuit {
             num_inputs,
             offsets,
             wires,
             weights,
+            pos_counts,
             thresholds,
             depths,
             schedule,
@@ -230,6 +400,12 @@ impl CompiledCircuit {
             bit_slots,
             bit_shifts,
             batch_planes,
+            classes,
+            segments,
+            class_counts,
+            class_plane_ops,
+            perm: perm.into(),
+            inv,
         })
     }
 
@@ -251,11 +427,50 @@ impl CompiledCircuit {
         self.wires.len()
     }
 
-    /// Total number of *bit-edges* — weights decomposed into set bits — the
-    /// unit of work of the bit-sliced batch kernels.
+    /// Total number of *bit-edges* — weights decomposed into set bits — held
+    /// for the [`GateClass::Pow2`] and [`GateClass::General`] gates.
+    /// [`GateClass::Unit`] gates are evaluated straight off the raw CSR
+    /// edges and emit none; see [`CompiledCircuit::class_plane_ops`] for the
+    /// full per-pass work accounting.
     #[inline]
     pub fn num_bit_edges(&self) -> usize {
         self.bit_slots.len()
+    }
+
+    /// The kernel dispatch class of gate `gate_index` (original gate id).
+    #[inline]
+    pub fn gate_class(&self, gate_index: usize) -> GateClass {
+        self.classes[self.perm[gate_index] as usize]
+    }
+
+    /// Gates per class, as `[Unit, Pow2, General]` counts.
+    #[inline]
+    pub fn class_counts(&self) -> [usize; 3] {
+        self.class_counts
+    }
+
+    /// Plane-addition operations one bit-sliced batch pass performs per
+    /// class (`[Unit, Pow2, General]`): raw edges for `Unit` gates,
+    /// bit-edges for the rest. The unit of work of the batch kernels — cost
+    /// models weight these instead of guessing from `num_bit_edges`.
+    #[inline]
+    pub fn class_plane_ops(&self) -> [u64; 3] {
+        self.class_plane_ops
+    }
+
+    /// The ORIGINAL gate id occupying `slot`, or `None` for the constant-one
+    /// wire and the primary inputs. The inverse of the internal `(depth,
+    /// class)`-sorted slot numbering.
+    #[inline]
+    pub fn gate_of_slot(&self, slot: usize) -> Option<usize> {
+        slot.checked_sub(1 + self.num_inputs)
+            .map(|internal| self.inv[internal] as usize)
+    }
+
+    /// The slot holding gate `gate_index`'s value (original gate id).
+    #[inline]
+    pub(crate) fn slot_of_gate(&self, gate_index: usize) -> usize {
+        1 + self.num_inputs + self.perm[gate_index] as usize
     }
 
     /// The maximum fan-in over all gates.
@@ -279,18 +494,21 @@ impl CompiledCircuit {
         self.depths[gate_index]
     }
 
-    /// Per-gate fan-in `(slot-encoded wires, weights)` of gate `g`.
+    /// Per-gate fan-in `(slot-encoded wires, weights)` of gate `g` (original
+    /// gate id). Edges are stored non-negative-weight first; the weighted
+    /// sum is order-invariant.
     #[inline]
     pub fn fan_in(&self, g: usize) -> (&[u32], &[i64]) {
-        let lo = self.offsets[g] as usize;
-        let hi = self.offsets[g + 1] as usize;
+        let i = self.perm[g] as usize;
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
         (&self.wires[lo..hi], &self.weights[lo..hi])
     }
 
-    /// Per-gate threshold.
+    /// Per-gate threshold (original gate id).
     #[inline]
     pub fn threshold(&self, g: usize) -> i64 {
-        self.thresholds[g]
+        self.thresholds[self.perm[g] as usize]
     }
 
     /// Number of designated outputs.
@@ -336,7 +554,8 @@ impl CompiledCircuit {
         Ok(())
     }
 
-    /// Evaluates one gate from the flat value array (scalar fast/wide path).
+    /// Evaluates one INTERNAL gate from the flat value array (scalar
+    /// fast/wide path).
     #[inline]
     fn fire_scalar(&self, g: usize, vals: &[bool]) -> bool {
         debug_assert_eq!(vals.len(), self.len_slots());
@@ -378,7 +597,13 @@ impl CompiledCircuit {
     }
 
     fn finish(&self, vals: Vec<bool>) -> Evaluation {
-        let gate_values = vals[1 + self.num_inputs..].to_vec();
+        // The slot array is in internal (depth, class) order; the exposed
+        // evaluation speaks original gate ids.
+        let gate_values = self
+            .perm
+            .iter()
+            .map(|&i| vals[1 + self.num_inputs + i as usize])
+            .collect();
         let outputs = self.outputs.iter().map(|&s| vals[s as usize]).collect();
         Evaluation::from_parts(gate_values, outputs)
     }
@@ -408,11 +633,14 @@ impl CompiledCircuit {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        for d in 0..self.layer_ranges.len() {
-            let layer = self.layer(d);
-            if threads < 2 || layer.len() < opts.parallel_threshold.max(2) {
-                for &g in layer {
-                    vals[1 + self.num_inputs + g as usize] = self.fire_scalar(g as usize, &vals);
+        for &(lo, hi) in &self.layer_ranges {
+            // Internal numbering is depth-major, so layer `d` is exactly the
+            // contiguous internal gate range `lo..hi` (cache-local writes).
+            let (lo, hi) = (lo as usize, hi as usize);
+            let len = hi - lo;
+            if threads < 2 || len < opts.parallel_threshold.max(2) {
+                for g in lo..hi {
+                    vals[1 + self.num_inputs + g] = self.fire_scalar(g, &vals);
                 }
             } else {
                 // Gates within one depth layer never reference each other, so
@@ -422,21 +650,24 @@ impl CompiledCircuit {
                 // buffer while siblings write disjoint slots would still be
                 // undefined behaviour.
                 let cell = SharedVals(vals.as_mut_ptr());
-                let chunk = layer.len().div_ceil(threads);
+                let chunk = len.div_ceil(threads);
                 std::thread::scope(|scope| {
-                    for part in layer.chunks(chunk) {
+                    let mut start = lo;
+                    while start < hi {
+                        let end = (start + chunk).min(hi);
                         let cell = &cell;
                         scope.spawn(move || {
-                            for &g in part {
+                            for g in start..end {
                                 // SAFETY: gate `g` reads only earlier-layer
                                 // slots (no concurrent writers) and writes its
                                 // own slot, unique within this layer.
                                 unsafe {
-                                    let fired = self.fire_scalar_raw(g as usize, cell.0);
-                                    *cell.0.add(1 + self.num_inputs + g as usize) = fired;
+                                    let fired = self.fire_scalar_raw(g, cell.0);
+                                    *cell.0.add(1 + self.num_inputs + g) = fired;
                                 }
                             }
                         });
+                        start = end;
                     }
                 });
             }
@@ -449,13 +680,14 @@ impl CompiledCircuit {
         1 + self.num_inputs + self.num_gates()
     }
 
-    /// Evaluates up to 64 independent input assignments in one pass.
+    /// Evaluates up to 64 independent input assignments in one pass of the
+    /// unified width-generic kernel (`W = 1`; see `kernel.rs`).
     ///
     /// Gate values are carried as `u64` lane masks (bit `l` = assignment `l`)
     /// and each gate's weighted sums are accumulated for all lanes at once
-    /// with carry-save plane arithmetic over the gate's *bit-edges*
-    /// (weights decomposed into set bits). Lane `l` of the result is
-    /// bit-identical to `evaluate(&rows[l])` — values and firing counts.
+    /// with carry-save plane arithmetic, dispatched per [`GateClass`]
+    /// segment. Lane `l` of the result is bit-identical to
+    /// `evaluate(&rows[l])` — values and firing counts.
     pub fn evaluate_batch64(&self, batch: &Batch64) -> Result<BatchEvaluation> {
         if batch.num_inputs != self.num_inputs {
             return Err(CircuitError::InputLengthMismatch {
@@ -469,83 +701,24 @@ impl CompiledCircuit {
         } else {
             (1u64 << lanes) - 1
         };
-        let mut vals = vec![0u64; self.len_slots()];
-        vals[0] = !0u64;
-        vals[1..=self.num_inputs].copy_from_slice(&batch.masks);
-
-        // Per-gate carry-save accumulators for positive and negative weight
-        // magnitudes, plus a bit-sliced firing counter across all gates.
-        let mut pos = [0u64; BATCH_LANES];
-        let mut neg = [0u64; BATCH_LANES];
-        let mut firing = [0u64; 40];
-        let mut gate_masks = Vec::with_capacity(self.num_gates());
-
-        for g in 0..self.num_gates() {
-            let planes = self.batch_planes[g];
-            let fired = if planes == WIDE_GATE {
-                self.fire_wide_lanes(g, &vals, lanes)
-            } else {
-                let p = planes as usize;
-                pos[..p].fill(0);
-                neg[..p].fill(0);
-                let lo = self.bit_offsets[g] as usize;
-                let hi = self.bit_offsets[g + 1] as usize;
-                for e in lo..hi {
-                    let mask = vals[self.bit_slots[e] as usize];
-                    if mask == 0 {
-                        continue;
-                    }
-                    let desc = self.bit_shifts[e];
-                    let planes_arr = if desc & 0x80 != 0 { &mut neg } else { &mut pos };
-                    // Ripple-add `mask` into the counter starting at plane
-                    // `shift`; amortised O(1) planes touched per edge.
-                    let mut carry = mask;
-                    let mut i = (desc & 0x3F) as usize;
-                    while carry != 0 {
-                        let a = planes_arr[i];
-                        planes_arr[i] = a ^ carry;
-                        carry &= a;
-                        i += 1;
-                    }
-                }
-                // S = POS - NEG - t per lane, bit-sliced; fired = sign(S) == 0.
-                let t = self.thresholds[g];
-                let mut carry = !0u64; // first +1 of the two two's-complement negations
-                let mut carry2 = !0u64; // second +1
-                let mut sign = 0u64;
-                for i in 0..p {
-                    let a = pos[i];
-                    let b = !neg[i];
-                    let s1 = a ^ b ^ carry;
-                    carry = (a & b) | (carry & (a | b));
-                    // Subtract the matching plane of the constant threshold.
-                    let tb = if (t >> i.min(63)) & 1 == 1 {
-                        0u64
-                    } else {
-                        !0u64
-                    };
-                    sign = s1 ^ tb ^ carry2;
-                    carry2 = (s1 & tb) | (carry2 & (s1 | tb));
-                }
-                !sign
-            };
-            vals[1 + self.num_inputs + g] = fired;
-            // Lanes beyond the batch width carry whatever the kernel computed
-            // for them; mask them off so the exposed masks are consistent.
-            gate_masks.push(fired & lane_mask);
-            // Count firings per lane (bit-sliced counter, valid lanes only).
-            let mut carry = fired & lane_mask;
-            let mut i = 0;
-            while carry != 0 {
-                let a = firing[i];
-                firing[i] = a ^ carry;
-                carry &= a;
-                i += 1;
-            }
+        let mut vals = vec![[0u64; 1]; self.len_slots()];
+        vals[0] = [!0u64];
+        for (v, &m) in vals[1..=self.num_inputs].iter_mut().zip(&batch.masks) {
+            *v = [m];
         }
+        let mut firing = [[0u64; 1]; FIRING_PLANES];
+        self.run_planes::<1>(&mut vals, &mut firing, lanes);
 
+        // The slot array is internal-order; expose original gate order.
+        // Lanes beyond the batch width carry whatever the kernel computed
+        // for them; mask them off so the exposed masks are consistent.
+        let gate_masks = self
+            .perm
+            .iter()
+            .map(|&i| vals[1 + self.num_inputs + i as usize][0] & lane_mask)
+            .collect();
         let mut firing_counts = [0u32; BATCH_LANES];
-        for (k, &plane) in firing.iter().enumerate() {
+        for (k, &[plane]) in firing.iter().enumerate() {
             let mut m = plane;
             while m != 0 {
                 let l = m.trailing_zeros() as usize;
@@ -557,7 +730,7 @@ impl CompiledCircuit {
         let output_masks = self
             .outputs
             .iter()
-            .map(|&s| vals[s as usize] & lane_mask)
+            .map(|&s| vals[s as usize][0] & lane_mask)
             .collect();
         Ok(BatchEvaluation {
             lanes: batch.lanes,
@@ -574,21 +747,25 @@ impl CompiledCircuit {
     /// Callers no longer hand-chunk batches of exactly 64: any batch size
     /// (including empty) is accepted, and the returned [`ManyEvaluation`]
     /// addresses results by request index. Request `i`'s outputs and firing
-    /// count are bit-identical to `evaluate(&rows[i])`. Each group's
-    /// per-gate state is dropped as soon as its outputs are extracted, so
-    /// peak memory stays at one group regardless of batch size (callers that
-    /// need full per-gate evaluations use the batch kernels directly).
+    /// count are bit-identical to `evaluate(&rows[i])`. All per-gate state
+    /// lives in one [`crate::PlaneArena`] reused across lane groups — the
+    /// input masks are packed straight into the arena once per group (not
+    /// repacked through an intermediate [`Batch64`]), so the whole call
+    /// performs a constant number of allocations regardless of batch size.
     pub fn evaluate_many<R: AsRef<[bool]>>(&self, rows: &[R]) -> Result<ManyEvaluation> {
         let num_outputs = self.outputs.len();
         let mut output_masks = Vec::with_capacity(rows.len().div_ceil(BATCH_LANES) * num_outputs);
         let mut firing_counts = Vec::with_capacity(rows.len());
+        let mut arena = crate::PlaneArena::new();
+        let mut refs: Vec<&[bool]> = Vec::with_capacity(BATCH_LANES);
         for chunk in rows.chunks(BATCH_LANES) {
-            let batch = Batch64::pack(self.num_inputs, chunk)?;
-            let bev = self.evaluate_batch64(&batch)?;
-            output_masks.extend_from_slice(bev.output_masks());
-            for lane in 0..chunk.len() {
-                firing_counts.push(bev.firing_count(lane)?);
+            refs.clear();
+            refs.extend(chunk.iter().map(|r| r.as_ref()));
+            let ev = self.evaluate_rows_arena::<1>(&refs, &mut arena)?;
+            for i in 0..num_outputs {
+                output_masks.push(ev.output_lane_mask(i, 0));
             }
+            firing_counts.extend_from_slice(ev.firing_counts());
         }
         Ok(ManyEvaluation {
             requests: rows.len(),
@@ -596,27 +773,6 @@ impl CompiledCircuit {
             output_masks,
             firing_counts,
         })
-    }
-
-    /// Wide-gate fallback for the batch kernel: evaluates each lane with an
-    /// `i128` accumulator. Only reached when a gate's weight reach exceeds
-    /// the plane budget (~2^61), which no paper construction does.
-    #[cold]
-    fn fire_wide_lanes(&self, g: usize, vals: &[u64], lanes: usize) -> u64 {
-        let lo = self.offsets[g] as usize;
-        let hi = self.offsets[g + 1] as usize;
-        let t = self.thresholds[g] as i128;
-        let mut fired = 0u64;
-        for l in 0..lanes {
-            let mut acc: i128 = 0;
-            for e in lo..hi {
-                if (vals[self.wires[e] as usize] >> l) & 1 == 1 {
-                    acc += self.weights[e] as i128;
-                }
-            }
-            fired |= ((acc >= t) as u64) << l;
-        }
-        fired
     }
 }
 

@@ -71,7 +71,9 @@ impl CompiledCircuit {
             } else if slot <= num_inputs {
                 format!("x{}", slot - 1)
             } else {
-                format!("g{}", slot - 1 - num_inputs)
+                // Slots are internally (depth, class)-sorted; render the
+                // original gate id.
+                format!("g{}", self.gate_of_slot(slot).expect("gate slot"))
             }
         };
         let uses_one = (0..self.num_gates()).any(|g| self.fan_in(g).0.contains(&0))

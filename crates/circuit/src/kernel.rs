@@ -1,0 +1,273 @@
+//! The unified width-generic bit-sliced kernel.
+//!
+//! One carry-save plane kernel serves every lane width: `W = 1` is the
+//! classic 64-lane path behind [`CompiledCircuit::evaluate_batch64`], and
+//! `W ∈ {2, 4, 8}` are the 128/256/512-lane wide paths behind
+//! [`CompiledCircuit::evaluate_batch_wide`] (the duplicated per-width
+//! implementations this module replaced lived in `compiled.rs` and
+//! `wide.rs`). Every word-column of a plane is an independent instance of
+//! the 64-lane kernel — carries never propagate between words — so lane `l`
+//! of any width is bit-identical to the scalar evaluator on assignment `l`.
+//!
+//! The kernel walks the compiled circuit's class *segments* (maximal runs of
+//! equal [`GateClass`] in the internal `(depth, class)`-sorted gate order)
+//! and dispatches once per segment instead of once per gate:
+//!
+//! * [`GateClass::Unit`] — all weights ±1: the gate's raw lane words are
+//!   carry-save-added from plane 0, positives then negatives (the compiled
+//!   edge order), with no bit-edge indirection at all;
+//! * [`GateClass::Pow2`] — single-set-bit weights: exactly one shift-indexed
+//!   plane addition per edge;
+//! * [`GateClass::General`] — full bit-edge decomposition, with the cold
+//!   per-lane `i128` fallback for gates whose weight reach exceeds the
+//!   plane budget.
+
+use crate::compiled::{CompiledCircuit, GateClass, FIRING_PLANES, WIDE_GATE};
+
+/// Valid-lane mask for word `word` of a batch carrying `lanes` assignments.
+#[inline]
+pub(crate) fn word_mask(lanes: usize, word: usize) -> u64 {
+    let lo = word * 64;
+    if lanes >= lo + 64 {
+        !0u64
+    } else if lanes <= lo {
+        0u64
+    } else {
+        (1u64 << (lanes - lo)) - 1
+    }
+}
+
+/// Ripple-adds `carry` into word-column `w` of a bit-sliced counter,
+/// starting at plane `i`; amortised O(1) planes touched per call.
+#[inline(always)]
+fn ripple_add<const W: usize>(planes: &mut [[u64; W]; 64], w: usize, mut i: usize, mut carry: u64) {
+    while carry != 0 {
+        let a = planes[i][w];
+        planes[i][w] = a ^ carry;
+        carry &= a;
+        i += 1;
+    }
+}
+
+/// `S = POS - NEG - t` per lane over `p` planes of word-column `w`,
+/// bit-sliced; the returned mask has bit `l` set iff `S >= 0` for lane `l`.
+#[inline(always)]
+fn fired_word<const W: usize>(
+    pos: &[[u64; W]; 64],
+    neg: &[[u64; W]; 64],
+    w: usize,
+    p: usize,
+    t: i64,
+) -> u64 {
+    let mut carry = !0u64; // first +1 of the two two's-complement negations
+    let mut carry2 = !0u64; // second +1
+    let mut sign = 0u64;
+    for i in 0..p {
+        let a = pos[i][w];
+        let b = !neg[i][w];
+        let s1 = a ^ b ^ carry;
+        carry = (a & b) | (carry & (a | b));
+        // Subtract the matching plane of the constant threshold.
+        let tb = if (t >> i.min(63)) & 1 == 1 {
+            0u64
+        } else {
+            !0u64
+        };
+        sign = s1 ^ tb ^ carry2;
+        carry2 = (s1 & tb) | (carry2 & (s1 | tb));
+    }
+    !sign
+}
+
+impl CompiledCircuit {
+    /// The width-generic kernel core: evaluates every gate over `vals`
+    /// (slot-indexed `[u64; W]` lane words, constant-one and inputs already
+    /// packed) and accumulates per-lane firing counts into `firing`
+    /// (`FIRING_PLANES` planes, zeroed by the caller).
+    ///
+    /// Gate slots are written in internal `(depth, class)` order — callers
+    /// translate to original gate ids through the compiled permutation.
+    /// Lanes at and beyond `lanes` hold unspecified values; firing counts
+    /// only accumulate valid lanes.
+    pub(crate) fn run_planes<const W: usize>(
+        &self,
+        vals: &mut [[u64; W]],
+        firing: &mut [[u64; W]],
+        lanes: usize,
+    ) {
+        debug_assert!(vals.len() >= self.len_slots());
+        debug_assert!(firing.len() >= FIRING_PLANES);
+        debug_assert!(lanes <= 64 * W);
+        let gate_base = 1 + self.num_inputs;
+        let mut wmask = [0u64; W];
+        for (w, m) in wmask.iter_mut().enumerate() {
+            *m = word_mask(lanes, w);
+        }
+        // Per-gate carry-save accumulators for positive and negative weight
+        // magnitudes, shared across every class arm.
+        let mut pos = [[0u64; W]; 64];
+        let mut neg = [[0u64; W]; 64];
+
+        for &(class, seg_lo, seg_hi) in &self.segments {
+            match class {
+                GateClass::Unit => {
+                    for g in seg_lo as usize..seg_hi as usize {
+                        let p = self.batch_planes[g] as usize;
+                        pos[..p].fill([0u64; W]);
+                        neg[..p].fill([0u64; W]);
+                        let lo = self.offsets[g] as usize;
+                        let hi = self.offsets[g + 1] as usize;
+                        let split = lo + self.pos_counts[g] as usize;
+                        // ±1 weights: each edge is one carry-save addition of
+                        // the raw lane words from plane 0 — no bit-edges, no
+                        // shift decode, no sign branch.
+                        for e in lo..split {
+                            let mask = vals[self.wires[e] as usize];
+                            for (w, &word) in mask.iter().enumerate() {
+                                ripple_add(&mut pos, w, 0, word);
+                            }
+                        }
+                        for e in split..hi {
+                            let mask = vals[self.wires[e] as usize];
+                            for (w, &word) in mask.iter().enumerate() {
+                                ripple_add(&mut neg, w, 0, word);
+                            }
+                        }
+                        let t = self.thresholds[g];
+                        let mut fired = [0u64; W];
+                        for (w, f) in fired.iter_mut().enumerate() {
+                            *f = fired_word(&pos, &neg, w, p, t);
+                        }
+                        vals[gate_base + g] = fired;
+                        for w in 0..W {
+                            count_firing(firing, w, fired[w] & wmask[w]);
+                        }
+                    }
+                }
+                GateClass::Pow2 => {
+                    for g in seg_lo as usize..seg_hi as usize {
+                        // Single-set-bit weights: exactly one shift-indexed
+                        // plane addition per edge.
+                        let fired = self.fire_bit_edges(g, vals, &mut pos, &mut neg);
+                        vals[gate_base + g] = fired;
+                        for w in 0..W {
+                            count_firing(firing, w, fired[w] & wmask[w]);
+                        }
+                    }
+                }
+                GateClass::General => {
+                    for g in seg_lo as usize..seg_hi as usize {
+                        let fired = if self.batch_planes[g] == WIDE_GATE {
+                            self.fire_wide_lanes(g, vals, lanes)
+                        } else {
+                            self.fire_bit_edges(g, vals, &mut pos, &mut neg)
+                        };
+                        vals[gate_base + g] = fired;
+                        for w in 0..W {
+                            count_firing(firing, w, fired[w] & wmask[w]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Accumulates one bit-edge gate (`Pow2`/`General`, plane budget holds):
+    /// ripple-adds every bit-edge's lane words at its shift, then compares
+    /// against the threshold.
+    #[inline(always)]
+    fn fire_bit_edges<const W: usize>(
+        &self,
+        g: usize,
+        vals: &[[u64; W]],
+        pos: &mut [[u64; W]; 64],
+        neg: &mut [[u64; W]; 64],
+    ) -> [u64; W] {
+        let p = self.batch_planes[g] as usize;
+        pos[..p].fill([0u64; W]);
+        neg[..p].fill([0u64; W]);
+        let lo = self.bit_offsets[g] as usize;
+        let hi = self.bit_offsets[g + 1] as usize;
+        for e in lo..hi {
+            let mask = vals[self.bit_slots[e] as usize];
+            let desc = self.bit_shifts[e];
+            let planes_arr = if desc & 0x80 != 0 {
+                &mut *neg
+            } else {
+                &mut *pos
+            };
+            let base = (desc & 0x3F) as usize;
+            for (w, &word) in mask.iter().enumerate() {
+                ripple_add(planes_arr, w, base, word);
+            }
+        }
+        let t = self.thresholds[g];
+        let mut fired = [0u64; W];
+        for (w, f) in fired.iter_mut().enumerate() {
+            *f = fired_word(pos, neg, w, p, t);
+        }
+        fired
+    }
+
+    /// Wide-gate fallback: evaluates each lane with an `i128` accumulator.
+    /// Only reached when a gate's weight reach exceeds the plane budget
+    /// (~2^61), which no paper construction does.
+    #[cold]
+    fn fire_wide_lanes<const W: usize>(
+        &self,
+        g: usize,
+        vals: &[[u64; W]],
+        lanes: usize,
+    ) -> [u64; W] {
+        let lo = self.offsets[g] as usize;
+        let hi = self.offsets[g + 1] as usize;
+        let t = self.thresholds[g] as i128;
+        let mut fired = [0u64; W];
+        for l in 0..lanes {
+            let (word, bit) = (l / 64, l % 64);
+            let mut acc: i128 = 0;
+            for e in lo..hi {
+                if (vals[self.wires[e] as usize][word] >> bit) & 1 == 1 {
+                    acc += self.weights[e] as i128;
+                }
+            }
+            fired[word] |= ((acc >= t) as u64) << bit;
+        }
+        fired
+    }
+}
+
+/// Ripple-adds `carry` (already masked to valid lanes) into word-column `w`
+/// of the firing counter.
+#[inline(always)]
+fn count_firing<const W: usize>(firing: &mut [[u64; W]], w: usize, mut carry: u64) {
+    let mut i = 0;
+    while carry != 0 {
+        let a = firing[i][w];
+        firing[i][w] = a ^ carry;
+        carry &= a;
+        i += 1;
+    }
+}
+
+/// Expands bit-sliced firing planes into per-lane counts, appending `lanes`
+/// entries to `out`.
+pub(crate) fn firing_counts_into<const W: usize>(
+    firing: &[[u64; W]],
+    lanes: usize,
+    out: &mut Vec<u32>,
+) {
+    let start = out.len();
+    out.resize(start + lanes, 0);
+    let counts = &mut out[start..];
+    for (k, plane) in firing.iter().enumerate().take(FIRING_PLANES) {
+        for (w, &word) in plane.iter().enumerate() {
+            let mut m = word & word_mask(lanes, w);
+            while m != 0 {
+                let l = w * 64 + m.trailing_zeros() as usize;
+                counts[l] += 1 << k;
+                m &= m - 1;
+            }
+        }
+    }
+}

@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod arena;
 mod builder;
 mod circuit;
 mod compiled;
@@ -70,14 +71,18 @@ mod dot;
 mod error;
 mod eval;
 mod gate;
+mod kernel;
 mod stats;
 mod validate;
 mod wide;
 mod wire;
 
+pub use arena::{ArenaEvaluation, PlaneArena};
 pub use builder::{CircuitBuilder, DedupPolicy};
 pub use circuit::Circuit;
-pub use compiled::{Batch64, BatchEvaluation, CompiledCircuit, ManyEvaluation, BATCH_LANES};
+pub use compiled::{
+    Batch64, BatchEvaluation, CompiledCircuit, GateClass, ManyEvaluation, BATCH_LANES,
+};
 pub use error::CircuitError;
 pub use eval::{EvalOptions, Evaluation};
 pub use gate::ThresholdGate;

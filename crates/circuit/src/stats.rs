@@ -47,6 +47,11 @@ pub struct CircuitStats {
     pub max_abs_weight: u64,
     /// Number of designated outputs.
     pub outputs: usize,
+    /// Gates per kernel dispatch class, as `[Unit, Pow2, General]` counts
+    /// (see [`crate::GateClass`]). Unit gates — all weights ±1 — dominate
+    /// the paper's majority-style constructions and take the fastest batch
+    /// path.
+    pub class_counts: [usize; 3],
     /// Statistics per depth layer, from layer 1 (reads inputs) to layer `depth`.
     pub layers: Vec<LayerStats>,
 }
@@ -91,6 +96,7 @@ impl CircuitStats {
             max_fan_in: compiled.max_fan_in(),
             max_abs_weight: compiled.max_abs_weight(),
             outputs: compiled.num_outputs(),
+            class_counts: compiled.class_counts(),
             layers,
         }
     }
@@ -106,6 +112,7 @@ impl CircuitStats {
             })
             .collect();
         let mut max_abs_weight = 0u64;
+        let mut class_counts = [0usize; 3];
         for (idx, gate) in circuit.gates().iter().enumerate() {
             let d = circuit.gate_depth(idx) as usize - 1;
             let layer = &mut layers[d];
@@ -113,6 +120,11 @@ impl CircuitStats {
             layer.edges += gate.fan_in();
             layer.max_fan_in = layer.max_fan_in.max(gate.fan_in());
             max_abs_weight = max_abs_weight.max(gate.max_abs_weight());
+            // Weights-only classification (the plane budget needs the
+            // compiled form; gates this fallback misclassifies as non-wide
+            // only shift a count, never an evaluation).
+            let weights = gate.inputs().iter().map(|&(_, w)| w);
+            class_counts[crate::GateClass::classify(weights, 0).index()] += 1;
         }
         CircuitStats {
             inputs: circuit.num_inputs(),
@@ -122,6 +134,7 @@ impl CircuitStats {
             max_fan_in: circuit.max_fan_in(),
             max_abs_weight,
             outputs: circuit.outputs().len(),
+            class_counts,
             layers,
         }
     }
@@ -131,14 +144,18 @@ impl fmt::Display for CircuitStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "inputs={} gates={} depth={} edges={} max_fan_in={} max_|w|={} outputs={}",
+            "inputs={} gates={} depth={} edges={} max_fan_in={} max_|w|={} outputs={} \
+             classes=unit:{}/pow2:{}/general:{}",
             self.inputs,
             self.size,
             self.depth,
             self.edges,
             self.max_fan_in,
             self.max_abs_weight,
-            self.outputs
+            self.outputs,
+            self.class_counts[0],
+            self.class_counts[1],
+            self.class_counts[2]
         )?;
         for l in &self.layers {
             writeln!(

@@ -108,12 +108,16 @@ fn constant_gates_csr(compiled: &crate::CompiledCircuit) -> Vec<usize> {
 
 /// Gates not reachable (backwards) from any designated output, traversing the
 /// compiled CSR adjacency.
+///
+/// Slots are internally `(depth, class)`-sorted, so every slot met during
+/// the walk is translated back to its ORIGINAL gate id through
+/// [`crate::CompiledCircuit::gate_of_slot`] before indexing — `fan_in` and
+/// the returned report both speak original ids.
 fn dead_gates_csr(compiled: &crate::CompiledCircuit) -> Vec<usize> {
     let n = compiled.num_gates();
-    let gate_base = 1 + compiled.num_inputs();
     let mut live = vec![false; n];
     let mut stack: Vec<usize> = (0..compiled.num_outputs())
-        .filter_map(|i| compiled.output_slot(i).checked_sub(gate_base))
+        .filter_map(|i| compiled.gate_of_slot(compiled.output_slot(i)))
         .collect();
     while let Some(g) = stack.pop() {
         if live[g] {
@@ -122,7 +126,7 @@ fn dead_gates_csr(compiled: &crate::CompiledCircuit) -> Vec<usize> {
         live[g] = true;
         let (wires, _) = compiled.fan_in(g);
         for &slot in wires {
-            if let Some(p) = (slot as usize).checked_sub(gate_base) {
+            if let Some(p) = compiled.gate_of_slot(slot as usize) {
                 if !live[p] {
                     stack.push(p);
                 }
@@ -194,6 +198,33 @@ mod tests {
         let report = b.build().validate();
         assert!(report.is_valid());
         assert_eq!(report.constant_gates, vec![0]);
+    }
+
+    #[test]
+    fn dead_gate_analysis_survives_class_renumbering() {
+        // Gate 0 is General-class (multi-bit weight) and the designated
+        // output; gate 1 is Unit-class and dead. The internal (depth, class)
+        // sort orders gate 1 before gate 0, so any id-space mixup between
+        // internal slots and original ids would report gate 0 dead and
+        // gate 1 live.
+        let mut b = CircuitBuilder::new(2);
+        let live = b.add_gate([(Wire::input(0), 3)], 2).unwrap();
+        let _dead = b.add_gate([(Wire::input(1), 1)], 1).unwrap();
+        b.mark_output(live);
+        let report = b.build().validate();
+        assert!(report.is_valid());
+        assert_eq!(report.dead_gates, vec![1]);
+
+        // Same shape one layer deeper: liveness must flow through the
+        // permuted fan-in slots, not raw slot arithmetic.
+        let mut b = CircuitBuilder::new(2);
+        let keep = b.add_gate([(Wire::input(0), 3)], 2).unwrap();
+        let drop = b.add_gate([(Wire::input(1), 1)], 1).unwrap();
+        let top = b.add_gate([(keep, 5), (Wire::input(1), 1)], 2).unwrap();
+        let _ = drop;
+        b.mark_output(top);
+        let report = b.build().validate();
+        assert_eq!(report.dead_gates, vec![1]);
     }
 
     #[test]

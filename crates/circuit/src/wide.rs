@@ -2,22 +2,27 @@
 //! independent input assignments per pass.
 //!
 //! [`CompiledCircuit::evaluate_batch64`] packs 64 assignments into one `u64`
-//! lane word. This module generalises the same carry-save plane kernel to
+//! lane word; this module exposes the same unified kernel (`kernel.rs`) at
 //! `W` words per plane — 128, 256 or 512 lanes for `W` of 2, 4, 8 — so the
-//! CSR traversal (gate offsets, bit-edge slots and shift descriptors) is
-//! read **once per `64·W` lanes** instead of once per 64. On circuits whose
-//! bit-edge arrays spill out of cache, that traversal is the bound, and the
-//! wide kernel amortises it across `W` word-columns evaluated back to back
-//! while the gate's metadata is hot.
+//! CSR traversal (gate offsets, edges, bit-edge descriptors) is read **once
+//! per `64·W` lanes** instead of once per 64. On circuits whose edge arrays
+//! spill out of cache, that traversal is the bound, and the wide widths
+//! amortise it across `W` word-columns evaluated back to back while the
+//! gate's metadata is hot.
 //!
 //! Every word-column is an independent instance of the 64-lane kernel:
 //! carries never propagate between words, so lane `l` of a wide evaluation
 //! is bit-identical to the scalar evaluator on assignment `l` (enforced by
 //! the differential proptests in `tests/proptest_compiled.rs` for all of
 //! `W ∈ {2, 4, 8}`).
+//!
+//! This allocating API mirrors [`crate::Batch64`] for one-shot callers; the
+//! serving hot path packs rows straight into a reusable [`crate::PlaneArena`]
+//! via [`CompiledCircuit::evaluate_rows_arena`] instead.
 
-use crate::compiled::WIDE_GATE;
+use crate::compiled::FIRING_PLANES;
 use crate::eval::Evaluation;
+use crate::kernel::firing_counts_into;
 use crate::{CircuitError, CompiledCircuit, Result};
 
 /// Packed input assignments for the width-generic kernel: one `[u64; W]`
@@ -90,22 +95,10 @@ impl<const W: usize> BatchWide<W> {
     }
 }
 
-/// Valid-lane mask for word `word` of a batch carrying `lanes` assignments.
-#[inline]
-fn word_mask(lanes: usize, word: usize) -> u64 {
-    let lo = word * 64;
-    if lanes >= lo + 64 {
-        !0u64
-    } else if lanes <= lo {
-        0u64
-    } else {
-        (1u64 << (lanes - lo)) - 1
-    }
-}
-
 impl CompiledCircuit {
     /// Evaluates up to `64·W` independent input assignments in one pass of
-    /// the width-generic bit-sliced kernel.
+    /// the unified width-generic bit-sliced kernel (the `W = 1`
+    /// instantiation of which is [`CompiledCircuit::evaluate_batch64`]).
     ///
     /// Lane `l` of the result is bit-identical to `evaluate(&rows[l])` —
     /// values, outputs, and firing counts. See the [module docs](self) for
@@ -129,6 +122,7 @@ impl CompiledCircuit {
                 num_inputs: self.num_inputs,
                 vals: vec![0u64; slots * W],
                 output_slots: self.outputs.clone(),
+                perm: self.perm.clone(),
                 firing_counts: Vec::new(),
             });
         }
@@ -136,91 +130,11 @@ impl CompiledCircuit {
         let mut vals = vec![[0u64; W]; slots];
         vals[0] = [!0u64; W];
         vals[1..=self.num_inputs].copy_from_slice(&batch.masks);
+        let mut firing = [[0u64; W]; FIRING_PLANES];
+        self.run_planes::<W>(&mut vals, &mut firing, lanes);
 
-        // Per-gate carry-save accumulators for positive and negative weight
-        // magnitudes, plus a bit-sliced firing counter across all gates —
-        // the same planes as the 64-lane kernel, W words wide.
-        let mut pos = [[0u64; W]; 64];
-        let mut neg = [[0u64; W]; 64];
-        let mut firing = [[0u64; W]; 40];
-
-        for g in 0..self.num_gates() {
-            let planes = self.batch_planes[g];
-            let fired: [u64; W] = if planes == WIDE_GATE {
-                self.fire_wide_lanes_generic::<W>(g, &vals, lanes)
-            } else {
-                let p = planes as usize;
-                pos[..p].fill([0u64; W]);
-                neg[..p].fill([0u64; W]);
-                let lo = self.bit_offsets[g] as usize;
-                let hi = self.bit_offsets[g + 1] as usize;
-                for e in lo..hi {
-                    let mask = &vals[self.bit_slots[e] as usize];
-                    let desc = self.bit_shifts[e];
-                    let planes_arr = if desc & 0x80 != 0 { &mut neg } else { &mut pos };
-                    let base = (desc & 0x3F) as usize;
-                    // Ripple-add each word-column of `mask` into the counter
-                    // starting at plane `base`; carries stay inside a column.
-                    for w in 0..W {
-                        let mut carry = mask[w];
-                        let mut i = base;
-                        while carry != 0 {
-                            let a = planes_arr[i][w];
-                            planes_arr[i][w] = a ^ carry;
-                            carry &= a;
-                            i += 1;
-                        }
-                    }
-                }
-                // S = POS - NEG - t per lane, bit-sliced; fired = sign(S) == 0.
-                let t = self.thresholds[g];
-                let mut fired = [0u64; W];
-                for (w, f) in fired.iter_mut().enumerate() {
-                    let mut carry = !0u64; // first +1 of the two negations
-                    let mut carry2 = !0u64; // second +1
-                    let mut sign = 0u64;
-                    for i in 0..p {
-                        let a = pos[i][w];
-                        let b = !neg[i][w];
-                        let s1 = a ^ b ^ carry;
-                        carry = (a & b) | (carry & (a | b));
-                        let tb = if (t >> i.min(63)) & 1 == 1 {
-                            0u64
-                        } else {
-                            !0u64
-                        };
-                        sign = s1 ^ tb ^ carry2;
-                        carry2 = (s1 & tb) | (carry2 & (s1 | tb));
-                    }
-                    *f = !sign;
-                }
-                fired
-            };
-            vals[1 + self.num_inputs + g] = fired;
-            // Count firings per valid lane (bit-sliced counter per word).
-            for w in 0..W {
-                let mut carry = fired[w] & word_mask(lanes, w);
-                let mut i = 0;
-                while carry != 0 {
-                    let a = firing[i][w];
-                    firing[i][w] = a ^ carry;
-                    carry &= a;
-                    i += 1;
-                }
-            }
-        }
-
-        let mut firing_counts = vec![0u32; lanes];
-        for (k, plane) in firing.iter().enumerate() {
-            for (w, &word) in plane.iter().enumerate() {
-                let mut m = word;
-                while m != 0 {
-                    let l = w * 64 + m.trailing_zeros() as usize;
-                    firing_counts[l] += 1 << k;
-                    m &= m - 1;
-                }
-            }
-        }
+        let mut firing_counts = Vec::with_capacity(lanes);
+        firing_counts_into::<W>(&firing, lanes, &mut firing_counts);
 
         // Hand the flat slot array to the evaluation; dead lanes are never
         // exposed (every accessor bounds-checks against `lanes`).
@@ -234,34 +148,9 @@ impl CompiledCircuit {
             num_inputs: self.num_inputs,
             vals: flat,
             output_slots: self.outputs.clone(),
+            perm: self.perm.clone(),
             firing_counts,
         })
-    }
-
-    /// Wide-gate fallback for the width-generic kernel: evaluates each lane
-    /// with an `i128` accumulator (mirrors the 64-lane fallback).
-    #[cold]
-    fn fire_wide_lanes_generic<const W: usize>(
-        &self,
-        g: usize,
-        vals: &[[u64; W]],
-        lanes: usize,
-    ) -> [u64; W] {
-        let lo = self.offsets[g] as usize;
-        let hi = self.offsets[g + 1] as usize;
-        let t = self.thresholds[g] as i128;
-        let mut fired = [0u64; W];
-        for l in 0..lanes {
-            let (word, bit) = (l / 64, l % 64);
-            let mut acc: i128 = 0;
-            for e in lo..hi {
-                if (vals[self.wires[e] as usize][word] >> bit) & 1 == 1 {
-                    acc += self.weights[e] as i128;
-                }
-            }
-            fired[word] |= ((acc >= t) as u64) << bit;
-        }
-        fired
     }
 }
 
@@ -280,6 +169,10 @@ pub struct WideEvaluation {
     vals: Vec<u64>,
     /// Slot index of each designated output.
     output_slots: Vec<u32>,
+    /// Original gate id → internal slot offset (shared with the compiled
+    /// circuit, so no per-evaluation allocation): gate `g` lives in slot
+    /// `1 + num_inputs + perm[g]`.
+    perm: std::sync::Arc<[u32]>,
     firing_counts: Vec<u32>,
 }
 
@@ -334,12 +227,13 @@ impl WideEvaluation {
             .collect())
     }
 
-    /// Every gate's value for assignment `lane`, in gate order.
+    /// Every gate's value for assignment `lane`, in ORIGINAL gate order.
     pub fn gate_values(&self, lane: usize) -> Result<Vec<bool>> {
         self.check_lane(lane)?;
-        let gates = self.vals.len() / self.words - 1 - self.num_inputs;
-        Ok((0..gates)
-            .map(|g| self.slot_bit(1 + self.num_inputs + g, lane))
+        Ok(self
+            .perm
+            .iter()
+            .map(|&i| self.slot_bit(1 + self.num_inputs + i as usize, lane))
             .collect())
     }
 

@@ -1,0 +1,243 @@
+//! Differential property tests per gate class: circuits forced to compile
+//! entirely into one [`GateClass`] (`Unit`, `Pow2`, `General`) must evaluate
+//! bit-identically — gate values, outputs, and firing counts — across the
+//! scalar evaluator, the unified kernel at `W = 1` (`evaluate_batch64`) and
+//! `W = 4`, and the zero-allocation arena entry point. This pins each
+//! class-specialised kernel loop against the reference, not just the mixed
+//! circuits `proptest_compiled.rs` generates.
+
+use proptest::prelude::*;
+use tc_circuit::{Batch256, Batch64, CircuitBuilder, CompiledCircuit, GateClass, PlaneArena, Wire};
+
+/// One gate: fan-in as (wire ordinal, weight selector), plus a threshold.
+type GateSpec = (Vec<(usize, i64)>, i64);
+
+/// Builds a layered circuit where every weight selector is mapped through
+/// `weight_of`, forcing the class mix.
+fn build_circuit(
+    num_inputs: usize,
+    spec: &[GateSpec],
+    weight_of: impl Fn(i64) -> i64,
+) -> tc_circuit::Circuit {
+    let mut b = CircuitBuilder::new(num_inputs);
+    for (gate_idx, (fan_in, threshold)) in spec.iter().enumerate() {
+        let mut resolved = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        for &(ordinal, selector) in fan_in {
+            let pool = 1 + num_inputs + gate_idx;
+            let o = ordinal % pool;
+            let wire = if o == 0 {
+                Wire::One
+            } else if o <= num_inputs {
+                Wire::input(o - 1)
+            } else {
+                Wire::gate(o - 1 - num_inputs)
+            };
+            if used.insert(wire) {
+                resolved.push((wire, weight_of(selector)));
+            }
+        }
+        if resolved.is_empty() {
+            resolved.push((Wire::One, weight_of(1)));
+        }
+        let w = b.add_gate(resolved, *threshold).unwrap();
+        b.mark_output(w);
+    }
+    b.build()
+}
+
+fn gate_spec() -> impl Strategy<Value = (usize, Vec<GateSpec>)> {
+    (
+        1usize..7,
+        prop::collection::vec(
+            (
+                prop::collection::vec((0usize..96, -40i64..41), 1..7),
+                -9i64..10,
+            ),
+            1..40,
+        ),
+    )
+}
+
+fn random_rows(num_inputs: usize, rows: usize, mut state: u64) -> Vec<Vec<bool>> {
+    state |= 1;
+    (0..rows)
+        .map(|_| {
+            (0..num_inputs)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state & 1 == 1
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Asserts the batch64 kernel, the 256-lane kernel, and the arena path all
+/// match the scalar evaluator gate-for-gate on `rows`.
+fn assert_all_kernels_agree(compiled: &CompiledCircuit, rows: &[Vec<bool>]) -> Result<(), String> {
+    let batch = Batch64::pack(compiled.num_inputs(), &rows[..rows.len().min(64)]).unwrap();
+    let bev = compiled.evaluate_batch64(&batch).unwrap();
+    let wide = Batch256::pack(compiled.num_inputs(), rows).unwrap();
+    let wev = compiled.evaluate_batch_wide(&wide).unwrap();
+    let refs: Vec<&[bool]> = rows.iter().map(|r| r.as_slice()).collect();
+    let mut arena = PlaneArena::new();
+    let aev = compiled
+        .evaluate_rows_arena::<4>(&refs, &mut arena)
+        .unwrap();
+    for (lane, row) in rows.iter().enumerate() {
+        let scalar = compiled.evaluate(row).unwrap();
+        if lane < 64 {
+            prop_assert_eq!(
+                &scalar,
+                &bev.evaluation(lane).unwrap(),
+                "batch64 disagrees on lane {}",
+                lane
+            );
+            prop_assert_eq!(
+                scalar.firing_count(),
+                bev.firing_count(lane).unwrap() as usize,
+                "batch64 firing count disagrees on lane {}",
+                lane
+            );
+        }
+        prop_assert_eq!(
+            &scalar,
+            &wev.evaluation(lane).unwrap(),
+            "wide256 disagrees on lane {}",
+            lane
+        );
+        prop_assert_eq!(
+            &scalar,
+            &aev.evaluation(lane).unwrap(),
+            "arena path disagrees on lane {}",
+            lane
+        );
+        prop_assert_eq!(
+            scalar.firing_count(),
+            aev.firing_count(lane).unwrap() as usize,
+            "arena firing count disagrees on lane {}",
+            lane
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All weights forced to ±1: every gate must classify `Unit` and the
+    /// raw-edge popcount loop must match scalar exactly.
+    #[test]
+    fn unit_class_matches_scalar((num_inputs, spec) in gate_spec(),
+                                 seed in any::<u64>(),
+                                 width in 1usize..97) {
+        let circuit = build_circuit(num_inputs, &spec, |s| if s < 0 { -1 } else { 1 });
+        let compiled = circuit.compile().unwrap();
+        prop_assert_eq!(compiled.class_counts(), [compiled.num_gates(), 0, 0]);
+        for g in 0..compiled.num_gates() {
+            prop_assert_eq!(compiled.gate_class(g), GateClass::Unit);
+        }
+        // Unit gates emit no bit-edges at all.
+        prop_assert_eq!(compiled.num_bit_edges(), 0);
+        let rows = random_rows(num_inputs, width, seed);
+        assert_all_kernels_agree(&compiled, &rows)?;
+    }
+
+    /// All weight magnitudes forced to single set bits (with at least the
+    /// possibility of >1 magnitudes): gates classify `Unit` or `Pow2`, and
+    /// the shift-indexed plane loop must match scalar exactly.
+    #[test]
+    fn pow2_class_matches_scalar((num_inputs, spec) in gate_spec(),
+                                 seed in any::<u64>(),
+                                 width in 1usize..97) {
+        // Map selector s to ±2^(|s| % 20): magnitude always a power of two.
+        let circuit = build_circuit(num_inputs, &spec, |s| {
+            let mag = 1i64 << (s.unsigned_abs() % 20);
+            if s < 0 { -mag } else { mag }
+        });
+        let compiled = circuit.compile().unwrap();
+        prop_assert_eq!(compiled.class_counts()[2], 0, "no General gates expected");
+        for g in 0..compiled.num_gates() {
+            let (_, weights) = compiled.fan_in(g);
+            let expected = if weights.iter().all(|&w| w.unsigned_abs() == 1) {
+                GateClass::Unit
+            } else {
+                GateClass::Pow2
+            };
+            prop_assert_eq!(compiled.gate_class(g), expected, "gate {}", g);
+        }
+        let rows = random_rows(num_inputs, width, seed);
+        assert_all_kernels_agree(&compiled, &rows)?;
+    }
+
+    /// Every gate given at least one multi-bit weight: all gates classify
+    /// `General` and the bit-edge decomposition must match scalar exactly.
+    #[test]
+    fn general_class_matches_scalar((num_inputs, spec) in gate_spec(),
+                                    seed in any::<u64>(),
+                                    width in 1usize..97) {
+        // Map selector s to a guaranteed multi-bit magnitude (3 + 2|s|
+        // always has >= 2 set bits ruled in by construction below).
+        let circuit = build_circuit(num_inputs, &spec, |s| {
+            let mag = 3 + 2 * (s.unsigned_abs() as i64 % 40); // odd, >= 3
+            let mag = if mag.count_ones() < 2 { mag + 2 } else { mag };
+            if s < 0 { -mag } else { mag }
+        });
+        let compiled = circuit.compile().unwrap();
+        prop_assert_eq!(
+            compiled.class_counts(),
+            [0, 0, compiled.num_gates()],
+            "every gate must be General"
+        );
+        let rows = random_rows(num_inputs, width, seed);
+        assert_all_kernels_agree(&compiled, &rows)?;
+    }
+
+    /// A mixed circuit with all three classes interleaved across layers:
+    /// the segment dispatch and the internal (depth, class) permutation must
+    /// be invisible — public accessors and evaluations speak original ids.
+    #[test]
+    fn mixed_classes_and_permutation_are_invisible((num_inputs, spec) in gate_spec(),
+                                                   seed in any::<u64>(),
+                                                   width in 1usize..97) {
+        // Selector picks the class per edge: ±1, ±2^k, or multi-bit.
+        let circuit = build_circuit(num_inputs, &spec, |s| {
+            let sign = if s < 0 { -1 } else { 1 };
+            match s.unsigned_abs() % 3 {
+                0 => sign,
+                1 => sign * (1 << (s.unsigned_abs() % 16)),
+                _ => sign * (3 + (s.unsigned_abs() as i64 % 37) * 2),
+            }
+        });
+        let compiled = circuit.compile().unwrap();
+        // Permutation consistency: per-gate accessors agree with the source
+        // circuit (fan-in edges are reordered positives-first, so compare as
+        // weight multisets).
+        for g in 0..compiled.num_gates() {
+            prop_assert_eq!(compiled.threshold(g), circuit.gates()[g].threshold());
+            prop_assert_eq!(compiled.gate_depth(g), circuit.gate_depth(g));
+            let (_, weights) = compiled.fan_in(g);
+            let mut got: Vec<i64> = weights.to_vec();
+            let mut want: Vec<i64> =
+                circuit.gates()[g].inputs().iter().map(|&(_, w)| w).collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "gate {} weights", g);
+        }
+        // Layer view speaks original ids and covers every gate once.
+        let mut seen = vec![false; compiled.num_gates()];
+        for d in 0..compiled.depth() as usize {
+            for &g in compiled.layer(d) {
+                prop_assert_eq!(compiled.gate_depth(g as usize), d as u32 + 1);
+                prop_assert!(!seen[g as usize], "gate {} scheduled twice", g);
+                seen[g as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        let rows = random_rows(num_inputs, width, seed);
+        assert_all_kernels_agree(&compiled, &rows)?;
+    }
+}

@@ -1,7 +1,7 @@
 //! The pluggable execution interface and the standard backend set.
 
 use crate::{Result, RuntimeError};
-use tc_circuit::{Batch64, BatchWide, CompiledCircuit, EvalOptions, Evaluation};
+use tc_circuit::{CompiledCircuit, EvalOptions, Evaluation, PlaneArena};
 
 /// How much of each evaluation a [`Response`] must carry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -60,9 +60,13 @@ pub struct BackendCaps {
 /// A pluggable evaluation engine the runtime can schedule work onto.
 ///
 /// A backend evaluates one *lane group* — up to [`BackendCaps::lane_group`]
-/// independent requests — against a compiled circuit. Implementations must
-/// be bit-identical to [`CompiledCircuit::evaluate`] per request; the
-/// differential proptests in `tc-circuit` enforce this for the standard set.
+/// independent requests — against a compiled circuit, using the
+/// caller-provided [`PlaneArena`] for all per-pass scratch (runtime workers
+/// own one arena each, so steady-state serving never allocates plane
+/// storage; backends that need no scratch simply ignore it).
+/// Implementations must be bit-identical to [`CompiledCircuit::evaluate`]
+/// per request; the differential proptests in `tc-circuit` enforce this for
+/// the standard set.
 ///
 /// # Contract
 ///
@@ -86,7 +90,16 @@ pub trait EvalBackend: Send + Sync {
         circuit: &CompiledCircuit,
         rows: &[&[bool]],
         detail: Detail,
+        arena: &mut PlaneArena,
     ) -> Result<Vec<Response>>;
+}
+
+/// The plane-addition work one bit-sliced pass performs, weighted per gate
+/// class: `Unit` edges are raw-lane adds (cheapest), `Pow2` bit-edges pay a
+/// shift decode, `General` bit-edges ripple multi-bit weights.
+fn weighted_plane_ops(circuit: &CompiledCircuit) -> f64 {
+    let [unit, pow2, general] = circuit.class_plane_ops();
+    unit as f64 + pow2 as f64 * 1.2 + general as f64 * 1.35
 }
 
 /// Sequential scalar evaluation, one request at a time.
@@ -118,6 +131,7 @@ impl EvalBackend for ScalarBackend {
         circuit: &CompiledCircuit,
         rows: &[&[bool]],
         detail: Detail,
+        _arena: &mut PlaneArena,
     ) -> Result<Vec<Response>> {
         rows.iter()
             .map(|row| Ok(Response::from_evaluation(circuit.evaluate(row)?, detail)))
@@ -154,6 +168,7 @@ impl EvalBackend for LayerParallelBackend {
         circuit: &CompiledCircuit,
         rows: &[&[bool]],
         detail: Detail,
+        _arena: &mut PlaneArena,
     ) -> Result<Vec<Response>> {
         rows.iter()
             .map(|row| {
@@ -164,60 +179,23 @@ impl EvalBackend for LayerParallelBackend {
     }
 }
 
-/// The fixed 64-lane bit-sliced kernel (`evaluate_batch64`).
-#[derive(Debug, Default)]
-pub struct Sliced64Backend;
-
-impl EvalBackend for Sliced64Backend {
-    fn caps(&self) -> BackendCaps {
-        BackendCaps {
-            name: "sliced64",
-            lane_group: 64,
-            internally_parallel: false,
-            bit_sliced: true,
-        }
-    }
-
-    fn cost_model(&self, circuit: &CompiledCircuit, batch: usize) -> f64 {
-        batch.div_ceil(64) as f64 * circuit.num_bit_edges() as f64 * 4.0
-    }
-
-    fn eval_group(
-        &self,
-        circuit: &CompiledCircuit,
-        rows: &[&[bool]],
-        detail: Detail,
-    ) -> Result<Vec<Response>> {
-        if rows.is_empty() {
-            return Ok(Vec::new());
-        }
-        let batch = Batch64::pack(circuit.num_inputs(), rows)?;
-        let bev = circuit.evaluate_batch64(&batch)?;
-        (0..rows.len())
-            .map(|lane| {
-                Ok(Response {
-                    outputs: bev.outputs(lane)?,
-                    firing_count: bev.firing_count(lane)?,
-                    evaluation: match detail {
-                        Detail::Outputs => None,
-                        Detail::Full => Some(bev.evaluation(lane)?),
-                    },
-                })
-            })
-            .collect()
-    }
-}
-
 /// The width-generic bit-sliced kernel: `[u64; W]` planes carrying `64·W`
-/// lanes, so one CSR traversal feeds `W` word-columns (cache-blocked over
-/// the compiled layer schedule's gate order).
+/// lanes, so one CSR traversal feeds `W` word-columns. `W = 1` **is** the
+/// classic 64-lane path (`sliced64`) — there is no separate 64-lane kernel.
+/// Rows are packed straight into the worker's [`PlaneArena`]; a pass
+/// allocates nothing beyond the response payloads.
 #[derive(Debug, Default)]
 pub struct WideBackend<const W: usize>;
+
+/// The fixed 64-lane bit-sliced backend — the `W = 1` instantiation of
+/// [`WideBackend`].
+pub type Sliced64Backend = WideBackend<1>;
 
 impl<const W: usize> EvalBackend for WideBackend<W> {
     fn caps(&self) -> BackendCaps {
         BackendCaps {
             name: match W {
+                1 => "sliced64",
                 2 => "wide128",
                 4 => "wide256",
                 8 => "wide512",
@@ -230,11 +208,11 @@ impl<const W: usize> EvalBackend for WideBackend<W> {
     }
 
     fn cost_model(&self, circuit: &CompiledCircuit, batch: usize) -> f64 {
-        // Each pass does W words of plane work per bit-edge but reads the
-        // CSR metadata once — slightly cheaper per lane than W separate
-        // 64-lane passes.
-        let passes = batch.div_ceil(64 * W) as f64;
-        passes * circuit.num_bit_edges() as f64 * (3.2 * W as f64 + 0.8)
+        // Each pass does W words of plane work per edge but reads the CSR
+        // metadata once — slightly cheaper per lane than W separate 64-lane
+        // passes. At W = 1 the factor is exactly the classic sliced64 prior.
+        let passes = batch.max(1).div_ceil(64 * W) as f64;
+        passes * weighted_plane_ops(circuit) * (3.2 * W as f64 + 0.8)
     }
 
     fn eval_group(
@@ -242,17 +220,20 @@ impl<const W: usize> EvalBackend for WideBackend<W> {
         circuit: &CompiledCircuit,
         rows: &[&[bool]],
         detail: Detail,
+        arena: &mut PlaneArena,
     ) -> Result<Vec<Response>> {
-        let batch = BatchWide::<W>::pack(circuit.num_inputs(), rows)?;
-        let wev = circuit.evaluate_batch_wide(&batch)?;
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        let ev = circuit.evaluate_rows_arena::<W>(rows, arena)?;
         (0..rows.len())
             .map(|lane| {
                 Ok(Response {
-                    outputs: wev.outputs(lane)?,
-                    firing_count: wev.firing_count(lane)?,
+                    outputs: ev.outputs(lane)?,
+                    firing_count: ev.firing_count(lane)?,
                     evaluation: match detail {
                         Detail::Outputs => None,
-                        Detail::Full => Some(wev.evaluation(lane)?),
+                        Detail::Full => Some(ev.evaluation(lane)?),
                     },
                 })
             })
@@ -281,13 +262,13 @@ impl BackendRegistry {
         }
     }
 
-    /// The standard set: scalar, layer-parallel, 64-lane, and the
-    /// 128/256/512-lane wide backends.
+    /// The standard set: scalar, layer-parallel, and the unified bit-sliced
+    /// kernel at 64/128/256/512 lanes.
     pub fn standard() -> Self {
         let mut reg = BackendRegistry::empty();
         reg.register(Box::new(ScalarBackend));
         reg.register(Box::new(LayerParallelBackend));
-        reg.register(Box::new(Sliced64Backend));
+        reg.register(Box::new(WideBackend::<1>));
         reg.register(Box::new(WideBackend::<2>));
         reg.register(Box::new(WideBackend::<4>));
         reg.register(Box::new(WideBackend::<8>));
@@ -378,11 +359,14 @@ mod tests {
             .map(|v| vec![v & 1 != 0, v & 2 != 0, v & 4 != 0])
             .collect();
         let refs: Vec<&[bool]> = rows.iter().map(|r| r.as_slice()).collect();
-        let expected: Vec<Response> = ScalarBackend.eval_group(&cc, &refs, Detail::Full).unwrap();
+        let mut arena = PlaneArena::new();
+        let expected: Vec<Response> = ScalarBackend
+            .eval_group(&cc, &refs, Detail::Full, &mut arena)
+            .unwrap();
         for backend in BackendRegistry::standard().backends() {
             let lanes = backend.caps().lane_group.min(refs.len());
             let got = backend
-                .eval_group(&cc, &refs[..lanes], Detail::Full)
+                .eval_group(&cc, &refs[..lanes], Detail::Full, &mut arena)
                 .unwrap();
             assert_eq!(
                 got.as_slice(),
@@ -398,15 +382,40 @@ mod tests {
         let cc = majority();
         let rows = [[true, true, false]];
         let refs: Vec<&[bool]> = rows.iter().map(|r| r.as_slice()).collect();
-        let light = Sliced64Backend
-            .eval_group(&cc, &refs, Detail::Outputs)
+        let mut arena = PlaneArena::new();
+        let light = Sliced64Backend::default()
+            .eval_group(&cc, &refs, Detail::Outputs, &mut arena)
             .unwrap();
         assert!(light[0].evaluation.is_none());
         assert_eq!(light[0].outputs, vec![true]);
         assert_eq!(light[0].firing_count, 1);
-        let full = Sliced64Backend
-            .eval_group(&cc, &refs, Detail::Full)
+        let full = Sliced64Backend::default()
+            .eval_group(&cc, &refs, Detail::Full, &mut arena)
             .unwrap();
         assert_eq!(full[0].evaluation.as_ref().unwrap().outputs(), &[true]);
+    }
+
+    #[test]
+    fn cost_model_weights_gate_classes() {
+        // A unit circuit and a general circuit with identical topology: the
+        // general one must be priced higher per pass.
+        let unit = majority();
+        let mut b = CircuitBuilder::new(3);
+        let g = b
+            .add_gate(
+                [
+                    (Wire::input(0), 3),
+                    (Wire::input(1), 5),
+                    (Wire::input(2), 7),
+                ],
+                8,
+            )
+            .unwrap();
+        b.mark_output(g);
+        let general = b.build().compile().unwrap();
+        assert_eq!(unit.class_counts(), [1, 0, 0]);
+        assert_eq!(general.class_counts(), [0, 0, 1]);
+        let backend = WideBackend::<4>;
+        assert!(backend.cost_model(&general, 256) > backend.cost_model(&unit, 256));
     }
 }

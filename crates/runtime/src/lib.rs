@@ -65,6 +65,10 @@ pub use runtime::{Runtime, RuntimeBuilder, RuntimeOptions};
 pub use telemetry::{BackendTally, Telemetry, TelemetrySummary};
 pub use tuner::{AutoTuner, TunerPolicy};
 
+// The plane scratch backends evaluate in: re-exported so custom
+// [`EvalBackend`] implementations need no direct `tc-circuit` dependency.
+pub use tc_circuit::PlaneArena;
+
 use std::fmt;
 
 /// Errors produced while serving requests through the runtime.

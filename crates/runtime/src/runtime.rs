@@ -7,7 +7,7 @@ use crate::telemetry::{Telemetry, TelemetrySummary};
 use crate::tuner::{rank_by_model, AutoTuner, TunerPolicy};
 use crate::Result;
 use std::time::Instant;
-use tc_circuit::CompiledCircuit;
+use tc_circuit::{CompiledCircuit, PlaneArena};
 
 /// Tunables of a [`Runtime`].
 #[derive(Debug, Clone)]
@@ -166,6 +166,26 @@ impl Runtime {
         self.telemetry.snapshot()
     }
 
+    /// The auto-tuner backing [`crate::TunerPolicy::Measure`] (its
+    /// calibration cache persists via [`Runtime::save_tuner_cache`]).
+    pub fn tuner(&self) -> &AutoTuner {
+        &self.tuner
+    }
+
+    /// Persists the tuner's (circuit fingerprint × batch bucket → backend)
+    /// calibration cache as JSON, so a later process can warm-start with
+    /// [`Runtime::load_tuner_cache`] and serve without re-probing.
+    pub fn save_tuner_cache<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        self.tuner.save_json(&self.registry, path)
+    }
+
+    /// Loads a calibration cache saved by [`Runtime::save_tuner_cache`],
+    /// returning how many entries were adopted (entries naming backends not
+    /// in this runtime's registry are skipped).
+    pub fn load_tuner_cache<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<usize> {
+        self.tuner.load_json(&self.registry, path)
+    }
+
     /// Serves a batch of requests, returning one [`Response`] per request in
     /// submission order. Any batch size is accepted — requests are packed
     /// into full lane groups with a single ragged tail.
@@ -268,8 +288,9 @@ impl Runtime {
         }
     }
 
-    /// Shared scheduling core: shards `groups` across workers, evaluates
-    /// each on `backend`, and records telemetry per group.
+    /// Shared scheduling core: shards `groups` across workers (each owning
+    /// one reusable [`PlaneArena`]), evaluates each group on `backend`, and
+    /// records telemetry per group.
     fn pump_groups<C, G>(
         &self,
         circuit: &CompiledCircuit,
@@ -293,37 +314,46 @@ impl Runtime {
             self.opts.effective_workers().min(group_bound).max(1)
         };
         let queue_capacity = self.opts.effective_queue_capacity(workers);
-        scheduler::pump(groups, workers, queue_capacity, |(start, chunk)| {
-            let refs = as_refs(&chunk);
-            let t0 = Instant::now();
-            let responses = backend.eval_group(circuit, &refs, detail)?;
-            let busy_ns = t0.elapsed().as_nanos() as u64;
-            // A wrong response count would corrupt request→response order
-            // during assembly; reject it as a backend contract violation.
-            if responses.len() != refs.len() {
-                return Err(crate::RuntimeError::BackendContract {
-                    backend: caps.name,
-                    expected: refs.len(),
-                    actual: responses.len(),
-                });
-            }
-            // Padding only exists for fixed-lane-width (bit-sliced) passes;
-            // for per-request backends lane_group is just a scheduling hint.
-            let group_width = if caps.bit_sliced {
-                caps.lane_group
-            } else {
-                refs.len()
-            };
-            self.telemetry.record_group(
-                caps.name,
-                refs.len() as u64,
-                group_width as u64,
-                (circuit.num_gates() * refs.len()) as u64,
-                responses.iter().map(|r| r.firing_count as u64).sum(),
-                busy_ns,
-            );
-            Ok((start, responses))
-        })
+        let class_counts = circuit.class_counts();
+        scheduler::pump(
+            groups,
+            workers,
+            queue_capacity,
+            PlaneArena::new,
+            |arena, (start, chunk)| {
+                let refs = as_refs(&chunk);
+                let t0 = Instant::now();
+                let responses = backend.eval_group(circuit, &refs, detail, arena)?;
+                let busy_ns = t0.elapsed().as_nanos() as u64;
+                // A wrong response count would corrupt request→response order
+                // during assembly; reject it as a backend contract violation.
+                if responses.len() != refs.len() {
+                    return Err(crate::RuntimeError::BackendContract {
+                        backend: caps.name,
+                        expected: refs.len(),
+                        actual: responses.len(),
+                    });
+                }
+                // Padding only exists for fixed-lane-width (bit-sliced)
+                // passes; for per-request backends lane_group is just a
+                // scheduling hint.
+                let group_width = if caps.bit_sliced {
+                    caps.lane_group
+                } else {
+                    refs.len()
+                };
+                let requests = refs.len() as u64;
+                self.telemetry.record_group(
+                    caps.name,
+                    requests,
+                    group_width as u64,
+                    class_counts.map(|c| c as u64 * requests),
+                    responses.iter().map(|r| r.firing_count as u64).sum(),
+                    busy_ns,
+                );
+                Ok((start, responses))
+            },
+        )
     }
 }
 
@@ -497,8 +527,10 @@ mod tests {
                 circuit: &CompiledCircuit,
                 rows: &[&[bool]],
                 detail: Detail,
+                arena: &mut PlaneArena,
             ) -> crate::Result<Vec<crate::Response>> {
-                let mut responses = crate::ScalarBackend.eval_group(circuit, rows, detail)?;
+                let mut responses =
+                    crate::ScalarBackend.eval_group(circuit, rows, detail, arena)?;
                 responses.pop();
                 Ok(responses)
             }

@@ -84,23 +84,30 @@ impl<T> BoundedQueue<T> {
 /// `queue_capacity` groups in flight, returning the evaluated groups in
 /// arbitrary order (each tagged with its starting request index by `eval`).
 ///
+/// Every worker owns one piece of state built by `make_state` (the runtime
+/// passes a [`tc_circuit::PlaneArena`] factory, so each worker reuses its
+/// plane scratch across every group it drains — the steady-state serve loop
+/// allocates no plane storage).
+///
 /// With one worker the pump degenerates to a sequential loop — no threads,
 /// no queue. On the first error the queue closes, in-flight groups finish,
 /// and the error is returned.
-pub(crate) fn pump<G, F>(
+pub(crate) fn pump<G, S, F>(
     groups: impl Iterator<Item = G>,
     workers: usize,
     queue_capacity: usize,
+    make_state: impl Fn() -> S + Sync,
     eval: F,
 ) -> Result<Vec<(usize, Vec<Response>)>>
 where
     G: Send,
-    F: Fn(G) -> Result<(usize, Vec<Response>)> + Sync,
+    F: Fn(&mut S, G) -> Result<(usize, Vec<Response>)> + Sync,
 {
     if workers <= 1 {
+        let mut state = make_state();
         let mut out = Vec::new();
         for group in groups {
-            out.push(eval(group)?);
+            out.push(eval(&mut state, group)?);
         }
         return Ok(out);
     }
@@ -111,8 +118,9 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
+                let mut state = make_state();
                 while let Some(group) = queue.pop() {
-                    match eval(group) {
+                    match eval(&mut state, group) {
                         Ok(done) => results.lock().unwrap().push(done),
                         Err(e) => {
                             first_error.lock().unwrap().get_or_insert(e);
@@ -156,9 +164,13 @@ mod tests {
     fn pump_returns_every_group_exactly_once() {
         for workers in [1usize, 4] {
             let groups = (0..37usize).map(|i| (i * 10, i % 2 == 0));
-            let mut got = pump(groups, workers, 4, |(start, tag)| {
-                Ok((start, vec![response(tag)]))
-            })
+            let mut got = pump(
+                groups,
+                workers,
+                4,
+                || (),
+                |_, (start, tag)| Ok((start, vec![response(tag)])),
+            )
             .unwrap();
             got.sort_unstable_by_key(|(start, _)| *start);
             assert_eq!(got.len(), 37);
@@ -174,13 +186,19 @@ mod tests {
         let err = RuntimeError::Circuit(CircuitError::EmptyFanIn);
         for workers in [1usize, 3] {
             let groups = (0..1000usize).map(|i| (i, ()));
-            let result = pump(groups, workers, 2, |(start, _)| {
-                if start == 5 {
-                    Err(RuntimeError::Circuit(CircuitError::EmptyFanIn))
-                } else {
-                    Ok((start, vec![]))
-                }
-            });
+            let result = pump(
+                groups,
+                workers,
+                2,
+                || (),
+                |_, (start, _)| {
+                    if start == 5 {
+                        Err(RuntimeError::Circuit(CircuitError::EmptyFanIn))
+                    } else {
+                        Ok((start, vec![]))
+                    }
+                },
+            );
             assert_eq!(result.unwrap_err(), err);
         }
     }
@@ -199,11 +217,17 @@ mod tests {
             peak.fetch_max(now, Ordering::SeqCst);
             (i, ())
         });
-        pump(groups, 2, 1, |(start, _)| {
-            std::thread::sleep(std::time::Duration::from_micros(200));
-            in_flight.fetch_sub(1, Ordering::SeqCst);
-            Ok((start, vec![]))
-        })
+        pump(
+            groups,
+            2,
+            1,
+            || (),
+            |_, (start, _)| {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                Ok((start, vec![]))
+            },
+        )
         .unwrap();
         assert_eq!(produced.get(), 50);
         // queue capacity (1) + workers (2) + the one the producer holds.

@@ -14,6 +14,8 @@ pub struct Telemetry {
     groups: AtomicU64,
     padded_lanes: AtomicU64,
     gate_evals: AtomicU64,
+    /// Gate evaluations split by kernel class (`[Unit, Pow2, General]`).
+    class_gate_evals: [AtomicU64; 3],
     firings: AtomicU64,
     busy_ns: AtomicU64,
     per_backend: Mutex<BTreeMap<&'static str, BackendTally>>,
@@ -31,13 +33,15 @@ pub struct BackendTally {
 }
 
 impl Telemetry {
-    /// Records one evaluated lane group.
+    /// Records one evaluated lane group. `class_gate_evals` carries the
+    /// gate-evaluation count split by kernel class (`[Unit, Pow2, General]`
+    /// — the served circuit's class mix times the group's request count).
     pub(crate) fn record_group(
         &self,
         backend: &'static str,
         requests: u64,
         lane_group: u64,
-        gate_evals: u64,
+        class_gate_evals: [u64; 3],
         firings: u64,
         busy_ns: u64,
     ) {
@@ -45,7 +49,11 @@ impl Telemetry {
         self.groups.fetch_add(1, Ordering::Relaxed);
         self.padded_lanes
             .fetch_add(lane_group.saturating_sub(requests), Ordering::Relaxed);
+        let gate_evals: u64 = class_gate_evals.iter().sum();
         self.gate_evals.fetch_add(gate_evals, Ordering::Relaxed);
+        for (counter, evals) in self.class_gate_evals.iter().zip(class_gate_evals) {
+            counter.fetch_add(evals, Ordering::Relaxed);
+        }
         self.firings.fetch_add(firings, Ordering::Relaxed);
         self.busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
         let mut map = self.per_backend.lock().unwrap();
@@ -62,6 +70,11 @@ impl Telemetry {
             groups: self.groups.load(Ordering::Relaxed),
             padded_lanes: self.padded_lanes.load(Ordering::Relaxed),
             gate_evals: self.gate_evals.load(Ordering::Relaxed),
+            class_gate_evals: [
+                self.class_gate_evals[0].load(Ordering::Relaxed),
+                self.class_gate_evals[1].load(Ordering::Relaxed),
+                self.class_gate_evals[2].load(Ordering::Relaxed),
+            ],
             firings: self.firings.load(Ordering::Relaxed),
             busy_ns: self.busy_ns.load(Ordering::Relaxed),
             per_backend: self.per_backend.lock().unwrap().clone(),
@@ -80,6 +93,10 @@ pub struct TelemetrySummary {
     pub padded_lanes: u64,
     /// Total gate evaluations (gates × requests).
     pub gate_evals: u64,
+    /// Gate evaluations split by kernel dispatch class, as
+    /// `[Unit, Pow2, General]` (see [`tc_circuit::GateClass`]) — the class
+    /// mix of everything served, weighted by request count.
+    pub class_gate_evals: [u64; 3],
     /// Total gate firings (the Uchizawa–Douglas–Maass energy, in spikes).
     pub firings: u64,
     /// Wall-clock nanoseconds spent inside backends (summed across workers).
@@ -124,6 +141,11 @@ impl fmt::Display for TelemetrySummary {
             self.firings,
             self.mean_firings()
         )?;
+        writeln!(
+            f,
+            "class mix: unit {} / pow2 {} / general {} gate-evals",
+            self.class_gate_evals[0], self.class_gate_evals[1], self.class_gate_evals[2]
+        )?;
         for (name, tally) in &self.per_backend {
             writeln!(
                 f,
@@ -144,14 +166,22 @@ mod tests {
     #[test]
     fn counters_accumulate_and_snapshot() {
         let t = Telemetry::default();
-        t.record_group("sliced64", 64, 64, 64 * 100, 640, 1_000);
-        t.record_group("sliced64", 10, 64, 10 * 100, 50, 500);
-        t.record_group("wide256", 256, 256, 256 * 100, 2_560, 2_000);
+        t.record_group("sliced64", 64, 64, [64 * 60, 64 * 30, 64 * 10], 640, 1_000);
+        t.record_group("sliced64", 10, 64, [10 * 60, 10 * 30, 10 * 10], 50, 500);
+        t.record_group(
+            "wide256",
+            256,
+            256,
+            [256 * 60, 256 * 30, 256 * 10],
+            2_560,
+            2_000,
+        );
         let s = t.snapshot();
         assert_eq!(s.requests, 330);
         assert_eq!(s.groups, 3);
         assert_eq!(s.padded_lanes, 54);
         assert_eq!(s.gate_evals, (64 + 10 + 256) * 100);
+        assert_eq!(s.class_gate_evals, [330 * 60, 330 * 30, 330 * 10]);
         assert_eq!(s.firings, 3_250);
         assert_eq!(s.per_backend["sliced64"].groups, 2);
         assert_eq!(s.per_backend["sliced64"].requests, 74);

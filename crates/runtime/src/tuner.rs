@@ -1,20 +1,26 @@
 //! Backend auto-tuning: a one-shot calibration probe per (circuit, batch
-//! size) bucket.
+//! size) bucket, persistable across processes.
 //!
 //! Analytic cost models mispredict across cache regimes — the 64-lane kernel
 //! beats scalar by ~29x on an 881k-gate circuit but can lose on a 10-gate
 //! one — so the tuner *measures*: it times one lane group per candidate
 //! backend on deterministic probe inputs, extrapolates to the requested
-//! batch size, and caches the winner keyed by a circuit fingerprint and the
-//! power-of-two batch bucket. Serving traffic never re-probes.
+//! batch size, and caches the winner keyed by a circuit fingerprint (gates,
+//! bit-edges, inputs, and the per-class gate counts) and the power-of-two
+//! batch bucket. Serving traffic never re-probes, and
+//! [`AutoTuner::save_json`] / [`AutoTuner::load_json`] round-trip the cache
+//! to disk so repeated serving deployments warm-start without a single
+//! calibration run.
 
 use crate::backend::{BackendRegistry, Detail};
 use crate::{Result, RuntimeError};
 use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
-use tc_circuit::CompiledCircuit;
+use tc_circuit::{CompiledCircuit, PlaneArena};
 
 /// How a [`crate::Runtime`] chooses its backend for each submission.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -30,9 +36,36 @@ pub enum TunerPolicy {
     Fixed(String),
 }
 
-/// Fingerprint of a compiled circuit for the tuning cache. Collisions only
-/// cost a suboptimal-but-correct backend choice.
-type TuneKey = (usize, usize, usize, u32);
+/// Fingerprint of a compiled circuit plus the batch bucket, keying the
+/// tuning cache. Collisions only cost a suboptimal-but-correct backend
+/// choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TuneKey {
+    gates: usize,
+    bit_edges: usize,
+    inputs: usize,
+    unit_gates: usize,
+    pow2_gates: usize,
+    bucket: u32,
+}
+
+impl TuneKey {
+    fn new(circuit: &CompiledCircuit, batch: usize) -> Self {
+        let [unit_gates, pow2_gates, _] = circuit.class_counts();
+        TuneKey {
+            gates: circuit.num_gates(),
+            bit_edges: circuit.num_bit_edges(),
+            inputs: circuit.num_inputs(),
+            unit_gates,
+            pow2_gates,
+            bucket: bucket(batch),
+        }
+    }
+}
+
+fn bucket(batch: usize) -> u32 {
+    usize::BITS - batch.max(1).leading_zeros()
+}
 
 /// The measuring backend picker.
 #[derive(Debug, Default)]
@@ -56,8 +89,9 @@ impl AutoTuner {
         self.calibrations.load(Ordering::Relaxed)
     }
 
-    fn bucket(batch: usize) -> u32 {
-        usize::BITS - batch.max(1).leading_zeros()
+    /// Number of cached (circuit fingerprint × batch bucket) decisions.
+    pub fn cached_decisions(&self) -> usize {
+        self.cache.lock().unwrap().len()
     }
 
     /// The backend index to serve `batch` requests against `circuit`,
@@ -71,12 +105,7 @@ impl AutoTuner {
         if registry.backends().is_empty() {
             return Err(RuntimeError::NoBackend);
         }
-        let key: TuneKey = (
-            circuit.num_gates(),
-            circuit.num_bit_edges(),
-            circuit.num_inputs(),
-            Self::bucket(batch),
-        );
+        let key = TuneKey::new(circuit, batch);
         if let Some(&cached) = self.cache.lock().unwrap().get(&key) {
             return Ok(cached);
         }
@@ -102,6 +131,7 @@ impl AutoTuner {
             .min(batch.max(1))
             .min(PROBE_BUDGET);
         let rows = probe_rows(circuit.num_inputs(), max_group);
+        let mut arena = PlaneArena::new();
 
         let mut best: Option<(usize, f64)> = None;
         for (idx, backend) in registry.backends().iter().enumerate() {
@@ -109,7 +139,7 @@ impl AutoTuner {
             let group = caps.lane_group.min(rows.len()).max(1);
             let refs: Vec<&[bool]> = rows[..group].iter().map(|r| r.as_slice()).collect();
             let t0 = Instant::now();
-            backend.eval_group(circuit, &refs, Detail::Outputs)?;
+            backend.eval_group(circuit, &refs, Detail::Outputs, &mut arena)?;
             let elapsed = t0.elapsed().as_secs_f64();
             // Extrapolate per *group*, not per row: a bit-sliced pass costs
             // the same regardless of lane fill (a 65-request batch really
@@ -124,6 +154,114 @@ impl AutoTuner {
         }
         Ok(best.expect("registry is non-empty").0)
     }
+
+    /// Serialises the calibration cache as JSON (backend *names*, resolved
+    /// through `registry`, so the file stays valid across registry reorders
+    /// and process restarts).
+    ///
+    /// The workspace's serde stand-in has no data-format backend, so the
+    /// writer emits the fixed schema by hand; [`AutoTuner::load_json`] is
+    /// its inverse.
+    pub fn save_json<P: AsRef<Path>>(
+        &self,
+        registry: &BackendRegistry,
+        path: P,
+    ) -> std::io::Result<()> {
+        let cache = self.cache.lock().unwrap();
+        let mut json = String::from("{\n  \"version\": 1,\n  \"entries\": [");
+        let mut first = true;
+        for (key, &idx) in cache.iter() {
+            let Some(backend) = registry.backends().get(idx) else {
+                continue;
+            };
+            if !first {
+                json.push(',');
+            }
+            first = false;
+            json.push_str(&format!(
+                "\n    {{\"gates\": {}, \"bit_edges\": {}, \"inputs\": {}, \
+                 \"unit_gates\": {}, \"pow2_gates\": {}, \"bucket\": {}, \
+                 \"backend\": \"{}\"}}",
+                key.gates,
+                key.bit_edges,
+                key.inputs,
+                key.unit_gates,
+                key.pow2_gates,
+                key.bucket,
+                backend.caps().name
+            ));
+        }
+        json.push_str("\n  ]\n}\n");
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(json.as_bytes())
+    }
+
+    /// Loads a calibration cache saved by [`AutoTuner::save_json`], merging
+    /// it into this tuner (existing in-memory decisions win). Returns the
+    /// number of entries adopted; entries naming backends absent from
+    /// `registry` are skipped, and malformed entries are ignored rather
+    /// than failing the warm-start.
+    pub fn load_json<P: AsRef<Path>>(
+        &self,
+        registry: &BackendRegistry,
+        path: P,
+    ) -> std::io::Result<usize> {
+        let mut text = String::new();
+        std::fs::File::open(path)?.read_to_string(&mut text)?;
+        let mut cache = self.cache.lock().unwrap();
+        let mut adopted = 0usize;
+        for obj in json_objects(&text) {
+            let entry = (|| {
+                Some((
+                    TuneKey {
+                        gates: json_usize(obj, "gates")?,
+                        bit_edges: json_usize(obj, "bit_edges")?,
+                        inputs: json_usize(obj, "inputs")?,
+                        unit_gates: json_usize(obj, "unit_gates")?,
+                        pow2_gates: json_usize(obj, "pow2_gates")?,
+                        bucket: json_usize(obj, "bucket")? as u32,
+                    },
+                    json_str(obj, "backend")?,
+                ))
+            })();
+            let Some((key, name)) = entry else { continue };
+            let Ok(idx) = registry.index_of(name) else {
+                continue;
+            };
+            if let std::collections::hash_map::Entry::Vacant(slot) = cache.entry(key) {
+                slot.insert(idx);
+                adopted += 1;
+            }
+        }
+        Ok(adopted)
+    }
+}
+
+/// Yields the top-level `{...}` objects inside the `"entries"` array of the
+/// cache schema (no nesting — the writer never emits nested braces).
+fn json_objects(text: &str) -> impl Iterator<Item = &str> {
+    let body = text
+        .split_once("\"entries\"")
+        .map(|(_, rest)| rest)
+        .unwrap_or("");
+    body.split('{')
+        .skip(1)
+        .filter_map(|chunk| chunk.split_once('}').map(|(obj, _)| obj))
+}
+
+/// Extracts `"field": <unsigned integer>` from a flat JSON object body.
+fn json_usize(obj: &str, field: &str) -> Option<usize> {
+    let tail = obj.split_once(&format!("\"{field}\""))?.1;
+    let tail = tail.trim_start().strip_prefix(':')?.trim_start();
+    let digits: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+/// Extracts `"field": "<string>"` from a flat JSON object body.
+fn json_str<'a>(obj: &'a str, field: &str) -> Option<&'a str> {
+    let tail = obj.split_once(&format!("\"{field}\""))?.1;
+    let tail = tail.trim_start().strip_prefix(':')?.trim_start();
+    tail.strip_prefix('"')?.split('"').next()
 }
 
 /// Ranks backends by their analytic cost model alone (no measurement).
@@ -213,5 +351,54 @@ mod tests {
         let single = rank_by_model(&registry, &cc, 1).unwrap();
         // One request never favours a wide pass over one scalar evaluation.
         assert_eq!(registry.backends()[single].caps().name, "scalar");
+    }
+
+    #[test]
+    fn cache_round_trips_through_json() {
+        let tuner = AutoTuner::new();
+        let registry = BackendRegistry::standard();
+        let cc = tiny();
+        let picked_large = tuner.pick(&registry, &cc, 1000).unwrap();
+        let picked_small = tuner.pick(&registry, &cc, 2).unwrap();
+        assert_eq!(tuner.cached_decisions(), 2);
+
+        let path = std::env::temp_dir().join("tcmm_tuner_roundtrip_test.json");
+        tuner.save_json(&registry, &path).unwrap();
+
+        // A fresh tuner warm-starts from the file: same picks, no probes.
+        let warm = AutoTuner::new();
+        assert_eq!(warm.load_json(&registry, &path).unwrap(), 2);
+        assert_eq!(warm.cached_decisions(), 2);
+        assert_eq!(warm.pick(&registry, &cc, 900).unwrap(), picked_large);
+        assert_eq!(warm.pick(&registry, &cc, 2).unwrap(), picked_small);
+        assert_eq!(warm.calibration_count(), 0, "warm start must not probe");
+        // Entries already present are not re-adopted.
+        assert_eq!(warm.load_json(&registry, &path).unwrap(), 0);
+        assert_eq!(warm.cached_decisions(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_backends_in_a_saved_cache_are_skipped() {
+        let registry = BackendRegistry::standard();
+        let path = std::env::temp_dir().join("tcmm_tuner_unknown_backend_test.json");
+        std::fs::write(
+            &path,
+            r#"{
+  "version": 1,
+  "entries": [
+    {"gates": 1, "bit_edges": 0, "inputs": 2, "unit_gates": 1, "pow2_gates": 0, "bucket": 10, "backend": "gpu"},
+    {"gates": 1, "bit_edges": 0, "inputs": 2, "unit_gates": 1, "pow2_gates": 0, "bucket": 2, "backend": "scalar"},
+    {"gates": 1, "inputs": 2, "backend": "scalar"}
+  ]
+}"#,
+        )
+        .unwrap();
+        let tuner = AutoTuner::new();
+        // One well-formed known-backend entry adopted; the unknown backend
+        // and the malformed entry are skipped.
+        assert_eq!(tuner.load_json(&registry, &path).unwrap(), 1);
+        assert_eq!(tuner.cached_decisions(), 1);
+        std::fs::remove_file(&path).ok();
     }
 }

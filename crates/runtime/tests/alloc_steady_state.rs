@@ -1,0 +1,156 @@
+//! Pins the steady-state serving hot path's allocation behaviour with a
+//! counting global allocator:
+//!
+//! 1. the arena kernel path ([`CompiledCircuit::evaluate_rows_arena`]) makes
+//!    **zero** heap allocations once the arena has warmed up;
+//! 2. the serve loop's per-group overhead is a small constant — allocations
+//!    scale with *requests* (each [`Response`] owns its outputs), never with
+//!    circuit size, and only negligibly with group count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use tc_circuit::{CircuitBuilder, CompiledCircuit, PlaneArena, Wire};
+use tc_runtime::Runtime;
+
+struct CountingAllocator;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A realloc that moves is a fresh allocation for our purposes.
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// A few layers of majority-style gates — enough slots that a per-group
+/// reallocation of plane storage could not hide in the noise.
+fn layered_circuit() -> CompiledCircuit {
+    let mut b = CircuitBuilder::new(16);
+    let mut prev: Vec<Wire> = (0..16).map(Wire::input).collect();
+    for layer in 0..4 {
+        let mut next = Vec::new();
+        for g in 0..12 {
+            let fan: Vec<(Wire, i64)> = (0..5)
+                .map(|k| {
+                    let w = prev[(g * 5 + k + layer) % prev.len()];
+                    (w, if k % 2 == 0 { 1 } else { -1 })
+                })
+                .collect();
+            next.push(b.add_gate(fan, 1).unwrap());
+        }
+        prev = next;
+    }
+    for &w in &prev {
+        b.mark_output(w);
+    }
+    b.build().compile().unwrap()
+}
+
+fn rows(n: usize) -> Vec<Vec<bool>> {
+    (0..n)
+        .map(|i| (0..16).map(|b| (i >> (b % 8)) & 1 == 1).collect())
+        .collect()
+}
+
+#[test]
+fn arena_path_is_allocation_free_after_warmup() {
+    let cc = layered_circuit();
+    let requests = rows(256);
+    let refs: Vec<&[bool]> = requests.iter().map(|r| r.as_slice()).collect();
+    let mut arena = PlaneArena::new();
+
+    // Warm-up: grows the arena to this circuit × width.
+    for chunk in refs.chunks(64) {
+        cc.evaluate_rows_arena::<1>(chunk, &mut arena).unwrap();
+    }
+    for chunk in refs.chunks(256) {
+        cc.evaluate_rows_arena::<4>(chunk, &mut arena).unwrap();
+    }
+
+    let before = allocs();
+    for _ in 0..10 {
+        for chunk in refs.chunks(64) {
+            let ev = cc.evaluate_rows_arena::<1>(chunk, &mut arena).unwrap();
+            // Reading scalar results must not allocate either.
+            std::hint::black_box(ev.output(0, 0).unwrap());
+            std::hint::black_box(ev.firing_count(chunk.len() - 1).unwrap());
+        }
+        for chunk in refs.chunks(256) {
+            let ev = cc.evaluate_rows_arena::<4>(chunk, &mut arena).unwrap();
+            std::hint::black_box(ev.output(chunk.len() - 1, 0).unwrap());
+        }
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "the warmed arena kernel path must not touch the allocator"
+    );
+}
+
+#[test]
+fn serve_loop_overhead_does_not_scale_with_groups() {
+    let cc = layered_circuit();
+    let requests = rows(256);
+
+    // Single worker so the pump stays on this thread (thread spawning is
+    // not the property under test) and the one arena is reused across all
+    // groups.
+    let few_groups = Runtime::builder()
+        .fixed_backend("wide256")
+        .workers(1)
+        .build();
+    let many_groups = Runtime::builder()
+        .fixed_backend("sliced64")
+        .workers(1)
+        .build();
+
+    // Warm-up: arena growth, telemetry map entries.
+    few_groups.serve_batch(&cc, &requests).unwrap();
+    many_groups.serve_batch(&cc, &requests).unwrap();
+
+    let t0 = allocs();
+    few_groups.serve_batch(&cc, &requests).unwrap();
+    let one_group_allocs = allocs() - t0;
+
+    let t1 = allocs();
+    many_groups.serve_batch(&cc, &requests).unwrap();
+    let four_group_allocs = allocs() - t1;
+
+    // Identical request count, identical per-request payloads; the only
+    // difference is 4 sliced64 groups versus 1 wide256 group. Splitting a
+    // batch into three extra groups may cost a handful of bookkeeping
+    // allocations per group (the request-refs slice and the responses vec)
+    // but must not re-buy plane storage per group — all plane scratch comes
+    // from the worker's arena (proven allocation-free above).
+    let delta = four_group_allocs.saturating_sub(one_group_allocs);
+    assert!(
+        delta <= 3 * 8,
+        "3 extra groups cost {delta} allocations \
+         (1-group run: {one_group_allocs}, 4-group run: {four_group_allocs})"
+    );
+
+    // And the steady state is deterministic: a repeat run costs exactly the
+    // same number of allocations (nothing accumulates or re-warms).
+    let t2 = allocs();
+    few_groups.serve_batch(&cc, &requests).unwrap();
+    assert_eq!(allocs() - t2, one_group_allocs);
+}
