@@ -11,15 +11,19 @@
 //! * `runtime_report` — times every backend directly, prints the measured
 //!   wide-vs-sliced64 speedup on a 256-request batch (the acceptance
 //!   criterion: the auto-tuned wide backend must beat the fixed 64-lane
-//!   path on ≥256-request batches), and writes `BENCH_runtime.json` with
-//!   gate-evals/sec per backend.
+//!   path on ≥256-request batches), compares a 1M-request stream through
+//!   an incremental `StreamSession` (flat memory, pooled responses)
+//!   against the materialising `serve_stream` wrapper — requests/sec and
+//!   steady-state RSS growth — and writes `BENCH_runtime.json` with
+//!   gate-evals/sec per backend plus the streaming numbers.
 
 use std::time::{Duration, Instant};
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use fast_matmul::BilinearAlgorithm;
+use tc_circuit::{CircuitBuilder, CompiledCircuit, Wire};
 use tc_graph::generators;
-use tc_runtime::Runtime;
+use tc_runtime::{Runtime, SessionOptions};
 use tcmm_core::{trace::TraceCircuit, CircuitConfig};
 
 /// The serving workload: a Theorem 4.5 trace circuit (~881k gates for the
@@ -82,6 +86,124 @@ fn bench_scheduler(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+/// Resident set size of this process in bytes (0 where unsupported) — the
+/// honest way to see whether a stream's responses were materialised.
+fn rss_bytes() -> u64 {
+    if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmRSS:") {
+                let kb: u64 = rest
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse()
+                    .unwrap_or(0);
+                return kb * 1024;
+            }
+        }
+    }
+    0
+}
+
+/// A small serving circuit (layered ±1 majorities) so a million-request
+/// stream finishes inside a smoke bench — at this size the numbers measure
+/// the *scheduler and session machinery*, which is the point. It happens
+/// to mirror the alloc-test circuit in
+/// `crates/runtime/tests/alloc_steady_state.rs`, but nothing requires the
+/// two to stay in sync: any small circuit works here.
+fn stream_circuit() -> CompiledCircuit {
+    let mut b = CircuitBuilder::new(16);
+    let mut prev: Vec<Wire> = (0..16).map(Wire::input).collect();
+    for layer in 0..4 {
+        let mut next = Vec::new();
+        for g in 0..12 {
+            let fan: Vec<(Wire, i64)> = (0..5)
+                .map(|k| {
+                    let w = prev[(g * 5 + k + layer) % prev.len()];
+                    (w, if k % 2 == 0 { 1 } else { -1 })
+                })
+                .collect();
+            next.push(b.add_gate(fan, 1).unwrap());
+        }
+        prev = next;
+    }
+    for &w in &prev {
+        b.mark_output(w);
+    }
+    b.build().compile().unwrap()
+}
+
+/// 1M requests through the incremental session (pooled, flat-memory) and
+/// through the materialising `serve_stream`: requests/sec and RSS growth.
+/// Returns the JSON fragment for `BENCH_runtime.json`.
+fn measure_stream() -> String {
+    let cc = stream_circuit();
+    let total = 1_000_000usize;
+    let rows: Vec<Vec<bool>> = (0..64usize)
+        .map(|i| (0..16).map(|b| (i >> (b % 8)) & 1 == 1).collect())
+        .collect();
+
+    // Session first (its steady state allocates nothing, so it leaves no
+    // freed-but-retained heap behind to muddy the wrapper's baseline).
+    let runtime = Runtime::builder().fixed_backend("sliced64").build();
+    let rss0 = rss_bytes();
+    let t0 = Instant::now();
+    let served = runtime.open_session(&cc, SessionOptions::default(), |session| {
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..total {
+                    session.submit(&rows[i % rows.len()]).unwrap();
+                }
+                session.finish();
+            });
+            let mut served = 0usize;
+            let mut firings = 0u64;
+            for resp in session.responses() {
+                let resp = resp.unwrap();
+                firings += resp.firing_count as u64; // read, then recycle
+                served += 1;
+            }
+            std::hint::black_box(firings);
+            served
+        })
+    });
+    let session_s = t0.elapsed().as_secs_f64();
+    let session_rss = rss_bytes().saturating_sub(rss0);
+    assert_eq!(served, total);
+
+    let rss1 = rss_bytes();
+    let t1 = Instant::now();
+    let responses = runtime
+        .serve_stream(&cc, (0..total).map(|i| rows[i % rows.len()].clone()))
+        .unwrap();
+    let wrapper_s = t1.elapsed().as_secs_f64();
+    let wrapper_rss = rss_bytes().saturating_sub(rss1);
+    assert_eq!(responses.len(), total);
+    drop(responses);
+
+    let session_rps = total as f64 / session_s;
+    let wrapper_rps = total as f64 / wrapper_s;
+    let summary = runtime.telemetry();
+    println!(
+        "\nstream_report: {total} requests, {}-gate circuit\n\
+         session      : {session_rps:>12.0} req/sec, RSS +{:.1} MB (peak in-flight {} requests)\n\
+         serve_stream : {wrapper_rps:>12.0} req/sec, RSS +{:.1} MB (materialises every response)\n",
+        cc.num_gates(),
+        session_rss as f64 / 1e6,
+        summary.peak_in_flight_requests,
+        wrapper_rss as f64 / 1e6,
+    );
+    format!(
+        ",\n  \"stream\": {{\"requests\": {total}, \
+         \"session_requests_per_sec\": {session_rps:.0}, \
+         \"session_rss_delta_bytes\": {session_rss}, \
+         \"serve_stream_requests_per_sec\": {wrapper_rps:.0}, \
+         \"serve_stream_rss_delta_bytes\": {wrapper_rss}, \
+         \"peak_in_flight_requests\": {}}}",
+        summary.peak_in_flight_requests
+    )
 }
 
 /// Directly times every backend, prints the wide-vs-sliced64 speedup, and
@@ -163,10 +285,11 @@ fn runtime_report(_c: &mut Criterion) {
          speedup   : {speedup:.2}x (acceptance: wide > 1.0x on >=256-request batches)\n"
     );
 
+    let stream_json = measure_stream();
     let json = format!(
         "{{\n  \"circuit_gates\": {gates},\n  \"auto_tuned_backend_batch256\": \"{tuned}\",\n  \
-         \"tuned_vs_sliced64_speedup_batch256\": {speedup:.3},\n  \"backends\": [{}\n  ]\n}}\n",
-        report.json_backends
+         \"tuned_vs_sliced64_speedup_batch256\": {speedup:.3},\n  \"backends\": [{}\n  ]{}\n}}\n",
+        report.json_backends, stream_json
     );
     std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
     println!("wrote BENCH_runtime.json");

@@ -171,13 +171,24 @@ impl ArenaEvaluation<'_> {
 
     /// All designated output values for assignment `lane`.
     pub fn outputs(&self, lane: usize) -> Result<Vec<bool>> {
+        let mut out = Vec::with_capacity(self.circuit.outputs.len());
+        self.outputs_into(lane, &mut out)?;
+        Ok(out)
+    }
+
+    /// Writes the designated output values for assignment `lane` into `out`
+    /// (cleared first, capacity reused) — the allocation-free counterpart of
+    /// [`ArenaEvaluation::outputs`] for pooled response buffers.
+    pub fn outputs_into(&self, lane: usize, out: &mut Vec<bool>) -> Result<()> {
         self.check_lane(lane)?;
-        Ok(self
-            .circuit
-            .outputs
-            .iter()
-            .map(|&s| self.slot_bit(s as usize, lane))
-            .collect())
+        out.clear();
+        out.extend(
+            self.circuit
+                .outputs
+                .iter()
+                .map(|&s| self.slot_bit(s as usize, lane)),
+        );
+        Ok(())
     }
 
     /// Lane word `word` of designated output `i`, masked to valid lanes.
@@ -203,10 +214,24 @@ impl ArenaEvaluation<'_> {
     /// Expands one lane into a full [`Evaluation`] (original gate order),
     /// identical to what the scalar evaluator returns for that assignment.
     pub fn evaluation(&self, lane: usize) -> Result<Evaluation> {
+        let mut ev = Evaluation::default();
+        self.evaluation_into(lane, &mut ev)?;
+        Ok(ev)
+    }
+
+    /// Expands one lane into `out`, a recycled [`Evaluation`] shell, reusing
+    /// its buffers' capacity — the allocation-free counterpart of
+    /// [`ArenaEvaluation::evaluation`] for pooled response payloads. The
+    /// refilled shell is bit-identical to what the scalar evaluator returns
+    /// for that assignment.
+    pub fn evaluation_into(&self, lane: usize, out: &mut Evaluation) -> Result<()> {
         self.check_lane(lane)?;
-        let gate_values = (0..self.circuit.num_gates())
-            .map(|g| self.slot_bit(self.circuit.slot_of_gate(g), lane))
-            .collect();
-        Ok(Evaluation::from_parts(gate_values, self.outputs(lane)?))
+        let (gate_values, outputs) = out.parts_mut();
+        gate_values.clear();
+        gate_values.extend(
+            (0..self.circuit.num_gates())
+                .map(|g| self.slot_bit(self.circuit.slot_of_gate(g), lane)),
+        );
+        self.outputs_into(lane, outputs)
     }
 }

@@ -30,7 +30,12 @@ impl Default for EvalOptions {
 ///
 /// Holds the value of every gate (useful for energy accounting — a gate "fires" exactly
 /// when its value is `1`) as well as the values on the designated output wires.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// An empty (default) evaluation is a valid *shell*: response pools recycle
+/// shells and refill them in place via
+/// [`ArenaEvaluation::evaluation_into`](crate::ArenaEvaluation::evaluation_into),
+/// reusing the buffers' capacity instead of reallocating per request.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Evaluation {
     gate_values: Vec<bool>,
     outputs: Vec<bool>,
@@ -42,6 +47,13 @@ impl Evaluation {
             gate_values,
             outputs,
         }
+    }
+
+    /// Mutable access to `(gate_values, outputs)` for in-place refills of a
+    /// recycled shell (the arena writer clears and re-extends both, keeping
+    /// their capacity).
+    pub(crate) fn parts_mut(&mut self) -> (&mut Vec<bool>, &mut Vec<bool>) {
+        (&mut self.gate_values, &mut self.outputs)
     }
 
     /// The values of the designated outputs, in marking order.

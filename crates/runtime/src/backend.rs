@@ -15,7 +15,11 @@ pub enum Detail {
 }
 
 /// The per-request result returned by the runtime.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// A default (empty) response is a valid *shell*: the streaming session's
+/// [`ResponsePool`](crate::StreamSession) recycles consumed responses and
+/// backends refill them in place, reusing the payload buffers' capacity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Response {
     /// The circuit's designated output values for this request.
     pub outputs: Vec<bool>,
@@ -26,15 +30,25 @@ pub struct Response {
 }
 
 impl Response {
-    fn from_evaluation(ev: Evaluation, detail: Detail) -> Self {
-        Response {
-            outputs: ev.outputs().to_vec(),
-            firing_count: ev.firing_count() as u32,
-            evaluation: match detail {
-                Detail::Outputs => None,
-                Detail::Full => Some(ev),
-            },
-        }
+    /// Refills this (possibly recycled) response from an owned evaluation.
+    fn fill_from_evaluation(&mut self, ev: Evaluation, detail: Detail) {
+        self.outputs.clear();
+        self.outputs.extend_from_slice(ev.outputs());
+        self.firing_count = ev.firing_count() as u32;
+        self.evaluation = match detail {
+            Detail::Outputs => None,
+            Detail::Full => Some(ev),
+        };
+    }
+}
+
+/// Reshapes a recycled-shell vector to exactly `n` responses: surplus shells
+/// are dropped, missing ones are topped up with empty defaults. Backends call
+/// this first so every response slot exists before the per-lane fill.
+pub fn shape_response_shells(responses: &mut Vec<Response>, n: usize) {
+    responses.truncate(n);
+    while responses.len() < n {
+        responses.push(Response::default());
     }
 }
 
@@ -70,10 +84,22 @@ pub struct BackendCaps {
 ///
 /// # Contract
 ///
+/// `eval_group` receives `responses` holding any number of *recycled
+/// shells* — previously served [`Response`]s whose payload buffers carry
+/// reusable capacity (the streaming session's response pool feeds spent
+/// responses back here). The backend must leave **exactly
+/// `rows.len()`** responses, one per request in order, overwriting every
+/// shell field (start with [`shape_response_shells`]); the scheduler
+/// treats any other length as a contract violation. Bit-sliced backends
+/// writing through [`ArenaEvaluation::outputs_into`] /
+/// [`ArenaEvaluation::evaluation_into`](tc_circuit::ArenaEvaluation) keep
+/// the warmed-up `Detail::Outputs` serve loop allocation-free.
+///
 /// Under [`Detail::Full`] every returned [`Response`] **must** populate
 /// `evaluation` with the request's full [`Evaluation`] — callers that
 /// decode numbers out of interior wires (e.g. matrix-product circuits)
-/// rely on it and treat a missing evaluation as a backend bug.
+/// rely on it and treat a missing evaluation as a backend bug. Under
+/// [`Detail::Outputs`] it must be `None`.
 pub trait EvalBackend: Send + Sync {
     /// The backend's capabilities.
     fn caps(&self) -> BackendCaps;
@@ -84,14 +110,17 @@ pub trait EvalBackend: Send + Sync {
     /// measured probe overrides it otherwise.
     fn cost_model(&self, circuit: &CompiledCircuit, batch: usize) -> f64;
 
-    /// Evaluates one lane group (`rows.len() <= caps().lane_group`).
+    /// Evaluates one lane group (`rows.len() <= caps().lane_group`) into
+    /// `responses`, a vector of recycled response shells (see the trait-level
+    /// contract).
     fn eval_group(
         &self,
         circuit: &CompiledCircuit,
         rows: &[&[bool]],
         detail: Detail,
         arena: &mut PlaneArena,
-    ) -> Result<Vec<Response>>;
+        responses: &mut Vec<Response>,
+    ) -> Result<()>;
 }
 
 /// The plane-addition work one bit-sliced pass performs, weighted per gate
@@ -132,10 +161,13 @@ impl EvalBackend for ScalarBackend {
         rows: &[&[bool]],
         detail: Detail,
         _arena: &mut PlaneArena,
-    ) -> Result<Vec<Response>> {
-        rows.iter()
-            .map(|row| Ok(Response::from_evaluation(circuit.evaluate(row)?, detail)))
-            .collect()
+        responses: &mut Vec<Response>,
+    ) -> Result<()> {
+        shape_response_shells(responses, rows.len());
+        for (row, resp) in rows.iter().zip(responses.iter_mut()) {
+            resp.fill_from_evaluation(circuit.evaluate(row)?, detail);
+        }
+        Ok(())
     }
 }
 
@@ -169,13 +201,14 @@ impl EvalBackend for LayerParallelBackend {
         rows: &[&[bool]],
         detail: Detail,
         _arena: &mut PlaneArena,
-    ) -> Result<Vec<Response>> {
-        rows.iter()
-            .map(|row| {
-                let ev = circuit.evaluate_parallel(row, EvalOptions::default())?;
-                Ok(Response::from_evaluation(ev, detail))
-            })
-            .collect()
+        responses: &mut Vec<Response>,
+    ) -> Result<()> {
+        shape_response_shells(responses, rows.len());
+        for (row, resp) in rows.iter().zip(responses.iter_mut()) {
+            let ev = circuit.evaluate_parallel(row, EvalOptions::default())?;
+            resp.fill_from_evaluation(ev, detail);
+        }
+        Ok(())
     }
 }
 
@@ -221,23 +254,24 @@ impl<const W: usize> EvalBackend for WideBackend<W> {
         rows: &[&[bool]],
         detail: Detail,
         arena: &mut PlaneArena,
-    ) -> Result<Vec<Response>> {
+        responses: &mut Vec<Response>,
+    ) -> Result<()> {
+        shape_response_shells(responses, rows.len());
         if rows.is_empty() {
-            return Ok(Vec::new());
+            return Ok(());
         }
         let ev = circuit.evaluate_rows_arena::<W>(rows, arena)?;
-        (0..rows.len())
-            .map(|lane| {
-                Ok(Response {
-                    outputs: ev.outputs(lane)?,
-                    firing_count: ev.firing_count(lane)?,
-                    evaluation: match detail {
-                        Detail::Outputs => None,
-                        Detail::Full => Some(ev.evaluation(lane)?),
-                    },
-                })
-            })
-            .collect()
+        for (lane, resp) in responses.iter_mut().enumerate() {
+            ev.outputs_into(lane, &mut resp.outputs)?;
+            resp.firing_count = ev.firing_count(lane)?;
+            match detail {
+                Detail::Outputs => resp.evaluation = None,
+                Detail::Full => {
+                    ev.evaluation_into(lane, resp.evaluation.get_or_insert_default())?
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -360,13 +394,15 @@ mod tests {
             .collect();
         let refs: Vec<&[bool]> = rows.iter().map(|r| r.as_slice()).collect();
         let mut arena = PlaneArena::new();
-        let expected: Vec<Response> = ScalarBackend
-            .eval_group(&cc, &refs, Detail::Full, &mut arena)
+        let mut expected: Vec<Response> = Vec::new();
+        ScalarBackend
+            .eval_group(&cc, &refs, Detail::Full, &mut arena, &mut expected)
             .unwrap();
         for backend in BackendRegistry::standard().backends() {
             let lanes = backend.caps().lane_group.min(refs.len());
-            let got = backend
-                .eval_group(&cc, &refs[..lanes], Detail::Full, &mut arena)
+            let mut got = Vec::new();
+            backend
+                .eval_group(&cc, &refs[..lanes], Detail::Full, &mut arena, &mut got)
                 .unwrap();
             assert_eq!(
                 got.as_slice(),
@@ -378,19 +414,60 @@ mod tests {
     }
 
     #[test]
+    fn eval_group_refills_recycled_shells_in_place() {
+        // Shells carrying stale payloads (and surplus shells) must come back
+        // holding exactly the fresh group's responses.
+        let cc = majority();
+        let rows = [[true, true, false], [false, false, true]];
+        let refs: Vec<&[bool]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut arena = PlaneArena::new();
+        let mut fresh = Vec::new();
+        Sliced64Backend::default()
+            .eval_group(&cc, &refs, Detail::Outputs, &mut arena, &mut fresh)
+            .unwrap();
+
+        let stale = Response {
+            outputs: vec![true; 17],
+            firing_count: 99,
+            evaluation: Some(cc.evaluate(&[true, true, true]).unwrap()),
+        };
+        let mut shells = vec![stale.clone(), stale.clone(), stale.clone()];
+        let outputs_ptr = shells[0].outputs.as_ptr();
+        Sliced64Backend::default()
+            .eval_group(&cc, &refs, Detail::Outputs, &mut arena, &mut shells)
+            .unwrap();
+        assert_eq!(shells, fresh);
+        // The first shell's outputs buffer was reused, not reallocated.
+        assert_eq!(shells[0].outputs.as_ptr(), outputs_ptr);
+
+        // Too few shells: topped up with defaults, then refilled.
+        let mut short = vec![stale];
+        ScalarBackend
+            .eval_group(&cc, &refs, Detail::Outputs, &mut arena, &mut short)
+            .unwrap();
+        let mut scalar_fresh = Vec::new();
+        ScalarBackend
+            .eval_group(&cc, &refs, Detail::Outputs, &mut arena, &mut scalar_fresh)
+            .unwrap();
+        assert_eq!(short, scalar_fresh);
+    }
+
+    #[test]
     fn detail_outputs_omits_the_evaluation() {
         let cc = majority();
         let rows = [[true, true, false]];
         let refs: Vec<&[bool]> = rows.iter().map(|r| r.as_slice()).collect();
         let mut arena = PlaneArena::new();
-        let light = Sliced64Backend::default()
-            .eval_group(&cc, &refs, Detail::Outputs, &mut arena)
+        let mut light = Vec::new();
+        Sliced64Backend::default()
+            .eval_group(&cc, &refs, Detail::Outputs, &mut arena, &mut light)
             .unwrap();
         assert!(light[0].evaluation.is_none());
         assert_eq!(light[0].outputs, vec![true]);
         assert_eq!(light[0].firing_count, 1);
-        let full = Sliced64Backend::default()
-            .eval_group(&cc, &refs, Detail::Full, &mut arena)
+        let mut full = Vec::new();
+        Sliced64Backend::default()
+            .eval_group(&cc, &refs, Detail::Full, &mut arena, &mut full)
             .unwrap();
         assert_eq!(full[0].evaluation.as_ref().unwrap().outputs(), &[true]);
     }

@@ -20,6 +20,13 @@
 //!   threads through a bounded work queue, rides the single ragged tail
 //!   through the same path, and returns per-request [`Response`]s (outputs
 //!   plus firing-count energy telemetry, optionally the full evaluation).
+//! * [`StreamSession`] ([`Runtime::open_session`]) — the streaming front
+//!   end both of the above are thin wrappers over: submit rows from any
+//!   thread into the bounded queue, consume completed responses
+//!   incrementally (in submission order through a bounded reorder window,
+//!   or out of order with explicit request ids), and recycle response
+//!   payloads through the session's pool, so unbounded streams run at flat
+//!   memory and the warmed-up [`Detail::Outputs`] loop allocates nothing.
 //! * [`AutoTuner`] — picks the backend per (circuit, batch size) from a
 //!   one-shot calibration probe, cached so repeated traffic against the same
 //!   circuit never re-measures.
@@ -54,14 +61,16 @@
 mod backend;
 mod runtime;
 mod scheduler;
+mod session;
 mod telemetry;
 mod tuner;
 
 pub use backend::{
-    BackendCaps, BackendRegistry, Detail, EvalBackend, LayerParallelBackend, Response,
-    ScalarBackend, Sliced64Backend, WideBackend,
+    shape_response_shells, BackendCaps, BackendRegistry, Detail, EvalBackend, LayerParallelBackend,
+    Response, ScalarBackend, Sliced64Backend, WideBackend,
 };
 pub use runtime::{Runtime, RuntimeBuilder, RuntimeOptions};
+pub use session::{PooledResponse, SessionOptions, StreamSession, SubmitOrNext};
 pub use telemetry::{BackendTally, Telemetry, TelemetrySummary};
 pub use tuner::{AutoTuner, TunerPolicy};
 

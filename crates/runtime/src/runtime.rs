@@ -1,13 +1,12 @@
-//! The serving facade: batch and stream submission against any compiled
-//! circuit, with auto-tuned backend choice and scheduler sharding.
+//! The serving facade: batch, stream, and session submission against any
+//! compiled circuit, with auto-tuned backend choice and scheduler sharding.
 
 use crate::backend::{BackendRegistry, Detail, EvalBackend, Response};
-use crate::scheduler;
+use crate::session::{SessionOptions, SessionShared, StreamSession};
 use crate::telemetry::{Telemetry, TelemetrySummary};
 use crate::tuner::{rank_by_model, AutoTuner, TunerPolicy};
 use crate::Result;
-use std::time::Instant;
-use tc_circuit::{CompiledCircuit, PlaneArena};
+use tc_circuit::CompiledCircuit;
 
 /// Tunables of a [`Runtime`].
 #[derive(Debug, Clone)]
@@ -31,7 +30,7 @@ impl Default for RuntimeOptions {
 }
 
 impl RuntimeOptions {
-    fn effective_workers(&self) -> usize {
+    pub(crate) fn effective_workers(&self) -> usize {
         if self.workers > 0 {
             self.workers
         } else {
@@ -41,7 +40,7 @@ impl RuntimeOptions {
         }
     }
 
-    fn effective_queue_capacity(&self, workers: usize) -> usize {
+    pub(crate) fn effective_queue_capacity(&self, workers: usize) -> usize {
         if self.queue_capacity > 0 {
             self.queue_capacity
         } else {
@@ -186,6 +185,49 @@ impl Runtime {
         self.tuner.load_json(&self.registry, path)
     }
 
+    /// Opens a streaming session against `circuit` and runs `f` with it.
+    ///
+    /// The session outlives nothing: scoped worker threads spawn lazily as
+    /// groups are dispatched (none for an empty session, one per group up
+    /// to the worker target) and join when `f` returns, so borrows of the
+    /// runtime and circuit stay plain references. Submit rows from any
+    /// thread inside `f` (spawn your own scoped threads around the
+    /// `&StreamSession` if you like) and consume responses incrementally —
+    /// see [`StreamSession`] for the flat-memory contract.
+    ///
+    /// The backend is picked lazily on the first submitted row, so opening
+    /// (and closing) a session that never submits costs nothing — in
+    /// particular, no calibration probe runs for an empty stream.
+    pub fn open_session<T>(
+        &self,
+        circuit: &CompiledCircuit,
+        opts: SessionOptions,
+        f: impl FnOnce(&StreamSession<'_, '_>) -> T,
+    ) -> T {
+        /// Unblocks and drains workers even when `f` unwinds: without this,
+        /// a panicking consumer would leave workers parked in the engine
+        /// and `thread::scope` would join them forever instead of
+        /// propagating the panic.
+        struct Shutdown<'a>(&'a SessionShared<'a>);
+        impl Drop for Shutdown<'_> {
+            fn drop(&mut self) {
+                self.0.shutdown();
+            }
+        }
+
+        let shared = SessionShared::new(self, circuit, opts);
+        let out = std::thread::scope(|scope| {
+            let _shutdown = Shutdown(&shared);
+            let session = StreamSession {
+                shared: &shared,
+                scope,
+            };
+            f(&session)
+        });
+        shared.flush_telemetry();
+        out
+    }
+
     /// Serves a batch of requests, returning one [`Response`] per request in
     /// submission order. Any batch size is accepted — requests are packed
     /// into full lane groups with a single ragged tail.
@@ -198,6 +240,10 @@ impl Runtime {
     }
 
     /// Like [`Runtime::serve_batch`] with an explicit [`Detail`] level.
+    ///
+    /// A thin wrapper over [`Runtime::open_session`]: rows are submitted
+    /// through a session sized by the batch length and the materialised
+    /// responses are collected in submission order.
     pub fn serve_batch_detailed<R: AsRef<[bool]> + Sync>(
         &self,
         circuit: &CompiledCircuit,
@@ -207,21 +253,20 @@ impl Runtime {
         if rows.is_empty() {
             return Ok(Vec::new());
         }
-        let backend = &self.registry.backends()[self.pick_backend(circuit, rows.len())?];
-        let lane_group = backend.caps().lane_group.max(1);
-        let groups = rows
-            .chunks(lane_group)
-            .enumerate()
-            .map(|(i, chunk)| (i * lane_group, chunk));
-        let done = self.pump_groups(
-            circuit,
-            backend.as_ref(),
-            rows.len(),
-            groups,
-            detail,
-            |chunk| chunk.iter().map(|r| r.as_ref()).collect(),
-        )?;
-        assemble(rows.len(), done)
+        let opts = SessionOptions::default()
+            .detail(detail)
+            .batch_hint(rows.len());
+        self.open_session(circuit, opts, |session| {
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                session.submit_draining(row.as_ref(), &mut out)?;
+            }
+            session.finish();
+            while let Some(resp) = session.next_response()? {
+                out.push(resp.into_response());
+            }
+            Ok(out)
+        })
     }
 
     /// Serves an unbounded request stream: rows are packed into full lane
@@ -231,7 +276,8 @@ impl Runtime {
     /// materialised, in submission order — memory still grows with the
     /// response count (outputs and firing count per request, plus the full
     /// evaluation under [`Detail::Full`]), so size long-running streams
-    /// accordingly.
+    /// accordingly, or use [`Runtime::open_session`] directly to consume
+    /// responses incrementally at flat memory.
     pub fn serve_stream<I>(&self, circuit: &CompiledCircuit, requests: I) -> Result<Vec<Response>>
     where
         I: IntoIterator<Item = Vec<bool>>,
@@ -240,6 +286,12 @@ impl Runtime {
     }
 
     /// Like [`Runtime::serve_stream`] with an explicit [`Detail`] level.
+    ///
+    /// A thin wrapper over [`Runtime::open_session`]: the calling thread
+    /// drives submission and drains completed responses whenever the queue
+    /// pushes back, so the input side stays bounded even though the result
+    /// is materialised. The backend is picked lazily on the first packed
+    /// row — an empty stream never pays a calibration probe.
     pub fn serve_stream_detailed<I>(
         &self,
         circuit: &CompiledCircuit,
@@ -249,38 +301,21 @@ impl Runtime {
     where
         I: IntoIterator<Item = Vec<bool>>,
     {
-        let backend =
-            &self.registry.backends()[self.pick_backend(circuit, self.opts.stream_batch_hint)?];
-        let lane_group = backend.caps().lane_group.max(1);
-        let mut iter = requests.into_iter();
-        let mut next_start = 0usize;
-        let groups = std::iter::from_fn(move || {
-            let chunk: Vec<Vec<bool>> = iter.by_ref().take(lane_group).collect();
-            if chunk.is_empty() {
-                None
-            } else {
-                let start = next_start;
-                next_start += chunk.len();
-                Some((start, chunk))
+        let opts = SessionOptions::default().detail(detail);
+        self.open_session(circuit, opts, |session| {
+            let mut out = Vec::new();
+            for row in requests {
+                session.submit_draining(&row, &mut out)?;
             }
-        });
-        let done = self.pump_groups(
-            circuit,
-            backend.as_ref(),
-            usize::MAX,
-            groups,
-            detail,
-            |chunk| chunk.iter().map(|r| r.as_slice()).collect(),
-        )?;
-        let total = done
-            .iter()
-            .map(|(start, responses)| start + responses.len())
-            .max()
-            .unwrap_or(0);
-        assemble(total, done)
+            session.finish();
+            while let Some(resp) = session.next_response()? {
+                out.push(resp.into_response());
+            }
+            Ok(out)
+        })
     }
 
-    fn pick_backend(&self, circuit: &CompiledCircuit, batch: usize) -> Result<usize> {
+    pub(crate) fn pick_backend(&self, circuit: &CompiledCircuit, batch: usize) -> Result<usize> {
         match &self.policy {
             TunerPolicy::Fixed(name) => self.registry.index_of(name),
             TunerPolicy::ModelOnly => rank_by_model(&self.registry, circuit, batch),
@@ -288,87 +323,13 @@ impl Runtime {
         }
     }
 
-    /// Shared scheduling core: shards `groups` across workers (each owning
-    /// one reusable [`PlaneArena`]), evaluates each group on `backend`, and
-    /// records telemetry per group.
-    fn pump_groups<C, G>(
-        &self,
-        circuit: &CompiledCircuit,
-        backend: &dyn EvalBackend,
-        total_requests: usize,
-        groups: impl Iterator<Item = (usize, C)>,
-        detail: Detail,
-        as_refs: G,
-    ) -> Result<Vec<(usize, Vec<Response>)>>
-    where
-        C: Send,
-        G: Fn(&C) -> Vec<&[bool]> + Sync,
-    {
-        let caps = backend.caps();
-        let workers = if caps.internally_parallel {
-            // The backend forks per depth layer itself; scheduler workers
-            // on top would oversubscribe cores.
-            1
-        } else {
-            let group_bound = total_requests.div_ceil(caps.lane_group.max(1));
-            self.opts.effective_workers().min(group_bound).max(1)
-        };
-        let queue_capacity = self.opts.effective_queue_capacity(workers);
-        let class_counts = circuit.class_counts();
-        scheduler::pump(
-            groups,
-            workers,
-            queue_capacity,
-            PlaneArena::new,
-            |arena, (start, chunk)| {
-                let refs = as_refs(&chunk);
-                let t0 = Instant::now();
-                let responses = backend.eval_group(circuit, &refs, detail, arena)?;
-                let busy_ns = t0.elapsed().as_nanos() as u64;
-                // A wrong response count would corrupt request→response order
-                // during assembly; reject it as a backend contract violation.
-                if responses.len() != refs.len() {
-                    return Err(crate::RuntimeError::BackendContract {
-                        backend: caps.name,
-                        expected: refs.len(),
-                        actual: responses.len(),
-                    });
-                }
-                // Padding only exists for fixed-lane-width (bit-sliced)
-                // passes; for per-request backends lane_group is just a
-                // scheduling hint.
-                let group_width = if caps.bit_sliced {
-                    caps.lane_group
-                } else {
-                    refs.len()
-                };
-                let requests = refs.len() as u64;
-                self.telemetry.record_group(
-                    caps.name,
-                    requests,
-                    group_width as u64,
-                    class_counts.map(|c| c as u64 * requests),
-                    responses.iter().map(|r| r.firing_count as u64).sum(),
-                    busy_ns,
-                );
-                Ok((start, responses))
-            },
-        )
+    pub(crate) fn options(&self) -> &RuntimeOptions {
+        &self.opts
     }
-}
 
-/// Places out-of-order evaluated groups back into submission order.
-fn assemble(total: usize, done: Vec<(usize, Vec<Response>)>) -> Result<Vec<Response>> {
-    let mut out: Vec<Option<Response>> = (0..total).map(|_| None).collect();
-    for (start, responses) in done {
-        for (offset, response) in responses.into_iter().enumerate() {
-            out[start + offset] = Some(response);
-        }
+    pub(crate) fn telemetry_ref(&self) -> &Telemetry {
+        &self.telemetry
     }
-    Ok(out
-        .into_iter()
-        .map(|r| r.expect("scheduler returned a response for every request"))
-        .collect())
 }
 
 #[cfg(test)]
@@ -527,18 +488,21 @@ mod tests {
                 circuit: &CompiledCircuit,
                 rows: &[&[bool]],
                 detail: Detail,
-                arena: &mut PlaneArena,
-            ) -> crate::Result<Vec<crate::Response>> {
-                let mut responses =
-                    crate::ScalarBackend.eval_group(circuit, rows, detail, arena)?;
+                arena: &mut tc_circuit::PlaneArena,
+                responses: &mut Vec<crate::Response>,
+            ) -> crate::Result<()> {
+                crate::ScalarBackend.eval_group(circuit, rows, detail, arena, responses)?;
                 responses.pop();
-                Ok(responses)
+                Ok(())
             }
         }
         let cc = adder();
+        // One worker keeps dispatch deterministic: the first (full, 16-row)
+        // group is the one whose contract violation surfaces.
         let runtime = Runtime::builder()
             .register(Box::new(ShortChanger))
             .fixed_backend("short_changer")
+            .workers(1)
             .build();
         assert!(matches!(
             runtime.serve_batch(&cc, &rows(40)),

@@ -1,236 +1,530 @@
-//! The streaming batch scheduler: a bounded work queue of lane groups
-//! drained by scoped worker threads.
+//! The streaming scheduler engine: a bounded work queue of lane groups on
+//! the submit side and a bounded delivery window on the consume side, under
+//! one lock so combined wait conditions ("room to push *or* a response to
+//! take") need no cross-queue signalling.
 //!
-//! The scheduler is deliberately backend-agnostic: it moves opaque *groups*
-//! (a starting request index plus that group's rows) from a producer — a
-//! slice chunker for [`crate::Runtime::serve_batch`], an incremental packer
-//! for [`crate::Runtime::serve_stream`] — to workers that evaluate them.
-//! The queue is bounded, so an unbounded request stream is packed lazily and
-//! never materialised: when workers fall behind, the producer blocks instead
-//! of buffering the world.
+//! The engine is deliberately backend-agnostic: it moves opaque *groups*
+//! (`G`, packed rows) from producers to workers and *deliveries* (`D`,
+//! evaluated responses) from workers to consumers. Sessions
+//! ([`crate::StreamSession`]) put packing, pooling, and backend dispatch on
+//! top. Both queues are bounded, so an unbounded request stream runs at
+//! flat memory: when workers fall behind, producers block instead of
+//! buffering the world, and when consumers fall behind, workers block
+//! instead of materialising every response.
+//!
+//! # Close semantics
+//!
+//! Closing distinguishes *completion* from *failure* (the predecessor
+//! `BoundedQueue` conflated them, so a failing worker's `close()` still
+//! drained every already-queued group through full evaluation before the
+//! error surfaced):
+//!
+//! * [`Engine::finish`] — the submit side is done; workers **drain** the
+//!   queue, then [`Engine::pop`] reports exhaustion.
+//! * [`Engine::abort`] — a worker failed (or the session was abandoned);
+//!   queued groups are **dropped** and every blocked party wakes
+//!   immediately. In-flight groups (already popped) finish, matching the
+//!   session contract, but nothing queued behind the failure is evaluated.
 
-use crate::{Response, Result, RuntimeError};
+use crate::RuntimeError;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
-/// A classic Mutex + two-Condvar bounded MPMC queue.
-struct BoundedQueue<T> {
-    state: Mutex<QueueState<T>>,
-    not_empty: Condvar,
-    not_full: Condvar,
-    capacity: usize,
+/// Outcome of a consumer take.
+#[derive(Debug)]
+pub(crate) enum Take<D> {
+    /// The oldest admissible delivery (in group order for ordered engines).
+    Item(D),
+    /// The session finished and every delivery has been taken.
+    Done,
+    /// Nothing deliverable right now (non-blocking takes only).
+    WouldBlock,
 }
 
-struct QueueState<T> {
-    items: VecDeque<T>,
-    closed: bool,
+/// Outcome of a combined push-or-take (single-thread driver loops).
+#[derive(Debug)]
+pub(crate) enum PushOrTake<G, D> {
+    /// The group was enqueued.
+    Pushed,
+    /// A delivery was ready instead; the group is handed back untouched.
+    Took(D, G),
 }
 
-impl<T> BoundedQueue<T> {
-    fn new(capacity: usize) -> Self {
-        BoundedQueue {
-            state: Mutex::new(QueueState {
-                items: VecDeque::with_capacity(capacity),
-                closed: false,
+#[derive(Debug)]
+struct EngineState<G, D> {
+    /// Queued groups awaiting a worker, FIFO.
+    queue: VecDeque<(u64, G)>,
+    /// Bound on `queue` (set by [`Engine::configure`]).
+    queue_capacity: usize,
+    /// Bound on held deliveries, in groups (set by [`Engine::configure`]).
+    window: usize,
+    /// Group indices assigned so far.
+    next_index: u64,
+    /// Groups popped by workers but not yet delivered or dropped.
+    in_flight: usize,
+    /// Ordered mode: slot `i` holds the delivery for group
+    /// `next_deliver + i` (always `window` entries).
+    ring: VecDeque<Option<(u64, D)>>,
+    /// Unordered mode: deliveries in completion order.
+    bag: VecDeque<(u64, D)>,
+    /// Next group index the ordered consumer hands out.
+    next_deliver: u64,
+    /// Deliveries currently held for the consumer, in groups.
+    held: usize,
+    /// Peak of `held` — the reorder-window occupancy telemetry gauge.
+    peak_held: usize,
+    /// The submit side is complete; workers drain the queue.
+    finished: bool,
+    /// A failure or abandon: queued groups are dropped, waiters wake.
+    aborted: bool,
+    /// First worker error, surfaced to submitters and consumers.
+    error: Option<RuntimeError>,
+}
+
+/// The bounded two-sided scheduler core. One instance per stream session.
+#[derive(Debug)]
+pub(crate) struct Engine<G, D> {
+    state: Mutex<EngineState<G, D>>,
+    /// Single condvar for every transition (group granularity keeps the
+    /// thundering cost negligible, and one wait set makes the combined
+    /// "push or take" conditions race-free by construction).
+    cv: Condvar,
+    /// Deliver groups in submission order through the ring (true) or in
+    /// completion order through the bag (false).
+    ordered: bool,
+}
+
+impl<G, D> Engine<G, D> {
+    pub(crate) fn new(ordered: bool) -> Self {
+        Engine {
+            state: Mutex::new(EngineState {
+                queue: VecDeque::new(),
+                queue_capacity: 0,
+                window: 0,
+                next_index: 0,
+                in_flight: 0,
+                ring: VecDeque::new(),
+                bag: VecDeque::new(),
+                next_deliver: 0,
+                held: 0,
+                peak_held: 0,
+                finished: false,
+                aborted: false,
+                error: None,
             }),
-            not_empty: Condvar::new(),
-            not_full: Condvar::new(),
-            capacity,
+            cv: Condvar::new(),
+            ordered,
         }
     }
 
-    /// Blocks until there is room; returns `false` if the queue was closed
-    /// (a worker hit an error) and the item was not enqueued.
-    fn push(&self, item: T) -> bool {
+    /// Sets the queue and window bounds (idempotent; must run before the
+    /// first push/deliver — the session configures on its first submit, once
+    /// the backend's lane group and worker count are known).
+    pub(crate) fn configure(&self, queue_capacity: usize, window: usize) {
         let mut s = self.state.lock().unwrap();
-        loop {
-            if s.closed {
-                return false;
+        if s.queue_capacity == 0 {
+            let capacity = queue_capacity.max(1);
+            let window = window.max(1);
+            s.queue_capacity = capacity;
+            s.window = window;
+            s.queue.reserve(capacity);
+            if self.ordered {
+                s.ring.resize_with(window, || None);
+            } else {
+                s.bag.reserve(window);
             }
-            if s.items.len() < self.capacity {
-                s.items.push_back(item);
-                self.not_empty.notify_one();
-                return true;
-            }
-            s = self.not_full.wait(s).unwrap();
         }
     }
 
-    /// Blocks until an item arrives; `None` once the queue is closed and
-    /// drained.
-    fn pop(&self) -> Option<T> {
+    /// Blocks until there is queue room, then enqueues `g` under a fresh
+    /// group index. `None` means the engine aborted (error or abandon) and
+    /// the group was not enqueued.
+    pub(crate) fn push(&self, g: G) -> Option<u64> {
         let mut s = self.state.lock().unwrap();
+        debug_assert!(s.queue_capacity > 0, "push before configure");
         loop {
-            if let Some(item) = s.items.pop_front() {
-                self.not_full.notify_one();
-                return Some(item);
-            }
-            if s.closed {
+            if s.aborted {
                 return None;
             }
-            s = self.not_empty.wait(s).unwrap();
-        }
-    }
-
-    fn close(&self) {
-        let mut s = self.state.lock().unwrap();
-        s.closed = true;
-        self.not_empty.notify_all();
-        self.not_full.notify_all();
-    }
-}
-
-/// Pumps `groups` through `eval` on `workers` scoped threads with at most
-/// `queue_capacity` groups in flight, returning the evaluated groups in
-/// arbitrary order (each tagged with its starting request index by `eval`).
-///
-/// Every worker owns one piece of state built by `make_state` (the runtime
-/// passes a [`tc_circuit::PlaneArena`] factory, so each worker reuses its
-/// plane scratch across every group it drains — the steady-state serve loop
-/// allocates no plane storage).
-///
-/// With one worker the pump degenerates to a sequential loop — no threads,
-/// no queue. On the first error the queue closes, in-flight groups finish,
-/// and the error is returned.
-pub(crate) fn pump<G, S, F>(
-    groups: impl Iterator<Item = G>,
-    workers: usize,
-    queue_capacity: usize,
-    make_state: impl Fn() -> S + Sync,
-    eval: F,
-) -> Result<Vec<(usize, Vec<Response>)>>
-where
-    G: Send,
-    F: Fn(&mut S, G) -> Result<(usize, Vec<Response>)> + Sync,
-{
-    if workers <= 1 {
-        let mut state = make_state();
-        let mut out = Vec::new();
-        for group in groups {
-            out.push(eval(&mut state, group)?);
-        }
-        return Ok(out);
-    }
-
-    let queue = BoundedQueue::new(queue_capacity.max(1));
-    let results: Mutex<Vec<(usize, Vec<Response>)>> = Mutex::new(Vec::new());
-    let first_error: Mutex<Option<RuntimeError>> = Mutex::new(None);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut state = make_state();
-                while let Some(group) = queue.pop() {
-                    match eval(&mut state, group) {
-                        Ok(done) => results.lock().unwrap().push(done),
-                        Err(e) => {
-                            first_error.lock().unwrap().get_or_insert(e);
-                            queue.close();
-                            return;
-                        }
-                    }
-                }
-            });
-        }
-        // The producer runs on the calling thread: pack, push, block on
-        // backpressure. A closed queue means a worker failed — stop packing.
-        for group in groups {
-            if !queue.push(group) {
-                break;
+            assert!(!s.finished, "group pushed after finish()");
+            if s.queue.len() < s.queue_capacity {
+                let idx = s.next_index;
+                s.next_index += 1;
+                s.queue.push_back((idx, g));
+                self.cv.notify_all();
+                return Some(idx);
             }
+            s = self.cv.wait(s).unwrap();
         }
-        queue.close();
-    });
-
-    if let Some(e) = first_error.into_inner().unwrap() {
-        return Err(e);
     }
-    Ok(results.into_inner().unwrap())
+
+    /// Combined single-thread driver step: prefer taking a ready delivery
+    /// (handing `g` back), otherwise push `g`, otherwise block until either
+    /// becomes possible. Draining before pushing keeps the delivery window
+    /// from filling up while the queue still has room, so a lone thread can
+    /// drive an unbounded stream without a consumer thread.
+    pub(crate) fn push_or_take(&self, g: G) -> Result<PushOrTake<G, D>, RuntimeError> {
+        let mut s = self.state.lock().unwrap();
+        debug_assert!(s.queue_capacity > 0, "push before configure");
+        loop {
+            if let Some(e) = &s.error {
+                return Err(e.clone());
+            }
+            if s.aborted {
+                // Abandoned without an error: callers treat this like a
+                // refused push (they only abandon from shutdown).
+                return Err(RuntimeError::NoBackend);
+            }
+            if let Some((_idx, d)) = Self::take_ready(&mut s, self.ordered) {
+                self.cv.notify_all();
+                return Ok(PushOrTake::Took(d, g));
+            }
+            if s.queue.len() < s.queue_capacity {
+                let idx = s.next_index;
+                s.next_index += 1;
+                s.queue.push_back((idx, g));
+                self.cv.notify_all();
+                return Ok(PushOrTake::Pushed);
+            }
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+
+    /// Allocates a group index without queueing (inline evaluation mode,
+    /// where the submitting thread evaluates the group itself).
+    pub(crate) fn alloc_index(&self) -> u64 {
+        let mut s = self.state.lock().unwrap();
+        let idx = s.next_index;
+        s.next_index += 1;
+        idx
+    }
+
+    /// Worker side: blocks for the next queued group. `None` once the
+    /// engine is finished **and drained**, or immediately after an abort —
+    /// queued groups behind a failure are dropped, never evaluated.
+    pub(crate) fn pop(&self) -> Option<(u64, G)> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if s.aborted {
+                return None;
+            }
+            if let Some(item) = s.queue.pop_front() {
+                s.in_flight += 1;
+                self.cv.notify_all();
+                return Some(item);
+            }
+            if s.finished {
+                return None;
+            }
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+
+    /// Worker side: hands an evaluated group to the consumer, blocking
+    /// while the delivery window refuses it (ordered mode admits group
+    /// `idx` only once `idx < next_deliver + window`; unordered mode admits
+    /// up to `window` held groups). Returns `false` if the engine aborted
+    /// while waiting — the delivery is dropped by the caller.
+    ///
+    /// `queued` says whether the group was popped from the queue (workers)
+    /// or evaluated inline by the submitter.
+    pub(crate) fn deliver(&self, idx: u64, d: D, queued: bool) -> bool {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if s.aborted {
+                if queued {
+                    s.in_flight -= 1;
+                    self.cv.notify_all();
+                }
+                return false;
+            }
+            let admissible = if self.ordered {
+                idx < s.next_deliver + s.window as u64
+            } else {
+                s.held < s.window
+            };
+            if admissible {
+                if self.ordered {
+                    let pos = (idx - s.next_deliver) as usize;
+                    debug_assert!(s.ring[pos].is_none(), "double delivery of group {idx}");
+                    s.ring[pos] = Some((idx, d));
+                } else {
+                    s.bag.push_back((idx, d));
+                }
+                s.held += 1;
+                s.peak_held = s.peak_held.max(s.held);
+                if queued {
+                    s.in_flight -= 1;
+                }
+                self.cv.notify_all();
+                return true;
+            }
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+
+    /// Records a worker failure: the first error wins, queued groups are
+    /// dropped (close-on-error must not evaluate work behind the failure),
+    /// and every blocked submitter, worker, and consumer wakes.
+    pub(crate) fn abort(&self, e: RuntimeError) {
+        let mut s = self.state.lock().unwrap();
+        s.error.get_or_insert(e);
+        s.aborted = true;
+        s.queue.clear();
+        self.cv.notify_all();
+    }
+
+    /// Drops queued work and wakes everyone without recording an error
+    /// (session shutdown after the consumer walked away).
+    pub(crate) fn abandon(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.aborted = true;
+        s.queue.clear();
+        self.cv.notify_all();
+    }
+
+    /// Marks the submit side complete: workers drain what is queued, then
+    /// [`Engine::pop`] reports exhaustion and consumers see [`Take::Done`].
+    pub(crate) fn finish(&self) {
+        let mut s = self.state.lock().unwrap();
+        s.finished = true;
+        self.cv.notify_all();
+    }
+
+    /// The first worker error, if any.
+    pub(crate) fn error(&self) -> Option<RuntimeError> {
+        self.state.lock().unwrap().error.clone()
+    }
+
+    /// Consumer side: the next delivery. Blocking mode waits until a
+    /// delivery is ready, the engine errors, or it finishes and drains.
+    pub(crate) fn take(&self, block: bool) -> Result<Take<D>, RuntimeError> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(e) = &s.error {
+                return Err(e.clone());
+            }
+            if let Some((_idx, d)) = Self::take_ready(&mut s, self.ordered) {
+                self.cv.notify_all();
+                return Ok(Take::Item(d));
+            }
+            let drained = s.queue.is_empty() && s.in_flight == 0 && s.held == 0;
+            if (s.finished && drained) || s.aborted {
+                return Ok(Take::Done);
+            }
+            if !block {
+                return Ok(Take::WouldBlock);
+            }
+            s = self.cv.wait(s).unwrap();
+        }
+    }
+
+    fn take_ready(s: &mut EngineState<G, D>, ordered: bool) -> Option<(u64, D)> {
+        let item = if ordered {
+            if s.ring.front()?.is_some() {
+                let item = s.ring.pop_front().unwrap();
+                s.ring.push_back(None);
+                s.next_deliver += 1;
+                item
+            } else {
+                None
+            }
+        } else {
+            s.bag.pop_front()
+        };
+        let (idx, d) = item?;
+        s.held -= 1;
+        Some((idx, d))
+    }
+
+    /// Peak delivery-window occupancy, in groups (telemetry gauge).
+    pub(crate) fn peak_window(&self) -> usize {
+        self.state.lock().unwrap().peak_held
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use tc_circuit::CircuitError;
 
-    fn response(tag: bool) -> Response {
-        Response {
-            outputs: vec![tag],
-            firing_count: tag as u32,
-            evaluation: None,
-        }
+    fn engine(ordered: bool, cap: usize, window: usize) -> Engine<u32, u32> {
+        let e = Engine::new(ordered);
+        e.configure(cap, window);
+        e
     }
 
     #[test]
-    fn pump_returns_every_group_exactly_once() {
-        for workers in [1usize, 4] {
-            let groups = (0..37usize).map(|i| (i * 10, i % 2 == 0));
-            let mut got = pump(
-                groups,
-                workers,
-                4,
-                || (),
-                |_, (start, tag)| Ok((start, vec![response(tag)])),
-            )
-            .unwrap();
-            got.sort_unstable_by_key(|(start, _)| *start);
-            assert_eq!(got.len(), 37);
-            for (i, (start, responses)) in got.iter().enumerate() {
-                assert_eq!(*start, i * 10);
-                assert_eq!(responses[0].outputs, vec![i % 2 == 0]);
-            }
+    fn abort_drops_queued_groups_but_finish_drains_them() {
+        // Regression for the close-on-error bug: the old queue's single
+        // `close()` kept handing out queued groups after a *failing* worker
+        // closed it, so every group behind the failure was still fully
+        // evaluated before the error surfaced.
+        let e = engine(false, 64, 64);
+        for g in 0..10u32 {
+            e.push(g).unwrap();
         }
+        assert_eq!(e.pop(), Some((0, 0)));
+        e.abort(RuntimeError::Circuit(CircuitError::EmptyFanIn));
+        // Nine groups were still queued; none may be handed out now.
+        assert_eq!(e.pop(), None);
+        assert!(e.error().is_some());
+
+        // Close-on-complete is the opposite: everything queued drains.
+        let e = engine(false, 64, 64);
+        for g in 0..5u32 {
+            e.push(g).unwrap();
+        }
+        e.finish();
+        for g in 0..5u32 {
+            assert_eq!(e.pop(), Some((g as u64, g)));
+        }
+        assert_eq!(e.pop(), None);
+        assert!(e.error().is_none());
     }
 
     #[test]
-    fn pump_surfaces_worker_errors_and_stops() {
-        let err = RuntimeError::Circuit(CircuitError::EmptyFanIn);
-        for workers in [1usize, 3] {
-            let groups = (0..1000usize).map(|i| (i, ()));
-            let result = pump(
-                groups,
-                workers,
-                2,
-                || (),
-                |_, (start, _)| {
-                    if start == 5 {
-                        Err(RuntimeError::Circuit(CircuitError::EmptyFanIn))
-                    } else {
-                        Ok((start, vec![]))
+    fn no_group_behind_a_failure_is_evaluated_once_closed() {
+        // Threaded version of the same regression, shaped like the session
+        // worker loop: a deep queue, a failing first group, and a second
+        // worker whose in-flight group is allowed to finish. Nothing queued
+        // behind the failure may be popped after the abort.
+        let failed = AtomicBool::new(false);
+        let evaluated = Mutex::new(Vec::new());
+        let e = engine(false, 64, 64);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    while let Some((idx, _)) = e.pop() {
+                        if idx == 0 {
+                            failed.store(true, Ordering::SeqCst);
+                            e.abort(RuntimeError::Circuit(CircuitError::EmptyFanIn));
+                            return;
+                        }
+                        // An in-flight group "finishes" only after the
+                        // failure lands, so every pop below observes a
+                        // closed queue.
+                        while !failed.load(Ordering::SeqCst) {
+                            std::thread::yield_now();
+                        }
+                        evaluated.lock().unwrap().push(idx);
+                        e.deliver(idx, 0, true);
                     }
-                },
-            );
-            assert_eq!(result.unwrap_err(), err);
+                });
+            }
+            for g in 0..64u32 {
+                if e.push(g).is_none() {
+                    break;
+                }
+            }
+            e.finish();
+        });
+        let evaluated = evaluated.lock().unwrap();
+        // At most the one in-flight group (index 1) ever evaluates; the 62
+        // groups queued behind the failure are dropped.
+        assert!(
+            evaluated.iter().all(|&idx| idx < 2),
+            "groups behind the failing one were evaluated: {evaluated:?}"
+        );
+        assert_eq!(
+            e.error(),
+            Some(RuntimeError::Circuit(CircuitError::EmptyFanIn))
+        );
+    }
+
+    #[test]
+    fn ordered_delivery_reorders_within_a_bounded_window() {
+        let e = engine(true, 8, 2);
+        for g in 0..3u32 {
+            e.push(g).unwrap();
         }
+        let (i0, g0) = e.pop().unwrap();
+        let (i1, g1) = e.pop().unwrap();
+        let (i2, g2) = e.pop().unwrap();
+        // Group 1 completes first; the window holds it for ordering.
+        assert!(e.deliver(i1, g1 + 100, true));
+        match e.take(false).unwrap() {
+            Take::WouldBlock => {}
+            other => panic!("group 0 not delivered yet, got {other:?}"),
+        }
+        // Group 2 is outside the 2-group window until group 0 is consumed:
+        // a worker delivering it must block, which we probe via a thread.
+        let delivered_2 = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                assert!(e.deliver(i2, g2 + 100, true));
+                delivered_2.store(true, Ordering::SeqCst);
+            });
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            assert!(!delivered_2.load(Ordering::SeqCst), "window bound ignored");
+            assert!(e.deliver(i0, g0 + 100, true));
+            // Consuming 0 then 1 opens the window for 2.
+            for expect in 0..3u64 {
+                match e.take(true).unwrap() {
+                    Take::Item(d) => {
+                        assert_eq!(d, expect as u32 + 100);
+                    }
+                    other => panic!("expected item {expect}, got {other:?}"),
+                }
+            }
+        });
+        assert!(delivered_2.load(Ordering::SeqCst));
+        e.finish();
+        assert!(matches!(e.take(true).unwrap(), Take::Done));
     }
 
     #[test]
     fn bounded_queue_applies_backpressure() {
-        // Capacity 1 with a slow consumer: the producer must block rather
-        // than buffer, so in-flight items never exceed capacity + workers.
-        use std::sync::atomic::{AtomicUsize, Ordering};
+        // Capacity 1 with a slow consumer: producers must block rather than
+        // buffer, so queued + in-flight never exceeds capacity + workers.
+        let e = engine(false, 1, 64);
         let in_flight = AtomicUsize::new(0);
         let peak = AtomicUsize::new(0);
-        let produced = std::cell::Cell::new(0usize);
-        let groups = (0..50usize).map(|i| {
-            produced.set(produced.get() + 1);
-            let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
-            peak.fetch_max(now, Ordering::SeqCst);
-            (i, ())
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(|| {
+                    while let Some((idx, g)) = e.pop() {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                        e.deliver(idx, g, true);
+                    }
+                });
+            }
+            scope.spawn(|| {
+                let mut taken = 0;
+                while let Ok(t) = e.take(true) {
+                    match t {
+                        Take::Item(..) => taken += 1,
+                        Take::Done => break,
+                        Take::WouldBlock => unreachable!(),
+                    }
+                }
+                assert_eq!(taken, 50);
+            });
+            for g in 0..50u32 {
+                let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                e.push(g).unwrap();
+            }
+            e.finish();
         });
-        pump(
-            groups,
-            2,
-            1,
-            || (),
-            |_, (start, _)| {
-                std::thread::sleep(std::time::Duration::from_micros(200));
-                in_flight.fetch_sub(1, Ordering::SeqCst);
-                Ok((start, vec![]))
-            },
-        )
-        .unwrap();
-        assert_eq!(produced.get(), 50);
         // queue capacity (1) + workers (2) + the one the producer holds.
-        assert!(peak.load(Ordering::SeqCst) <= 4, "peak {:?}", peak);
+        assert!(peak.load(Ordering::SeqCst) <= 4, "peak {peak:?}");
+    }
+
+    #[test]
+    fn push_or_take_drains_before_queueing() {
+        // Inline-style single-thread driving: deliveries ready in the
+        // window are preferred over enqueueing more work.
+        let e = engine(true, 1, 4);
+        assert!(matches!(e.push_or_take(7).unwrap(), PushOrTake::Pushed));
+        let (idx, g) = e.pop().unwrap();
+        e.deliver(idx, g + 1, true);
+        match e.push_or_take(9).unwrap() {
+            PushOrTake::Took(8, 9) => {}
+            other => panic!("expected the ready delivery first, got {other:?}"),
+        }
+        assert!(matches!(e.push_or_take(9).unwrap(), PushOrTake::Pushed));
     }
 }

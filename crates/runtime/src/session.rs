@@ -1,0 +1,817 @@
+//! Streaming sessions: flat-memory serving of unbounded request streams.
+//!
+//! [`crate::Runtime::serve_stream`] materialises every [`Response`] into one
+//! `Vec`, so a long-running stream's memory grows with the total request
+//! count even though the *input* side is bounded by the work queue. A
+//! [`StreamSession`] closes that gap: callers
+//! [`submit`](StreamSession::submit) rows from any thread into the bounded
+//! queue and consume completed responses incrementally — in submission order
+//! through a bounded reorder window (the default), or in completion order
+//! with explicit request ids ([`SessionOptions::unordered`]). Nothing in the
+//! loop scales with the stream length: queued groups, the reorder window,
+//! and the in-flight groups workers hold are all bounded, so an unbounded
+//! stream runs at flat memory.
+//!
+//! The session also owns a [`ResponsePool`]: consumed responses (their
+//! `outputs` storage and, under [`Detail::Full`], the evaluation buffers)
+//! are recycled from the consumer back to the scheduler workers via the
+//! [`PooledResponse`] guard, and spent row buffers flow back to submitters
+//! the same way. Together with the per-worker
+//! [`PlaneArena`](tc_circuit::PlaneArena), this extends the kernel's
+//! zero-allocation guarantee to the whole [`Detail::Outputs`] serve loop —
+//! pinned by the counting-allocator test in
+//! `crates/runtime/tests/alloc_steady_state.rs`.
+
+use crate::backend::{Detail, Response};
+use crate::runtime::Runtime;
+use crate::scheduler::{Engine, PushOrTake, Take};
+use crate::{Result, RuntimeError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+use tc_circuit::{CompiledCircuit, PlaneArena};
+
+/// Per-session tunables for [`crate::Runtime::open_session`].
+#[derive(Debug, Clone)]
+pub struct SessionOptions {
+    /// How much of each evaluation every response carries.
+    pub detail: Detail,
+    /// Deliver responses in submission order through the bounded reorder
+    /// window (`true`, the default) or in completion order, identified by
+    /// [`PooledResponse::request_id`] (`false`). Strict submission order is
+    /// a *single-consumer* contract: concurrent consumers receive disjoint
+    /// responses whose interleaving is scheduling-dependent (each still
+    /// carries its request id).
+    pub ordered: bool,
+    /// Size of the delivery window in lane groups (completed groups held
+    /// for the consumer). `0` picks twice the worker count; explicit
+    /// values are clamped to at least 2. Workers that finish a group the
+    /// window cannot admit yet block until the consumer catches up — this
+    /// is what bounds response-side memory.
+    pub reorder_window: usize,
+    /// Expected total request count, if known (`0` for a genuinely
+    /// unbounded stream). Used to pick the backend's tuning bucket and to
+    /// bound the worker count for small batches; falls back to
+    /// [`crate::RuntimeOptions::stream_batch_hint`].
+    pub batch_hint: usize,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            detail: Detail::Outputs,
+            ordered: true,
+            reorder_window: 0,
+            batch_hint: 0,
+        }
+    }
+}
+
+impl SessionOptions {
+    /// Sets the [`Detail`] level of every response.
+    pub fn detail(mut self, detail: Detail) -> Self {
+        self.detail = detail;
+        self
+    }
+
+    /// Switches to completion-order delivery with explicit request ids.
+    pub fn unordered(mut self) -> Self {
+        self.ordered = false;
+        self
+    }
+
+    /// Sets the delivery-window size in lane groups (0 = auto).
+    pub fn reorder_window(mut self, groups: usize) -> Self {
+        self.reorder_window = groups;
+        self
+    }
+
+    /// Declares the expected total request count (0 = unbounded).
+    pub fn batch_hint(mut self, requests: usize) -> Self {
+        self.batch_hint = requests;
+        self
+    }
+}
+
+/// The backend decision a session makes on its first submitted row (so an
+/// empty session never pays a calibration probe).
+#[derive(Debug, Clone, Copy)]
+struct Plan {
+    backend_idx: usize,
+    backend_name: &'static str,
+    lane_group: usize,
+    bit_sliced: bool,
+    /// 1 means inline mode: the submitting thread evaluates groups itself —
+    /// no worker threads, fully deterministic (and what `serve_batch` uses
+    /// for single-worker runtimes).
+    target_workers: usize,
+}
+
+/// A group of packed rows travelling from submitters to workers.
+struct RowGroup {
+    /// Request id of the first row.
+    start: u64,
+    rows: Vec<Vec<bool>>,
+}
+
+/// An evaluated group travelling from workers to the consumer.
+struct DoneGroup {
+    start: u64,
+    responses: Vec<Response>,
+}
+
+/// Recycled buffers flowing backwards through the session: spent row
+/// buffers and row-set containers to the submit side, consumed [`Response`]
+/// shells and group containers to the workers. After warm-up every buffer
+/// in the [`Detail::Outputs`] loop comes from here instead of the
+/// allocator.
+#[derive(Debug, Default)]
+struct ResponsePool {
+    rows: Vec<Vec<bool>>,
+    row_sets: Vec<Vec<Vec<bool>>>,
+    shells: Vec<Response>,
+    containers: Vec<Vec<Response>>,
+    /// Shells served from the pool / freshly allocated (telemetry).
+    hits: u64,
+    misses: u64,
+}
+
+/// Packing state on the submit side, under one lock so concurrent
+/// submitters pack rows into the current group atomically.
+struct PackState {
+    current: Vec<Vec<bool>>,
+    current_start: u64,
+    next_request: u64,
+    spawned: usize,
+    finished: bool,
+}
+
+/// The consumer cursor: the group currently being handed out response by
+/// response, plus deliveries taken from the engine but not yet drained.
+struct ConsumeState {
+    current: Option<DrainCursor>,
+    pending: std::collections::VecDeque<DoneGroup>,
+}
+
+struct DrainCursor {
+    start: u64,
+    responses: Vec<Response>,
+    pos: usize,
+}
+
+/// A reusable `&[bool]` table for handing a group's rows to
+/// [`crate::EvalBackend::eval_group`] without a per-group allocation: the
+/// allocation persists across groups, the borrows do not (the table is
+/// emptied before every refill).
+#[derive(Debug, Default)]
+struct RefsBuf(Vec<*const [bool]>);
+
+// SAFETY: the raw pointers are only written from live `&[bool]` borrows
+// immediately before the evaluation call that reads them, and the buffer is
+// cleared before each refill — nothing dangling is ever dereferenced.
+unsafe impl Send for RefsBuf {}
+
+impl RefsBuf {
+    fn fill<'a>(&mut self, rows: &'a [Vec<bool>]) -> &[&'a [bool]] {
+        self.0.clear();
+        self.0
+            .extend(rows.iter().map(|r| r.as_slice() as *const [bool]));
+        // SAFETY: `*const [bool]` and `&'a [bool]` have identical layout and
+        // every pointer above came from a live `&'a` borrow of `rows`.
+        unsafe { std::slice::from_raw_parts(self.0.as_ptr() as *const &'a [bool], self.0.len()) }
+    }
+}
+
+/// Scratch the inline (single-worker) mode evaluates in; worker threads own
+/// their scratch privately instead.
+#[derive(Debug, Default)]
+struct InlineScratch {
+    arena: PlaneArena,
+    refs: RefsBuf,
+}
+
+/// Everything a session's submitters, workers, and consumers share.
+pub(crate) struct SessionShared<'a> {
+    runtime: &'a Runtime,
+    circuit: &'a CompiledCircuit,
+    opts: SessionOptions,
+    engine: Engine<RowGroup, DoneGroup>,
+    plan: OnceLock<Plan>,
+    pack: Mutex<PackState>,
+    consume: Mutex<ConsumeState>,
+    pool: Mutex<ResponsePool>,
+    inline_scratch: Mutex<InlineScratch>,
+    class_counts: [usize; 3],
+    /// Responses handed to the consumer (for the in-flight depth gauge).
+    delivered: AtomicU64,
+    peak_in_flight: AtomicU64,
+}
+
+impl<'a> SessionShared<'a> {
+    pub(crate) fn new(
+        runtime: &'a Runtime,
+        circuit: &'a CompiledCircuit,
+        opts: SessionOptions,
+    ) -> Self {
+        let ordered = opts.ordered;
+        SessionShared {
+            runtime,
+            circuit,
+            opts,
+            engine: Engine::new(ordered),
+            plan: OnceLock::new(),
+            pack: Mutex::new(PackState {
+                current: Vec::new(),
+                current_start: 0,
+                next_request: 0,
+                spawned: 0,
+                finished: false,
+            }),
+            consume: Mutex::new(ConsumeState {
+                current: None,
+                pending: std::collections::VecDeque::new(),
+            }),
+            pool: Mutex::new(ResponsePool::default()),
+            inline_scratch: Mutex::new(InlineScratch::default()),
+            class_counts: circuit.class_counts(),
+            delivered: AtomicU64::new(0),
+            peak_in_flight: AtomicU64::new(0),
+        }
+    }
+
+    /// Unblocks every party and drops queued work (session teardown).
+    pub(crate) fn shutdown(&self) {
+        self.engine.abandon();
+    }
+
+    /// Flushes the session's gauges into the runtime's telemetry.
+    pub(crate) fn flush_telemetry(&self) {
+        let (hits, misses) = {
+            let pool = self.pool.lock().unwrap();
+            (pool.hits, pool.misses)
+        };
+        self.runtime.telemetry_ref().record_session(
+            self.peak_in_flight.load(Ordering::Relaxed),
+            self.engine.peak_window() as u64,
+            hits,
+            misses,
+        );
+    }
+
+    /// Resolves the backend, worker plan, and engine bounds on the first
+    /// submitted row — an empty session never runs a calibration probe.
+    fn ensure_plan(&self, pack: &mut PackState) -> Result<Plan> {
+        if let Some(plan) = self.plan.get() {
+            return Ok(*plan);
+        }
+        let batch = if self.opts.batch_hint > 0 {
+            self.opts.batch_hint
+        } else {
+            self.runtime.options().stream_batch_hint
+        };
+        let backend_idx = match self.runtime.pick_backend(self.circuit, batch) {
+            Ok(idx) => idx,
+            Err(e) => {
+                // Wake consumers blocked on a session that can never serve.
+                self.engine.abort(e.clone());
+                return Err(e);
+            }
+        };
+        let caps = self.runtime.registry().backends()[backend_idx].caps();
+        let lane_group = caps.lane_group.max(1);
+        let target_workers = if caps.internally_parallel {
+            // The backend forks per depth layer itself; scheduler workers
+            // on top would oversubscribe cores.
+            1
+        } else {
+            let mut target = self.runtime.options().effective_workers();
+            if self.opts.batch_hint > 0 {
+                target = target.min(self.opts.batch_hint.div_ceil(lane_group));
+            }
+            target.max(1)
+        };
+        let queue_capacity = self
+            .runtime
+            .options()
+            .effective_queue_capacity(target_workers);
+        // Minimum 2: `finish` must always be able to deliver the final
+        // partial group even when the last full group is still unconsumed
+        // (a window of 1 could deadlock a single-thread driver there).
+        let window = if self.opts.reorder_window > 0 {
+            self.opts.reorder_window.max(2)
+        } else {
+            (2 * target_workers).max(2)
+        };
+        self.engine.configure(queue_capacity, window);
+        let plan = Plan {
+            backend_idx,
+            backend_name: caps.name,
+            lane_group,
+            bit_sliced: caps.bit_sliced,
+            target_workers,
+        };
+        pack.current = self.pool_row_set(lane_group);
+        Ok(*self.plan.get_or_init(|| plan))
+    }
+
+    // ---- pool plumbing ----------------------------------------------------
+
+    fn pool_row(&self) -> Vec<bool> {
+        let mut pool = self.pool.lock().unwrap();
+        pool.rows
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(self.circuit.num_inputs()))
+    }
+
+    fn pool_row_set(&self, lane_group: usize) -> Vec<Vec<bool>> {
+        let mut pool = self.pool.lock().unwrap();
+        pool.row_sets
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(lane_group))
+    }
+
+    /// A response container pre-loaded with up to `n` recycled shells.
+    fn pool_container(&self, n: usize) -> Vec<Response> {
+        let mut pool = self.pool.lock().unwrap();
+        let mut container = pool.containers.pop().unwrap_or_default();
+        let recycled = pool.shells.len().min(n);
+        let from = pool.shells.len() - recycled;
+        container.extend(pool.shells.drain(from..));
+        pool.hits += recycled as u64;
+        pool.misses += (n - recycled) as u64;
+        container
+    }
+
+    fn recycle_rows(&self, mut rows: Vec<Vec<bool>>) {
+        let mut pool = self.pool.lock().unwrap();
+        for mut row in rows.drain(..) {
+            row.clear();
+            pool.rows.push(row);
+        }
+        pool.row_sets.push(rows);
+    }
+
+    fn recycle_container(&self, mut container: Vec<Response>) {
+        // Consumed slots hold capacity-less default shells; dropping them
+        // touches no heap.
+        container.clear();
+        self.pool.lock().unwrap().containers.push(container);
+    }
+
+    fn recycle_shell(&self, mut resp: Response) {
+        resp.outputs.clear();
+        // Keep the evaluation shell: `Detail::Full` backends refill it in
+        // place, reusing the gate-value buffer's capacity.
+        self.pool.lock().unwrap().shells.push(resp);
+    }
+
+    // ---- evaluation -------------------------------------------------------
+
+    /// Evaluates one group into a pooled container: the shared hot path of
+    /// worker threads and the inline mode.
+    fn eval_group_now(
+        &self,
+        group: &RowGroup,
+        arena: &mut PlaneArena,
+        refs: &mut RefsBuf,
+    ) -> Result<Vec<Response>> {
+        let plan = self.plan.get().expect("groups exist only after planning");
+        let backend = &self.runtime.registry().backends()[plan.backend_idx];
+        let mut responses = self.pool_container(group.rows.len());
+        let rows = refs.fill(&group.rows);
+        let t0 = Instant::now();
+        backend.eval_group(self.circuit, rows, self.opts.detail, arena, &mut responses)?;
+        let busy_ns = t0.elapsed().as_nanos() as u64;
+        // A wrong response count would corrupt request→response order during
+        // delivery; reject it as a backend contract violation.
+        if responses.len() != rows.len() {
+            return Err(RuntimeError::BackendContract {
+                backend: plan.backend_name,
+                expected: rows.len(),
+                actual: responses.len(),
+            });
+        }
+        // Padding only exists for fixed-lane-width (bit-sliced) passes; for
+        // per-request backends lane_group is just a scheduling hint.
+        let group_width = if plan.bit_sliced {
+            plan.lane_group
+        } else {
+            rows.len()
+        };
+        let requests = rows.len() as u64;
+        self.runtime.telemetry_ref().record_group(
+            plan.backend_name,
+            requests,
+            group_width as u64,
+            self.class_counts.map(|c| c as u64 * requests),
+            responses.iter().map(|r| r.firing_count as u64).sum(),
+            busy_ns,
+        );
+        Ok(responses)
+    }
+
+    /// The worker-thread loop: drain groups until the engine reports
+    /// exhaustion or an abort. The first failing worker aborts the engine,
+    /// which *drops* all queued groups — nothing behind the failure is
+    /// evaluated.
+    fn worker_loop(&self) {
+        let mut arena = PlaneArena::new();
+        let mut refs = RefsBuf::default();
+        while let Some((idx, group)) = self.engine.pop() {
+            match self.eval_group_now(&group, &mut arena, &mut refs) {
+                Ok(responses) => {
+                    let start = group.start;
+                    self.recycle_rows(group.rows);
+                    let done = DoneGroup { start, responses };
+                    if !self.engine.deliver(idx, done, true) {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    self.recycle_rows(group.rows);
+                    self.engine.abort(e);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Inline-mode dispatch: evaluate on the submitting thread and deliver.
+    fn dispatch_inline(&self, group: RowGroup) -> Result<()> {
+        let idx = self.engine.alloc_index();
+        let mut scratch = self.inline_scratch.lock().unwrap();
+        let InlineScratch { arena, refs } = &mut *scratch;
+        match self.eval_group_now(&group, arena, refs) {
+            Ok(responses) => {
+                let start = group.start;
+                self.recycle_rows(group.rows);
+                drop(scratch);
+                self.engine
+                    .deliver(idx, DoneGroup { start, responses }, false);
+                Ok(())
+            }
+            Err(e) => {
+                self.recycle_rows(group.rows);
+                self.engine.abort(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    // ---- consumption ------------------------------------------------------
+
+    /// Queues a delivery for the consumer. Ordered sessions keep `pending`
+    /// sorted by start id so two consumers racing between the engine take
+    /// and this push cannot invert group order.
+    fn queue_pending(&self, consume: &mut ConsumeState, d: DoneGroup) {
+        if self.opts.ordered {
+            let pos = consume
+                .pending
+                .iter()
+                .position(|p| p.start > d.start)
+                .unwrap_or(consume.pending.len());
+            consume.pending.insert(pos, d);
+        } else {
+            consume.pending.push_back(d);
+        }
+    }
+
+    /// Pops one response from the cursor (installing the next pending group
+    /// if needed); `None` when neither holds anything.
+    fn pop_locked(&self, consume: &mut ConsumeState) -> Option<PooledResponse<'_>> {
+        if consume.current.is_none() {
+            let d = consume.pending.pop_front()?;
+            consume.current = Some(DrainCursor {
+                start: d.start,
+                responses: d.responses,
+                pos: 0,
+            });
+        }
+        let cursor = consume.current.as_mut().expect("installed above");
+        let resp = std::mem::take(&mut cursor.responses[cursor.pos]);
+        let id = cursor.start + cursor.pos as u64;
+        cursor.pos += 1;
+        if cursor.pos == cursor.responses.len() {
+            let done = consume.current.take().expect("still installed");
+            self.recycle_container(done.responses);
+        }
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+        Some(PooledResponse {
+            shared: self,
+            resp: Some(resp),
+            id,
+        })
+    }
+
+    /// Pops the next response, blocking if asked. `Ok(None)` means the
+    /// session finished and every response has been consumed (or nothing is
+    /// ready, for non-blocking calls).
+    fn next_from_cursor(&self, block: bool) -> Result<Option<PooledResponse<'_>>> {
+        loop {
+            {
+                // The consume lock is only ever held briefly: a blocking
+                // consumer parks in `engine.take` *without* it, so
+                // submitters probing for ready responses (and
+                // `install_and_pop`) never deadlock against a consumer
+                // waiting out an idle stream.
+                let mut consume = if block {
+                    self.consume.lock().unwrap()
+                } else {
+                    match self.consume.try_lock() {
+                        Ok(guard) => guard,
+                        Err(std::sync::TryLockError::WouldBlock) => return Ok(None),
+                        Err(std::sync::TryLockError::Poisoned(e)) => panic!("{e}"),
+                    }
+                };
+                if let Some(resp) = self.pop_locked(&mut consume) {
+                    return Ok(Some(resp));
+                }
+            }
+            match self.engine.take(block)? {
+                Take::Item(d) => {
+                    let mut consume = self.consume.lock().unwrap();
+                    self.queue_pending(&mut consume, d);
+                }
+                Take::Done => {
+                    // Between our cursor check and the engine reporting
+                    // drained, a concurrent taker (`install_and_pop`, or
+                    // another consumer) may have moved the final deliveries
+                    // into `consume.pending` — re-check before declaring
+                    // the stream fully consumed.
+                    let mut consume = self.consume.lock().unwrap();
+                    return Ok(self.pop_locked(&mut consume));
+                }
+                Take::WouldBlock => return Ok(None),
+            }
+        }
+    }
+
+    /// Queues an already-taken delivery behind whatever the consumer is
+    /// draining and pops the next response in line (the `push_or_take`
+    /// fast path — ordering is preserved because the engine handed groups
+    /// out in delivery order).
+    fn install_and_pop(&self, d: DoneGroup) -> PooledResponse<'_> {
+        let mut consume = self.consume.lock().unwrap();
+        self.queue_pending(&mut consume, d);
+        self.pop_locked(&mut consume)
+            .expect("a pending group was just queued")
+    }
+}
+
+/// A live streaming session against one compiled circuit.
+///
+/// Created by [`crate::Runtime::open_session`]; shared by reference across
+/// threads (`&StreamSession` is `Send`), so producers can
+/// [`submit`](StreamSession::submit) while consumers iterate
+/// [`responses`](StreamSession::responses) concurrently. Single-threaded
+/// drivers should use [`StreamSession::submit_draining`] (or
+/// [`StreamSession::submit_or_next`]) so backpressure yields ready
+/// responses instead of deadlocking against themselves.
+pub struct StreamSession<'scope, 'env> {
+    pub(crate) shared: &'scope SessionShared<'scope>,
+    pub(crate) scope: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Outcome of [`StreamSession::submit_or_next`].
+pub enum SubmitOrNext<'s> {
+    /// The row was accepted under this request id.
+    Submitted(u64),
+    /// Backpressure (or an already-completed group) surfaced a response
+    /// first; the row was **not** submitted — call again.
+    Next(PooledResponse<'s>),
+}
+
+impl<'scope, 'env> StreamSession<'scope, 'env> {
+    /// Submits one request row, blocking under queue backpressure, and
+    /// returns its request id (0-based submission index). Rows are copied
+    /// into pooled buffers, so the caller's slice is free immediately.
+    ///
+    /// Errors if a worker failed (the submit side is unblocked and every
+    /// queued group behind the failure is dropped) or if backend selection
+    /// failed. Panics if called after [`StreamSession::finish`].
+    ///
+    /// Do not drive an entire stream with blocking submits from the one
+    /// thread that also consumes: when the queue and the delivery window
+    /// are both full, `submit` waits for a consumer that would never run.
+    /// Use [`StreamSession::submit_draining`] there instead.
+    pub fn submit(&self, row: &[bool]) -> Result<u64> {
+        let mut pack = self.shared.pack.lock().unwrap();
+        assert!(!pack.finished, "submit after StreamSession::finish");
+        if let Some(e) = self.shared.engine.error() {
+            return Err(e);
+        }
+        let plan = self.shared.ensure_plan(&mut pack)?;
+        if pack.current.len() == plan.lane_group {
+            self.dispatch_locked(&mut pack, plan)?;
+        }
+        Ok(self.pack_row_locked(&mut pack, row))
+    }
+
+    /// Like [`StreamSession::submit`], but backpressure hands back a ready
+    /// response instead of blocking — the single-thread driver primitive.
+    /// With in-order delivery (the default) responses surface in submission
+    /// order.
+    pub fn submit_or_next(&self, row: &[bool]) -> Result<SubmitOrNext<'_>> {
+        // Drain anything already deliverable first: it keeps the window
+        // empty, so inline evaluation below can always deliver.
+        if let Some(resp) = self.try_next_response()? {
+            return Ok(SubmitOrNext::Next(resp));
+        }
+        let mut pack = self.shared.pack.lock().unwrap();
+        assert!(!pack.finished, "submit after StreamSession::finish");
+        let plan = self.shared.ensure_plan(&mut pack)?;
+        if pack.current.len() == plan.lane_group {
+            if plan.target_workers <= 1 {
+                self.dispatch_locked(&mut pack, plan)?;
+            } else {
+                self.spawn_workers_locked(&mut pack, plan);
+                let group = RowGroup {
+                    start: pack.current_start,
+                    rows: std::mem::take(&mut pack.current),
+                };
+                match self.shared.engine.push_or_take(group)? {
+                    PushOrTake::Pushed => {
+                        pack.current = self.shared.pool_row_set(plan.lane_group);
+                    }
+                    PushOrTake::Took(d, group) => {
+                        pack.current = group.rows;
+                        drop(pack);
+                        return Ok(SubmitOrNext::Next(self.shared.install_and_pop(d)));
+                    }
+                }
+            }
+        }
+        Ok(SubmitOrNext::Submitted(
+            self.pack_row_locked(&mut pack, row),
+        ))
+    }
+
+    /// Submits `row`, pushing any responses that surface under backpressure
+    /// onto `out` (detached from the pool). The convenience loop the
+    /// materialising `serve_*` wrappers are built on.
+    pub fn submit_draining(&self, row: &[bool], out: &mut Vec<Response>) -> Result<u64> {
+        loop {
+            match self.submit_or_next(row)? {
+                SubmitOrNext::Submitted(id) => return Ok(id),
+                SubmitOrNext::Next(resp) => out.push(resp.into_response()),
+            }
+        }
+    }
+
+    /// Dispatches the partially-filled current group immediately instead of
+    /// waiting for it to fill (a latency valve for bursty streams).
+    pub fn flush(&self) -> Result<()> {
+        let mut pack = self.shared.pack.lock().unwrap();
+        if let Some(plan) = self.shared.plan.get() {
+            self.dispatch_locked(&mut pack, *plan)?;
+        }
+        Ok(())
+    }
+
+    /// Closes the submit side: the current partial group is dispatched,
+    /// workers drain what is queued, and once every response is consumed
+    /// [`StreamSession::next_response`] reports `None`. Idempotent.
+    pub fn finish(&self) {
+        let mut pack = self.shared.pack.lock().unwrap();
+        if !pack.finished {
+            if let Some(plan) = self.shared.plan.get() {
+                // A failed flush is already recorded in the engine; the
+                // consumer will observe it.
+                let _ = self.dispatch_locked(&mut pack, *plan);
+            }
+            pack.finished = true;
+            self.shared.engine.finish();
+        }
+    }
+
+    /// The next completed response, blocking until one is ready. `None`
+    /// means the session [`finish`](StreamSession::finish)ed and everything
+    /// was consumed. Errors surface the first worker failure.
+    ///
+    /// Dropping the returned [`PooledResponse`] recycles its payload
+    /// buffers to the workers — keep the steady state allocation-free by
+    /// reading what you need and letting the guard drop.
+    pub fn next_response(&self) -> Result<Option<PooledResponse<'_>>> {
+        self.shared.next_from_cursor(true)
+    }
+
+    /// Non-blocking [`StreamSession::next_response`]: `None` when nothing
+    /// is deliverable right now.
+    pub fn try_next_response(&self) -> Result<Option<PooledResponse<'_>>> {
+        self.shared.next_from_cursor(false)
+    }
+
+    /// Iterates responses until the stream completes, blocking between
+    /// items (pair with a producer thread that eventually calls
+    /// [`StreamSession::finish`]).
+    pub fn responses<'s>(
+        &'s self,
+    ) -> impl Iterator<Item = Result<PooledResponse<'s>>> + use<'s, 'scope, 'env> {
+        std::iter::from_fn(move || self.next_response().transpose())
+    }
+
+    /// Requests submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.shared.pack.lock().unwrap().next_request
+    }
+
+    fn pack_row_locked(&self, pack: &mut PackState, row: &[bool]) -> u64 {
+        let mut buf = self.shared.pool_row();
+        buf.extend_from_slice(row);
+        if pack.current.is_empty() {
+            pack.current_start = pack.next_request;
+        }
+        pack.current.push(buf);
+        let id = pack.next_request;
+        pack.next_request += 1;
+        let in_flight = (id + 1).saturating_sub(self.shared.delivered.load(Ordering::Relaxed));
+        self.shared
+            .peak_in_flight
+            .fetch_max(in_flight, Ordering::Relaxed);
+        id
+    }
+
+    /// Dispatches the current group: inline evaluation for single-worker
+    /// plans, a (blocking) queue push otherwise.
+    fn dispatch_locked(&self, pack: &mut PackState, plan: Plan) -> Result<()> {
+        if pack.current.is_empty() {
+            return Ok(());
+        }
+        let group = RowGroup {
+            start: pack.current_start,
+            rows: std::mem::replace(&mut pack.current, self.shared.pool_row_set(plan.lane_group)),
+        };
+        if plan.target_workers <= 1 {
+            self.shared.dispatch_inline(group)
+        } else {
+            self.spawn_workers_locked(pack, plan);
+            match self.shared.engine.push(group) {
+                Some(_) => Ok(()),
+                None => Err(self
+                    .shared
+                    .engine
+                    .error()
+                    .expect("push refused only after an abort with an error")),
+            }
+        }
+    }
+
+    /// Grows the worker pool towards the plan's target, one thread per
+    /// dispatched group, so a two-group session never pays for a
+    /// sixteen-thread spawn.
+    fn spawn_workers_locked(&self, pack: &mut PackState, plan: Plan) {
+        if pack.spawned < plan.target_workers {
+            pack.spawned += 1;
+            let shared = self.shared;
+            self.scope.spawn(move || shared.worker_loop());
+        }
+    }
+}
+
+/// A response borrowed from the session's [`ResponsePool`]: dereferences to
+/// [`Response`], and recycles the payload buffers back to the scheduler
+/// workers on drop. [`PooledResponse::into_response`] detaches it instead
+/// (keeping the buffers, at the cost of one pool miss later).
+pub struct PooledResponse<'s> {
+    shared: &'s SessionShared<'s>,
+    resp: Option<Response>,
+    id: u64,
+}
+
+impl PooledResponse<'_> {
+    /// The 0-based submission index of the request this response answers
+    /// (how out-of-order consumers correlate; in-order sessions see
+    /// consecutive ids).
+    pub fn request_id(&self) -> u64 {
+        self.id
+    }
+
+    /// Detaches the response from the pool, keeping its buffers.
+    pub fn into_response(mut self) -> Response {
+        self.resp.take().expect("present until dropped")
+    }
+}
+
+impl std::ops::Deref for PooledResponse<'_> {
+    type Target = Response;
+    fn deref(&self) -> &Response {
+        self.resp.as_ref().expect("present until dropped")
+    }
+}
+
+impl std::fmt::Debug for PooledResponse<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledResponse")
+            .field("request_id", &self.id)
+            .field("response", &self.resp)
+            .finish()
+    }
+}
+
+impl Drop for PooledResponse<'_> {
+    fn drop(&mut self) {
+        if let Some(resp) = self.resp.take() {
+            self.shared.recycle_shell(resp);
+        }
+    }
+}

@@ -19,6 +19,17 @@ pub struct Telemetry {
     firings: AtomicU64,
     busy_ns: AtomicU64,
     per_backend: Mutex<BTreeMap<&'static str, BackendTally>>,
+    /// Streaming sessions opened (every `serve_batch`/`serve_stream` call
+    /// is one session under the hood).
+    sessions: AtomicU64,
+    /// Deepest submitted-but-unconsumed request backlog any session saw.
+    peak_in_flight_requests: AtomicU64,
+    /// Fullest any session's delivery (reorder) window ever got, in groups.
+    peak_reorder_window_groups: AtomicU64,
+    /// Response payload buffers recycled through a session pool vs freshly
+    /// allocated (pool misses; warm-up is all misses).
+    pool_hits: AtomicU64,
+    pool_misses: AtomicU64,
 }
 
 /// Per-backend slice of the telemetry.
@@ -63,6 +74,25 @@ impl Telemetry {
         tally.busy_ns += busy_ns;
     }
 
+    /// Records one closed streaming session's gauges: the peak
+    /// submitted-but-unconsumed request depth, the peak delivery-window
+    /// occupancy in groups, and the session pool's recycle tally.
+    pub(crate) fn record_session(
+        &self,
+        peak_in_flight: u64,
+        peak_window_groups: u64,
+        pool_hits: u64,
+        pool_misses: u64,
+    ) {
+        self.sessions.fetch_add(1, Ordering::Relaxed);
+        self.peak_in_flight_requests
+            .fetch_max(peak_in_flight, Ordering::Relaxed);
+        self.peak_reorder_window_groups
+            .fetch_max(peak_window_groups, Ordering::Relaxed);
+        self.pool_hits.fetch_add(pool_hits, Ordering::Relaxed);
+        self.pool_misses.fetch_add(pool_misses, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> TelemetrySummary {
         TelemetrySummary {
@@ -78,6 +108,11 @@ impl Telemetry {
             firings: self.firings.load(Ordering::Relaxed),
             busy_ns: self.busy_ns.load(Ordering::Relaxed),
             per_backend: self.per_backend.lock().unwrap().clone(),
+            sessions: self.sessions.load(Ordering::Relaxed),
+            peak_in_flight_requests: self.peak_in_flight_requests.load(Ordering::Relaxed),
+            peak_reorder_window_groups: self.peak_reorder_window_groups.load(Ordering::Relaxed),
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            pool_misses: self.pool_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -103,6 +138,19 @@ pub struct TelemetrySummary {
     pub busy_ns: u64,
     /// Per-backend tallies, keyed by backend name.
     pub per_backend: BTreeMap<&'static str, BackendTally>,
+    /// Streaming sessions opened (each `serve_batch`/`serve_stream` call is
+    /// one session under the hood).
+    pub sessions: u64,
+    /// Deepest submitted-but-unconsumed request backlog any session saw —
+    /// the in-flight depth the bounded queue and delivery window held to.
+    pub peak_in_flight_requests: u64,
+    /// Fullest any session's delivery (reorder) window got, in lane groups.
+    pub peak_reorder_window_groups: u64,
+    /// Response payload buffers served from a session pool (recycled).
+    pub pool_hits: u64,
+    /// Response payload buffers freshly allocated (warm-up and detached
+    /// responses count here).
+    pub pool_misses: u64,
 }
 
 impl TelemetrySummary {
@@ -145,6 +193,16 @@ impl fmt::Display for TelemetrySummary {
             f,
             "class mix: unit {} / pow2 {} / general {} gate-evals",
             self.class_gate_evals[0], self.class_gate_evals[1], self.class_gate_evals[2]
+        )?;
+        writeln!(
+            f,
+            "sessions: {}  peak in-flight: {} requests  peak window: {} groups  \
+             pool: {} recycled / {} allocated",
+            self.sessions,
+            self.peak_in_flight_requests,
+            self.peak_reorder_window_groups,
+            self.pool_hits,
+            self.pool_misses
         )?;
         for (name, tally) in &self.per_backend {
             writeln!(

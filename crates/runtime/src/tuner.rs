@@ -132,6 +132,7 @@ impl AutoTuner {
             .min(PROBE_BUDGET);
         let rows = probe_rows(circuit.num_inputs(), max_group);
         let mut arena = PlaneArena::new();
+        let mut responses = Vec::new();
 
         let mut best: Option<(usize, f64)> = None;
         for (idx, backend) in registry.backends().iter().enumerate() {
@@ -139,7 +140,7 @@ impl AutoTuner {
             let group = caps.lane_group.min(rows.len()).max(1);
             let refs: Vec<&[bool]> = rows[..group].iter().map(|r| r.as_slice()).collect();
             let t0 = Instant::now();
-            backend.eval_group(circuit, &refs, Detail::Outputs, &mut arena)?;
+            backend.eval_group(circuit, &refs, Detail::Outputs, &mut arena, &mut responses)?;
             let elapsed = t0.elapsed().as_secs_f64();
             // Extrapolate per *group*, not per row: a bit-sliced pass costs
             // the same regardless of lane fill (a 65-request batch really
@@ -219,7 +220,10 @@ impl AutoTuner {
                         inputs: json_usize(obj, "inputs")?,
                         unit_gates: json_usize(obj, "unit_gates")?,
                         pow2_gates: json_usize(obj, "pow2_gates")?,
-                        bucket: json_usize(obj, "bucket")? as u32,
+                        // An out-of-range bucket is as malformed as a missing
+                        // one: a plain `as u32` would truncate it onto some
+                        // *other* bucket and adopt a wrong-bucket decision.
+                        bucket: u32::try_from(json_usize(obj, "bucket")?).ok()?,
                     },
                     json_str(obj, "backend")?,
                 ))
@@ -389,14 +393,17 @@ mod tests {
   "entries": [
     {"gates": 1, "bit_edges": 0, "inputs": 2, "unit_gates": 1, "pow2_gates": 0, "bucket": 10, "backend": "gpu"},
     {"gates": 1, "bit_edges": 0, "inputs": 2, "unit_gates": 1, "pow2_gates": 0, "bucket": 2, "backend": "scalar"},
+    {"gates": 1, "bit_edges": 0, "inputs": 2, "unit_gates": 1, "pow2_gates": 0, "bucket": 4294967296, "backend": "scalar"},
+    {"gates": 1, "bit_edges": 0, "inputs": 2, "unit_gates": 1, "pow2_gates": 0, "bucket": 99999999999999, "backend": "scalar"},
     {"gates": 1, "inputs": 2, "backend": "scalar"}
   ]
 }"#,
         )
         .unwrap();
         let tuner = AutoTuner::new();
-        // One well-formed known-backend entry adopted; the unknown backend
-        // and the malformed entry are skipped.
+        // One well-formed known-backend entry adopted; the unknown backend,
+        // the out-of-range buckets (> u32::MAX — a plain cast would truncate
+        // 2^32 onto bucket 0), and the malformed entry are all skipped.
         assert_eq!(tuner.load_json(&registry, &path).unwrap(), 1);
         assert_eq!(tuner.cached_decisions(), 1);
         std::fs::remove_file(&path).ok();

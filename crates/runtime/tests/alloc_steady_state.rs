@@ -3,15 +3,26 @@
 //!
 //! 1. the arena kernel path ([`CompiledCircuit::evaluate_rows_arena`]) makes
 //!    **zero** heap allocations once the arena has warmed up;
-//! 2. the serve loop's per-group overhead is a small constant — allocations
-//!    scale with *requests* (each [`Response`] owns its outputs), never with
-//!    circuit size, and only negligibly with group count.
+//! 2. the materialising serve loop's per-group overhead is a small
+//!    constant — allocations scale with *requests* (each detached
+//!    [`Response`](tc_runtime::Response) owns its outputs), never with
+//!    circuit size, and only negligibly with group count;
+//! 3. the streaming-session serve loop — submit, pack, evaluate, deliver,
+//!    consume, recycle — makes **zero** heap allocations per request under
+//!    `Detail::Outputs` once the session's response pool and arena have
+//!    warmed up: the pool extends the arena's guarantee from the kernel to
+//!    the whole serve loop.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use tc_circuit::{CircuitBuilder, CompiledCircuit, PlaneArena, Wire};
-use tc_runtime::Runtime;
+use tc_runtime::{Runtime, SessionOptions};
+
+/// The counting allocator is process-global, so tests in this binary must
+/// not run concurrently — each one holds this lock while measuring.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 struct CountingAllocator;
 
@@ -73,6 +84,7 @@ fn rows(n: usize) -> Vec<Vec<bool>> {
 
 #[test]
 fn arena_path_is_allocation_free_after_warmup() {
+    let _guard = SERIAL.lock().unwrap();
     let cc = layered_circuit();
     let requests = rows(256);
     let refs: Vec<&[bool]> = requests.iter().map(|r| r.as_slice()).collect();
@@ -108,6 +120,7 @@ fn arena_path_is_allocation_free_after_warmup() {
 
 #[test]
 fn serve_loop_overhead_does_not_scale_with_groups() {
+    let _guard = SERIAL.lock().unwrap();
     let cc = layered_circuit();
     let requests = rows(256);
 
@@ -153,4 +166,65 @@ fn serve_loop_overhead_does_not_scale_with_groups() {
     let t2 = allocs();
     few_groups.serve_batch(&cc, &requests).unwrap();
     assert_eq!(allocs() - t2, one_group_allocs);
+}
+
+#[test]
+fn streaming_session_serve_loop_is_allocation_free_after_warmup() {
+    let _guard = SERIAL.lock().unwrap();
+    let cc = layered_circuit();
+    let requests = rows(64);
+
+    // A single worker keeps the whole loop on this thread (inline mode):
+    // fully deterministic, and exactly the hot path the pool is for —
+    // pack rows into pooled buffers, evaluate into recycled response
+    // shells through the worker arena, deliver through the preallocated
+    // window, consume, recycle.
+    let runtime = Runtime::builder()
+        .fixed_backend("sliced64")
+        .workers(1)
+        .build();
+
+    let steady_allocs = runtime.open_session(&cc, SessionOptions::default(), |session| {
+        let drive = |requests_to_serve: usize| {
+            let mut served = 0usize;
+            for i in 0..requests_to_serve {
+                session.submit(&requests[i % requests.len()]).unwrap();
+                while let Some(resp) = session.try_next_response().unwrap() {
+                    // Read what a real consumer reads, then drop the guard:
+                    // the payload buffers recycle into the pool.
+                    std::hint::black_box(resp.outputs[0]);
+                    std::hint::black_box(resp.firing_count);
+                    served += 1;
+                }
+            }
+            served
+        };
+
+        // Warm-up: arena growth, pool population, telemetry map entries,
+        // delivery-window and queue buffers.
+        drive(4 * 64);
+
+        // Steady state: every buffer in the loop now comes from the pool.
+        let before = allocs();
+        let served = drive(10 * 64);
+        let after = allocs();
+        assert!(served >= 9 * 64, "the loop must actually deliver");
+        after - before
+    });
+
+    assert_eq!(
+        steady_allocs, 0,
+        "the warmed-up Detail::Outputs streaming-session serve loop must \
+         not touch the allocator (pool + arena together)"
+    );
+
+    // The pool did the work: after the first group's warm-up misses, every
+    // shell was recycled (~12 of the ~13 evaluated groups are pool hits).
+    let summary = runtime.telemetry();
+    assert!(summary.pool_hits >= 11 * 64, "hits {}", summary.pool_hits);
+    assert!(
+        summary.pool_misses <= 2 * 64,
+        "misses {}",
+        summary.pool_misses
+    );
 }

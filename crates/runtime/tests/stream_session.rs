@@ -1,0 +1,419 @@
+//! Integration tests for the streaming session front end: lazy backend
+//! pick, incremental in-order and out-of-order delivery, flat-memory
+//! behaviour under sustained load, mid-stream error propagation, and the
+//! `Detail::Full` stream path against the scalar evaluator.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use tc_circuit::{CircuitBuilder, CircuitError, CompiledCircuit, Wire};
+use tc_runtime::{Detail, Response, Runtime, RuntimeError, SessionOptions, SubmitOrNext};
+
+/// 3-input full adder compiled once.
+fn adder() -> CompiledCircuit {
+    let mut b = CircuitBuilder::new(3);
+    let x = Wire::input(0);
+    let y = Wire::input(1);
+    let z = Wire::input(2);
+    let carry = b.add_gate([(x, 1), (y, 1), (z, 1)], 2).unwrap();
+    let sum = b
+        .add_gate([(x, 1), (y, 1), (z, 1), (carry, -2)], 1)
+        .unwrap();
+    b.mark_output(sum);
+    b.mark_output(carry);
+    b.build().compile().unwrap()
+}
+
+fn rows(n: usize) -> Vec<Vec<bool>> {
+    (0..n)
+        .map(|i| vec![i % 2 == 0, i % 3 == 0, i % 5 == 0])
+        .collect()
+}
+
+#[test]
+fn empty_session_and_empty_stream_never_probe() {
+    // Satellite regression: `serve_stream` used to run the calibration
+    // probe before pulling a single request, so an empty stream still paid
+    // a full probe. The backend is now picked lazily on the first packed
+    // row.
+    let cc = adder();
+    let runtime = Runtime::new(); // Measure policy
+    let no_rows: Vec<Vec<bool>> = Vec::new();
+    assert!(runtime.serve_stream(&cc, no_rows).unwrap().is_empty());
+    assert_eq!(runtime.tuner().calibration_count(), 0);
+
+    // An opened-and-closed session without submissions is just as free.
+    let out = runtime.open_session(&cc, SessionOptions::default(), |session| {
+        session.finish();
+        session.next_response().map(|r| r.is_none())
+    });
+    assert!(out.unwrap());
+    assert_eq!(runtime.tuner().calibration_count(), 0);
+    assert_eq!(runtime.telemetry().requests, 0);
+
+    // The first real request then calibrates exactly once.
+    runtime.serve_stream(&cc, rows(10)).unwrap();
+    assert_eq!(runtime.tuner().calibration_count(), 1);
+}
+
+#[test]
+fn session_delivers_in_submission_order_with_producer_and_consumer_threads() {
+    let cc = adder();
+    let requests = rows(1500);
+    let runtime = Runtime::builder()
+        .fixed_backend("sliced64")
+        .workers(3)
+        .queue_capacity(2)
+        .build();
+    let collected = runtime.open_session(&cc, SessionOptions::default(), |session| {
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for row in &requests {
+                    session.submit(row).unwrap();
+                }
+                session.finish();
+            });
+            let mut out = Vec::new();
+            for resp in session.responses() {
+                let resp = resp.unwrap();
+                assert_eq!(resp.request_id(), out.len() as u64, "in-order delivery");
+                out.push((resp.outputs.clone(), resp.firing_count));
+            }
+            out
+        })
+    });
+    assert_eq!(collected.len(), requests.len());
+    for (i, (row, (outputs, firing))) in requests.iter().zip(&collected).enumerate() {
+        let ev = cc.evaluate(row).unwrap();
+        assert_eq!(outputs, ev.outputs(), "request {i}");
+        assert_eq!(*firing as usize, ev.firing_count(), "request {i}");
+    }
+    let summary = runtime.telemetry();
+    assert_eq!(summary.requests, 1500);
+    assert_eq!(summary.sessions, 1);
+    assert!(summary.peak_reorder_window_groups >= 1);
+    assert!(
+        summary.pool_hits > 0,
+        "responses were recycled through the pool"
+    );
+}
+
+#[test]
+fn unordered_sessions_tag_every_response_with_its_request_id() {
+    let cc = adder();
+    let requests = rows(700);
+    let runtime = Runtime::builder()
+        .fixed_backend("sliced64")
+        .workers(4)
+        .build();
+    let got = runtime.open_session(&cc, SessionOptions::default().unordered(), |session| {
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for row in &requests {
+                    session.submit(row).unwrap();
+                }
+                session.finish();
+            });
+            let mut got: BTreeMap<u64, Vec<bool>> = BTreeMap::new();
+            for resp in session.responses() {
+                let resp = resp.unwrap();
+                assert!(
+                    got.insert(resp.request_id(), resp.outputs.clone())
+                        .is_none(),
+                    "request id delivered twice"
+                );
+            }
+            got
+        })
+    });
+    assert_eq!(got.len(), requests.len(), "every id delivered exactly once");
+    for (id, outputs) in got {
+        let ev = cc.evaluate(&requests[id as usize]).unwrap();
+        assert_eq!(&outputs, ev.outputs(), "request {id}");
+    }
+}
+
+#[test]
+fn unbounded_streams_run_at_flat_memory() {
+    // 20k requests through a session whose every buffer is bounded: the
+    // in-flight depth gauge must stay at the structural bound (packing +
+    // queue + workers + window + consumer cursor), not scale with the
+    // stream.
+    let cc = adder();
+    let runtime = Runtime::builder()
+        .fixed_backend("sliced64")
+        .workers(2)
+        .queue_capacity(2)
+        .build();
+    let total = 20_000usize;
+    let served = runtime.open_session(&cc, SessionOptions::default(), |session| {
+        let row = [true, false, true];
+        let mut served = 0usize;
+        for _ in 0..total {
+            loop {
+                match session.submit_or_next(&row).unwrap() {
+                    SubmitOrNext::Submitted(_) => break,
+                    SubmitOrNext::Next(resp) => {
+                        assert_eq!(resp.outputs.len(), 2);
+                        served += 1; // dropped -> recycled
+                    }
+                }
+            }
+        }
+        session.finish();
+        while let Some(resp) = session.next_response().unwrap() {
+            assert_eq!(resp.firing_count, 1); // sum=0, carry=1 for (1,0,1)
+            served += 1;
+        }
+        served
+    });
+    assert_eq!(served, total);
+    let summary = runtime.telemetry();
+    // current group (1) + queue (2) + workers (2) + window (2*2) + consumer
+    // cursor & pending (2) = 11 groups of 64 lanes.
+    let bound = 11 * 64;
+    assert!(
+        summary.peak_in_flight_requests <= bound,
+        "peak in-flight {} exceeds the structural bound {bound}",
+        summary.peak_in_flight_requests
+    );
+    assert!(summary.pool_hits > summary.pool_misses * 10);
+}
+
+#[test]
+fn detail_full_stream_matches_the_scalar_evaluator() {
+    let cc = adder();
+    let requests = rows(300);
+    let runtime = Runtime::builder()
+        .fixed_backend("wide128")
+        .workers(2)
+        .build();
+    let opts = SessionOptions::default().detail(Detail::Full);
+    runtime.open_session(&cc, opts, |session| {
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for row in &requests {
+                    session.submit(row).unwrap();
+                }
+                session.finish();
+            });
+            let mut seen = 0usize;
+            for resp in session.responses() {
+                let resp = resp.unwrap();
+                let row = &requests[resp.request_id() as usize];
+                let expected = cc.evaluate(row).unwrap();
+                assert_eq!(
+                    resp.evaluation.as_ref().expect("Detail::Full carries it"),
+                    &expected,
+                    "request {}",
+                    resp.request_id()
+                );
+                assert_eq!(resp.outputs, expected.outputs());
+                seen += 1;
+            }
+            assert_eq!(seen, requests.len());
+        })
+    });
+}
+
+#[test]
+fn mid_stream_worker_error_reaches_consumer_and_unblocks_submitters() {
+    // A malformed row deep in the stream fails its lane group mid-flight.
+    // The consumer must observe the error, and a submitter blocked on (or
+    // arriving at) the closed queue must come unstuck with the same error
+    // instead of evaluating everything queued behind the failure.
+    let cc = adder();
+    let runtime = Runtime::builder()
+        .fixed_backend("sliced64")
+        .workers(2)
+        .queue_capacity(2)
+        .build();
+    let consumer_saw = AtomicBool::new(false);
+    let submit_err = runtime.open_session(&cc, SessionOptions::default(), |session| {
+        std::thread::scope(|s| {
+            let producer = s.spawn(|| {
+                // Row 100 has the wrong width: group 1 (rows 64..128) fails.
+                let mut result = Ok(());
+                for i in 0..100_000usize {
+                    let row = if i == 100 {
+                        vec![true]
+                    } else {
+                        vec![i % 2 == 0, false, true]
+                    };
+                    if let Err(e) = session.submit(&row) {
+                        result = Err(e);
+                        break;
+                    }
+                }
+                session.finish();
+                result
+            });
+            let mut consumed = 0u64;
+            let err = loop {
+                match session.next_response() {
+                    Ok(Some(resp)) => {
+                        assert!(resp.request_id() < 64, "responses past the failing group");
+                        consumed += 1;
+                    }
+                    Ok(None) => panic!("stream ended without surfacing the error"),
+                    Err(e) => break e,
+                }
+            };
+            assert!(matches!(
+                err,
+                RuntimeError::Circuit(CircuitError::InputLengthMismatch { .. })
+            ));
+            consumer_saw.store(true, Ordering::SeqCst);
+            assert!(consumed <= 64, "only the group before the failure may land");
+            // The producer was unblocked: far fewer than 100k submissions
+            // went through before submit reported the failure.
+            producer.join().unwrap()
+        })
+    });
+    assert!(consumer_saw.load(Ordering::SeqCst));
+    let err = submit_err.expect_err("the submit side must observe the failure");
+    assert!(matches!(
+        err,
+        RuntimeError::Circuit(CircuitError::InputLengthMismatch { .. })
+    ));
+    // Well under the full stream was evaluated: groups queued behind the
+    // failing one were dropped, not drained.
+    let summary = runtime.telemetry();
+    assert!(
+        summary.requests < 10_000,
+        "queued groups were evaluated after the failure ({} requests)",
+        summary.requests
+    );
+}
+
+#[test]
+fn session_port_of_serve_stream_is_byte_identical() {
+    // The materialising wrapper and a hand-driven session must agree
+    // response for response (outputs, firing counts, ids).
+    let cc = adder();
+    let requests = rows(997); // ragged tail
+    let runtime = Runtime::builder()
+        .fixed_backend("wide128")
+        .workers(3)
+        .build();
+    let via_wrapper = runtime.serve_stream(&cc, requests.clone()).unwrap();
+    let via_session: Vec<Response> =
+        runtime.open_session(&cc, SessionOptions::default(), |session| {
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    for row in &requests {
+                        session.submit(row).unwrap();
+                    }
+                    session.finish();
+                });
+                session
+                    .responses()
+                    .map(|r| r.unwrap().into_response())
+                    .collect()
+            })
+        });
+    assert_eq!(via_wrapper, via_session);
+}
+
+#[test]
+fn submissions_from_many_threads_share_one_session() {
+    let cc = adder();
+    let runtime = Runtime::builder()
+        .fixed_backend("sliced64")
+        .workers(2)
+        .build();
+    let per_thread = 500u64;
+    let threads = 4u64;
+    let submitted = AtomicU64::new(0);
+    let total = runtime.open_session(&cc, SessionOptions::default().unordered(), |session| {
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let submitted = &submitted;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let v = t * per_thread + i;
+                        let row = vec![
+                            v.is_multiple_of(2),
+                            v.is_multiple_of(3),
+                            v.is_multiple_of(7),
+                        ];
+                        session.submit(&row).unwrap();
+                        submitted.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            s.spawn(|| {
+                // Producers done -> close the stream.
+                while submitted.load(Ordering::Relaxed) < threads * per_thread {
+                    std::thread::yield_now();
+                }
+                session.finish();
+            });
+            let mut ids: Vec<u64> = Vec::new();
+            for resp in session.responses() {
+                ids.push(resp.unwrap().request_id());
+            }
+            ids.sort_unstable();
+            ids
+        })
+    });
+    assert_eq!(total.len() as u64, threads * per_thread);
+    // Every request id 0..N delivered exactly once, regardless of which
+    // thread submitted it.
+    for (expect, got) in total.iter().enumerate() {
+        assert_eq!(*got, expect as u64);
+    }
+    assert_eq!(runtime.telemetry().requests, threads * per_thread);
+}
+
+#[test]
+fn a_panicking_consumer_propagates_instead_of_wedging_the_session() {
+    // A failed assert in the consumer closure must unwind out of
+    // open_session: the shutdown guard unblocks the lazily-spawned workers
+    // so thread::scope can join them and re-raise the panic, rather than
+    // waiting forever on threads parked in the engine.
+    let handle = std::thread::spawn(|| {
+        let cc = adder();
+        let runtime = Runtime::builder()
+            .fixed_backend("sliced64")
+            .workers(2)
+            .build();
+        runtime.open_session(&cc, SessionOptions::default(), |session| {
+            for row in rows(200) {
+                session.submit(&row).unwrap();
+            }
+            panic!("consumer bug");
+        })
+    });
+    let joined = handle.join();
+    let msg = joined.expect_err("the closure's panic must propagate");
+    assert_eq!(*msg.downcast_ref::<&str>().unwrap(), "consumer bug");
+}
+
+#[test]
+fn flush_dispatches_a_partial_group_early() {
+    let cc = adder();
+    let runtime = Runtime::builder()
+        .fixed_backend("sliced64")
+        .workers(2)
+        .build();
+    runtime.open_session(&cc, SessionOptions::default(), |session| {
+        for row in rows(10) {
+            session.submit(&row).unwrap();
+        }
+        // Without the flush, 10 rows sit below the 64-lane group size and
+        // nothing would be deliverable yet.
+        session.flush().unwrap();
+        let mut got = 0;
+        for _ in 0..10 {
+            if session.next_response().unwrap().is_some() {
+                got += 1;
+            }
+        }
+        assert_eq!(got, 10);
+        session.finish();
+        assert!(session.next_response().unwrap().is_none());
+    });
+    assert_eq!(runtime.telemetry().groups, 1);
+    assert_eq!(runtime.telemetry().padded_lanes, 54);
+}
