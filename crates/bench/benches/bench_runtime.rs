@@ -14,8 +14,14 @@
 //!   path on ≥256-request batches), compares a 1M-request stream through
 //!   an incremental `StreamSession` (flat memory, pooled responses)
 //!   against the materialising `serve_stream` wrapper — requests/sec and
-//!   steady-state RSS growth — and writes `BENCH_runtime.json` with
-//!   gate-evals/sec per backend plus the streaming numbers.
+//!   steady-state RSS growth — runs the contended two-tenant fairness
+//!   scenario (steady weight 2 vs bursty weight 1 through the DRR
+//!   scheduler, per-tenant mean queue waits), and writes
+//!   `BENCH_runtime.json` with gate-evals/sec per backend plus the
+//!   streaming and fairness numbers. Under `BENCH_ENFORCE_BASELINE=1` the
+//!   report FAILS if single-tenant streaming throughput drops below 90% of
+//!   the committed baseline (the PR 4 FIFO-scheduler number — the DRR
+//!   engine must not tax the uncontended path).
 
 use std::time::{Duration, Instant};
 
@@ -23,7 +29,8 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use fast_matmul::BilinearAlgorithm;
 use tc_circuit::{CircuitBuilder, CompiledCircuit, Wire};
 use tc_graph::generators;
-use tc_runtime::{Runtime, SessionOptions};
+use tc_runtime::{Runtime, SessionOptions, TenantId};
+use tcmm_bench::drive_contended_tenants;
 use tcmm_core::{trace::TraceCircuit, CircuitConfig};
 
 /// The serving workload: a Theorem 4.5 trace circuit (~881k gates for the
@@ -135,10 +142,78 @@ fn stream_circuit() -> CompiledCircuit {
     b.build().compile().unwrap()
 }
 
+/// The **frozen** single-tenant streaming baseline (requests/sec) out of
+/// `BENCH_runtime.json`, read BEFORE this run overwrites the file. The
+/// committed `fifo_baseline_requests_per_sec` field holds the PR 4
+/// FIFO-scheduler figure and every refresh carries it forward VERBATIM, so
+/// the 0.90x gate always measures against the FIFO reference — not against
+/// whatever run was last committed (which would let slow regressions
+/// compound silently). Files predating the frozen field fall back to their
+/// `session_requests_per_sec` (and freeze *that* going forward).
+fn recorded_stream_baseline() -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_runtime.json").ok()?;
+    let field = |key: &str| -> Option<f64> {
+        let tail = text.split(key).nth(1)?;
+        let digits: String = tail
+            .trim_start()
+            .trim_start_matches(':')
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        digits.parse().ok()
+    };
+    field("\"fifo_baseline_requests_per_sec\"").or_else(|| field("\"session_requests_per_sec\""))
+}
+
+/// The contended two-tenant scenario from `expt_e15_serving`, smoke-sized
+/// and driven by the SAME shared harness
+/// ([`tcmm_bench::drive_contended_tenants`]): a steady tenant (weight 2)
+/// and a bursty tenant (weight 1) share one session; per-tenant mean queue
+/// waits and the max-queue-wait-ratio fairness metric land in
+/// `BENCH_runtime.json`.
+fn measure_fairness() -> String {
+    let cc = stream_circuit();
+    let rows: Vec<Vec<bool>> = (0..64usize)
+        .map(|i| (0..16).map(|b| (i >> (b % 8)) & 1 == 1).collect())
+        .collect();
+    let (steady, bursty) = (TenantId(1), TenantId(2));
+    let (steady_n, bursty_n) = (64 * 256usize, 64 * 1024usize);
+    let runtime = Runtime::builder()
+        .fixed_backend("sliced64")
+        .workers(2)
+        .build();
+    drive_contended_tenants(&runtime, &cc, &rows, steady_n, bursty_n);
+    let summary = runtime.telemetry();
+    let s = summary.per_tenant[&steady];
+    let b = summary.per_tenant[&bursty];
+    let ratio = summary.max_queue_wait_ratio();
+    println!(
+        "fairness_report: steady (weight 2) mean queue wait {:.3}ms over {} groups, \
+         bursty (weight 1) {:.3}ms over {} groups, max queue-wait ratio {ratio:.2}",
+        s.mean_queue_wait_ns() / 1e6,
+        s.groups,
+        b.mean_queue_wait_ns() / 1e6,
+        b.groups,
+    );
+    format!(
+        ",\n  \"fairness\": {{\"steady_requests\": {steady_n}, \"bursty_requests\": {bursty_n}, \
+         \"steady_weight\": 2, \"bursty_weight\": 1, \
+         \"steady_mean_queue_wait_ns\": {:.0}, \"bursty_mean_queue_wait_ns\": {:.0}, \
+         \"steady_max_queue_wait_ns\": {}, \"bursty_max_queue_wait_ns\": {}, \
+         \"max_queue_wait_ratio\": {ratio:.3}}}",
+        s.mean_queue_wait_ns(),
+        b.mean_queue_wait_ns(),
+        s.queue_wait_ns_max,
+        b.queue_wait_ns_max,
+    )
+}
+
 /// 1M requests through the incremental session (pooled, flat-memory) and
 /// through the materialising `serve_stream`: requests/sec and RSS growth.
-/// Returns the JSON fragment for `BENCH_runtime.json`.
-fn measure_stream() -> String {
+/// Returns the JSON fragment for `BENCH_runtime.json` plus the measured
+/// single-tenant session throughput (the baseline-gate signal).
+fn measure_stream() -> (String, f64) {
     let cc = stream_circuit();
     let total = 1_000_000usize;
     let rows: Vec<Vec<bool>> = (0..64usize)
@@ -195,7 +270,7 @@ fn measure_stream() -> String {
         summary.peak_in_flight_requests,
         wrapper_rss as f64 / 1e6,
     );
-    format!(
+    let json = format!(
         ",\n  \"stream\": {{\"requests\": {total}, \
          \"session_requests_per_sec\": {session_rps:.0}, \
          \"session_rss_delta_bytes\": {session_rss}, \
@@ -203,7 +278,8 @@ fn measure_stream() -> String {
          \"serve_stream_rss_delta_bytes\": {wrapper_rss}, \
          \"peak_in_flight_requests\": {}}}",
         summary.peak_in_flight_requests
-    )
+    );
+    (json, session_rps)
 }
 
 /// Directly times every backend, prints the wide-vs-sliced64 speedup, and
@@ -285,11 +361,62 @@ fn runtime_report(_c: &mut Criterion) {
          speedup   : {speedup:.2}x (acceptance: wide > 1.0x on >=256-request batches)\n"
     );
 
-    let stream_json = measure_stream();
+    // The single-tenant throughput gate: the committed BENCH_runtime.json
+    // still holds the previous (FIFO-era) session requests/sec; the DRR
+    // scheduler must stay within 10% of it. Enforced when
+    // BENCH_ENFORCE_BASELINE=1 (CI, where the committed file was produced
+    // on the same runner class); a warning otherwise.
+    let baseline = recorded_stream_baseline();
+    let (stream_json, session_rps) = measure_stream();
+    let fairness_json = measure_fairness();
+    let enforce = std::env::var("BENCH_ENFORCE_BASELINE").as_deref() == Ok("1");
+    let fail_or_warn = |message: String| {
+        if enforce {
+            panic!("{message}");
+        }
+        println!("WARNING (not enforced without BENCH_ENFORCE_BASELINE=1): {message}");
+    };
+    let baseline_ratio = match baseline {
+        Some(baseline) => {
+            let ratio = session_rps / baseline;
+            println!(
+                "stream_report: single-tenant session {session_rps:.0} req/sec vs \
+                 recorded baseline {baseline:.0} ({ratio:.2}x)"
+            );
+            if ratio < 0.9 {
+                fail_or_warn(format!(
+                    "single-tenant streaming throughput regressed to {ratio:.2}x of the \
+                     recorded baseline ({session_rps:.0} vs {baseline:.0} req/sec; \
+                     floor 0.90x)"
+                ));
+            }
+            ratio
+        }
+        None => {
+            fail_or_warn(
+                "no session_requests_per_sec baseline readable from BENCH_runtime.json; \
+                 single-tenant regression gate cannot run"
+                    .to_string(),
+            );
+            f64::NAN
+        }
+    };
+    // NaN would serialise as literal `nan` — not JSON. `null` is.
+    let baseline_ratio_json = if baseline_ratio.is_finite() {
+        format!("{baseline_ratio:.3}")
+    } else {
+        "null".to_string()
+    };
+    // Carry the frozen baseline forward; a tree with no baseline at all
+    // freezes this run's measurement as the new reference.
+    let frozen_baseline = baseline.unwrap_or(session_rps);
     let json = format!(
         "{{\n  \"circuit_gates\": {gates},\n  \"auto_tuned_backend_batch256\": \"{tuned}\",\n  \
-         \"tuned_vs_sliced64_speedup_batch256\": {speedup:.3},\n  \"backends\": [{}\n  ]{}\n}}\n",
-        report.json_backends, stream_json
+         \"tuned_vs_sliced64_speedup_batch256\": {speedup:.3},\n  \
+         \"fifo_baseline_requests_per_sec\": {frozen_baseline:.0},\n  \
+         \"single_tenant_vs_recorded_baseline\": {baseline_ratio_json},\n  \
+         \"backends\": [{}\n  ]{}{}\n}}\n",
+        report.json_backends, stream_json, fairness_json
     );
     std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
     println!("wrote BENCH_runtime.json");

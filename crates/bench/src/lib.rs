@@ -120,6 +120,103 @@ pub fn workload_graph(n: usize, p: f64, seed: u64) -> Graph {
     generators::erdos_renyi(n, p, seed)
 }
 
+/// Drives the contended two-tenant fairness scenario shared by
+/// `expt_e15_serving` (workload 4, which asserts on the result) and
+/// `bench_runtime`'s fairness report: a *steady* tenant (`TenantId(1)`,
+/// weight 2) submits `steady_n` rows concurrently with a *bursty* tenant
+/// (`TenantId(2)`, weight 1) submitting `bursty_n`, through ONE session on
+/// `runtime`. Each producer flushes its final partial group when done (so
+/// neither tenant's tail latency is charged to the other's runtime), and a
+/// finisher thread closes the session once both have submitted.
+///
+/// Returns each tenant's client-side latency samples (submit accepted →
+/// response taken), ascending, in seconds. Queue-wait aggregates land in
+/// the runtime's telemetry as usual.
+pub fn drive_contended_tenants(
+    runtime: &tc_runtime::Runtime,
+    cc: &tc_circuit::CompiledCircuit,
+    rows: &[Vec<bool>],
+    steady_n: usize,
+    bursty_n: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+    use std::time::Instant;
+    use tc_runtime::{SessionOptions, TenantId};
+
+    let (steady, bursty) = (TenantId(1), TenantId(2));
+    let submit_times: Mutex<std::collections::HashMap<u64, Instant>> =
+        Mutex::new(std::collections::HashMap::new());
+    let submitted = AtomicU64::new(0);
+    let total = (steady_n + bursty_n) as u64;
+    let (mut steady_lat, mut bursty_lat) =
+        runtime.open_session(cc, SessionOptions::default().unordered(), |session| {
+            session.register_tenant(steady, 2).unwrap();
+            if bursty_n > 0 {
+                session.register_tenant(bursty, 1).unwrap();
+            }
+            std::thread::scope(|s| {
+                let submit_loop = |tenant: TenantId, n: usize| {
+                    for i in 0..n {
+                        let id = session.submit_for(tenant, &rows[i % rows.len()]).unwrap();
+                        submit_times.lock().unwrap().insert(id, Instant::now());
+                        submitted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Dispatch this tenant's final packed group now: without
+                    // the flush it would sit in the packing lane until the
+                    // OTHER tenant finishes and `finish()` runs — charging
+                    // the bursty tenant's whole runtime to the steady
+                    // tenant's tail latency.
+                    session.flush().unwrap();
+                };
+                s.spawn(move || submit_loop(steady, steady_n));
+                if bursty_n > 0 {
+                    s.spawn(move || submit_loop(bursty, bursty_n));
+                }
+                s.spawn(|| {
+                    while submitted.load(Ordering::Relaxed) < total {
+                        std::thread::yield_now();
+                    }
+                    session.finish();
+                });
+                let mut steady_lat = Vec::new();
+                let mut bursty_lat = Vec::new();
+                for resp in session.responses() {
+                    let resp = resp.unwrap();
+                    let arrived = Instant::now();
+                    let t0 = loop {
+                        // The producer records the timestamp just after
+                        // submit returns; under heavy interleaving the
+                        // response can beat the bookkeeping by a hair.
+                        if let Some(t0) = submit_times.lock().unwrap().remove(&resp.request_id()) {
+                            break t0;
+                        }
+                        std::thread::yield_now();
+                    };
+                    let lat = arrived.saturating_duration_since(t0).as_secs_f64();
+                    if resp.tenant() == steady {
+                        steady_lat.push(lat);
+                    } else {
+                        bursty_lat.push(lat);
+                    }
+                }
+                (steady_lat, bursty_lat)
+            })
+        });
+    steady_lat.sort_by(f64::total_cmp);
+    bursty_lat.sort_by(f64::total_cmp);
+    (steady_lat, bursty_lat)
+}
+
+/// The p99 of an ascending-sorted sample set (same unit as the samples;
+/// 0.0 for an empty set).
+pub fn p99(sorted: &[f64]) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[((sorted.len() as f64 * 0.99).ceil() as usize - 1).min(sorted.len() - 1)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

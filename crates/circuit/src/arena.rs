@@ -90,16 +90,32 @@ impl CompiledCircuit {
         // zeroing; every gate slot is overwritten by the kernel.
         vals[..1 + self.num_inputs].fill([0u64; W]);
         vals[0] = [!0u64; W];
-        for (lane, row) in rows.iter().enumerate() {
-            if row.len() != self.num_inputs {
+        if self.num_inputs == 0 {
+            // Explicit early-accept for zero-width rows (a circuit with no
+            // inputs, fed only by the constant-one wire). The general loop
+            // below would handle this case too — vacuous packing, same
+            // length check — but only implicitly; this branch states the
+            // contract (empty rows accepted, non-empty rows rejected) so
+            // it cannot be lost in a packing-loop refactor, and the
+            // regression tests pin it.
+            if let Some(row) = rows.iter().find(|r| !r.is_empty()) {
                 return Err(CircuitError::InputLengthMismatch {
-                    expected: self.num_inputs,
+                    expected: 0,
                     actual: row.len(),
                 });
             }
-            let (word, bit) = (lane / 64, lane % 64);
-            for (i, &value) in row.iter().enumerate() {
-                vals[1 + i][word] |= (value as u64) << bit;
+        } else {
+            for (lane, row) in rows.iter().enumerate() {
+                if row.len() != self.num_inputs {
+                    return Err(CircuitError::InputLengthMismatch {
+                        expected: self.num_inputs,
+                        actual: row.len(),
+                    });
+                }
+                let (word, bit) = (lane / 64, lane % 64);
+                for (i, &value) in row.iter().enumerate() {
+                    vals[1 + i][word] |= (value as u64) << bit;
+                }
             }
         }
         firing.fill([0u64; W]);

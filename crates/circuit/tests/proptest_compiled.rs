@@ -241,3 +241,57 @@ proptest! {
         prop_assert_eq!(layer_sum, compiled.num_gates());
     }
 }
+
+/// Zero-width rows: a circuit with no inputs (gates fed only by the
+/// constant-one wire) must be servable through every batch entry point —
+/// the arena packing path explicitly early-accepts empty rows instead of
+/// relying on a vacuous packing loop — and a *non*-empty row against a
+/// zero-input circuit must be rejected with the typed length mismatch, not
+/// silently accepted.
+#[test]
+fn zero_input_circuits_accept_zero_width_rows_everywhere() {
+    use tc_circuit::{CircuitError, PlaneArena};
+
+    let mut b = CircuitBuilder::new(0);
+    let g = b.add_gate([(Wire::one(), 1)], 1).unwrap();
+    let h = b.add_gate([(Wire::one(), 1), (g, -1)], 1).unwrap();
+    b.mark_output(g);
+    b.mark_output(h);
+    let compiled = b.build().compile().unwrap();
+
+    let scalar = compiled.evaluate(&[]).unwrap();
+    assert_eq!(scalar.outputs(), &[true, false]);
+
+    // The arena path, at several widths and lane counts (incl. > 64).
+    let mut arena = PlaneArena::new();
+    for lanes in [1usize, 3, 64, 100] {
+        let rows: Vec<&[bool]> = vec![&[]; lanes];
+        let ev = compiled
+            .evaluate_rows_arena::<2>(&rows, &mut arena)
+            .unwrap();
+        for lane in 0..lanes {
+            assert_eq!(ev.outputs(lane).unwrap(), scalar.outputs());
+            assert_eq!(
+                ev.firing_count(lane).unwrap() as usize,
+                scalar.firing_count()
+            );
+        }
+    }
+
+    // The padded-tail evaluate_many path.
+    let rows: Vec<Vec<bool>> = vec![Vec::new(); 130];
+    let many = compiled.evaluate_many(&rows).unwrap();
+    assert_eq!(many.len(), 130);
+    assert_eq!(many.outputs(129).unwrap(), scalar.outputs());
+
+    // A non-empty row against a zero-input circuit is a typed error, not a
+    // silent accept: the early-accept branch must keep the length check.
+    let bad: Vec<&[bool]> = vec![&[], &[true]];
+    assert!(matches!(
+        compiled.evaluate_rows_arena::<1>(&bad, &mut arena),
+        Err(CircuitError::InputLengthMismatch {
+            expected: 0,
+            actual: 1
+        })
+    ));
+}

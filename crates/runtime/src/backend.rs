@@ -131,6 +131,15 @@ fn weighted_plane_ops(circuit: &CompiledCircuit) -> f64 {
     unit as f64 + pow2 as f64 * 1.2 + general as f64 * 1.35
 }
 
+/// The deficit-round-robin charge for evaluating one lane group of
+/// `circuit`: the gate-class-weighted plane-op estimate the backend cost
+/// models are priced off. Groups of a heavy circuit cost proportionally
+/// more scheduler credit than groups of a light one, so a tenant's weighted
+/// share is a share of *work*, not of group count.
+pub(crate) fn plane_op_charge(circuit: &CompiledCircuit) -> u64 {
+    weighted_plane_ops(circuit).max(1.0) as u64
+}
+
 /// Sequential scalar evaluation, one request at a time.
 ///
 /// Wins on tiny circuits and tiny batches where any packing overhead

@@ -27,12 +27,20 @@
 //!   or out of order with explicit request ids), and recycle response
 //!   payloads through the session's pool, so unbounded streams run at flat
 //!   memory and the warmed-up [`Detail::Outputs`] loop allocates nothing.
+//! * [`TenantId`] — multi-tenant fair scheduling: every submission belongs
+//!   to a tenant (per session via [`SessionOptions`]/[`ServeOptions`], or
+//!   per row via [`StreamSession::submit_for`]), each tenant owns a bounded
+//!   queue inside the scheduler, and workers drain the queues by
+//!   deficit-weighted round-robin with groups charged at the backend cost
+//!   model's plane-op estimate — a bursty tenant waits out its own backlog
+//!   instead of starving everyone queued behind it.
 //! * [`AutoTuner`] — picks the backend per (circuit, batch size) from a
 //!   one-shot calibration probe, cached so repeated traffic against the same
 //!   circuit never re-measures.
 //! * [`Telemetry`] — lock-light counters: requests, groups, padded lanes,
 //!   gate-evaluations, firings (Uchizawa–Douglas–Maass energy), busy time,
-//!   and per-backend tallies.
+//!   per-backend tallies, and per-tenant queue-wait gauges with a
+//!   max-queue-wait-ratio fairness metric.
 //!
 //! One [`Runtime`] instance is circuit-agnostic and thread-safe, so a single
 //! runtime can serve a mixed workload — triangle oracles, matrix products,
@@ -69,10 +77,30 @@ pub use backend::{
     shape_response_shells, BackendCaps, BackendRegistry, Detail, EvalBackend, LayerParallelBackend,
     Response, ScalarBackend, Sliced64Backend, WideBackend,
 };
-pub use runtime::{Runtime, RuntimeBuilder, RuntimeOptions};
+pub use runtime::{Runtime, RuntimeBuilder, RuntimeOptions, ServeOptions};
 pub use session::{PooledResponse, SessionOptions, StreamSession, SubmitOrNext};
-pub use telemetry::{BackendTally, Telemetry, TelemetrySummary};
+pub use telemetry::{BackendTally, Telemetry, TelemetrySummary, TenantTally};
 pub use tuner::{AutoTuner, TunerPolicy};
+
+/// Identifies one tenant of the shared runtime — one traffic source whose
+/// groups are queued, scheduled, and accounted separately from every other
+/// tenant's. Sessions default to [`TenantId::DEFAULT`]; multi-tenant
+/// sessions register further tenants with a scheduling weight (see
+/// [`StreamSession::register_tenant`]). The id is an opaque caller-chosen
+/// label: telemetry reports per-tenant tallies keyed by it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The tenant every un-tagged submission belongs to.
+    pub const DEFAULT: TenantId = TenantId(0);
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
 
 // The plane scratch backends evaluate in: re-exported so custom
 // [`EvalBackend`] implementations need no direct `tc-circuit` dependency.
@@ -103,6 +131,19 @@ pub enum RuntimeError {
         /// Responses the backend returned.
         actual: usize,
     },
+    /// A row was submitted after [`StreamSession::finish`] closed the
+    /// submit side (previously an `assert!` that aborted the caller's
+    /// thread).
+    SessionFinished,
+    /// A session thread panicked mid-serve (a worker evaluating a group,
+    /// or a thread holding a session lock): the session is unusable and
+    /// queued work was dropped. Surfaced through the normal error channel
+    /// so one crashed worker does not take the consumer down with an
+    /// opaque poisoned-lock panic.
+    SessionPanicked {
+        /// Where the panic was observed ("worker", "consumer lock", …).
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -121,6 +162,12 @@ impl fmt::Display for RuntimeError {
                 f,
                 "backend {backend:?} returned {actual} responses for a group of {expected} requests"
             ),
+            RuntimeError::SessionFinished => {
+                write!(f, "request submitted after the session finished")
+            }
+            RuntimeError::SessionPanicked { context } => {
+                write!(f, "a session thread panicked mid-serve ({context})")
+            }
         }
     }
 }

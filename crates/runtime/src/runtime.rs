@@ -5,8 +5,60 @@ use crate::backend::{BackendRegistry, Detail, EvalBackend, Response};
 use crate::session::{SessionOptions, SessionShared, StreamSession};
 use crate::telemetry::{Telemetry, TelemetrySummary};
 use crate::tuner::{rank_by_model, AutoTuner, TunerPolicy};
-use crate::Result;
+use crate::{Result, TenantId};
 use tc_circuit::CompiledCircuit;
+
+/// Per-call tunables for the materialising [`Runtime::serve_batch_with`] /
+/// [`Runtime::serve_stream_with`] wrappers: the response [`Detail`] level
+/// plus the tenant tag and scheduling weight the call's requests are
+/// accounted (and queued) under.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// How much of each evaluation every response carries.
+    pub detail: Detail,
+    /// The tenant this call's requests belong to (telemetry key and
+    /// scheduler queue identity).
+    pub tenant: TenantId,
+    /// The tenant's scheduling weight (clamped to ≥ 1).
+    pub weight: u32,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            detail: Detail::Outputs,
+            tenant: TenantId::DEFAULT,
+            weight: 1,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Sets the [`Detail`] level of every response.
+    pub fn detail(mut self, detail: Detail) -> Self {
+        self.detail = detail;
+        self
+    }
+
+    /// Tags the call's requests with `tenant`.
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Sets the tenant's scheduling weight (clamped to ≥ 1).
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+
+    fn session_options(&self) -> SessionOptions {
+        SessionOptions::default()
+            .detail(self.detail)
+            .tenant(self.tenant)
+            .weight(self.weight)
+    }
+}
 
 /// Tunables of a [`Runtime`].
 #[derive(Debug, Clone)]
@@ -240,22 +292,32 @@ impl Runtime {
     }
 
     /// Like [`Runtime::serve_batch`] with an explicit [`Detail`] level.
-    ///
-    /// A thin wrapper over [`Runtime::open_session`]: rows are submitted
-    /// through a session sized by the batch length and the materialised
-    /// responses are collected in submission order.
     pub fn serve_batch_detailed<R: AsRef<[bool]> + Sync>(
         &self,
         circuit: &CompiledCircuit,
         rows: &[R],
         detail: Detail,
     ) -> Result<Vec<Response>> {
+        self.serve_batch_with(circuit, rows, ServeOptions::default().detail(detail))
+    }
+
+    /// Like [`Runtime::serve_batch`] with explicit [`ServeOptions`]: the
+    /// batch's requests are queued and accounted under the options' tenant,
+    /// at its scheduling weight.
+    ///
+    /// A thin wrapper over [`Runtime::open_session`]: rows are submitted
+    /// through a session sized by the batch length and the materialised
+    /// responses are collected in submission order.
+    pub fn serve_batch_with<R: AsRef<[bool]> + Sync>(
+        &self,
+        circuit: &CompiledCircuit,
+        rows: &[R],
+        serve: ServeOptions,
+    ) -> Result<Vec<Response>> {
         if rows.is_empty() {
             return Ok(Vec::new());
         }
-        let opts = SessionOptions::default()
-            .detail(detail)
-            .batch_hint(rows.len());
+        let opts = serve.session_options().batch_hint(rows.len());
         self.open_session(circuit, opts, |session| {
             let mut out = Vec::with_capacity(rows.len());
             for row in rows {
@@ -286,12 +348,6 @@ impl Runtime {
     }
 
     /// Like [`Runtime::serve_stream`] with an explicit [`Detail`] level.
-    ///
-    /// A thin wrapper over [`Runtime::open_session`]: the calling thread
-    /// drives submission and drains completed responses whenever the queue
-    /// pushes back, so the input side stays bounded even though the result
-    /// is materialised. The backend is picked lazily on the first packed
-    /// row — an empty stream never pays a calibration probe.
     pub fn serve_stream_detailed<I>(
         &self,
         circuit: &CompiledCircuit,
@@ -301,7 +357,28 @@ impl Runtime {
     where
         I: IntoIterator<Item = Vec<bool>>,
     {
-        let opts = SessionOptions::default().detail(detail);
+        self.serve_stream_with(circuit, requests, ServeOptions::default().detail(detail))
+    }
+
+    /// Like [`Runtime::serve_stream`] with explicit [`ServeOptions`]: the
+    /// stream's requests are queued and accounted under the options'
+    /// tenant, at its scheduling weight.
+    ///
+    /// A thin wrapper over [`Runtime::open_session`]: the calling thread
+    /// drives submission and drains completed responses whenever the queue
+    /// pushes back, so the input side stays bounded even though the result
+    /// is materialised. The backend is picked lazily on the first packed
+    /// row — an empty stream never pays a calibration probe.
+    pub fn serve_stream_with<I>(
+        &self,
+        circuit: &CompiledCircuit,
+        requests: I,
+        serve: ServeOptions,
+    ) -> Result<Vec<Response>>
+    where
+        I: IntoIterator<Item = Vec<bool>>,
+    {
+        let opts = serve.session_options();
         self.open_session(circuit, opts, |session| {
             let mut out = Vec::new();
             for row in requests {

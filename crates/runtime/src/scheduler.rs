@@ -1,39 +1,56 @@
-//! The streaming scheduler engine: a bounded work queue of lane groups on
-//! the submit side and a bounded delivery window on the consume side, under
-//! one lock so combined wait conditions ("room to push *or* a response to
-//! take") need no cross-queue signalling.
+//! The streaming scheduler engine: per-tenant bounded work queues drained
+//! by deficit-weighted round-robin on the submit side and per-tenant
+//! bounded delivery windows on the consume side, under one lock so combined
+//! wait conditions ("room to push *or* a response to take") need no
+//! cross-queue signalling.
 //!
 //! The engine is deliberately backend-agnostic: it moves opaque *groups*
 //! (`G`, packed rows) from producers to workers and *deliveries* (`D`,
 //! evaluated responses) from workers to consumers. Sessions
 //! ([`crate::StreamSession`]) put packing, pooling, and backend dispatch on
-//! top. Both queues are bounded, so an unbounded request stream runs at
-//! flat memory: when workers fall behind, producers block instead of
-//! buffering the world, and when consumers fall behind, workers block
-//! instead of materialising every response.
+//! top. Every queue is bounded, so an unbounded request stream runs at flat
+//! memory: when workers fall behind, producers block instead of buffering
+//! the world, and when consumers fall behind, workers block instead of
+//! materialising every response.
+//!
+//! # Tenants and fairness
+//!
+//! The predecessor engine drained one FIFO queue, so a tenant that burst
+//! thousands of groups starved every group queued behind it (head-of-line
+//! starvation). Work is now segregated per [`TenantId`]: each tenant owns a
+//! bounded FIFO of its own groups, and workers pop through a classic
+//! **deficit round robin** cursor — on each visit a tenant's deficit grows
+//! by `quantum × weight` cost units, and its head groups are handed out
+//! while the deficit covers their *charge* (the caller-supplied cost of
+//! evaluating the group, priced off the backend cost model's plane-op
+//! estimate). Over any interval in which two tenants stay backlogged, the
+//! served cost per tenant tracks the weight ratio to within one maximal
+//! group charge — the standard DRR fairness bound. Backpressure is also per
+//! tenant: a bursty tenant fills *its own* queue and blocks, leaving other
+//! tenants' admission untouched.
 //!
 //! # Close semantics
 //!
-//! Closing distinguishes *completion* from *failure* (the predecessor
-//! `BoundedQueue` conflated them, so a failing worker's `close()` still
-//! drained every already-queued group through full evaluation before the
-//! error surfaced):
+//! Closing distinguishes *completion* from *failure*:
 //!
-//! * [`Engine::finish`] — the submit side is done; workers **drain** the
-//!   queue, then [`Engine::pop`] reports exhaustion.
+//! * [`Engine::finish`] — the submit side is done; workers **drain** every
+//!   tenant's queue, then [`Engine::pop`] reports exhaustion.
 //! * [`Engine::abort`] — a worker failed (or the session was abandoned);
-//!   queued groups are **dropped** and every blocked party wakes
-//!   immediately. In-flight groups (already popped) finish, matching the
-//!   session contract, but nothing queued behind the failure is evaluated.
+//!   every tenant's queued groups are **dropped** and every blocked party
+//!   wakes immediately. In-flight groups (already popped) finish, matching
+//!   the session contract, but nothing queued behind the failure is
+//!   evaluated — in any tenant.
 
-use crate::RuntimeError;
+use crate::{RuntimeError, TenantId};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// Outcome of a consumer take.
 #[derive(Debug)]
 pub(crate) enum Take<D> {
-    /// The oldest admissible delivery (in group order for ordered engines).
+    /// The oldest admissible delivery (per-tenant submission order for
+    /// ordered engines, with a round-robin cursor across tenants).
     Item(D),
     /// The session finished and every delivery has been taken.
     Done,
@@ -50,30 +67,84 @@ pub(crate) enum PushOrTake<G, D> {
     Took(D, G),
 }
 
+/// A group waiting in a tenant's queue.
 #[derive(Debug)]
-struct EngineState<G, D> {
-    /// Queued groups awaiting a worker, FIFO.
-    queue: VecDeque<(u64, G)>,
-    /// Bound on `queue` (set by [`Engine::configure`]).
-    queue_capacity: usize,
-    /// Bound on held deliveries, in groups (set by [`Engine::configure`]).
-    window: usize,
-    /// Group indices assigned so far.
-    next_index: u64,
+struct Queued<G> {
+    /// Per-tenant group sequence number.
+    seq: u64,
+    group: G,
+    /// Cost of evaluating this group, in the caller's cost-model units.
+    charge: u64,
+    /// When the group entered the queue (queue-wait telemetry).
+    at: Instant,
+}
+
+/// Aggregate queue statistics for one tenant (telemetry).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct TenantQueueStats {
+    /// Groups handed to workers (queued pops only, not inline groups).
+    pub(crate) popped_groups: u64,
+    /// Summed charge of those groups.
+    pub(crate) served_charge: u64,
+    /// Total nanoseconds those groups spent queued.
+    pub(crate) wait_ns_total: u64,
+    /// Longest any single group spent queued, in nanoseconds.
+    pub(crate) wait_ns_max: u64,
+}
+
+#[derive(Debug)]
+struct Tenant<G, D> {
+    id: TenantId,
+    /// DRR weight (≥ 1): relative share of served cost under contention.
+    weight: u32,
+    /// Remaining cost credit this DRR round.
+    deficit: u64,
+    /// Queued groups awaiting a worker, FIFO within the tenant.
+    queue: VecDeque<Queued<G>>,
+    /// Per-tenant group sequence assigned so far.
+    next_seq: u64,
     /// Groups popped by workers but not yet delivered or dropped.
     in_flight: usize,
     /// Ordered mode: slot `i` holds the delivery for group
-    /// `next_deliver + i` (always `window` entries).
+    /// `next_deliver + i` (always `window` entries once sized).
     ring: VecDeque<Option<(u64, D)>>,
-    /// Unordered mode: deliveries in completion order.
-    bag: VecDeque<(u64, D)>,
-    /// Next group index the ordered consumer hands out.
+    /// Next group sequence the ordered consumer hands out.
     next_deliver: u64,
     /// Deliveries currently held for the consumer, in groups.
     held: usize,
-    /// Peak of `held` — the reorder-window occupancy telemetry gauge.
+    stats: TenantQueueStats,
+}
+
+#[derive(Debug)]
+struct EngineState<G, D> {
+    tenants: Vec<Tenant<G, D>>,
+    /// Bound on each tenant's queue (set by [`Engine::configure`]).
+    queue_capacity: usize,
+    /// Bound on each tenant's held deliveries, in groups.
+    window: usize,
+    /// DRR cursor: the tenant currently being served.
+    cursor: usize,
+    /// Whether the cursor tenant already received this visit's quantum.
+    cursor_granted: bool,
+    /// Cost units granted per visit is `quantum × weight`. Tracks the
+    /// largest charge ever pushed (so one grant always covers one group).
+    quantum: u64,
+    /// Round-robin cursor for *taking* across tenants' delivery rings.
+    take_cursor: usize,
+    /// Unordered mode: deliveries in completion order (tenant slot kept so
+    /// the tenant's window occupancy can be released on take).
+    bag: VecDeque<(usize, D)>,
+    /// Queued groups across all tenants.
+    total_queued: usize,
+    /// Groups whose sequence was claimed by [`Engine::begin_dispatch`] but
+    /// whose (lock-free, possibly blocking) push has not landed yet. Keeps
+    /// `drained` honest while a submitter is between the two calls.
+    dispatching: usize,
+    /// Deliveries held across all tenants.
+    held_total: usize,
+    /// Peak of `held_total` — the reorder-window occupancy telemetry gauge.
     peak_held: usize,
-    /// The submit side is complete; workers drain the queue.
+    /// The submit side is complete; workers drain every queue.
     finished: bool,
     /// A failure or abandon: queued groups are dropped, waiters wake.
     aborted: bool,
@@ -81,7 +152,17 @@ struct EngineState<G, D> {
     error: Option<RuntimeError>,
 }
 
-/// The bounded two-sided scheduler core. One instance per stream session.
+impl<G, D> EngineState<G, D> {
+    /// Everything submitted has been popped, delivered, and taken.
+    fn drained(&self) -> bool {
+        self.dispatching == 0
+            && self.total_queued == 0
+            && self.held_total == 0
+            && self.tenants.iter().all(|t| t.in_flight == 0)
+    }
+}
+
+/// The bounded multi-tenant scheduler core. One instance per stream session.
 #[derive(Debug)]
 pub(crate) struct Engine<G, D> {
     state: Mutex<EngineState<G, D>>,
@@ -89,8 +170,8 @@ pub(crate) struct Engine<G, D> {
     /// thundering cost negligible, and one wait set makes the combined
     /// "push or take" conditions race-free by construction).
     cv: Condvar,
-    /// Deliver groups in submission order through the ring (true) or in
-    /// completion order through the bag (false).
+    /// Deliver groups in submission order through per-tenant rings (true)
+    /// or in completion order through the bag (false).
     ordered: bool,
 }
 
@@ -98,15 +179,17 @@ impl<G, D> Engine<G, D> {
     pub(crate) fn new(ordered: bool) -> Self {
         Engine {
             state: Mutex::new(EngineState {
-                queue: VecDeque::new(),
+                tenants: Vec::new(),
                 queue_capacity: 0,
                 window: 0,
-                next_index: 0,
-                in_flight: 0,
-                ring: VecDeque::new(),
+                cursor: 0,
+                cursor_granted: false,
+                quantum: 1,
+                take_cursor: 0,
                 bag: VecDeque::new(),
-                next_deliver: 0,
-                held: 0,
+                total_queued: 0,
+                dispatching: 0,
+                held_total: 0,
                 peak_held: 0,
                 finished: false,
                 aborted: false,
@@ -117,53 +200,131 @@ impl<G, D> Engine<G, D> {
         }
     }
 
-    /// Sets the queue and window bounds (idempotent; must run before the
-    /// first push/deliver — the session configures on its first submit, once
-    /// the backend's lane group and worker count are known).
+    /// Sets the per-tenant queue and window bounds (idempotent; must run
+    /// before the first push/deliver — the session configures on its first
+    /// submit, once the backend's lane group and worker count are known).
+    /// Tenants registered earlier have their buffers sized here.
     pub(crate) fn configure(&self, queue_capacity: usize, window: usize) {
         let mut s = self.state.lock().unwrap();
         if s.queue_capacity == 0 {
-            let capacity = queue_capacity.max(1);
-            let window = window.max(1);
-            s.queue_capacity = capacity;
-            s.window = window;
-            s.queue.reserve(capacity);
-            if self.ordered {
-                s.ring.resize_with(window, || None);
-            } else {
+            s.queue_capacity = queue_capacity.max(1);
+            s.window = window.max(1);
+            let (capacity, window, ordered) = (s.queue_capacity, s.window, self.ordered);
+            for t in &mut s.tenants {
+                Self::size_tenant(t, capacity, window, ordered);
+            }
+            if !ordered {
                 s.bag.reserve(window);
             }
         }
     }
 
-    /// Blocks until there is queue room, then enqueues `g` under a fresh
-    /// group index. `None` means the engine aborted (error or abandon) and
-    /// the group was not enqueued.
-    pub(crate) fn push(&self, g: G) -> Option<u64> {
+    fn size_tenant(t: &mut Tenant<G, D>, capacity: usize, window: usize, ordered: bool) {
+        t.queue.reserve(capacity);
+        if ordered {
+            t.ring.resize_with(window, || None);
+        }
+    }
+
+    /// Registers (or looks up) the tenant `id`, returning its slot. The
+    /// first registration fixes the weight (clamped to ≥ 1); later calls
+    /// with the same id return the existing slot unchanged.
+    pub(crate) fn register_tenant(&self, id: TenantId, weight: u32) -> usize {
+        let mut s = self.state.lock().unwrap();
+        if let Some(slot) = s.tenants.iter().position(|t| t.id == id) {
+            return slot;
+        }
+        let mut tenant = Tenant {
+            id,
+            weight: weight.max(1),
+            deficit: 0,
+            queue: VecDeque::new(),
+            next_seq: 0,
+            in_flight: 0,
+            ring: VecDeque::new(),
+            next_deliver: 0,
+            held: 0,
+            stats: TenantQueueStats::default(),
+        };
+        if s.queue_capacity > 0 {
+            let (capacity, window) = (s.queue_capacity, s.window);
+            Self::size_tenant(&mut tenant, capacity, window, self.ordered);
+        }
+        s.tenants.push(tenant);
+        s.tenants.len() - 1
+    }
+
+    /// Claims the next group sequence of tenant `slot` for a push that will
+    /// land *after* the caller releases its own locks (sessions allocate the
+    /// sequence under their packing lock — fixing per-tenant order — then
+    /// push without holding it, so one tenant's blocking backpressure never
+    /// convoys another tenant's submitters). The engine counts the claim as
+    /// in flight until the matching [`Engine::push`] lands or aborts, so
+    /// consumers cannot observe a drained stream mid-dispatch.
+    pub(crate) fn begin_dispatch(&self, slot: usize) -> u64 {
+        let mut s = self.state.lock().unwrap();
+        s.dispatching += 1;
+        let t = &mut s.tenants[slot];
+        let seq = t.next_seq;
+        t.next_seq += 1;
+        seq
+    }
+
+    /// Blocks until tenant `slot` has queue room, then enqueues `g` under
+    /// the sequence claimed by [`Engine::begin_dispatch`], charged `charge`
+    /// cost units against the tenant's DRR deficit. `false` means the
+    /// engine aborted (error or abandon) and the group was not enqueued.
+    /// Backpressure is per tenant: a full queue blocks only this tenant's
+    /// submitters — and the caller holds no session lock here, so it blocks
+    /// only *itself*. Callers must land one tenant's pushes in sequence
+    /// order (the session serialises same-tenant dispatches): the delivery
+    /// ring tolerates inversions only shallower than the window, beyond
+    /// which every worker would block on an inadmissible `deliver` while
+    /// the admissible sequences sit unpopped behind them.
+    pub(crate) fn push(&self, slot: usize, seq: u64, g: G, charge: u64) -> bool {
         let mut s = self.state.lock().unwrap();
         debug_assert!(s.queue_capacity > 0, "push before configure");
         loop {
             if s.aborted {
-                return None;
-            }
-            assert!(!s.finished, "group pushed after finish()");
-            if s.queue.len() < s.queue_capacity {
-                let idx = s.next_index;
-                s.next_index += 1;
-                s.queue.push_back((idx, g));
+                s.dispatching -= 1;
                 self.cv.notify_all();
-                return Some(idx);
+                return false;
+            }
+            if s.tenants[slot].queue.len() < s.queue_capacity {
+                Self::enqueue_at(&mut s, slot, seq, g, charge);
+                s.dispatching -= 1;
+                self.cv.notify_all();
+                return true;
             }
             s = self.cv.wait(s).unwrap();
         }
     }
 
+    fn enqueue_at(s: &mut EngineState<G, D>, slot: usize, seq: u64, g: G, charge: u64) {
+        let charge = charge.max(1);
+        s.quantum = s.quantum.max(charge);
+        let t = &mut s.tenants[slot];
+        t.queue.push_back(Queued {
+            seq,
+            group: g,
+            charge,
+            at: Instant::now(),
+        });
+        s.total_queued += 1;
+    }
+
     /// Combined single-thread driver step: prefer taking a ready delivery
-    /// (handing `g` back), otherwise push `g`, otherwise block until either
-    /// becomes possible. Draining before pushing keeps the delivery window
-    /// from filling up while the queue still has room, so a lone thread can
-    /// drive an unbounded stream without a consumer thread.
-    pub(crate) fn push_or_take(&self, g: G) -> Result<PushOrTake<G, D>, RuntimeError> {
+    /// (handing `g` back), otherwise push `g` onto tenant `slot`'s queue,
+    /// otherwise block until either becomes possible. Draining before
+    /// pushing keeps the delivery windows from filling up while the queue
+    /// still has room, so a lone thread can drive an unbounded stream
+    /// without a consumer thread.
+    pub(crate) fn push_or_take(
+        &self,
+        slot: usize,
+        g: G,
+        charge: u64,
+    ) -> Result<PushOrTake<G, D>, RuntimeError> {
         let mut s = self.state.lock().unwrap();
         debug_assert!(s.queue_capacity > 0, "push before configure");
         loop {
@@ -175,14 +336,18 @@ impl<G, D> Engine<G, D> {
                 // refused push (they only abandon from shutdown).
                 return Err(RuntimeError::NoBackend);
             }
-            if let Some((_idx, d)) = Self::take_ready(&mut s, self.ordered) {
+            if let Some(d) = Self::take_ready(&mut s, self.ordered) {
                 self.cv.notify_all();
                 return Ok(PushOrTake::Took(d, g));
             }
-            if s.queue.len() < s.queue_capacity {
-                let idx = s.next_index;
-                s.next_index += 1;
-                s.queue.push_back((idx, g));
+            if s.tenants[slot].queue.len() < s.queue_capacity {
+                // The single-thread driver allocates its sequence at
+                // enqueue time: it holds the session packing lock across
+                // this call, so extraction order and sequence order agree.
+                let t = &mut s.tenants[slot];
+                let seq = t.next_seq;
+                t.next_seq += 1;
+                Self::enqueue_at(&mut s, slot, seq, g, charge);
                 self.cv.notify_all();
                 return Ok(PushOrTake::Pushed);
             }
@@ -190,72 +355,132 @@ impl<G, D> Engine<G, D> {
         }
     }
 
-    /// Allocates a group index without queueing (inline evaluation mode,
-    /// where the submitting thread evaluates the group itself).
-    pub(crate) fn alloc_index(&self) -> u64 {
+    /// Allocates a per-tenant group sequence without queueing (inline
+    /// evaluation mode, where the submitting thread evaluates the group
+    /// itself).
+    pub(crate) fn alloc_seq(&self, slot: usize) -> u64 {
         let mut s = self.state.lock().unwrap();
-        let idx = s.next_index;
-        s.next_index += 1;
-        idx
+        let t = &mut s.tenants[slot];
+        let seq = t.next_seq;
+        t.next_seq += 1;
+        seq
     }
 
-    /// Worker side: blocks for the next queued group. `None` once the
-    /// engine is finished **and drained**, or immediately after an abort —
-    /// queued groups behind a failure are dropped, never evaluated.
-    pub(crate) fn pop(&self) -> Option<(u64, G)> {
+    /// Worker side: blocks for the next group the DRR cursor selects.
+    /// `None` once the engine is finished **and drained**, or immediately
+    /// after an abort — queued groups behind a failure are dropped, never
+    /// evaluated, in every tenant.
+    pub(crate) fn pop(&self) -> Option<(usize, u64, G)> {
         let mut s = self.state.lock().unwrap();
         loop {
             if s.aborted {
                 return None;
             }
-            if let Some(item) = s.queue.pop_front() {
-                s.in_flight += 1;
+            if s.total_queued > 0 {
+                let (slot, q) = Self::drr_pop(&mut s);
                 self.cv.notify_all();
-                return Some(item);
+                return Some((slot, q.seq, q.group));
             }
-            if s.finished {
+            // A claimed-but-unpushed dispatch may still land after finish;
+            // workers only exit once those have drained into the queue too.
+            if s.finished && s.dispatching == 0 {
                 return None;
             }
             s = self.cv.wait(s).unwrap();
         }
     }
 
-    /// Worker side: hands an evaluated group to the consumer, blocking
-    /// while the delivery window refuses it (ordered mode admits group
-    /// `idx` only once `idx < next_deliver + window`; unordered mode admits
-    /// up to `window` held groups). Returns `false` if the engine aborted
-    /// while waiting — the delivery is dropped by the caller.
+    /// The deficit-round-robin select. Caller guarantees `total_queued > 0`.
     ///
-    /// `queued` says whether the group was popped from the queue (workers)
-    /// or evaluated inline by the submitter.
-    pub(crate) fn deliver(&self, idx: u64, d: D, queued: bool) -> bool {
+    /// Terminates: `quantum ≥` every queued charge and `weight ≥ 1`, so one
+    /// grant always covers a head group — the cursor finds a servable
+    /// nonempty queue within two sweeps.
+    fn drr_pop(s: &mut EngineState<G, D>) -> (usize, Queued<G>) {
+        let n = s.tenants.len();
+        loop {
+            let slot = s.cursor;
+            let quantum = s.quantum;
+            let t = &mut s.tenants[slot];
+            let Some(head) = t.queue.front() else {
+                // An idle tenant forfeits its deficit (classic DRR: credit
+                // must not accumulate while there is nothing to serve).
+                t.deficit = 0;
+                s.cursor = (slot + 1) % n;
+                s.cursor_granted = false;
+                continue;
+            };
+            if !s.cursor_granted {
+                t.deficit = t.deficit.saturating_add(quantum * t.weight as u64);
+                s.cursor_granted = true;
+            }
+            if t.deficit < head.charge {
+                s.cursor = (slot + 1) % n;
+                s.cursor_granted = false;
+                continue;
+            }
+            let q = t.queue.pop_front().expect("head probed above");
+            t.deficit -= q.charge;
+            t.in_flight += 1;
+            let wait_ns = q.at.elapsed().as_nanos() as u64;
+            t.stats.popped_groups += 1;
+            t.stats.served_charge += q.charge;
+            t.stats.wait_ns_total += wait_ns;
+            t.stats.wait_ns_max = t.stats.wait_ns_max.max(wait_ns);
+            if t.queue.is_empty() {
+                t.deficit = 0;
+                s.cursor = (slot + 1) % n;
+                s.cursor_granted = false;
+            }
+            s.total_queued -= 1;
+            return (slot, q);
+        }
+    }
+
+    /// Worker side: hands an evaluated group to the consumer, blocking
+    /// while the tenant's delivery window refuses it (ordered mode admits
+    /// sequence `seq` only once `seq < next_deliver + window`; unordered
+    /// mode admits up to `window` held groups per tenant). Returns `false`
+    /// if the engine aborted while waiting — the delivery is dropped by the
+    /// caller.
+    ///
+    /// `queued` says whether the group was popped from a queue (workers) or
+    /// evaluated inline by the submitter.
+    pub(crate) fn deliver(&self, slot: usize, seq: u64, d: D, queued: bool) -> bool {
         let mut s = self.state.lock().unwrap();
         loop {
             if s.aborted {
                 if queued {
-                    s.in_flight -= 1;
+                    s.tenants[slot].in_flight -= 1;
                     self.cv.notify_all();
                 }
                 return false;
             }
+            let window = s.window;
+            let t = &mut s.tenants[slot];
             let admissible = if self.ordered {
-                idx < s.next_deliver + s.window as u64
+                seq < t.next_deliver + window as u64
             } else {
-                s.held < s.window
+                t.held < window
             };
             if admissible {
                 if self.ordered {
-                    let pos = (idx - s.next_deliver) as usize;
-                    debug_assert!(s.ring[pos].is_none(), "double delivery of group {idx}");
-                    s.ring[pos] = Some((idx, d));
+                    let pos = (seq - t.next_deliver) as usize;
+                    debug_assert!(
+                        t.ring[pos].is_none(),
+                        "double delivery of group {seq} for tenant {:?}",
+                        t.id
+                    );
+                    t.ring[pos] = Some((seq, d));
                 } else {
-                    s.bag.push_back((idx, d));
+                    s.bag.push_back((slot, d));
                 }
-                s.held += 1;
-                s.peak_held = s.peak_held.max(s.held);
+                let t = &mut s.tenants[slot];
+                t.held += 1;
                 if queued {
-                    s.in_flight -= 1;
+                    t.in_flight -= 1;
                 }
+                s.held_total += 1;
+                s.peak_held = s.peak_held.max(s.held_total);
                 self.cv.notify_all();
                 return true;
             }
@@ -263,14 +488,14 @@ impl<G, D> Engine<G, D> {
         }
     }
 
-    /// Records a worker failure: the first error wins, queued groups are
-    /// dropped (close-on-error must not evaluate work behind the failure),
-    /// and every blocked submitter, worker, and consumer wakes.
+    /// Records a worker failure: the first error wins, every tenant's
+    /// queued groups are dropped (close-on-error must not evaluate work
+    /// behind the failure), and every blocked submitter, worker, and
+    /// consumer wakes.
     pub(crate) fn abort(&self, e: RuntimeError) {
         let mut s = self.state.lock().unwrap();
         s.error.get_or_insert(e);
-        s.aborted = true;
-        s.queue.clear();
+        Self::drop_queued(&mut s);
         self.cv.notify_all();
     }
 
@@ -278,9 +503,16 @@ impl<G, D> Engine<G, D> {
     /// (session shutdown after the consumer walked away).
     pub(crate) fn abandon(&self) {
         let mut s = self.state.lock().unwrap();
-        s.aborted = true;
-        s.queue.clear();
+        Self::drop_queued(&mut s);
         self.cv.notify_all();
+    }
+
+    fn drop_queued(s: &mut EngineState<G, D>) {
+        s.aborted = true;
+        for t in &mut s.tenants {
+            t.queue.clear();
+        }
+        s.total_queued = 0;
     }
 
     /// Marks the submit side complete: workers drain what is queued, then
@@ -304,12 +536,11 @@ impl<G, D> Engine<G, D> {
             if let Some(e) = &s.error {
                 return Err(e.clone());
             }
-            if let Some((_idx, d)) = Self::take_ready(&mut s, self.ordered) {
+            if let Some(d) = Self::take_ready(&mut s, self.ordered) {
                 self.cv.notify_all();
                 return Ok(Take::Item(d));
             }
-            let drained = s.queue.is_empty() && s.in_flight == 0 && s.held == 0;
-            if (s.finished && drained) || s.aborted {
+            if (s.finished && s.drained()) || s.aborted {
                 return Ok(Take::Done);
             }
             if !block {
@@ -319,40 +550,71 @@ impl<G, D> Engine<G, D> {
         }
     }
 
-    fn take_ready(s: &mut EngineState<G, D>, ordered: bool) -> Option<(u64, D)> {
-        let item = if ordered {
-            if s.ring.front()?.is_some() {
-                let item = s.ring.pop_front().unwrap();
-                s.ring.push_back(None);
-                s.next_deliver += 1;
-                item
-            } else {
-                None
+    /// Pops the next deliverable group: unordered engines drain the shared
+    /// completion bag; ordered engines round-robin a cursor across tenants'
+    /// rings (each ring releases groups strictly in that tenant's
+    /// submission order).
+    fn take_ready(s: &mut EngineState<G, D>, ordered: bool) -> Option<D> {
+        let (slot, d) = if ordered {
+            let n = s.tenants.len();
+            let mut found = None;
+            for i in 0..n {
+                let slot = (s.take_cursor + i) % n;
+                let t = &mut s.tenants[slot];
+                if t.ring.front().map(|f| f.is_some()) == Some(true) {
+                    let (_seq, d) = t.ring.pop_front().unwrap().unwrap();
+                    t.ring.push_back(None);
+                    t.next_deliver += 1;
+                    s.take_cursor = (slot + 1) % n;
+                    found = Some((slot, d));
+                    break;
+                }
             }
+            found?
         } else {
-            s.bag.pop_front()
+            s.bag.pop_front()?
         };
-        let (idx, d) = item?;
-        s.held -= 1;
-        Some((idx, d))
+        s.tenants[slot].held -= 1;
+        s.held_total -= 1;
+        Some(d)
     }
 
-    /// Peak delivery-window occupancy, in groups (telemetry gauge).
+    /// Peak delivery-window occupancy across tenants, in groups (telemetry).
     pub(crate) fn peak_window(&self) -> usize {
         self.state.lock().unwrap().peak_held
+    }
+
+    /// Per-tenant queue statistics, in slot order (telemetry).
+    pub(crate) fn tenant_stats(&self) -> Vec<(TenantId, u32, TenantQueueStats)> {
+        let s = self.state.lock().unwrap();
+        s.tenants
+            .iter()
+            .map(|t| (t.id, t.weight, t.stats))
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use tc_circuit::CircuitError;
 
+    /// A single-tenant engine with tenant 0 pre-registered — the PR 4 shape
+    /// every legacy test drives.
     fn engine(ordered: bool, cap: usize, window: usize) -> Engine<u32, u32> {
         let e = Engine::new(ordered);
         e.configure(cap, window);
+        assert_eq!(e.register_tenant(TenantId(0), 1), 0);
         e
+    }
+
+    /// Claim-then-push in one step (sessions split the two around their
+    /// packing lock; tests have no lock to protect). `true` = enqueued.
+    fn push(e: &Engine<u32, u32>, slot: usize, g: u32, charge: u64) -> bool {
+        let seq = e.begin_dispatch(slot);
+        e.push(slot, seq, g, charge)
     }
 
     #[test]
@@ -363,24 +625,25 @@ mod tests {
         // evaluated before the error surfaced.
         let e = engine(false, 64, 64);
         for g in 0..10u32 {
-            e.push(g).unwrap();
+            assert!(push(&e, 0, g, 1));
         }
-        assert_eq!(e.pop(), Some((0, 0)));
+        assert!(matches!(e.pop(), Some((0, 0, 0))));
         e.abort(RuntimeError::Circuit(CircuitError::EmptyFanIn));
         // Nine groups were still queued; none may be handed out now.
-        assert_eq!(e.pop(), None);
+        assert!(e.pop().is_none());
         assert!(e.error().is_some());
 
         // Close-on-complete is the opposite: everything queued drains.
         let e = engine(false, 64, 64);
         for g in 0..5u32 {
-            e.push(g).unwrap();
+            assert!(push(&e, 0, g, 1));
         }
         e.finish();
         for g in 0..5u32 {
-            assert_eq!(e.pop(), Some((g as u64, g)));
+            let (slot, seq, got) = e.pop().unwrap();
+            assert_eq!((slot, seq, got), (0, g as u64, g));
         }
-        assert_eq!(e.pop(), None);
+        assert!(e.pop().is_none());
         assert!(e.error().is_none());
     }
 
@@ -389,15 +652,16 @@ mod tests {
         // Threaded version of the same regression, shaped like the session
         // worker loop: a deep queue, a failing first group, and a second
         // worker whose in-flight group is allowed to finish. Nothing queued
-        // behind the failure may be popped after the abort.
+        // behind the failure may be popped after the abort — in any tenant.
         let failed = AtomicBool::new(false);
         let evaluated = Mutex::new(Vec::new());
         let e = engine(false, 64, 64);
+        let second = e.register_tenant(TenantId(7), 1);
         std::thread::scope(|scope| {
             for _ in 0..2 {
                 scope.spawn(|| {
-                    while let Some((idx, _)) = e.pop() {
-                        if idx == 0 {
+                    while let Some((slot, seq, _)) = e.pop() {
+                        if (slot, seq) == (0, 0) {
                             failed.store(true, Ordering::SeqCst);
                             e.abort(RuntimeError::Circuit(CircuitError::EmptyFanIn));
                             return;
@@ -408,23 +672,23 @@ mod tests {
                         while !failed.load(Ordering::SeqCst) {
                             std::thread::yield_now();
                         }
-                        evaluated.lock().unwrap().push(idx);
-                        e.deliver(idx, 0, true);
+                        evaluated.lock().unwrap().push((slot, seq));
+                        e.deliver(slot, seq, 0, true);
                     }
                 });
             }
-            for g in 0..64u32 {
-                if e.push(g).is_none() {
+            for g in 0..32u32 {
+                if !push(&e, 0, g, 1) || !push(&e, second, g, 1) {
                     break;
                 }
             }
             e.finish();
         });
         let evaluated = evaluated.lock().unwrap();
-        // At most the one in-flight group (index 1) ever evaluates; the 62
-        // groups queued behind the failure are dropped.
+        // At most the one in-flight group ever evaluates; everything queued
+        // behind the failure — in both tenants — is dropped.
         assert!(
-            evaluated.iter().all(|&idx| idx < 2),
+            evaluated.len() <= 1,
             "groups behind the failing one were evaluated: {evaluated:?}"
         );
         assert_eq!(
@@ -437,13 +701,13 @@ mod tests {
     fn ordered_delivery_reorders_within_a_bounded_window() {
         let e = engine(true, 8, 2);
         for g in 0..3u32 {
-            e.push(g).unwrap();
+            assert!(push(&e, 0, g, 1));
         }
-        let (i0, g0) = e.pop().unwrap();
-        let (i1, g1) = e.pop().unwrap();
-        let (i2, g2) = e.pop().unwrap();
+        let (s0, i0, g0) = e.pop().unwrap();
+        let (s1, i1, g1) = e.pop().unwrap();
+        let (s2, i2, g2) = e.pop().unwrap();
         // Group 1 completes first; the window holds it for ordering.
-        assert!(e.deliver(i1, g1 + 100, true));
+        assert!(e.deliver(s1, i1, g1 + 100, true));
         match e.take(false).unwrap() {
             Take::WouldBlock => {}
             other => panic!("group 0 not delivered yet, got {other:?}"),
@@ -453,12 +717,12 @@ mod tests {
         let delivered_2 = AtomicBool::new(false);
         std::thread::scope(|scope| {
             scope.spawn(|| {
-                assert!(e.deliver(i2, g2 + 100, true));
+                assert!(e.deliver(s2, i2, g2 + 100, true));
                 delivered_2.store(true, Ordering::SeqCst);
             });
             std::thread::sleep(std::time::Duration::from_millis(30));
             assert!(!delivered_2.load(Ordering::SeqCst), "window bound ignored");
-            assert!(e.deliver(i0, g0 + 100, true));
+            assert!(e.deliver(s0, i0, g0 + 100, true));
             // Consuming 0 then 1 opens the window for 2.
             for expect in 0..3u64 {
                 match e.take(true).unwrap() {
@@ -484,10 +748,10 @@ mod tests {
         std::thread::scope(|scope| {
             for _ in 0..2 {
                 scope.spawn(|| {
-                    while let Some((idx, g)) = e.pop() {
+                    while let Some((slot, seq, g)) = e.pop() {
                         std::thread::sleep(std::time::Duration::from_micros(200));
                         in_flight.fetch_sub(1, Ordering::SeqCst);
-                        e.deliver(idx, g, true);
+                        e.deliver(slot, seq, g, true);
                     }
                 });
             }
@@ -505,7 +769,7 @@ mod tests {
             for g in 0..50u32 {
                 let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
                 peak.fetch_max(now, Ordering::SeqCst);
-                e.push(g).unwrap();
+                assert!(push(&e, 0, g, 1));
             }
             e.finish();
         });
@@ -518,13 +782,228 @@ mod tests {
         // Inline-style single-thread driving: deliveries ready in the
         // window are preferred over enqueueing more work.
         let e = engine(true, 1, 4);
-        assert!(matches!(e.push_or_take(7).unwrap(), PushOrTake::Pushed));
-        let (idx, g) = e.pop().unwrap();
-        e.deliver(idx, g + 1, true);
-        match e.push_or_take(9).unwrap() {
+        assert!(matches!(
+            e.push_or_take(0, 7, 1).unwrap(),
+            PushOrTake::Pushed
+        ));
+        let (slot, seq, g) = e.pop().unwrap();
+        e.deliver(slot, seq, g + 1, true);
+        match e.push_or_take(0, 9, 1).unwrap() {
             PushOrTake::Took(8, 9) => {}
             other => panic!("expected the ready delivery first, got {other:?}"),
         }
-        assert!(matches!(e.push_or_take(9).unwrap(), PushOrTake::Pushed));
+        assert!(matches!(
+            e.push_or_take(0, 9, 1).unwrap(),
+            PushOrTake::Pushed
+        ));
+    }
+
+    #[test]
+    fn per_tenant_queues_isolate_backpressure() {
+        // A bursty tenant at queue capacity must not block another tenant's
+        // admission: per-tenant bounds make backpressure tenant-local.
+        let e = engine(false, 2, 64);
+        let quiet = e.register_tenant(TenantId(1), 1);
+        // Fill the bursty tenant's queue to capacity.
+        assert!(push(&e, 0, 1, 1));
+        assert!(push(&e, 0, 2, 1));
+        // The quiet tenant still pushes without blocking.
+        assert!(push(&e, quiet, 10, 1));
+        assert!(push(&e, quiet, 11, 1));
+    }
+
+    #[test]
+    fn drr_interleaves_a_burst_with_a_steady_tenant() {
+        // Head-of-line regression: 8 bursty groups queued ahead of 2 steady
+        // groups must NOT all be served first — the DRR cursor alternates
+        // (weights 1:1, equal charges), so the steady groups are served
+        // within the first few pops instead of waiting out the burst.
+        let e = engine(false, 64, 64);
+        let steady = e.register_tenant(TenantId(1), 1);
+        for g in 0..8u32 {
+            assert!(push(&e, 0, g, 10));
+        }
+        for g in 100..102u32 {
+            assert!(push(&e, steady, g, 10));
+        }
+        e.finish();
+        let mut order = Vec::new();
+        while let Some((slot, _seq, g)) = e.pop() {
+            order.push((slot, g));
+        }
+        assert_eq!(order.len(), 10);
+        let steady_positions: Vec<usize> = order
+            .iter()
+            .enumerate()
+            .filter(|(_, (slot, _))| *slot == steady)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            *steady_positions.last().unwrap() <= 4,
+            "steady tenant served at positions {steady_positions:?} — \
+             it waited out the burst (FIFO head-of-line)"
+        );
+    }
+
+    #[test]
+    fn weighted_drr_tracks_the_weight_ratio() {
+        // Weights 3:1 with equal charges: while both tenants stay
+        // backlogged, every DRR round serves ~3 heavy groups per light one.
+        let e = engine(false, 256, 256);
+        let light = e.register_tenant(TenantId(1), 1);
+        let heavy = e.register_tenant(TenantId(2), 3);
+        for g in 0..60u32 {
+            assert!(push(&e, light, g, 5));
+            assert!(push(&e, heavy, g, 5));
+        }
+        // Serve 40 groups while both queues stay nonempty.
+        let mut heavy_served = 0u32;
+        let mut light_served = 0u32;
+        for _ in 0..40 {
+            let (slot, _, _) = e.pop().unwrap();
+            if slot == heavy {
+                heavy_served += 1;
+            } else if slot == light {
+                light_served += 1;
+            }
+        }
+        assert!(light_served > 0, "light tenant starved");
+        let ratio = heavy_served as f64 / light_served as f64;
+        assert!(
+            (2.0..=4.0).contains(&ratio),
+            "heavy:light served ratio {ratio:.2} (expected ~3 for weights 3:1)"
+        );
+        e.abandon();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The DRR deficit invariant: over an interval where two tenants
+        /// are continuously backlogged, the served cost per unit weight
+        /// diverges by at most one quantum (= one maximal group charge)
+        /// per round, regardless of weights or charge mix.
+        #[test]
+        fn drr_deficit_invariant_holds_for_random_weights(
+            weight_a in 1u32..8,
+            weight_b in 1u32..8,
+            charges_a in proptest::collection::vec(1u64..100, 40),
+            charges_b in proptest::collection::vec(1u64..100, 40),
+        ) {
+            let e: Engine<u32, u32> = Engine::new(false);
+            e.configure(256, 256);
+            let a = e.register_tenant(TenantId(10), weight_a);
+            let b = e.register_tenant(TenantId(20), weight_b);
+            let max_charge = charges_a
+                .iter()
+                .chain(&charges_b)
+                .copied()
+                .max()
+                .unwrap();
+            for (i, &c) in charges_a.iter().enumerate() {
+                assert!(push(&e, a, i as u32, c));
+            }
+            for (i, &c) in charges_b.iter().enumerate() {
+                assert!(push(&e, b, i as u32, c));
+            }
+            // Pop while BOTH tenants stay backlogged, tracking served cost.
+            let mut served = [0u64; 2];
+            let mut remaining = [charges_a.len(), charges_b.len()];
+            loop {
+                let (slot, seq, _) = e.pop().unwrap();
+                let charge = if slot == a {
+                    charges_a[seq as usize]
+                } else {
+                    charges_b[seq as usize]
+                };
+                let idx = usize::from(slot == b);
+                served[idx] += charge;
+                remaining[idx] -= 1;
+                if remaining[idx] == 0 {
+                    break;
+                }
+                // The invariant is only claimed while both are backlogged.
+                let per_weight_a = served[0] as f64 / weight_a as f64;
+                let per_weight_b = served[1] as f64 / weight_b as f64;
+                // Each visit grants quantum × weight, so per unit weight
+                // the lead is bounded by one quantum plus one max charge
+                // (the group that overshoots the deficit).
+                let bound = (max_charge as f64) * 2.0 + 1.0;
+                prop_assert!(
+                    (per_weight_a - per_weight_b).abs() <= bound,
+                    "served-per-weight diverged: a={per_weight_a:.1} \
+                     b={per_weight_b:.1} bound={bound:.1} \
+                     (weights {weight_a}:{weight_b})"
+                );
+            }
+            e.abandon();
+        }
+    }
+
+    #[test]
+    fn abort_between_drain_and_queue_insert_surfaces_the_error() {
+        // Race regression for the single-thread driver: `push_or_take`
+        // returns `Took` (the group handed back), the caller consumes the
+        // delivery, and an abort lands BEFORE the caller retries the push.
+        // The retry must surface the recorded error — not panic, not block
+        // forever, and not silently enqueue work behind a failure.
+        let e = engine(true, 1, 4);
+        assert!(matches!(
+            e.push_or_take(0, 1, 1).unwrap(),
+            PushOrTake::Pushed
+        ));
+        let (slot, seq, g) = e.pop().unwrap();
+        assert!(e.deliver(slot, seq, g + 1, true));
+        // The driver drains the ready delivery; its group comes back.
+        let retry = match e.push_or_take(0, 3, 1).unwrap() {
+            PushOrTake::Took(d, g) => {
+                assert_eq!(d, 2);
+                g
+            }
+            other => panic!("expected the ready delivery, got {other:?}"),
+        };
+        // Abort lands between the drain and the retried insert.
+        e.abort(RuntimeError::Circuit(CircuitError::EmptyFanIn));
+        match e.push_or_take(0, retry, 1) {
+            Err(RuntimeError::Circuit(CircuitError::EmptyFanIn)) => {}
+            other => panic!("retry after abort must fail with the error, got {other:?}"),
+        }
+        // And nothing was enqueued behind the failure.
+        assert!(e.pop().is_none());
+    }
+
+    #[test]
+    fn threaded_abort_races_push_or_take_without_losing_the_error() {
+        // The same race driven hot from two threads: a driver loops
+        // push_or_take while another thread aborts at a random point. The
+        // driver must always terminate with the recorded error.
+        for round in 0..50 {
+            let e = engine(false, 2, 4);
+            let err = RuntimeError::Circuit(CircuitError::EmptyFanIn);
+            std::thread::scope(|scope| {
+                let aborter = scope.spawn(|| {
+                    for _ in 0..(round % 7) {
+                        std::thread::yield_now();
+                    }
+                    e.abort(RuntimeError::Circuit(CircuitError::EmptyFanIn));
+                });
+                scope.spawn(|| {
+                    // Drain whatever the driver queued so it never blocks on
+                    // a full queue with no consumer.
+                    while let Some((slot, seq, g)) = e.pop() {
+                        e.deliver(slot, seq, g, true);
+                    }
+                });
+                let mut g = 0u32;
+                let observed = loop {
+                    match e.push_or_take(0, g, 1) {
+                        Ok(_) => g += 1,
+                        Err(e) => break e,
+                    }
+                };
+                assert_eq!(observed, err);
+                aborter.join().unwrap();
+            });
+        }
     }
 }

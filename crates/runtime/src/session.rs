@@ -12,6 +12,21 @@
 //! and the in-flight groups workers hold are all bounded, so an unbounded
 //! stream runs at flat memory.
 //!
+//! # Tenants
+//!
+//! Every session serves at least one tenant (the [`TenantId`] in
+//! [`SessionOptions`]); multi-tenant sessions
+//! [`register_tenant`](StreamSession::register_tenant) further tenants with
+//! scheduling weights and route rows with
+//! [`submit_for`](StreamSession::submit_for). Each tenant owns its own
+//! bounded group queue inside the scheduler engine, drained by
+//! deficit-weighted round-robin with each group charged at the backend cost
+//! model's plane-op estimate — a tenant that bursts thousands of groups
+//! saturates *its own* queue and gets its weighted share of the workers,
+//! instead of starving every tenant queued behind it (head-of-line
+//! starvation, the PR 2 FIFO failure mode). Ordered delivery is per tenant:
+//! each tenant's responses arrive in that tenant's submission order.
+//!
 //! The session also owns a [`ResponsePool`]: consumed responses (their
 //! `outputs` storage and, under [`Detail::Full`], the evaluation buffers)
 //! are recycled from the consumer back to the scheduler workers via the
@@ -22,12 +37,12 @@
 //! pinned by the counting-allocator test in
 //! `crates/runtime/tests/alloc_steady_state.rs`.
 
-use crate::backend::{Detail, Response};
+use crate::backend::{plane_op_charge, Detail, Response};
 use crate::runtime::Runtime;
 use crate::scheduler::{Engine, PushOrTake, Take};
-use crate::{Result, RuntimeError};
+use crate::{Result, RuntimeError, TenantId};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 use tc_circuit::{CompiledCircuit, PlaneArena};
 
@@ -41,19 +56,26 @@ pub struct SessionOptions {
     /// [`PooledResponse::request_id`] (`false`). Strict submission order is
     /// a *single-consumer* contract: concurrent consumers receive disjoint
     /// responses whose interleaving is scheduling-dependent (each still
-    /// carries its request id).
+    /// carries its request id). With multiple tenants, ordering is **per
+    /// tenant**: each tenant's responses arrive in that tenant's submission
+    /// order, round-robin-interleaved across tenants.
     pub ordered: bool,
-    /// Size of the delivery window in lane groups (completed groups held
-    /// for the consumer). `0` picks twice the worker count; explicit
-    /// values are clamped to at least 2. Workers that finish a group the
-    /// window cannot admit yet block until the consumer catches up — this
-    /// is what bounds response-side memory.
+    /// Size of the delivery window in lane groups per tenant (completed
+    /// groups held for the consumer). `0` picks twice the worker count;
+    /// explicit values are clamped to at least 2. Workers that finish a
+    /// group the window cannot admit yet block until the consumer catches
+    /// up — this is what bounds response-side memory.
     pub reorder_window: usize,
     /// Expected total request count, if known (`0` for a genuinely
     /// unbounded stream). Used to pick the backend's tuning bucket and to
     /// bound the worker count for small batches; falls back to
     /// [`crate::RuntimeOptions::stream_batch_hint`].
     pub batch_hint: usize,
+    /// The tenant un-tagged [`StreamSession::submit`] calls belong to.
+    pub tenant: TenantId,
+    /// The default tenant's scheduling weight (≥ 1): its share of served
+    /// cost relative to other tenants while both are backlogged.
+    pub weight: u32,
 }
 
 impl Default for SessionOptions {
@@ -63,6 +85,8 @@ impl Default for SessionOptions {
             ordered: true,
             reorder_window: 0,
             batch_hint: 0,
+            tenant: TenantId::DEFAULT,
+            weight: 1,
         }
     }
 }
@@ -91,6 +115,18 @@ impl SessionOptions {
         self.batch_hint = requests;
         self
     }
+
+    /// Tags un-tagged submissions with `tenant` (default [`TenantId(0)`]).
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// Sets the default tenant's scheduling weight (clamped to ≥ 1).
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
 }
 
 /// The backend decision a session makes on its first submitted row (so an
@@ -105,30 +141,37 @@ struct Plan {
     /// no worker threads, fully deterministic (and what `serve_batch` uses
     /// for single-worker runtimes).
     target_workers: usize,
+    /// DRR cost of evaluating one lane group of this session's circuit, in
+    /// plane-op units from the backend cost model's gate-class estimate.
+    charge: u64,
 }
 
 /// A group of packed rows travelling from submitters to workers.
 struct RowGroup {
-    /// Request id of the first row.
-    start: u64,
+    tenant: TenantId,
     rows: Vec<Vec<bool>>,
+    /// Global request id of each row (rows of one tenant are consecutive
+    /// *per tenant*, not globally, so ids travel with the group).
+    ids: Vec<u64>,
 }
 
 /// An evaluated group travelling from workers to the consumer.
 struct DoneGroup {
-    start: u64,
+    tenant: TenantId,
+    ids: Vec<u64>,
     responses: Vec<Response>,
 }
 
 /// Recycled buffers flowing backwards through the session: spent row
-/// buffers and row-set containers to the submit side, consumed [`Response`]
-/// shells and group containers to the workers. After warm-up every buffer
-/// in the [`Detail::Outputs`] loop comes from here instead of the
-/// allocator.
+/// buffers, row-set and id-set containers to the submit side, consumed
+/// [`Response`] shells and group containers to the workers. After warm-up
+/// every buffer in the [`Detail::Outputs`] loop comes from here instead of
+/// the allocator.
 #[derive(Debug, Default)]
 struct ResponsePool {
     rows: Vec<Vec<bool>>,
     row_sets: Vec<Vec<Vec<bool>>>,
+    id_sets: Vec<Vec<u64>>,
     shells: Vec<Response>,
     containers: Vec<Vec<Response>>,
     /// Shells served from the pool / freshly allocated (telemetry).
@@ -136,11 +179,28 @@ struct ResponsePool {
     misses: u64,
 }
 
+/// One tenant's packing lane: the group currently being filled plus the
+/// per-tenant serving tallies.
+struct TenantLane {
+    id: TenantId,
+    /// This tenant's queue slot inside the scheduler engine.
+    slot: usize,
+    current_rows: Vec<Vec<bool>>,
+    current_ids: Vec<u64>,
+    requests: u64,
+    groups: u64,
+    /// A submitter extracted a group of this lane and is pushing it with
+    /// the packing lock released. Serialises same-tenant dispatches (so a
+    /// tenant's groups always enqueue in sequence order) without coupling
+    /// tenants to each other: competing submitters of THIS lane wait on
+    /// [`SessionShared::pack_cv`]; other lanes proceed.
+    dispatching: bool,
+}
+
 /// Packing state on the submit side, under one lock so concurrent
-/// submitters pack rows into the current group atomically.
+/// submitters pack rows into their tenant's current group atomically.
 struct PackState {
-    current: Vec<Vec<bool>>,
-    current_start: u64,
+    lanes: Vec<TenantLane>,
     next_request: u64,
     spawned: usize,
     finished: bool,
@@ -154,7 +214,8 @@ struct ConsumeState {
 }
 
 struct DrainCursor {
-    start: u64,
+    tenant: TenantId,
+    ids: Vec<u64>,
     responses: Vec<Response>,
     pos: usize,
 }
@@ -190,6 +251,23 @@ struct InlineScratch {
     refs: RefsBuf,
 }
 
+/// Recovers a mutex guard even when another thread panicked while holding
+/// the lock. Sound for the session's buffer pools and scratch: their state
+/// is plain owned data (no partially-applied invariants), so the worst a
+/// poisoning panic leaves behind is a half-filled buffer that the next
+/// user clears or overwrites.
+fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Locks a session mutex, surfacing a poisoning panic as a typed
+/// [`RuntimeError`] instead of propagating an opaque panic into the caller
+/// (one crashed thread must not take down the consumer).
+fn lock_checked<'m, T>(m: &'m Mutex<T>, context: &'static str) -> Result<MutexGuard<'m, T>> {
+    m.lock()
+        .map_err(|_| RuntimeError::SessionPanicked { context })
+}
+
 /// Everything a session's submitters, workers, and consumers share.
 pub(crate) struct SessionShared<'a> {
     runtime: &'a Runtime,
@@ -198,6 +276,9 @@ pub(crate) struct SessionShared<'a> {
     engine: Engine<RowGroup, DoneGroup>,
     plan: OnceLock<Plan>,
     pack: Mutex<PackState>,
+    /// Wakes submitters waiting out a same-lane dispatch
+    /// ([`TenantLane::dispatching`]).
+    pack_cv: Condvar,
     consume: Mutex<ConsumeState>,
     pool: Mutex<ResponsePool>,
     inline_scratch: Mutex<InlineScratch>,
@@ -221,12 +302,12 @@ impl<'a> SessionShared<'a> {
             engine: Engine::new(ordered),
             plan: OnceLock::new(),
             pack: Mutex::new(PackState {
-                current: Vec::new(),
-                current_start: 0,
+                lanes: Vec::new(),
                 next_request: 0,
                 spawned: 0,
                 finished: false,
             }),
+            pack_cv: Condvar::new(),
             consume: Mutex::new(ConsumeState {
                 current: None,
                 pending: std::collections::VecDeque::new(),
@@ -247,7 +328,7 @@ impl<'a> SessionShared<'a> {
     /// Flushes the session's gauges into the runtime's telemetry.
     pub(crate) fn flush_telemetry(&self) {
         let (hits, misses) = {
-            let pool = self.pool.lock().unwrap();
+            let pool = lock_tolerant(&self.pool);
             (pool.hits, pool.misses)
         };
         self.runtime.telemetry_ref().record_session(
@@ -256,11 +337,29 @@ impl<'a> SessionShared<'a> {
             hits,
             misses,
         );
+        let engine_stats = self.engine.tenant_stats();
+        let pack = lock_tolerant(&self.pack);
+        for lane in &pack.lanes {
+            let (weight, stats) = engine_stats
+                .get(lane.slot)
+                .map(|(_, w, s)| (*w, *s))
+                .unwrap_or((1, Default::default()));
+            self.runtime.telemetry_ref().record_tenant(
+                lane.id,
+                weight,
+                lane.requests,
+                lane.groups,
+                stats.popped_groups,
+                stats.served_charge,
+                stats.wait_ns_total,
+                stats.wait_ns_max,
+            );
+        }
     }
 
     /// Resolves the backend, worker plan, and engine bounds on the first
     /// submitted row — an empty session never runs a calibration probe.
-    fn ensure_plan(&self, pack: &mut PackState) -> Result<Plan> {
+    fn ensure_plan(&self) -> Result<Plan> {
         if let Some(plan) = self.plan.get() {
             return Ok(*plan);
         }
@@ -309,30 +408,64 @@ impl<'a> SessionShared<'a> {
             lane_group,
             bit_sliced: caps.bit_sliced,
             target_workers,
+            charge: plane_op_charge(self.circuit),
         };
-        pack.current = self.pool_row_set(lane_group);
         Ok(*self.plan.get_or_init(|| plan))
+    }
+
+    /// The lane (and engine slot) serving `tenant`, registering it on first
+    /// sight. The first registration fixes the weight. Must run after
+    /// [`SessionShared::ensure_plan`] (lanes borrow pooled group buffers
+    /// sized by the plan's lane group).
+    fn lane_index(
+        &self,
+        pack: &mut PackState,
+        tenant: TenantId,
+        weight: u32,
+        plan: &Plan,
+    ) -> usize {
+        if let Some(i) = pack.lanes.iter().position(|l| l.id == tenant) {
+            return i;
+        }
+        let slot = self.engine.register_tenant(tenant, weight);
+        pack.lanes.push(TenantLane {
+            id: tenant,
+            slot,
+            current_rows: self.pool_row_set(plan.lane_group),
+            current_ids: self.pool_id_set(plan.lane_group),
+            requests: 0,
+            groups: 0,
+            dispatching: false,
+        });
+        pack.lanes.len() - 1
     }
 
     // ---- pool plumbing ----------------------------------------------------
 
     fn pool_row(&self) -> Vec<bool> {
-        let mut pool = self.pool.lock().unwrap();
+        let mut pool = lock_tolerant(&self.pool);
         pool.rows
             .pop()
             .unwrap_or_else(|| Vec::with_capacity(self.circuit.num_inputs()))
     }
 
     fn pool_row_set(&self, lane_group: usize) -> Vec<Vec<bool>> {
-        let mut pool = self.pool.lock().unwrap();
+        let mut pool = lock_tolerant(&self.pool);
         pool.row_sets
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(lane_group))
+    }
+
+    fn pool_id_set(&self, lane_group: usize) -> Vec<u64> {
+        let mut pool = lock_tolerant(&self.pool);
+        pool.id_sets
             .pop()
             .unwrap_or_else(|| Vec::with_capacity(lane_group))
     }
 
     /// A response container pre-loaded with up to `n` recycled shells.
     fn pool_container(&self, n: usize) -> Vec<Response> {
-        let mut pool = self.pool.lock().unwrap();
+        let mut pool = lock_tolerant(&self.pool);
         let mut container = pool.containers.pop().unwrap_or_default();
         let recycled = pool.shells.len().min(n);
         let from = pool.shells.len() - recycled;
@@ -343,7 +476,7 @@ impl<'a> SessionShared<'a> {
     }
 
     fn recycle_rows(&self, mut rows: Vec<Vec<bool>>) {
-        let mut pool = self.pool.lock().unwrap();
+        let mut pool = lock_tolerant(&self.pool);
         for mut row in rows.drain(..) {
             row.clear();
             pool.rows.push(row);
@@ -351,18 +484,23 @@ impl<'a> SessionShared<'a> {
         pool.row_sets.push(rows);
     }
 
+    fn recycle_ids(&self, mut ids: Vec<u64>) {
+        ids.clear();
+        lock_tolerant(&self.pool).id_sets.push(ids);
+    }
+
     fn recycle_container(&self, mut container: Vec<Response>) {
         // Consumed slots hold capacity-less default shells; dropping them
         // touches no heap.
         container.clear();
-        self.pool.lock().unwrap().containers.push(container);
+        lock_tolerant(&self.pool).containers.push(container);
     }
 
     fn recycle_shell(&self, mut resp: Response) {
         resp.outputs.clear();
         // Keep the evaluation shell: `Detail::Full` backends refill it in
         // place, reusing the gate-value buffer's capacity.
-        self.pool.lock().unwrap().shells.push(resp);
+        lock_tolerant(&self.pool).shells.push(resp);
     }
 
     // ---- evaluation -------------------------------------------------------
@@ -413,23 +551,41 @@ impl<'a> SessionShared<'a> {
     /// The worker-thread loop: drain groups until the engine reports
     /// exhaustion or an abort. The first failing worker aborts the engine,
     /// which *drops* all queued groups — nothing behind the failure is
-    /// evaluated.
+    /// evaluated, in any tenant. A *panicking* evaluation (a buggy custom
+    /// backend, a poisoned invariant) is caught and surfaced the same way,
+    /// as [`RuntimeError::SessionPanicked`], so one crashed worker cannot
+    /// wedge the session or take the consumer down with it.
     fn worker_loop(&self) {
         let mut arena = PlaneArena::new();
         let mut refs = RefsBuf::default();
-        while let Some((idx, group)) = self.engine.pop() {
-            match self.eval_group_now(&group, &mut arena, &mut refs) {
-                Ok(responses) => {
-                    let start = group.start;
-                    self.recycle_rows(group.rows);
-                    let done = DoneGroup { start, responses };
-                    if !self.engine.deliver(idx, done, true) {
+        while let Some((slot, seq, group)) = self.engine.pop() {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.eval_group_now(&group, &mut arena, &mut refs)
+            }));
+            match outcome {
+                Ok(Ok(responses)) => {
+                    let RowGroup { tenant, rows, ids } = group;
+                    self.recycle_rows(rows);
+                    let done = DoneGroup {
+                        tenant,
+                        ids,
+                        responses,
+                    };
+                    if !self.engine.deliver(slot, seq, done, true) {
                         return;
                     }
                 }
-                Err(e) => {
+                Ok(Err(e)) => {
                     self.recycle_rows(group.rows);
+                    self.recycle_ids(group.ids);
                     self.engine.abort(e);
+                    return;
+                }
+                Err(_panic) => {
+                    // The group's buffers may be in any state; let them drop
+                    // rather than recycling half-written storage.
+                    self.engine
+                        .abort(RuntimeError::SessionPanicked { context: "worker" });
                     return;
                 }
             }
@@ -437,21 +593,30 @@ impl<'a> SessionShared<'a> {
     }
 
     /// Inline-mode dispatch: evaluate on the submitting thread and deliver.
-    fn dispatch_inline(&self, group: RowGroup) -> Result<()> {
-        let idx = self.engine.alloc_index();
-        let mut scratch = self.inline_scratch.lock().unwrap();
+    fn dispatch_inline(&self, slot: usize, group: RowGroup) -> Result<()> {
+        let seq = self.engine.alloc_seq(slot);
+        let mut scratch = lock_tolerant(&self.inline_scratch);
         let InlineScratch { arena, refs } = &mut *scratch;
         match self.eval_group_now(&group, arena, refs) {
             Ok(responses) => {
-                let start = group.start;
-                self.recycle_rows(group.rows);
+                let RowGroup { tenant, rows, ids } = group;
+                self.recycle_rows(rows);
                 drop(scratch);
-                self.engine
-                    .deliver(idx, DoneGroup { start, responses }, false);
+                self.engine.deliver(
+                    slot,
+                    seq,
+                    DoneGroup {
+                        tenant,
+                        ids,
+                        responses,
+                    },
+                    false,
+                );
                 Ok(())
             }
             Err(e) => {
                 self.recycle_rows(group.rows);
+                self.recycle_ids(group.ids);
                 self.engine.abort(e.clone());
                 Err(e)
             }
@@ -461,14 +626,16 @@ impl<'a> SessionShared<'a> {
     // ---- consumption ------------------------------------------------------
 
     /// Queues a delivery for the consumer. Ordered sessions keep `pending`
-    /// sorted by start id so two consumers racing between the engine take
-    /// and this push cannot invert group order.
+    /// sorted by first request id so two consumers racing between the
+    /// engine take and this push cannot invert group order (per-tenant ids
+    /// are monotone, so the sort preserves every tenant's internal order).
     fn queue_pending(&self, consume: &mut ConsumeState, d: DoneGroup) {
         if self.opts.ordered {
+            let key = d.ids.first().copied().unwrap_or(u64::MAX);
             let pos = consume
                 .pending
                 .iter()
-                .position(|p| p.start > d.start)
+                .position(|p| p.ids.first().copied().unwrap_or(u64::MAX) > key)
                 .unwrap_or(consume.pending.len());
             consume.pending.insert(pos, d);
         } else {
@@ -482,24 +649,28 @@ impl<'a> SessionShared<'a> {
         if consume.current.is_none() {
             let d = consume.pending.pop_front()?;
             consume.current = Some(DrainCursor {
-                start: d.start,
+                tenant: d.tenant,
+                ids: d.ids,
                 responses: d.responses,
                 pos: 0,
             });
         }
         let cursor = consume.current.as_mut().expect("installed above");
         let resp = std::mem::take(&mut cursor.responses[cursor.pos]);
-        let id = cursor.start + cursor.pos as u64;
+        let id = cursor.ids[cursor.pos];
+        let tenant = cursor.tenant;
         cursor.pos += 1;
         if cursor.pos == cursor.responses.len() {
             let done = consume.current.take().expect("still installed");
             self.recycle_container(done.responses);
+            self.recycle_ids(done.ids);
         }
         self.delivered.fetch_add(1, Ordering::Relaxed);
         Some(PooledResponse {
             shared: self,
             resp: Some(resp),
             id,
+            tenant,
         })
     }
 
@@ -513,14 +684,20 @@ impl<'a> SessionShared<'a> {
                 // consumer parks in `engine.take` *without* it, so
                 // submitters probing for ready responses (and
                 // `install_and_pop`) never deadlock against a consumer
-                // waiting out an idle stream.
+                // waiting out an idle stream. A poisoned lock (a panicking
+                // sibling consumer) surfaces as a typed error instead of a
+                // second panic.
                 let mut consume = if block {
-                    self.consume.lock().unwrap()
+                    lock_checked(&self.consume, "consumer lock")?
                 } else {
                     match self.consume.try_lock() {
                         Ok(guard) => guard,
                         Err(std::sync::TryLockError::WouldBlock) => return Ok(None),
-                        Err(std::sync::TryLockError::Poisoned(e)) => panic!("{e}"),
+                        Err(std::sync::TryLockError::Poisoned(_)) => {
+                            return Err(RuntimeError::SessionPanicked {
+                                context: "consumer lock",
+                            })
+                        }
                     }
                 };
                 if let Some(resp) = self.pop_locked(&mut consume) {
@@ -529,7 +706,7 @@ impl<'a> SessionShared<'a> {
             }
             match self.engine.take(block)? {
                 Take::Item(d) => {
-                    let mut consume = self.consume.lock().unwrap();
+                    let mut consume = lock_checked(&self.consume, "consumer lock")?;
                     self.queue_pending(&mut consume, d);
                 }
                 Take::Done => {
@@ -538,7 +715,7 @@ impl<'a> SessionShared<'a> {
                     // another consumer) may have moved the final deliveries
                     // into `consume.pending` — re-check before declaring
                     // the stream fully consumed.
-                    let mut consume = self.consume.lock().unwrap();
+                    let mut consume = lock_checked(&self.consume, "consumer lock")?;
                     return Ok(self.pop_locked(&mut consume));
                 }
                 Take::WouldBlock => return Ok(None),
@@ -550,11 +727,12 @@ impl<'a> SessionShared<'a> {
     /// draining and pops the next response in line (the `push_or_take`
     /// fast path — ordering is preserved because the engine handed groups
     /// out in delivery order).
-    fn install_and_pop(&self, d: DoneGroup) -> PooledResponse<'_> {
-        let mut consume = self.consume.lock().unwrap();
+    fn install_and_pop(&self, d: DoneGroup) -> Result<PooledResponse<'_>> {
+        let mut consume = lock_checked(&self.consume, "consumer lock")?;
         self.queue_pending(&mut consume, d);
-        self.pop_locked(&mut consume)
-            .expect("a pending group was just queued")
+        Ok(self
+            .pop_locked(&mut consume)
+            .expect("a pending group was just queued"))
     }
 }
 
@@ -582,67 +760,231 @@ pub enum SubmitOrNext<'s> {
 }
 
 impl<'scope, 'env> StreamSession<'scope, 'env> {
-    /// Submits one request row, blocking under queue backpressure, and
-    /// returns its request id (0-based submission index). Rows are copied
-    /// into pooled buffers, so the caller's slice is free immediately.
+    /// Submits one request row for the session's default tenant, blocking
+    /// under queue backpressure, and returns its request id (0-based
+    /// submission index). Rows are copied into pooled buffers, so the
+    /// caller's slice is free immediately.
     ///
     /// Errors if a worker failed (the submit side is unblocked and every
-    /// queued group behind the failure is dropped) or if backend selection
-    /// failed. Panics if called after [`StreamSession::finish`].
+    /// queued group behind the failure is dropped), if backend selection
+    /// failed, or with [`RuntimeError::SessionFinished`] after
+    /// [`StreamSession::finish`].
     ///
     /// Do not drive an entire stream with blocking submits from the one
     /// thread that also consumes: when the queue and the delivery window
     /// are both full, `submit` waits for a consumer that would never run.
     /// Use [`StreamSession::submit_draining`] there instead.
     pub fn submit(&self, row: &[bool]) -> Result<u64> {
-        let mut pack = self.shared.pack.lock().unwrap();
-        assert!(!pack.finished, "submit after StreamSession::finish");
+        self.submit_for(self.shared.opts.tenant, row)
+    }
+
+    /// Like [`StreamSession::submit`], for an explicit tenant (registered
+    /// on first sight with weight 1 — call
+    /// [`StreamSession::register_tenant`] first for a different weight).
+    /// Each tenant owns a bounded queue drained by deficit-weighted
+    /// round-robin, so one tenant's burst backpressures only that tenant.
+    pub fn submit_for(&self, tenant: TenantId, row: &[bool]) -> Result<u64> {
+        let mut pack = lock_checked(&self.shared.pack, "submit lock")?;
+        if pack.finished {
+            return Err(RuntimeError::SessionFinished);
+        }
         if let Some(e) = self.shared.engine.error() {
             return Err(e);
         }
-        let plan = self.shared.ensure_plan(&mut pack)?;
-        if pack.current.len() == plan.lane_group {
-            self.dispatch_locked(&mut pack, plan)?;
+        let plan = self.shared.ensure_plan()?;
+        let weight = if tenant == self.shared.opts.tenant {
+            self.shared.opts.weight
+        } else {
+            1
+        };
+        let lane = self.shared.lane_index(&mut pack, tenant, weight, &plan);
+        pack = self.dispatch_lane_full(pack, lane, plan)?;
+        Ok(self.pack_row_locked(&mut pack, lane, row))
+    }
+
+    /// One serialised dispatch round for `lane` — THE locking protocol
+    /// every dispatch path (submit, flush, finish) shares. Waits out a
+    /// competing dispatch of the same lane ([`TenantLane::dispatching`] —
+    /// same-tenant groups must enqueue in sequence order, or inversions
+    /// deeper than the delivery window would wedge every worker in an
+    /// inadmissible `deliver`), extracts the lane's current group, and
+    /// pushes it with the packing lock **released**, so THIS tenant's
+    /// backpressure cannot convoy other tenants' submitters (head-of-line
+    /// starvation reborn one lock up). Every lane access — packing
+    /// included — waits the flag out first, so an unlocked dispatch window
+    /// never races lane state (in particular, `push_or_take`'s handed-back
+    /// group can be restored without clobbering concurrently packed rows).
+    ///
+    /// `full_only` marks the submit path: the extraction is skipped while
+    /// the lane is below the lane-group bound, and the session finishing
+    /// during any unlocked window fails with
+    /// [`RuntimeError::SessionFinished`] — the caller is about to pack a
+    /// new row that `finish`'s final dispatch can no longer see.
+    /// Waits until no dispatch of `lane` is in flight — the shared wake-up
+    /// loop of every lane access. `submit_path` callers are about to pack
+    /// or dispatch a *new* row, so the session finishing during the wait
+    /// fails with [`RuntimeError::SessionFinished`]; flush/finish callers
+    /// tolerate it (finish sets the flag itself before dispatching).
+    fn wait_lane_idle<'m>(
+        &'m self,
+        mut pack: MutexGuard<'m, PackState>,
+        lane: usize,
+        submit_path: bool,
+    ) -> Result<MutexGuard<'m, PackState>> {
+        while pack.lanes[lane].dispatching {
+            pack = self
+                .shared
+                .pack_cv
+                .wait(pack)
+                .map_err(|_| RuntimeError::SessionPanicked {
+                    context: "submit lock",
+                })?;
+            if submit_path && pack.finished {
+                return Err(RuntimeError::SessionFinished);
+            }
+            if let Some(e) = self.shared.engine.error() {
+                return Err(e);
+            }
         }
-        Ok(self.pack_row_locked(&mut pack, row))
+        Ok(pack)
+    }
+
+    fn dispatch_lane_once<'m>(
+        &'m self,
+        mut pack: MutexGuard<'m, PackState>,
+        lane: usize,
+        plan: Plan,
+        full_only: bool,
+    ) -> Result<MutexGuard<'m, PackState>> {
+        pack = self.wait_lane_idle(pack, lane, full_only)?;
+        if full_only && pack.lanes[lane].current_rows.len() < plan.lane_group {
+            return Ok(pack);
+        }
+        if let Some((slot, seq, group)) = self.extract_locked(&mut pack, lane, plan)? {
+            pack.lanes[lane].dispatching = true;
+            drop(pack);
+            let pushed = self.push_extracted(slot, seq, group, plan);
+            pack = lock_checked(&self.shared.pack, "submit lock")?;
+            pack.lanes[lane].dispatching = false;
+            self.shared.pack_cv.notify_all();
+            pushed?;
+            if full_only && pack.finished {
+                return Err(RuntimeError::SessionFinished);
+            }
+        }
+        Ok(pack)
+    }
+
+    /// Ensures `lane` is safe to pack into: waits out any in-flight
+    /// dispatch of the lane, then dispatch rounds until its current group
+    /// is below the lane-group bound. Returns with the lock re-acquired,
+    /// the lane idle, and the session still accepting submissions.
+    fn dispatch_lane_full<'m>(
+        &'m self,
+        mut pack: MutexGuard<'m, PackState>,
+        lane: usize,
+        plan: Plan,
+    ) -> Result<MutexGuard<'m, PackState>> {
+        loop {
+            // The once-helper waits the lane idle first (and early-returns
+            // below the bound), so this loop only re-checks after a
+            // dispatch round released and re-acquired the lock.
+            pack = self.dispatch_lane_once(pack, lane, plan, true)?;
+            if pack.lanes[lane].current_rows.len() < plan.lane_group {
+                return Ok(pack);
+            }
+        }
+    }
+
+    /// Registers `tenant` with a scheduling `weight` (clamped to ≥ 1)
+    /// before its first submission. The first registration fixes the
+    /// weight; re-registering is a no-op returning the existing tenant.
+    /// Weights are relative: while two tenants stay backlogged, the
+    /// scheduler serves their groups in proportion to their weights
+    /// (deficit round-robin over the backend cost model's group charge).
+    pub fn register_tenant(&self, tenant: TenantId, weight: u32) -> Result<()> {
+        let mut pack = lock_checked(&self.shared.pack, "submit lock")?;
+        if pack.finished {
+            return Err(RuntimeError::SessionFinished);
+        }
+        let plan = self.shared.ensure_plan()?;
+        self.shared
+            .lane_index(&mut pack, tenant, weight.max(1), &plan);
+        Ok(())
     }
 
     /// Like [`StreamSession::submit`], but backpressure hands back a ready
     /// response instead of blocking — the single-thread driver primitive.
     /// With in-order delivery (the default) responses surface in submission
-    /// order.
+    /// order. Serves the session's default tenant.
     pub fn submit_or_next(&self, row: &[bool]) -> Result<SubmitOrNext<'_>> {
         // Drain anything already deliverable first: it keeps the window
         // empty, so inline evaluation below can always deliver.
         if let Some(resp) = self.try_next_response()? {
             return Ok(SubmitOrNext::Next(resp));
         }
-        let mut pack = self.shared.pack.lock().unwrap();
-        assert!(!pack.finished, "submit after StreamSession::finish");
-        let plan = self.shared.ensure_plan(&mut pack)?;
-        if pack.current.len() == plan.lane_group {
+        let mut pack = lock_checked(&self.shared.pack, "submit lock")?;
+        if pack.finished {
+            return Err(RuntimeError::SessionFinished);
+        }
+        let plan = self.shared.ensure_plan()?;
+        let lane = self.shared.lane_index(
+            &mut pack,
+            self.shared.opts.tenant,
+            self.shared.opts.weight,
+            &plan,
+        );
+        // Wait out a concurrent thread mid-dispatch of this lane (exotic
+        // for a single-thread driver, but mixing submit threads with a
+        // submit_or_next driver must not reorder the tenant's groups).
+        pack = self.wait_lane_idle(pack, lane, true)?;
+        if pack.lanes[lane].current_rows.len() >= plan.lane_group {
             if plan.target_workers <= 1 {
-                self.dispatch_locked(&mut pack, plan)?;
+                // Inline plans evaluate during extraction; nothing to push.
+                self.extract_locked(&mut pack, lane, plan)?;
             } else {
                 self.spawn_workers_locked(&mut pack, plan);
+                let lane_state = &mut pack.lanes[lane];
+                let slot = lane_state.slot;
                 let group = RowGroup {
-                    start: pack.current_start,
-                    rows: std::mem::take(&mut pack.current),
+                    tenant: lane_state.id,
+                    rows: std::mem::take(&mut lane_state.current_rows),
+                    ids: std::mem::take(&mut lane_state.current_ids),
                 };
-                match self.shared.engine.push_or_take(group)? {
+                lane_state.groups += 1;
+                // Same claim-then-push protocol as dispatch_lane_once: a
+                // driver parked in push_or_take (own queue full, nothing
+                // deliverable) must hold the lane flag, not the packing
+                // lock — other tenants' submitters stay unconvoyed.
+                lane_state.dispatching = true;
+                drop(pack);
+                let outcome = self.shared.engine.push_or_take(slot, group, plan.charge);
+                pack = lock_checked(&self.shared.pack, "submit lock")?;
+                pack.lanes[lane].dispatching = false;
+                self.shared.pack_cv.notify_all();
+                match outcome? {
                     PushOrTake::Pushed => {
-                        pack.current = self.shared.pool_row_set(plan.lane_group);
+                        pack.lanes[lane].current_rows = self.shared.pool_row_set(plan.lane_group);
+                        pack.lanes[lane].current_ids = self.shared.pool_id_set(plan.lane_group);
+                        if pack.finished {
+                            // finish() raced the unlocked window; it can no
+                            // longer see the row we are about to pack.
+                            return Err(RuntimeError::SessionFinished);
+                        }
                     }
                     PushOrTake::Took(d, group) => {
-                        pack.current = group.rows;
+                        let lane_state = &mut pack.lanes[lane];
+                        lane_state.current_rows = group.rows;
+                        lane_state.current_ids = group.ids;
+                        lane_state.groups -= 1;
                         drop(pack);
-                        return Ok(SubmitOrNext::Next(self.shared.install_and_pop(d)));
+                        return Ok(SubmitOrNext::Next(self.shared.install_and_pop(d)?));
                     }
                 }
             }
         }
         Ok(SubmitOrNext::Submitted(
-            self.pack_row_locked(&mut pack, row),
+            self.pack_row_locked(&mut pack, lane, row),
         ))
     }
 
@@ -658,30 +1000,61 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
         }
     }
 
-    /// Dispatches the partially-filled current group immediately instead of
-    /// waiting for it to fill (a latency valve for bursty streams).
+    /// Dispatches every tenant's partially-filled current group immediately
+    /// instead of waiting for it to fill (a latency valve for bursty
+    /// streams). Each push happens with the packing lock released, so a
+    /// backpressured tenant cannot convoy the others. A flush may still
+    /// block under that tenant's own backpressure — single-thread drivers
+    /// at a full queue *and* full delivery window should drain responses
+    /// first ([`StreamSession::try_next_response`]).
     pub fn flush(&self) -> Result<()> {
-        let mut pack = self.shared.pack.lock().unwrap();
-        if let Some(plan) = self.shared.plan.get() {
-            self.dispatch_locked(&mut pack, *plan)?;
+        let mut pack = lock_checked(&self.shared.pack, "submit lock")?;
+        if let Some(plan) = self.shared.plan.get().copied() {
+            // Re-read the lane count every round: each dispatch releases
+            // the packing lock, and a tenant registered in that window
+            // must still be flushed (lanes only ever append).
+            let mut lane = 0;
+            while lane < pack.lanes.len() {
+                pack = self.dispatch_lane_once(pack, lane, plan, false)?;
+                lane += 1;
+            }
         }
         Ok(())
     }
 
-    /// Closes the submit side: the current partial group is dispatched,
-    /// workers drain what is queued, and once every response is consumed
-    /// [`StreamSession::next_response`] reports `None`. Idempotent.
+    /// Closes the submit side: every tenant's current partial group is
+    /// dispatched, workers drain what is queued, and once every response is
+    /// consumed [`StreamSession::next_response`] reports `None`. Idempotent.
     pub fn finish(&self) {
-        let mut pack = self.shared.pack.lock().unwrap();
-        if !pack.finished {
-            if let Some(plan) = self.shared.plan.get() {
-                // A failed flush is already recorded in the engine; the
-                // consumer will observe it.
-                let _ = self.dispatch_locked(&mut pack, *plan);
-            }
-            pack.finished = true;
-            self.shared.engine.finish();
+        let mut pack = lock_tolerant(&self.shared.pack);
+        if pack.finished {
+            return;
         }
+        // Refuse new submissions FIRST: every dispatch round below
+        // releases the packing lock, and a row accepted into an
+        // already-flushed lane during that window would never be
+        // dispatched or answered. With the flag set, racing submitters
+        // fail with `SessionFinished` at their next lock acquisition, so
+        // accepted-implies-delivered holds. (The lane count is fixed too:
+        // `register_tenant` refuses once finished.)
+        pack.finished = true;
+        if let Some(plan) = self.shared.plan.get().copied() {
+            for lane in 0..pack.lanes.len() {
+                match self.dispatch_lane_once(pack, lane, plan, false) {
+                    Ok(p) => pack = p,
+                    Err(_) => {
+                        // The engine aborted (or a lock was poisoned):
+                        // queued work is dropped anyway, and the consumer
+                        // observes the recorded error — stop dispatching
+                        // the remaining partial groups.
+                        pack = lock_tolerant(&self.shared.pack);
+                        break;
+                    }
+                }
+            }
+        }
+        drop(pack);
+        self.shared.engine.finish();
     }
 
     /// The next completed response, blocking until one is ready. `None`
@@ -710,20 +1083,20 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
         std::iter::from_fn(move || self.next_response().transpose())
     }
 
-    /// Requests submitted so far.
+    /// Requests submitted so far, across all tenants.
     pub fn submitted(&self) -> u64 {
-        self.shared.pack.lock().unwrap().next_request
+        lock_tolerant(&self.shared.pack).next_request
     }
 
-    fn pack_row_locked(&self, pack: &mut PackState, row: &[bool]) -> u64 {
+    fn pack_row_locked(&self, pack: &mut PackState, lane: usize, row: &[bool]) -> u64 {
         let mut buf = self.shared.pool_row();
         buf.extend_from_slice(row);
-        if pack.current.is_empty() {
-            pack.current_start = pack.next_request;
-        }
-        pack.current.push(buf);
         let id = pack.next_request;
         pack.next_request += 1;
+        let lane_state = &mut pack.lanes[lane];
+        lane_state.current_rows.push(buf);
+        lane_state.current_ids.push(id);
+        lane_state.requests += 1;
         let in_flight = (id + 1).saturating_sub(self.shared.delivered.load(Ordering::Relaxed));
         self.shared
             .peak_in_flight
@@ -731,28 +1104,58 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
         id
     }
 
-    /// Dispatches the current group: inline evaluation for single-worker
-    /// plans, a (blocking) queue push otherwise.
-    fn dispatch_locked(&self, pack: &mut PackState, plan: Plan) -> Result<()> {
-        if pack.current.is_empty() {
-            return Ok(());
+    /// Extracts lane's current group under the packing lock, claiming its
+    /// per-tenant sequence so per-tenant delivery order is fixed *here*
+    /// even though the caller pushes after releasing the lock. Inline
+    /// (single-worker) plans evaluate the group immediately instead and
+    /// return `None`, as does an empty lane.
+    fn extract_locked(
+        &self,
+        pack: &mut PackState,
+        lane: usize,
+        plan: Plan,
+    ) -> Result<Option<(usize, u64, RowGroup)>> {
+        if pack.lanes[lane].current_rows.is_empty() {
+            return Ok(None);
         }
+        let lane_state = &mut pack.lanes[lane];
+        let slot = lane_state.slot;
         let group = RowGroup {
-            start: pack.current_start,
-            rows: std::mem::replace(&mut pack.current, self.shared.pool_row_set(plan.lane_group)),
+            tenant: lane_state.id,
+            rows: std::mem::replace(
+                &mut lane_state.current_rows,
+                self.shared.pool_row_set(plan.lane_group),
+            ),
+            ids: std::mem::replace(
+                &mut lane_state.current_ids,
+                self.shared.pool_id_set(plan.lane_group),
+            ),
         };
+        lane_state.groups += 1;
         if plan.target_workers <= 1 {
-            self.shared.dispatch_inline(group)
+            self.shared.dispatch_inline(slot, group)?;
+            return Ok(None);
+        }
+        self.spawn_workers_locked(pack, plan);
+        let seq = self.shared.engine.begin_dispatch(slot);
+        Ok(Some((slot, seq, group)))
+    }
+
+    /// Pushes an extracted group onto its tenant's queue, blocking under
+    /// that tenant's backpressure. Every caller
+    /// ([`StreamSession::dispatch_lane_once`]) releases the packing lock
+    /// first and holds the lane's `dispatching` flag instead, so the block
+    /// is invisible to other tenants and same-tenant sequence order is
+    /// preserved.
+    fn push_extracted(&self, slot: usize, seq: u64, group: RowGroup, plan: Plan) -> Result<()> {
+        if self.shared.engine.push(slot, seq, group, plan.charge) {
+            Ok(())
         } else {
-            self.spawn_workers_locked(pack, plan);
-            match self.shared.engine.push(group) {
-                Some(_) => Ok(()),
-                None => Err(self
-                    .shared
-                    .engine
-                    .error()
-                    .expect("push refused only after an abort with an error")),
-            }
+            Err(self
+                .shared
+                .engine
+                .error()
+                .expect("push refused only after an abort with an error"))
         }
     }
 
@@ -776,14 +1179,20 @@ pub struct PooledResponse<'s> {
     shared: &'s SessionShared<'s>,
     resp: Option<Response>,
     id: u64,
+    tenant: TenantId,
 }
 
 impl PooledResponse<'_> {
     /// The 0-based submission index of the request this response answers
-    /// (how out-of-order consumers correlate; in-order sessions see
-    /// consecutive ids).
+    /// (how out-of-order consumers correlate; in-order single-tenant
+    /// sessions see consecutive ids).
     pub fn request_id(&self) -> u64 {
         self.id
+    }
+
+    /// The tenant whose submission this response answers.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
 
     /// Detaches the response from the pool, keeping its buffers.
@@ -803,6 +1212,7 @@ impl std::fmt::Debug for PooledResponse<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PooledResponse")
             .field("request_id", &self.id)
+            .field("tenant", &self.tenant)
             .field("response", &self.resp)
             .finish()
     }

@@ -1,5 +1,7 @@
-//! Serving telemetry: request, lane, gate-eval, and firing-energy counters.
+//! Serving telemetry: request, lane, gate-eval, firing-energy, and
+//! per-tenant fairness counters.
 
+use crate::TenantId;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,6 +32,8 @@ pub struct Telemetry {
     /// allocated (pool misses; warm-up is all misses).
     pool_hits: AtomicU64,
     pool_misses: AtomicU64,
+    /// Per-tenant serving and queue-wait tallies, keyed by tenant id.
+    per_tenant: Mutex<BTreeMap<TenantId, TenantTally>>,
 }
 
 /// Per-backend slice of the telemetry.
@@ -41,6 +45,45 @@ pub struct BackendTally {
     pub requests: u64,
     /// Wall-clock nanoseconds spent inside the backend.
     pub busy_ns: u64,
+}
+
+/// Per-tenant slice of the telemetry: what one traffic source submitted and
+/// how long its groups sat in the scheduler queue — the raw signal behind
+/// the [`TelemetrySummary::max_queue_wait_ratio`] fairness metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantTally {
+    /// The tenant's scheduling weight (last registration wins).
+    pub weight: u32,
+    /// Requests this tenant submitted.
+    pub requests: u64,
+    /// Lane groups those requests packed into (queued, inline-evaluated,
+    /// and — after an abort — dropped groups all count).
+    pub groups: u64,
+    /// Lane groups a worker actually popped from the tenant's queue — the
+    /// denominator of the queue-wait mean (inline-evaluated groups never
+    /// queue; groups dropped behind an abort were never popped).
+    pub queued_groups: u64,
+    /// Summed DRR charge of the popped groups, in the backend cost model's
+    /// plane-op units — what "served cost tracks the weights" is measured
+    /// in.
+    pub served_cost: u64,
+    /// Total nanoseconds the tenant's groups spent queued before a worker
+    /// popped them.
+    pub queue_wait_ns_total: u64,
+    /// Longest any single group of this tenant spent queued.
+    pub queue_wait_ns_max: u64,
+}
+
+impl TenantTally {
+    /// Mean queue wait per popped group, in nanoseconds (0 if none ever
+    /// queued).
+    pub fn mean_queue_wait_ns(&self) -> f64 {
+        if self.queued_groups == 0 {
+            0.0
+        } else {
+            self.queue_wait_ns_total as f64 / self.queued_groups as f64
+        }
+    }
 }
 
 impl Telemetry {
@@ -93,6 +136,31 @@ impl Telemetry {
         self.pool_misses.fetch_add(pool_misses, Ordering::Relaxed);
     }
 
+    /// Merges one closed session's per-tenant tallies (requests, groups,
+    /// and scheduler queue-wait aggregates) into the runtime-wide ledger.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_tenant(
+        &self,
+        tenant: TenantId,
+        weight: u32,
+        requests: u64,
+        groups: u64,
+        queued_groups: u64,
+        served_cost: u64,
+        queue_wait_ns_total: u64,
+        queue_wait_ns_max: u64,
+    ) {
+        let mut map = self.per_tenant.lock().unwrap();
+        let tally = map.entry(tenant).or_default();
+        tally.weight = weight;
+        tally.requests += requests;
+        tally.groups += groups;
+        tally.queued_groups += queued_groups;
+        tally.served_cost += served_cost;
+        tally.queue_wait_ns_total += queue_wait_ns_total;
+        tally.queue_wait_ns_max = tally.queue_wait_ns_max.max(queue_wait_ns_max);
+    }
+
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> TelemetrySummary {
         TelemetrySummary {
@@ -113,6 +181,7 @@ impl Telemetry {
             peak_reorder_window_groups: self.peak_reorder_window_groups.load(Ordering::Relaxed),
             pool_hits: self.pool_hits.load(Ordering::Relaxed),
             pool_misses: self.pool_misses.load(Ordering::Relaxed),
+            per_tenant: self.per_tenant.lock().unwrap().clone(),
         }
     }
 }
@@ -151,9 +220,32 @@ pub struct TelemetrySummary {
     /// Response payload buffers freshly allocated (warm-up and detached
     /// responses count here).
     pub pool_misses: u64,
+    /// Per-tenant tallies, keyed by tenant id — requests, groups, weight,
+    /// and scheduler queue-wait aggregates.
+    pub per_tenant: BTreeMap<TenantId, TenantTally>,
 }
 
 impl TelemetrySummary {
+    /// The fairness metric: the worst tenant's mean queue wait over the
+    /// best tenant's, across tenants that queued at least one group. `1.0`
+    /// is perfectly fair *for equal weights*; under a FIFO scheduler a
+    /// steady tenant stuck behind a burst drives this towards the backlog
+    /// ratio, while deficit round-robin keeps it near the weight ratio.
+    /// Returns `1.0` with fewer than two tenants reporting queue waits.
+    pub fn max_queue_wait_ratio(&self) -> f64 {
+        let means: Vec<f64> = self
+            .per_tenant
+            .values()
+            .filter(|t| t.queued_groups > 0 && t.queue_wait_ns_total > 0)
+            .map(|t| t.mean_queue_wait_ns())
+            .collect();
+        if means.len() < 2 {
+            return 1.0;
+        }
+        let max = means.iter().cloned().fold(f64::MIN, f64::max);
+        let min = means.iter().cloned().fold(f64::MAX, f64::min);
+        max / min
+    }
     /// Aggregate gate-evaluation throughput over backend busy time
     /// (gate-evals per second); zero when nothing was served.
     pub fn gate_evals_per_sec(&self) -> f64 {
@@ -212,6 +304,26 @@ impl fmt::Display for TelemetrySummary {
                 tally.requests,
                 tally.busy_ns as f64 / 1e9
             )?;
+        }
+        if !self.per_tenant.is_empty() {
+            writeln!(
+                f,
+                "tenants: {}  max queue-wait ratio: {:.2}",
+                self.per_tenant.len(),
+                self.max_queue_wait_ratio()
+            )?;
+            for (id, t) in &self.per_tenant {
+                writeln!(
+                    f,
+                    "  {id:>14}: weight {}, {} requests in {} groups, \
+                     queue wait mean {:.3}ms / max {:.3}ms",
+                    t.weight,
+                    t.requests,
+                    t.groups,
+                    t.mean_queue_wait_ns() / 1e6,
+                    t.queue_wait_ns_max as f64 / 1e6
+                )?;
+            }
         }
         Ok(())
     }

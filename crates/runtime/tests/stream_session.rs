@@ -417,3 +417,425 @@ fn flush_dispatches_a_partial_group_early() {
     assert_eq!(runtime.telemetry().groups, 1);
     assert_eq!(runtime.telemetry().padded_lanes, 54);
 }
+
+#[test]
+fn submit_after_finish_is_a_typed_error_not_a_panic() {
+    // Satellite regression: `submit` / `submit_or_next` used to
+    // `assert!(!pack.finished, ..)`, aborting the submitting thread on a
+    // late row. A submit-after-finish is an ordinary caller mistake and now
+    // surfaces as `RuntimeError::SessionFinished` through the Result.
+    let cc = adder();
+    let runtime = Runtime::builder().fixed_backend("sliced64").build();
+    runtime.open_session(&cc, SessionOptions::default(), |session| {
+        session.submit(&[true, false, true]).unwrap();
+        session.finish();
+        assert!(matches!(
+            session.submit(&[true, false, true]),
+            Err(RuntimeError::SessionFinished)
+        ));
+        // The stream itself is intact: the pre-finish row still arrives.
+        let resp = session.next_response().unwrap().expect("one response");
+        assert_eq!(resp.request_id(), 0);
+        drop(resp);
+        // With nothing left to drain, the non-blocking submit paths report
+        // the typed error too (submit_or_next hands back any *ready*
+        // response first — its documented contract — so it errors only
+        // once the stream is fully drained).
+        assert!(matches!(
+            session.submit_or_next(&[true, false, true]),
+            Err(RuntimeError::SessionFinished)
+        ));
+        let mut sink = Vec::new();
+        assert!(matches!(
+            session.submit_draining(&[true, false, true], &mut sink),
+            Err(RuntimeError::SessionFinished)
+        ));
+        assert!(sink.is_empty());
+        // Registering a new tenant on a finished session is refused too.
+        assert!(matches!(
+            session.register_tenant(tc_runtime::TenantId(9), 2),
+            Err(RuntimeError::SessionFinished)
+        ));
+        assert!(session.next_response().unwrap().is_none());
+    });
+    assert_eq!(runtime.telemetry().requests, 1);
+}
+
+#[test]
+fn zero_width_rows_serve_through_a_session() {
+    // Satellite regression: a circuit with no inputs (gates fed only by the
+    // constant-one wire) submitted through a session — the arena packing
+    // path early-accepts the zero-width rows explicitly.
+    let mut b = CircuitBuilder::new(0);
+    let g = b.add_gate([(Wire::one(), 1)], 1).unwrap();
+    b.mark_output(g);
+    let cc = b.build().compile().unwrap();
+    let runtime = Runtime::builder()
+        .fixed_backend("sliced64")
+        .workers(2)
+        .build();
+    let served = runtime.open_session(&cc, SessionOptions::default(), |session| {
+        for _ in 0..150 {
+            session.submit(&[]).unwrap();
+        }
+        session.finish();
+        let mut served = 0usize;
+        while let Some(resp) = session.next_response().unwrap() {
+            assert_eq!(resp.outputs, vec![true]);
+            served += 1;
+        }
+        served
+    });
+    assert_eq!(served, 150);
+    assert_eq!(runtime.telemetry().requests, 150);
+}
+
+#[test]
+fn tenants_get_tagged_per_tenant_ordered_responses() {
+    // Two tenants share one session: each tenant's responses arrive in that
+    // tenant's submission order, tagged with its TenantId, with globally
+    // unique request ids.
+    use tc_runtime::TenantId;
+    let cc = adder();
+    let runtime = Runtime::builder()
+        .fixed_backend("sliced64")
+        .workers(3)
+        .build();
+    let reqs = rows(900);
+    let (a, b) = (TenantId(1), TenantId(2));
+    let seen = runtime.open_session(&cc, SessionOptions::default().tenant(a), |session| {
+        session.register_tenant(b, 3).unwrap();
+        for (i, row) in reqs.iter().enumerate() {
+            let tenant = if i % 3 == 0 { b } else { a };
+            session.submit_for(tenant, row).unwrap();
+        }
+        session.finish();
+        let mut seen: Vec<(u32, u64)> = Vec::new();
+        while let Some(resp) = session.next_response().unwrap() {
+            seen.push((resp.tenant().0, resp.request_id()));
+        }
+        seen
+    });
+    assert_eq!(seen.len(), reqs.len());
+    // Globally: every id exactly once. Per tenant: ids strictly increasing
+    // (per-tenant submission order survives the DRR interleave).
+    let mut ids: Vec<u64> = seen.iter().map(|&(_, id)| id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, (0..reqs.len() as u64).collect::<Vec<_>>());
+    for tenant in [a, b] {
+        let tenant_ids: Vec<u64> = seen
+            .iter()
+            .filter(|&&(t, _)| t == tenant.0)
+            .map(|&(_, id)| id)
+            .collect();
+        assert!(
+            tenant_ids.windows(2).all(|w| w[0] < w[1]),
+            "{tenant} delivered out of order"
+        );
+        // The tag matches the submission pattern (tenant b took i % 3 == 0).
+        for &id in &tenant_ids {
+            assert_eq!(id % 3 == 0, tenant == b, "request {id} mis-tagged");
+        }
+    }
+    // Telemetry carries both tenants' request counts and weights.
+    let summary = runtime.telemetry();
+    assert_eq!(summary.per_tenant[&a].requests, 600);
+    assert_eq!(summary.per_tenant[&b].requests, 300);
+    assert_eq!(summary.per_tenant[&b].weight, 3);
+    assert_eq!(
+        summary.per_tenant[&a].groups + summary.per_tenant[&b].groups,
+        summary.groups
+    );
+}
+
+#[test]
+fn serve_wrappers_account_their_tenant() {
+    // The materialising wrappers tag a whole call with one tenant through
+    // ServeOptions, and responses stay byte-identical to the untagged path.
+    use tc_runtime::{ServeOptions, TenantId};
+    let cc = adder();
+    let reqs = rows(200);
+    let runtime = Runtime::builder()
+        .fixed_backend("wide128")
+        .workers(2)
+        .build();
+    let plain = runtime.serve_batch(&cc, &reqs).unwrap();
+    let tagged = runtime
+        .serve_batch_with(
+            &cc,
+            &reqs,
+            ServeOptions::default().tenant(TenantId(7)).weight(4),
+        )
+        .unwrap();
+    assert_eq!(plain, tagged);
+    let streamed = runtime
+        .serve_stream_with(
+            &cc,
+            reqs.iter().cloned(),
+            ServeOptions::default().tenant(TenantId(8)),
+        )
+        .unwrap();
+    assert_eq!(plain, streamed);
+    let summary = runtime.telemetry();
+    assert_eq!(summary.per_tenant[&TenantId(0)].requests, 200);
+    assert_eq!(summary.per_tenant[&TenantId(7)].requests, 200);
+    assert_eq!(summary.per_tenant[&TenantId(7)].weight, 4);
+    assert_eq!(summary.per_tenant[&TenantId(8)].requests, 200);
+}
+
+#[test]
+fn per_tenant_queues_keep_a_steady_tenant_out_of_a_bursts_shadow() {
+    // The head-of-line fix end to end: a bursty tenant floods the session
+    // while a steady tenant trickles. Under the old FIFO queue the steady
+    // tenant's groups sat behind the whole burst; under per-tenant DRR the
+    // steady tenant's mean queue wait stays within a small multiple of the
+    // bursty tenant's PER-GROUP service slice, far below the burst's own
+    // backlog wait.
+    use tc_runtime::TenantId;
+    let cc = adder();
+    let runtime = Runtime::builder()
+        .fixed_backend("sliced64")
+        .workers(2)
+        .queue_capacity(8)
+        .build();
+    let (bursty, steady) = (TenantId(1), TenantId(2));
+    let submitted = AtomicU64::new(0);
+    runtime.open_session(&cc, SessionOptions::default().unordered(), |session| {
+        session.register_tenant(bursty, 1).unwrap();
+        session.register_tenant(steady, 1).unwrap();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..4000usize {
+                    session
+                        .submit_for(bursty, &[i % 2 == 0, false, true])
+                        .unwrap();
+                    submitted.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            s.spawn(|| {
+                for i in 0..400usize {
+                    session
+                        .submit_for(steady, &[i % 2 == 0, true, false])
+                        .unwrap();
+                    submitted.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            s.spawn(|| {
+                // Producers done -> dispatch partial groups and close.
+                while submitted.load(Ordering::Relaxed) < 4400 {
+                    std::thread::yield_now();
+                }
+                session.finish();
+            });
+            let mut got = 0usize;
+            for resp in session.responses() {
+                resp.unwrap();
+                got += 1;
+            }
+            assert_eq!(got, 4400);
+        });
+    });
+    let summary = runtime.telemetry();
+    let b = &summary.per_tenant[&bursty];
+    let s = &summary.per_tenant[&steady];
+    assert_eq!(b.requests, 4000);
+    assert_eq!(s.requests, 400);
+    // Both tenants queued groups; with equal weights and equal charges the
+    // steady tenant's mean wait must not exceed the bursty tenant's by more
+    // than the DRR alternation allows (generous 3x bound against scheduler
+    // noise — a FIFO drain would put the steady tenant 10x+ behind).
+    if b.queue_wait_ns_total > 0 && s.queue_wait_ns_total > 0 {
+        assert!(
+            s.mean_queue_wait_ns() <= 3.0 * b.mean_queue_wait_ns() + 5e6,
+            "steady mean wait {:.3}ms vs bursty {:.3}ms — starved",
+            s.mean_queue_wait_ns() / 1e6,
+            b.mean_queue_wait_ns() / 1e6,
+        );
+    }
+}
+
+#[test]
+fn a_panicking_worker_surfaces_a_typed_error_not_a_wedge() {
+    // Satellite regression: a worker that panics mid-evaluation (here: a
+    // buggy custom backend) used to die silently, leaving the consumer
+    // parked forever or — if the panic poisoned a shared lock — taking the
+    // consumer down with an opaque `panicked at ...: PoisonError` message.
+    // The worker loop now catches the panic and aborts the engine with
+    // `RuntimeError::SessionPanicked`, which both the consumer and blocked
+    // submitters observe through the normal error channel.
+    use tc_runtime::{BackendCaps, Detail as D, EvalBackend, PlaneArena, ScalarBackend};
+
+    struct PanickingBackend;
+    impl EvalBackend for PanickingBackend {
+        fn caps(&self) -> BackendCaps {
+            BackendCaps {
+                name: "panicker",
+                lane_group: 16,
+                internally_parallel: false,
+                bit_sliced: false,
+            }
+        }
+        fn cost_model(&self, _: &tc_circuit::CompiledCircuit, _: usize) -> f64 {
+            0.0
+        }
+        fn eval_group(
+            &self,
+            circuit: &tc_circuit::CompiledCircuit,
+            rows: &[&[bool]],
+            detail: D,
+            arena: &mut PlaneArena,
+            responses: &mut Vec<Response>,
+        ) -> tc_runtime::Result<()> {
+            if rows.iter().any(|r| r[0] && r[1] && r[2]) {
+                panic!("backend bug");
+            }
+            ScalarBackend.eval_group(circuit, rows, detail, arena, responses)
+        }
+    }
+
+    let cc = adder();
+    let runtime = Runtime::builder()
+        .register(Box::new(PanickingBackend))
+        .fixed_backend("panicker")
+        .workers(2)
+        .build();
+    let err = runtime.open_session(&cc, SessionOptions::default(), |session| {
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..10_000usize {
+                    // Row 100 trips the backend panic in its lane group.
+                    let row = if i == 100 {
+                        vec![true, true, true]
+                    } else {
+                        vec![i % 2 == 0, false, true]
+                    };
+                    if session.submit(&row).is_err() {
+                        break;
+                    }
+                }
+                session.finish();
+            });
+            loop {
+                match session.next_response() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => panic!("stream ended without surfacing the panic"),
+                    Err(e) => break e,
+                }
+            }
+        })
+    });
+    assert_eq!(
+        err,
+        RuntimeError::SessionPanicked { context: "worker" },
+        "the consumer must see the typed worker-panic error"
+    );
+}
+
+#[test]
+fn ordered_delivery_survives_many_submitters_of_one_tenant_under_backpressure() {
+    // Review regression: the dispatch path claims a group's sequence under
+    // the packing lock but pushes with the lock released. With several
+    // threads submitting to ONE tenant through a tiny queue and a tiny
+    // reorder window, racing pushes used to (a) let a refilled lane grow
+    // past the lane group (oversized group -> BatchTooWide at finish) and
+    // (b) land sequences out of order deeper than the window, wedging
+    // every worker in an inadmissible deliver. The per-lane dispatch
+    // serialisation must keep the session live and strictly in order.
+    let cc = adder();
+    let runtime = Runtime::builder()
+        .fixed_backend("sliced64")
+        .workers(3)
+        .queue_capacity(1)
+        .build();
+    let per_thread = 600u64;
+    let threads = 4u64;
+    let submitted = AtomicU64::new(0);
+    let opts = SessionOptions::default().reorder_window(2);
+    let ids = runtime.open_session(&cc, opts, |session| {
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let submitted = &submitted;
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let v = t * per_thread + i;
+                        let row = vec![
+                            v.is_multiple_of(2),
+                            v.is_multiple_of(3),
+                            v.is_multiple_of(7),
+                        ];
+                        session.submit(&row).unwrap();
+                        submitted.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            s.spawn(|| {
+                while submitted.load(Ordering::Relaxed) < threads * per_thread {
+                    std::thread::yield_now();
+                }
+                session.finish();
+            });
+            let mut ids = Vec::new();
+            for resp in session.responses() {
+                ids.push(resp.unwrap().request_id());
+            }
+            ids
+        })
+    });
+    // Ordered single-tenant delivery: ids 0..N in exactly that order, no
+    // loss, no duplication, no oversized-group abort.
+    assert_eq!(ids.len() as u64, threads * per_thread);
+    for (expect, got) in ids.iter().enumerate() {
+        assert_eq!(*got, expect as u64, "delivery order broken at {expect}");
+    }
+}
+
+#[test]
+fn every_row_accepted_before_a_racing_finish_is_answered() {
+    // Review regression: finish() used to dispatch the final partial
+    // groups while `finished` was still false, releasing the packing lock
+    // around each push — a submit landing in that window was accepted
+    // (Ok(id)) into an already-flushed lane and never answered. finish()
+    // now closes the submit side FIRST, so accepted-implies-delivered
+    // holds: the count of Ok submits must equal the count of responses.
+    for round in 0..20 {
+        let cc = adder();
+        let runtime = Runtime::builder()
+            .fixed_backend("sliced64")
+            .workers(2)
+            .queue_capacity(2)
+            .build();
+        let (accepted, served) = runtime.open_session(&cc, SessionOptions::default(), |session| {
+            std::thread::scope(|s| {
+                let submitter = s.spawn(|| {
+                    let mut accepted = 0u64;
+                    for i in 0..10_000usize {
+                        match session.submit(&[i % 2 == 0, false, true]) {
+                            Ok(_) => accepted += 1,
+                            Err(RuntimeError::SessionFinished) => break,
+                            Err(e) => panic!("unexpected submit error: {e}"),
+                        }
+                    }
+                    accepted
+                });
+                s.spawn(move || {
+                    // Let a few groups through, then slam the door
+                    // mid-stream (vary timing across rounds).
+                    for _ in 0..(round * 50) {
+                        std::thread::yield_now();
+                    }
+                    session.finish();
+                });
+                let mut served = 0u64;
+                for resp in session.responses() {
+                    resp.unwrap();
+                    served += 1;
+                }
+                (submitter.join().unwrap(), served)
+            })
+        });
+        assert_eq!(
+            accepted, served,
+            "round {round}: {accepted} rows accepted but {served} answered"
+        );
+    }
+}
