@@ -2,11 +2,14 @@
 //! per lane width, plus a regression gate against the recorded sliced64
 //! baseline.
 //!
-//! Three synthetic multi-layer circuits with identical topology but forced
+//! Four synthetic multi-layer circuits with identical topology but forced
 //! weight classes — `unit` (all ±1, majority-style), `pow2` (single-set-bit
-//! magnitudes), `general` (multi-bit magnitudes) — are served through every
-//! bit-sliced lane width (64/128/256/512). Results land in
-//! `BENCH_kernels.json`.
+//! magnitudes), `general` (multi-bit magnitudes, coprime so canonicalization
+//! leaves the class intact), and `canon` (weights `±5·2^k`, which compile-time
+//! canonicalization GCD-factors from General down to Pow2) — are served
+//! through every bit-sliced lane width (64/128/256/512). Results land in
+//! `BENCH_kernels.json`, each entry carrying the pre- and
+//! post-canonicalization class counts the circuit compiled to.
 //!
 //! The regression gate re-measures the unified `W = 1` kernel on the same
 //! Theorem 4.5 trace workload `bench_runtime` records, and compares against
@@ -30,6 +33,11 @@ enum WeightClass {
     Unit,
     Pow2,
     General,
+    /// Weights `±5·2^k`: every gate classifies as General from the raw
+    /// weights, but the shared factor 5 GCD-divides out at compile time,
+    /// leaving a pure Pow2 (or Unit) circuit on the serving path. The
+    /// measured throughput is the post-canonicalization figure.
+    Canon,
 }
 
 impl WeightClass {
@@ -38,6 +46,7 @@ impl WeightClass {
             WeightClass::Unit => "unit",
             WeightClass::Pow2 => "pow2",
             WeightClass::General => "general",
+            WeightClass::Canon => "canon",
         }
     }
 
@@ -48,6 +57,35 @@ impl WeightClass {
             WeightClass::Unit => sign,
             WeightClass::Pow2 => sign * (1i64 << ((draw >> 1) % 12).max(1)),
             WeightClass::General => sign * (3 + 2 * ((draw >> 1) % 40) as i64),
+            WeightClass::Canon => sign * 5 * (1i64 << ((draw >> 1) % 8)),
+        }
+    }
+
+    /// Checks the compiled class mix matches what this class forces.
+    fn check(self, compiled: &CompiledCircuit) {
+        let gates = compiled.num_gates();
+        let [unit, pow2, general] = compiled.class_counts();
+        let pure = match self {
+            WeightClass::Unit => unit == gates,
+            WeightClass::Pow2 => pow2 == gates,
+            WeightClass::General => general == gates,
+            // Factoring out the 5 leaves only power-of-two magnitudes.
+            WeightClass::Canon => unit + pow2 == gates,
+        };
+        assert!(
+            pure,
+            "forced {} circuit compiled to class mix {:?} (pre-canon {:?})",
+            self.name(),
+            compiled.class_counts(),
+            compiled.class_counts_pre()
+        );
+        if matches!(self, WeightClass::Canon) {
+            assert_eq!(
+                compiled.class_counts_pre()[2],
+                gates,
+                "canon circuit must start all-General before the rewrite"
+            );
+            assert_eq!(compiled.canonicalized_gates(), gates);
         }
     }
 }
@@ -93,20 +131,16 @@ fn class_circuit(
         b.mark_output(w);
     }
     let compiled = b.build().compile().unwrap();
-    let expected_class = compiled.num_gates()
-        == match class {
-            WeightClass::Unit => compiled.class_counts()[0],
-            WeightClass::Pow2 => compiled.class_counts()[1],
-            WeightClass::General => compiled.class_counts()[2],
-        };
-    assert!(
-        expected_class,
-        "forced {} circuit compiled to class mix {:?}",
-        class.name(),
-        compiled.class_counts()
-    );
+    class.check(&compiled);
     compiled
 }
+
+const CLASSES: [WeightClass; 4] = [
+    WeightClass::Unit,
+    WeightClass::Pow2,
+    WeightClass::General,
+    WeightClass::Canon,
+];
 
 fn random_rows(inputs: usize, n: usize) -> Vec<Vec<bool>> {
     let mut state = 0x9e3779b97f4a7c15u64;
@@ -129,7 +163,7 @@ const LANE_BACKENDS: [&str; 4] = ["sliced64", "wide128", "wide256", "wide512"];
 
 /// Criterion view of the class × width matrix (smoke-sized).
 fn bench_class_kernels(c: &mut Criterion) {
-    for class in [WeightClass::Unit, WeightClass::Pow2, WeightClass::General] {
+    for class in CLASSES {
         let compiled = class_circuit(class, 256, 4, 4096);
         let rows = random_rows(256, 512);
         let gates = compiled.num_gates() as u64;
@@ -168,15 +202,20 @@ fn recorded_sliced64_baseline() -> Option<f64> {
 /// and gates the unified kernel against the recorded sliced64 baseline.
 fn kernel_report(_c: &mut Criterion) {
     let mut json_entries = String::new();
-    for class in [WeightClass::Unit, WeightClass::Pow2, WeightClass::General] {
+    for class in CLASSES {
         let compiled = class_circuit(class, 256, 4, 4096);
         let rows = random_rows(256, 512);
         let gates = compiled.num_gates();
+        let [u0, p0, g0] = compiled.class_counts_pre();
+        let [u1, p1, g1] = compiled.class_counts();
         println!(
-            "kernel_report: {} circuit, {} gates, class mix {:?}",
+            "kernel_report: {} circuit, {} gates, class mix {:?} (pre-canon {:?}, {} rewritten, simd {})",
             class.name(),
             gates,
-            compiled.class_counts()
+            compiled.class_counts(),
+            compiled.class_counts_pre(),
+            compiled.canonicalized_gates(),
+            tc_circuit::simd::active_level().name()
         );
         for backend in LANE_BACKENDS {
             let runtime = Runtime::builder().fixed_backend(backend).workers(1).build();
@@ -191,9 +230,13 @@ fn kernel_report(_c: &mut Criterion) {
             json_entries.push_str(&format!(
                 "\n    {{\"class\": \"{}\", \"backend\": \"{backend}\", \
                  \"gates\": {gates}, \"batch\": {}, \
+                 \"classes_pre\": [{u0}, {p0}, {g0}], \
+                 \"classes_post\": [{u1}, {p1}, {g1}], \
+                 \"canonicalized_gates\": {}, \
                  \"gate_evals_per_sec\": {geps:.0}, \"seconds\": {secs:.6}}}",
                 class.name(),
-                rows.len()
+                rows.len(),
+                compiled.canonicalized_gates()
             ));
         }
     }
@@ -248,9 +291,11 @@ fn kernel_report(_c: &mut Criterion) {
     );
 
     let json = format!(
-        "{{\n  \"trace_batch\": {},\n  \"trace_sliced64_gate_evals_per_sec\": {measured:.0},\n  \
+        "{{\n  \"simd_level\": \"{}\",\n  \
+         \"trace_batch\": {},\n  \"trace_sliced64_gate_evals_per_sec\": {measured:.0},\n  \
          \"recorded_sliced64_baseline_batch256\": {baseline:.0},\n  \
          \"vs_recorded_baseline\": {ratio:.3},\n  \"kernels\": [{json_entries}\n  ]\n}}\n",
+        tc_circuit::simd::active_level().name(),
         trace_rows.len()
     );
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");

@@ -9,6 +9,15 @@
 //! the 64-lane kernel — carries never propagate between words — so lane `l`
 //! of any width is bit-identical to the scalar evaluator on assignment `l`.
 //!
+//! The kernel body ([`CompiledCircuit::run_planes_core`]) is generic over a
+//! [`WordVec`]: the `W` word-columns of one plane are the lanes of one
+//! vector value, so the same source compiles to portable `[u64; W]` loops
+//! *and* to explicit SSE2/AVX2/AVX-512/NEON code. [`CompiledCircuit::run_planes`]
+//! dispatches per width on runtime CPU-feature detection (see `simd.rs`);
+//! the portable instantiation is the fallback and the differential oracle.
+//! Vector ripple loops run while *any* word-column still carries — finished
+//! columns see no-op lane operations — so every arm is bit-identical.
+//!
 //! The kernel walks the compiled circuit's class *segments* (maximal runs of
 //! equal [`GateClass`] in the internal `(depth, class)`-sorted gate order)
 //! and dispatches once per segment instead of once per gate:
@@ -18,11 +27,12 @@
 //!   edge order), with no bit-edge indirection at all;
 //! * [`GateClass::Pow2`] — single-set-bit weights: exactly one shift-indexed
 //!   plane addition per edge;
-//! * [`GateClass::General`] — full bit-edge decomposition, with the cold
-//!   per-lane `i128` fallback for gates whose weight reach exceeds the
-//!   plane budget.
+//! * [`GateClass::General`] — bit-edge decomposition (canonical signed-digit
+//!   form where that is shorter; see `canon.rs`), with the cold per-lane
+//!   `i128` fallback for gates whose weight reach exceeds the plane budget.
 
 use crate::compiled::{CompiledCircuit, GateClass, FIRING_PLANES, WIDE_GATE};
+use crate::simd::{self, WordVec, Words};
 
 /// Valid-lane mask for word `word` of a batch carrying `lanes` assignments.
 #[inline]
@@ -37,50 +47,81 @@ pub(crate) fn word_mask(lanes: usize, word: usize) -> u64 {
     }
 }
 
-/// Ripple-adds `carry` into word-column `w` of a bit-sliced counter,
-/// starting at plane `i`; amortised O(1) planes touched per call.
+/// Ripple-adds `carry` into a bit-sliced counter starting at plane `i`:
+/// all `W` word-columns advance together, looping while *any* still
+/// carries (word-columns whose carry already died see no-op lane ops, so
+/// the result is bit-identical to per-word ripple); amortised O(1) planes
+/// touched per call.
 #[inline(always)]
-fn ripple_add<const W: usize>(planes: &mut [[u64; W]; 64], w: usize, mut i: usize, mut carry: u64) {
-    while carry != 0 {
-        let a = planes[i][w];
-        planes[i][w] = a ^ carry;
-        carry &= a;
+fn ripple_add<const W: usize, V: WordVec<W>>(
+    planes: &mut [[u64; W]; 64],
+    mut i: usize,
+    mut carry: V,
+) {
+    while carry.any() {
+        let a = V::load(&planes[i]);
+        a.xor(carry).store(&mut planes[i]);
+        carry = carry.and(a);
         i += 1;
     }
 }
 
-/// `S = POS - NEG - t` per lane over `p` planes of word-column `w`,
-/// bit-sliced; the returned mask has bit `l` set iff `S >= 0` for lane `l`.
+/// `S = POS - NEG - t` per lane over `p` planes, bit-sliced across all `W`
+/// word-columns at once; the returned value has bit `l` of word `w` set iff
+/// `S >= 0` for lane `64·w + l`.
 #[inline(always)]
-fn fired_word<const W: usize>(
+fn fired_planes<const W: usize, V: WordVec<W>>(
     pos: &[[u64; W]; 64],
     neg: &[[u64; W]; 64],
-    w: usize,
     p: usize,
     t: i64,
-) -> u64 {
-    let mut carry = !0u64; // first +1 of the two two's-complement negations
-    let mut carry2 = !0u64; // second +1
-    let mut sign = 0u64;
+) -> V {
+    let mut carry = V::ones(); // first +1 of the two two's-complement negations
+    let mut carry2 = V::ones(); // second +1
+    let mut sign = V::zero();
     for i in 0..p {
-        let a = pos[i][w];
-        let b = !neg[i][w];
-        let s1 = a ^ b ^ carry;
-        carry = (a & b) | (carry & (a | b));
+        let a = V::load(&pos[i]);
+        let b = V::load(&neg[i]).not();
+        let s1 = a.xor3(b, carry);
+        carry = a.maj(b, carry);
         // Subtract the matching plane of the constant threshold.
         let tb = if (t >> i.min(63)) & 1 == 1 {
-            0u64
+            V::zero()
         } else {
-            !0u64
+            V::ones()
         };
-        sign = s1 ^ tb ^ carry2;
-        carry2 = (s1 & tb) | (carry2 & (s1 | tb));
+        sign = s1.xor3(tb, carry2);
+        carry2 = s1.maj(tb, carry2);
     }
-    !sign
+    sign.not()
+}
+
+/// Ripple-adds `carry` (already masked to valid lanes) into the bit-sliced
+/// firing counter.
+#[inline(always)]
+fn count_firing<const W: usize, V: WordVec<W>>(firing: &mut [[u64; W]], mut carry: V) {
+    let mut i = 0;
+    while carry.any() {
+        let a = V::load(&firing[i]);
+        a.xor(carry).store(&mut firing[i]);
+        carry = carry.and(a);
+        i += 1;
+    }
+}
+
+/// Reinterprets `&mut [[u64; A]]` as `&mut [[u64; B]]` once a width match
+/// (`A == B`) has been established at runtime — the bridge between the
+/// const-generic `W` of the public kernel entry and the concrete widths the
+/// SIMD dispatch arms are written for.
+#[inline(always)]
+fn cast_width<const A: usize, const B: usize>(v: &mut [[u64; A]]) -> &mut [[u64; B]] {
+    assert_eq!(A, B);
+    // SAFETY: A == B (checked above), so the element layouts are identical.
+    unsafe { std::slice::from_raw_parts_mut(v.as_mut_ptr() as *mut [u64; B], v.len()) }
 }
 
 impl CompiledCircuit {
-    /// The width-generic kernel core: evaluates every gate over `vals`
+    /// The width-generic kernel entry: evaluates every gate over `vals`
     /// (slot-indexed `[u64; W]` lane words, constant-one and inputs already
     /// packed) and accumulates per-lane firing counts into `firing`
     /// (`FIRING_PLANES` planes, zeroed by the caller).
@@ -89,6 +130,12 @@ impl CompiledCircuit {
     /// translate to original gate ids through the compiled permutation.
     /// Lanes at and beyond `lanes` hold unspecified values; firing counts
     /// only accumulate valid lanes.
+    ///
+    /// Dispatches on [`simd::active_level`]: the widths a detected vector
+    /// ISA covers run the explicitly vectorized instantiations of
+    /// [`CompiledCircuit::run_planes_core`]; everything else (and the
+    /// force-portable arm) runs the portable `[u64; W]` instantiation.
+    /// All arms are bit-identical.
     pub(crate) fn run_planes<const W: usize>(
         &self,
         vals: &mut [[u64; W]],
@@ -98,11 +145,161 @@ impl CompiledCircuit {
         debug_assert!(vals.len() >= self.len_slots());
         debug_assert!(firing.len() >= FIRING_PLANES);
         debug_assert!(lanes <= 64 * W);
+
+        #[cfg(target_arch = "x86_64")]
+        {
+            let level = simd::active_level();
+            use simd::SimdLevel;
+            match (W, level) {
+                (2, SimdLevel::Sse2 | SimdLevel::Avx2 | SimdLevel::Avx512) => {
+                    // SSE2 is part of the x86_64 baseline: no runtime gate
+                    // beyond the force-portable switch.
+                    return self.run_planes_core::<2, simd::Sse2>(
+                        cast_width(vals),
+                        cast_width(firing),
+                        lanes,
+                    );
+                }
+                (4, SimdLevel::Avx2 | SimdLevel::Avx512) => {
+                    // SAFETY: AVX2 presence established by `active_level`.
+                    return unsafe {
+                        self.run_planes_avx2_w4(cast_width(vals), cast_width(firing), lanes)
+                    };
+                }
+                (4, SimdLevel::Sse2) => {
+                    return self.run_planes_core::<4, simd::Pair4<simd::Sse2>>(
+                        cast_width(vals),
+                        cast_width(firing),
+                        lanes,
+                    );
+                }
+                (8, SimdLevel::Avx512) => {
+                    // SAFETY: AVX-512F presence established by `active_level`.
+                    return unsafe {
+                        self.run_planes_avx512_w8(cast_width(vals), cast_width(firing), lanes)
+                    };
+                }
+                (8, SimdLevel::Avx2) => {
+                    // SAFETY: AVX2 presence established by `active_level`.
+                    return unsafe {
+                        self.run_planes_avx2_w8(cast_width(vals), cast_width(firing), lanes)
+                    };
+                }
+                (8, SimdLevel::Sse2) => {
+                    return self.run_planes_core::<8, simd::Pair8<simd::Pair4<simd::Sse2>>>(
+                        cast_width(vals),
+                        cast_width(firing),
+                        lanes,
+                    );
+                }
+                _ => {}
+            }
+        }
+
+        #[cfg(target_arch = "aarch64")]
+        {
+            if simd::active_level() == simd::SimdLevel::Neon {
+                // NEON is part of the aarch64 baseline.
+                match W {
+                    2 => {
+                        return self.run_planes_core::<2, simd::Neon>(
+                            cast_width(vals),
+                            cast_width(firing),
+                            lanes,
+                        );
+                    }
+                    4 => {
+                        return self.run_planes_core::<4, simd::Pair4<simd::Neon>>(
+                            cast_width(vals),
+                            cast_width(firing),
+                            lanes,
+                        );
+                    }
+                    8 => {
+                        return self.run_planes_core::<8, simd::Pair8<simd::Pair4<simd::Neon>>>(
+                            cast_width(vals),
+                            cast_width(firing),
+                            lanes,
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        let _ = simd::active_level(); // keep detection warm off-ISA too
+
+        self.run_planes_core::<W, Words<W>>(vals, firing, lanes)
+    }
+
+    /// AVX2 instantiation for `W = 4` (256-lane passes).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2 (callers dispatch behind
+    /// `is_x86_feature_detected!`).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn run_planes_avx2_w4(
+        &self,
+        vals: &mut [[u64; 4]],
+        firing: &mut [[u64; 4]],
+        lanes: usize,
+    ) {
+        self.run_planes_core::<4, simd::Avx2>(vals, firing, lanes)
+    }
+
+    /// AVX2-pair instantiation for `W = 8` (512-lane passes on AVX2-only
+    /// hardware).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX2.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn run_planes_avx2_w8(
+        &self,
+        vals: &mut [[u64; 8]],
+        firing: &mut [[u64; 8]],
+        lanes: usize,
+    ) {
+        self.run_planes_core::<8, simd::Pair8<simd::Avx2>>(vals, firing, lanes)
+    }
+
+    /// AVX-512F instantiation for `W = 8` (512-lane passes; `xor3`/`maj`
+    /// collapse to `vpternlogq`).
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support AVX-512F.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn run_planes_avx512_w8(
+        &self,
+        vals: &mut [[u64; 8]],
+        firing: &mut [[u64; 8]],
+        lanes: usize,
+    ) {
+        self.run_planes_core::<8, simd::Avx512>(vals, firing, lanes)
+    }
+
+    /// The kernel body, generic over the vector type carrying one plane's
+    /// `W` word-columns. `#[inline(always)]` so each `#[target_feature]`
+    /// wrapper compiles its own fully vectorized copy.
+    #[inline(always)]
+    fn run_planes_core<const W: usize, V: WordVec<W>>(
+        &self,
+        vals: &mut [[u64; W]],
+        firing: &mut [[u64; W]],
+        lanes: usize,
+    ) {
         let gate_base = 1 + self.num_inputs;
         let mut wmask = [0u64; W];
         for (w, m) in wmask.iter_mut().enumerate() {
             *m = word_mask(lanes, w);
         }
+        let wmask = V::load(&wmask);
         // Per-gate carry-save accumulators for positive and negative weight
         // magnitudes, shared across every class arm.
         let mut pos = [[0u64; W]; 64];
@@ -122,49 +319,39 @@ impl CompiledCircuit {
                         // the raw lane words from plane 0 — no bit-edges, no
                         // shift decode, no sign branch.
                         for e in lo..split {
-                            let mask = vals[self.wires[e] as usize];
-                            for (w, &word) in mask.iter().enumerate() {
-                                ripple_add(&mut pos, w, 0, word);
-                            }
+                            let mask = V::load(&vals[self.wires[e] as usize]);
+                            ripple_add(&mut pos, 0, mask);
                         }
                         for e in split..hi {
-                            let mask = vals[self.wires[e] as usize];
-                            for (w, &word) in mask.iter().enumerate() {
-                                ripple_add(&mut neg, w, 0, word);
-                            }
+                            let mask = V::load(&vals[self.wires[e] as usize]);
+                            ripple_add(&mut neg, 0, mask);
                         }
                         let t = self.thresholds[g];
-                        let mut fired = [0u64; W];
-                        for (w, f) in fired.iter_mut().enumerate() {
-                            *f = fired_word(&pos, &neg, w, p, t);
-                        }
-                        vals[gate_base + g] = fired;
-                        for w in 0..W {
-                            count_firing(firing, w, fired[w] & wmask[w]);
-                        }
+                        let fired = fired_planes::<W, V>(&pos, &neg, p, t);
+                        fired.store(&mut vals[gate_base + g]);
+                        count_firing(firing, fired.and(wmask));
                     }
                 }
                 GateClass::Pow2 => {
                     for g in seg_lo as usize..seg_hi as usize {
                         // Single-set-bit weights: exactly one shift-indexed
                         // plane addition per edge.
-                        let fired = self.fire_bit_edges(g, vals, &mut pos, &mut neg);
-                        vals[gate_base + g] = fired;
-                        for w in 0..W {
-                            count_firing(firing, w, fired[w] & wmask[w]);
-                        }
+                        let fired = self.fire_bit_edges::<W, V>(g, vals, &mut pos, &mut neg);
+                        fired.store(&mut vals[gate_base + g]);
+                        count_firing(firing, fired.and(wmask));
                     }
                 }
                 GateClass::General => {
                     for g in seg_lo as usize..seg_hi as usize {
-                        let fired = if self.batch_planes[g] == WIDE_GATE {
-                            self.fire_wide_lanes(g, vals, lanes)
+                        if self.batch_planes[g] == WIDE_GATE {
+                            let fired = self.fire_wide_lanes(g, vals, lanes);
+                            let fired = V::load(&fired);
+                            fired.store(&mut vals[gate_base + g]);
+                            count_firing(firing, fired.and(wmask));
                         } else {
-                            self.fire_bit_edges(g, vals, &mut pos, &mut neg)
-                        };
-                        vals[gate_base + g] = fired;
-                        for w in 0..W {
-                            count_firing(firing, w, fired[w] & wmask[w]);
+                            let fired = self.fire_bit_edges::<W, V>(g, vals, &mut pos, &mut neg);
+                            fired.store(&mut vals[gate_base + g]);
+                            count_firing(firing, fired.and(wmask));
                         }
                     }
                 }
@@ -176,20 +363,20 @@ impl CompiledCircuit {
     /// ripple-adds every bit-edge's lane words at its shift, then compares
     /// against the threshold.
     #[inline(always)]
-    fn fire_bit_edges<const W: usize>(
+    fn fire_bit_edges<const W: usize, V: WordVec<W>>(
         &self,
         g: usize,
         vals: &[[u64; W]],
         pos: &mut [[u64; W]; 64],
         neg: &mut [[u64; W]; 64],
-    ) -> [u64; W] {
+    ) -> V {
         let p = self.batch_planes[g] as usize;
         pos[..p].fill([0u64; W]);
         neg[..p].fill([0u64; W]);
         let lo = self.bit_offsets[g] as usize;
         let hi = self.bit_offsets[g + 1] as usize;
         for e in lo..hi {
-            let mask = vals[self.bit_slots[e] as usize];
+            let mask = V::load(&vals[self.bit_slots[e] as usize]);
             let desc = self.bit_shifts[e];
             let planes_arr = if desc & 0x80 != 0 {
                 &mut *neg
@@ -197,16 +384,10 @@ impl CompiledCircuit {
                 &mut *pos
             };
             let base = (desc & 0x3F) as usize;
-            for (w, &word) in mask.iter().enumerate() {
-                ripple_add(planes_arr, w, base, word);
-            }
+            ripple_add(planes_arr, base, mask);
         }
         let t = self.thresholds[g];
-        let mut fired = [0u64; W];
-        for (w, f) in fired.iter_mut().enumerate() {
-            *f = fired_word(pos, neg, w, p, t);
-        }
-        fired
+        fired_planes::<W, V>(pos, neg, p, t)
     }
 
     /// Wide-gate fallback: evaluates each lane with an `i128` accumulator.
@@ -234,19 +415,6 @@ impl CompiledCircuit {
             fired[word] |= ((acc >= t) as u64) << bit;
         }
         fired
-    }
-}
-
-/// Ripple-adds `carry` (already masked to valid lanes) into word-column `w`
-/// of the firing counter.
-#[inline(always)]
-fn count_firing<const W: usize>(firing: &mut [[u64; W]], w: usize, mut carry: u64) {
-    let mut i = 0;
-    while carry != 0 {
-        let a = firing[i][w];
-        firing[i][w] = a ^ carry;
-        carry &= a;
-        i += 1;
     }
 }
 

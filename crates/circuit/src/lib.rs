@@ -65,6 +65,7 @@
 
 mod arena;
 mod builder;
+pub mod canon;
 mod circuit;
 mod compiled;
 mod dot;
@@ -72,6 +73,7 @@ mod error;
 mod eval;
 mod gate;
 mod kernel;
+pub mod simd;
 mod stats;
 mod validate;
 mod wide;
@@ -79,6 +81,7 @@ mod wire;
 
 pub use arena::{ArenaEvaluation, PlaneArena};
 pub use builder::{CircuitBuilder, DedupPolicy};
+pub use canon::{canonical_gate, CANON_VERSION};
 pub use circuit::Circuit;
 pub use compiled::{
     Batch64, BatchEvaluation, CompiledCircuit, GateClass, ManyEvaluation, BATCH_LANES,

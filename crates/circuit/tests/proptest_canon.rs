@@ -1,0 +1,257 @@
+//! Differential property tests for the canonicalization pass: a compiled
+//! circuit — whose gates may have been GCD-factored and CSD-recoded — must
+//! match an *independent* gate-list oracle gate-for-gate on outputs AND
+//! observable firing counts, across every evaluator. The oracle walks the
+//! raw builder gates with `i128` arithmetic and never touches the compiled
+//! engine, so a canonicalization bug cannot cancel itself out.
+
+use proptest::prelude::*;
+use tc_circuit::{Batch512, Batch64, Circuit, CircuitBuilder, CompiledCircuit, PlaneArena, Wire};
+
+/// Independent reference evaluation of the RAW gate list: returns per-gate
+/// values (original ids), designated outputs, and the firing count.
+fn oracle(circuit: &Circuit, row: &[bool]) -> (Vec<bool>, Vec<bool>, usize) {
+    let mut vals: Vec<bool> = Vec::with_capacity(circuit.num_gates());
+    for gate in circuit.gates() {
+        let mut acc: i128 = 0;
+        for &(wire, w) in gate.inputs() {
+            let v = match wire {
+                Wire::One => true,
+                Wire::Input(i) => row[i as usize],
+                Wire::Gate(g) => vals[g as usize],
+            };
+            if v {
+                acc += w as i128;
+            }
+        }
+        vals.push(acc >= gate.threshold() as i128);
+    }
+    let outputs = circuit
+        .outputs()
+        .iter()
+        .map(|&wire| match wire {
+            Wire::One => true,
+            Wire::Input(i) => row[i as usize],
+            Wire::Gate(g) => vals[g as usize],
+        })
+        .collect();
+    let firing = vals.iter().filter(|&&v| v).count();
+    (vals, outputs, firing)
+}
+
+/// Asserts every evaluator agrees with the raw-gate-list oracle on `rows`.
+fn assert_matches_oracle(
+    circuit: &Circuit,
+    compiled: &CompiledCircuit,
+    rows: &[Vec<bool>],
+) -> Result<(), String> {
+    let batch = Batch64::pack(compiled.num_inputs(), &rows[..rows.len().min(64)]).unwrap();
+    let bev = compiled.evaluate_batch64(&batch).unwrap();
+    let wide = Batch512::pack(compiled.num_inputs(), rows).unwrap();
+    let wev = compiled.evaluate_batch_wide(&wide).unwrap();
+    let refs: Vec<&[bool]> = rows.iter().map(|r| r.as_slice()).collect();
+    let mut arena = PlaneArena::new();
+    let aev = compiled
+        .evaluate_rows_arena::<2>(&refs, &mut arena)
+        .unwrap();
+    let mev = compiled.evaluate_many(rows).unwrap();
+    for (lane, row) in rows.iter().enumerate() {
+        let (gates, outputs, firing) = oracle(circuit, row);
+        let scalar = compiled.evaluate(row).unwrap();
+        prop_assert_eq!(
+            scalar.gate_values(),
+            &gates[..],
+            "scalar gates, lane {}",
+            lane
+        );
+        prop_assert_eq!(
+            scalar.outputs(),
+            &outputs[..],
+            "scalar outputs, lane {}",
+            lane
+        );
+        prop_assert_eq!(
+            scalar.firing_count(),
+            firing,
+            "scalar firing, lane {}",
+            lane
+        );
+        if lane < 64 {
+            prop_assert_eq!(
+                &bev.evaluation(lane).unwrap(),
+                &scalar,
+                "batch64 lane {}",
+                lane
+            );
+            prop_assert_eq!(
+                bev.firing_count(lane).unwrap() as usize,
+                firing,
+                "batch64 firing, lane {}",
+                lane
+            );
+        }
+        prop_assert_eq!(
+            &wev.evaluation(lane).unwrap(),
+            &scalar,
+            "wide512 lane {}",
+            lane
+        );
+        prop_assert_eq!(
+            &aev.evaluation(lane).unwrap(),
+            &scalar,
+            "arena lane {}",
+            lane
+        );
+        prop_assert_eq!(
+            aev.firing_count(lane).unwrap() as usize,
+            firing,
+            "arena firing, lane {}",
+            lane
+        );
+        prop_assert_eq!(mev.outputs(lane).unwrap(), outputs, "many lane {}", lane);
+        prop_assert_eq!(
+            mev.firing_count(lane).unwrap() as usize,
+            firing,
+            "many firing, lane {}",
+            lane
+        );
+    }
+    Ok(())
+}
+
+/// One gate: fan-in as (wire ordinal, weight selector), plus a threshold.
+type GateSpec = (Vec<(usize, i64)>, i64);
+
+fn build_circuit(num_inputs: usize, spec: &[GateSpec], weight_of: impl Fn(i64) -> i64) -> Circuit {
+    let mut b = CircuitBuilder::new(num_inputs);
+    for (gate_idx, (fan_in, threshold)) in spec.iter().enumerate() {
+        let mut resolved = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        for &(ordinal, selector) in fan_in {
+            let pool = 1 + num_inputs + gate_idx;
+            let o = ordinal % pool;
+            let wire = if o == 0 {
+                Wire::One
+            } else if o <= num_inputs {
+                Wire::input(o - 1)
+            } else {
+                Wire::gate(o - 1 - num_inputs)
+            };
+            if used.insert(wire) {
+                resolved.push((wire, weight_of(selector)));
+            }
+        }
+        if resolved.is_empty() {
+            resolved.push((Wire::One, weight_of(1)));
+        }
+        let w = b.add_gate(resolved, *threshold).unwrap();
+        b.mark_output(w);
+    }
+    b.build()
+}
+
+fn gate_spec() -> impl Strategy<Value = (usize, Vec<GateSpec>)> {
+    (
+        1usize..7,
+        prop::collection::vec(
+            (
+                prop::collection::vec((0usize..96, -40i64..41), 1..7),
+                -30i64..31,
+            ),
+            1..40,
+        ),
+    )
+}
+
+fn random_rows(num_inputs: usize, rows: usize, mut state: u64) -> Vec<Vec<bool>> {
+    state |= 1;
+    (0..rows)
+        .map(|_| {
+            (0..num_inputs)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state & 1 == 1
+                })
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Weights drawn as `sign · multiplier · scale`, so gates routinely
+    /// share a magnitude factor and GCD factoring fires; thresholds span
+    /// both divisible and non-divisible values (exercising the ⌈t/g⌉
+    /// rounding). Every evaluator must match the raw-gate oracle.
+    #[test]
+    fn canonicalized_circuits_match_the_raw_oracle(
+        (num_inputs, spec) in gate_spec(),
+        scale in 1i64..13,
+        seed in any::<u64>(),
+        width in 1usize..129,
+    ) {
+        let circuit = build_circuit(num_inputs, &spec, |s| {
+            let mult = 1 + s.unsigned_abs() as i64 % 12;
+            let w = mult * scale;
+            if s < 0 { -w } else { w }
+        });
+        let compiled = circuit.compile().unwrap();
+        // With scale > 1 single-edge gates at least must factor; assert the
+        // pass is actually reachable rather than silently disabled.
+        if scale > 1 {
+            let pre = compiled.class_counts_pre();
+            let post = compiled.class_counts();
+            // Canonicalization can only move gates towards cheaper classes.
+            prop_assert!(post[0] >= pre[0], "Unit count must not shrink");
+            prop_assert!(post[2] <= pre[2], "General count must not grow");
+        }
+        let rows = random_rows(num_inputs, width, seed);
+        assert_matches_oracle(&circuit, &compiled, &rows)?;
+    }
+
+    /// Pure CSD stress: odd multi-bit weights (no shared factors) whose
+    /// signed-digit recoding must stay output- and energy-equivalent.
+    #[test]
+    fn csd_recoding_matches_the_raw_oracle(
+        (num_inputs, spec) in gate_spec(),
+        seed in any::<u64>(),
+        width in 1usize..129,
+    ) {
+        let circuit = build_circuit(num_inputs, &spec, |s| {
+            // 3, 7, 15, 31, 63, ... : NAF-favourable runs of ones.
+            let mag = (1i64 << (2 + s.unsigned_abs() % 9)) - 1;
+            if s < 0 { -mag } else { mag }
+        });
+        let compiled = circuit.compile().unwrap();
+        let rows = random_rows(num_inputs, width, seed);
+        assert_matches_oracle(&circuit, &compiled, &rows)?;
+    }
+}
+
+/// Deterministic extreme-weight cases: gates that must fall back to the
+/// wide per-lane path (binary emission) next to factorable and
+/// CSD-recodable gates in one circuit.
+#[test]
+fn extreme_and_mixed_gates_match_the_raw_oracle() {
+    let mut b = CircuitBuilder::new(3);
+    let x = Wire::input(0);
+    let y = Wire::input(1);
+    let z = Wire::input(2);
+    let wide = b
+        .add_gate([(x, i64::MAX), (y, i64::MAX - 2), (z, i64::MIN)], 3)
+        .unwrap();
+    let factored = b.add_gate([(x, 10), (y, -15), (wide, 20)], 7).unwrap();
+    let csd = b.add_gate([(x, 127), (factored, -255)], -100).unwrap();
+    let unitish = b.add_gate([(csd, 9), (wide, 9), (z, -9)], 9).unwrap();
+    b.mark_outputs([wide, factored, csd, unitish]);
+    let circuit = b.build();
+    let compiled = circuit.compile().unwrap();
+    assert_eq!(compiled.canonicalized_gates(), 3);
+    let rows: Vec<Vec<bool>> = (0..8u32)
+        .map(|bits| (0..3).map(|i| bits & (1 << i) != 0).collect())
+        .collect();
+    assert_matches_oracle(&circuit, &compiled, &rows).unwrap();
+}

@@ -253,8 +253,16 @@ impl<const W: usize> EvalBackend for WideBackend<W> {
         // Each pass does W words of plane work per edge but reads the CSR
         // metadata once — slightly cheaper per lane than W separate 64-lane
         // passes. At W = 1 the factor is exactly the classic sliced64 prior.
+        // When the host's SIMD level covers this width, the W word-columns
+        // ride one vector register instead of W scalar ops, so the per-word
+        // factor halves (the fixed CSR-decode share does not).
+        let per_word = if tc_circuit::simd::vectorized_width(W) {
+            1.6
+        } else {
+            3.2
+        };
         let passes = batch.max(1).div_ceil(64 * W) as f64;
-        passes * weighted_plane_ops(circuit) * (3.2 * W as f64 + 0.8)
+        passes * weighted_plane_ops(circuit) * (per_word * W as f64 + 0.8)
     }
 
     fn eval_group(

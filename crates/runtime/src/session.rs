@@ -282,6 +282,9 @@ pub(crate) struct SessionShared<'a> {
     consume: Mutex<ConsumeState>,
     pool: Mutex<ResponsePool>,
     inline_scratch: Mutex<InlineScratch>,
+    /// The served circuit's post-canonicalization class mix (`[Unit, Pow2,
+    /// General]`): telemetry must report the classes the kernel actually
+    /// dispatches, not the raw builder weights' classes.
     class_counts: [usize; 3],
     /// Responses handed to the consumer (for the in-flight depth gauge).
     delivered: AtomicU64,

@@ -199,7 +199,9 @@ pub struct TelemetrySummary {
     pub gate_evals: u64,
     /// Gate evaluations split by kernel dispatch class, as
     /// `[Unit, Pow2, General]` (see [`tc_circuit::GateClass`]) — the class
-    /// mix of everything served, weighted by request count.
+    /// mix of everything served, weighted by request count. Classes are the
+    /// *post-canonicalization* ones the kernel dispatches on (a gate whose
+    /// weights factored from `{±5}` down to `{±1}` counts as `Unit` here).
     pub class_gate_evals: [u64; 3],
     /// Total gate firings (the Uchizawa–Douglas–Maass energy, in spikes).
     pub firings: u64,

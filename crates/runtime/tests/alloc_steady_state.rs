@@ -82,6 +82,58 @@ fn rows(n: usize) -> Vec<Vec<bool>> {
         .collect()
 }
 
+/// Same topology as [`layered_circuit`] but with weights the compile-time
+/// canonicalization pass actively rewrites: every third gate GCD-factors
+/// down to Unit (all ±6), every third to Pow2 ({±8, ±16} → {±1, ±2}), and
+/// the rest stay General with a NAF-favourable ±7 (recoded as 8 − 1), so
+/// the serve loop below dispatches a post-canonicalization mix of all
+/// three classes.
+fn canonicalized_circuit() -> CompiledCircuit {
+    let mut b = CircuitBuilder::new(16);
+    let mut prev: Vec<Wire> = (0..16).map(Wire::input).collect();
+    for layer in 0..4 {
+        let mut next = Vec::new();
+        for g in 0..12 {
+            let fan: Vec<(Wire, i64)> = (0..5)
+                .map(|k| {
+                    let w = prev[(g * 5 + k + layer) % prev.len()];
+                    let mag = match g % 3 {
+                        0 => 6,
+                        1 => {
+                            if k < 3 {
+                                8
+                            } else {
+                                16
+                            }
+                        }
+                        // GCD(7, 9) = 1: stays General, the ±7 edges
+                        // CSD-recode while the ±9 edges stay binary.
+                        _ => {
+                            if k < 3 {
+                                7
+                            } else {
+                                9
+                            }
+                        }
+                    };
+                    (w, if k % 2 == 0 { mag } else { -mag })
+                })
+                .collect();
+            next.push(b.add_gate(fan, 5).unwrap());
+        }
+        prev = next;
+    }
+    for &w in &prev {
+        b.mark_output(w);
+    }
+    let cc = b.build().compile().unwrap();
+    assert!(
+        cc.canonicalized_gates() > 0,
+        "the fixture must actually exercise the canonicalization pass"
+    );
+    cc
+}
+
 #[test]
 fn arena_path_is_allocation_free_after_warmup() {
     let _guard = SERIAL.lock().unwrap();
@@ -227,4 +279,57 @@ fn streaming_session_serve_loop_is_allocation_free_after_warmup() {
         "misses {}",
         summary.pool_misses
     );
+}
+
+#[test]
+fn canonicalized_circuit_on_simd_path_is_allocation_free_after_warmup() {
+    let _guard = SERIAL.lock().unwrap();
+    let cc = canonicalized_circuit();
+    let requests = rows(256);
+
+    // wide256 is a vectorized width wherever SIMD is available; on hosts
+    // without vector support the same loop runs the portable arm, and the
+    // 0-alloc guarantee must hold identically on both.
+    let runtime = Runtime::builder()
+        .fixed_backend("wide256")
+        .workers(1)
+        .build();
+
+    let steady_allocs = runtime.open_session(&cc, SessionOptions::default(), |session| {
+        let drive = |requests_to_serve: usize| {
+            let mut served = 0usize;
+            for i in 0..requests_to_serve {
+                session.submit(&requests[i % requests.len()]).unwrap();
+                while let Some(resp) = session.try_next_response().unwrap() {
+                    std::hint::black_box(resp.outputs[0]);
+                    std::hint::black_box(resp.firing_count);
+                    served += 1;
+                }
+            }
+            served
+        };
+
+        drive(4 * 256);
+
+        let before = allocs();
+        let served = drive(10 * 256);
+        let after = allocs();
+        assert!(served >= 9 * 256, "the loop must actually deliver");
+        after - before
+    });
+
+    assert_eq!(
+        steady_allocs,
+        0,
+        "a canonicalized circuit served through the wide256 SIMD path must \
+         not touch the allocator once warmed (level: {})",
+        tc_circuit::simd::active_level().name()
+    );
+
+    // Canonicalization is a compile-time rewrite; the serving-side class
+    // mix the kernel dispatches on is the post-canonicalization one.
+    let summary = runtime.telemetry();
+    let [unit, pow2, general] = cc.class_counts();
+    assert!(unit > 0 && pow2 > 0 && general > 0, "fixture lost its mix");
+    assert!(summary.pool_hits > 0, "hits {}", summary.pool_hits);
 }
