@@ -270,13 +270,30 @@ fn measure_stream() -> (String, f64) {
         summary.peak_in_flight_requests,
         wrapper_rss as f64 / 1e6,
     );
+    // Per-stage latency percentiles from the runtime's OWN histograms (the
+    // same export e15 asserts against): the machine-readable record of
+    // where a request's time goes inside the serving loop.
+    let mut stages = String::new();
+    for (name, h) in summary.stages.latency_stages() {
+        if !stages.is_empty() {
+            stages.push(',');
+        }
+        stages.push_str(&format!(
+            "\n    {{\"stage\": \"{name}\", \"count\": {}, \"p50_ns\": {}, \
+             \"p95_ns\": {}, \"p99_ns\": {}}}",
+            h.count(),
+            h.quantile(0.50),
+            h.quantile(0.95),
+            h.quantile(0.99),
+        ));
+    }
     let json = format!(
         ",\n  \"stream\": {{\"requests\": {total}, \
          \"session_requests_per_sec\": {session_rps:.0}, \
          \"session_rss_delta_bytes\": {session_rss}, \
          \"serve_stream_requests_per_sec\": {wrapper_rps:.0}, \
          \"serve_stream_rss_delta_bytes\": {wrapper_rss}, \
-         \"peak_in_flight_requests\": {}}}",
+         \"peak_in_flight_requests\": {}}},\n  \"stages\": [{stages}\n  ]",
         summary.peak_in_flight_requests
     );
     (json, session_rps)

@@ -208,13 +208,47 @@ pub fn drive_contended_tenants(
     (steady_lat, bursty_lat)
 }
 
-/// The p99 of an ascending-sorted sample set (same unit as the samples;
-/// 0.0 for an empty set).
-pub fn p99(sorted: &[f64]) -> f64 {
+/// A quantile of an ascending-sorted sample set computed through the
+/// runtime's shared [`tc_runtime::Histogram`] (same unit as the samples,
+/// which are taken as seconds and bucketed at nanosecond resolution; 0.0
+/// for an empty set).
+///
+/// Using the histogram here — rather than indexing the sorted vector —
+/// keeps the bench harness and the runtime's in-process telemetry on ONE
+/// quantile implementation, so the e15 experiment can assert the two sides
+/// agree within [`tc_runtime::RELATIVE_ERROR`]. The exact sorted-vector
+/// computation survives as [`quantile_exact`], the test oracle.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    sorted[((sorted.len() as f64 * 0.99).ceil() as usize - 1).min(sorted.len() - 1)]
+    let h = tc_runtime::Histogram::new();
+    for &s in sorted {
+        h.record((s * 1e9) as u64);
+    }
+    h.snapshot().quantile(q) as f64 / 1e9
+}
+
+/// The p99 of an ascending-sorted sample set (histogram-backed; see
+/// [`quantile`]).
+pub fn p99(sorted: &[f64]) -> f64 {
+    quantile(sorted, 0.99)
+}
+
+/// The exact rank-selected quantile of an ascending-sorted sample set —
+/// the oracle the histogram-backed [`quantile`] is validated against (and
+/// the client-side reference e15 compares the runtime's histograms to).
+pub fn quantile_exact(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (sorted.len() as f64 * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// The exact sorted-vector p99 (see [`quantile_exact`]).
+pub fn p99_exact(sorted: &[f64]) -> f64 {
+    quantile_exact(sorted, 0.99)
 }
 
 #[cfg(test)]
@@ -246,6 +280,32 @@ mod tests {
     fn float_formatter_switches_to_scientific() {
         assert_eq!(f(1.5), "1.5000");
         assert!(f(2.0e7).contains('e'));
+    }
+
+    #[test]
+    fn histogram_quantiles_track_the_exact_oracle() {
+        // Mixed magnitudes, microseconds to seconds, like real latencies.
+        let mut samples: Vec<f64> = (0..500)
+            .map(|i| 1e-6 * (1.5f64.powi(i % 40)) + 1e-9 * i as f64)
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = quantile_exact(&samples, q);
+            let approx = quantile(&samples, q);
+            // Histogram reports a bucket upper edge: never below the true
+            // sample (modulo the f64→ns truncation), at most
+            // RELATIVE_ERROR above it.
+            assert!(
+                approx >= exact - 2e-9,
+                "q={q}: approx {approx} below exact {exact}"
+            );
+            assert!(
+                approx <= exact * (1.0 + tc_runtime::RELATIVE_ERROR) + 2e-9,
+                "q={q}: approx {approx} exceeds error bound over {exact}"
+            );
+        }
+        assert_eq!(p99(&[]), 0.0);
+        assert_eq!(p99_exact(&[]), 0.0);
     }
 
     #[test]

@@ -67,19 +67,25 @@
 #![warn(rust_2018_idioms)]
 
 mod backend;
+mod metrics;
 mod runtime;
 mod scheduler;
 mod session;
 mod telemetry;
+mod trace;
 mod tuner;
 
 pub use backend::{
     shape_response_shells, BackendCaps, BackendRegistry, Detail, EvalBackend, LayerParallelBackend,
     Response, ScalarBackend, Sliced64Backend, WideBackend,
 };
+pub use metrics::{Histogram, HistogramSnapshot, StageHistograms, StageSnapshot, RELATIVE_ERROR};
 pub use runtime::{Runtime, RuntimeBuilder, RuntimeOptions, ServeOptions};
 pub use session::{PooledResponse, SessionOptions, StreamSession, SubmitOrNext};
-pub use telemetry::{BackendTally, Telemetry, TelemetrySummary, TenantTally};
+pub use telemetry::{
+    BackendTally, Telemetry, TelemetryReporter, TelemetrySummary, TenantTally,
+    TELEMETRY_SCHEMA_VERSION,
+};
 pub use tuner::{AutoTuner, TunerPolicy};
 
 /// Identifies one tenant of the shared runtime — one traffic source whose

@@ -263,6 +263,12 @@ impl Runtime {
         struct Shutdown<'a>(&'a SessionShared<'a>);
         impl Drop for Shutdown<'_> {
             fn drop(&mut self) {
+                if std::thread::panicking() {
+                    // Driver-side panic teardown: emit the flight-recorder
+                    // post-mortem (no-op unless TCMM_TRACE is on) before
+                    // unblocking the workers.
+                    self.0.dump_trace("session panic teardown");
+                }
                 self.0.shutdown();
             }
         }

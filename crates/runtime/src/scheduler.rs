@@ -366,20 +366,24 @@ impl<G, D> Engine<G, D> {
         seq
     }
 
-    /// Worker side: blocks for the next group the DRR cursor selects.
-    /// `None` once the engine is finished **and drained**, or immediately
-    /// after an abort — queued groups behind a failure are dropped, never
-    /// evaluated, in every tenant.
-    pub(crate) fn pop(&self) -> Option<(usize, u64, G)> {
+    /// Worker side: blocks for the next group the DRR cursor selects,
+    /// returned as `(slot, seq, group, wait_ns)` — the last element is how
+    /// long this group sat queued (the same figure accumulated into
+    /// [`TenantQueueStats`], surfaced per group so callers can feed their
+    /// queue-wait histograms without a second clock read). `None` once the
+    /// engine is finished **and drained**, or immediately after an abort —
+    /// queued groups behind a failure are dropped, never evaluated, in
+    /// every tenant.
+    pub(crate) fn pop(&self) -> Option<(usize, u64, G, u64)> {
         let mut s = self.state.lock().unwrap();
         loop {
             if s.aborted {
                 return None;
             }
             if s.total_queued > 0 {
-                let (slot, q) = Self::drr_pop(&mut s);
+                let (slot, q, wait_ns) = Self::drr_pop(&mut s);
                 self.cv.notify_all();
-                return Some((slot, q.seq, q.group));
+                return Some((slot, q.seq, q.group, wait_ns));
             }
             // A claimed-but-unpushed dispatch may still land after finish;
             // workers only exit once those have drained into the queue too.
@@ -395,7 +399,7 @@ impl<G, D> Engine<G, D> {
     /// Terminates: `quantum ≥` every queued charge and `weight ≥ 1`, so one
     /// grant always covers a head group — the cursor finds a servable
     /// nonempty queue within two sweeps.
-    fn drr_pop(s: &mut EngineState<G, D>) -> (usize, Queued<G>) {
+    fn drr_pop(s: &mut EngineState<G, D>) -> (usize, Queued<G>, u64) {
         let n = s.tenants.len();
         loop {
             let slot = s.cursor;
@@ -432,7 +436,7 @@ impl<G, D> Engine<G, D> {
                 s.cursor_granted = false;
             }
             s.total_queued -= 1;
-            return (slot, q);
+            return (slot, q, wait_ns);
         }
     }
 
@@ -627,7 +631,7 @@ mod tests {
         for g in 0..10u32 {
             assert!(push(&e, 0, g, 1));
         }
-        assert!(matches!(e.pop(), Some((0, 0, 0))));
+        assert!(matches!(e.pop(), Some((0, 0, 0, _))));
         e.abort(RuntimeError::Circuit(CircuitError::EmptyFanIn));
         // Nine groups were still queued; none may be handed out now.
         assert!(e.pop().is_none());
@@ -640,7 +644,7 @@ mod tests {
         }
         e.finish();
         for g in 0..5u32 {
-            let (slot, seq, got) = e.pop().unwrap();
+            let (slot, seq, got, _wait) = e.pop().unwrap();
             assert_eq!((slot, seq, got), (0, g as u64, g));
         }
         assert!(e.pop().is_none());
@@ -660,7 +664,7 @@ mod tests {
         std::thread::scope(|scope| {
             for _ in 0..2 {
                 scope.spawn(|| {
-                    while let Some((slot, seq, _)) = e.pop() {
+                    while let Some((slot, seq, _, _)) = e.pop() {
                         if (slot, seq) == (0, 0) {
                             failed.store(true, Ordering::SeqCst);
                             e.abort(RuntimeError::Circuit(CircuitError::EmptyFanIn));
@@ -703,9 +707,9 @@ mod tests {
         for g in 0..3u32 {
             assert!(push(&e, 0, g, 1));
         }
-        let (s0, i0, g0) = e.pop().unwrap();
-        let (s1, i1, g1) = e.pop().unwrap();
-        let (s2, i2, g2) = e.pop().unwrap();
+        let (s0, i0, g0, _) = e.pop().unwrap();
+        let (s1, i1, g1, _) = e.pop().unwrap();
+        let (s2, i2, g2, _) = e.pop().unwrap();
         // Group 1 completes first; the window holds it for ordering.
         assert!(e.deliver(s1, i1, g1 + 100, true));
         match e.take(false).unwrap() {
@@ -748,7 +752,7 @@ mod tests {
         std::thread::scope(|scope| {
             for _ in 0..2 {
                 scope.spawn(|| {
-                    while let Some((slot, seq, g)) = e.pop() {
+                    while let Some((slot, seq, g, _)) = e.pop() {
                         std::thread::sleep(std::time::Duration::from_micros(200));
                         in_flight.fetch_sub(1, Ordering::SeqCst);
                         e.deliver(slot, seq, g, true);
@@ -786,7 +790,7 @@ mod tests {
             e.push_or_take(0, 7, 1).unwrap(),
             PushOrTake::Pushed
         ));
-        let (slot, seq, g) = e.pop().unwrap();
+        let (slot, seq, g, _) = e.pop().unwrap();
         e.deliver(slot, seq, g + 1, true);
         match e.push_or_take(0, 9, 1).unwrap() {
             PushOrTake::Took(8, 9) => {}
@@ -828,7 +832,7 @@ mod tests {
         }
         e.finish();
         let mut order = Vec::new();
-        while let Some((slot, _seq, g)) = e.pop() {
+        while let Some((slot, _seq, g, _)) = e.pop() {
             order.push((slot, g));
         }
         assert_eq!(order.len(), 10);
@@ -860,7 +864,7 @@ mod tests {
         let mut heavy_served = 0u32;
         let mut light_served = 0u32;
         for _ in 0..40 {
-            let (slot, _, _) = e.pop().unwrap();
+            let (slot, _, _, _) = e.pop().unwrap();
             if slot == heavy {
                 heavy_served += 1;
             } else if slot == light {
@@ -910,7 +914,7 @@ mod tests {
             let mut served = [0u64; 2];
             let mut remaining = [charges_a.len(), charges_b.len()];
             loop {
-                let (slot, seq, _) = e.pop().unwrap();
+                let (slot, seq, _, _) = e.pop().unwrap();
                 let charge = if slot == a {
                     charges_a[seq as usize]
                 } else {
@@ -941,6 +945,27 @@ mod tests {
     }
 
     #[test]
+    fn pop_reports_per_group_queue_wait() {
+        // The wait returned per pop is exactly what accumulates into the
+        // tenant's aggregate stats — one clock read, two consumers.
+        let e = engine(false, 8, 8);
+        assert!(push(&e, 0, 1, 1));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(push(&e, 0, 2, 1));
+        e.finish();
+        let mut total = 0u64;
+        let mut max = 0u64;
+        while let Some((_, _, _, wait_ns)) = e.pop() {
+            total += wait_ns;
+            max = max.max(wait_ns);
+        }
+        let stats = e.tenant_stats();
+        assert_eq!(stats[0].2.wait_ns_total, total);
+        assert_eq!(stats[0].2.wait_ns_max, max);
+        assert!(max >= 2_000_000, "first group queued ≥ 2ms, saw {max}ns");
+    }
+
+    #[test]
     fn abort_between_drain_and_queue_insert_surfaces_the_error() {
         // Race regression for the single-thread driver: `push_or_take`
         // returns `Took` (the group handed back), the caller consumes the
@@ -952,7 +977,7 @@ mod tests {
             e.push_or_take(0, 1, 1).unwrap(),
             PushOrTake::Pushed
         ));
-        let (slot, seq, g) = e.pop().unwrap();
+        let (slot, seq, g, _) = e.pop().unwrap();
         assert!(e.deliver(slot, seq, g + 1, true));
         // The driver drains the ready delivery; its group comes back.
         let retry = match e.push_or_take(0, 3, 1).unwrap() {
@@ -990,7 +1015,7 @@ mod tests {
                 scope.spawn(|| {
                     // Drain whatever the driver queued so it never blocks on
                     // a full queue with no consumer.
-                    while let Some((slot, seq, g)) = e.pop() {
+                    while let Some((slot, seq, g, _)) = e.pop() {
                         e.deliver(slot, seq, g, true);
                     }
                 });

@@ -38,11 +38,13 @@
 //! `crates/runtime/tests/alloc_steady_state.rs`.
 
 use crate::backend::{plane_op_charge, Detail, Response};
+use crate::metrics::{Histogram, StageHistograms};
 use crate::runtime::Runtime;
 use crate::scheduler::{Engine, PushOrTake, Take};
+use crate::trace::{FlightRecorder, TraceEventKind};
 use crate::{Result, RuntimeError, TenantId};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 use tc_circuit::{CompiledCircuit, PlaneArena};
 
@@ -153,13 +155,24 @@ struct RowGroup {
     /// Global request id of each row (rows of one tenant are consecutive
     /// *per tenant*, not globally, so ids travel with the group).
     ids: Vec<u64>,
+    /// When each row was accepted by `submit` (pooled, like `ids`): the
+    /// start of the row's end-to-end latency clock.
+    times: Vec<Instant>,
 }
 
 /// An evaluated group travelling from workers to the consumer.
 struct DoneGroup {
     tenant: TenantId,
     ids: Vec<u64>,
+    /// Per-row submit timestamps, carried through from the [`RowGroup`].
+    times: Vec<Instant>,
     responses: Vec<Response>,
+    /// When the evaluating side finished the group: the start of the
+    /// delivery-wait clock.
+    done_at: Instant,
+    /// The tenant's stage histograms, carried along so the consumer records
+    /// without a map lookup.
+    stages: Arc<StageHistograms>,
 }
 
 /// Recycled buffers flowing backwards through the session: spent row
@@ -172,6 +185,9 @@ struct ResponsePool {
     rows: Vec<Vec<bool>>,
     row_sets: Vec<Vec<Vec<bool>>>,
     id_sets: Vec<Vec<u64>>,
+    /// Submit-timestamp buffers (one [`Instant`] per row, alongside
+    /// `id_sets`) — pooled so stage metrics stay allocation-free too.
+    time_sets: Vec<Vec<Instant>>,
     shells: Vec<Response>,
     containers: Vec<Vec<Response>>,
     /// Shells served from the pool / freshly allocated (telemetry).
@@ -187,6 +203,17 @@ struct TenantLane {
     slot: usize,
     current_rows: Vec<Vec<bool>>,
     current_ids: Vec<u64>,
+    /// Submit timestamp of each row in the current group (pooled).
+    current_times: Vec<Instant>,
+    /// When the current group's first row was packed — the pack-stage
+    /// clock. Meaningless while `current_rows` is empty; reset on the next
+    /// first row.
+    packed_at: Instant,
+    /// The latest strided clock sample (see [`TIME_SAMPLE_STRIDE`]); rows
+    /// packed between samples reuse it as their submit stamp.
+    stamp: Instant,
+    /// This tenant's stage histograms (shared with the runtime ledger).
+    stages: Arc<StageHistograms>,
     requests: u64,
     groups: u64,
     /// A submitter extracted a group of this lane and is pushing it with
@@ -260,6 +287,26 @@ fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// How often the packing path reads the clock: a fresh sample on a group's
+/// first row and every 16th row after it; rows in between reuse the latest
+/// sample as their submit stamp (see `pack_row_locked`). Amortises the
+/// dominant per-request metrics cost — the `Instant::now()` syscall-free
+/// vDSO read still costs tens of nanoseconds against a sub-300ns pack.
+const TIME_SAMPLE_STRIDE: usize = 16;
+
+/// Nanoseconds from `earlier` to `now`, saturating at 0 (stage clocks read
+/// on different threads may observe a tiny skew).
+#[inline]
+fn ns_between(earlier: Instant, now: Instant) -> u64 {
+    // u64 arithmetic only — `Duration::as_nanos` widens to u128, which is
+    // measurable on the per-row consume path. Latencies beyond ~584 years
+    // saturate harmlessly.
+    let d = now.saturating_duration_since(earlier);
+    d.as_secs()
+        .saturating_mul(1_000_000_000)
+        .saturating_add(d.subsec_nanos() as u64)
+}
+
 /// Locks a session mutex, surfacing a poisoning panic as a typed
 /// [`RuntimeError`] instead of propagating an opaque panic into the caller
 /// (one crashed thread must not take down the consumer).
@@ -289,6 +336,13 @@ pub(crate) struct SessionShared<'a> {
     /// Responses handed to the consumer (for the in-flight depth gauge).
     delivered: AtomicU64,
     peak_in_flight: AtomicU64,
+    /// Per-slot stage histograms, indexed by engine slot so workers reach a
+    /// tenant's histograms straight from `pop`'s slot (no tenant lookup).
+    stage_sets: Mutex<Vec<Arc<StageHistograms>>>,
+    /// The chosen backend's eval-latency histogram (set by `ensure_plan`).
+    eval_hist: OnceLock<Arc<Histogram>>,
+    /// `TCMM_TRACE` flight recorder (None unless enabled at session start).
+    recorder: Option<FlightRecorder>,
 }
 
 impl<'a> SessionShared<'a> {
@@ -320,7 +374,39 @@ impl<'a> SessionShared<'a> {
             class_counts: circuit.class_counts(),
             delivered: AtomicU64::new(0),
             peak_in_flight: AtomicU64::new(0),
+            stage_sets: Mutex::new(Vec::new()),
+            eval_hist: OnceLock::new(),
+            recorder: FlightRecorder::from_env(),
         }
+    }
+
+    /// Records one flight-recorder event (no-op unless `TCMM_TRACE` is on).
+    fn trace(&self, tenant: TenantId, seq: u64, kind: TraceEventKind, detail: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.record(tenant, seq, kind, detail);
+        }
+    }
+
+    /// Aborts the engine, dumping the flight recorder first so the
+    /// post-mortem survives even if the process exits right after.
+    fn abort_session(&self, e: RuntimeError) {
+        if let Some(rec) = &self.recorder {
+            rec.record(self.opts.tenant, 0, TraceEventKind::Aborted, 0);
+            rec.dump(&format!("session abort: {e}"));
+        }
+        self.engine.abort(e);
+    }
+
+    /// Dumps the flight recorder to stderr (the panic-teardown hook).
+    pub(crate) fn dump_trace(&self, why: &str) {
+        if let Some(rec) = &self.recorder {
+            rec.dump(why);
+        }
+    }
+
+    /// The stage histograms serving engine slot `slot`.
+    fn stages_for_slot(&self, slot: usize) -> Arc<StageHistograms> {
+        Arc::clone(&lock_tolerant(&self.stage_sets)[slot])
     }
 
     /// Unblocks every party and drops queued work (session teardown).
@@ -375,11 +461,14 @@ impl<'a> SessionShared<'a> {
             Ok(idx) => idx,
             Err(e) => {
                 // Wake consumers blocked on a session that can never serve.
-                self.engine.abort(e.clone());
+                self.abort_session(e.clone());
                 return Err(e);
             }
         };
         let caps = self.runtime.registry().backends()[backend_idx].caps();
+        let _ = self
+            .eval_hist
+            .set(self.runtime.telemetry_ref().backend_eval(caps.name));
         let lane_group = caps.lane_group.max(1);
         let target_workers = if caps.internally_parallel {
             // The backend forks per depth layer itself; scheduler workers
@@ -431,11 +520,23 @@ impl<'a> SessionShared<'a> {
             return i;
         }
         let slot = self.engine.register_tenant(tenant, weight);
+        let stages = self.runtime.telemetry_ref().tenant_stages(tenant);
+        {
+            let mut sets = lock_tolerant(&self.stage_sets);
+            debug_assert_eq!(slot, sets.len(), "slots register in order");
+            if slot == sets.len() {
+                sets.push(Arc::clone(&stages));
+            }
+        }
         pack.lanes.push(TenantLane {
             id: tenant,
             slot,
             current_rows: self.pool_row_set(plan.lane_group),
             current_ids: self.pool_id_set(plan.lane_group),
+            current_times: self.pool_time_set(plan.lane_group),
+            packed_at: Instant::now(),
+            stamp: Instant::now(),
+            stages,
             requests: 0,
             groups: 0,
             dispatching: false,
@@ -466,6 +567,13 @@ impl<'a> SessionShared<'a> {
             .unwrap_or_else(|| Vec::with_capacity(lane_group))
     }
 
+    fn pool_time_set(&self, lane_group: usize) -> Vec<Instant> {
+        let mut pool = lock_tolerant(&self.pool);
+        pool.time_sets
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(lane_group))
+    }
+
     /// A response container pre-loaded with up to `n` recycled shells.
     fn pool_container(&self, n: usize) -> Vec<Response> {
         let mut pool = lock_tolerant(&self.pool);
@@ -492,6 +600,11 @@ impl<'a> SessionShared<'a> {
         lock_tolerant(&self.pool).id_sets.push(ids);
     }
 
+    fn recycle_times(&self, mut times: Vec<Instant>) {
+        times.clear();
+        lock_tolerant(&self.pool).time_sets.push(times);
+    }
+
     fn recycle_container(&self, mut container: Vec<Response>) {
         // Consumed slots hold capacity-less default shells; dropping them
         // touches no heap.
@@ -515,6 +628,7 @@ impl<'a> SessionShared<'a> {
         group: &RowGroup,
         arena: &mut PlaneArena,
         refs: &mut RefsBuf,
+        stages: &StageHistograms,
     ) -> Result<Vec<Response>> {
         let plan = self.plan.get().expect("groups exist only after planning");
         let backend = &self.runtime.registry().backends()[plan.backend_idx];
@@ -523,6 +637,10 @@ impl<'a> SessionShared<'a> {
         let t0 = Instant::now();
         backend.eval_group(self.circuit, rows, self.opts.detail, arena, &mut responses)?;
         let busy_ns = t0.elapsed().as_nanos() as u64;
+        stages.eval.record(busy_ns);
+        if let Some(h) = self.eval_hist.get() {
+            h.record(busy_ns);
+        }
         // A wrong response count would corrupt request→response order during
         // delivery; reject it as a backend contract violation.
         if responses.len() != rows.len() {
@@ -540,12 +658,22 @@ impl<'a> SessionShared<'a> {
             rows.len()
         };
         let requests = rows.len() as u64;
+        // One pass over the fresh responses feeds both the per-request
+        // firing histogram and the tally's firing sum. Recording at eval
+        // time (rather than consume time) keeps it off the serial consumer
+        // and aligned with the tally's request accounting.
+        let mut firing_sum = 0u64;
+        stages.firings.record_iter(responses.iter().map(|r| {
+            let f = r.firing_count as u64;
+            firing_sum += f;
+            f
+        }));
         self.runtime.telemetry_ref().record_group(
             plan.backend_name,
             requests,
             group_width as u64,
             self.class_counts.map(|c| c as u64 * requests),
-            responses.iter().map(|r| r.firing_count as u64).sum(),
+            firing_sum,
             busy_ns,
         );
         Ok(responses)
@@ -561,34 +689,48 @@ impl<'a> SessionShared<'a> {
     fn worker_loop(&self) {
         let mut arena = PlaneArena::new();
         let mut refs = RefsBuf::default();
-        while let Some((slot, seq, group)) = self.engine.pop() {
+        while let Some((slot, seq, group, wait_ns)) = self.engine.pop() {
+            let stages = self.stages_for_slot(slot);
+            stages.queue_wait.record(wait_ns);
+            self.trace(group.tenant, seq, TraceEventKind::Popped, wait_ns);
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.eval_group_now(&group, &mut arena, &mut refs)
+                self.eval_group_now(&group, &mut arena, &mut refs, &stages)
             }));
             match outcome {
                 Ok(Ok(responses)) => {
-                    let RowGroup { tenant, rows, ids } = group;
+                    let n = responses.len() as u64;
+                    self.trace(group.tenant, seq, TraceEventKind::Evaluated, n);
+                    let RowGroup {
+                        tenant,
+                        rows,
+                        ids,
+                        times,
+                    } = group;
                     self.recycle_rows(rows);
                     let done = DoneGroup {
                         tenant,
                         ids,
+                        times,
                         responses,
+                        done_at: Instant::now(),
+                        stages,
                     };
                     if !self.engine.deliver(slot, seq, done, true) {
                         return;
                     }
+                    self.trace(tenant, seq, TraceEventKind::Delivered, n);
                 }
                 Ok(Err(e)) => {
                     self.recycle_rows(group.rows);
                     self.recycle_ids(group.ids);
-                    self.engine.abort(e);
+                    self.recycle_times(group.times);
+                    self.abort_session(e);
                     return;
                 }
                 Err(_panic) => {
                     // The group's buffers may be in any state; let them drop
                     // rather than recycling half-written storage.
-                    self.engine
-                        .abort(RuntimeError::SessionPanicked { context: "worker" });
+                    self.abort_session(RuntimeError::SessionPanicked { context: "worker" });
                     return;
                 }
             }
@@ -598,11 +740,19 @@ impl<'a> SessionShared<'a> {
     /// Inline-mode dispatch: evaluate on the submitting thread and deliver.
     fn dispatch_inline(&self, slot: usize, group: RowGroup) -> Result<()> {
         let seq = self.engine.alloc_seq(slot);
+        let stages = self.stages_for_slot(slot);
         let mut scratch = lock_tolerant(&self.inline_scratch);
         let InlineScratch { arena, refs } = &mut *scratch;
-        match self.eval_group_now(&group, arena, refs) {
+        match self.eval_group_now(&group, arena, refs, &stages) {
             Ok(responses) => {
-                let RowGroup { tenant, rows, ids } = group;
+                let n = responses.len() as u64;
+                self.trace(group.tenant, seq, TraceEventKind::Evaluated, n);
+                let RowGroup {
+                    tenant,
+                    rows,
+                    ids,
+                    times,
+                } = group;
                 self.recycle_rows(rows);
                 drop(scratch);
                 self.engine.deliver(
@@ -611,16 +761,21 @@ impl<'a> SessionShared<'a> {
                     DoneGroup {
                         tenant,
                         ids,
+                        times,
                         responses,
+                        done_at: Instant::now(),
+                        stages,
                     },
                     false,
                 );
+                self.trace(tenant, seq, TraceEventKind::Delivered, n);
                 Ok(())
             }
             Err(e) => {
                 self.recycle_rows(group.rows);
                 self.recycle_ids(group.ids);
-                self.engine.abort(e.clone());
+                self.recycle_times(group.times);
+                self.abort_session(e.clone());
                 Err(e)
             }
         }
@@ -651,10 +806,50 @@ impl<'a> SessionShared<'a> {
     fn pop_locked(&self, consume: &mut ConsumeState) -> Option<PooledResponse<'_>> {
         if consume.current.is_none() {
             let d = consume.pending.pop_front()?;
+            // One clock read covers the whole group: delivery-wait is
+            // recorded once per group, and every response in the group
+            // shares this instant as its end-to-end finish (responses of a
+            // group become consumable together, so the shared timestamp is
+            // exact for the first response and at most the drain time of
+            // the group stale for the last).
+            let now = Instant::now();
+            d.stages.delivery_wait.record(ns_between(d.done_at, now));
+            // Batch-record the group's rows: pack stamps repeat in strided
+            // runs (`TIME_SAMPLE_STRIDE`), so each run of equal stamps
+            // costs one latency computation and one bucketed
+            // `Histogram::record_n` — a handful of atomics per group
+            // instead of 3 per row.
+            let times = &d.times;
+            let mut i = 0;
+            while i < times.len() {
+                let t = times[i];
+                let mut j = i + 1;
+                while j < times.len() && times[j] == t {
+                    j += 1;
+                }
+                d.stages
+                    .end_to_end
+                    .record_n(ns_between(t, now), (j - i) as u64);
+                i = j;
+            }
+            self.trace(
+                d.tenant,
+                0,
+                TraceEventKind::Consumed,
+                d.responses.len() as u64,
+            );
+            let DoneGroup {
+                tenant,
+                ids,
+                times,
+                responses,
+                ..
+            } = d;
+            self.recycle_times(times);
             consume.current = Some(DrainCursor {
-                tenant: d.tenant,
-                ids: d.ids,
-                responses: d.responses,
+                tenant,
+                ids,
+                responses,
                 pos: 0,
             });
         }
@@ -953,7 +1148,11 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
                     tenant: lane_state.id,
                     rows: std::mem::take(&mut lane_state.current_rows),
                     ids: std::mem::take(&mut lane_state.current_ids),
+                    times: std::mem::take(&mut lane_state.current_times),
                 };
+                // Recorded only if the push sticks: a `Took` hand-back
+                // restores the group, and its pack stage ends later.
+                let pack_ns = ns_between(lane_state.packed_at, Instant::now());
                 lane_state.groups += 1;
                 // Same claim-then-push protocol as dispatch_lane_once: a
                 // driver parked in push_or_take (own queue full, nothing
@@ -967,8 +1166,13 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
                 self.shared.pack_cv.notify_all();
                 match outcome? {
                     PushOrTake::Pushed => {
-                        pack.lanes[lane].current_rows = self.shared.pool_row_set(plan.lane_group);
-                        pack.lanes[lane].current_ids = self.shared.pool_id_set(plan.lane_group);
+                        let lane_state = &mut pack.lanes[lane];
+                        lane_state.stages.pack.record(pack_ns);
+                        self.shared
+                            .trace(lane_state.id, 0, TraceEventKind::Enqueued, 0);
+                        lane_state.current_rows = self.shared.pool_row_set(plan.lane_group);
+                        lane_state.current_ids = self.shared.pool_id_set(plan.lane_group);
+                        lane_state.current_times = self.shared.pool_time_set(plan.lane_group);
                         if pack.finished {
                             // finish() raced the unlocked window; it can no
                             // longer see the row we are about to pack.
@@ -979,6 +1183,7 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
                         let lane_state = &mut pack.lanes[lane];
                         lane_state.current_rows = group.rows;
                         lane_state.current_ids = group.ids;
+                        lane_state.current_times = group.times;
                         lane_state.groups -= 1;
                         drop(pack);
                         return Ok(SubmitOrNext::Next(self.shared.install_and_pop(d)?));
@@ -1097,8 +1302,27 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
         let id = pack.next_request;
         pack.next_request += 1;
         let lane_state = &mut pack.lanes[lane];
+        // Strided clock sampling: a fresh reading on the group's first row
+        // and every `TIME_SAMPLE_STRIDE`-th row after it; rows in between
+        // reuse the latest sample as their submit stamp. The stamp is never
+        // NEWER than the true pack time, so per-request end_to_end is
+        // biased upward by at most the gap to the previous sample — a few
+        // pack iterations, far inside the histogram's own error band —
+        // while the hot path pays a fraction of a clock read per request.
+        if lane_state
+            .current_rows
+            .len()
+            .is_multiple_of(TIME_SAMPLE_STRIDE)
+        {
+            lane_state.stamp = Instant::now();
+        }
+        let now = lane_state.stamp;
+        if lane_state.current_rows.is_empty() {
+            lane_state.packed_at = now;
+        }
         lane_state.current_rows.push(buf);
         lane_state.current_ids.push(id);
+        lane_state.current_times.push(now);
         lane_state.requests += 1;
         let in_flight = (id + 1).saturating_sub(self.shared.delivered.load(Ordering::Relaxed));
         self.shared
@@ -1133,7 +1357,15 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
                 &mut lane_state.current_ids,
                 self.shared.pool_id_set(plan.lane_group),
             ),
+            times: std::mem::replace(
+                &mut lane_state.current_times,
+                self.shared.pool_time_set(plan.lane_group),
+            ),
         };
+        lane_state
+            .stages
+            .pack
+            .record(ns_between(lane_state.packed_at, Instant::now()));
         lane_state.groups += 1;
         if plan.target_workers <= 1 {
             self.shared.dispatch_inline(slot, group)?;
@@ -1141,6 +1373,12 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
         }
         self.spawn_workers_locked(pack, plan);
         let seq = self.shared.engine.begin_dispatch(slot);
+        self.shared.trace(
+            group.tenant,
+            seq,
+            TraceEventKind::Enqueued,
+            group.rows.len() as u64,
+        );
         Ok(Some((slot, seq, group)))
     }
 

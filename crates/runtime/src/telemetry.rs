@@ -1,15 +1,29 @@
 //! Serving telemetry: request, lane, gate-eval, firing-energy, and
-//! per-tenant fairness counters.
+//! per-tenant fairness counters, plus per-stage latency histograms and the
+//! machine-readable export surface (JSON and Prometheus text exposition,
+//! both versioned by [`TELEMETRY_SCHEMA_VERSION`]).
 
+use crate::metrics::{Histogram, HistogramSnapshot, StageHistograms, StageSnapshot};
 use crate::TenantId;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+/// Version of the telemetry export schema. Bump whenever a field or metric
+/// family is renamed, removed, or changes meaning in
+/// [`TelemetrySummary::to_json`] / [`TelemetrySummary::to_prometheus`]
+/// (additions are backwards-compatible and do not bump it). Exported as the
+/// JSON `schema_version` field and the `tcmm_telemetry_schema_version`
+/// gauge.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 1;
 
 /// Lock-light counters accumulated across everything a [`crate::Runtime`]
 /// serves. Group-grained updates go through atomics; only the per-backend
-/// tally map takes a lock (once per group, not per request).
+/// tally map takes a lock (once per group, not per request). The stage
+/// histograms are handed out as [`Arc`]s once per session lane, so the
+/// per-request recording path is lock-free.
 #[derive(Debug, Default)]
 pub struct Telemetry {
     requests: AtomicU64,
@@ -34,6 +48,13 @@ pub struct Telemetry {
     pool_misses: AtomicU64,
     /// Per-tenant serving and queue-wait tallies, keyed by tenant id.
     per_tenant: Mutex<BTreeMap<TenantId, TenantTally>>,
+    /// Per-tenant lifecycle-stage histograms. Sessions clone the [`Arc`]
+    /// once per lane and record lock-free from then on; the map lock is a
+    /// lane-registration cost, not a per-request one.
+    per_tenant_stages: Mutex<BTreeMap<TenantId, Arc<StageHistograms>>>,
+    /// Per-backend eval-latency histograms (nanoseconds per group inside
+    /// the backend), same [`Arc`] hand-out discipline.
+    per_backend_eval: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
 }
 
 /// Per-backend slice of the telemetry.
@@ -45,6 +66,12 @@ pub struct BackendTally {
     pub requests: u64,
     /// Wall-clock nanoseconds spent inside the backend.
     pub busy_ns: u64,
+    /// Gate evaluations this backend performed (gates × requests) — with
+    /// [`BackendTally::busy_ns`], the per-backend work mix.
+    pub gate_evals: u64,
+    /// Gate firings this backend observed (Uchizawa–Douglas–Maass energy,
+    /// in spikes).
+    pub firings: u64,
 }
 
 /// Per-tenant slice of the telemetry: what one traffic source submitted and
@@ -115,6 +142,8 @@ impl Telemetry {
         tally.groups += 1;
         tally.requests += requests;
         tally.busy_ns += busy_ns;
+        tally.gate_evals += gate_evals;
+        tally.firings += firings;
     }
 
     /// Records one closed streaming session's gauges: the peak
@@ -161,8 +190,54 @@ impl Telemetry {
         tally.queue_wait_ns_max = tally.queue_wait_ns_max.max(queue_wait_ns_max);
     }
 
-    /// A point-in-time copy of all counters.
+    /// The shared stage-histogram set for `tenant` (created on first
+    /// sight). Sessions call this once per lane registration and record
+    /// through the returned [`Arc`] lock-free afterwards.
+    pub(crate) fn tenant_stages(&self, tenant: TenantId) -> Arc<StageHistograms> {
+        Arc::clone(
+            self.per_tenant_stages
+                .lock()
+                .unwrap()
+                .entry(tenant)
+                .or_default(),
+        )
+    }
+
+    /// The shared eval-latency histogram for `backend` (created on first
+    /// sight). Sessions resolve this once, with the plan.
+    pub(crate) fn backend_eval(&self, backend: &'static str) -> Arc<Histogram> {
+        Arc::clone(
+            self.per_backend_eval
+                .lock()
+                .unwrap()
+                .entry(backend)
+                .or_default(),
+        )
+    }
+
+    /// A point-in-time copy of all counters and histograms.
     pub fn snapshot(&self) -> TelemetrySummary {
+        let per_tenant_stages: BTreeMap<TenantId, StageSnapshot> = self
+            .per_tenant_stages
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(id, h)| (*id, h.snapshot()))
+            .collect();
+        let per_backend_eval: BTreeMap<&'static str, HistogramSnapshot> = self
+            .per_backend_eval
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(name, h)| (*name, h.snapshot()))
+            .collect();
+        // Every recording goes through a tenant lane (serve_batch and
+        // serve_stream ride the default tenant), so the global stage view
+        // is exactly the merge of the per-tenant ones.
+        let mut stages = StageSnapshot::default();
+        for s in per_tenant_stages.values() {
+            stages.merge(s);
+        }
         TelemetrySummary {
             requests: self.requests.load(Ordering::Relaxed),
             groups: self.groups.load(Ordering::Relaxed),
@@ -182,11 +257,14 @@ impl Telemetry {
             pool_hits: self.pool_hits.load(Ordering::Relaxed),
             pool_misses: self.pool_misses.load(Ordering::Relaxed),
             per_tenant: self.per_tenant.lock().unwrap().clone(),
+            stages,
+            per_tenant_stages,
+            per_backend_eval,
         }
     }
 }
 
-/// A point-in-time copy of a [`Telemetry`]'s counters.
+/// A point-in-time copy of a [`Telemetry`]'s counters and histograms.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TelemetrySummary {
     /// Requests served.
@@ -225,6 +303,114 @@ pub struct TelemetrySummary {
     /// Per-tenant tallies, keyed by tenant id — requests, groups, weight,
     /// and scheduler queue-wait aggregates.
     pub per_tenant: BTreeMap<TenantId, TenantTally>,
+    /// Global lifecycle-stage histograms (latencies in nanoseconds,
+    /// firings in spikes) — the merge of every tenant's
+    /// [`TelemetrySummary::per_tenant_stages`] entry.
+    pub stages: StageSnapshot,
+    /// Per-tenant lifecycle-stage histograms, keyed by tenant id.
+    pub per_tenant_stages: BTreeMap<TenantId, StageSnapshot>,
+    /// Per-backend eval-latency histograms (nanoseconds per group inside
+    /// the backend), keyed by backend name.
+    pub per_backend_eval: BTreeMap<&'static str, HistogramSnapshot>,
+}
+
+/// Cumulative-bucket (`le`) bounds for Prometheus latency families, in
+/// nanoseconds: 1µs times powers of 4, up to ~16.8s, then `+Inf`.
+const LATENCY_LE_NS: [u64; 13] = [
+    1_000,
+    4_000,
+    16_000,
+    64_000,
+    256_000,
+    1_024_000,
+    4_096_000,
+    16_384_000,
+    65_536_000,
+    262_144_000,
+    1_048_576_000,
+    4_194_304_000,
+    16_777_216_000,
+];
+
+/// Cumulative-bucket (`le`) bounds for the firings-per-request families
+/// (raw spike counts), then `+Inf`.
+const FIRINGS_LE: [u64; 13] = [
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 1_024, 4_096, 16_384, 65_536,
+];
+
+/// One JSON histogram object (counts exact; quantiles carry the
+/// [`crate::metrics::RELATIVE_ERROR`] bound).
+fn hist_json(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"mean\": {:.1}, \
+         \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+        h.count(),
+        h.sum(),
+        h.max(),
+        h.mean(),
+        h.quantile(0.5),
+        h.quantile(0.95),
+        h.quantile(0.99),
+    )
+}
+
+/// The six stage histograms of one [`StageSnapshot`] as a JSON object.
+fn stages_json(s: &StageSnapshot) -> String {
+    let mut out = String::from("{");
+    for (i, (name, h)) in s.latency_stages().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "\"{name}\": {}", hist_json(h));
+    }
+    let _ = write!(out, ", \"firings\": {}", hist_json(&s.firings));
+    out.push('}');
+    out
+}
+
+/// Emits a `# HELP` + `# TYPE` header for one metric family.
+fn prom_family(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Emits the `_bucket`/`_sum`/`_count` samples of one histogram under
+/// `family{labels}`. Latency histograms export `le` in seconds; raw-valued
+/// ones (firings) export their native unit. Cumulative bucket counts are
+/// computed at the histogram's own bucket resolution
+/// ([`HistogramSnapshot::count_at_or_below`]).
+fn prom_hist(out: &mut String, family: &str, labels: &str, h: &HistogramSnapshot, seconds: bool) {
+    let bounds: &[u64] = if seconds { &LATENCY_LE_NS } else { &FIRINGS_LE };
+    let sep = if labels.is_empty() { "" } else { "," };
+    for &bound in bounds {
+        let le = if seconds {
+            (bound as f64 / 1e9).to_string()
+        } else {
+            bound.to_string()
+        };
+        let _ = writeln!(
+            out,
+            "{family}_bucket{{{labels}{sep}le=\"{le}\"}} {}",
+            h.count_at_or_below(bound)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{family}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+        h.count()
+    );
+    let sum = if seconds {
+        (h.sum() as f64 / 1e9).to_string()
+    } else {
+        h.sum().to_string()
+    };
+    let brace = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    let _ = writeln!(out, "{family}_sum{brace} {sum}");
+    let _ = writeln!(out, "{family}_count{brace} {}", h.count());
 }
 
 impl TelemetrySummary {
@@ -233,13 +419,16 @@ impl TelemetrySummary {
     /// is perfectly fair *for equal weights*; under a FIFO scheduler a
     /// steady tenant stuck behind a burst drives this towards the backlog
     /// ratio, while deficit round-robin keeps it near the weight ratio.
-    /// Returns `1.0` with fewer than two tenants reporting queue waits.
+    /// Means are clamped to ≥ 1 ns so a tenant whose waits all measured
+    /// 0 ns on a coarse clock still participates (as the best case) rather
+    /// than silently dropping out of the ratio. Returns `1.0` with fewer
+    /// than two tenants that ever queued a group.
     pub fn max_queue_wait_ratio(&self) -> f64 {
         let means: Vec<f64> = self
             .per_tenant
             .values()
-            .filter(|t| t.queued_groups > 0 && t.queue_wait_ns_total > 0)
-            .map(|t| t.mean_queue_wait_ns())
+            .filter(|t| t.queued_groups > 0)
+            .map(|t| t.mean_queue_wait_ns().max(1.0))
             .collect();
         if means.len() < 2 {
             return 1.0;
@@ -265,6 +454,502 @@ impl TelemetrySummary {
         } else {
             self.firings as f64 / self.requests as f64
         }
+    }
+
+    /// The counters and histogram mass recorded since `prev` was taken
+    /// (`prev` must be an earlier snapshot of the same [`Telemetry`]).
+    /// Monotone counters and histograms subtract; gauges and peaks
+    /// (`peak_*`, per-tenant `weight` and `queue_wait_ns_max`) keep their
+    /// current values, since per-interval peaks are not recoverable from
+    /// two cumulative snapshots.
+    pub fn delta_since(&self, prev: &TelemetrySummary) -> TelemetrySummary {
+        let per_backend = self
+            .per_backend
+            .iter()
+            .map(|(name, now)| {
+                let then = prev.per_backend.get(name).copied().unwrap_or_default();
+                (
+                    *name,
+                    BackendTally {
+                        groups: now.groups.saturating_sub(then.groups),
+                        requests: now.requests.saturating_sub(then.requests),
+                        busy_ns: now.busy_ns.saturating_sub(then.busy_ns),
+                        gate_evals: now.gate_evals.saturating_sub(then.gate_evals),
+                        firings: now.firings.saturating_sub(then.firings),
+                    },
+                )
+            })
+            .collect();
+        let per_tenant = self
+            .per_tenant
+            .iter()
+            .map(|(id, now)| {
+                let then = prev.per_tenant.get(id).copied().unwrap_or_default();
+                (
+                    *id,
+                    TenantTally {
+                        weight: now.weight,
+                        requests: now.requests.saturating_sub(then.requests),
+                        groups: now.groups.saturating_sub(then.groups),
+                        queued_groups: now.queued_groups.saturating_sub(then.queued_groups),
+                        served_cost: now.served_cost.saturating_sub(then.served_cost),
+                        queue_wait_ns_total: now
+                            .queue_wait_ns_total
+                            .saturating_sub(then.queue_wait_ns_total),
+                        queue_wait_ns_max: now.queue_wait_ns_max,
+                    },
+                )
+            })
+            .collect();
+        let default_stages = StageSnapshot::default();
+        let per_tenant_stages = self
+            .per_tenant_stages
+            .iter()
+            .map(|(id, now)| {
+                let then = prev.per_tenant_stages.get(id).unwrap_or(&default_stages);
+                (*id, now.delta_since(then))
+            })
+            .collect();
+        let default_hist = HistogramSnapshot::default();
+        let per_backend_eval = self
+            .per_backend_eval
+            .iter()
+            .map(|(name, now)| {
+                let then = prev.per_backend_eval.get(name).unwrap_or(&default_hist);
+                (*name, now.delta_since(then))
+            })
+            .collect();
+        TelemetrySummary {
+            requests: self.requests.saturating_sub(prev.requests),
+            groups: self.groups.saturating_sub(prev.groups),
+            padded_lanes: self.padded_lanes.saturating_sub(prev.padded_lanes),
+            gate_evals: self.gate_evals.saturating_sub(prev.gate_evals),
+            class_gate_evals: [
+                self.class_gate_evals[0].saturating_sub(prev.class_gate_evals[0]),
+                self.class_gate_evals[1].saturating_sub(prev.class_gate_evals[1]),
+                self.class_gate_evals[2].saturating_sub(prev.class_gate_evals[2]),
+            ],
+            firings: self.firings.saturating_sub(prev.firings),
+            busy_ns: self.busy_ns.saturating_sub(prev.busy_ns),
+            per_backend,
+            sessions: self.sessions.saturating_sub(prev.sessions),
+            peak_in_flight_requests: self.peak_in_flight_requests,
+            peak_reorder_window_groups: self.peak_reorder_window_groups,
+            pool_hits: self.pool_hits.saturating_sub(prev.pool_hits),
+            pool_misses: self.pool_misses.saturating_sub(prev.pool_misses),
+            per_tenant,
+            stages: self.stages.delta_since(&prev.stages),
+            per_tenant_stages,
+            per_backend_eval,
+        }
+    }
+
+    /// The summary as a self-contained JSON object (hand-rolled — the
+    /// runtime carries no serialization dependency). Schema: see the
+    /// README "Observability" section; versioned by the `schema_version`
+    /// field ([`TELEMETRY_SCHEMA_VERSION`]). Histogram objects carry exact
+    /// `count`/`sum`/`max`/`mean` plus `p50`/`p95`/`p99` under the
+    /// histogram's documented relative-error bound; latencies are in
+    /// nanoseconds, firings in spikes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {TELEMETRY_SCHEMA_VERSION},");
+        let _ = writeln!(out, "  \"requests\": {},", self.requests);
+        let _ = writeln!(out, "  \"groups\": {},", self.groups);
+        let _ = writeln!(out, "  \"padded_lanes\": {},", self.padded_lanes);
+        let _ = writeln!(out, "  \"gate_evals\": {},", self.gate_evals);
+        let _ = writeln!(
+            out,
+            "  \"class_gate_evals\": {{\"unit\": {}, \"pow2\": {}, \"general\": {}}},",
+            self.class_gate_evals[0], self.class_gate_evals[1], self.class_gate_evals[2]
+        );
+        let _ = writeln!(out, "  \"firings\": {},", self.firings);
+        let _ = writeln!(out, "  \"busy_ns\": {},", self.busy_ns);
+        let _ = writeln!(out, "  \"sessions\": {},", self.sessions);
+        let _ = writeln!(
+            out,
+            "  \"peak_in_flight_requests\": {},",
+            self.peak_in_flight_requests
+        );
+        let _ = writeln!(
+            out,
+            "  \"peak_reorder_window_groups\": {},",
+            self.peak_reorder_window_groups
+        );
+        let _ = writeln!(out, "  \"pool_hits\": {},", self.pool_hits);
+        let _ = writeln!(out, "  \"pool_misses\": {},", self.pool_misses);
+        let _ = writeln!(out, "  \"stages\": {},", stages_json(&self.stages));
+        out.push_str("  \"backends\": [");
+        for (i, (name, tally)) in self.per_backend.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let eval = self
+                .per_backend_eval
+                .get(name)
+                .map(hist_json)
+                .unwrap_or_else(|| hist_json(&HistogramSnapshot::default()));
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{name}\", \"groups\": {}, \"requests\": {}, \
+                 \"busy_ns\": {}, \"gate_evals\": {}, \"firings\": {}, \"eval\": {eval}}}",
+                tally.groups, tally.requests, tally.busy_ns, tally.gate_evals, tally.firings
+            );
+        }
+        out.push_str("\n  ],\n");
+        out.push_str("  \"tenants\": [");
+        for (i, (id, t)) in self.per_tenant.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let stages = self
+                .per_tenant_stages
+                .get(id)
+                .map(stages_json)
+                .unwrap_or_else(|| stages_json(&StageSnapshot::default()));
+            let _ = write!(
+                out,
+                "\n    {{\"id\": {}, \"weight\": {}, \"requests\": {}, \"groups\": {}, \
+                 \"queued_groups\": {}, \"served_cost\": {}, \"queue_wait_ns_total\": {}, \
+                 \"queue_wait_ns_max\": {}, \"stages\": {stages}}}",
+                id.0,
+                t.weight,
+                t.requests,
+                t.groups,
+                t.queued_groups,
+                t.served_cost,
+                t.queue_wait_ns_total,
+                t.queue_wait_ns_max
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// The summary in the Prometheus text exposition format (hand-rolled —
+    /// no client library). Every family is prefixed `tcmm_` and carries
+    /// `# HELP`/`# TYPE` headers even when it has no samples yet, so
+    /// scrapers can rely on the family set. Latency histograms export
+    /// seconds with a fixed `le` ladder (1µs × powers of 4); cumulative
+    /// bucket counts are resolved at the underlying histogram's bucket
+    /// granularity. The schema is versioned by the
+    /// `tcmm_telemetry_schema_version` gauge.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(8192);
+        prom_family(
+            &mut out,
+            "tcmm_telemetry_schema_version",
+            "gauge",
+            "Version of the tcmm telemetry export schema.",
+        );
+        let _ = writeln!(
+            out,
+            "tcmm_telemetry_schema_version {TELEMETRY_SCHEMA_VERSION}"
+        );
+
+        for (name, help, value) in [
+            ("tcmm_requests_total", "Requests served.", self.requests),
+            ("tcmm_groups_total", "Lane groups evaluated.", self.groups),
+            (
+                "tcmm_padded_lanes_total",
+                "Unused lanes across partial (ragged-tail) groups.",
+                self.padded_lanes,
+            ),
+            (
+                "tcmm_gate_evals_total",
+                "Gate evaluations (gates x requests).",
+                self.gate_evals,
+            ),
+            (
+                "tcmm_firings_total",
+                "Gate firings (Uchizawa-Douglas-Maass energy, in spikes).",
+                self.firings,
+            ),
+            (
+                "tcmm_sessions_total",
+                "Streaming sessions opened.",
+                self.sessions,
+            ),
+            (
+                "tcmm_pool_hits_total",
+                "Response buffers recycled through a session pool.",
+                self.pool_hits,
+            ),
+            (
+                "tcmm_pool_misses_total",
+                "Response buffers freshly allocated.",
+                self.pool_misses,
+            ),
+        ] {
+            prom_family(&mut out, name, "counter", help);
+            let _ = writeln!(out, "{name} {value}");
+        }
+
+        prom_family(
+            &mut out,
+            "tcmm_class_gate_evals_total",
+            "counter",
+            "Gate evaluations by post-canonicalization kernel class.",
+        );
+        for (class, value) in ["unit", "pow2", "general"]
+            .iter()
+            .zip(self.class_gate_evals)
+        {
+            let _ = writeln!(
+                out,
+                "tcmm_class_gate_evals_total{{class=\"{class}\"}} {value}"
+            );
+        }
+
+        for (name, help, value) in [
+            (
+                "tcmm_peak_in_flight_requests",
+                "Deepest submitted-but-unconsumed request backlog any session saw.",
+                self.peak_in_flight_requests,
+            ),
+            (
+                "tcmm_peak_reorder_window_groups",
+                "Fullest any session's delivery (reorder) window got, in groups.",
+                self.peak_reorder_window_groups,
+            ),
+        ] {
+            prom_family(&mut out, name, "gauge", help);
+            let _ = writeln!(out, "{name} {value}");
+        }
+
+        prom_family(
+            &mut out,
+            "tcmm_backend_groups_total",
+            "counter",
+            "Lane groups evaluated, by backend.",
+        );
+        for (name, t) in &self.per_backend {
+            let _ = writeln!(
+                out,
+                "tcmm_backend_groups_total{{backend=\"{name}\"}} {}",
+                t.groups
+            );
+        }
+        prom_family(
+            &mut out,
+            "tcmm_backend_requests_total",
+            "counter",
+            "Requests evaluated, by backend.",
+        );
+        for (name, t) in &self.per_backend {
+            let _ = writeln!(
+                out,
+                "tcmm_backend_requests_total{{backend=\"{name}\"}} {}",
+                t.requests
+            );
+        }
+        prom_family(
+            &mut out,
+            "tcmm_backend_gate_evals_total",
+            "counter",
+            "Gate evaluations, by backend.",
+        );
+        for (name, t) in &self.per_backend {
+            let _ = writeln!(
+                out,
+                "tcmm_backend_gate_evals_total{{backend=\"{name}\"}} {}",
+                t.gate_evals
+            );
+        }
+        prom_family(
+            &mut out,
+            "tcmm_backend_firings_total",
+            "counter",
+            "Gate firings, by backend.",
+        );
+        for (name, t) in &self.per_backend {
+            let _ = writeln!(
+                out,
+                "tcmm_backend_firings_total{{backend=\"{name}\"}} {}",
+                t.firings
+            );
+        }
+        prom_family(
+            &mut out,
+            "tcmm_backend_busy_seconds_total",
+            "counter",
+            "Wall-clock seconds inside the backend, summed across workers.",
+        );
+        for (name, t) in &self.per_backend {
+            let _ = writeln!(
+                out,
+                "tcmm_backend_busy_seconds_total{{backend=\"{name}\"}} {}",
+                t.busy_ns as f64 / 1e9
+            );
+        }
+
+        prom_family(
+            &mut out,
+            "tcmm_tenant_weight",
+            "gauge",
+            "DRR scheduling weight, by tenant.",
+        );
+        for (id, t) in &self.per_tenant {
+            let _ = writeln!(
+                out,
+                "tcmm_tenant_weight{{tenant=\"{}\"}} {}",
+                id.0, t.weight
+            );
+        }
+        prom_family(
+            &mut out,
+            "tcmm_tenant_requests_total",
+            "counter",
+            "Requests submitted, by tenant.",
+        );
+        for (id, t) in &self.per_tenant {
+            let _ = writeln!(
+                out,
+                "tcmm_tenant_requests_total{{tenant=\"{}\"}} {}",
+                id.0, t.requests
+            );
+        }
+        prom_family(
+            &mut out,
+            "tcmm_tenant_groups_total",
+            "counter",
+            "Lane groups packed, by tenant.",
+        );
+        for (id, t) in &self.per_tenant {
+            let _ = writeln!(
+                out,
+                "tcmm_tenant_groups_total{{tenant=\"{}\"}} {}",
+                id.0, t.groups
+            );
+        }
+        prom_family(
+            &mut out,
+            "tcmm_tenant_queue_wait_seconds_total",
+            "counter",
+            "Total seconds the tenant's groups spent queued.",
+        );
+        for (id, t) in &self.per_tenant {
+            let _ = writeln!(
+                out,
+                "tcmm_tenant_queue_wait_seconds_total{{tenant=\"{}\"}} {}",
+                id.0,
+                t.queue_wait_ns_total as f64 / 1e9
+            );
+        }
+
+        prom_family(
+            &mut out,
+            "tcmm_stage_latency_seconds",
+            "histogram",
+            "Per-group/per-request latency by lifecycle stage (all tenants).",
+        );
+        for (stage, h) in self.stages.latency_stages() {
+            prom_hist(
+                &mut out,
+                "tcmm_stage_latency_seconds",
+                &format!("stage=\"{stage}\""),
+                h,
+                true,
+            );
+        }
+        prom_family(
+            &mut out,
+            "tcmm_request_firings",
+            "histogram",
+            "Gate firings per request (spikes; all tenants).",
+        );
+        prom_hist(
+            &mut out,
+            "tcmm_request_firings",
+            "",
+            &self.stages.firings,
+            false,
+        );
+
+        prom_family(
+            &mut out,
+            "tcmm_tenant_stage_latency_seconds",
+            "histogram",
+            "Per-group/per-request latency by lifecycle stage and tenant.",
+        );
+        for (id, stages) in &self.per_tenant_stages {
+            for (stage, h) in stages.latency_stages() {
+                prom_hist(
+                    &mut out,
+                    "tcmm_tenant_stage_latency_seconds",
+                    &format!("tenant=\"{}\",stage=\"{stage}\"", id.0),
+                    h,
+                    true,
+                );
+            }
+        }
+        prom_family(
+            &mut out,
+            "tcmm_tenant_request_firings",
+            "histogram",
+            "Gate firings per request, by tenant (spikes).",
+        );
+        for (id, stages) in &self.per_tenant_stages {
+            prom_hist(
+                &mut out,
+                "tcmm_tenant_request_firings",
+                &format!("tenant=\"{}\"", id.0),
+                &stages.firings,
+                false,
+            );
+        }
+        prom_family(
+            &mut out,
+            "tcmm_backend_eval_seconds",
+            "histogram",
+            "Backend eval wall-clock per lane group, by backend.",
+        );
+        for (name, h) in &self.per_backend_eval {
+            prom_hist(
+                &mut out,
+                "tcmm_backend_eval_seconds",
+                &format!("backend=\"{name}\""),
+                h,
+                true,
+            );
+        }
+        out
+    }
+}
+
+/// Turns a stream of cumulative [`TelemetrySummary`] snapshots into
+/// per-interval deltas — the "what happened since the last report" reporter
+/// a periodic exporter loop wraps around [`crate::Runtime::telemetry`]:
+///
+/// ```
+/// # use tc_runtime::{Runtime, TelemetryReporter};
+/// let runtime = Runtime::new();
+/// let mut reporter = TelemetryReporter::new(runtime.telemetry());
+/// // ... serve traffic, then once per export interval:
+/// let interval = reporter.report(runtime.telemetry());
+/// println!("{}", interval.to_json());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TelemetryReporter {
+    last: TelemetrySummary,
+}
+
+impl TelemetryReporter {
+    /// Starts an interval sequence from `initial` (typically the snapshot
+    /// taken when the exporter loop starts; deltas never include traffic
+    /// served before it).
+    pub fn new(initial: TelemetrySummary) -> TelemetryReporter {
+        TelemetryReporter { last: initial }
+    }
+
+    /// The delta between `current` and the previous report (see
+    /// [`TelemetrySummary::delta_since`] for gauge/peak semantics), and
+    /// advances the interval.
+    pub fn report(&mut self, current: TelemetrySummary) -> TelemetrySummary {
+        let delta = current.delta_since(&self.last);
+        self.last = current;
+        delta
     }
 }
 
@@ -298,13 +983,32 @@ impl fmt::Display for TelemetrySummary {
             self.pool_hits,
             self.pool_misses
         )?;
+        if !self.stages.end_to_end.is_empty() {
+            write!(f, "stage p50/p95/p99 (ms):")?;
+            for (name, h) in self.stages.latency_stages() {
+                if h.is_empty() {
+                    continue;
+                }
+                write!(
+                    f,
+                    "  {name} {:.3}/{:.3}/{:.3}",
+                    h.quantile(0.5) as f64 / 1e6,
+                    h.quantile(0.95) as f64 / 1e6,
+                    h.quantile(0.99) as f64 / 1e6
+                )?;
+            }
+            writeln!(f)?;
+        }
         for (name, tally) in &self.per_backend {
             writeln!(
                 f,
-                "  {name:>14}: {} groups, {} requests, {:.3}s busy",
+                "  {name:>14}: {} groups, {} requests, {:.3}s busy, \
+                 {} gate-evals, {} firings",
                 tally.groups,
                 tally.requests,
-                tally.busy_ns as f64 / 1e9
+                tally.busy_ns as f64 / 1e9,
+                tally.gate_evals,
+                tally.firings
             )?;
         }
         if !self.per_tenant.is_empty() {
@@ -357,10 +1061,92 @@ mod tests {
         assert_eq!(s.firings, 3_250);
         assert_eq!(s.per_backend["sliced64"].groups, 2);
         assert_eq!(s.per_backend["sliced64"].requests, 74);
+        assert_eq!(s.per_backend["sliced64"].gate_evals, 74 * 100);
+        assert_eq!(s.per_backend["sliced64"].firings, 690);
         assert_eq!(s.per_backend["wide256"].busy_ns, 2_000);
+        assert_eq!(s.per_backend["wide256"].firings, 2_560);
         assert!(s.gate_evals_per_sec() > 0.0);
         let display = s.to_string();
         assert!(display.contains("sliced64"));
         assert!(display.contains("padded lanes: 54"));
+    }
+
+    #[test]
+    fn zero_ns_queue_waits_participate_in_the_fairness_ratio() {
+        let t = Telemetry::default();
+        // A tenant whose every queued group measured 0 ns on a coarse
+        // clock, against one that accumulated real wait: the ratio must
+        // treat the former as the (clamped) best case, not drop it and
+        // report a vacuous 1.0.
+        t.record_tenant(TenantId(1), 1, 64, 4, 4, 100, 0, 0);
+        t.record_tenant(TenantId(2), 1, 64, 4, 4, 100, 4_000, 2_000);
+        let s = t.snapshot();
+        assert_eq!(s.max_queue_wait_ratio(), 1_000.0);
+        // A tenant that never queued (inline-only) still stays out.
+        t.record_tenant(TenantId(3), 1, 64, 4, 0, 0, 0, 0);
+        assert_eq!(t.snapshot().max_queue_wait_ratio(), 1_000.0);
+    }
+
+    #[test]
+    fn stage_histograms_merge_into_the_global_view() {
+        let t = Telemetry::default();
+        let a = t.tenant_stages(TenantId(1));
+        let b = t.tenant_stages(TenantId(2));
+        assert!(
+            Arc::ptr_eq(&a, &t.tenant_stages(TenantId(1))),
+            "same tenant must share one histogram set"
+        );
+        a.end_to_end.record(1_000);
+        a.firings.record(10);
+        b.end_to_end.record(3_000);
+        b.firings.record(30);
+        t.backend_eval("sliced64").record(500);
+        let s = t.snapshot();
+        assert_eq!(s.stages.end_to_end.count(), 2);
+        assert_eq!(s.stages.firings.sum(), 40);
+        assert_eq!(s.per_tenant_stages[&TenantId(1)].end_to_end.count(), 1);
+        assert_eq!(s.per_backend_eval["sliced64"].count(), 1);
+    }
+
+    #[test]
+    fn reporter_yields_interval_deltas() {
+        let t = Telemetry::default();
+        t.record_group("sliced64", 64, 64, [100, 0, 0], 10, 1_000);
+        t.tenant_stages(TenantId::DEFAULT).end_to_end.record(5_000);
+        let mut reporter = TelemetryReporter::new(t.snapshot());
+        t.record_group("sliced64", 32, 64, [50, 0, 0], 5, 500);
+        t.tenant_stages(TenantId::DEFAULT).end_to_end.record(7_000);
+        t.tenant_stages(TenantId::DEFAULT).end_to_end.record(9_000);
+        let delta = reporter.report(t.snapshot());
+        assert_eq!(delta.requests, 32);
+        assert_eq!(delta.groups, 1);
+        assert_eq!(delta.firings, 5);
+        assert_eq!(delta.per_backend["sliced64"].requests, 32);
+        assert_eq!(delta.stages.end_to_end.count(), 2);
+        assert_eq!(delta.stages.end_to_end.sum(), 16_000);
+        // The next interval starts from here: an idle interval is all-zero.
+        let idle = reporter.report(t.snapshot());
+        assert_eq!(idle.requests, 0);
+        assert_eq!(idle.stages.end_to_end.count(), 0);
+    }
+
+    #[test]
+    fn exports_carry_the_schema_version() {
+        let t = Telemetry::default();
+        t.record_group("sliced64", 64, 64, [100, 0, 0], 10, 1_000);
+        t.record_tenant(TenantId(1), 2, 64, 1, 1, 10, 2_000, 2_000);
+        t.tenant_stages(TenantId(1)).end_to_end.record(1_500);
+        let s = t.snapshot();
+        let json = s.to_json();
+        assert!(json.contains("\"schema_version\": 1"), "{json}");
+        assert!(json.contains("\"requests\": 64"), "{json}");
+        assert!(json.contains("\"end_to_end\""), "{json}");
+        let prom = s.to_prometheus();
+        assert!(prom.contains("tcmm_telemetry_schema_version 1"), "{prom}");
+        assert!(prom.contains("tcmm_requests_total 64"), "{prom}");
+        assert!(
+            prom.contains("tcmm_tenant_stage_latency_seconds_bucket{tenant=\"1\",stage=\"end_to_end\",le=\"+Inf\"} 1"),
+            "{prom}"
+        );
     }
 }

@@ -1,0 +1,239 @@
+//! `TCMM_TRACE` flight recorder: a bounded ring of recent group-lifecycle
+//! events, kept only when tracing is enabled and dumped to stderr when a
+//! session aborts or panics.
+//!
+//! The recorder answers the post-mortem question "what was the runtime
+//! doing right before it died?" without the cost or volume of a full log:
+//! it keeps the last `capacity` events (default 1024, oldest overwritten
+//! first), each a fixed-size record — no per-event allocation. Recording is
+//! a short critical section on a plain mutex; the feature is off unless the
+//! `TCMM_TRACE` environment variable enables it, so the steady-state serve
+//! loop never pays for it.
+//!
+//! `TCMM_TRACE` values: `on`, `1`, `true` → a 1024-event ring; a positive
+//! integer → a ring of that capacity; anything else (including unset,
+//! `off`, `0`) → disabled.
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::TenantId;
+
+/// Default ring capacity when `TCMM_TRACE=on`.
+const DEFAULT_CAPACITY: usize = 1024;
+
+/// What happened to a group (see [`TraceEvent`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TraceEventKind {
+    /// Group dispatched toward the scheduler queue (detail = rows).
+    Enqueued,
+    /// Worker popped the group off its tenant queue (detail = queue-wait
+    /// nanoseconds).
+    Popped,
+    /// Backend finished evaluating the group (detail = busy nanoseconds).
+    Evaluated,
+    /// Worker delivered the finished group to the session window
+    /// (detail = responses).
+    Delivered,
+    /// Consumer cursor reached the group (detail = responses).
+    Consumed,
+    /// Session aborted (detail = 0); the dump that follows is the
+    /// post-mortem.
+    Aborted,
+}
+
+impl TraceEventKind {
+    fn name(self) -> &'static str {
+        match self {
+            TraceEventKind::Enqueued => "enqueued",
+            TraceEventKind::Popped => "popped",
+            TraceEventKind::Evaluated => "evaluated",
+            TraceEventKind::Delivered => "delivered",
+            TraceEventKind::Consumed => "consumed",
+            TraceEventKind::Aborted => "aborted",
+        }
+    }
+}
+
+/// One fixed-size group-lifecycle record.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TraceEvent {
+    /// Microseconds since the recorder (≈ the session) was created.
+    pub at_us: u64,
+    /// The tenant whose group this was.
+    pub tenant: TenantId,
+    /// The group's scheduler sequence number (0 when not yet assigned).
+    pub seq: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+    /// Kind-specific payload (row/response count or nanoseconds).
+    pub detail: u64,
+}
+
+struct Ring {
+    events: Vec<TraceEvent>,
+    /// Next write position; wraps at capacity.
+    head: usize,
+    /// Total events ever recorded (so the dump can say how many were lost).
+    recorded: u64,
+}
+
+/// The bounded event ring (see the module docs for the lifecycle).
+pub(crate) struct FlightRecorder {
+    start: Instant,
+    capacity: usize,
+    ring: Mutex<Ring>,
+}
+
+impl FlightRecorder {
+    /// Builds a recorder if `TCMM_TRACE` asks for one. Reads the
+    /// environment on every call (session creation is not a hot path), so
+    /// tests can flip the variable between sessions.
+    pub(crate) fn from_env() -> Option<FlightRecorder> {
+        let value = std::env::var("TCMM_TRACE").ok()?;
+        let capacity = match value.trim() {
+            "on" | "1" | "true" => DEFAULT_CAPACITY,
+            other => other.parse::<usize>().ok().filter(|&c| c > 0)?,
+        };
+        Some(FlightRecorder::with_capacity(capacity))
+    }
+
+    /// A recorder holding the last `capacity` events.
+    pub(crate) fn with_capacity(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            start: Instant::now(),
+            capacity,
+            ring: Mutex::new(Ring {
+                events: Vec::with_capacity(capacity),
+                head: 0,
+                recorded: 0,
+            }),
+        }
+    }
+
+    /// Appends one event, overwriting the oldest once the ring is full.
+    pub(crate) fn record(&self, tenant: TenantId, seq: u64, kind: TraceEventKind, detail: u64) {
+        let event = TraceEvent {
+            at_us: self.start.elapsed().as_micros() as u64,
+            tenant,
+            seq,
+            kind,
+            detail,
+        };
+        let mut ring = match self.ring.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if ring.events.len() < self.capacity {
+            ring.events.push(event);
+        } else {
+            let head = ring.head;
+            ring.events[head] = event;
+        }
+        ring.head = (ring.head + 1) % self.capacity;
+        ring.recorded += 1;
+    }
+
+    /// The retained events, oldest first (test hook).
+    #[cfg(test)]
+    pub(crate) fn events(&self) -> Vec<TraceEvent> {
+        let ring = self.ring.lock().unwrap();
+        let (wrapped, fresh) = ring.events.split_at(if ring.events.len() == self.capacity {
+            ring.head
+        } else {
+            0
+        });
+        fresh.iter().chain(wrapped).copied().collect()
+    }
+
+    /// Writes the post-mortem (oldest event first) into `out`.
+    pub(crate) fn dump_to(&self, out: &mut String, why: &str) {
+        let ring = match self.ring.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let dropped = ring.recorded - ring.events.len() as u64;
+        let _ = writeln!(
+            out,
+            "== TCMM_TRACE flight recorder ({why}): last {} of {} events \
+             ({dropped} overwritten) ==",
+            ring.events.len(),
+            ring.recorded,
+        );
+        let order = if ring.events.len() == self.capacity {
+            let (wrapped, fresh) = ring.events.split_at(ring.head);
+            fresh.iter().chain(wrapped)
+        } else {
+            let (all, none) = ring.events.split_at(0);
+            none.iter().chain(all)
+        };
+        for e in order {
+            let _ = writeln!(
+                out,
+                "  +{:>10}us {} seq={} {} detail={}",
+                e.at_us,
+                e.tenant,
+                e.seq,
+                e.kind.name(),
+                e.detail,
+            );
+        }
+        let _ = writeln!(out, "== end flight recorder ==");
+    }
+
+    /// Dumps the post-mortem to stderr (the abort/panic path).
+    pub(crate) fn dump(&self, why: &str) {
+        let mut out = String::new();
+        self.dump_to(&mut out, why);
+        eprint!("{out}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let rec = FlightRecorder::with_capacity(4);
+        for i in 0..10u64 {
+            rec.record(TenantId(1), i, TraceEventKind::Enqueued, i * 10);
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9],
+            "oldest events must be overwritten first"
+        );
+    }
+
+    #[test]
+    fn dump_reports_retention_and_order() {
+        let rec = FlightRecorder::with_capacity(3);
+        for i in 0..5u64 {
+            rec.record(TenantId(2), i, TraceEventKind::Popped, 7);
+        }
+        rec.record(TenantId(2), 5, TraceEventKind::Aborted, 0);
+        let mut out = String::new();
+        rec.dump_to(&mut out, "test abort");
+        assert!(out.contains("test abort"), "{out}");
+        assert!(out.contains("last 3 of 6 events (3 overwritten)"), "{out}");
+        assert!(out.contains("aborted"), "{out}");
+        let popped_at = out.find("seq=4 popped").expect("kept event present");
+        let aborted_at = out.find("seq=5 aborted").unwrap();
+        assert!(popped_at < aborted_at, "oldest first:\n{out}");
+        assert!(!out.contains("seq=0 "), "overwritten event leaked:\n{out}");
+    }
+
+    #[test]
+    fn partial_ring_dumps_everything() {
+        let rec = FlightRecorder::with_capacity(8);
+        rec.record(TenantId(0), 1, TraceEventKind::Evaluated, 42);
+        assert_eq!(rec.events().len(), 1);
+        let mut out = String::new();
+        rec.dump_to(&mut out, "x");
+        assert!(out.contains("last 1 of 1 events (0 overwritten)"), "{out}");
+    }
+}

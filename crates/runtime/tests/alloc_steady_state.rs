@@ -282,6 +282,80 @@ fn streaming_session_serve_loop_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn stage_metrics_keep_the_multi_tenant_serve_loop_allocation_free() {
+    let _guard = SERIAL.lock().unwrap();
+    let cc = layered_circuit();
+    let requests = rows(64);
+
+    // Two tenants, so every request crosses the full metrics surface: two
+    // per-tenant stage-histogram sets, per-slot lookups, pooled timestamp
+    // buffers, and the per-backend eval histogram. The lifecycle
+    // histograms must ride the pooled buffers — the 0-allocs/request pin
+    // holds with stage metrics recording on every request.
+    let runtime = Runtime::builder()
+        .fixed_backend("sliced64")
+        .workers(1)
+        .build();
+    let (a, b) = (tc_runtime::TenantId(7), tc_runtime::TenantId(8));
+
+    let steady_allocs =
+        runtime.open_session(&cc, SessionOptions::default().unordered(), |session| {
+            session.register_tenant(a, 2).unwrap();
+            session.register_tenant(b, 1).unwrap();
+            let drive = |requests_to_serve: usize| {
+                let mut served = 0usize;
+                for i in 0..requests_to_serve {
+                    let tenant = if i % 2 == 0 { a } else { b };
+                    session
+                        .submit_for(tenant, &requests[i % requests.len()])
+                        .unwrap();
+                    while let Some(resp) = session.try_next_response().unwrap() {
+                        std::hint::black_box(resp.outputs[0]);
+                        std::hint::black_box(resp.firing_count);
+                        served += 1;
+                    }
+                }
+                served
+            };
+
+            drive(4 * 64);
+
+            let before = allocs();
+            let served = drive(10 * 64);
+            let after = allocs();
+            assert!(served >= 9 * 64, "the loop must actually deliver");
+
+            // Drain to completion so every request's lifecycle — through
+            // consumption — lands in the histograms before we inspect them.
+            session.finish();
+            for resp in session.responses() {
+                std::hint::black_box(resp.unwrap().firing_count);
+            }
+            after - before
+        });
+
+    assert_eq!(
+        steady_allocs, 0,
+        "per-request stage metrics must not cost the steady-state serve \
+         loop a single allocation"
+    );
+
+    // And the metrics actually recorded: both tenants' lifecycle
+    // histograms saw every one of their requests.
+    let summary = runtime.telemetry();
+    for tenant in [a, b] {
+        let stages = &summary.per_tenant_stages[&tenant];
+        let requests = summary.per_tenant[&tenant].requests;
+        assert!(requests > 0);
+        assert_eq!(stages.end_to_end.count(), requests, "{tenant} e2e");
+        assert_eq!(stages.firings.count(), requests, "{tenant} firings");
+        assert!(stages.eval.count() > 0, "{tenant} eval groups");
+        assert!(stages.pack.count() > 0, "{tenant} packed groups");
+    }
+    assert!(summary.per_backend_eval["sliced64"].count() > 0);
+}
+
+#[test]
 fn canonicalized_circuit_on_simd_path_is_allocation_free_after_warmup() {
     let _guard = SERIAL.lock().unwrap();
     let cc = canonicalized_circuit();

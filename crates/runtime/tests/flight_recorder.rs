@@ -1,0 +1,86 @@
+//! End-to-end checks of the `TCMM_TRACE` flight recorder gate. These tests
+//! mutate the process environment, so they live in their OWN test binary:
+//! cargo runs each integration-test binary in its own process, and the
+//! `SERIAL` lock below serialises the tests within it — no other test can
+//! observe the variable mid-flip.
+
+use std::sync::Mutex;
+
+use tc_circuit::{CircuitBuilder, CompiledCircuit, Wire};
+use tc_runtime::{Runtime, RuntimeError, SessionOptions};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn tiny() -> CompiledCircuit {
+    let mut b = CircuitBuilder::new(2);
+    let g = b
+        .add_gate([(Wire::input(0), 1), (Wire::input(1), 1)], 2)
+        .unwrap();
+    b.mark_output(g);
+    b.build().compile().unwrap()
+}
+
+fn serve_some(runtime: &Runtime) {
+    let cc = tiny();
+    let rows: Vec<Vec<bool>> = (0..200).map(|i| vec![i % 2 == 0, i % 3 == 0]).collect();
+    let responses = runtime.serve_batch(&cc, &rows).unwrap();
+    assert_eq!(responses.len(), 200);
+}
+
+/// Sessions must behave identically — same responses, same errors — with
+/// the recorder on and off; the ring is observation only.
+#[test]
+fn tracing_does_not_change_serving_behaviour() {
+    let _guard = SERIAL.lock().unwrap();
+    let runtime = Runtime::builder().fixed_backend("sliced64").build();
+
+    std::env::remove_var("TCMM_TRACE");
+    serve_some(&runtime);
+    let baseline = runtime.telemetry();
+
+    std::env::set_var("TCMM_TRACE", "on");
+    serve_some(&runtime);
+    std::env::remove_var("TCMM_TRACE");
+
+    let traced = runtime.telemetry().delta_since(&baseline);
+    assert_eq!(traced.requests, baseline.requests);
+    assert_eq!(traced.groups, baseline.groups);
+    assert_eq!(
+        traced.stages.end_to_end.count(),
+        baseline.stages.end_to_end.count()
+    );
+}
+
+/// An aborting session with tracing enabled still surfaces its typed error
+/// (the stderr dump must not mask or replace the error path), and bogus
+/// `TCMM_TRACE` values leave the recorder off rather than failing.
+#[test]
+fn abort_with_tracing_still_surfaces_the_error() {
+    let _guard = SERIAL.lock().unwrap();
+    for value in ["on", "64", "definitely-not-a-capacity", "0"] {
+        std::env::set_var("TCMM_TRACE", value);
+        let runtime = Runtime::builder().fixed_backend("sliced64").build();
+        let cc = tiny();
+        let err = runtime.open_session(&cc, SessionOptions::default(), |session| {
+            session.submit(&[true, false]).unwrap();
+            // Wrong arity: the backend rejects the row group mid-serve.
+            let err = match session.submit(&[true, false, true, false]) {
+                Err(e) => e,
+                Ok(_) => {
+                    session.finish();
+                    session
+                        .responses()
+                        .find_map(|r| r.err())
+                        .expect("a mis-shaped row must surface an error")
+                }
+            };
+            session.finish();
+            err
+        });
+        assert!(
+            matches!(err, RuntimeError::Circuit(_)),
+            "TCMM_TRACE={value}: expected the circuit arity error, got {err:?}"
+        );
+    }
+    std::env::remove_var("TCMM_TRACE");
+}

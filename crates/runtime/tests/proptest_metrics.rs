@@ -1,0 +1,138 @@
+//! Property tests for the runtime's log-linear histogram: quantiles must
+//! track a sorted-vector oracle within the documented
+//! [`tc_runtime::RELATIVE_ERROR`] bound, and concurrent recorders merging
+//! into one histogram must account every sample exactly — the two claims
+//! the serving telemetry's correctness rests on.
+
+use proptest::prelude::*;
+use tc_runtime::{Histogram, HistogramSnapshot, RELATIVE_ERROR};
+
+/// The exact rank-selected quantile (the definition the histogram
+/// approximates): smallest sample whose rank covers `q`.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = (sorted.len() as f64 * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Mixed-magnitude samples: latencies live anywhere from nanoseconds to
+/// tens of seconds, so draw exponents as well as mantissas.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec((0u32..45, 0u64..1 << 17), 1..400).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(shift, m)| (m << (shift / 3)) + shift as u64)
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every quantile query lands in `[exact, exact * (1 + RELATIVE_ERROR)]`
+    /// (exact below the linear threshold), for arbitrary sample sets and
+    /// probe points.
+    #[test]
+    fn quantiles_respect_the_error_bound(values in samples(), probes in prop::collection::vec(0u32..=1000, 1..12)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.max(), *sorted.last().unwrap());
+        for q in probes.into_iter().map(|p| p as f64 / 1000.0) {
+            let exact = oracle_quantile(&sorted, q);
+            let approx = snap.quantile(q);
+            prop_assert!(approx >= exact, "q={}: reported {} below exact {}", q, approx, exact);
+            let bound = exact + (exact as f64 * RELATIVE_ERROR).ceil() as u64;
+            prop_assert!(
+                approx <= bound,
+                "q={}: reported {} exceeds error bound {} over exact {}",
+                q, approx, bound, exact
+            );
+        }
+    }
+
+    /// Recording a sample set split across N threads into N histograms and
+    /// merging them equals recording everything into one histogram —
+    /// bucket-exact, sum-exact, max-exact.
+    #[test]
+    fn concurrent_recorders_merge_exactly(values in samples(), threads in 2usize..5) {
+        let reference = Histogram::new();
+        for &v in &values {
+            reference.record(v);
+        }
+        let merged = Histogram::new();
+        std::thread::scope(|s| {
+            for part in 0..threads {
+                let merged = &merged;
+                let chunk: Vec<u64> = values
+                    .iter()
+                    .copied()
+                    .skip(part)
+                    .step_by(threads)
+                    .collect();
+                s.spawn(move || {
+                    let local = Histogram::new();
+                    for v in chunk {
+                        local.record(v);
+                    }
+                    merged.merge_from(&local);
+                });
+            }
+        });
+        prop_assert_eq!(merged.snapshot(), reference.snapshot());
+    }
+
+    /// The batched recording paths the serving hot path uses
+    /// ([`Histogram::record_iter`] run-coalescing, [`Histogram::record_n`])
+    /// are bucket-, sum-, and max-identical to one [`Histogram::record`]
+    /// call per sample.
+    #[test]
+    fn batched_recording_matches_singles(values in samples(), n in 1u64..5) {
+        let singles = Histogram::new();
+        for &v in &values {
+            singles.record(v);
+        }
+        let batched = Histogram::new();
+        batched.record_iter(values.iter().copied());
+        prop_assert_eq!(batched.snapshot(), singles.snapshot());
+
+        let by_n = Histogram::new();
+        let one_by_one = Histogram::new();
+        for &v in values.iter().take(8) {
+            by_n.record_n(v, n);
+            for _ in 0..n {
+                one_by_one.record(v);
+            }
+        }
+        prop_assert_eq!(by_n.snapshot(), one_by_one.snapshot());
+    }
+
+    /// Snapshot-level merge and delta are inverses: for cumulative
+    /// snapshots `a` then `a+b`, `delta_since(a)` recovers `b`.
+    #[test]
+    fn snapshot_delta_inverts_merge(first in samples(), second in samples()) {
+        let h = Histogram::new();
+        for &v in &first {
+            h.record(v);
+        }
+        let early = h.snapshot();
+        for &v in &second {
+            h.record(v);
+        }
+        let late = h.snapshot();
+        let delta = late.delta_since(&early);
+        prop_assert_eq!(delta.count(), second.len() as u64);
+        prop_assert_eq!(delta.sum(), second.iter().sum::<u64>());
+        let mut rebuilt = HistogramSnapshot::default();
+        rebuilt.merge(&early);
+        rebuilt.merge(&delta);
+        // Counts and sums round-trip exactly; max is a gauge (kept at the
+        // current value by delta), so compare through the buckets.
+        prop_assert_eq!(rebuilt.count(), late.count());
+        prop_assert_eq!(rebuilt.sum(), late.sum());
+    }
+}
