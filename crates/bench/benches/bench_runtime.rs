@@ -30,7 +30,7 @@ use fast_matmul::BilinearAlgorithm;
 use tc_circuit::{CircuitBuilder, CompiledCircuit, Wire};
 use tc_graph::generators;
 use tc_runtime::{Runtime, SessionOptions, TenantId};
-use tcmm_bench::drive_contended_tenants;
+use tcmm_bench::{drive_contended_tenants, drive_overload_shedding, p99};
 use tcmm_core::{trace::TraceCircuit, CircuitConfig};
 
 /// The serving workload: a Theorem 4.5 trace circuit (~881k gates for the
@@ -206,6 +206,97 @@ fn measure_fairness() -> String {
         b.mean_queue_wait_ns(),
         s.queue_wait_ns_max,
         b.queue_wait_ns_max,
+    )
+}
+
+/// The overload/shedding scenario: a steady tenant and an overload tenant
+/// offering roughly 2x the steady tenant's load into a `ShedNewest`
+/// session over a 4-group queue. Reports the shed rate at that offered
+/// load and the steady tenant's p99 — the number the admission policy
+/// exists to protect: shedding the overload tenant's excess keeps queues
+/// short instead of letting every request's latency grow without bound.
+fn measure_shedding() -> String {
+    let cc = stream_circuit();
+    let rows: Vec<Vec<bool>> = (0..64usize)
+        .map(|i| (0..16).map(|b| (i >> (b % 8)) & 1 == 1).collect())
+        .collect();
+    let (steady_n, overload_n) = (64 * 256usize, 64 * 512usize);
+    let runtime = Runtime::builder()
+        .fixed_backend("sliced64")
+        .workers(2)
+        .queue_capacity(4)
+        .build();
+    let report = drive_overload_shedding(&runtime, &cc, &rows, steady_n, overload_n);
+    assert_eq!(
+        report.steady_served + report.steady_shed + report.overload_served + report.overload_shed,
+        steady_n + overload_n,
+        "every accepted row must be answered (payload or typed Shed)"
+    );
+    let summary = runtime.telemetry();
+    let offered = (steady_n + overload_n) as f64;
+    let shed_rate = summary.sheds as f64 / offered;
+    let steady_p99_ms = p99(&report.steady_latencies) * 1e3;
+    println!(
+        "shedding_report: offered {offered:.0} rows at ~2x steady load \
+         (queue capacity 4 groups, ShedNewest)\n\
+         steady   : {} served / {} shed, p99 {steady_p99_ms:.3} ms\n\
+         overload : {} served / {} shed, shed rate {:.1}% of offered load\n",
+        report.steady_served,
+        report.steady_shed,
+        report.overload_served,
+        report.overload_shed,
+        shed_rate * 100.0,
+    );
+    format!(
+        ",\n  \"shedding\": {{\"steady_offered\": {steady_n}, \
+         \"overload_offered\": {overload_n}, \
+         \"steady_served\": {}, \"steady_shed\": {}, \
+         \"overload_served\": {}, \"overload_shed\": {}, \
+         \"shed_rate\": {shed_rate:.4}, \
+         \"steady_p99_ms\": {steady_p99_ms:.4}}}",
+        report.steady_served, report.steady_shed, report.overload_served, report.overload_shed,
+    )
+}
+
+/// Single-tenant streaming throughput with a (generous) deadline armed:
+/// the deadline check sits on the pop path, so this measures the tax the
+/// robustness machinery puts on the healthy fast path. Returns the JSON
+/// fragment plus the measured requests/sec (gated against the same frozen
+/// FIFO baseline as the deadline-free run).
+fn measure_deadline_stream() -> (String, f64) {
+    let cc = stream_circuit();
+    let total = 1_000_000usize;
+    let rows: Vec<Vec<bool>> = (0..64usize)
+        .map(|i| (0..16).map(|b| (i >> (b % 8)) & 1 == 1).collect())
+        .collect();
+    let runtime = Runtime::builder().fixed_backend("sliced64").build();
+    let opts = SessionOptions::default().deadline(Duration::from_secs(3600));
+    let t0 = Instant::now();
+    let served = runtime.open_session(&cc, opts, |session| {
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..total {
+                    session.submit(&rows[i % rows.len()]).unwrap();
+                }
+                session.finish();
+            });
+            let mut served = 0usize;
+            for resp in session.responses() {
+                let resp = resp.unwrap();
+                assert!(resp.error().is_none(), "a 1h deadline never expires here");
+                served += 1;
+            }
+            served
+        })
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(served, total);
+    assert_eq!(runtime.telemetry().deadline_misses, 0);
+    let rps = total as f64 / secs;
+    println!("deadline_stream_report: {total} requests with a 1h deadline armed: {rps:.0} req/sec");
+    (
+        format!(",\n  \"deadline_session_requests_per_sec\": {rps:.0}"),
+        rps,
     )
 }
 
@@ -385,7 +476,9 @@ fn runtime_report(_c: &mut Criterion) {
     // on the same runner class); a warning otherwise.
     let baseline = recorded_stream_baseline();
     let (stream_json, session_rps) = measure_stream();
+    let (deadline_json, deadline_rps) = measure_deadline_stream();
     let fairness_json = measure_fairness();
+    let shedding_json = measure_shedding();
     let enforce = std::env::var("BENCH_ENFORCE_BASELINE").as_deref() == Ok("1");
     let fail_or_warn = |message: String| {
         if enforce {
@@ -404,6 +497,20 @@ fn runtime_report(_c: &mut Criterion) {
                 fail_or_warn(format!(
                     "single-tenant streaming throughput regressed to {ratio:.2}x of the \
                      recorded baseline ({session_rps:.0} vs {baseline:.0} req/sec; \
+                     floor 0.90x)"
+                ));
+            }
+            // The same floor with a deadline armed: robustness must not tax
+            // the healthy path by more than the general scheduler budget.
+            let deadline_ratio = deadline_rps / baseline;
+            println!(
+                "deadline_stream_report: {deadline_rps:.0} req/sec vs recorded baseline \
+                 {baseline:.0} ({deadline_ratio:.2}x)"
+            );
+            if deadline_ratio < 0.9 {
+                fail_or_warn(format!(
+                    "deadline-enabled streaming throughput regressed to {deadline_ratio:.2}x \
+                     of the recorded baseline ({deadline_rps:.0} vs {baseline:.0} req/sec; \
                      floor 0.90x)"
                 ));
             }
@@ -432,8 +539,8 @@ fn runtime_report(_c: &mut Criterion) {
          \"tuned_vs_sliced64_speedup_batch256\": {speedup:.3},\n  \
          \"fifo_baseline_requests_per_sec\": {frozen_baseline:.0},\n  \
          \"single_tenant_vs_recorded_baseline\": {baseline_ratio_json},\n  \
-         \"backends\": [{}\n  ]{}{}\n}}\n",
-        report.json_backends, stream_json, fairness_json
+         \"backends\": [{}\n  ]{}{}{}{}\n}}\n",
+        report.json_backends, stream_json, deadline_json, fairness_json, shedding_json
     );
     std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
     println!("wrote BENCH_runtime.json");

@@ -25,7 +25,10 @@ use tc_circuit::CompiledCircuit;
 use tc_convnet::{conv_direct, conv_via_matmul_many_with, ConvLayerSpec, MatmulBackend, Tensor3};
 use tc_graph::{generators, triangles, Graph, TriangleOracle};
 use tc_runtime::{Response, Runtime, SessionOptions, TelemetrySummary, TenantId, RELATIVE_ERROR};
-use tcmm_bench::{banner, drive_contended_tenants, f, p99, p99_exact, workload_matrix, Table};
+use tcmm_bench::{
+    banner, drive_contended_tenants, drive_overload_shedding, f, p99, p99_exact, workload_matrix,
+    Table,
+};
 use tcmm_core::{matmul::MatmulCircuit, CircuitConfig};
 
 /// One pass of the two-tenant fairness scenario on a dedicated 2-worker
@@ -312,6 +315,66 @@ fn main() {
     std::fs::write(prom_path, contended_summary.to_prometheus()).expect("write TELEMETRY_e15.prom");
     std::fs::write(json_path, contended_summary.to_json()).expect("write TELEMETRY_e15.json");
     println!("wrote {prom_path} and {json_path}");
+
+    // ---- workload 5: overload shedding --------------------------------------
+    banner("workload 5: overload shedding (steady tenant vs 3.2x firehose, ShedNewest)");
+    // The overload scenario fairness alone cannot fix: an overload tenant
+    // offering more than the machine can serve. Without shedding, every
+    // queue grows without bound and even the steady tenant's latency grows
+    // with it. With `ShedNewest` over a 4-group queue the excess is
+    // answered immediately with the typed `Shed` error, queues stay short,
+    // and the steady tenant's p99 stays inside the SAME 2x bound workload 4
+    // established for fair contention. Dedicated runtime: the shared
+    // ledger's request count below must stay an exact function of
+    // workloads 1-3.
+    let shed_runtime = Runtime::builder()
+        .fixed_backend("sliced64")
+        .workers(2)
+        .queue_capacity(4)
+        .build();
+    let report = drive_overload_shedding(&shed_runtime, oracle_cc, &padded, steady_n, bursty_n);
+    let shed_summary = shed_runtime.telemetry();
+    println!("{shed_summary}");
+    let answered =
+        report.steady_served + report.steady_shed + report.overload_served + report.overload_shed;
+    assert_eq!(
+        answered,
+        steady_n + bursty_n,
+        "every accepted row must be answered — with a payload or a typed Shed"
+    );
+    assert_eq!(
+        shed_summary.sheds as usize,
+        report.steady_shed + report.overload_shed,
+        "the shed counter must agree with the client-observed shed rows"
+    );
+    assert!(
+        report.overload_shed > 0,
+        "a 3.2x firehose over a 4-group queue must shed"
+    );
+    let overload_p99 = p99(&report.steady_latencies);
+    println!(
+        "steady: {} served / {} shed, p99 {:.1}ms (alone: {:.1}ms)\n\
+         overload tenant: {} served / {} shed ({:.0}% of its offered load shed)",
+        report.steady_served,
+        report.steady_shed,
+        overload_p99 * 1e3,
+        alone_p99 * 1e3,
+        report.overload_served,
+        report.overload_shed,
+        100.0 * report.overload_shed as f64 / bursty_n as f64,
+    );
+    assert!(
+        overload_p99 <= 2.0 * alone_p99 + 0.010,
+        "shedding failed to protect the steady tenant: p99 {:.1}ms under a \
+         3.2x firehose vs {:.1}ms alone (acceptance bound: 2x)",
+        overload_p99 * 1e3,
+        alone_p99 * 1e3,
+    );
+    println!(
+        "shedding keeps the steady tenant's p99 at {:.2}x its uncontended wait \
+         (acceptance: <= 2x) — overload is answered with typed errors, not latency",
+        overload_p99 / alone_p99.max(1e-9),
+    );
 
     // ---- the shared ledger -------------------------------------------------
     banner("shared runtime telemetry across all three workloads");

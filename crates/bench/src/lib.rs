@@ -208,6 +208,109 @@ pub fn drive_contended_tenants(
     (steady_lat, bursty_lat)
 }
 
+/// What [`drive_overload_shedding`] measured: per-tenant served/shed row
+/// counts plus the steady tenant's client-side latency samples
+/// (ascending, seconds; successfully served rows only).
+#[derive(Debug, Default)]
+pub struct OverloadReport {
+    /// Steady-tenant rows answered with a payload.
+    pub steady_served: usize,
+    /// Steady-tenant rows answered with [`tc_runtime::RuntimeError::Shed`].
+    pub steady_shed: usize,
+    /// Overload-tenant rows answered with a payload.
+    pub overload_served: usize,
+    /// Overload-tenant rows answered with `Shed`.
+    pub overload_shed: usize,
+    /// Steady-tenant submit→response latencies, ascending, seconds.
+    pub steady_latencies: Vec<f64>,
+}
+
+/// The overload/shedding scenario: a steady tenant (weight 2) and an
+/// overload tenant (weight 1) firehose rows into one `ShedNewest` session
+/// on the given `runtime` (build it with a small `queue_capacity` so the
+/// overload tenant actually saturates its queue). Every accepted row is
+/// still answered — either with a payload or with the typed
+/// [`tc_runtime::RuntimeError::Shed`] — so the report's four counters sum
+/// to `steady_n + overload_n`.
+pub fn drive_overload_shedding(
+    runtime: &tc_runtime::Runtime,
+    cc: &tc_circuit::CompiledCircuit,
+    rows: &[Vec<bool>],
+    steady_n: usize,
+    overload_n: usize,
+) -> OverloadReport {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+    use std::time::Instant;
+    use tc_runtime::{AdmissionPolicy, RuntimeError, SessionOptions, TenantId};
+
+    let (steady, overload) = (TenantId(1), TenantId(2));
+    let submit_times: Mutex<std::collections::HashMap<u64, Instant>> =
+        Mutex::new(std::collections::HashMap::new());
+    let submitted = AtomicU64::new(0);
+    let total = (steady_n + overload_n) as u64;
+    let opts = SessionOptions::default()
+        .unordered()
+        .admission(AdmissionPolicy::ShedNewest);
+    let mut report = runtime.open_session(cc, opts, |session| {
+        session.register_tenant(steady, 2).unwrap();
+        session.register_tenant(overload, 1).unwrap();
+        std::thread::scope(|s| {
+            let submit_loop = |tenant: TenantId, n: usize| {
+                for i in 0..n {
+                    let id = session.submit_for(tenant, &rows[i % rows.len()]).unwrap();
+                    submit_times.lock().unwrap().insert(id, Instant::now());
+                    submitted.fetch_add(1, Ordering::Relaxed);
+                }
+                session.flush().unwrap();
+            };
+            s.spawn(move || submit_loop(steady, steady_n));
+            s.spawn(move || submit_loop(overload, overload_n));
+            s.spawn(|| {
+                while submitted.load(Ordering::Relaxed) < total {
+                    std::thread::yield_now();
+                }
+                session.finish();
+            });
+            let mut report = OverloadReport::default();
+            for resp in session.responses() {
+                let resp = resp.unwrap();
+                let arrived = Instant::now();
+                let t0 = loop {
+                    if let Some(t0) = submit_times.lock().unwrap().remove(&resp.request_id()) {
+                        break t0;
+                    }
+                    std::thread::yield_now();
+                };
+                let is_steady = resp.tenant() == steady;
+                match resp.outcome() {
+                    Ok(_) => {
+                        if is_steady {
+                            report.steady_served += 1;
+                            report
+                                .steady_latencies
+                                .push(arrived.saturating_duration_since(t0).as_secs_f64());
+                        } else {
+                            report.overload_served += 1;
+                        }
+                    }
+                    Err(RuntimeError::Shed) => {
+                        if is_steady {
+                            report.steady_shed += 1;
+                        } else {
+                            report.overload_shed += 1;
+                        }
+                    }
+                    Err(other) => panic!("unexpected row error under overload: {other}"),
+                }
+            }
+            report
+        })
+    });
+    report.steady_latencies.sort_by(f64::total_cmp);
+    report
+}
+
 /// A quantile of an ascending-sorted sample set computed through the
 /// runtime's shared [`tc_runtime::Histogram`] (same unit as the samples,
 /// which are taken as seconds and bucketed at nanosecond resolution; 0.0

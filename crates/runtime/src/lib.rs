@@ -67,6 +67,7 @@
 #![warn(rust_2018_idioms)]
 
 mod backend;
+mod faults;
 mod metrics;
 mod runtime;
 mod scheduler;
@@ -79,8 +80,10 @@ pub use backend::{
     shape_response_shells, BackendCaps, BackendRegistry, Detail, EvalBackend, LayerParallelBackend,
     Response, ScalarBackend, Sliced64Backend, WideBackend,
 };
+pub use faults::{FaultKind, FaultPlan};
 pub use metrics::{Histogram, HistogramSnapshot, StageHistograms, StageSnapshot, RELATIVE_ERROR};
 pub use runtime::{Runtime, RuntimeBuilder, RuntimeOptions, ServeOptions};
+pub use scheduler::AdmissionPolicy;
 pub use session::{PooledResponse, SessionOptions, StreamSession, SubmitOrNext};
 pub use telemetry::{
     BackendTally, Telemetry, TelemetryReporter, TelemetrySummary, TenantTally,
@@ -150,6 +153,26 @@ pub enum RuntimeError {
         /// Where the panic was observed ("worker", "consumer lock", …).
         context: &'static str,
     },
+    /// The request was accepted but could not be evaluated before its
+    /// deadline ([`SessionOptions::deadline`] / [`ServeOptions::deadline`]):
+    /// the scheduler skipped evaluation at pop time because the cost
+    /// model's calibrated per-group estimate no longer fit, and answered
+    /// the row with this error through the normal delivery window
+    /// (accepted-implies-answered still holds).
+    DeadlineExceeded,
+    /// The request was accepted but shed at admission because its tenant's
+    /// queue was full under a shedding [`AdmissionPolicy`]
+    /// (`ShedNewest` refuses the incoming group, `ShedOldest` evicts the
+    /// queue head). Shed rows are answered with this error through the
+    /// normal delivery window, never silently dropped.
+    Shed,
+    /// A deterministic fault injected by a [`FaultPlan`] (`TCMM_FAULTS`).
+    /// Only ever produced while fault injection is armed; the payload names
+    /// the injected fault shape.
+    FaultInjected(
+        /// The injected fault shape ("eval_error", …).
+        &'static str,
+    ),
 }
 
 impl fmt::Display for RuntimeError {
@@ -174,6 +197,15 @@ impl fmt::Display for RuntimeError {
             RuntimeError::SessionPanicked { context } => {
                 write!(f, "a session thread panicked mid-serve ({context})")
             }
+            RuntimeError::DeadlineExceeded => {
+                write!(f, "request deadline expired before evaluation")
+            }
+            RuntimeError::Shed => {
+                write!(f, "request shed at admission (tenant queue full)")
+            }
+            RuntimeError::FaultInjected(kind) => {
+                write!(f, "deterministic injected fault: {kind}")
+            }
         }
     }
 }
@@ -191,6 +223,15 @@ impl From<tc_circuit::CircuitError> for RuntimeError {
     fn from(e: tc_circuit::CircuitError) -> Self {
         RuntimeError::Circuit(e)
     }
+}
+
+/// Locks a mutex tolerating poison: a panic elsewhere (a crashed worker, an
+/// injected fault) marks the mutex poisoned, but the data under these locks
+/// is counters/ring-buffers that stay structurally valid, so observers keep
+/// working rather than cascading the panic into telemetry snapshots or
+/// flight-recorder dumps.
+pub(crate) fn lock_tolerant<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Result alias used throughout the crate.

@@ -2,10 +2,13 @@
 //! compiled circuit, with auto-tuned backend choice and scheduler sharding.
 
 use crate::backend::{BackendRegistry, Detail, EvalBackend, Response};
+use crate::scheduler::AdmissionPolicy;
 use crate::session::{SessionOptions, SessionShared, StreamSession};
 use crate::telemetry::{Telemetry, TelemetrySummary};
 use crate::tuner::{rank_by_model, AutoTuner, TunerPolicy};
 use crate::{Result, TenantId};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
 use tc_circuit::CompiledCircuit;
 
 /// Per-call tunables for the materialising [`Runtime::serve_batch_with`] /
@@ -21,6 +24,17 @@ pub struct ServeOptions {
     pub tenant: TenantId,
     /// The tenant's scheduling weight (clamped to ≥ 1).
     pub weight: u32,
+    /// Per-request deadline for this call's rows, measured from
+    /// acceptance: rows whose remaining budget no longer covers the eval
+    /// estimate when a worker reaches them are shed with
+    /// [`crate::RuntimeError::DeadlineExceeded`] (which fails the whole
+    /// materialising call — per-row outcomes need
+    /// [`Runtime::open_session`]). `None` disables the check.
+    pub deadline: Option<Duration>,
+    /// What to do when the call's tenant queue is full at submit time
+    /// (see [`AdmissionPolicy`]); shed rows fail the materialising call
+    /// with [`crate::RuntimeError::Shed`].
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for ServeOptions {
@@ -29,6 +43,8 @@ impl Default for ServeOptions {
             detail: Detail::Outputs,
             tenant: TenantId::DEFAULT,
             weight: 1,
+            deadline: None,
+            admission: AdmissionPolicy::Block,
         }
     }
 }
@@ -52,11 +68,27 @@ impl ServeOptions {
         self
     }
 
+    /// Sets the per-request deadline (see [`ServeOptions::deadline`]).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the full-queue admission policy (see
+    /// [`ServeOptions::admission`]).
+    pub fn admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
     fn session_options(&self) -> SessionOptions {
-        SessionOptions::default()
+        let mut opts = SessionOptions::default()
             .detail(self.detail)
             .tenant(self.tenant)
             .weight(self.weight)
+            .admission(self.admission);
+        opts.deadline = self.deadline;
+        opts
     }
 }
 
@@ -153,14 +185,30 @@ impl RuntimeBuilder {
 
     /// Finishes the builder.
     pub fn build(self) -> Runtime {
+        let health = (0..self.registry.backends().len())
+            .map(|_| BackendHealth::default())
+            .collect();
         Runtime {
             registry: self.registry,
             tuner: AutoTuner::new(),
             policy: self.policy,
             opts: self.opts,
             telemetry: Telemetry::default(),
+            health,
         }
     }
+}
+
+/// Per-backend quarantine state: consecutive eval failures and the
+/// exponential-backoff pick budget that must drain before a re-probe.
+/// Lock-free (two relaxed atomics) because [`Runtime::pick_backend`] sits
+/// on the session-open path.
+#[derive(Debug, Default)]
+struct BackendHealth {
+    /// Consecutive failed group evals on this backend (0 = healthy).
+    strikes: AtomicU32,
+    /// Picks to refuse before the next probe is allowed through.
+    skip: AtomicU32,
 }
 
 /// A circuit-agnostic serving runtime.
@@ -176,6 +224,8 @@ pub struct Runtime {
     policy: TunerPolicy,
     opts: RuntimeOptions,
     telemetry: Telemetry,
+    /// One entry per registered backend, indexed like the registry.
+    health: Vec<BackendHealth>,
 }
 
 impl Default for Runtime {
@@ -331,6 +381,11 @@ impl Runtime {
             }
             session.finish();
             while let Some(resp) = session.next_response()? {
+                // A materialising wrapper has no way to hand back per-row
+                // errors, so the first shed/expired row fails the batch.
+                if let Some(err) = resp.error() {
+                    return Err(err.clone());
+                }
                 out.push(resp.into_response());
             }
             Ok(out)
@@ -392,6 +447,10 @@ impl Runtime {
             }
             session.finish();
             while let Some(resp) = session.next_response()? {
+                // Same per-row-error contract as `serve_batch_with`.
+                if let Some(err) = resp.error() {
+                    return Err(err.clone());
+                }
                 out.push(resp.into_response());
             }
             Ok(out)
@@ -399,10 +458,73 @@ impl Runtime {
     }
 
     pub(crate) fn pick_backend(&self, circuit: &CompiledCircuit, batch: usize) -> Result<usize> {
-        match &self.policy {
+        let idx = match &self.policy {
             TunerPolicy::Fixed(name) => self.registry.index_of(name),
             TunerPolicy::ModelOnly => rank_by_model(&self.registry, circuit, batch),
             TunerPolicy::Measure => self.tuner.pick(&self.registry, circuit, batch),
+        }?;
+        if self.backend_usable(idx) {
+            return Ok(idx);
+        }
+        // Quarantined: prefer the always-safe scalar fallback until the
+        // backoff grants a re-probe. Keep the original pick when scalar is
+        // absent (custom registries) or is the quarantined backend itself —
+        // failover inside the session still retries each group once.
+        match self.registry.index_of("scalar") {
+            Ok(scalar) if scalar != idx => Ok(scalar),
+            _ => Ok(idx),
+        }
+    }
+
+    /// Records a failed group eval (error or panic) on backend `idx`: the
+    /// backend is quarantined, so fresh picks skip it for `2^strikes`
+    /// selections (capped at 64) before one probe is let through. Returns
+    /// the new consecutive-strike count (for tracing).
+    pub(crate) fn note_backend_failure(&self, idx: usize) -> u32 {
+        let Some(h) = self.health.get(idx) else {
+            return 0;
+        };
+        let strikes = h.strikes.fetch_add(1, Ordering::Relaxed).saturating_add(1);
+        h.skip.store(1u32 << strikes.min(6), Ordering::Relaxed);
+        self.telemetry.record_quarantines(1);
+        strikes
+    }
+
+    /// Records a clean group eval on backend `idx`, lifting any quarantine.
+    /// The healthy path is a single relaxed load.
+    pub(crate) fn note_backend_ok(&self, idx: usize) {
+        let Some(h) = self.health.get(idx) else {
+            return;
+        };
+        if h.strikes.load(Ordering::Relaxed) != 0 {
+            h.strikes.store(0, Ordering::Relaxed);
+            h.skip.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether a fresh pick of backend `idx` may proceed: healthy backends
+    /// always; quarantined ones only once their skip budget is spent (each
+    /// refusal decrements it — counter-based, so re-probing is
+    /// deterministic and needs no wall clock).
+    fn backend_usable(&self, idx: usize) -> bool {
+        let Some(h) = self.health.get(idx) else {
+            return true;
+        };
+        if h.strikes.load(Ordering::Relaxed) == 0 {
+            return true;
+        }
+        let mut cur = h.skip.load(Ordering::Relaxed);
+        loop {
+            if cur == 0 {
+                return true; // backoff drained: probe granted
+            }
+            match h
+                .skip
+                .compare_exchange_weak(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return false,
+                Err(now) => cur = now,
+            }
         }
     }
 
@@ -550,47 +672,67 @@ mod tests {
         ));
     }
 
-    #[test]
-    fn short_changing_backends_are_rejected_not_misassembled() {
-        /// A buggy custom backend returning one response too few per group.
-        struct ShortChanger;
-        impl crate::EvalBackend for ShortChanger {
-            fn caps(&self) -> crate::BackendCaps {
-                crate::BackendCaps {
-                    name: "short_changer",
-                    lane_group: 16,
-                    internally_parallel: false,
-                    bit_sliced: false,
-                }
-            }
-            fn cost_model(&self, _: &CompiledCircuit, _: usize) -> f64 {
-                0.0
-            }
-            fn eval_group(
-                &self,
-                circuit: &CompiledCircuit,
-                rows: &[&[bool]],
-                detail: Detail,
-                arena: &mut tc_circuit::PlaneArena,
-                responses: &mut Vec<crate::Response>,
-            ) -> crate::Result<()> {
-                crate::ScalarBackend.eval_group(circuit, rows, detail, arena, responses)?;
-                responses.pop();
-                Ok(())
+    /// A buggy custom backend returning one response too few per group.
+    struct ShortChanger(&'static str);
+    impl crate::EvalBackend for ShortChanger {
+        fn caps(&self) -> crate::BackendCaps {
+            crate::BackendCaps {
+                name: self.0,
+                lane_group: 16,
+                internally_parallel: false,
+                bit_sliced: false,
             }
         }
+        fn cost_model(&self, _: &CompiledCircuit, _: usize) -> f64 {
+            0.0
+        }
+        fn eval_group(
+            &self,
+            circuit: &CompiledCircuit,
+            rows: &[&[bool]],
+            detail: Detail,
+            arena: &mut tc_circuit::PlaneArena,
+            responses: &mut Vec<crate::Response>,
+        ) -> crate::Result<()> {
+            crate::ScalarBackend.eval_group(circuit, rows, detail, arena, responses)?;
+            responses.pop();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn short_changing_backends_fail_over_to_scalar() {
         let cc = adder();
-        // One worker keeps dispatch deterministic: the first (full, 16-row)
-        // group is the one whose contract violation surfaces.
         let runtime = Runtime::builder()
-            .register(Box::new(ShortChanger))
+            .register(Box::new(ShortChanger("short_changer")))
+            .fixed_backend("short_changer")
+            .workers(1)
+            .build();
+        // Every group trips the contract check, is retried once on the
+        // scalar fallback, and completes — the batch never aborts.
+        let requests = rows(40);
+        let responses = runtime.serve_batch(&cc, &requests).unwrap();
+        check_against_scalar(&cc, &requests, &responses);
+        let summary = runtime.telemetry();
+        assert_eq!(summary.retries, 40, "every row retried on scalar");
+        assert!(summary.quarantines >= 1, "failing backend quarantined");
+    }
+
+    #[test]
+    fn short_changing_scalar_shadow_still_surfaces_the_contract_error() {
+        let cc = adder();
+        // Shadow the scalar fallback with the same bug: the retry also
+        // short-changes, so the violation must surface, not be swallowed.
+        let runtime = Runtime::builder()
+            .register(Box::new(ShortChanger("short_changer")))
+            .register(Box::new(ShortChanger("scalar")))
             .fixed_backend("short_changer")
             .workers(1)
             .build();
         assert!(matches!(
             runtime.serve_batch(&cc, &rows(40)),
             Err(crate::RuntimeError::BackendContract {
-                backend: "short_changer",
+                backend: "scalar",
                 expected: 16,
                 actual: 15,
             })

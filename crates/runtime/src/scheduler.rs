@@ -46,6 +46,58 @@ use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
+/// What happens when a submission arrives while its tenant's bounded queue
+/// is already full ([`crate::SessionOptions::admission`] /
+/// [`crate::ServeOptions::admission`]).
+///
+/// Shedding never drops a row silently: a shed group is answered with
+/// [`RuntimeError::Shed`] through the normal delivery window, in its claimed
+/// per-tenant sequence position, so accepted-implies-answered holds under
+/// every policy. Backpressure (and shedding) stays per tenant either way —
+/// one tenant's overload never touches another tenant's admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Block the submitter until the queue has room (the default, and the
+    /// only policy before deadline-aware shedding existed). Unbounded
+    /// streams run at flat memory; an overloaded tenant's submitters wait.
+    #[default]
+    Block,
+    /// Refuse the *incoming* group: the newest submission is answered with
+    /// [`RuntimeError::Shed`] and everything already queued keeps its place.
+    /// Favors work already admitted (likely closer to its deadline budget).
+    ShedNewest,
+    /// Evict the *oldest* queued group to make room for the incoming one.
+    /// The evicted head is answered with [`RuntimeError::Shed`]; the new
+    /// submission enqueues. Favors fresh work (the queue head has waited
+    /// longest and is most likely to miss its deadline anyway).
+    ShedOldest,
+}
+
+/// Outcome of [`Engine::push`] — what the engine did with a claimed group.
+#[derive(Debug)]
+pub(crate) enum PushOutcome<G> {
+    /// Enqueued normally.
+    Pushed,
+    /// The engine aborted while the push waited; the group was dropped and
+    /// the dispatch claim released (the old `false`).
+    Refused,
+    /// `ShedNewest` (or `ShedOldest` with nothing queued to evict): the
+    /// incoming group is handed back unenqueued. Its claimed sequence is
+    /// counted in flight — the caller MUST answer it via
+    /// [`Engine::deliver`] with `queued = true`.
+    ShedNew(G),
+    /// `ShedOldest`: the tenant's queue head was evicted and the incoming
+    /// group took its place in the queue. The evicted group's sequence is
+    /// counted in flight — the caller MUST answer it via
+    /// [`Engine::deliver`] with `queued = true`.
+    ShedOld {
+        /// The evicted head's per-tenant sequence.
+        seq: u64,
+        /// The evicted head's group payload (rows to recycle).
+        group: G,
+    },
+}
+
 /// Outcome of a consumer take.
 #[derive(Debug)]
 pub(crate) enum Take<D> {
@@ -134,6 +186,8 @@ struct EngineState<G, D> {
     /// Unordered mode: deliveries in completion order (tenant slot kept so
     /// the tenant's window occupancy can be released on take).
     bag: VecDeque<(usize, D)>,
+    /// What to do with a submission against a full tenant queue.
+    admission: AdmissionPolicy,
     /// Queued groups across all tenants.
     total_queued: usize,
     /// Groups whose sequence was claimed by [`Engine::begin_dispatch`] but
@@ -187,6 +241,7 @@ impl<G, D> Engine<G, D> {
                 quantum: 1,
                 take_cursor: 0,
                 bag: VecDeque::new(),
+                admission: AdmissionPolicy::Block,
                 total_queued: 0,
                 dispatching: 0,
                 held_total: 0,
@@ -204,11 +259,17 @@ impl<G, D> Engine<G, D> {
     /// before the first push/deliver — the session configures on its first
     /// submit, once the backend's lane group and worker count are known).
     /// Tenants registered earlier have their buffers sized here.
-    pub(crate) fn configure(&self, queue_capacity: usize, window: usize) {
+    pub(crate) fn configure(
+        &self,
+        queue_capacity: usize,
+        window: usize,
+        admission: AdmissionPolicy,
+    ) {
         let mut s = self.state.lock().unwrap();
         if s.queue_capacity == 0 {
             s.queue_capacity = queue_capacity.max(1);
             s.window = window.max(1);
+            s.admission = admission;
             let (capacity, window, ordered) = (s.queue_capacity, s.window, self.ordered);
             for t in &mut s.tenants {
                 Self::size_tenant(t, capacity, window, ordered);
@@ -270,10 +331,17 @@ impl<G, D> Engine<G, D> {
         seq
     }
 
-    /// Blocks until tenant `slot` has queue room, then enqueues `g` under
-    /// the sequence claimed by [`Engine::begin_dispatch`], charged `charge`
-    /// cost units against the tenant's DRR deficit. `false` means the
-    /// engine aborted (error or abandon) and the group was not enqueued.
+    /// Enqueues `g` under the sequence claimed by
+    /// [`Engine::begin_dispatch`], charged `charge` cost units against the
+    /// tenant's DRR deficit. Against a full tenant queue the configured
+    /// [`AdmissionPolicy`] decides: `Block` waits for room (the classic
+    /// backpressure path), the shed policies return immediately with a
+    /// [`PushOutcome`] naming the group the caller must answer with
+    /// [`RuntimeError::Shed`]. `force_full` makes the queue *count as* full
+    /// for this call under a shedding policy (deterministic queue-full fault
+    /// injection); `Block` ignores it, since blocking on pressure that never
+    /// drains would wedge the submitter.
+    ///
     /// Backpressure is per tenant: a full queue blocks only this tenant's
     /// submitters — and the caller holds no session lock here, so it blocks
     /// only *itself*. Callers must land one tenant's pushes in sequence
@@ -281,20 +349,60 @@ impl<G, D> Engine<G, D> {
     /// ring tolerates inversions only shallower than the window, beyond
     /// which every worker would block on an inadmissible `deliver` while
     /// the admissible sequences sit unpopped behind them.
-    pub(crate) fn push(&self, slot: usize, seq: u64, g: G, charge: u64) -> bool {
+    pub(crate) fn push(
+        &self,
+        slot: usize,
+        seq: u64,
+        g: G,
+        charge: u64,
+        force_full: bool,
+    ) -> PushOutcome<G> {
         let mut s = self.state.lock().unwrap();
         debug_assert!(s.queue_capacity > 0, "push before configure");
         loop {
             if s.aborted {
                 s.dispatching -= 1;
                 self.cv.notify_all();
-                return false;
+                return PushOutcome::Refused;
             }
-            if s.tenants[slot].queue.len() < s.queue_capacity {
+            let shedding = s.admission != AdmissionPolicy::Block;
+            let full = s.tenants[slot].queue.len() >= s.queue_capacity || (force_full && shedding);
+            if !full {
                 Self::enqueue_at(&mut s, slot, seq, g, charge);
                 s.dispatching -= 1;
                 self.cv.notify_all();
-                return true;
+                return PushOutcome::Pushed;
+            }
+            match s.admission {
+                AdmissionPolicy::Block => {}
+                AdmissionPolicy::ShedNewest => {
+                    // The incoming group is refused; its claimed sequence
+                    // becomes an in-flight error delivery (keeps `drained`
+                    // honest until the caller answers it).
+                    s.dispatching -= 1;
+                    s.tenants[slot].in_flight += 1;
+                    self.cv.notify_all();
+                    return PushOutcome::ShedNew(g);
+                }
+                AdmissionPolicy::ShedOldest => {
+                    if let Some(old) = s.tenants[slot].queue.pop_front() {
+                        s.total_queued -= 1;
+                        s.tenants[slot].in_flight += 1;
+                        Self::enqueue_at(&mut s, slot, seq, g, charge);
+                        s.dispatching -= 1;
+                        self.cv.notify_all();
+                        return PushOutcome::ShedOld {
+                            seq: old.seq,
+                            group: old.group,
+                        };
+                    }
+                    // force_full with nothing queued: nothing older to
+                    // evict, so degrade to refusing the incoming group.
+                    s.dispatching -= 1;
+                    s.tenants[slot].in_flight += 1;
+                    self.cv.notify_all();
+                    return PushOutcome::ShedNew(g);
+                }
             }
             s = self.cv.wait(s).unwrap();
         }
@@ -318,7 +426,10 @@ impl<G, D> Engine<G, D> {
     /// otherwise block until either becomes possible. Draining before
     /// pushing keeps the delivery windows from filling up while the queue
     /// still has room, so a lone thread can drive an unbounded stream
-    /// without a consumer thread.
+    /// without a consumer thread. The single-thread driver never sheds:
+    /// it drains responses instead of queueing deeper, so its queue only
+    /// fills when workers are genuinely behind — blocking is the right
+    /// pressure there under every [`AdmissionPolicy`].
     pub(crate) fn push_or_take(
         &self,
         slot: usize,
@@ -609,7 +720,20 @@ mod tests {
     /// every legacy test drives.
     fn engine(ordered: bool, cap: usize, window: usize) -> Engine<u32, u32> {
         let e = Engine::new(ordered);
-        e.configure(cap, window);
+        e.configure(cap, window, AdmissionPolicy::Block);
+        assert_eq!(e.register_tenant(TenantId(0), 1), 0);
+        e
+    }
+
+    /// A single-tenant engine under a shedding admission policy.
+    fn shedding_engine(
+        ordered: bool,
+        cap: usize,
+        window: usize,
+        admission: AdmissionPolicy,
+    ) -> Engine<u32, u32> {
+        let e = Engine::new(ordered);
+        e.configure(cap, window, admission);
         assert_eq!(e.register_tenant(TenantId(0), 1), 0);
         e
     }
@@ -618,7 +742,7 @@ mod tests {
     /// packing lock; tests have no lock to protect). `true` = enqueued.
     fn push(e: &Engine<u32, u32>, slot: usize, g: u32, charge: u64) -> bool {
         let seq = e.begin_dispatch(slot);
-        e.push(slot, seq, g, charge)
+        matches!(e.push(slot, seq, g, charge, false), PushOutcome::Pushed)
     }
 
     #[test]
@@ -895,7 +1019,7 @@ mod tests {
             charges_b in proptest::collection::vec(1u64..100, 40),
         ) {
             let e: Engine<u32, u32> = Engine::new(false);
-            e.configure(256, 256);
+            e.configure(256, 256, AdmissionPolicy::Block);
             let a = e.register_tenant(TenantId(10), weight_a);
             let b = e.register_tenant(TenantId(20), weight_b);
             let max_charge = charges_a
@@ -942,6 +1066,95 @@ mod tests {
             }
             e.abandon();
         }
+    }
+
+    /// Drains every delivery from an unordered engine after `finish`.
+    fn take_all(e: &Engine<u32, u32>) -> Vec<u32> {
+        let mut taken = Vec::new();
+        loop {
+            match e.take(true).unwrap() {
+                Take::Item(d) => taken.push(d),
+                Take::Done => break,
+                Take::WouldBlock => unreachable!(),
+            }
+        }
+        taken
+    }
+
+    #[test]
+    fn shed_newest_hands_back_the_incoming_group_when_full() {
+        let e = shedding_engine(false, 2, 64, AdmissionPolicy::ShedNewest);
+        assert!(push(&e, 0, 1, 1));
+        assert!(push(&e, 0, 2, 1));
+        // Queue at capacity: the incoming group is refused, not blocked on.
+        let seq = e.begin_dispatch(0);
+        match e.push(0, seq, 3, 1, false) {
+            PushOutcome::ShedNew(g) => assert_eq!(g, 3),
+            other => panic!("expected ShedNew, got {other:?}"),
+        }
+        // The shed claim is answered through the normal delivery window —
+        // drained() must not report done before this lands.
+        assert!(e.deliver(0, seq, 103, true));
+        e.finish();
+        while let Some((slot, pseq, g, _)) = e.pop() {
+            assert!(e.deliver(slot, pseq, g + 100, true));
+        }
+        let taken = take_all(&e);
+        assert_eq!(taken.len(), 3, "both queued + the shed answer: {taken:?}");
+        assert!(taken.contains(&101) && taken.contains(&102) && taken.contains(&103));
+    }
+
+    #[test]
+    fn shed_oldest_evicts_the_queue_head_for_the_incoming_group() {
+        let e = shedding_engine(false, 2, 64, AdmissionPolicy::ShedOldest);
+        assert!(push(&e, 0, 1, 1)); // seq 0 — the head that gets evicted
+        assert!(push(&e, 0, 2, 1)); // seq 1
+        let seq = e.begin_dispatch(0);
+        assert_eq!(seq, 2);
+        match e.push(0, seq, 3, 1, false) {
+            PushOutcome::ShedOld {
+                seq: old_seq,
+                group,
+            } => {
+                assert_eq!((old_seq, group), (0, 1));
+            }
+            other => panic!("expected ShedOld, got {other:?}"),
+        }
+        // The evicted head is answered as an error delivery.
+        assert!(e.deliver(0, 0, 100, true));
+        e.finish();
+        // The queue now holds seqs 1 and 2 (the incoming group was admitted).
+        let mut popped = Vec::new();
+        while let Some((_, pseq, g, _)) = e.pop() {
+            popped.push((pseq, g));
+            assert!(e.deliver(0, pseq, g + 100, true));
+        }
+        assert_eq!(popped, vec![(1, 2), (2, 3)]);
+        assert_eq!(take_all(&e).len(), 3);
+    }
+
+    #[test]
+    fn forced_queue_full_sheds_under_a_shedding_policy_only() {
+        // force_full simulates queue pressure for fault injection: shed
+        // policies shed even with an empty queue (ShedOldest degrades to
+        // refusing the incoming group — nothing older to evict), while
+        // Block ignores the flag entirely.
+        for policy in [AdmissionPolicy::ShedNewest, AdmissionPolicy::ShedOldest] {
+            let e = shedding_engine(false, 8, 8, policy);
+            let seq = e.begin_dispatch(0);
+            match e.push(0, seq, 5, 1, true) {
+                PushOutcome::ShedNew(g) => assert_eq!(g, 5),
+                other => panic!("{policy:?}: expected ShedNew, got {other:?}"),
+            }
+            assert!(e.deliver(0, seq, 105, true));
+            e.finish();
+            assert!(e.pop().is_none());
+            assert_eq!(take_all(&e), vec![105]);
+        }
+        let e = shedding_engine(false, 8, 8, AdmissionPolicy::Block);
+        let seq = e.begin_dispatch(0);
+        assert!(matches!(e.push(0, seq, 5, 1, true), PushOutcome::Pushed));
+        e.abandon();
     }
 
     #[test]

@@ -38,14 +38,15 @@
 //! `crates/runtime/tests/alloc_steady_state.rs`.
 
 use crate::backend::{plane_op_charge, Detail, Response};
+use crate::faults::FaultPlan;
 use crate::metrics::{Histogram, StageHistograms};
 use crate::runtime::Runtime;
-use crate::scheduler::{Engine, PushOrTake, Take};
+use crate::scheduler::{AdmissionPolicy, Engine, PushOrTake, PushOutcome, Take};
 use crate::trace::{FlightRecorder, TraceEventKind};
 use crate::{Result, RuntimeError, TenantId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use tc_circuit::{CompiledCircuit, PlaneArena};
 
 /// Per-session tunables for [`crate::Runtime::open_session`].
@@ -78,6 +79,23 @@ pub struct SessionOptions {
     /// The default tenant's scheduling weight (≥ 1): its share of served
     /// cost relative to other tenants while both are backlogged.
     pub weight: u32,
+    /// Per-request deadline, measured from the row's accepted-at stamp.
+    /// When the scheduler pops a group whose remaining budget no longer
+    /// covers the calibrated per-group eval estimate, evaluation is
+    /// *skipped* and every row in the group is answered with
+    /// [`RuntimeError::DeadlineExceeded`] through the normal delivery
+    /// window — shedding doomed work instead of burning workers on answers
+    /// nobody is waiting for. `None` (the default) disables the check
+    /// entirely; no clock is read for it.
+    pub deadline: Option<Duration>,
+    /// What to do when a tenant's bounded queue is full at submit time:
+    /// block the submitter (the default) or shed — see [`AdmissionPolicy`].
+    /// Shed rows are answered with [`RuntimeError::Shed`], never dropped.
+    pub admission: AdmissionPolicy,
+    /// A programmatic fault-injection plan ([`FaultPlan`]); `None` falls
+    /// back to the `TCMM_FAULTS` environment variable. Test-only machinery:
+    /// leave unset in production.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for SessionOptions {
@@ -89,6 +107,9 @@ impl Default for SessionOptions {
             batch_hint: 0,
             tenant: TenantId::DEFAULT,
             weight: 1,
+            deadline: None,
+            admission: AdmissionPolicy::Block,
+            faults: None,
         }
     }
 }
@@ -129,6 +150,26 @@ impl SessionOptions {
         self.weight = weight.max(1);
         self
     }
+
+    /// Sets the per-request deadline (see [`SessionOptions::deadline`]).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the full-queue admission policy (see
+    /// [`SessionOptions::admission`]).
+    pub fn admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Arms a programmatic fault-injection plan (see
+    /// [`SessionOptions::faults`]).
+    pub fn faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
 }
 
 /// The backend decision a session makes on its first submitted row (so an
@@ -136,9 +177,7 @@ impl SessionOptions {
 #[derive(Debug, Clone, Copy)]
 struct Plan {
     backend_idx: usize,
-    backend_name: &'static str,
     lane_group: usize,
-    bit_sliced: bool,
     /// 1 means inline mode: the submitting thread evaluates groups itself —
     /// no worker threads, fully deterministic (and what `serve_batch` uses
     /// for single-worker runtimes).
@@ -158,6 +197,10 @@ struct RowGroup {
     /// When each row was accepted by `submit` (pooled, like `ids`): the
     /// start of the row's end-to-end latency clock.
     times: Vec<Instant>,
+    /// When this group must be *finished* by ([`SessionOptions::deadline`]
+    /// anchored at the group's first — oldest — row stamp, so the bound is
+    /// conservative for every row). `None` when deadlines are off.
+    deadline: Option<Instant>,
 }
 
 /// An evaluated group travelling from workers to the consumer.
@@ -173,6 +216,10 @@ struct DoneGroup {
     /// The tenant's stage histograms, carried along so the consumer records
     /// without a map lookup.
     stages: Arc<StageHistograms>,
+    /// `Some` when the group was answered with a typed error instead of
+    /// being evaluated (deadline miss, admission shed): `responses` is
+    /// empty and every id in `ids` receives this error.
+    error: Option<RuntimeError>,
 }
 
 /// Recycled buffers flowing backwards through the session: spent row
@@ -244,6 +291,9 @@ struct DrainCursor {
     tenant: TenantId,
     ids: Vec<u64>,
     responses: Vec<Response>,
+    /// The group-level error every remaining id answers with (see
+    /// [`DoneGroup::error`]); `responses` is empty when set.
+    error: Option<RuntimeError>,
     pos: usize,
 }
 
@@ -278,14 +328,11 @@ struct InlineScratch {
     refs: RefsBuf,
 }
 
-/// Recovers a mutex guard even when another thread panicked while holding
-/// the lock. Sound for the session's buffer pools and scratch: their state
-/// is plain owned data (no partially-applied invariants), so the worst a
-/// poisoning panic leaves behind is a half-filled buffer that the next
-/// user clears or overwrites.
-fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
+// Poison-tolerant locking for the session's buffer pools and scratch
+// (crate-wide helper): their state is plain owned data, so the worst a
+// poisoning panic leaves behind is a half-filled buffer that the next user
+// clears or overwrites.
+use crate::lock_tolerant;
 
 /// How often the packing path reads the clock: a fresh sample on a group's
 /// first row and every 16th row after it; rows in between reuse the latest
@@ -343,6 +390,15 @@ pub(crate) struct SessionShared<'a> {
     eval_hist: OnceLock<Arc<Histogram>>,
     /// `TCMM_TRACE` flight recorder (None unless enabled at session start).
     recorder: Option<FlightRecorder>,
+    /// Armed fault plan ([`SessionOptions::faults`] or `TCMM_FAULTS`);
+    /// `None` in production — the hot path pays one `Option` check.
+    faults: Option<Arc<FaultPlan>>,
+    /// EWMA of measured per-group eval nanoseconds — the cost model's
+    /// constant per-session plane-op charge calibrated against what this
+    /// machine actually measures, used by the pop-time deadline check. 0
+    /// until the first group evaluates (the check then only sheds groups
+    /// already past their deadline outright).
+    eval_ns_estimate: AtomicU64,
 }
 
 impl<'a> SessionShared<'a> {
@@ -352,6 +408,7 @@ impl<'a> SessionShared<'a> {
         opts: SessionOptions,
     ) -> Self {
         let ordered = opts.ordered;
+        let faults = opts.faults.clone().or_else(FaultPlan::from_env);
         SessionShared {
             runtime,
             circuit,
@@ -377,6 +434,8 @@ impl<'a> SessionShared<'a> {
             stage_sets: Mutex::new(Vec::new()),
             eval_hist: OnceLock::new(),
             recorder: FlightRecorder::from_env(),
+            faults,
+            eval_ns_estimate: AtomicU64::new(0),
         }
     }
 
@@ -493,12 +552,11 @@ impl<'a> SessionShared<'a> {
         } else {
             (2 * target_workers).max(2)
         };
-        self.engine.configure(queue_capacity, window);
+        self.engine
+            .configure(queue_capacity, window, self.opts.admission);
         let plan = Plan {
             backend_idx,
-            backend_name: caps.name,
             lane_group,
-            bit_sliced: caps.bit_sliced,
             target_workers,
             charge: plane_op_charge(self.circuit),
         };
@@ -621,39 +679,66 @@ impl<'a> SessionShared<'a> {
 
     // ---- evaluation -------------------------------------------------------
 
-    /// Evaluates one group into a pooled container: the shared hot path of
-    /// worker threads and the inline mode.
-    fn eval_group_now(
+    /// Evaluates one group on `backend_idx` into a pooled container: the
+    /// shared hot path of worker threads and the inline mode. `primary`
+    /// marks the planned backend (fault hooks fire, the planned eval
+    /// histogram records); the scalar-failover retry passes `false` so a
+    /// retried group cannot re-trip the fault that failed it and telemetry
+    /// attributes the eval to the backend that actually ran it.
+    fn eval_group_with(
         &self,
+        backend_idx: usize,
         group: &RowGroup,
         arena: &mut PlaneArena,
         refs: &mut RefsBuf,
         stages: &StageHistograms,
+        primary: bool,
     ) -> Result<Vec<Response>> {
-        let plan = self.plan.get().expect("groups exist only after planning");
-        let backend = &self.runtime.registry().backends()[plan.backend_idx];
+        let backend = &self.runtime.registry().backends()[backend_idx];
+        let caps = backend.caps();
+        if primary {
+            if let Some(faults) = &self.faults {
+                faults.before_eval()?;
+            }
+        }
         let mut responses = self.pool_container(group.rows.len());
         let rows = refs.fill(&group.rows);
         let t0 = Instant::now();
         backend.eval_group(self.circuit, rows, self.opts.detail, arena, &mut responses)?;
         let busy_ns = t0.elapsed().as_nanos() as u64;
         stages.eval.record(busy_ns);
-        if let Some(h) = self.eval_hist.get() {
-            h.record(busy_ns);
+        if primary {
+            if let Some(h) = self.eval_hist.get() {
+                h.record(busy_ns);
+            }
+        } else {
+            self.runtime
+                .telemetry_ref()
+                .backend_eval(caps.name)
+                .record(busy_ns);
         }
+        // Keep the deadline check's eval estimate warm (EWMA, α = 1/8):
+        // two relaxed atomics per group, noise against the eval itself.
+        let prev = self.eval_ns_estimate.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            busy_ns
+        } else {
+            prev - prev / 8 + busy_ns / 8
+        };
+        self.eval_ns_estimate.store(next, Ordering::Relaxed);
         // A wrong response count would corrupt request→response order during
         // delivery; reject it as a backend contract violation.
         if responses.len() != rows.len() {
             return Err(RuntimeError::BackendContract {
-                backend: plan.backend_name,
+                backend: caps.name,
                 expected: rows.len(),
                 actual: responses.len(),
             });
         }
         // Padding only exists for fixed-lane-width (bit-sliced) passes; for
         // per-request backends lane_group is just a scheduling hint.
-        let group_width = if plan.bit_sliced {
-            plan.lane_group
+        let group_width = if caps.bit_sliced {
+            caps.lane_group.max(1)
         } else {
             rows.len()
         };
@@ -669,7 +754,7 @@ impl<'a> SessionShared<'a> {
             f
         }));
         self.runtime.telemetry_ref().record_group(
-            plan.backend_name,
+            caps.name,
             requests,
             group_width as u64,
             self.class_counts.map(|c| c as u64 * requests),
@@ -679,13 +764,136 @@ impl<'a> SessionShared<'a> {
         Ok(responses)
     }
 
+    /// Evaluates a group on the planned backend with one bounded retry on
+    /// the always-safe scalar backend when the primary *errors or panics* —
+    /// graceful degradation instead of a session abort. The failed backend
+    /// is quarantined in the runtime ([`Runtime::note_backend_failure`]):
+    /// new sessions skip it for an exponential-backoff number of picks, then
+    /// re-probe. The nested result keeps the worker loop's three-way match:
+    /// outer `Err` is a panic (of the *retry* — a primary panic that the
+    /// scalar retry absorbs never escapes), inner `Err` a typed failure.
+    fn eval_group_failover(
+        &self,
+        group: &RowGroup,
+        arena: &mut PlaneArena,
+        refs: &mut RefsBuf,
+        stages: &StageHistograms,
+        seq: u64,
+    ) -> std::thread::Result<Result<Vec<Response>>> {
+        let plan = self.plan.get().expect("groups exist only after planning");
+        let primary = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.eval_group_with(plan.backend_idx, group, arena, refs, stages, true)
+        }));
+        if matches!(&primary, Ok(Ok(_))) {
+            self.runtime.note_backend_ok(plan.backend_idx);
+            return primary;
+        }
+        let strikes = self.runtime.note_backend_failure(plan.backend_idx);
+        self.trace(
+            group.tenant,
+            seq,
+            TraceEventKind::Quarantined,
+            strikes as u64,
+        );
+        // Retry once on the scalar fallback — unless the scalar backend IS
+        // the planned backend (nothing safer to fall back to) or it is not
+        // registered at all.
+        let Ok(scalar_idx) = self.runtime.registry().index_of("scalar") else {
+            return primary;
+        };
+        if scalar_idx == plan.backend_idx {
+            return primary;
+        }
+        if primary.is_err() {
+            // The panic may have interrupted the arena mid-write; hand the
+            // retry a fresh one (cold path — failures only).
+            *arena = PlaneArena::new();
+        }
+        let n = group.ids.len() as u64;
+        self.runtime.telemetry_ref().record_retries(n);
+        self.trace(group.tenant, seq, TraceEventKind::Retried, n);
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.eval_group_with(scalar_idx, group, arena, refs, stages, false)
+        }))
+    }
+
+    /// Whether a group with this deadline can no longer finish in time:
+    /// the remaining budget is below the calibrated per-group eval
+    /// estimate. Deadline-free groups cost one `Option` check — no clock.
+    fn past_deadline(&self, deadline: Option<Instant>) -> bool {
+        let Some(deadline) = deadline else {
+            return false;
+        };
+        let now = Instant::now();
+        now >= deadline || ns_between(now, deadline) < self.eval_ns_estimate.load(Ordering::Relaxed)
+    }
+
+    /// The deadline of a group whose rows were stamped `times`, anchored at
+    /// the first (oldest) row so the bound is conservative for every row.
+    fn group_deadline(&self, times: &[Instant]) -> Option<Instant> {
+        let budget = self.opts.deadline?;
+        times.first().map(|t| *t + budget)
+    }
+
+    /// Answers every row of an unevaluated group with a typed error through
+    /// the normal delivery window: rows recycled, ids and submit stamps
+    /// carried through, the consumer hands out one [`PooledResponse`] per
+    /// id with [`PooledResponse::outcome`] reporting `err`. This is how
+    /// accepted-implies-answered survives shedding — a shed row is refused
+    /// *with an answer*, never silently dropped. Returns `deliver`'s
+    /// verdict (`false` = the engine aborted while waiting).
+    fn deliver_error(
+        &self,
+        slot: usize,
+        seq: u64,
+        group: RowGroup,
+        err: RuntimeError,
+        queued: bool,
+    ) -> bool {
+        let stages = self.stages_for_slot(slot);
+        let n = group.ids.len() as u64;
+        match &err {
+            RuntimeError::DeadlineExceeded => {
+                self.runtime.telemetry_ref().record_deadline_misses(n);
+                self.trace(group.tenant, seq, TraceEventKind::DeadlineMiss, n);
+            }
+            RuntimeError::Shed => {
+                self.runtime.telemetry_ref().record_sheds(n);
+                self.trace(group.tenant, seq, TraceEventKind::Shed, n);
+            }
+            _ => {}
+        }
+        let RowGroup {
+            tenant,
+            rows,
+            ids,
+            times,
+            ..
+        } = group;
+        self.recycle_rows(rows);
+        let done = DoneGroup {
+            tenant,
+            ids,
+            times,
+            responses: self.pool_container(0),
+            done_at: Instant::now(),
+            stages,
+            error: Some(err),
+        };
+        self.engine.deliver(slot, seq, done, queued)
+    }
+
     /// The worker-thread loop: drain groups until the engine reports
-    /// exhaustion or an abort. The first failing worker aborts the engine,
-    /// which *drops* all queued groups — nothing behind the failure is
-    /// evaluated, in any tenant. A *panicking* evaluation (a buggy custom
-    /// backend, a poisoned invariant) is caught and surfaced the same way,
-    /// as [`RuntimeError::SessionPanicked`], so one crashed worker cannot
-    /// wedge the session or take the consumer down with it.
+    /// exhaustion or an abort. A failing evaluation — typed error or
+    /// panic — retries once on the scalar fallback
+    /// ([`SessionShared::eval_group_failover`]); only when the *retry*
+    /// fails too does the worker abort the engine, which *drops* all
+    /// queued groups — nothing behind the failure is evaluated, in any
+    /// tenant. A panicking retry is caught and surfaced as
+    /// [`RuntimeError::SessionPanicked`], so one crashed worker cannot
+    /// wedge the session or take the consumer down with it. Groups whose
+    /// deadline can no longer be met are shed here — answered, not
+    /// evaluated.
     fn worker_loop(&self) {
         let mut arena = PlaneArena::new();
         let mut refs = RefsBuf::default();
@@ -693,9 +901,13 @@ impl<'a> SessionShared<'a> {
             let stages = self.stages_for_slot(slot);
             stages.queue_wait.record(wait_ns);
             self.trace(group.tenant, seq, TraceEventKind::Popped, wait_ns);
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.eval_group_now(&group, &mut arena, &mut refs, &stages)
-            }));
+            if self.past_deadline(group.deadline) {
+                if !self.deliver_error(slot, seq, group, RuntimeError::DeadlineExceeded, true) {
+                    return;
+                }
+                continue;
+            }
+            let outcome = self.eval_group_failover(&group, &mut arena, &mut refs, &stages, seq);
             match outcome {
                 Ok(Ok(responses)) => {
                     let n = responses.len() as u64;
@@ -705,6 +917,7 @@ impl<'a> SessionShared<'a> {
                         rows,
                         ids,
                         times,
+                        ..
                     } = group;
                     self.recycle_rows(rows);
                     let done = DoneGroup {
@@ -714,6 +927,7 @@ impl<'a> SessionShared<'a> {
                         responses,
                         done_at: Instant::now(),
                         stages,
+                        error: None,
                     };
                     if !self.engine.deliver(slot, seq, done, true) {
                         return;
@@ -738,13 +952,21 @@ impl<'a> SessionShared<'a> {
     }
 
     /// Inline-mode dispatch: evaluate on the submitting thread and deliver.
+    /// Shares the worker loop's deadline shedding and scalar failover; a
+    /// panicking retry surfaces as a typed
+    /// [`RuntimeError::SessionPanicked`] to the submitter instead of
+    /// unwinding through it.
     fn dispatch_inline(&self, slot: usize, group: RowGroup) -> Result<()> {
         let seq = self.engine.alloc_seq(slot);
+        if self.past_deadline(group.deadline) {
+            self.deliver_error(slot, seq, group, RuntimeError::DeadlineExceeded, false);
+            return Ok(());
+        }
         let stages = self.stages_for_slot(slot);
         let mut scratch = lock_tolerant(&self.inline_scratch);
         let InlineScratch { arena, refs } = &mut *scratch;
-        match self.eval_group_now(&group, arena, refs, &stages) {
-            Ok(responses) => {
+        match self.eval_group_failover(&group, arena, refs, &stages, seq) {
+            Ok(Ok(responses)) => {
                 let n = responses.len() as u64;
                 self.trace(group.tenant, seq, TraceEventKind::Evaluated, n);
                 let RowGroup {
@@ -752,6 +974,7 @@ impl<'a> SessionShared<'a> {
                     rows,
                     ids,
                     times,
+                    ..
                 } = group;
                 self.recycle_rows(rows);
                 drop(scratch);
@@ -765,16 +988,24 @@ impl<'a> SessionShared<'a> {
                         responses,
                         done_at: Instant::now(),
                         stages,
+                        error: None,
                     },
                     false,
                 );
                 self.trace(tenant, seq, TraceEventKind::Delivered, n);
                 Ok(())
             }
-            Err(e) => {
+            Ok(Err(e)) => {
                 self.recycle_rows(group.rows);
                 self.recycle_ids(group.ids);
                 self.recycle_times(group.times);
+                self.abort_session(e.clone());
+                Err(e)
+            }
+            Err(_panic) => {
+                // The group's buffers may be in any state; drop them rather
+                // than recycling half-written storage.
+                let e = RuntimeError::SessionPanicked { context: "worker" };
                 self.abort_session(e.clone());
                 Err(e)
             }
@@ -832,17 +1063,13 @@ impl<'a> SessionShared<'a> {
                     .record_n(ns_between(t, now), (j - i) as u64);
                 i = j;
             }
-            self.trace(
-                d.tenant,
-                0,
-                TraceEventKind::Consumed,
-                d.responses.len() as u64,
-            );
+            self.trace(d.tenant, 0, TraceEventKind::Consumed, d.ids.len() as u64);
             let DoneGroup {
                 tenant,
                 ids,
                 times,
                 responses,
+                error,
                 ..
             } = d;
             self.recycle_times(times);
@@ -850,15 +1077,23 @@ impl<'a> SessionShared<'a> {
                 tenant,
                 ids,
                 responses,
+                error,
                 pos: 0,
             });
         }
         let cursor = consume.current.as_mut().expect("installed above");
-        let resp = std::mem::take(&mut cursor.responses[cursor.pos]);
+        // Error groups (deadline miss, shed) carry ids but no responses:
+        // every id answers with the group's error instead of a payload.
+        let resp = if cursor.error.is_none() {
+            Some(std::mem::take(&mut cursor.responses[cursor.pos]))
+        } else {
+            None
+        };
+        let error = cursor.error.clone();
         let id = cursor.ids[cursor.pos];
         let tenant = cursor.tenant;
         cursor.pos += 1;
-        if cursor.pos == cursor.responses.len() {
+        if cursor.pos == cursor.ids.len() {
             let done = consume.current.take().expect("still installed");
             self.recycle_container(done.responses);
             self.recycle_ids(done.ids);
@@ -866,7 +1101,8 @@ impl<'a> SessionShared<'a> {
         self.delivered.fetch_add(1, Ordering::Relaxed);
         Some(PooledResponse {
             shared: self,
-            resp: Some(resp),
+            resp,
+            error,
             id,
             tenant,
         })
@@ -1144,11 +1380,13 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
                 self.spawn_workers_locked(&mut pack, plan);
                 let lane_state = &mut pack.lanes[lane];
                 let slot = lane_state.slot;
+                let deadline = self.shared.group_deadline(&lane_state.current_times);
                 let group = RowGroup {
                     tenant: lane_state.id,
                     rows: std::mem::take(&mut lane_state.current_rows),
                     ids: std::mem::take(&mut lane_state.current_ids),
                     times: std::mem::take(&mut lane_state.current_times),
+                    deadline,
                 };
                 // Recorded only if the push sticks: a `Took` hand-back
                 // restores the group, and its pack stage ends later.
@@ -1198,12 +1436,17 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
 
     /// Submits `row`, pushing any responses that surface under backpressure
     /// onto `out` (detached from the pool). The convenience loop the
-    /// materialising `serve_*` wrappers are built on.
+    /// materialising `serve_*` wrappers are built on; like them, it has no
+    /// way to hand back a per-row error, so a drained row that was shed or
+    /// missed its deadline fails the call with that row's error.
     pub fn submit_draining(&self, row: &[bool], out: &mut Vec<Response>) -> Result<u64> {
         loop {
             match self.submit_or_next(row)? {
                 SubmitOrNext::Submitted(id) => return Ok(id),
-                SubmitOrNext::Next(resp) => out.push(resp.into_response()),
+                SubmitOrNext::Next(resp) => match resp.error() {
+                    None => out.push(resp.into_response()),
+                    Some(err) => return Err(err.clone()),
+                },
             }
         }
     }
@@ -1347,6 +1590,7 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
         }
         let lane_state = &mut pack.lanes[lane];
         let slot = lane_state.slot;
+        let deadline = self.shared.group_deadline(&lane_state.current_times);
         let group = RowGroup {
             tenant: lane_state.id,
             rows: std::mem::replace(
@@ -1361,6 +1605,7 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
                 &mut lane_state.current_times,
                 self.shared.pool_time_set(plan.lane_group),
             ),
+            deadline,
         };
         lane_state
             .stages
@@ -1383,20 +1628,47 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
     }
 
     /// Pushes an extracted group onto its tenant's queue, blocking under
-    /// that tenant's backpressure. Every caller
+    /// that tenant's backpressure (`Block`) or answering a shed group with
+    /// [`RuntimeError::Shed`] (the shedding policies — admission never
+    /// silently drops). Every caller
     /// ([`StreamSession::dispatch_lane_once`]) releases the packing lock
     /// first and holds the lane's `dispatching` flag instead, so the block
     /// is invisible to other tenants and same-tenant sequence order is
     /// preserved.
     fn push_extracted(&self, slot: usize, seq: u64, group: RowGroup, plan: Plan) -> Result<()> {
-        if self.shared.engine.push(slot, seq, group, plan.charge) {
-            Ok(())
-        } else {
-            Err(self
+        let force_full = self
+            .shared
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.force_queue_full());
+        match self
+            .shared
+            .engine
+            .push(slot, seq, group, plan.charge, force_full)
+        {
+            PushOutcome::Pushed => Ok(()),
+            // Refused = the engine aborted mid-push. An abort without a
+            // recorded error is session shutdown (the consumer walked
+            // away), which submitters observe as a finished session —
+            // a typed error either way, never a panic.
+            PushOutcome::Refused => Err(self
                 .shared
                 .engine
                 .error()
-                .expect("push refused only after an abort with an error"))
+                .unwrap_or(RuntimeError::SessionFinished)),
+            PushOutcome::ShedNew(group) => {
+                self.shared
+                    .deliver_error(slot, seq, group, RuntimeError::Shed, true);
+                Ok(())
+            }
+            PushOutcome::ShedOld {
+                seq: old_seq,
+                group,
+            } => {
+                self.shared
+                    .deliver_error(slot, old_seq, group, RuntimeError::Shed, true);
+                Ok(())
+            }
         }
     }
 
@@ -1416,9 +1688,18 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
 /// [`Response`], and recycles the payload buffers back to the scheduler
 /// workers on drop. [`PooledResponse::into_response`] detaches it instead
 /// (keeping the buffers, at the cost of one pool miss later).
+///
+/// With deadlines or a shedding [`AdmissionPolicy`] enabled, a row may be
+/// answered with a typed error instead of a payload — check
+/// [`PooledResponse::outcome`] (or [`PooledResponse::error`]) before
+/// dereferencing; [`Deref`](std::ops::Deref) and
+/// [`PooledResponse::into_response`] panic on error rows.
 pub struct PooledResponse<'s> {
     shared: &'s SessionShared<'s>,
     resp: Option<Response>,
+    /// `Some` when the row was answered with a typed error (deadline miss,
+    /// admission shed) instead of being evaluated; `resp` is `None` then.
+    error: Option<RuntimeError>,
     id: u64,
     tenant: TenantId,
 }
@@ -1436,16 +1717,40 @@ impl PooledResponse<'_> {
         self.tenant
     }
 
+    /// The row's outcome: the evaluated [`Response`], or the typed error
+    /// it was answered with instead ([`RuntimeError::DeadlineExceeded`],
+    /// [`RuntimeError::Shed`]). Every accepted row gets exactly one of the
+    /// two — shed rows are answered, never dropped.
+    pub fn outcome(&self) -> std::result::Result<&Response, &RuntimeError> {
+        match &self.error {
+            None => Ok(self.resp.as_ref().expect("present until dropped")),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// The typed error this row was answered with, if it was not evaluated.
+    pub fn error(&self) -> Option<&RuntimeError> {
+        self.error.as_ref()
+    }
+
     /// Detaches the response from the pool, keeping its buffers.
+    ///
+    /// # Panics
+    ///
+    /// On an error row (see [`PooledResponse::outcome`]).
     pub fn into_response(mut self) -> Response {
-        self.resp.take().expect("present until dropped")
+        self.resp
+            .take()
+            .expect("error row: check PooledResponse::outcome first")
     }
 }
 
 impl std::ops::Deref for PooledResponse<'_> {
     type Target = Response;
     fn deref(&self) -> &Response {
-        self.resp.as_ref().expect("present until dropped")
+        self.resp
+            .as_ref()
+            .expect("error row: check PooledResponse::outcome first")
     }
 }
 
@@ -1455,6 +1760,7 @@ impl std::fmt::Debug for PooledResponse<'_> {
             .field("request_id", &self.id)
             .field("tenant", &self.tenant)
             .field("response", &self.resp)
+            .field("error", &self.error)
             .finish()
     }
 }

@@ -17,7 +17,13 @@ use std::sync::{Arc, Mutex};
 /// (additions are backwards-compatible and do not bump it). Exported as the
 /// JSON `schema_version` field and the `tcmm_telemetry_schema_version`
 /// gauge.
-pub const TELEMETRY_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the robustness counter families (`tcmm_shed_total`,
+/// `tcmm_retries_total`, `tcmm_deadline_miss_total`,
+/// `tcmm_quarantines_total`) and made them part of the guaranteed family
+/// set — scrapers may rely on their presence from this version on, which is
+/// a contract change, not a plain addition.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 2;
 
 /// Lock-light counters accumulated across everything a [`crate::Runtime`]
 /// serves. Group-grained updates go through atomics; only the per-backend
@@ -55,6 +61,17 @@ pub struct Telemetry {
     /// Per-backend eval-latency histograms (nanoseconds per group inside
     /// the backend), same [`Arc`] hand-out discipline.
     per_backend_eval: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+    /// Requests shed at admission (full tenant queue under a shedding
+    /// [`crate::AdmissionPolicy`]).
+    sheds: AtomicU64,
+    /// Requests whose group was retried on the scalar fallback after the
+    /// primary backend failed.
+    retries: AtomicU64,
+    /// Requests shed at pop time because their deadline budget no longer
+    /// covered the eval estimate.
+    deadline_misses: AtomicU64,
+    /// Backend quarantine events (one per failed group eval).
+    quarantines: AtomicU64,
 }
 
 /// Per-backend slice of the telemetry.
@@ -137,7 +154,11 @@ impl Telemetry {
         }
         self.firings.fetch_add(firings, Ordering::Relaxed);
         self.busy_ns.fetch_add(busy_ns, Ordering::Relaxed);
-        let mut map = self.per_backend.lock().unwrap();
+        // Poison-tolerant throughout this module: a worker that panicked
+        // mid-record must not wedge every later snapshot — counters are
+        // monotone tallies, so the worst a torn update costs is one group's
+        // increments.
+        let mut map = crate::lock_tolerant(&self.per_backend);
         let tally = map.entry(backend).or_default();
         tally.groups += 1;
         tally.requests += requests;
@@ -179,7 +200,7 @@ impl Telemetry {
         queue_wait_ns_total: u64,
         queue_wait_ns_max: u64,
     ) {
-        let mut map = self.per_tenant.lock().unwrap();
+        let mut map = crate::lock_tolerant(&self.per_tenant);
         let tally = map.entry(tenant).or_default();
         tally.weight = weight;
         tally.requests += requests;
@@ -195,9 +216,7 @@ impl Telemetry {
     /// through the returned [`Arc`] lock-free afterwards.
     pub(crate) fn tenant_stages(&self, tenant: TenantId) -> Arc<StageHistograms> {
         Arc::clone(
-            self.per_tenant_stages
-                .lock()
-                .unwrap()
+            crate::lock_tolerant(&self.per_tenant_stages)
                 .entry(tenant)
                 .or_default(),
         )
@@ -207,30 +226,46 @@ impl Telemetry {
     /// sight). Sessions resolve this once, with the plan.
     pub(crate) fn backend_eval(&self, backend: &'static str) -> Arc<Histogram> {
         Arc::clone(
-            self.per_backend_eval
-                .lock()
-                .unwrap()
+            crate::lock_tolerant(&self.per_backend_eval)
                 .entry(backend)
                 .or_default(),
         )
     }
 
+    /// Counts `n` requests shed at admission (full tenant queue under a
+    /// shedding admission policy).
+    pub(crate) fn record_sheds(&self, n: u64) {
+        self.sheds.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts `n` requests retried on the scalar fallback after their
+    /// primary backend failed.
+    pub(crate) fn record_retries(&self, n: u64) {
+        self.retries.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts `n` requests shed at pop time for an expired deadline budget.
+    pub(crate) fn record_deadline_misses(&self, n: u64) {
+        self.deadline_misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts `n` backend quarantine events.
+    pub(crate) fn record_quarantines(&self, n: u64) {
+        self.quarantines.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of all counters and histograms.
     pub fn snapshot(&self) -> TelemetrySummary {
-        let per_tenant_stages: BTreeMap<TenantId, StageSnapshot> = self
-            .per_tenant_stages
-            .lock()
-            .unwrap()
-            .iter()
-            .map(|(id, h)| (*id, h.snapshot()))
-            .collect();
-        let per_backend_eval: BTreeMap<&'static str, HistogramSnapshot> = self
-            .per_backend_eval
-            .lock()
-            .unwrap()
-            .iter()
-            .map(|(name, h)| (*name, h.snapshot()))
-            .collect();
+        let per_tenant_stages: BTreeMap<TenantId, StageSnapshot> =
+            crate::lock_tolerant(&self.per_tenant_stages)
+                .iter()
+                .map(|(id, h)| (*id, h.snapshot()))
+                .collect();
+        let per_backend_eval: BTreeMap<&'static str, HistogramSnapshot> =
+            crate::lock_tolerant(&self.per_backend_eval)
+                .iter()
+                .map(|(name, h)| (*name, h.snapshot()))
+                .collect();
         // Every recording goes through a tenant lane (serve_batch and
         // serve_stream ride the default tenant), so the global stage view
         // is exactly the merge of the per-tenant ones.
@@ -250,16 +285,20 @@ impl Telemetry {
             ],
             firings: self.firings.load(Ordering::Relaxed),
             busy_ns: self.busy_ns.load(Ordering::Relaxed),
-            per_backend: self.per_backend.lock().unwrap().clone(),
+            per_backend: crate::lock_tolerant(&self.per_backend).clone(),
             sessions: self.sessions.load(Ordering::Relaxed),
             peak_in_flight_requests: self.peak_in_flight_requests.load(Ordering::Relaxed),
             peak_reorder_window_groups: self.peak_reorder_window_groups.load(Ordering::Relaxed),
             pool_hits: self.pool_hits.load(Ordering::Relaxed),
             pool_misses: self.pool_misses.load(Ordering::Relaxed),
-            per_tenant: self.per_tenant.lock().unwrap().clone(),
+            per_tenant: crate::lock_tolerant(&self.per_tenant).clone(),
             stages,
             per_tenant_stages,
             per_backend_eval,
+            sheds: self.sheds.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
         }
     }
 }
@@ -312,6 +351,23 @@ pub struct TelemetrySummary {
     /// Per-backend eval-latency histograms (nanoseconds per group inside
     /// the backend), keyed by backend name.
     pub per_backend_eval: BTreeMap<&'static str, HistogramSnapshot>,
+    /// Requests shed at admission — a full tenant queue under a shedding
+    /// [`crate::AdmissionPolicy`] answered them with
+    /// [`crate::RuntimeError::Shed`]. Exported as `tcmm_shed_total`.
+    pub sheds: u64,
+    /// Requests whose group was retried on the scalar fallback after the
+    /// primary backend panicked or errored. Exported as
+    /// `tcmm_retries_total`.
+    pub retries: u64,
+    /// Requests answered with [`crate::RuntimeError::DeadlineExceeded`]
+    /// because their remaining deadline budget no longer covered the eval
+    /// estimate when a worker reached them. Exported as
+    /// `tcmm_deadline_miss_total`.
+    pub deadline_misses: u64,
+    /// Backend quarantine events — one per failed group eval; while
+    /// quarantined a backend is skipped by fresh picks with exponential
+    /// backoff. Exported as `tcmm_quarantines_total`.
+    pub quarantines: u64,
 }
 
 /// Cumulative-bucket (`le`) bounds for Prometheus latency families, in
@@ -541,6 +597,10 @@ impl TelemetrySummary {
             stages: self.stages.delta_since(&prev.stages),
             per_tenant_stages,
             per_backend_eval,
+            sheds: self.sheds.saturating_sub(prev.sheds),
+            retries: self.retries.saturating_sub(prev.retries),
+            deadline_misses: self.deadline_misses.saturating_sub(prev.deadline_misses),
+            quarantines: self.quarantines.saturating_sub(prev.quarantines),
         }
     }
 
@@ -579,6 +639,10 @@ impl TelemetrySummary {
         );
         let _ = writeln!(out, "  \"pool_hits\": {},", self.pool_hits);
         let _ = writeln!(out, "  \"pool_misses\": {},", self.pool_misses);
+        let _ = writeln!(out, "  \"sheds\": {},", self.sheds);
+        let _ = writeln!(out, "  \"retries\": {},", self.retries);
+        let _ = writeln!(out, "  \"deadline_misses\": {},", self.deadline_misses);
+        let _ = writeln!(out, "  \"quarantines\": {},", self.quarantines);
         let _ = writeln!(out, "  \"stages\": {},", stages_json(&self.stages));
         out.push_str("  \"backends\": [");
         for (i, (name, tally)) in self.per_backend.iter().enumerate() {
@@ -680,6 +744,26 @@ impl TelemetrySummary {
                 "tcmm_pool_misses_total",
                 "Response buffers freshly allocated.",
                 self.pool_misses,
+            ),
+            (
+                "tcmm_shed_total",
+                "Requests shed at admission (full tenant queue under a shedding policy).",
+                self.sheds,
+            ),
+            (
+                "tcmm_retries_total",
+                "Requests retried on the scalar fallback after a backend failure.",
+                self.retries,
+            ),
+            (
+                "tcmm_deadline_miss_total",
+                "Requests shed at pop time for an expired deadline budget.",
+                self.deadline_misses,
+            ),
+            (
+                "tcmm_quarantines_total",
+                "Backend quarantine events (one per failed group eval).",
+                self.quarantines,
             ),
         ] {
             prom_family(&mut out, name, "counter", help);
@@ -983,6 +1067,13 @@ impl fmt::Display for TelemetrySummary {
             self.pool_hits,
             self.pool_misses
         )?;
+        if self.sheds + self.retries + self.deadline_misses + self.quarantines > 0 {
+            writeln!(
+                f,
+                "robustness: {} shed  {} deadline-missed  {} retried  {} quarantines",
+                self.sheds, self.deadline_misses, self.retries, self.quarantines
+            )?;
+        }
         if !self.stages.end_to_end.is_empty() {
             write!(f, "stage p50/p95/p99 (ms):")?;
             for (name, h) in self.stages.latency_stages() {
@@ -1138,11 +1229,11 @@ mod tests {
         t.tenant_stages(TenantId(1)).end_to_end.record(1_500);
         let s = t.snapshot();
         let json = s.to_json();
-        assert!(json.contains("\"schema_version\": 1"), "{json}");
+        assert!(json.contains("\"schema_version\": 2"), "{json}");
         assert!(json.contains("\"requests\": 64"), "{json}");
         assert!(json.contains("\"end_to_end\""), "{json}");
         let prom = s.to_prometheus();
-        assert!(prom.contains("tcmm_telemetry_schema_version 1"), "{prom}");
+        assert!(prom.contains("tcmm_telemetry_schema_version 2"), "{prom}");
         assert!(prom.contains("tcmm_requests_total 64"), "{prom}");
         assert!(
             prom.contains("tcmm_tenant_stage_latency_seconds_bucket{tenant=\"1\",stage=\"end_to_end\",le=\"+Inf\"} 1"),

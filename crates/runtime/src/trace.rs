@@ -41,6 +41,20 @@ pub(crate) enum TraceEventKind {
     /// Session aborted (detail = 0); the dump that follows is the
     /// post-mortem.
     Aborted,
+    /// Group shed at admission — full tenant queue under a shedding
+    /// [`crate::AdmissionPolicy`] (detail = rows answered with
+    /// `RuntimeError::Shed`).
+    Shed,
+    /// Group shed at pop time — its deadline budget no longer covered the
+    /// eval estimate (detail = rows answered with
+    /// `RuntimeError::DeadlineExceeded`).
+    DeadlineMiss,
+    /// Primary backend failed; the group is being retried on the scalar
+    /// fallback (detail = rows retried).
+    Retried,
+    /// A backend was quarantined after a failure and will be skipped with
+    /// backoff (detail = consecutive strikes).
+    Quarantined,
 }
 
 impl TraceEventKind {
@@ -52,6 +66,10 @@ impl TraceEventKind {
             TraceEventKind::Delivered => "delivered",
             TraceEventKind::Consumed => "consumed",
             TraceEventKind::Aborted => "aborted",
+            TraceEventKind::Shed => "shed",
+            TraceEventKind::DeadlineMiss => "deadline_miss",
+            TraceEventKind::Retried => "retried",
+            TraceEventKind::Quarantined => "quarantined",
         }
     }
 }

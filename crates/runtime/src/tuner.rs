@@ -97,7 +97,7 @@ impl AutoTuner {
 
     /// Number of cached (circuit fingerprint × batch bucket) decisions.
     pub fn cached_decisions(&self) -> usize {
-        self.cache.lock().unwrap().len()
+        crate::lock_tolerant(&self.cache).len()
     }
 
     /// The backend index to serve `batch` requests against `circuit`,
@@ -112,11 +112,11 @@ impl AutoTuner {
             return Err(RuntimeError::NoBackend);
         }
         let key = TuneKey::new(circuit, batch);
-        if let Some(&cached) = self.cache.lock().unwrap().get(&key) {
+        if let Some(&cached) = crate::lock_tolerant(&self.cache).get(&key) {
             return Ok(cached);
         }
         let choice = self.calibrate(registry, circuit, batch)?;
-        self.cache.lock().unwrap().insert(key, choice);
+        crate::lock_tolerant(&self.cache).insert(key, choice);
         Ok(choice)
     }
 
@@ -174,7 +174,7 @@ impl AutoTuner {
         registry: &BackendRegistry,
         path: P,
     ) -> std::io::Result<()> {
-        let cache = self.cache.lock().unwrap();
+        let cache = crate::lock_tolerant(&self.cache);
         let mut json = String::from("{\n  \"version\": 2,\n  \"entries\": [");
         let mut first = true;
         for (key, &idx) in cache.iter() {
@@ -216,7 +216,7 @@ impl AutoTuner {
     ) -> std::io::Result<usize> {
         let mut text = String::new();
         std::fs::File::open(path)?.read_to_string(&mut text)?;
-        let mut cache = self.cache.lock().unwrap();
+        let mut cache = crate::lock_tolerant(&self.cache);
         let mut adopted = 0usize;
         for obj in json_objects(&text) {
             let entry = (|| {

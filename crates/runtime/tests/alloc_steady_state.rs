@@ -407,3 +407,54 @@ fn canonicalized_circuit_on_simd_path_is_allocation_free_after_warmup() {
     assert!(unit > 0 && pow2 > 0 && general > 0, "fixture lost its mix");
     assert!(summary.pool_hits > 0, "hits {}", summary.pool_hits);
 }
+
+#[test]
+fn deadline_checked_serve_loop_is_allocation_free_after_warmup() {
+    let _guard = SERIAL.lock().unwrap();
+    let cc = layered_circuit();
+    let requests = rows(64);
+
+    // Same inline single-worker loop as the base streaming pin, but with a
+    // per-request deadline armed (generous enough that nothing actually
+    // sheds): stamping submission times, anchoring the group deadline, the
+    // pop-time budget check against the eval estimate, and the EWMA update
+    // must all ride the pooled buffers — deadlines must not cost the
+    // steady state a single allocation.
+    let runtime = Runtime::builder()
+        .fixed_backend("sliced64")
+        .workers(1)
+        .build();
+    let opts = SessionOptions::default().deadline(std::time::Duration::from_secs(3600));
+
+    let steady_allocs = runtime.open_session(&cc, opts, |session| {
+        let drive = |requests_to_serve: usize| {
+            let mut served = 0usize;
+            for i in 0..requests_to_serve {
+                session.submit(&requests[i % requests.len()]).unwrap();
+                while let Some(resp) = session.try_next_response().unwrap() {
+                    std::hint::black_box(resp.outputs[0]);
+                    std::hint::black_box(resp.firing_count);
+                    served += 1;
+                }
+            }
+            served
+        };
+
+        drive(4 * 64);
+
+        let before = allocs();
+        let served = drive(10 * 64);
+        let after = allocs();
+        assert!(served >= 9 * 64, "the loop must actually deliver");
+        after - before
+    });
+
+    assert_eq!(
+        steady_allocs, 0,
+        "the deadline-enabled streaming serve loop must stay \
+         allocation-free once warmed"
+    );
+    let summary = runtime.telemetry();
+    assert_eq!(summary.deadline_misses, 0, "nothing should actually shed");
+    assert_eq!(summary.sheds, 0);
+}

@@ -654,48 +654,96 @@ fn per_tenant_queues_keep_a_steady_tenant_out_of_a_bursts_shadow() {
     }
 }
 
-#[test]
-fn a_panicking_worker_surfaces_a_typed_error_not_a_wedge() {
-    // Satellite regression: a worker that panics mid-evaluation (here: a
-    // buggy custom backend) used to die silently, leaving the consumer
-    // parked forever or — if the panic poisoned a shared lock — taking the
-    // consumer down with an opaque `panicked at ...: PoisonError` message.
-    // The worker loop now catches the panic and aborts the engine with
-    // `RuntimeError::SessionPanicked`, which both the consumer and blocked
-    // submitters observe through the normal error channel.
-    use tc_runtime::{BackendCaps, Detail as D, EvalBackend, PlaneArena, ScalarBackend};
-
-    struct PanickingBackend;
-    impl EvalBackend for PanickingBackend {
-        fn caps(&self) -> BackendCaps {
-            BackendCaps {
-                name: "panicker",
-                lane_group: 16,
-                internally_parallel: false,
-                bit_sliced: false,
-            }
-        }
-        fn cost_model(&self, _: &tc_circuit::CompiledCircuit, _: usize) -> f64 {
-            0.0
-        }
-        fn eval_group(
-            &self,
-            circuit: &tc_circuit::CompiledCircuit,
-            rows: &[&[bool]],
-            detail: D,
-            arena: &mut PlaneArena,
-            responses: &mut Vec<Response>,
-        ) -> tc_runtime::Result<()> {
-            if rows.iter().any(|r| r[0] && r[1] && r[2]) {
-                panic!("backend bug");
-            }
-            ScalarBackend.eval_group(circuit, rows, detail, arena, responses)
+/// A buggy custom backend that panics on any all-true row (and can shadow a
+/// standard backend by name).
+struct PanickingBackend(&'static str);
+impl tc_runtime::EvalBackend for PanickingBackend {
+    fn caps(&self) -> tc_runtime::BackendCaps {
+        tc_runtime::BackendCaps {
+            name: self.0,
+            lane_group: 16,
+            internally_parallel: false,
+            bit_sliced: false,
         }
     }
+    fn cost_model(&self, _: &tc_circuit::CompiledCircuit, _: usize) -> f64 {
+        0.0
+    }
+    fn eval_group(
+        &self,
+        circuit: &tc_circuit::CompiledCircuit,
+        rows: &[&[bool]],
+        detail: tc_runtime::Detail,
+        arena: &mut tc_runtime::PlaneArena,
+        responses: &mut Vec<Response>,
+    ) -> tc_runtime::Result<()> {
+        if rows.iter().any(|r| r[0] && r[1] && r[2]) {
+            panic!("backend bug");
+        }
+        tc_runtime::ScalarBackend.eval_group(circuit, rows, detail, arena, responses)
+    }
+}
 
+#[test]
+fn a_panicking_backend_fails_over_to_scalar_without_aborting() {
+    // Robustness: a worker whose backend panics mid-evaluation used to
+    // abort the whole session. The worker loop now catches the panic and
+    // retries the group once on the always-safe scalar fallback, so every
+    // accepted row is still answered and the stream completes.
     let cc = adder();
     let runtime = Runtime::builder()
-        .register(Box::new(PanickingBackend))
+        .register(Box::new(PanickingBackend("panicker")))
+        .fixed_backend("panicker")
+        .workers(2)
+        .build();
+    let served = runtime.open_session(&cc, SessionOptions::default(), |session| {
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..10_000usize {
+                    // Row 100 trips the backend panic in its lane group.
+                    let row = if i == 100 {
+                        vec![true, true, true]
+                    } else {
+                        vec![i % 2 == 0, false, true]
+                    };
+                    session.submit(&row).unwrap();
+                }
+                session.finish();
+            });
+            let mut served = 0u64;
+            for resp in session.responses() {
+                let resp = resp.unwrap();
+                // Spot-check the faulted row survived with correct outputs.
+                if resp.request_id() == 100 {
+                    let expect = cc.evaluate(&[true, true, true]).unwrap();
+                    assert_eq!(resp.outputs, expect.outputs());
+                }
+                served += 1;
+            }
+            served
+        })
+    });
+    assert_eq!(served, 10_000, "every accepted row must be answered");
+    let summary = runtime.telemetry();
+    assert!(
+        summary.retries >= 16,
+        "the panicked group's rows must be counted as retries, got {}",
+        summary.retries
+    );
+    assert!(summary.quarantines >= 1, "panicking backend quarantined");
+}
+
+#[test]
+fn a_panicking_scalar_shadow_still_surfaces_the_typed_error() {
+    // When the scalar fallback itself is broken (here: shadowed by the
+    // same panicking bug), the retry panics too and the session must abort
+    // with the typed `SessionPanicked` — both the consumer and blocked
+    // submitters observe it through the normal error channel, never a
+    // wedge or an opaque PoisonError.
+    let cc = adder();
+    let runtime = Runtime::builder()
+        .register(Box::new(PanickingBackend("panicker")))
+        .register(Box::new(PanickingBackend("scalar")))
         .fixed_backend("panicker")
         .workers(2)
         .build();
@@ -703,7 +751,6 @@ fn a_panicking_worker_surfaces_a_typed_error_not_a_wedge() {
         std::thread::scope(|s| {
             s.spawn(|| {
                 for i in 0..10_000usize {
-                    // Row 100 trips the backend panic in its lane group.
                     let row = if i == 100 {
                         vec![true, true, true]
                     } else {
@@ -838,4 +885,88 @@ fn every_row_accepted_before_a_racing_finish_is_answered() {
             "round {round}: {accepted} rows accepted but {served} answered"
         );
     }
+}
+
+#[test]
+fn submit_for_an_unregistered_tenant_registers_it_with_weight_one() {
+    // Satellite regression: submitting for a tenant that was never
+    // `register_tenant`ed must not panic or misroute — the tenant is
+    // registered on first sight with weight 1 and served normally.
+    use tc_runtime::TenantId;
+    let cc = adder();
+    let runtime = Runtime::builder()
+        .fixed_backend("sliced64")
+        .workers(2)
+        .build();
+    let served = runtime.open_session(&cc, SessionOptions::default(), |session| {
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                for (i, row) in rows(100).iter().enumerate() {
+                    session
+                        .submit_for(TenantId(41 + (i % 3) as u32), row)
+                        .unwrap();
+                }
+                session.finish();
+            });
+            let mut served = 0u64;
+            for resp in session.responses() {
+                resp.unwrap();
+                served += 1;
+            }
+            served
+        })
+    });
+    assert_eq!(served, 100);
+    let summary = runtime.telemetry();
+    for t in [41, 42, 43] {
+        let tally = &summary.per_tenant[&TenantId(t)];
+        assert_eq!(tally.weight, 1, "auto-registered tenants get weight 1");
+        assert!(tally.requests > 0);
+    }
+}
+
+#[test]
+fn tenant_registration_misuse_yields_typed_errors_not_panics() {
+    // Satellite regression: pre-registration misuse — registering after
+    // finish, re-registering with a different weight, or weight 0 — must
+    // answer with typed errors / documented no-ops, never a panic or a
+    // wedged scheduler.
+    use tc_runtime::TenantId;
+    let cc = adder();
+    let runtime = Runtime::builder()
+        .fixed_backend("sliced64")
+        .workers(2)
+        .build();
+    runtime.open_session(&cc, SessionOptions::default(), |session| {
+        // Weight 0 clamps to 1 (a zero weight would never earn deficit).
+        session.register_tenant(TenantId(5), 0).unwrap();
+        // First registration fixes the weight; re-registering is a no-op.
+        session.register_tenant(TenantId(6), 3).unwrap();
+        session.register_tenant(TenantId(6), 9).unwrap();
+        for row in rows(40) {
+            session.submit_for(TenantId(5), &row).unwrap();
+            session.submit_for(TenantId(6), &row).unwrap();
+        }
+        session.finish();
+        // Post-finish misuse: typed SessionFinished on every entry point.
+        assert_eq!(
+            session.register_tenant(TenantId(7), 2),
+            Err(RuntimeError::SessionFinished)
+        );
+        assert_eq!(
+            session
+                .submit_for(TenantId(5), &[true, false, true])
+                .unwrap_err(),
+            RuntimeError::SessionFinished
+        );
+        let mut served = 0;
+        while session.next_response().unwrap().is_some() {
+            served += 1;
+        }
+        assert_eq!(served, 80);
+    });
+    let summary = runtime.telemetry();
+    assert_eq!(summary.per_tenant[&TenantId(5)].weight, 1);
+    assert_eq!(summary.per_tenant[&TenantId(6)].weight, 3);
+    assert!(!summary.per_tenant.contains_key(&TenantId(7)));
 }

@@ -48,6 +48,10 @@ const REQUIRED_FAMILIES: &[&str] = &[
     "tcmm_tenant_stage_latency_seconds",
     "tcmm_tenant_request_firings",
     "tcmm_backend_eval_seconds",
+    "tcmm_shed_total",
+    "tcmm_retries_total",
+    "tcmm_deadline_miss_total",
+    "tcmm_quarantines_total",
 ];
 
 fn valid_metric_name(name: &str) -> bool {
