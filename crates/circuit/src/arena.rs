@@ -68,6 +68,9 @@ impl CompiledCircuit {
     /// * [`CircuitError::BatchTooWide`] for more than `64·W` rows;
     /// * [`CircuitError::InputLengthMismatch`] if any row has the wrong
     ///   length.
+    // lint:hot-path-begin — the zero-allocation serving entry point; only
+    // the warm-up `resize` below may touch the allocator, and only until
+    // the arena reaches this circuit's high-water mark.
     pub fn evaluate_rows_arena<'a, const W: usize>(
         &'a self,
         rows: &[&[bool]],
@@ -134,6 +137,7 @@ impl CompiledCircuit {
             counts: &arena.counts,
         })
     }
+    // lint:hot-path-end
 }
 
 /// A borrowed view over an arena evaluation: designated outputs, firing

@@ -687,6 +687,8 @@ impl CompiledCircuit {
     /// `g` reads (its fan-in slots, which compilation bounds to earlier
     /// layers).
     #[inline]
+    // SAFETY: `unsafe fn` per the contract above; every dereference below
+    // restates its own in-bounds argument.
     unsafe fn fire_scalar_raw(&self, g: usize, vals: *const bool) -> bool {
         let lo = self.offsets[g] as usize;
         let hi = self.offsets[g + 1] as usize;
@@ -694,12 +696,16 @@ impl CompiledCircuit {
             let mut acc: i64 = 0;
             for e in lo..hi {
                 // Branchless: mask the weight by the input bit.
+                // SAFETY: `wires[e] < len_slots()` by compilation, and the
+                // caller promises `vals` spans `len_slots()` slots.
                 acc += self.weights[e] & -(unsafe { *vals.add(self.wires[e] as usize) } as i64);
             }
             acc >= self.thresholds[g]
         } else {
             let mut acc: i128 = 0;
             for e in lo..hi {
+                // SAFETY: same bound as the narrow arm — `wires[e]` is below
+                // `len_slots()` and `vals` covers that range.
                 if unsafe { *vals.add(self.wires[e] as usize) } {
                     acc += self.weights[e] as i128;
                 }
@@ -894,6 +900,8 @@ struct SharedVals(*mut bool);
 // appears exactly once in a layer schedule) and only read slots written
 // before the scope began.
 unsafe impl Send for SharedVals {}
+// SAFETY: same disjoint-writes argument as `Send` above — concurrent `&self`
+// access never races because no two threads touch the same slot.
 unsafe impl Sync for SharedVals {}
 
 /// Up to 64 input assignments packed column-wise: one `u64` lane mask per

@@ -241,6 +241,9 @@ impl CompiledCircuit {
     /// `is_x86_feature_detected!`).
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
+    // SAFETY: `unsafe` here comes only from `#[target_feature]` — the body
+    // performs no unsafe operation itself; callers dispatch behind the
+    // runtime feature check documented above.
     unsafe fn run_planes_avx2_w4(
         &self,
         vals: &mut [[u64; 4]],
@@ -258,6 +261,9 @@ impl CompiledCircuit {
     /// The CPU must support AVX2.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
+    // SAFETY: `unsafe` here comes only from `#[target_feature]` — the body
+    // performs no unsafe operation itself; callers dispatch behind the
+    // runtime feature check documented above.
     unsafe fn run_planes_avx2_w8(
         &self,
         vals: &mut [[u64; 8]],
@@ -275,6 +281,9 @@ impl CompiledCircuit {
     /// The CPU must support AVX-512F.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx512f")]
+    // SAFETY: `unsafe` here comes only from `#[target_feature]` — the body
+    // performs no unsafe operation itself; callers dispatch behind the
+    // runtime feature check documented above.
     unsafe fn run_planes_avx512_w8(
         &self,
         vals: &mut [[u64; 8]],

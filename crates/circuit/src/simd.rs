@@ -394,38 +394,49 @@ mod x86 {
     impl WordVec<2> for Sse2 {
         #[inline(always)]
         fn zero() -> Self {
+            // SAFETY: SSE2 is baseline on x86_64; register-only, no memory.
             unsafe { Sse2(_mm_setzero_si128()) }
         }
         #[inline(always)]
         fn ones() -> Self {
+            // SAFETY: SSE2 is baseline on x86_64; register-only, no memory.
             unsafe { Sse2(_mm_set1_epi64x(-1)) }
         }
         #[inline(always)]
         fn load(a: &[u64; 2]) -> Self {
+            // SAFETY: `a` spans exactly the 16 bytes read and `loadu` has
+            // no alignment requirement; SSE2 is baseline on x86_64.
             unsafe { Sse2(_mm_loadu_si128(a.as_ptr() as *const __m128i)) }
         }
         #[inline(always)]
         fn store(self, a: &mut [u64; 2]) {
+            // SAFETY: `a` spans exactly the 16 bytes written and `storeu`
+            // has no alignment requirement; SSE2 is baseline on x86_64.
             unsafe { _mm_storeu_si128(a.as_mut_ptr() as *mut __m128i, self.0) }
         }
         #[inline(always)]
         fn xor(self, o: Self) -> Self {
+            // SAFETY: SSE2 is baseline on x86_64; register-only, no memory.
             unsafe { Sse2(_mm_xor_si128(self.0, o.0)) }
         }
         #[inline(always)]
         fn and(self, o: Self) -> Self {
+            // SAFETY: SSE2 is baseline on x86_64; register-only, no memory.
             unsafe { Sse2(_mm_and_si128(self.0, o.0)) }
         }
         #[inline(always)]
         fn or(self, o: Self) -> Self {
+            // SAFETY: SSE2 is baseline on x86_64; register-only, no memory.
             unsafe { Sse2(_mm_or_si128(self.0, o.0)) }
         }
         #[inline(always)]
         fn not(self) -> Self {
+            // SAFETY: SSE2 is baseline on x86_64; register-only, no memory.
             unsafe { Sse2(_mm_xor_si128(self.0, _mm_set1_epi64x(-1))) }
         }
         #[inline(always)]
         fn any(self) -> bool {
+            // SAFETY: SSE2 is baseline on x86_64; register-only, no memory.
             unsafe {
                 let eq0 = _mm_cmpeq_epi32(self.0, _mm_setzero_si128());
                 _mm_movemask_epi8(eq0) != 0xFFFF
@@ -440,38 +451,50 @@ mod x86 {
     impl WordVec<4> for Avx2 {
         #[inline(always)]
         fn zero() -> Self {
+            // SAFETY: AVX2 register-only op; this type is constructed only
+            // behind a runtime `avx2` check (see the kernel.rs dispatch).
             unsafe { Avx2(_mm256_setzero_si256()) }
         }
         #[inline(always)]
         fn ones() -> Self {
+            // SAFETY: AVX2 register-only op behind the runtime avx2 check.
             unsafe { Avx2(_mm256_set1_epi64x(-1)) }
         }
         #[inline(always)]
         fn load(a: &[u64; 4]) -> Self {
+            // SAFETY: `a` spans exactly the 32 bytes read and `loadu` has
+            // no alignment requirement; AVX2 verified at dispatch time.
             unsafe { Avx2(_mm256_loadu_si256(a.as_ptr() as *const __m256i)) }
         }
         #[inline(always)]
         fn store(self, a: &mut [u64; 4]) {
+            // SAFETY: `a` spans exactly the 32 bytes written and `storeu`
+            // has no alignment requirement; AVX2 verified at dispatch time.
             unsafe { _mm256_storeu_si256(a.as_mut_ptr() as *mut __m256i, self.0) }
         }
         #[inline(always)]
         fn xor(self, o: Self) -> Self {
+            // SAFETY: AVX2 register-only op behind the runtime avx2 check.
             unsafe { Avx2(_mm256_xor_si256(self.0, o.0)) }
         }
         #[inline(always)]
         fn and(self, o: Self) -> Self {
+            // SAFETY: AVX2 register-only op behind the runtime avx2 check.
             unsafe { Avx2(_mm256_and_si256(self.0, o.0)) }
         }
         #[inline(always)]
         fn or(self, o: Self) -> Self {
+            // SAFETY: AVX2 register-only op behind the runtime avx2 check.
             unsafe { Avx2(_mm256_or_si256(self.0, o.0)) }
         }
         #[inline(always)]
         fn not(self) -> Self {
+            // SAFETY: AVX2 register-only op behind the runtime avx2 check.
             unsafe { Avx2(_mm256_xor_si256(self.0, _mm256_set1_epi64x(-1))) }
         }
         #[inline(always)]
         fn any(self) -> bool {
+            // SAFETY: AVX register-only op behind the runtime avx2 check.
             unsafe { _mm256_testz_si256(self.0, self.0) == 0 }
         }
     }
@@ -484,48 +507,62 @@ mod x86 {
     impl WordVec<8> for Avx512 {
         #[inline(always)]
         fn zero() -> Self {
+            // SAFETY: AVX-512F register-only op; this type is constructed
+            // only behind a runtime `avx512f` check (kernel.rs dispatch).
             unsafe { Avx512(_mm512_setzero_si512()) }
         }
         #[inline(always)]
         fn ones() -> Self {
+            // SAFETY: AVX-512F register-only op behind the avx512f check.
             unsafe { Avx512(_mm512_set1_epi64(-1)) }
         }
         #[inline(always)]
         fn load(a: &[u64; 8]) -> Self {
+            // SAFETY: `a` spans exactly the 64 bytes read and `loadu` has
+            // no alignment requirement; AVX-512F verified at dispatch time.
             unsafe { Avx512(_mm512_loadu_si512(a.as_ptr() as *const __m512i)) }
         }
         #[inline(always)]
         fn store(self, a: &mut [u64; 8]) {
+            // SAFETY: `a` spans exactly the 64 bytes written and `storeu`
+            // has no alignment requirement; AVX-512F verified at dispatch.
             unsafe { _mm512_storeu_si512(a.as_mut_ptr() as *mut __m512i, self.0) }
         }
         #[inline(always)]
         fn xor(self, o: Self) -> Self {
+            // SAFETY: AVX-512F register-only op behind the avx512f check.
             unsafe { Avx512(_mm512_xor_si512(self.0, o.0)) }
         }
         #[inline(always)]
         fn and(self, o: Self) -> Self {
+            // SAFETY: AVX-512F register-only op behind the avx512f check.
             unsafe { Avx512(_mm512_and_si512(self.0, o.0)) }
         }
         #[inline(always)]
         fn or(self, o: Self) -> Self {
+            // SAFETY: AVX-512F register-only op behind the avx512f check.
             unsafe { Avx512(_mm512_or_si512(self.0, o.0)) }
         }
         #[inline(always)]
         fn not(self) -> Self {
+            // SAFETY: AVX-512F register-only op behind the avx512f check.
             unsafe { Avx512(_mm512_xor_si512(self.0, _mm512_set1_epi64(-1))) }
         }
         #[inline(always)]
         fn any(self) -> bool {
+            // SAFETY: AVX-512F register-only op behind the avx512f check.
             unsafe { _mm512_test_epi64_mask(self.0, self.0) != 0 }
         }
         #[inline(always)]
         fn xor3(self, b: Self, c: Self) -> Self {
             // 0x96: bitwise a ^ b ^ c.
+            // SAFETY: AVX-512F register-only op behind the avx512f check.
             unsafe { Avx512(_mm512_ternarylogic_epi64::<0x96>(self.0, b.0, c.0)) }
         }
         #[inline(always)]
         fn maj(self, b: Self, c: Self) -> Self {
             // 0xE8: bitwise majority(a, b, c).
+            // SAFETY: AVX-512F register-only op behind the avx512f check.
             unsafe { Avx512(_mm512_ternarylogic_epi64::<0xE8>(self.0, b.0, c.0)) }
         }
     }
@@ -548,38 +585,49 @@ mod arm {
     impl WordVec<2> for Neon {
         #[inline(always)]
         fn zero() -> Self {
+            // SAFETY: NEON is baseline on aarch64; register-only, no memory.
             unsafe { Neon(vdupq_n_u64(0)) }
         }
         #[inline(always)]
         fn ones() -> Self {
+            // SAFETY: NEON is baseline on aarch64; register-only, no memory.
             unsafe { Neon(vdupq_n_u64(!0)) }
         }
         #[inline(always)]
         fn load(a: &[u64; 2]) -> Self {
+            // SAFETY: `a` spans exactly the 16 bytes read and `vld1q` has
+            // no alignment requirement beyond u64; NEON is baseline.
             unsafe { Neon(vld1q_u64(a.as_ptr())) }
         }
         #[inline(always)]
         fn store(self, a: &mut [u64; 2]) {
+            // SAFETY: `a` spans exactly the 16 bytes written and `vst1q`
+            // has no alignment requirement beyond u64; NEON is baseline.
             unsafe { vst1q_u64(a.as_mut_ptr(), self.0) }
         }
         #[inline(always)]
         fn xor(self, o: Self) -> Self {
+            // SAFETY: NEON is baseline on aarch64; register-only, no memory.
             unsafe { Neon(veorq_u64(self.0, o.0)) }
         }
         #[inline(always)]
         fn and(self, o: Self) -> Self {
+            // SAFETY: NEON is baseline on aarch64; register-only, no memory.
             unsafe { Neon(vandq_u64(self.0, o.0)) }
         }
         #[inline(always)]
         fn or(self, o: Self) -> Self {
+            // SAFETY: NEON is baseline on aarch64; register-only, no memory.
             unsafe { Neon(vorrq_u64(self.0, o.0)) }
         }
         #[inline(always)]
         fn not(self) -> Self {
+            // SAFETY: NEON is baseline on aarch64; register-only, no memory.
             unsafe { Neon(veorq_u64(self.0, vdupq_n_u64(!0))) }
         }
         #[inline(always)]
         fn any(self) -> bool {
+            // SAFETY: NEON is baseline on aarch64; register-only, no memory.
             unsafe { vmaxvq_u32(vreinterpretq_u32_u64(self.0)) != 0 }
         }
     }

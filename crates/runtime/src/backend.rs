@@ -197,9 +197,7 @@ impl EvalBackend for LayerParallelBackend {
     }
 
     fn cost_model(&self, circuit: &CompiledCircuit, batch: usize) -> f64 {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1) as f64;
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get) as f64;
         // Per-layer fork/join overhead makes this a big-circuit backend.
         batch as f64 * (circuit.num_edges() as f64 / threads + circuit.depth() as f64 * 2_000.0)
     }
@@ -284,7 +282,7 @@ impl<const W: usize> EvalBackend for WideBackend<W> {
             match detail {
                 Detail::Outputs => resp.evaluation = None,
                 Detail::Full => {
-                    ev.evaluation_into(lane, resp.evaluation.get_or_insert_default())?
+                    ev.evaluation_into(lane, resp.evaluation.get_or_insert_default())?;
                 }
             }
         }
@@ -409,7 +407,7 @@ mod tests {
         let rows: Vec<Vec<bool>> = (0..8u32)
             .map(|v| vec![v & 1 != 0, v & 2 != 0, v & 4 != 0])
             .collect();
-        let refs: Vec<&[bool]> = rows.iter().map(|r| r.as_slice()).collect();
+        let refs: Vec<&[bool]> = rows.iter().map(std::vec::Vec::as_slice).collect();
         let mut arena = PlaneArena::new();
         let mut expected: Vec<Response> = Vec::new();
         ScalarBackend
@@ -436,7 +434,7 @@ mod tests {
         // holding exactly the fresh group's responses.
         let cc = majority();
         let rows = [[true, true, false], [false, false, true]];
-        let refs: Vec<&[bool]> = rows.iter().map(|r| r.as_slice()).collect();
+        let refs: Vec<&[bool]> = rows.iter().map(<[bool; 3]>::as_slice).collect();
         let mut arena = PlaneArena::new();
         let mut fresh = Vec::new();
         Sliced64Backend::default()
@@ -473,7 +471,7 @@ mod tests {
     fn detail_outputs_omits_the_evaluation() {
         let cc = majority();
         let rows = [[true, true, false]];
-        let refs: Vec<&[bool]> = rows.iter().map(|r| r.as_slice()).collect();
+        let refs: Vec<&[bool]> = rows.iter().map(<[bool; 3]>::as_slice).collect();
         let mut arena = PlaneArena::new();
         let mut light = Vec::new();
         Sliced64Backend::default()

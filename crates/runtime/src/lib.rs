@@ -47,6 +47,32 @@
 //! convnet inference — against many circuits at once (see the
 //! `expt_e15_serving` binary in `tcmm-bench`).
 //!
+//! ## Lock hierarchy
+//!
+//! Every mutex in this crate is an [`OrderedMutex`] with a static rank;
+//! debug builds panic the moment any thread acquires locks out of rank
+//! order (see [`ordered`](crate::OrderedMutex) for the detection model).
+//! Locks must be taken in strictly increasing rank order:
+//!
+//! | Rank | Name | Lock | Held while taking |
+//! |-----:|------|------|-------------------|
+//! | 10 | `SESSION_PACK` | session lane-assembly state (`session.rs`) | scratch, tuner, engine, stage sets, pool, telemetry, trace |
+//! | 20 | `SESSION_CONSUME` | session delivery window (`session.rs`) | pool, trace |
+//! | 30 | `INLINE_SCRATCH` | inline-dispatch scratch (`session.rs`) | engine, pool, telemetry, trace |
+//! | 40 | `TUNER_CACHE` | autotuner plan cache (`tuner.rs`) | — (leaf) |
+//! | 50 | `ENGINE_STATE` | scheduler queues/lanes/ring (`scheduler.rs`) | — (leaf) |
+//! | 60 | `STAGE_SETS` | per-stage histogram registry (`session.rs`) | — (leaf) |
+//! | 70 | `RESPONSE_POOL` | response recycling pool (`session.rs`) | — (leaf) |
+//! | 80 | `TELEMETRY_BACKEND` | per-backend counters (`telemetry.rs`) | — (leaf) |
+//! | 81 | `TELEMETRY_TENANT` | per-tenant counters (`telemetry.rs`) | — (leaf) |
+//! | 82 | `TELEMETRY_TENANT_STAGES` | per-tenant stage histograms (`telemetry.rs`) | — (leaf) |
+//! | 83 | `TELEMETRY_BACKEND_EVAL` | per-backend eval histograms (`telemetry.rs`) | — (leaf) |
+//! | 90 | `TRACE_RING` | flight-recorder ring (`trace.rs`) | — (leaf) |
+//!
+//! `SESSION_PACK` and `SESSION_CONSUME` are never held together today
+//! (`submit_or_next` drains the consume side before packing), but their
+//! relative order is fixed here so a future overlap cannot deadlock.
+//! Telemetry's `snapshot` takes its four maps sequentially, never nested.
 //! ```
 //! use tc_circuit::{CircuitBuilder, Wire};
 //! use tc_runtime::Runtime;
@@ -65,10 +91,35 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![warn(clippy::pedantic)]
+// Pedantic classes waived crate-wide, each with its reason; everything else
+// in the pedantic group is enforced (CI runs clippy with -D warnings).
+#![allow(
+    // Telemetry counters and lane math narrow/widen deliberately: ids,
+    // bucket indexes, and nanosecond tallies are all bounded well inside
+    // the target type, and histograms are approximate by design.
+    clippy::cast_possible_truncation,
+    clippy::cast_precision_loss,
+    clippy::cast_sign_loss,
+    clippy::cast_lossless,
+    // An annotation sweep over a mostly-internal API; the few places where
+    // ignoring a return value is a real bug (locks, guards) already fail
+    // louder than #[must_use] would.
+    clippy::must_use_candidate,
+    clippy::return_self_not_must_use,
+    // Error and panic semantics are documented once, on `RuntimeError` and
+    // in the crate docs, not as per-function boilerplate sections.
+    clippy::missing_errors_doc,
+    clippy::missing_panics_doc,
+    // The scheduler/session orchestration bodies read better as one
+    // linear pass than split into artificial helpers.
+    clippy::too_many_lines
+)]
 
 mod backend;
 mod faults;
 mod metrics;
+mod ordered;
 mod runtime;
 mod scheduler;
 mod session;
@@ -82,6 +133,7 @@ pub use backend::{
 };
 pub use faults::{FaultKind, FaultPlan};
 pub use metrics::{Histogram, HistogramSnapshot, StageHistograms, StageSnapshot, RELATIVE_ERROR};
+pub use ordered::{LockRank, OrderedMutex, OrderedMutexGuard};
 pub use runtime::{Runtime, RuntimeBuilder, RuntimeOptions, ServeOptions};
 pub use scheduler::AdmissionPolicy;
 pub use session::{PooledResponse, SessionOptions, StreamSession, SubmitOrNext};
@@ -170,7 +222,7 @@ pub enum RuntimeError {
     /// Only ever produced while fault injection is armed; the payload names
     /// the injected fault shape.
     FaultInjected(
-        /// The injected fault shape ("eval_error", …).
+        /// The injected fault shape ("`eval_error`", …).
         &'static str,
     ),
 }
@@ -230,8 +282,8 @@ impl From<tc_circuit::CircuitError> for RuntimeError {
 /// is counters/ring-buffers that stay structurally valid, so observers keep
 /// working rather than cascading the panic into telemetry snapshots or
 /// flight-recorder dumps.
-pub(crate) fn lock_tolerant<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+pub(crate) fn lock_tolerant<T>(m: &OrderedMutex<T>) -> OrderedMutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Result alias used throughout the crate.

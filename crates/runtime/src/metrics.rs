@@ -96,6 +96,9 @@ impl Histogram {
         }
     }
 
+    // lint:hot-path-begin — the record family runs once (or once per run)
+    // for every sample the serving path takes; three relaxed atomics is
+    // the whole budget.
     /// Records one sample. Wait-free, allocation-free, safe to call from
     /// any number of threads concurrently.
     #[inline]
@@ -149,6 +152,7 @@ impl Histogram {
         self.sum.fetch_add(sum, Ordering::Relaxed);
         self.max.fetch_max(max, Ordering::Relaxed);
     }
+    // lint:hot-path-end
 
     /// Total recorded samples (sums the buckets; a query-path operation).
     pub fn count(&self) -> u64 {

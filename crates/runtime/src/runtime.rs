@@ -118,9 +118,7 @@ impl RuntimeOptions {
         if self.workers > 0 {
             self.workers
         } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
         }
     }
 
@@ -364,6 +362,9 @@ impl Runtime {
     /// A thin wrapper over [`Runtime::open_session`]: rows are submitted
     /// through a session sized by the batch length and the materialised
     /// responses are collected in submission order.
+    // Options structs are taken by value on purpose: callers build them
+    // inline (`ServeOptions::new().deadline(..)`) and never reuse them.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn serve_batch_with<R: AsRef<[bool]> + Sync>(
         &self,
         circuit: &CompiledCircuit,
@@ -430,6 +431,8 @@ impl Runtime {
     /// pushes back, so the input side stays bounded even though the result
     /// is materialised. The backend is picked lazily on the first packed
     /// row — an empty stream never pays a calibration probe.
+    // By-value `serve` for the same reason as `serve_batch_with` above.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn serve_stream_with<I>(
         &self,
         circuit: &CompiledCircuit,

@@ -41,9 +41,10 @@
 //!   the session contract, but nothing queued behind the failure is
 //!   evaluated — in any tenant.
 
+use crate::ordered::{LockRank, OrderedMutex, OrderedMutexGuard};
 use crate::{RuntimeError, TenantId};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::Condvar;
 use std::time::Instant;
 
 /// What happens when a submission arrives while its tenant's bounded queue
@@ -219,7 +220,7 @@ impl<G, D> EngineState<G, D> {
 /// The bounded multi-tenant scheduler core. One instance per stream session.
 #[derive(Debug)]
 pub(crate) struct Engine<G, D> {
-    state: Mutex<EngineState<G, D>>,
+    state: OrderedMutex<EngineState<G, D>>,
     /// Single condvar for every transition (group granularity keeps the
     /// thundering cost negligible, and one wait set makes the combined
     /// "push or take" conditions race-free by construction).
@@ -232,27 +233,52 @@ pub(crate) struct Engine<G, D> {
 impl<G, D> Engine<G, D> {
     pub(crate) fn new(ordered: bool) -> Self {
         Engine {
-            state: Mutex::new(EngineState {
-                tenants: Vec::new(),
-                queue_capacity: 0,
-                window: 0,
-                cursor: 0,
-                cursor_granted: false,
-                quantum: 1,
-                take_cursor: 0,
-                bag: VecDeque::new(),
-                admission: AdmissionPolicy::Block,
-                total_queued: 0,
-                dispatching: 0,
-                held_total: 0,
-                peak_held: 0,
-                finished: false,
-                aborted: false,
-                error: None,
-            }),
+            state: OrderedMutex::new(
+                LockRank::ENGINE_STATE,
+                "scheduler.state",
+                EngineState {
+                    tenants: Vec::new(),
+                    queue_capacity: 0,
+                    window: 0,
+                    cursor: 0,
+                    cursor_granted: false,
+                    quantum: 1,
+                    take_cursor: 0,
+                    bag: VecDeque::new(),
+                    admission: AdmissionPolicy::Block,
+                    total_queued: 0,
+                    dispatching: 0,
+                    held_total: 0,
+                    peak_held: 0,
+                    finished: false,
+                    aborted: false,
+                    error: None,
+                },
+            ),
             cv: Condvar::new(),
             ordered,
         }
+    }
+
+    /// Locks the engine state. A poisoned engine lock means a thread
+    /// panicked halfway through a scheduler-invariant update (queue counts,
+    /// DRR deficits, window occupancy); no recovery is sound, so the panic
+    /// propagates rather than serving from torn state.
+    fn lock_state(&self) -> OrderedMutexGuard<'_, EngineState<G, D>> {
+        // lint:allow(no_panic): propagating a poisoned engine lock is the
+        // only safe option — see the doc comment above.
+        self.state.lock().unwrap()
+    }
+
+    /// Blocks on the engine condvar; same poison policy as
+    /// [`Engine::lock_state`].
+    fn wait_state<'a>(
+        &self,
+        s: OrderedMutexGuard<'a, EngineState<G, D>>,
+    ) -> OrderedMutexGuard<'a, EngineState<G, D>> {
+        // lint:allow(no_panic): propagating a poisoned engine lock is the
+        // only safe option — see `lock_state`.
+        s.wait(&self.cv).unwrap()
     }
 
     /// Sets the per-tenant queue and window bounds (idempotent; must run
@@ -265,7 +291,7 @@ impl<G, D> Engine<G, D> {
         window: usize,
         admission: AdmissionPolicy,
     ) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         if s.queue_capacity == 0 {
             s.queue_capacity = queue_capacity.max(1);
             s.window = window.max(1);
@@ -291,7 +317,7 @@ impl<G, D> Engine<G, D> {
     /// first registration fixes the weight (clamped to ≥ 1); later calls
     /// with the same id return the existing slot unchanged.
     pub(crate) fn register_tenant(&self, id: TenantId, weight: u32) -> usize {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         if let Some(slot) = s.tenants.iter().position(|t| t.id == id) {
             return slot;
         }
@@ -323,7 +349,7 @@ impl<G, D> Engine<G, D> {
     /// in flight until the matching [`Engine::push`] lands or aborts, so
     /// consumers cannot observe a drained stream mid-dispatch.
     pub(crate) fn begin_dispatch(&self, slot: usize) -> u64 {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         s.dispatching += 1;
         let t = &mut s.tenants[slot];
         let seq = t.next_seq;
@@ -357,7 +383,7 @@ impl<G, D> Engine<G, D> {
         charge: u64,
         force_full: bool,
     ) -> PushOutcome<G> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         debug_assert!(s.queue_capacity > 0, "push before configure");
         loop {
             if s.aborted {
@@ -404,7 +430,7 @@ impl<G, D> Engine<G, D> {
                     return PushOutcome::ShedNew(g);
                 }
             }
-            s = self.cv.wait(s).unwrap();
+            s = self.wait_state(s);
         }
     }
 
@@ -436,7 +462,7 @@ impl<G, D> Engine<G, D> {
         g: G,
         charge: u64,
     ) -> Result<PushOrTake<G, D>, RuntimeError> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         debug_assert!(s.queue_capacity > 0, "push before configure");
         loop {
             if let Some(e) = &s.error {
@@ -462,7 +488,7 @@ impl<G, D> Engine<G, D> {
                 self.cv.notify_all();
                 return Ok(PushOrTake::Pushed);
             }
-            s = self.cv.wait(s).unwrap();
+            s = self.wait_state(s);
         }
     }
 
@@ -470,7 +496,7 @@ impl<G, D> Engine<G, D> {
     /// evaluation mode, where the submitting thread evaluates the group
     /// itself).
     pub(crate) fn alloc_seq(&self, slot: usize) -> u64 {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         let t = &mut s.tenants[slot];
         let seq = t.next_seq;
         t.next_seq += 1;
@@ -486,7 +512,7 @@ impl<G, D> Engine<G, D> {
     /// queued groups behind a failure are dropped, never evaluated, in
     /// every tenant.
     pub(crate) fn pop(&self) -> Option<(usize, u64, G, u64)> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         loop {
             if s.aborted {
                 return None;
@@ -501,7 +527,7 @@ impl<G, D> Engine<G, D> {
             if s.finished && s.dispatching == 0 {
                 return None;
             }
-            s = self.cv.wait(s).unwrap();
+            s = self.wait_state(s);
         }
     }
 
@@ -533,6 +559,7 @@ impl<G, D> Engine<G, D> {
                 s.cursor_granted = false;
                 continue;
             }
+            // lint:allow(no_panic): the loop above just probed a non-empty head.
             let q = t.queue.pop_front().expect("head probed above");
             t.deficit -= q.charge;
             t.in_flight += 1;
@@ -561,7 +588,7 @@ impl<G, D> Engine<G, D> {
     /// `queued` says whether the group was popped from a queue (workers) or
     /// evaluated inline by the submitter.
     pub(crate) fn deliver(&self, slot: usize, seq: u64, d: D, queued: bool) -> bool {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         loop {
             if s.aborted {
                 if queued {
@@ -599,7 +626,7 @@ impl<G, D> Engine<G, D> {
                 self.cv.notify_all();
                 return true;
             }
-            s = self.cv.wait(s).unwrap();
+            s = self.wait_state(s);
         }
     }
 
@@ -608,7 +635,7 @@ impl<G, D> Engine<G, D> {
     /// behind the failure), and every blocked submitter, worker, and
     /// consumer wakes.
     pub(crate) fn abort(&self, e: RuntimeError) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         s.error.get_or_insert(e);
         Self::drop_queued(&mut s);
         self.cv.notify_all();
@@ -617,7 +644,7 @@ impl<G, D> Engine<G, D> {
     /// Drops queued work and wakes everyone without recording an error
     /// (session shutdown after the consumer walked away).
     pub(crate) fn abandon(&self) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         Self::drop_queued(&mut s);
         self.cv.notify_all();
     }
@@ -633,20 +660,20 @@ impl<G, D> Engine<G, D> {
     /// Marks the submit side complete: workers drain what is queued, then
     /// [`Engine::pop`] reports exhaustion and consumers see [`Take::Done`].
     pub(crate) fn finish(&self) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         s.finished = true;
         self.cv.notify_all();
     }
 
     /// The first worker error, if any.
     pub(crate) fn error(&self) -> Option<RuntimeError> {
-        self.state.lock().unwrap().error.clone()
+        self.lock_state().error.clone()
     }
 
     /// Consumer side: the next delivery. Blocking mode waits until a
     /// delivery is ready, the engine errors, or it finishes and drains.
     pub(crate) fn take(&self, block: bool) -> Result<Take<D>, RuntimeError> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.lock_state();
         loop {
             if let Some(e) = &s.error {
                 return Err(e.clone());
@@ -661,7 +688,7 @@ impl<G, D> Engine<G, D> {
             if !block {
                 return Ok(Take::WouldBlock);
             }
-            s = self.cv.wait(s).unwrap();
+            s = self.wait_state(s);
         }
     }
 
@@ -676,7 +703,9 @@ impl<G, D> Engine<G, D> {
             for i in 0..n {
                 let slot = (s.take_cursor + i) % n;
                 let t = &mut s.tenants[slot];
-                if t.ring.front().map(|f| f.is_some()) == Some(true) {
+                if t.ring.front().is_some_and(std::option::Option::is_some) {
+                    // lint:allow(no_panic): front() == Some(Some(_)) was just
+                    // checked, so both layers are present.
                     let (_seq, d) = t.ring.pop_front().unwrap().unwrap();
                     t.ring.push_back(None);
                     t.next_deliver += 1;
@@ -696,12 +725,12 @@ impl<G, D> Engine<G, D> {
 
     /// Peak delivery-window occupancy across tenants, in groups (telemetry).
     pub(crate) fn peak_window(&self) -> usize {
-        self.state.lock().unwrap().peak_held
+        self.lock_state().peak_held
     }
 
     /// Per-tenant queue statistics, in slot order (telemetry).
     pub(crate) fn tenant_stats(&self) -> Vec<(TenantId, u32, TenantQueueStats)> {
-        let s = self.state.lock().unwrap();
+        let s = self.lock_state();
         s.tenants
             .iter()
             .map(|t| (t.id, t.weight, t.stats))
@@ -714,6 +743,7 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
     use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Mutex;
     use tc_circuit::CircuitError;
 
     /// A single-tenant engine with tenant 0 pre-registered — the PR 4 shape
@@ -1198,7 +1228,7 @@ mod tests {
                 assert_eq!(d, 2);
                 g
             }
-            other => panic!("expected the ready delivery, got {other:?}"),
+            PushOrTake::Pushed => panic!("expected the ready delivery, got Pushed"),
         };
         // Abort lands between the drain and the retried insert.
         e.abort(RuntimeError::Circuit(CircuitError::EmptyFanIn));

@@ -40,12 +40,13 @@
 use crate::backend::{plane_op_charge, Detail, Response};
 use crate::faults::FaultPlan;
 use crate::metrics::{Histogram, StageHistograms};
+use crate::ordered::{LockRank, OrderedMutex, OrderedMutexGuard};
 use crate::runtime::Runtime;
-use crate::scheduler::{AdmissionPolicy, Engine, PushOrTake, PushOutcome, Take};
+use crate::scheduler::{AdmissionPolicy, Engine, PushOrTake, PushOutcome, Take, TenantQueueStats};
 use crate::trace::{FlightRecorder, TraceEventKind};
 use crate::{Result, RuntimeError, TenantId};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Condvar, OnceLock};
 use std::time::{Duration, Instant};
 use tc_circuit::{CompiledCircuit, PlaneArena};
 
@@ -312,11 +313,13 @@ unsafe impl Send for RefsBuf {}
 impl RefsBuf {
     fn fill<'a>(&mut self, rows: &'a [Vec<bool>]) -> &[&'a [bool]] {
         self.0.clear();
-        self.0
-            .extend(rows.iter().map(|r| r.as_slice() as *const [bool]));
+        self.0.extend(
+            rows.iter()
+                .map(|r| std::ptr::from_ref::<[bool]>(r.as_slice())),
+        );
         // SAFETY: `*const [bool]` and `&'a [bool]` have identical layout and
         // every pointer above came from a live `&'a` borrow of `rows`.
-        unsafe { std::slice::from_raw_parts(self.0.as_ptr() as *const &'a [bool], self.0.len()) }
+        unsafe { std::slice::from_raw_parts(self.0.as_ptr().cast::<&'a [bool]>(), self.0.len()) }
     }
 }
 
@@ -357,7 +360,10 @@ fn ns_between(earlier: Instant, now: Instant) -> u64 {
 /// Locks a session mutex, surfacing a poisoning panic as a typed
 /// [`RuntimeError`] instead of propagating an opaque panic into the caller
 /// (one crashed thread must not take down the consumer).
-fn lock_checked<'m, T>(m: &'m Mutex<T>, context: &'static str) -> Result<MutexGuard<'m, T>> {
+fn lock_checked<'m, T>(
+    m: &'m OrderedMutex<T>,
+    context: &'static str,
+) -> Result<OrderedMutexGuard<'m, T>> {
     m.lock()
         .map_err(|_| RuntimeError::SessionPanicked { context })
 }
@@ -369,13 +375,13 @@ pub(crate) struct SessionShared<'a> {
     opts: SessionOptions,
     engine: Engine<RowGroup, DoneGroup>,
     plan: OnceLock<Plan>,
-    pack: Mutex<PackState>,
+    pack: OrderedMutex<PackState>,
     /// Wakes submitters waiting out a same-lane dispatch
     /// ([`TenantLane::dispatching`]).
     pack_cv: Condvar,
-    consume: Mutex<ConsumeState>,
-    pool: Mutex<ResponsePool>,
-    inline_scratch: Mutex<InlineScratch>,
+    consume: OrderedMutex<ConsumeState>,
+    pool: OrderedMutex<ResponsePool>,
+    inline_scratch: OrderedMutex<InlineScratch>,
     /// The served circuit's post-canonicalization class mix (`[Unit, Pow2,
     /// General]`): telemetry must report the classes the kernel actually
     /// dispatches, not the raw builder weights' classes.
@@ -385,7 +391,7 @@ pub(crate) struct SessionShared<'a> {
     peak_in_flight: AtomicU64,
     /// Per-slot stage histograms, indexed by engine slot so workers reach a
     /// tenant's histograms straight from `pop`'s slot (no tenant lookup).
-    stage_sets: Mutex<Vec<Arc<StageHistograms>>>,
+    stage_sets: OrderedMutex<Vec<Arc<StageHistograms>>>,
     /// The chosen backend's eval-latency histogram (set by `ensure_plan`).
     eval_hist: OnceLock<Arc<Histogram>>,
     /// `TCMM_TRACE` flight recorder (None unless enabled at session start).
@@ -415,23 +421,39 @@ impl<'a> SessionShared<'a> {
             opts,
             engine: Engine::new(ordered),
             plan: OnceLock::new(),
-            pack: Mutex::new(PackState {
-                lanes: Vec::new(),
-                next_request: 0,
-                spawned: 0,
-                finished: false,
-            }),
+            pack: OrderedMutex::new(
+                LockRank::SESSION_PACK,
+                "session.pack",
+                PackState {
+                    lanes: Vec::new(),
+                    next_request: 0,
+                    spawned: 0,
+                    finished: false,
+                },
+            ),
             pack_cv: Condvar::new(),
-            consume: Mutex::new(ConsumeState {
-                current: None,
-                pending: std::collections::VecDeque::new(),
-            }),
-            pool: Mutex::new(ResponsePool::default()),
-            inline_scratch: Mutex::new(InlineScratch::default()),
+            consume: OrderedMutex::new(
+                LockRank::SESSION_CONSUME,
+                "session.consume",
+                ConsumeState {
+                    current: None,
+                    pending: std::collections::VecDeque::new(),
+                },
+            ),
+            pool: OrderedMutex::new(
+                LockRank::RESPONSE_POOL,
+                "session.pool",
+                ResponsePool::default(),
+            ),
+            inline_scratch: OrderedMutex::new(
+                LockRank::INLINE_SCRATCH,
+                "session.inline_scratch",
+                InlineScratch::default(),
+            ),
             class_counts: circuit.class_counts(),
             delivered: AtomicU64::new(0),
             peak_in_flight: AtomicU64::new(0),
-            stage_sets: Mutex::new(Vec::new()),
+            stage_sets: OrderedMutex::new(LockRank::STAGE_SETS, "session.stage_sets", Vec::new()),
             eval_hist: OnceLock::new(),
             recorder: FlightRecorder::from_env(),
             faults,
@@ -490,8 +512,7 @@ impl<'a> SessionShared<'a> {
         for lane in &pack.lanes {
             let (weight, stats) = engine_stats
                 .get(lane.slot)
-                .map(|(_, w, s)| (*w, *s))
-                .unwrap_or((1, Default::default()));
+                .map_or((1, TenantQueueStats::default()), |(_, w, s)| (*w, *s));
             self.runtime.telemetry_ref().record_tenant(
                 lane.id,
                 weight,
@@ -780,6 +801,9 @@ impl<'a> SessionShared<'a> {
         stages: &StageHistograms,
         seq: u64,
     ) -> std::thread::Result<Result<Vec<Response>>> {
+        // lint:allow(no_panic): `plan` is a OnceLock set in ensure_plan
+        // before any group can be built, so it is present here by
+        // construction.
         let plan = self.plan.get().expect("groups exist only after planning");
         let primary = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.eval_group_with(plan.backend_idx, group, arena, refs, stages, true)
@@ -1081,6 +1105,8 @@ impl<'a> SessionShared<'a> {
                 pos: 0,
             });
         }
+        // lint:allow(no_panic): the branch above installed `current` under
+        // this same lock guard, so it cannot have been taken since.
         let cursor = consume.current.as_mut().expect("installed above");
         // Error groups (deadline miss, shed) carry ids but no responses:
         // every id answers with the group's error instead of a payload.
@@ -1094,6 +1120,8 @@ impl<'a> SessionShared<'a> {
         let tenant = cursor.tenant;
         cursor.pos += 1;
         if cursor.pos == cursor.ids.len() {
+            // lint:allow(no_panic): `current` was read two statements up
+            // under the same guard; nothing in between can clear it.
             let done = consume.current.take().expect("still installed");
             self.recycle_container(done.responses);
             self.recycle_ids(done.ids);
@@ -1164,9 +1192,10 @@ impl<'a> SessionShared<'a> {
     fn install_and_pop(&self, d: DoneGroup) -> Result<PooledResponse<'_>> {
         let mut consume = lock_checked(&self.consume, "consumer lock")?;
         self.queue_pending(&mut consume, d);
-        Ok(self
-            .pop_locked(&mut consume)
-            .expect("a pending group was just queued"))
+        let popped = self.pop_locked(&mut consume);
+        // lint:allow(no_panic): queue_pending pushed `d` under this held
+        // guard, so pop_locked must find at least that group.
+        Ok(popped.expect("a pending group was just queued"))
     }
 }
 
@@ -1261,15 +1290,13 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
     /// tolerate it (finish sets the flag itself before dispatching).
     fn wait_lane_idle<'m>(
         &'m self,
-        mut pack: MutexGuard<'m, PackState>,
+        mut pack: OrderedMutexGuard<'m, PackState>,
         lane: usize,
         submit_path: bool,
-    ) -> Result<MutexGuard<'m, PackState>> {
+    ) -> Result<OrderedMutexGuard<'m, PackState>> {
         while pack.lanes[lane].dispatching {
-            pack = self
-                .shared
-                .pack_cv
-                .wait(pack)
+            pack = pack
+                .wait(&self.shared.pack_cv)
                 .map_err(|_| RuntimeError::SessionPanicked {
                     context: "submit lock",
                 })?;
@@ -1285,11 +1312,11 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
 
     fn dispatch_lane_once<'m>(
         &'m self,
-        mut pack: MutexGuard<'m, PackState>,
+        mut pack: OrderedMutexGuard<'m, PackState>,
         lane: usize,
         plan: Plan,
         full_only: bool,
-    ) -> Result<MutexGuard<'m, PackState>> {
+    ) -> Result<OrderedMutexGuard<'m, PackState>> {
         pack = self.wait_lane_idle(pack, lane, full_only)?;
         if full_only && pack.lanes[lane].current_rows.len() < plan.lane_group {
             return Ok(pack);
@@ -1315,10 +1342,10 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
     /// the lane idle, and the session still accepting submissions.
     fn dispatch_lane_full<'m>(
         &'m self,
-        mut pack: MutexGuard<'m, PackState>,
+        mut pack: OrderedMutexGuard<'m, PackState>,
         lane: usize,
         plan: Plan,
-    ) -> Result<MutexGuard<'m, PackState>> {
+    ) -> Result<OrderedMutexGuard<'m, PackState>> {
         loop {
             // The once-helper waits the lane idle first (and early-returns
             // below the bound), so this loop only re-checks after a
@@ -1491,16 +1518,15 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
         pack.finished = true;
         if let Some(plan) = self.shared.plan.get().copied() {
             for lane in 0..pack.lanes.len() {
-                match self.dispatch_lane_once(pack, lane, plan, false) {
-                    Ok(p) => pack = p,
-                    Err(_) => {
-                        // The engine aborted (or a lock was poisoned):
-                        // queued work is dropped anyway, and the consumer
-                        // observes the recorded error — stop dispatching
-                        // the remaining partial groups.
-                        pack = lock_tolerant(&self.shared.pack);
-                        break;
-                    }
+                if let Ok(p) = self.dispatch_lane_once(pack, lane, plan, false) {
+                    pack = p
+                } else {
+                    // The engine aborted (or a lock was poisoned):
+                    // queued work is dropped anyway, and the consumer
+                    // observes the recorded error — stop dispatching
+                    // the remaining partial groups.
+                    pack = lock_tolerant(&self.shared.pack);
+                    break;
                 }
             }
         }
@@ -1539,6 +1565,8 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
         lock_tolerant(&self.shared.pack).next_request
     }
 
+    // lint:hot-path-begin — one call per submitted row; the steady-state
+    // zero-allocs budget (tests/alloc_steady_state.rs) covers this body.
     fn pack_row_locked(&self, pack: &mut PackState, lane: usize, row: &[bool]) -> u64 {
         let mut buf = self.shared.pool_row();
         buf.extend_from_slice(row);
@@ -1557,6 +1585,8 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
             .len()
             .is_multiple_of(TIME_SAMPLE_STRIDE)
         {
+            // lint:allow(hot_path): the stride above is the point — one
+            // clock read amortized over TIME_SAMPLE_STRIDE rows.
             lane_state.stamp = Instant::now();
         }
         let now = lane_state.stamp;
@@ -1573,6 +1603,7 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
             .fetch_max(in_flight, Ordering::Relaxed);
         id
     }
+    // lint:hot-path-end
 
     /// Extracts lane's current group under the packing lock, claiming its
     /// per-tenant sequence so per-tenant delivery order is fixed *here*
@@ -1723,6 +1754,9 @@ impl PooledResponse<'_> {
     /// two — shed rows are answered, never dropped.
     pub fn outcome(&self) -> std::result::Result<&Response, &RuntimeError> {
         match &self.error {
+            // lint:allow(no_panic): construction guarantees error.is_none()
+            // implies resp.is_some(); only into_response takes it, and that
+            // consumes self.
             None => Ok(self.resp.as_ref().expect("present until dropped")),
             Some(e) => Err(e),
         }
@@ -1739,18 +1773,20 @@ impl PooledResponse<'_> {
     ///
     /// On an error row (see [`PooledResponse::outcome`]).
     pub fn into_response(mut self) -> Response {
-        self.resp
-            .take()
-            .expect("error row: check PooledResponse::outcome first")
+        let resp = self.resp.take();
+        // lint:allow(no_panic): the `# Panics` section above documents this
+        // as the API contract for error rows.
+        resp.expect("error row: check PooledResponse::outcome first")
     }
 }
 
 impl std::ops::Deref for PooledResponse<'_> {
     type Target = Response;
     fn deref(&self) -> &Response {
-        self.resp
-            .as_ref()
-            .expect("error row: check PooledResponse::outcome first")
+        let resp = self.resp.as_ref();
+        // lint:allow(no_panic): Deref on an error row is the same documented
+        // misuse as into_response — callers check outcome() first.
+        resp.expect("error row: check PooledResponse::outcome first")
     }
 }
 

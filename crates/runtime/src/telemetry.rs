@@ -4,12 +4,13 @@
 //! both versioned by [`TELEMETRY_SCHEMA_VERSION`]).
 
 use crate::metrics::{Histogram, HistogramSnapshot, StageHistograms, StageSnapshot};
+use crate::ordered::{LockRank, OrderedMutex};
 use crate::TenantId;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Version of the telemetry export schema. Bump whenever a field or metric
 /// family is renamed, removed, or changes meaning in
@@ -30,7 +31,7 @@ pub const TELEMETRY_SCHEMA_VERSION: u32 = 2;
 /// tally map takes a lock (once per group, not per request). The stage
 /// histograms are handed out as [`Arc`]s once per session lane, so the
 /// per-request recording path is lock-free.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Telemetry {
     requests: AtomicU64,
     groups: AtomicU64,
@@ -40,7 +41,7 @@ pub struct Telemetry {
     class_gate_evals: [AtomicU64; 3],
     firings: AtomicU64,
     busy_ns: AtomicU64,
-    per_backend: Mutex<BTreeMap<&'static str, BackendTally>>,
+    per_backend: OrderedMutex<BTreeMap<&'static str, BackendTally>>,
     /// Streaming sessions opened (every `serve_batch`/`serve_stream` call
     /// is one session under the hood).
     sessions: AtomicU64,
@@ -53,14 +54,14 @@ pub struct Telemetry {
     pool_hits: AtomicU64,
     pool_misses: AtomicU64,
     /// Per-tenant serving and queue-wait tallies, keyed by tenant id.
-    per_tenant: Mutex<BTreeMap<TenantId, TenantTally>>,
+    per_tenant: OrderedMutex<BTreeMap<TenantId, TenantTally>>,
     /// Per-tenant lifecycle-stage histograms. Sessions clone the [`Arc`]
     /// once per lane and record lock-free from then on; the map lock is a
     /// lane-registration cost, not a per-request one.
-    per_tenant_stages: Mutex<BTreeMap<TenantId, Arc<StageHistograms>>>,
+    per_tenant_stages: OrderedMutex<BTreeMap<TenantId, Arc<StageHistograms>>>,
     /// Per-backend eval-latency histograms (nanoseconds per group inside
     /// the backend), same [`Arc`] hand-out discipline.
-    per_backend_eval: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+    per_backend_eval: OrderedMutex<BTreeMap<&'static str, Arc<Histogram>>>,
     /// Requests shed at admission (full tenant queue under a shedding
     /// [`crate::AdmissionPolicy`]).
     sheds: AtomicU64,
@@ -72,6 +73,49 @@ pub struct Telemetry {
     deadline_misses: AtomicU64,
     /// Backend quarantine events (one per failed group eval).
     quarantines: AtomicU64,
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry {
+            requests: AtomicU64::new(0),
+            groups: AtomicU64::new(0),
+            padded_lanes: AtomicU64::new(0),
+            gate_evals: AtomicU64::new(0),
+            class_gate_evals: Default::default(),
+            firings: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+            per_backend: OrderedMutex::new(
+                LockRank::TELEMETRY_BACKEND,
+                "telemetry.per_backend",
+                BTreeMap::new(),
+            ),
+            sessions: AtomicU64::new(0),
+            peak_in_flight_requests: AtomicU64::new(0),
+            peak_reorder_window_groups: AtomicU64::new(0),
+            pool_hits: AtomicU64::new(0),
+            pool_misses: AtomicU64::new(0),
+            per_tenant: OrderedMutex::new(
+                LockRank::TELEMETRY_TENANT,
+                "telemetry.per_tenant",
+                BTreeMap::new(),
+            ),
+            per_tenant_stages: OrderedMutex::new(
+                LockRank::TELEMETRY_TENANT_STAGES,
+                "telemetry.per_tenant_stages",
+                BTreeMap::new(),
+            ),
+            per_backend_eval: OrderedMutex::new(
+                LockRank::TELEMETRY_BACKEND_EVAL,
+                "telemetry.per_backend_eval",
+                BTreeMap::new(),
+            ),
+            sheds: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Per-backend slice of the telemetry.
@@ -489,8 +533,8 @@ impl TelemetrySummary {
         if means.len() < 2 {
             return 1.0;
         }
-        let max = means.iter().cloned().fold(f64::MIN, f64::max);
-        let min = means.iter().cloned().fold(f64::MAX, f64::min);
+        let max = means.iter().copied().fold(f64::MIN, f64::max);
+        let min = means.iter().copied().fold(f64::MAX, f64::min);
         max / min
     }
     /// Aggregate gate-evaluation throughput over backend busy time
@@ -652,8 +696,7 @@ impl TelemetrySummary {
             let eval = self
                 .per_backend_eval
                 .get(name)
-                .map(hist_json)
-                .unwrap_or_else(|| hist_json(&HistogramSnapshot::default()));
+                .map_or_else(|| hist_json(&HistogramSnapshot::default()), hist_json);
             let _ = write!(
                 out,
                 "\n    {{\"name\": \"{name}\", \"groups\": {}, \"requests\": {}, \
@@ -670,8 +713,7 @@ impl TelemetrySummary {
             let stages = self
                 .per_tenant_stages
                 .get(id)
-                .map(stages_json)
-                .unwrap_or_else(|| stages_json(&StageSnapshot::default()));
+                .map_or_else(|| stages_json(&StageSnapshot::default()), stages_json);
             let _ = write!(
                 out,
                 "\n    {{\"id\": {}, \"weight\": {}, \"requests\": {}, \"groups\": {}, \
@@ -1163,6 +1205,8 @@ mod tests {
     }
 
     #[test]
+    // The ratio is clamped to an exact constant, so `==` is the right check.
+    #[allow(clippy::float_cmp)]
     fn zero_ns_queue_waits_participate_in_the_fairness_ratio() {
         let t = Telemetry::default();
         // A tenant whose every queued group measured 0 ns on a coarse

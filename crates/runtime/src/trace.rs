@@ -15,9 +15,9 @@
 //! `off`, `0`) → disabled.
 
 use std::fmt::Write as _;
-use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::ordered::{LockRank, OrderedMutex};
 use crate::TenantId;
 
 /// Default ring capacity when `TCMM_TRACE=on`.
@@ -101,7 +101,7 @@ struct Ring {
 pub(crate) struct FlightRecorder {
     start: Instant,
     capacity: usize,
-    ring: Mutex<Ring>,
+    ring: OrderedMutex<Ring>,
 }
 
 impl FlightRecorder {
@@ -122,11 +122,15 @@ impl FlightRecorder {
         FlightRecorder {
             start: Instant::now(),
             capacity,
-            ring: Mutex::new(Ring {
-                events: Vec::with_capacity(capacity),
-                head: 0,
-                recorded: 0,
-            }),
+            ring: OrderedMutex::new(
+                LockRank::TRACE_RING,
+                "trace.ring",
+                Ring {
+                    events: Vec::with_capacity(capacity),
+                    head: 0,
+                    recorded: 0,
+                },
+            ),
         }
     }
 

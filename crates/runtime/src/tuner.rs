@@ -13,12 +13,12 @@
 //! calibration run.
 
 use crate::backend::{BackendRegistry, Detail};
+use crate::ordered::{LockRank, OrderedMutex};
 use crate::{Result, RuntimeError};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 use tc_circuit::{CompiledCircuit, PlaneArena};
 
@@ -74,10 +74,19 @@ fn bucket(batch: usize) -> u32 {
 }
 
 /// The measuring backend picker.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AutoTuner {
-    cache: Mutex<HashMap<TuneKey, usize>>,
+    cache: OrderedMutex<HashMap<TuneKey, usize>>,
     calibrations: AtomicU64,
+}
+
+impl Default for AutoTuner {
+    fn default() -> Self {
+        AutoTuner {
+            cache: OrderedMutex::new(LockRank::TUNER_CACHE, "tuner.cache", HashMap::new()),
+            calibrations: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Largest probe group: bounds one-shot calibration cost on huge circuits
@@ -144,7 +153,7 @@ impl AutoTuner {
         for (idx, backend) in registry.backends().iter().enumerate() {
             let caps = backend.caps();
             let group = caps.lane_group.min(rows.len()).max(1);
-            let refs: Vec<&[bool]> = rows[..group].iter().map(|r| r.as_slice()).collect();
+            let refs: Vec<&[bool]> = rows[..group].iter().map(std::vec::Vec::as_slice).collect();
             let t0 = Instant::now();
             backend.eval_group(circuit, &refs, Detail::Outputs, &mut arena, &mut responses)?;
             let elapsed = t0.elapsed().as_secs_f64();
@@ -155,11 +164,13 @@ impl AutoTuner {
             // the right model for both kinds.
             let groups_needed = batch.max(1).div_ceil(caps.lane_group) as f64;
             let estimate = elapsed * groups_needed;
-            if best.map(|(_, t)| estimate < t).unwrap_or(true) {
+            if best.is_none_or(|(_, t)| estimate < t) {
                 best = Some((idx, estimate));
             }
         }
-        Ok(best.expect("registry is non-empty").0)
+        // `pick` guarantees a non-empty registry, but a typed error beats a
+        // panic if a future caller ever skips that check.
+        best.map(|(idx, _)| idx).ok_or(RuntimeError::NoBackend)
     }
 
     /// Serialises the calibration cache as JSON (backend *names*, resolved
@@ -174,6 +185,9 @@ impl AutoTuner {
         registry: &BackendRegistry,
         path: P,
     ) -> std::io::Result<()> {
+        // Shadows the `std::io::Write` import for in-memory formatting;
+        // `write!` into a `String` is infallible, so the result is dropped.
+        use std::fmt::Write as _;
         let cache = crate::lock_tolerant(&self.cache);
         let mut json = String::from("{\n  \"version\": 2,\n  \"entries\": [");
         let mut first = true;
@@ -185,7 +199,8 @@ impl AutoTuner {
                 json.push(',');
             }
             first = false;
-            json.push_str(&format!(
+            let _ = write!(
+                json,
                 "\n    {{\"gates\": {}, \"bit_edges\": {}, \"inputs\": {}, \
                  \"unit_gates\": {}, \"pow2_gates\": {}, \"bucket\": {}, \
                  \"canon\": {}, \"backend\": \"{}\"}}",
@@ -197,7 +212,7 @@ impl AutoTuner {
                 key.bucket,
                 key.canon,
                 backend.caps().name
-            ));
+            );
         }
         json.push_str("\n  ]\n}\n");
         let mut file = std::fs::File::create(path)?;
@@ -258,10 +273,7 @@ impl AutoTuner {
 /// Yields the top-level `{...}` objects inside the `"entries"` array of the
 /// cache schema (no nesting — the writer never emits nested braces).
 fn json_objects(text: &str) -> impl Iterator<Item = &str> {
-    let body = text
-        .split_once("\"entries\"")
-        .map(|(_, rest)| rest)
-        .unwrap_or("");
+    let body = text.split_once("\"entries\"").map_or("", |(_, rest)| rest);
     body.split('{')
         .skip(1)
         .filter_map(|chunk| chunk.split_once('}').map(|(obj, _)| obj))
@@ -271,7 +283,7 @@ fn json_objects(text: &str) -> impl Iterator<Item = &str> {
 fn json_usize(obj: &str, field: &str) -> Option<usize> {
     let tail = obj.split_once(&format!("\"{field}\""))?.1;
     let tail = tail.trim_start().strip_prefix(':')?.trim_start();
-    let digits: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+    let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
     digits.parse().ok()
 }
 
@@ -301,7 +313,7 @@ pub(crate) fn rank_by_model(
 /// Deterministic pseudo-random probe inputs (xorshift64), so calibration is
 /// reproducible and never depends on caller data.
 fn probe_rows(num_inputs: usize, rows: usize) -> Vec<Vec<bool>> {
-    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut state = 0x9e37_79b9_7f4a_7c15_u64;
     (0..rows)
         .map(|_| {
             (0..num_inputs)

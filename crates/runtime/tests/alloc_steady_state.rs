@@ -28,19 +28,31 @@ struct CountingAllocator;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: a pure pass-through to `System` plus a relaxed counter bump — it
+// upholds `GlobalAlloc`'s contract exactly as `System` does, and the
+// counter never allocates or re-enters the allocator.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: forwards its arguments unchanged to `System`, so the layout
+    // preconditions the caller established carry over verbatim.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same `layout` the caller passed in.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: pass-through; `ptr`/`layout` preconditions carry over.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come straight from the caller, which got
+        // `ptr` from `alloc` above (i.e. from `System`).
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: pass-through; `ptr`/`layout` preconditions carry over.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         // A realloc that moves is a fresh allocation for our purposes.
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: arguments forwarded unchanged; `ptr` originated in
+        // `System.alloc`.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

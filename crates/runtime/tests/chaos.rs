@@ -315,6 +315,8 @@ fn tcmm_faults_env_arms_sessions_without_code_changes() {
         .build();
     let requests = rows(600);
     let result = runtime.serve_batch(&cc, &requests);
+    // SAFETY: still inside the SERIAL guard's window — same argument as the
+    // set_var above.
     unsafe { std::env::remove_var("TCMM_FAULTS") };
     let responses = result.unwrap();
     assert_eq!(responses.len(), 600);

@@ -1,0 +1,12 @@
+//! Seeded violations: an allocation inside a hot-path region, and a
+//! region that is never closed.
+
+fn serve() -> usize {
+    // lint:hot-path-begin
+    let scratch: Vec<u64> = Vec::new();
+    scratch.len()
+}
+
+fn main() {
+    serve();
+}

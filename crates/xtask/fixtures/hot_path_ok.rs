@@ -1,0 +1,22 @@
+//! Clean fixture: the hot-path region only reuses preallocated storage;
+//! one clock read is explicitly waived; allocation outside the region is
+//! unrestricted.
+
+fn serve(scratch: &mut [u64]) -> u64 {
+    // lint:hot-path-begin
+    let mut acc = 0u64;
+    for s in scratch.iter_mut() {
+        *s = s.wrapping_mul(3);
+        acc = acc.wrapping_add(*s);
+    }
+    // lint:allow(hot_path): fixture exercising the waiver path — a strided
+    // clock read is part of this region's contract.
+    let _t = std::time::Instant::now();
+    // lint:hot-path-end
+    acc
+}
+
+fn main() {
+    let mut scratch = vec![1, 2, 3];
+    serve(&mut scratch);
+}

@@ -1,0 +1,8 @@
+//! Seeded violations: `.unwrap()` and `.expect(` in non-test code.
+
+fn main() {
+    let v = vec![1, 2, 3];
+    let first = v.first().unwrap();
+    let last = v.last().expect("non-empty");
+    println!("{first} {last}");
+}

@@ -1,0 +1,8 @@
+//! Seeded violation: an `unsafe` block with no SAFETY comment.
+
+fn main() {
+    let x: u64 = 5;
+    let p = &x as *const u64;
+    let y = unsafe { *p };
+    println!("{y}");
+}

@@ -1,0 +1,35 @@
+//! Clean fixture: every `unsafe` site is covered — by a same-line SAFETY
+//! comment, a preceding comment block, a block above an attribute, or an
+//! explicit waiver.
+
+fn covered_same_line() {
+    let x: u64 = 5;
+    let p = &x as *const u64;
+    let _y = unsafe { *p }; // SAFETY: p points at the live local above.
+}
+
+fn covered_block_above() {
+    let x: u64 = 7;
+    let p = &x as *const u64;
+    // SAFETY: `p` was derived from a reference one line up and `x` is
+    // still in scope, so the read is in-bounds and aligned.
+    let _y = unsafe { *p };
+}
+
+// SAFETY: the function only transmutes sizes that match; callers uphold
+// the contract documented here.
+#[inline]
+unsafe fn covered_through_attribute() {}
+
+fn waived() {
+    let x: u64 = 9;
+    let p = &x as *const u64;
+    // lint:allow(safety_comment): fixture exercising the waiver path.
+    let _y = unsafe { *p };
+}
+
+fn main() {
+    covered_same_line();
+    covered_block_above();
+    waived();
+}
