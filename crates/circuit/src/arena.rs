@@ -117,6 +117,7 @@ impl CompiledCircuit {
                 }
                 let (word, bit) = (lane / 64, lane % 64);
                 for (i, &value) in row.iter().enumerate() {
+                    // lint:allow(narrowing-cast): a bool is exactly 0 or 1
                     vals[1 + i][word] |= (value as u64) << bit;
                 }
             }

@@ -63,10 +63,12 @@ pub fn canonical_gate(weights: &[i64], threshold: i64) -> Option<(Vec<i64>, i64)
         return None;
     }
     let gw = g as i128;
+    // lint:allow(narrowing-cast): |w|/g ≤ |w|, so the quotient fits i64
     let canon = weights.iter().map(|&w| ((w as i128) / gw) as i64).collect();
     // ⌈t/g⌉ in exact integer arithmetic (i128 covers i64::MIN).
     let q = (threshold as i128).div_euclid(gw);
     let r = (threshold as i128).rem_euclid(gw);
+    // lint:allow(narrowing-cast): g ≥ 2, so |⌈t/g⌉| ≤ |t| fits i64
     let t = (q + (r != 0) as i128) as i64;
     Some((canon, t))
 }
@@ -80,6 +82,7 @@ pub(crate) type Digit = (u8, bool);
 pub(crate) fn binary_digits(mag: u64, out: &mut Vec<Digit>) {
     let mut bits = mag;
     while bits != 0 {
+        // lint:allow(narrowing-cast): trailing_zeros of a nonzero u64 is ≤ 63
         out.push((bits.trailing_zeros() as u8, false));
         bits &= bits - 1;
     }

@@ -3,7 +3,7 @@
 use crate::compiled::CompiledCircuit;
 use crate::eval::{EvalOptions, Evaluation};
 use crate::stats::CircuitStats;
-use crate::validate::ValidationReport;
+use crate::verify::VerifyReport;
 use crate::{CircuitError, Result, ThresholdGate, Wire};
 use serde::{Deserialize, Serialize};
 
@@ -97,16 +97,34 @@ impl Circuit {
     }
 
     /// Checks the structural invariants and reports any violations.
-    pub fn validate(&self) -> ValidationReport {
-        ValidationReport::check(self)
+    ///
+    /// For circuits that lower cleanly this includes the full compiled-IR
+    /// verification of [`crate::verify`] — structural CSR invariants plus
+    /// the canonicalization certificates — along with advisory constant- and
+    /// dead-gate findings; invalid circuits fall back to gate-list analyses.
+    pub fn validate(&self) -> VerifyReport {
+        crate::verify::validate_circuit(self)
     }
 
     /// Lowers the circuit into its compiled CSR form (see [`CompiledCircuit`]).
     ///
     /// Compilation costs one pass over the edges; callers evaluating the same
     /// circuit more than once should compile once and keep the result.
+    ///
+    /// Debug builds re-verify every compiled artifact against its source
+    /// (translation validation; see [`crate::verify`]) and panic on any
+    /// violated invariant — a miscompilation never escapes a debug run.
     pub fn compile(&self) -> Result<CompiledCircuit> {
-        CompiledCircuit::new(self)
+        let compiled = CompiledCircuit::new(self)?;
+        #[cfg(debug_assertions)]
+        {
+            let report = crate::verify::verify_against(self, &compiled);
+            debug_assert!(
+                report.is_valid(),
+                "compiled-IR verification failed:\n{report}"
+            );
+        }
+        Ok(compiled)
     }
 
     /// Evaluates the circuit sequentially on the given input bits.

@@ -140,18 +140,18 @@ pub struct CompiledCircuit {
     /// Per-gate firing thresholds (internal order).
     pub(crate) thresholds: Vec<i64>,
     /// Per-gate depth (1-based), in ORIGINAL gate order.
-    depths: Vec<u32>,
+    pub(crate) depths: Vec<u32>,
     /// ORIGINAL gate ids grouped by depth layer; `layer_ranges[d]` indexes
     /// into it (the public [`CompiledCircuit::layer`] view).
-    schedule: Vec<u32>,
+    pub(crate) schedule: Vec<u32>,
     /// Half-open ranges, one per depth layer. Because the internal numbering
     /// is depth-major, `layer_ranges[d]` is *also* the internal gate-id range
     /// of layer `d`.
-    layer_ranges: Vec<(u32, u32)>,
+    pub(crate) layer_ranges: Vec<(u32, u32)>,
     /// Slot-encoded designated outputs.
     pub(crate) outputs: Vec<u32>,
     /// Per-gate flag (internal order): the weighted sum provably fits `i64`.
-    narrow: Vec<bool>,
+    pub(crate) narrow: Vec<bool>,
     /// Bit-edge offsets (internal order; `Unit` gates span zero bit-edges).
     pub(crate) bit_offsets: Vec<u32>,
     /// Slot of each bit-edge.
@@ -166,16 +166,16 @@ pub struct CompiledCircuit {
     pub(crate) segments: Vec<(GateClass, u32, u32)>,
     /// Gates per class (`[Unit, Pow2, General]`), post-canonicalization —
     /// the mix the kernel actually runs.
-    class_counts: [usize; 3],
+    pub(crate) class_counts: [usize; 3],
     /// Gates per class as classified from the *raw* builder weights, before
     /// the canonicalization pass rewrote them (see `canon.rs`).
-    class_counts_pre: [usize; 3],
+    pub(crate) class_counts_pre: [usize; 3],
     /// Gates whose compiled form differs from their raw form (GCD-factored
     /// weights and/or a shorter signed-digit bit-edge decomposition).
-    canon_gates: usize,
+    pub(crate) canon_gates: usize,
     /// Plane-addition operations one batch pass performs per class:
     /// raw edges for `Unit`, bit-edges for `Pow2`/`General`.
-    class_plane_ops: [u64; 3],
+    pub(crate) class_plane_ops: [u64; 3],
     /// ORIGINAL gate id → internal gate id. Shared (`Arc`) so evaluations
     /// that must translate slots back to original ids borrow it for free.
     pub(crate) perm: std::sync::Arc<[u32]>,
@@ -219,6 +219,7 @@ impl CompiledCircuit {
         let planes_for = |reach: i128| -> u8 {
             let needed = 128 - (reach + 1).leading_zeros() + 2;
             if (needed as usize) < BATCH_LANES {
+                // lint:allow(narrowing-cast): guarded below BATCH_LANES = 64
                 needed as u8
             } else {
                 WIDE_GATE
@@ -301,6 +302,7 @@ impl CompiledCircuit {
                 let mag = w.unsigned_abs();
                 dbuf.clear();
                 canon::weight_digits(mag, &mut dbuf);
+                // lint:allow(narrowing-cast): a u64 magnitude has ≤ 64 digits
                 csd_shorter |= (dbuf.len() as u32) < mag.count_ones();
                 for &(shift, dneg) in &dbuf {
                     if (w < 0) ^ dneg {
@@ -344,6 +346,7 @@ impl CompiledCircuit {
         let mut schedule = vec![0u32; num_gates];
         for (g, &d) in depths.iter().enumerate() {
             let c = &mut cursor[(d - 1) as usize];
+            // lint:allow(narrowing-cast): gate ids fit the u32 slot space checked at entry
             schedule[*c as usize] = g as u32;
             *c += 1;
         }
@@ -359,6 +362,7 @@ impl CompiledCircuit {
         }
         let mut perm = vec![0u32; num_gates];
         for (internal, &orig) in inv.iter().enumerate() {
+            // lint:allow(narrowing-cast): internal ids fit the u32 slot space checked at entry
             perm[orig as usize] = internal as u32;
         }
 
@@ -406,6 +410,7 @@ impl CompiledCircuit {
                         continue;
                     }
                     count += 1;
+                    // lint:allow(narrowing-cast): slots fit the u32 space checked at entry
                     let slot = slot_of(wire, num_inputs, &perm) as u32;
                     wires.push(slot);
                     weights.push(weight);
@@ -439,10 +444,14 @@ impl CompiledCircuit {
             classes.push(class);
             class_counts[class.index()] += 1;
             class_plane_ops[class.index()] += match class {
+                // lint:allow(narrowing-cast): usize → u64 never truncates on supported targets
                 GateClass::Unit => gate.fan_in() as u64,
+                // lint:allow(narrowing-cast): bit-edge counts share the u32 CSR index space; the difference widens to u64
                 _ => (bit_slots.len() as u32 - *bit_offsets.last().unwrap()) as u64,
             };
+            // lint:allow(narrowing-cast): edge counts share the u32 CSR index space
             offsets.push(wires.len() as u32);
+            // lint:allow(narrowing-cast): bit-edge counts share the u32 CSR index space
             bit_offsets.push(bit_slots.len() as u32);
         }
 
@@ -450,7 +459,9 @@ impl CompiledCircuit {
         let mut segments: Vec<(GateClass, u32, u32)> = Vec::new();
         for (i, &class) in classes.iter().enumerate() {
             match segments.last_mut() {
+                // lint:allow(narrowing-cast): segment ends are gate counts within the u32 slot space
                 Some((c, _, hi)) if *c == class => *hi = (i + 1) as u32,
+                // lint:allow(narrowing-cast): segment ends are gate counts within the u32 slot space
                 _ => segments.push((class, i as u32, (i + 1) as u32)),
             }
         }
@@ -469,6 +480,7 @@ impl CompiledCircuit {
                     num_gates,
                 });
             }
+            // lint:allow(narrowing-cast): slots fit the u32 space checked at entry
             outputs.push(slot_of(wire, num_inputs, &perm) as u32);
         }
 
@@ -593,6 +605,7 @@ impl CompiledCircuit {
     /// Circuit depth in gate layers.
     #[inline]
     pub fn depth(&self) -> u32 {
+        // lint:allow(narrowing-cast): depth ≤ gate count, which fits the u32 slot space
         self.layer_ranges.len() as u32
     }
 
@@ -698,6 +711,7 @@ impl CompiledCircuit {
                 // Branchless: mask the weight by the input bit.
                 // SAFETY: `wires[e] < len_slots()` by compilation, and the
                 // caller promises `vals` spans `len_slots()` slots.
+                // lint:allow(narrowing-cast): a bool is exactly 0 or 1
                 acc += self.weights[e] & -(unsafe { *vals.add(self.wires[e] as usize) } as i64);
             }
             acc >= self.thresholds[g]
@@ -941,11 +955,13 @@ impl Batch64 {
                 });
             }
             for (i, &bit) in row.iter().enumerate() {
+                // lint:allow(narrowing-cast): a bool is exactly 0 or 1
                 masks[i] |= (bit as u64) << lane;
             }
         }
         Ok(Batch64 {
             num_inputs,
+            // lint:allow(narrowing-cast): guarded above by BATCH_LANES = 64
             lanes: rows.len() as u32,
             masks,
         })

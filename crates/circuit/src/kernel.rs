@@ -421,6 +421,7 @@ impl CompiledCircuit {
                     acc += self.weights[e] as i128;
                 }
             }
+            // lint:allow(narrowing-cast): a bool is exactly 0 or 1
             fired[word] |= ((acc >= t) as u64) << bit;
         }
         fired

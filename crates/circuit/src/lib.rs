@@ -75,7 +75,7 @@ mod gate;
 mod kernel;
 pub mod simd;
 mod stats;
-mod validate;
+pub mod verify;
 mod wide;
 mod wire;
 
@@ -90,7 +90,10 @@ pub use error::CircuitError;
 pub use eval::{EvalOptions, Evaluation};
 pub use gate::ThresholdGate;
 pub use stats::{CircuitStats, LayerStats};
-pub use validate::ValidationReport;
+pub use verify::{
+    verify_against, verify_compiled, Bound, Finding, FindingKind, PaperBound, Severity,
+    VerifyReport,
+};
 pub use wide::{Batch128, Batch256, Batch512, BatchWide, WideEvaluation};
 pub use wire::Wire;
 

@@ -1,7 +1,7 @@
 //! Property-based tests for the threshold-circuit substrate.
 
 use proptest::prelude::*;
-use tc_circuit::{CircuitBuilder, DedupPolicy, EvalOptions, Wire};
+use tc_circuit::{verify_against, verify_compiled, CircuitBuilder, DedupPolicy, EvalOptions, Wire};
 
 /// A generated circuit description: `(num_inputs, gates)` with each gate
 /// given as `(fan-in (wire ordinal, weight) pairs, threshold)`.
@@ -126,5 +126,24 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Translation validation holds on every compile: random circuits lower
+    /// to artifacts the independent verifier certifies — structural CSR
+    /// invariants standalone, and the canonicalization certificates (GCD
+    /// factor, ceiling-quotient threshold, signed-digit sums) against the
+    /// source gates.
+    #[test]
+    fn compiled_circuits_pass_the_verifier((num_inputs, spec) in random_circuit_spec(),
+                                           dedup in any::<bool>()) {
+        let policy = if dedup { DedupPolicy::MergeStructural } else { DedupPolicy::KeepDuplicates };
+        let circuit = build(num_inputs, &spec, policy);
+        let compiled = circuit.compile().unwrap();
+        let standalone = verify_compiled(&compiled);
+        prop_assert!(standalone.is_valid(), "structural: {standalone}");
+        let report = verify_against(&circuit, &compiled);
+        prop_assert!(report.is_valid(), "against source: {report}");
+        // Advisory findings never flip validity.
+        prop_assert!(report.error_count() == 0);
     }
 }

@@ -28,6 +28,32 @@ pub enum MatmulBackend {
 }
 
 impl MatmulBackend {
+    /// The threshold circuit this backend would build for products whose
+    /// operand dimensions are all at most `max_dim` with `entry_bits`-bit
+    /// entries, or `None` for the host-side backends.
+    ///
+    /// The returned [`MatmulCircuit`] carries its own certified paper bound
+    /// ([`MatmulCircuit::paper_bound`]); the `verify-circuit` sweep uses this
+    /// to certify the convolution layers' im2col products without running an
+    /// inference.
+    pub fn plan_circuit(
+        &self,
+        max_dim: usize,
+        entry_bits: usize,
+    ) -> Option<tcmm_core::Result<MatmulCircuit>> {
+        match self {
+            MatmulBackend::Naive | MatmulBackend::Fast { .. } => None,
+            MatmulBackend::ThresholdCircuit {
+                algorithm,
+                depth_parameter,
+            } => {
+                let n = recursive::next_power_of(algorithm.t(), max_dim.max(algorithm.t()));
+                let config = CircuitConfig::new(algorithm.clone(), entry_bits.max(1));
+                Some(MatmulCircuit::theorem_4_9(&config, n, *depth_parameter))
+            }
+        }
+    }
+
     /// Multiplies two (possibly rectangular) integer matrices with this backend.
     pub fn multiply(&self, a: &Matrix, b: &Matrix) -> Result<Matrix, Box<dyn std::error::Error>> {
         match self {

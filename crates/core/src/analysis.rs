@@ -38,6 +38,19 @@ pub struct TreePhaseCost {
     pub per_level: Vec<LevelCost>,
     /// Total gates across all levels.
     pub total_gates: u128,
+    /// Width profile of the leaf scalars: `(bit width per sign part, number of
+    /// leaves in that class)`, ascending by width.  This is the DP's terminal
+    /// state; the paper-bound models use it to cost the Lemma 3.3 product
+    /// layer that consumes the leaves.
+    pub leaf_widths: Vec<(u32, u128)>,
+}
+
+impl TreePhaseCost {
+    /// The widest leaf class (0 for an all-masked tree) — an upper bound on the
+    /// width of every leaf scalar the phase produces.
+    pub fn max_leaf_width(&self) -> u32 {
+        self.leaf_widths.iter().map(|&(w, _)| w).max().unwrap_or(0)
+    }
 }
 
 /// Exact gate count of the tree phase of the construction, computed by dynamic
@@ -111,9 +124,12 @@ pub fn tree_phase_cost(
             gates: level_gates,
         });
     }
+    let mut leaf_widths: Vec<(u32, u128)> = widths.into_iter().collect();
+    leaf_widths.sort_unstable();
     TreePhaseCost {
         per_level,
         total_gates: total,
+        leaf_widths,
     }
 }
 

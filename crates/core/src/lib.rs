@@ -19,7 +19,10 @@
 //!   (Theorems 4.8 / 4.9), plus the uniform-schedule variant the paper equates with
 //!   Theorem 4.1;
 //! * **analytic gate-count models** ([`analysis`]) that predict the size of the tree
-//!   phases exactly for problem sizes far too large to materialise.
+//!   phases exactly for problem sizes far too large to materialise;
+//! * **certified paper bounds** ([`bounds`]): every constructor exposes a
+//!   `paper_bound()` whose closed-form depth/gate/edge formulas are asserted
+//!   against the compiled artifact by `tc_circuit::PaperBound::certify`.
 //!
 //! ## Quick start
 //!
@@ -42,6 +45,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod analysis;
+pub mod bounds;
 mod config;
 mod error;
 pub mod matmul;

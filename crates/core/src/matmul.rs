@@ -13,7 +13,7 @@ use crate::tree::{coefficient_table, combine_product_tree, compute_tree_leaves, 
 use crate::{CircuitConfig, CoreError, Result};
 use fast_matmul::Matrix;
 use tc_arith::{product_signed_repr, InputAllocator, Repr, SignedInt};
-use tc_circuit::{Circuit, CircuitBuilder, CircuitStats, CompiledCircuit, EvalOptions};
+use tc_circuit::{Circuit, CircuitBuilder, CircuitStats, CompiledCircuit, EvalOptions, PaperBound};
 use tc_runtime::{Detail, Runtime};
 
 /// A constant-depth threshold circuit computing the product of two `N×N` integer
@@ -33,6 +33,7 @@ pub struct MatmulCircuit {
     output: Vec<SignedInt>,
     n: usize,
     schedule: LevelSchedule,
+    bound: PaperBound,
     runtime: Runtime,
 }
 
@@ -80,6 +81,7 @@ impl MatmulCircuit {
 
         let circuit = builder.build();
         let compiled = circuit.compile()?;
+        let bound = crate::bounds::matmul_paper_bound(config, n, &schedule);
         Ok(MatmulCircuit {
             circuit,
             compiled,
@@ -88,6 +90,7 @@ impl MatmulCircuit {
             output,
             n,
             schedule,
+            bound,
             runtime: Runtime::new(),
         })
     }
@@ -148,6 +151,12 @@ impl MatmulCircuit {
     /// The level schedule used by the construction.
     pub fn schedule(&self) -> &LevelSchedule {
         &self.schedule
+    }
+
+    /// The closed-form paper bound this instance must satisfy
+    /// (see [`crate::bounds::matmul_paper_bound`]).
+    pub fn paper_bound(&self) -> &PaperBound {
+        &self.bound
     }
 
     /// Complexity statistics, read from the stored compiled form.

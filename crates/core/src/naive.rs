@@ -18,7 +18,7 @@ use tc_arith::{
     product3_signed_repr, product_signed_repr, repr_to_signed, threshold_of_repr, InputAllocator,
     Repr, SignedInt,
 };
-use tc_circuit::{Circuit, CircuitBuilder, CircuitStats, CompiledCircuit, Wire};
+use tc_circuit::{Circuit, CircuitBuilder, CircuitStats, CompiledCircuit, PaperBound, Wire};
 
 /// The depth-2, `C(N,3) + 1`-gate triangle-threshold circuit from Section 1.
 ///
@@ -79,6 +79,12 @@ impl NaiveTriangleCircuit {
     /// The triangle threshold `τ`.
     pub fn tau(&self) -> i64 {
         self.tau
+    }
+
+    /// The closed-form paper bound this instance must satisfy
+    /// (see [`crate::bounds::naive_triangle_paper_bound`]).
+    pub fn paper_bound(&self) -> PaperBound {
+        crate::bounds::naive_triangle_paper_bound(self.n)
     }
 
     /// Complexity statistics, read from the stored compiled form.
@@ -188,6 +194,12 @@ impl NaiveTraceCircuit {
         self.tau
     }
 
+    /// The closed-form paper bound this instance must satisfy
+    /// (see [`crate::bounds::naive_trace_paper_bound`]).
+    pub fn paper_bound(&self) -> PaperBound {
+        crate::bounds::naive_trace_paper_bound(self.input.n(), self.input.bits())
+    }
+
     /// Complexity statistics, read from the stored compiled form.
     pub fn stats(&self) -> CircuitStats {
         self.compiled.stats()
@@ -273,6 +285,12 @@ impl NaiveMatmulCircuit {
     /// The underlying circuit.
     pub fn circuit(&self) -> &Circuit {
         &self.circuit
+    }
+
+    /// The closed-form paper bound this instance must satisfy
+    /// (see [`crate::bounds::naive_matmul_paper_bound`]).
+    pub fn paper_bound(&self) -> PaperBound {
+        crate::bounds::naive_matmul_paper_bound(self.n, self.a.bits())
     }
 
     /// Complexity statistics, read from the stored compiled form.

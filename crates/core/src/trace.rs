@@ -23,7 +23,7 @@ use crate::tree::{coefficient_table, compute_tree_leaves, zero_signed, TreeKind}
 use crate::{CircuitConfig, CoreError, Result};
 use fast_matmul::Matrix;
 use tc_arith::{product3_signed_repr, threshold_of_repr, InputAllocator, Repr, SignedInt};
-use tc_circuit::{Circuit, CircuitBuilder, CircuitStats, CompiledCircuit};
+use tc_circuit::{Circuit, CircuitBuilder, CircuitStats, CompiledCircuit, PaperBound};
 use tc_runtime::Runtime;
 
 /// A constant-depth threshold circuit deciding `trace(A³) ≥ τ` for symmetric
@@ -42,6 +42,7 @@ pub struct TraceCircuit {
     input: MatrixInput,
     tau: i64,
     schedule: LevelSchedule,
+    bound: PaperBound,
     runtime: Runtime,
 }
 
@@ -106,12 +107,14 @@ impl TraceCircuit {
 
         let circuit = builder.build();
         let compiled = circuit.compile()?;
+        let bound = crate::bounds::trace_paper_bound(config, n, &schedule);
         Ok(TraceCircuit {
             circuit,
             compiled,
             input,
             tau,
             schedule,
+            bound,
             runtime: Runtime::new(),
         })
     }
@@ -154,6 +157,12 @@ impl TraceCircuit {
     /// The level schedule used by the construction.
     pub fn schedule(&self) -> &LevelSchedule {
         &self.schedule
+    }
+
+    /// The closed-form paper bound this instance must satisfy
+    /// (see [`crate::bounds::trace_paper_bound`]).
+    pub fn paper_bound(&self) -> &PaperBound {
+        &self.bound
     }
 
     /// Complexity statistics, read from the stored compiled form.

@@ -74,6 +74,12 @@ impl TriangleOracle {
         &self.circuit
     }
 
+    /// The closed-form paper bound of the wrapped trace circuit at the
+    /// oracle's padded dimension.
+    pub fn paper_bound(&self) -> &tc_circuit::PaperBound {
+        self.circuit.paper_bound()
+    }
+
     /// Answers the query for one graph.
     pub fn query(&self, g: &Graph) -> Result<bool, CoreError> {
         self.check(g)?;

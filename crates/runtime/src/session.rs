@@ -1519,7 +1519,7 @@ impl<'scope, 'env> StreamSession<'scope, 'env> {
         if let Some(plan) = self.shared.plan.get().copied() {
             for lane in 0..pack.lanes.len() {
                 if let Ok(p) = self.dispatch_lane_once(pack, lane, plan, false) {
-                    pack = p
+                    pack = p;
                 } else {
                     // The engine aborted (or a lock was poisoned):
                     // queued work is dropped anyway, and the consumer

@@ -1,0 +1,15 @@
+//! Seeded narrowing-cast violations: two bare sized-integer casts and one
+//! waiver missing its mandatory reason. The rule test pins all three.
+
+fn truncates(x: u64) -> u8 {
+    x as u8
+}
+
+fn wraps(x: u64) -> i32 {
+    (x >> 1) as i32
+}
+
+fn reasonless(x: u64) -> u16 {
+    // lint:allow(narrowing-cast)
+    x as u16
+}

@@ -1,0 +1,25 @@
+//! Clean narrowing-cast sites: properly waived casts, exempt wide targets,
+//! and casts inside `#[cfg(test)]` items.
+
+fn waived_above(x: u64) -> u8 {
+    // lint:allow(narrowing-cast): masked to six bits on the line below
+    (x & 63) as u8
+}
+
+fn waived_same_line(x: u64) -> u32 {
+    (x >> 32) as u32 // lint:allow(narrowing-cast): high word of a u64 fits u32
+}
+
+fn exempt_targets(x: u32) -> u128 {
+    let wide = x as u128;
+    let idx = x as usize;
+    wide + idx as u128 + (x as i128) as u128
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_in_tests_are_fine() {
+        assert_eq!(300u64 as u8, 44);
+    }
+}

@@ -21,12 +21,27 @@
 //!    `telemetry.rs` must be listed in the `telemetry_export` test's
 //!    `REQUIRED_FAMILIES` gate *and* documented in the README, so a new
 //!    metric cannot ship unvalidated or undocumented.
+//! 5. **narrowing-cast** — the circuit lowering and kernel files
+//!    (`crates/circuit/src/{compiled,kernel,canon,arena}.rs`) must not use
+//!    bare `as` casts to sized integer types (`u8`…`u64`, `i8`…`i64`):
+//!    these silently truncate or wrap, and a wrong slot id or plane count
+//!    corrupts the CSR arrays the evaluators trust. Casts to
+//!    `usize`/`u128`/`i128` are exempt (never narrowing on supported
+//!    targets); every remaining cast carries a waiver stating why it is
+//!    lossless.
 //!
 //! Any rule can be waived at a specific site with
 //! `// lint:allow(<rule>): <reason>` on the same line or in the comment
 //! block immediately above; the reason is mandatory. Fixture files under
 //! `fixtures/` seed one violation per rule so the test suite proves each
 //! rule actually fires.
+//!
+//! The binary also hosts `cargo run -p tcmm-xtask -- verify-circuit` (see
+//! [`verify_circuit`]): the sweep that builds every constructor geometry,
+//! runs the `tc_circuit::verify` checker on each, and prints the
+//! paper-bound table.
+
+mod verify_circuit;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -443,6 +458,84 @@ fn check_no_panic(path: &Path, lines: &[Line]) -> Vec<Finding> {
     findings
 }
 
+/// Cast targets the narrowing-cast rule bans: every sized integer type a
+/// bare `as` can truncate or wrap into. `usize`, `u128` and `i128` are
+/// exempt — on the workspace's supported targets a cast into them never
+/// loses bits (and `i128` is the verifier's exact-arithmetic type).
+const NARROWING_TARGETS: &[&str] = &["u8", "u16", "u32", "u64", "i8", "i16", "i32", "i64"];
+
+/// Files the narrowing-cast rule is scoped to: the circuit lowering +
+/// kernel quartet, where a truncated slot id or plane count silently
+/// corrupts evaluation.
+const NARROWING_SCOPE: &[&str] = &["compiled.rs", "kernel.rs", "canon.rs", "arena.rs"];
+
+/// The banned cast targets appearing on one code line, in order.
+fn cast_targets(code: &str) -> Vec<&'static str> {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(at) = code[start..].find("as") {
+        let at = start + at;
+        start = at + 2;
+        let before_ok = code[..at].chars().next_back().is_none_or(|c| !is_ident(c));
+        let after = &code[at + 2..];
+        if !before_ok || after.chars().next().is_none_or(is_ident) {
+            continue;
+        }
+        let target: String = after
+            .trim_start()
+            .chars()
+            .take_while(|&c| is_ident(c))
+            .collect();
+        if let Some(t) = NARROWING_TARGETS.iter().find(|&&t| t == target) {
+            out.push(*t);
+        }
+    }
+    out
+}
+
+/// Rule 5: no bare `as` casts to sized integer types in the scoped circuit
+/// files; each surviving cast carries a `lint:allow(narrowing-cast)` waiver
+/// whose reason states why the value fits. `#[cfg(test)]` items are skipped
+/// by the same brace counting as the no-panic rule.
+fn check_narrowing_cast(path: &Path, lines: &[Line]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut skip: Option<i64> = None;
+    for (idx, line) in lines.iter().enumerate() {
+        if skip.is_none() && line.code.contains("#[cfg(test)]") {
+            skip = Some(0);
+        }
+        if let Some(depth) = skip.as_mut() {
+            let opens = line.code.matches('{').count() as i64;
+            let closes = line.code.matches('}').count() as i64;
+            let had_body = *depth > 0 || opens > 0;
+            *depth += opens - closes;
+            if had_body && *depth <= 0 {
+                skip = None;
+            }
+            continue;
+        }
+        for target in cast_targets(&line.code) {
+            match allowed(lines, idx, "narrowing-cast") {
+                Ok(true) => {}
+                Ok(false) => findings.push(Finding {
+                    path: path.to_path_buf(),
+                    line: idx + 1,
+                    rule: "narrowing-cast",
+                    message: format!(
+                        "bare `as {target}` can silently truncate or wrap; \
+                         use a checked conversion or add \
+                         lint:allow(narrowing-cast) stating why the value \
+                         fits"
+                    ),
+                }),
+                Err(line) => findings.push(missing_reason(path, line)),
+            }
+        }
+    }
+    findings
+}
+
 fn missing_reason(path: &Path, line: usize) -> Finding {
     Finding {
         path: path.to_path_buf(),
@@ -554,6 +647,7 @@ fn lint_workspace(root: &Path) -> Vec<Finding> {
     let mut files = Vec::new();
     rust_files(&root.join("crates"), &mut files);
     let runtime_src = root.join("crates").join("runtime").join("src");
+    let circuit_src = root.join("crates").join("circuit").join("src");
     for path in &files {
         let Ok(src) = std::fs::read_to_string(path) else {
             continue;
@@ -563,6 +657,14 @@ fn lint_workspace(root: &Path) -> Vec<Finding> {
         findings.extend(check_hot_path(path, &lines));
         if path.starts_with(&runtime_src) {
             findings.extend(check_no_panic(path, &lines));
+        }
+        let in_cast_scope = path.starts_with(&circuit_src)
+            && path
+                .file_name()
+                .and_then(|f| f.to_str())
+                .is_some_and(|f| NARROWING_SCOPE.contains(&f));
+        if in_cast_scope {
+            findings.extend(check_narrowing_cast(path, &lines));
         }
     }
     let telemetry_path = runtime_src.join("telemetry.rs");
@@ -599,6 +701,7 @@ fn lint_workspace(root: &Path) -> Vec<Finding> {
 
 fn usage() -> ExitCode {
     eprintln!("usage: xtask lint [--root <workspace-root>]");
+    eprintln!("       xtask verify-circuit [--output <bound-table-path>]");
     ExitCode::from(2)
 }
 
@@ -609,11 +712,13 @@ fn main() -> ExitCode {
         .and_then(Path::parent)
         .map(Path::to_path_buf)
         .unwrap_or_else(|| PathBuf::from("."));
+    let mut output: Option<PathBuf> = None;
     let mut cmd = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "lint" if cmd.is_none() => cmd = Some("lint"),
+            "verify-circuit" if cmd.is_none() => cmd = Some("verify-circuit"),
             "--root" => {
                 i += 1;
                 match args.get(i) {
@@ -621,23 +726,33 @@ fn main() -> ExitCode {
                     None => return usage(),
                 }
             }
+            "--output" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => output = Some(PathBuf::from(p)),
+                    None => return usage(),
+                }
+            }
             _ => return usage(),
         }
         i += 1;
     }
-    if cmd != Some("lint") {
-        return usage();
-    }
-    let findings = lint_workspace(&root);
-    for finding in &findings {
-        eprintln!("{finding}");
-    }
-    if findings.is_empty() {
-        eprintln!("xtask lint: clean");
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("xtask lint: {} violation(s)", findings.len());
-        ExitCode::FAILURE
+    match cmd {
+        Some("lint") => {
+            let findings = lint_workspace(&root);
+            for finding in &findings {
+                eprintln!("{finding}");
+            }
+            if findings.is_empty() {
+                eprintln!("xtask lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("xtask lint: {} violation(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        Some("verify-circuit") => verify_circuit::run(output.as_deref()),
+        _ => usage(),
     }
 }
 
@@ -716,6 +831,31 @@ mod tests {
     fn no_panic_rule_skips_tests_and_waivers() {
         let (path, lines) = fixture("no_panic_ok.rs");
         assert!(check_no_panic(&path, &lines).is_empty());
+    }
+
+    #[test]
+    fn narrowing_cast_rule_fires_on_fixture() {
+        let (path, lines) = fixture("narrowing_cast_bad.rs");
+        let findings = check_narrowing_cast(&path, &lines);
+        assert_eq!(findings.len(), 3, "{findings:?}");
+        assert!(findings[0].message.contains("as u8"));
+        assert!(findings[1].message.contains("as i32"));
+        assert_eq!(findings[2].rule, "lint_allow", "waiver without a reason");
+    }
+
+    #[test]
+    fn narrowing_cast_rule_accepts_waived_exempt_and_test_sites() {
+        let (path, lines) = fixture("narrowing_cast_ok.rs");
+        assert!(check_narrowing_cast(&path, &lines).is_empty());
+    }
+
+    #[test]
+    fn cast_scanner_finds_word_bounded_targets_only() {
+        assert_eq!(cast_targets("let x = y as u8; z as i64"), vec!["u8", "i64"]);
+        // Exempt targets, identifiers containing `as`, and `as` inside a
+        // larger ident must not match.
+        assert!(cast_targets("let x = y as usize + w as u128 + v as i128").is_empty());
+        assert!(cast_targets("basil as_u8 has_word(x)").is_empty());
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! The `verify-circuit` sweep (`cargo run -p tcmm-xtask -- verify-circuit`).
+//!
+//! Builds every constructor geometry the repository ships — the naive
+//! baselines, the trace and matmul circuits of Theorems 4.1/4.4/4.5/4.8/4.9,
+//! the triangle oracle, and the circuit the convnet's threshold backend
+//! plans for an im2col product — then, for each:
+//!
+//! 1. runs the independent checker ([`tc_circuit::verify_against`]):
+//!    structural CSR invariants plus the canonicalization translation
+//!    validation;
+//! 2. certifies the constructor's closed-form paper bound
+//!    ([`tc_circuit::PaperBound::certify`]) against the compiled artifact.
+//!
+//! The per-constructor bound table goes to stdout (and, with
+//! `--output <path>`, to a file the CI job archives); any error-severity
+//! finding makes the process exit non-zero.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use fast_matmul::BilinearAlgorithm;
+use tc_circuit::{verify_against, Circuit, CompiledCircuit, PaperBound, Severity, VerifyReport};
+use tc_convnet::{ConvLayerSpec, MatmulBackend};
+use tc_graph::TriangleOracle;
+use tcmm_core::matmul::MatmulCircuit;
+use tcmm_core::naive::{NaiveMatmulCircuit, NaiveTraceCircuit, NaiveTriangleCircuit};
+use tcmm_core::trace::TraceCircuit;
+use tcmm_core::CircuitConfig;
+
+/// One certified sweep entry: the constructor's bound next to what the
+/// compiled artifact actually measures, plus the full verifier report.
+struct Row {
+    bound: PaperBound,
+    depth: u32,
+    gates: usize,
+    edges: usize,
+    report: VerifyReport,
+}
+
+impl Row {
+    fn ok(&self) -> bool {
+        self.report.is_valid()
+    }
+
+    fn status(&self) -> String {
+        let advice = self
+            .report
+            .findings
+            .iter()
+            .filter(|f| f.severity == Severity::Advice)
+            .count();
+        match (self.report.error_count(), advice) {
+            (0, 0) => "ok".to_string(),
+            (0, a) => format!("ok ({a} advice)"),
+            (e, _) => format!("{e} error(s)"),
+        }
+    }
+}
+
+/// Runs the full checker + bound certification for one compiled geometry.
+fn check(circuit: &Circuit, compiled: &CompiledCircuit, bound: PaperBound) -> Row {
+    let mut report = verify_against(circuit, compiled);
+    report.merge(bound.certify(compiled));
+    Row {
+        bound,
+        depth: compiled.depth(),
+        gates: compiled.num_gates(),
+        edges: compiled.num_edges(),
+        report,
+    }
+}
+
+/// Builds every sweep geometry. Kept deliberately exhaustive over the
+/// constructor surface rather than large in `n`: each entry must exercise a
+/// distinct theorem/recipe/schedule path, and the bounds are closed-form in
+/// the geometry, so small instances certify the same formulas CI can afford
+/// to re-check on every push.
+fn build_rows() -> Result<Vec<Row>, String> {
+    let strassen = BilinearAlgorithm::strassen();
+    let winograd = BilinearAlgorithm::winograd();
+    let binary = CircuitConfig::binary(strassen.clone());
+    let two_bit = CircuitConfig::new(strassen.clone(), 2);
+    let wino_two_bit = CircuitConfig::new(winograd, 2);
+    let err = |name: &str, e: &dyn std::fmt::Display| format!("building {name}: {e}");
+
+    let mut rows = Vec::new();
+
+    let c = NaiveTriangleCircuit::new(6, 2).map_err(|e| err("NaiveTriangle n=6", &e))?;
+    rows.push(check(c.circuit(), c.compiled(), c.paper_bound()));
+
+    let c = NaiveTraceCircuit::new(&binary, 4, 6).map_err(|e| err("NaiveTrace n=4", &e))?;
+    rows.push(check(c.circuit(), c.compiled(), c.paper_bound()));
+
+    let c = NaiveMatmulCircuit::new(&two_bit, 3).map_err(|e| err("NaiveMatmul n=3", &e))?;
+    rows.push(check(c.circuit(), c.compiled(), c.paper_bound()));
+
+    let trace_geometries = [
+        (
+            "TraceCircuit 4.4 n=4",
+            TraceCircuit::theorem_4_4(&binary, 4, 6),
+        ),
+        (
+            "TraceCircuit 4.5 n=8 d=2",
+            TraceCircuit::theorem_4_5(&binary, 8, 2, 6),
+        ),
+        (
+            "TraceCircuit 4.5 winograd n=4 d=1",
+            TraceCircuit::theorem_4_5(&wino_two_bit, 4, 1, 6),
+        ),
+    ];
+    for (name, built) in trace_geometries {
+        let c = built.map_err(|e| err(name, &e))?;
+        rows.push(check(c.circuit(), c.compiled(), c.paper_bound().clone()));
+    }
+
+    let matmul_geometries = [
+        (
+            "MatmulCircuit 4.8 n=4",
+            MatmulCircuit::theorem_4_8(&binary, 4),
+        ),
+        (
+            "MatmulCircuit 4.9 n=4 d=1 b=2",
+            MatmulCircuit::theorem_4_9(&two_bit, 4, 1),
+        ),
+        (
+            "MatmulCircuit 4.9 n=8 d=2",
+            MatmulCircuit::theorem_4_9(&binary, 8, 2),
+        ),
+        (
+            "MatmulCircuit 4.1 n=4 d=2",
+            MatmulCircuit::theorem_4_1(&binary, 4, 2),
+        ),
+    ];
+    for (name, built) in matmul_geometries {
+        let c = built.map_err(|e| err(name, &e))?;
+        rows.push(check(c.circuit(), c.compiled(), c.paper_bound().clone()));
+    }
+
+    let oracle =
+        TriangleOracle::new(&binary, 6, 2, 3).map_err(|e| err("TriangleOracle v=6 d=2", &e))?;
+    let trace = oracle.circuit();
+    rows.push(check(
+        trace.circuit(),
+        trace.compiled(),
+        oracle.paper_bound().clone(),
+    ));
+
+    // The circuit the convnet's threshold backend would build for a
+    // 3×3 one-channel image under 2×2 kernels: im2col shape (4, 4, 2),
+    // padded to the recipe's power.
+    let spec = ConvLayerSpec {
+        image_size: 3,
+        channels: 1,
+        kernel_size: 2,
+        num_kernels: 2,
+        stride: 1,
+    };
+    let backend = MatmulBackend::ThresholdCircuit {
+        algorithm: strassen,
+        depth_parameter: 1,
+    };
+    let (p, q, k) = spec.matmul_shape();
+    let planned = backend
+        .plan_circuit(p.max(q).max(k), 2)
+        .expect("the threshold backend always plans a circuit")
+        .map_err(|e| err("convnet im2col (4,4,2)", &e))?;
+    rows.push(check(
+        planned.circuit(),
+        planned.compiled(),
+        planned.paper_bound().clone(),
+    ));
+
+    Ok(rows)
+}
+
+/// Renders the bound table: measured values side by side with the
+/// closed-form bounds they must satisfy.
+fn render_table(rows: &[Row]) -> String {
+    let mut cells: Vec<[String; 7]> = vec![[
+        "constructor".into(),
+        "theorem".into(),
+        "geometry".into(),
+        "depth".into(),
+        "gates".into(),
+        "edges".into(),
+        "status".into(),
+    ]];
+    for row in rows {
+        let edges = match row.bound.edges {
+            Some(b) => format!("{} ({b})", row.edges),
+            None => format!("{} (unbounded)", row.edges),
+        };
+        cells.push([
+            row.bound.constructor.to_string(),
+            row.bound.theorem.to_string(),
+            row.bound.geometry.clone(),
+            format!("{} ({})", row.depth, row.bound.depth),
+            format!("{} ({})", row.gates, row.bound.gates),
+            edges,
+            row.status(),
+        ]);
+    }
+    let mut widths = [0usize; 7];
+    for row in &cells {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    for row in &cells {
+        let line: Vec<String> = row
+            .iter()
+            .zip(widths)
+            .map(|(cell, w)| format!("{cell:<w$}"))
+            .collect();
+        out.push_str(line.join("  ").trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Entry point for the `verify-circuit` subcommand.
+pub fn run(output: Option<&Path>) -> ExitCode {
+    let rows = match build_rows() {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("verify-circuit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let table = render_table(&rows);
+    print!("{table}");
+    if let Some(path) = output {
+        if let Err(e) = std::fs::write(path, &table) {
+            eprintln!("verify-circuit: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let failed: Vec<&Row> = rows.iter().filter(|r| !r.ok()).collect();
+    for row in &failed {
+        eprintln!(
+            "\n{} ({}, {}) failed verification:\n{}",
+            row.bound.constructor, row.bound.theorem, row.bound.geometry, row.report
+        );
+    }
+    if failed.is_empty() {
+        eprintln!(
+            "verify-circuit: {} geometries certified (structural + translation + paper bounds)",
+            rows.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "\nverify-circuit: {} of {} geometries failed",
+            failed.len(),
+            rows.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_sweep_geometry_certifies() {
+        let rows = build_rows().expect("all sweep geometries build");
+        assert!(rows.len() >= 12, "sweep covers every constructor surface");
+        for row in &rows {
+            assert!(
+                row.ok(),
+                "{} ({}) failed:\n{}",
+                row.bound.constructor,
+                row.bound.geometry,
+                row.report
+            );
+        }
+        let table = render_table(&rows);
+        assert!(table.contains("constructor"));
+        assert!(table.lines().count() == rows.len() + 1);
+    }
+}
